@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Extension bench: validation of the closed-form latency model
+ * against discrete-event execution — the reproduction's analogue of
+ * the paper's "average error of 12% across measured points" (§7).
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "sim/validation.hh"
+
+int
+main()
+{
+    using namespace lia;
+
+    std::cout << "Latency-model validation: closed-form overlap "
+                 "model vs discrete-event simulation\n\n";
+
+    TextTable table({"system", "model", "points", "mean |err|",
+                     "max |err|"});
+    struct Case
+    {
+        hw::SystemConfig sys;
+        model::ModelConfig m;
+    };
+    const Case cases[] = {
+        {hw::sprA100(), model::opt30b()},
+        {hw::sprA100(), model::opt175b()},
+        {hw::sprH100(), model::opt66b()},
+        {hw::gnrA100(), model::opt175b()},
+    };
+    for (const auto &c : cases) {
+        const auto report = sim::validateOverlapModel(
+            c.sys, c.m, {1, 16, 64, 256, 900}, {64, 256, 1024});
+        table.addRow({c.sys.name, c.m.name,
+                      std::to_string(report.points.size()),
+                      fmtPercent(report.meanAbsError()),
+                      fmtPercent(report.maxAbsError())});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper: the analytical model used for beyond-"
+                 "capacity evaluation points\nshows 12% average error "
+                 "against the measured system; the closed form\nhere "
+                 "must stay comparably tight against pipelined DES "
+                 "execution.\n";
+    return 0;
+}

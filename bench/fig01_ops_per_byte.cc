@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Regenerates Figure 1: operations/byte of each decoder sublayer for
+ * OPT-175B at L = 512, B = 180, for the prefill and decoding stages
+ * (the heat map annotated on the model diagram).
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "model/sublayer.hh"
+
+int
+main()
+{
+    using namespace lia;
+    using namespace lia::model;
+
+    const auto config = opt175b();
+    const std::int64_t batch = 180;
+    const std::int64_t length = 512;
+
+    std::cout << "Figure 1: operations/byte per sublayer, "
+              << config.name << ", L=" << length << ", B=" << batch
+              << "\n\n";
+
+    TextTable table({"sublayer", "prefill ops/byte", "decode ops/byte"});
+    for (auto sub : allSublayers()) {
+        const Workload prefill{Stage::Prefill, batch, length};
+        const Workload decode{Stage::Decode, batch, length};
+        table.addRow({toString(sub),
+                      fmtDouble(sublayerCosts(config, prefill, sub)
+                                    .opsPerByte(),
+                                1),
+                      fmtDouble(sublayerCosts(config, decode, sub)
+                                    .opsPerByte(),
+                                1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper: intensities span ~1 (decode attention "
+                 "scoring)\nto tens of thousands (prefill FC1/FC2); "
+                 "the fused softmax/\nlayer-norm/residual sublayers "
+                 "are omitted as in the paper.\n";
+    return 0;
+}

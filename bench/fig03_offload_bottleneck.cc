@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates Figure 3: latency of the OPT-175B prefill and decoding
+ * stages under pure data offloading (FlexGen-style memory offloading)
+ * on SPR-A100, broken into parameter / KV-cache / activation transfer
+ * components, with the transfer volume per stage.
+ *
+ * B = 1 keeps KV and activations in GPU memory; B = 32 must offload
+ * them to host memory (they no longer fit), matching §3.
+ */
+
+#include <iostream>
+
+#include "baselines/presets.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+#include "core/cost_model.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+int
+main()
+{
+    using namespace lia;
+    using core::CostModel;
+    using core::CostModelOptions;
+    using core::Policy;
+    using model::Stage;
+    using model::Workload;
+
+    const auto sys = hw::sprA100();
+    const auto m = model::opt175b();
+
+    std::cout << "Figure 3: data-offloading bottleneck, " << m.name
+              << " on " << sys.name << "\n\n";
+
+    TextTable table({"B", "L", "stage", "param xfer", "kv xfer",
+                     "act xfer", "compute", "xfer share",
+                     "xfer bytes/layer"});
+
+    for (std::int64_t batch : {1, 32}) {
+        CostModelOptions opts;
+        opts.overlap = false;  // expose the raw transfer components
+        opts.kvOnGpu = batch == 1;
+        CostModel cm(sys, m, opts);
+        for (std::int64_t length : {64, 128, 256, 512, 1024}) {
+            for (auto stage : {Stage::Prefill, Stage::Decode}) {
+                Workload w{stage, batch, length};
+                const auto t = cm.layerTiming(w, Policy::fullGpu());
+                const double layers =
+                    static_cast<double>(m.numLayers);
+                const double link = sys.hostLink.bandwidth;
+                const double param_t =
+                    layers * t.paramPcieBytes / link;
+                const double kv_t = layers * t.kvPcieBytes / link;
+                const double act_t = layers * t.actPcieBytes / link;
+                const double comp =
+                    layers * (t.cpuTime + t.gpuTime);
+                const double xfer_share =
+                    (param_t + kv_t + act_t) /
+                    (param_t + kv_t + act_t + comp);
+                table.addRow({std::to_string(batch),
+                              std::to_string(length),
+                              model::toString(stage),
+                              fmtSeconds(param_t), fmtSeconds(kv_t),
+                              fmtSeconds(act_t), fmtSeconds(comp),
+                              fmtPercent(xfer_share),
+                              fmtBytes(t.pcieBytes())});
+            }
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper: transfers contribute >98% of latency at "
+                 "B=1 short L,\n~87% for prefill at long L, and stay "
+                 ">80% of decode at B=32.\n";
+    return 0;
+}

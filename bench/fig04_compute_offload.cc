@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Regenerates Figure 4: at B = 32, the latency of computing the
+ * CPU-offloaded attention-scoring sublayers versus transferring the
+ * KV cache to the GPU, and the decode-latency reduction achieved by
+ * FlexGen-style compute offloading, across context lengths.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "core/cost_model.hh"
+#include "hw/catalog.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+int
+main()
+{
+    using namespace lia;
+    using core::CostModel;
+    using core::CostModelOptions;
+    using core::Policy;
+    using model::Stage;
+    using model::Workload;
+
+    const auto m = model::opt175b();
+    const std::int64_t batch = 32;
+
+    // The paper's §3 study runs FlexGen, whose AVX-era CPU attention
+    // kernels reach only a small fraction of the DDR bandwidth the
+    // optimised AMX path streams at (its measured sublayer compute
+    // exceeded the KV transfer 1 s vs 0.4 s). Model both CPUs.
+    auto amx_sys = hw::sprA100();
+    auto avx_sys = amx_sys;
+    avx_sys.cpu = hw::avx512Spr();
+    avx_sys.cpu.streamEfficiency = hw::EfficiencyCurve(0.18);
+
+    CostModelOptions opts;
+    opts.overlap = false;
+    CostModel avx_cm(avx_sys, m, opts);
+    CostModel amx_cm(amx_sys, m, opts);
+
+    std::cout << "Figure 4: compute-offloading the attention scoring "
+                 "sublayers, " << m.name << ", B=" << batch << "\n\n";
+
+    TextTable table({"L", "KV transfer to GPU", "AVX attn compute",
+                     "AMX attn compute", "reduction (AVX era)",
+                     "reduction (AMX)"});
+
+    for (std::int64_t length : {64, 128, 256, 512, 1024}) {
+        Workload w{Stage::Decode, batch, length};
+        const double layers = static_cast<double>(m.numLayers);
+
+        auto stage_time = [&](const CostModel &cm, const Policy &p) {
+            return layers * cm.layerTiming(w, p).serialTime();
+        };
+        const double avx_attn =
+            layers *
+            avx_cm.layerTiming(w, Policy::attentionOnCpu()).cpuTime;
+        const double amx_attn =
+            layers *
+            amx_cm.layerTiming(w, Policy::attentionOnCpu()).cpuTime;
+        const double kv_xfer =
+            layers *
+            avx_cm.layerTiming(w, Policy::fullGpu()).kvPcieBytes /
+            avx_sys.hostLink.bandwidth;
+
+        const double avx_without =
+            stage_time(avx_cm, Policy::fullGpu());
+        const double avx_with =
+            stage_time(avx_cm, Policy::attentionOnCpu());
+        const double amx_without =
+            stage_time(amx_cm, Policy::fullGpu());
+        const double amx_with =
+            stage_time(amx_cm, Policy::attentionOnCpu());
+        table.addRow({std::to_string(length), fmtSeconds(kv_xfer),
+                      fmtSeconds(avx_attn), fmtSeconds(amx_attn),
+                      fmtPercent(1.0 - avx_with / avx_without),
+                      fmtPercent(1.0 - amx_with / amx_without)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper: with the AVX-era kernels the CPU sublayer "
+                 "compute exceeds the\nKV transfer it replaces "
+                 "(~1 s vs 0.4 s), so the reduction peaks at\n10.2% "
+                 "(L=1024) and turns negative for short L; the AMX "
+                 "column shows\nthe opening LIA exploits (§3.2, "
+                 "§4).\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates Figure 5: GEMM and batched-GEMV throughput of AVX512,
+ * SPR-AMX, GNR-AMX, and the P100/V100/A100/H100 GPUs across the
+ * paper's shape sweeps (FC1 prefill GEMM over B*L; decode Q*K^T GEMV
+ * over B and L).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "base/table.hh"
+#include "hw/catalog.hh"
+#include "hw/microbench.hh"
+
+int
+main()
+{
+    using namespace lia;
+    using namespace lia::hw;
+
+    const std::int64_t d_model = 12288;  // OPT-175B
+    const std::int64_t n_heads = 96;
+    const std::int64_t d_head = 128;
+
+    const std::vector<ComputeDevice> devices{
+        avx512Spr(), amxSpr(), amxGnr(), gpuP100(), gpuV100(),
+        gpuA100(), gpuH100()};
+
+    std::cout << "Figure 5 (left): GEMM throughput (TFLOPS), FC1 "
+                 "shape (B*L, d) x (d, 4d), d=" << d_model << "\n\n";
+    {
+        std::vector<std::string> headers{"B*L"};
+        for (const auto &dev : devices)
+            headers.push_back(dev.name);
+        TextTable table(headers);
+        for (std::int64_t rows = 64; rows <= 36864; rows *= 4) {
+            std::vector<std::string> cells{std::to_string(rows)};
+            for (const auto &dev : devices) {
+                cells.push_back(fmtDouble(
+                    gemmThroughput(dev, {rows, d_model}) / 1e12, 2));
+            }
+            table.addRow(cells);
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nFigure 5 (right): batched GEMV throughput "
+                 "(GFLOPS), Q*K^T shape (B*n_h, 1, d_h) x "
+                 "(B*n_h, d_h, L)\n\n";
+    {
+        std::vector<std::string> headers{"B", "L"};
+        for (const auto &dev : devices)
+            headers.push_back(dev.name);
+        TextTable table(headers);
+        for (std::int64_t batch : {1, 8, 64, 256, 900}) {
+            for (std::int64_t length : {128, 1024}) {
+                std::vector<std::string> cells{
+                    std::to_string(batch), std::to_string(length)};
+                for (const auto &dev : devices) {
+                    BatchedGemvShape shape{batch * n_heads, d_head,
+                                           length};
+                    cells.push_back(fmtDouble(
+                        gemvThroughput(dev, shape) / 1e9, 1));
+                }
+                table.addRow(cells);
+            }
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nPaper anchors: SPR-AMX ~20 TFLOPS GEMM (4.5x "
+                 "AVX512), GNR ~2.4x SPR;\nSPR GEMV ~199 GFLOPS "
+                 "matching AVX within 10%; GNR GEMV +70%;\nGPU GEMV "
+                 "leads shrink at small shapes (kernel overhead).\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Regenerates Figure 8: (a) CPU->GPU transfer bandwidth from DDR
+ * versus interleaved CXL across transfer sizes; (b) CPU compute
+ * throughput for sublayers 1 (QKV, parameter-bound) and 2 (Q*K^T,
+ * KV-bound) with operands in CXL, normalised to DDR, sweeping L at
+ * B=64 and B at L=256.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "base/units.hh"
+#include "core/cost_model.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+int
+main()
+{
+    using namespace lia;
+    using core::CostModel;
+    using core::CostModelOptions;
+    using core::HostTier;
+    using core::Policy;
+    using model::Stage;
+    using model::Workload;
+
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::opt175b();
+
+    std::cout << "Figure 8(a): host-to-GPU transfer bandwidth, DDR "
+                 "vs 2x interleaved CXL (" << sys.hostLink.name
+              << ")\n\n";
+    {
+        TextTable table({"transfer size", "from DDR", "from CXL x2",
+                         "from CXL x1"});
+        const double link = sys.hostLink.bandwidth;
+        const double cxl2 = sys.cxl.interleavedBandwidth();
+        const double cxl1 = sys.cxl.perDeviceBandwidth;
+        for (double bytes : {10e6, 30e6, 100e6, 300e6, 1e9, 3e9}) {
+            auto effective = [&](double src_bw) {
+                const double bw = std::min(link, src_bw);
+                return bytes / (sys.hostLink.latency + bytes / bw);
+            };
+            table.addRow({fmtBytes(bytes),
+                          fmtDouble(effective(1e18) / 1e9, 1),
+                          fmtDouble(effective(cxl2) / 1e9, 1),
+                          fmtDouble(effective(cxl1) / 1e9, 1)});
+        }
+        table.print(std::cout);
+        std::cout << "\nObservation-1: two 17 GB/s expanders "
+                     "interleaved match the\nPCIe-bound DDR path for "
+                     "large transfers; one expander throttles.\n";
+    }
+
+    std::cout << "\nFigure 8(b): CPU compute throughput from CXL, "
+                 "normalised to DDR\n\n";
+    {
+        CostModelOptions cxl_opts;
+        cxl_opts.paramTier = HostTier::Cxl;
+        cxl_opts.kvTier = HostTier::Cxl;
+        CostModel ddr(sys, m, {});
+        CostModel cxl(sys, m, cxl_opts);
+
+        auto ratio = [&](Stage stage, std::int64_t b, std::int64_t l,
+                         int sublayer) {
+            Workload w{stage, b, l};
+            const auto t_ddr =
+                ddr.sublayerTiming(w, Policy::fullCpu(), sublayer);
+            const auto t_cxl =
+                cxl.sublayerTiming(w, Policy::fullCpu(), sublayer);
+            return t_ddr.cpuTime / t_cxl.cpuTime;
+        };
+
+        TextTable table({"sweep", "value", "prefill-S1", "prefill-S2",
+                         "decode-S1", "decode-S2"});
+        for (std::int64_t l : {64, 256, 1024}) {
+            table.addRow({"L (B=64)", std::to_string(l),
+                          fmtPercent(ratio(Stage::Prefill, 64, l, 0)),
+                          fmtPercent(ratio(Stage::Prefill, 64, l, 1)),
+                          fmtPercent(ratio(Stage::Decode, 64, l, 0)),
+                          fmtPercent(ratio(Stage::Decode, 64, l, 1))});
+        }
+        table.addSeparator();
+        for (std::int64_t b : {1, 16, 64, 256}) {
+            table.addRow({"B (L=256)", std::to_string(b),
+                          fmtPercent(ratio(Stage::Prefill, b, 256, 0)),
+                          fmtPercent(ratio(Stage::Prefill, b, 256, 1)),
+                          fmtPercent(ratio(Stage::Decode, b, 256, 0)),
+                          fmtPercent(ratio(Stage::Decode, b, 256, 1))});
+        }
+        table.print(std::cout);
+        std::cout << "\nObservation-2: the parameter sublayer keeps "
+                     "30-89% of its DDR\nthroughput (compute hides the "
+                     "slow reads as intensity grows), while\nthe "
+                     "ops/byte~1 attention sublayer collapses to "
+                     "~15-20%.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Regenerates Figure 9: the optimal compute-offloading policies for
+ * OPT-175B across (L_in, B) combinations on SPR-A100 and SPR-H100,
+ * for the prefill and decoding stages, plus the measured region
+ * boundaries (prefill B*L crossover, decode B crossover).
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "core/optimizer.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+using core::CostModel;
+using core::Policy;
+using core::PolicyOptimizer;
+using model::Stage;
+using model::Workload;
+
+char
+policyGlyph(const Policy &p)
+{
+    if (p == Policy::fullCpu())
+        return 'C';  // full CPU offloading (1,1,1,1,1,1)
+    if (p == Policy::fullGpu())
+        return 'G';  // full GPU compute (0,0,0,0,0,0)
+    if (p == Policy::attentionOnCpu())
+        return 'P';  // partial CPU offloading (0,1,1,0,0,0)
+    return '?';
+}
+
+void
+printMap(const hw::SystemConfig &sys, const model::ModelConfig &m)
+{
+    CostModel cm(sys, m, {});
+    PolicyOptimizer opt(cm);
+
+    const std::vector<std::int64_t> batches{1,  4,   16,  64,
+                                            256, 900, 1600};
+    const std::vector<std::int64_t> lengths{32, 128, 512, 1024, 2016};
+
+    for (auto stage : {Stage::Prefill, Stage::Decode}) {
+        std::cout << "\n" << sys.name << " / "
+                  << model::toString(stage) << " policy map"
+                  << " (C=full CPU, P=attention on CPU, G=full GPU)\n";
+        std::vector<std::string> headers{"B \\ L"};
+        for (auto l : lengths)
+            headers.push_back(std::to_string(l));
+        TextTable table(headers);
+        for (auto b : batches) {
+            std::vector<std::string> cells{std::to_string(b)};
+            for (auto l : lengths) {
+                Workload w{stage, b, l};
+                cells.emplace_back(
+                    1, policyGlyph(opt.optimize(w).policy));
+            }
+            table.addRow(cells);
+        }
+        table.print(std::cout);
+    }
+
+    // Region boundaries.
+    auto decode_crossover = [&] {
+        std::int64_t lo = 1, hi = 4096;
+        while (lo < hi) {
+            const auto mid = (lo + hi) / 2;
+            Workload w{Stage::Decode, mid, 512};
+            if (opt.optimize(w).policy == Policy::fullCpu())
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    };
+    auto prefill_crossover = [&] {
+        std::int64_t lo = 1, hi = 2048;
+        while (lo < hi) {
+            const auto mid = (lo + hi) / 2;
+            Workload w{Stage::Prefill, 1, mid};
+            if (opt.optimize(w).policy == Policy::fullCpu())
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    };
+    std::cout << sys.name << " boundaries: prefill B*L ~ "
+              << prefill_crossover() << " (paper ~850 on SPR-A100), "
+              << "decode B ~ " << decode_crossover()
+              << " (paper ~858)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto m = lia::model::opt175b();
+    std::cout << "Figure 9: optimal compute-offloading policies, "
+              << m.name << "\n";
+    printMap(lia::hw::sprA100(), m);
+    printMap(lia::hw::sprH100(), m);
+    std::cout << "\nPaper shape: small B*L prefill and small-B decode "
+                 "run fully on the\nCPU; large prefill moves to the "
+                 "GPU; large-B decode keeps only the\nattention "
+                 "scoring on the CPU; H100 shifts every boundary "
+                 "toward the GPU.\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Figure 10: online (B = 1) inference latency of LIA,
+ * IPEX, and FlexGen for OPT-30B and OPT-175B on SPR-A100 and for
+ * OPT-66B and OPT-175B on SPR-H100, across the paper's input/output
+ * token-length grid.
+ */
+
+#include <iostream>
+
+#include "baselines/presets.hh"
+#include "base/table.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "trace/azure.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::baselines;
+using core::Scenario;
+
+void
+runComparison(const hw::SystemConfig &sys, const model::ModelConfig &m)
+{
+    std::cout << "\n" << sys.name << " / " << m.name << "\n";
+    TextTable table({"L_in", "L_out", "LIA (s)", "IPEX (s)",
+                     "FlexGen (s)", "vs IPEX", "vs FlexGen"});
+    for (std::int64_t l_out : {32, 256}) {
+        for (std::int64_t l_in : trace::standardLinSweep(l_out)) {
+            const Scenario sc{1, l_in, l_out};
+            const double lia =
+                liaEngine(sys, m).estimate(sc).latency();
+            const double ipex =
+                ipexEngine(sys, m).estimate(sc).latency();
+            const double flexgen =
+                FlexGenModel(sys, m).estimate(sc).latency();
+            table.addRow({std::to_string(l_in), std::to_string(l_out),
+                          fmtDouble(lia, 2), fmtDouble(ipex, 2),
+                          fmtDouble(flexgen, 2),
+                          fmtRatio(ipex / lia),
+                          fmtRatio(flexgen / lia)});
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Figure 10: online inference latency (B = 1), "
+                 "LIA vs IPEX vs FlexGen\n";
+
+    const auto spr_a100 = lia::hw::sprA100();
+    runComparison(spr_a100, lia::model::opt30b());
+    runComparison(spr_a100, lia::model::opt175b());
+
+    const auto spr_h100 = lia::hw::sprH100();
+    runComparison(spr_h100, lia::model::opt66b());
+    runComparison(spr_h100, lia::model::opt175b());
+
+    std::cout << "\nPaper bands (SPR-A100): 1.8-2.1x vs IPEX and "
+                 "5.3-7.3x vs FlexGen for\nOPT-30B; 1.1-1.3x and "
+                 "8.5-12x for OPT-175B. (SPR-H100): 2.1-2.5x /\n"
+                 "4.9-7.0x for OPT-66B; 1.1-1.5x / 4.0-5.1x for "
+                 "OPT-175B.\n";
+    return 0;
+}

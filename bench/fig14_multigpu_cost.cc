@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Figure 14: per-GPU throughput and cost per million
+ * tokens of LIA on a GNR-A100 system versus 8-way tensor-parallel
+ * inference on a DGX-A100, for OPT-175B at B = 1, 64, and 900
+ * (OOM on the DGX).
+ */
+
+#include <iostream>
+
+#include "baselines/multigpu.hh"
+#include "baselines/presets.hh"
+#include "base/table.hh"
+#include "energy/economics.hh"
+#include "energy/power.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+int
+main()
+{
+    using namespace lia;
+    using namespace lia::baselines;
+    using core::Scenario;
+
+    const auto gnr = hw::gnrA100();
+    const auto dgx = hw::dgxA100();
+    const auto m = model::opt175b();
+
+    energy::EconomicsModel econ;
+    energy::PowerModel gnr_power(gnr);
+    energy::PowerModel dgx_power(dgx);
+    TensorParallelModel tp(dgx, m);
+
+    std::cout << "Figure 14: LIA (GNR-A100) vs 8-way TP (DGX-A100), "
+              << m.name << "\n\n";
+
+    TextTable table({"B", "LIA tok/s/GPU", "DGX tok/s/GPU",
+                     "LIA $/Mtok", "DGX $/Mtok"});
+    for (std::int64_t batch : {1, 64, 900}) {
+        const Scenario sc{batch, 512, 32};
+        const auto lia_est = liaEngine(gnr, m).estimate(sc);
+        const auto dgx_est = tp.estimate(sc);
+
+        const double lia_tps = lia_est.throughput(sc);
+        const double lia_cost = econ.costPerMillionTokens(
+            gnr, lia_tps, gnr_power.averagePower(lia_est));
+
+        std::string dgx_tps = "OOM";
+        std::string dgx_cost = "OOM";
+        if (dgx_est.feasible) {
+            const double tps = dgx_est.throughput(sc);
+            dgx_tps = fmtDouble(tps / 8.0, 2);
+            dgx_cost = fmtDouble(
+                econ.costPerMillionTokens(
+                    dgx, tps, dgx_power.averagePower(dgx_est)),
+                2);
+        }
+        table.addRow({std::to_string(batch), fmtDouble(lia_tps, 2),
+                      dgx_tps, fmtDouble(lia_cost, 2), dgx_cost});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSystem cost: $" << gnr.systemCost << " (GNR-A100)"
+              << " vs $" << dgx.systemCost << " (DGX-A100) — LIA "
+                 "needs ~10% of the hardware outlay.\n";
+    std::cout << "\nPaper shape: the DGX per-GPU lead exists only in "
+                 "the mid-batch regime\n(B=64, ~30%); B=900 is OOM on "
+                 "the DGX while LIA keeps scaling. Known\ndivergence: "
+                 "our TP model is more optimistic than Vidur at B=1 "
+                 "(see\nEXPERIMENTS.md), where the paper reports LIA "
+                 "1.4-1.8x ahead per GPU.\n";
+    return 0;
+}

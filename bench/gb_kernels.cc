@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the functional back-end's
+ * numeric kernels (real measured host performance, not modeled):
+ * GEMM, batched attention scoring, softmax, and LayerNorm at
+ * decoder-layer shapes of the tiny evaluation model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hh"
+#include "runtime/kernels.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::runtime;
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const auto rows = static_cast<std::int64_t>(state.range(0));
+    const std::int64_t d = 256;
+    Rng rng(1);
+    const Tensor a = Tensor::randomNormal({rows, d}, rng, 1.0);
+    const Tensor b = Tensor::randomNormal({d, 4 * d}, rng, 1.0);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b, Tensor(), KernelOptions{false});
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * rows * d * 4 * d);
+}
+BENCHMARK(BM_Gemm)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_GemmBf16Rounded(benchmark::State &state)
+{
+    const auto rows = static_cast<std::int64_t>(state.range(0));
+    const std::int64_t d = 256;
+    Rng rng(1);
+    const Tensor a = Tensor::randomNormal({rows, d}, rng, 1.0);
+    const Tensor b = Tensor::randomNormal({d, 4 * d}, rng, 1.0);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b, Tensor(), KernelOptions{true});
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * rows * d * 4 * d);
+}
+BENCHMARK(BM_GemmBf16Rounded)->Arg(32);
+
+void
+BM_AttentionScores(benchmark::State &state)
+{
+    // Q x K^T for one head: (T, d_h) x (L, d_h)^T.
+    const auto len = static_cast<std::int64_t>(state.range(0));
+    Rng rng(2);
+    const Tensor q = Tensor::randomNormal({16, 64}, rng, 1.0);
+    const Tensor k = Tensor::randomNormal({len, 64}, rng, 1.0);
+    for (auto _ : state) {
+        Tensor s = matmulTransposed(q, k, KernelOptions{false});
+        benchmark::DoNotOptimize(s.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * 16 * 64 * len);
+}
+BENCHMARK(BM_AttentionScores)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_CausalSoftmax(benchmark::State &state)
+{
+    const auto cols = static_cast<std::int64_t>(state.range(0));
+    Rng rng(3);
+    const Tensor base = Tensor::randomNormal({64, cols}, rng, 1.0);
+    for (auto _ : state) {
+        Tensor t = base.clone();
+        causalSoftmaxRows(t, 0, KernelOptions{false});
+        benchmark::DoNotOptimize(t.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * cols);
+}
+BENCHMARK(BM_CausalSoftmax)->Arg(128)->Arg(1024);
+
+void
+BM_LayerNorm(benchmark::State &state)
+{
+    const auto width = static_cast<std::int64_t>(state.range(0));
+    Rng rng(4);
+    const Tensor x = Tensor::randomNormal({64, width}, rng, 1.0);
+    Tensor gain({width}), bias({width});
+    for (std::int64_t i = 0; i < width; ++i)
+        gain.at(i) = 1.0f;
+    for (auto _ : state) {
+        Tensor y = layerNorm(x, gain, bias, KernelOptions{false});
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * width);
+}
+BENCHMARK(BM_LayerNorm)->Arg(256)->Arg(1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

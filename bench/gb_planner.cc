@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of LIA's planning machinery: the
+ * per-policy cost evaluation, the exhaustive Eq. (1) optimizer, the
+ * full end-to-end estimate, and the DES pipeline execution. These
+ * bound the front-end's runtime overhead (it must be negligible next
+ * to the inference itself).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/presets.hh"
+#include "core/optimizer.hh"
+#include "hw/system.hh"
+#include "sim/pipeline.hh"
+
+namespace {
+
+using namespace lia;
+using core::CostModel;
+using core::Policy;
+using core::PolicyOptimizer;
+using model::Stage;
+using model::Workload;
+
+void
+BM_LayerTiming(benchmark::State &state)
+{
+    const auto sys = hw::sprA100();
+    const auto m = model::opt175b();
+    CostModel cm(sys, m, {});
+    Workload w{Stage::Decode, 64, 512};
+    for (auto _ : state) {
+        auto t = cm.layerTiming(w, Policy::attentionOnCpu());
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_LayerTiming);
+
+void
+BM_PolicyOptimize(benchmark::State &state)
+{
+    const auto sys = hw::sprA100();
+    const auto m = model::opt175b();
+    CostModel cm(sys, m, {});
+    PolicyOptimizer opt(cm);
+    Workload w{Stage::Decode,
+               static_cast<std::int64_t>(state.range(0)), 512};
+    for (auto _ : state) {
+        auto choice = opt.optimize(w);
+        benchmark::DoNotOptimize(choice);
+    }
+}
+BENCHMARK(BM_PolicyOptimize)->Arg(1)->Arg(900);
+
+void
+BM_EndToEndEstimate(benchmark::State &state)
+{
+    const auto sys = hw::sprA100();
+    const auto m = model::opt30b();
+    auto engine = baselines::liaEngine(sys, m);
+    const core::Scenario sc{
+        static_cast<std::int64_t>(state.range(0)), 256, 32};
+    for (auto _ : state) {
+        auto est = engine.estimate(sc);
+        benchmark::DoNotOptimize(est);
+    }
+}
+BENCHMARK(BM_EndToEndEstimate)->Arg(1)->Arg(900);
+
+void
+BM_DesPipeline(benchmark::State &state)
+{
+    const auto sys = hw::sprA100();
+    const auto m = model::opt175b();
+    CostModel cm(sys, m, {});
+    Workload w{Stage::Decode, 64, 512};
+    const Policy p = Policy::attentionOnCpu();
+    for (auto _ : state) {
+        auto result = sim::simulateStage(cm, w, p, p, 0);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_DesPipeline);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates Table 5: runtime breakdown (CPU compute, GPU compute,
+ * communication) of LIA, IPEX, and FlexGen during OPT-30B inference
+ * at L_in = 256, L_out = 32 on SPR-A100, with overlap disabled as in
+ * the paper's measurement.
+ */
+
+#include <iostream>
+
+#include "baselines/presets.hh"
+#include "base/table.hh"
+#include "core/engine.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::baselines;
+using core::Scenario;
+
+core::Breakdown
+liaBreakdown(const hw::SystemConfig &sys, const model::ModelConfig &m,
+             const Scenario &sc)
+{
+    // Overlap off isolates the raw component times.
+    auto engine = liaEngineAblated(sys, m, true, false, true);
+    return engine.estimate(sc).breakdown;
+}
+
+core::Breakdown
+flexgenBreakdown(const hw::SystemConfig &sys,
+                 const model::ModelConfig &m, const Scenario &sc)
+{
+    core::EngineConfig cfg;
+    cfg.optimizePolicies = false;
+    cfg.forcedPrefillPolicy = core::Policy::fullGpu();
+    cfg.forcedDecodePolicy = core::Policy::attentionOnCpu();
+    cfg.cacheGranularity =
+        core::CacheGranularity::SublayerAcrossLayers;
+    cfg.costOptions.overlap = false;
+    return core::EngineModel(sys, m, cfg).estimate(sc).breakdown;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto sys = hw::sprA100();
+    const auto m = model::opt30b();
+
+    std::cout << "Table 5: runtime breakdown (overlap disabled), "
+              << m.name << ", L_in=256, L_out=32, " << sys.name
+              << "\n\n";
+
+    TextTable table({"B", "LIA cpu", "LIA gpu", "LIA com.",
+                     "IPEX cpu", "FG cpu", "FG gpu", "FG com."});
+    for (std::int64_t batch : {1, 64, 900}) {
+        const Scenario sc{batch, 256, 32};
+        const auto lia = liaBreakdown(sys, m, sc);
+        const auto ipex =
+            ipexEngine(sys, m).estimate(sc).breakdown;
+        const auto fg = flexgenBreakdown(sys, m, sc);
+        table.addRow({std::to_string(batch),
+                      fmtDouble(lia.cpuTime, 1),
+                      fmtDouble(lia.gpuTime, 1),
+                      fmtDouble(lia.comTime, 1),
+                      fmtDouble(ipex.cpuTime, 1),
+                      fmtDouble(fg.cpuTime, 1),
+                      fmtDouble(fg.gpuTime, 1),
+                      fmtDouble(fg.comTime, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper rows (seconds):\n"
+                 "  B=1:   LIA 3.8/1.2/0.1,   IPEX 10.2,   FlexGen "
+                 "0.05/1.3/31.3\n"
+                 "  B=64:  LIA 16.9/7.7/3.9,  IPEX 75.7,   FlexGen "
+                 "20.9/9.8/86.0\n"
+                 "  B=900: LIA 169/111/119,   IPEX 1216,   FlexGen "
+                 "505/98.7/129\n";
+    return 0;
+}

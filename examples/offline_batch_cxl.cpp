@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Throughput-driven offline batch processing with CXL offloading
+ * (§6, §7.3) — the benchmarking / information-extraction / data-
+ * wrangling situation where a large corpus must be pushed through the
+ * model as fast as possible.
+ *
+ * Sweeps the batch size on an SPR-A100 with and without the two-
+ * expander CXL pool, showing where DDR capacity caps the batch, how
+ * the §6 placement moves parameters to CXL without losing
+ * throughput, and the larger batches (and tokens/s) CXL admits.
+ *
+ * Usage: offline_batch_cxl [l_in] [l_out]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/presets.hh"
+#include "base/table.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "model/footprint.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lia;
+    using core::Scenario;
+
+    std::int64_t l_in = 32;
+    std::int64_t l_out = 32;
+    if (argc > 1)
+        l_in = std::atoll(argv[1]);
+    if (argc > 2)
+        l_out = std::atoll(argv[2]);
+
+    const auto plain = hw::sprA100();
+    const auto cxl = hw::withCxl(plain);
+    const auto m = model::opt30b();
+
+    std::cout << "Offline batch processing: " << m.name
+              << ", L_in=" << l_in << ", L_out=" << l_out << "\n\n";
+
+    const auto ddr_max = model::maxBatchForCapacity(
+        m, l_in, l_out, plain.cpuMemory.capacity);
+    std::cout << "DDR-only capacity admits B <= " << ddr_max
+              << "; the CXL pool frees "
+              << fmtBytes(m.totalParamBytes())
+              << " of parameters from DDR.\n\n";
+
+    TextTable table({"B", "system", "tok/s", "params in", "DDR use",
+                     "feasible"});
+    for (std::int64_t batch : {64L, 900L, 1600L, 2400L, 4000L}) {
+        for (const auto *sys : {&plain, &cxl}) {
+            const Scenario sc{batch, l_in, l_out};
+            const auto est =
+                baselines::liaEngine(*sys, m).estimate(sc);
+            table.addRow(
+                {std::to_string(batch), sys->name,
+                 est.feasible ? fmtDouble(est.throughput(sc), 1)
+                              : "-",
+                 core::toString(est.placement.paramTier),
+                 fmtBytes(est.placement.ddrBytes),
+                 est.feasible ? "yes" : est.note});
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape to expect: identical throughput at equal B "
+                 "(Observation-1: the\nPCIe link, not the memory "
+                 "tier, bounds GPU transfers), ~43% of bytes\nleaving "
+                 "DDR, and the CXL system staying feasible at batch "
+                 "sizes the\nDDR-only system cannot hold.\n";
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Online serving with queueing: how much load can one LIA box take?
+ *
+ * Drives the M/G/1 serving simulation with per-request latencies from
+ * the LIA engine (B = 1) and from the FlexGen baseline, sweeping the
+ * Poisson arrival rate. LIA's lower service time translates directly
+ * into a higher sustainable request rate before response times
+ * explode — the user-facing payoff of the paper's latency numbers.
+ *
+ * Usage: serving_queue [requests] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "base/table.hh"
+#include "baselines/presets.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "sim/serving.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lia;
+    using core::Scenario;
+
+    std::size_t requests = 150;
+    std::uint64_t seed = 3;
+    if (argc > 1)
+        requests = static_cast<std::size_t>(std::atoll(argv[1]));
+    if (argc > 2)
+        seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+    const auto sys = hw::sprA100();
+    const auto m = model::opt30b();
+
+    auto lia = baselines::liaEngine(sys, m);
+    baselines::FlexGenModel flexgen(sys, m);
+
+    // Latency models with memoisation (the trace redraws lengths).
+    std::map<std::pair<std::int64_t, std::int64_t>, double> lia_cache;
+    std::map<std::pair<std::int64_t, std::int64_t>, double> fg_cache;
+    auto lia_latency = [&](const trace::Request &r) {
+        auto key = std::make_pair(r.lIn, r.lOut);
+        auto it = lia_cache.find(key);
+        if (it == lia_cache.end()) {
+            it = lia_cache
+                     .emplace(key, lia.estimate(
+                                          Scenario{1, r.lIn, r.lOut})
+                                       .latency())
+                     .first;
+        }
+        return it->second;
+    };
+    auto fg_latency = [&](const trace::Request &r) {
+        auto key = std::make_pair(r.lIn, r.lOut);
+        auto it = fg_cache.find(key);
+        if (it == fg_cache.end()) {
+            it = fg_cache
+                     .emplace(key, flexgen
+                                       .estimate(Scenario{1, r.lIn,
+                                                          r.lOut})
+                                       .latency())
+                     .first;
+        }
+        return it->second;
+    };
+
+    std::cout << "Serving-queue simulation: " << m.name << " on "
+              << sys.name << ", " << requests
+              << " code-trace requests per point\n\n";
+
+    TextTable table({"arrivals/min", "framework", "util", "p50 resp",
+                     "p95 resp", "mean wait"});
+    for (double per_minute : {1.0, 3.0, 6.0, 9.0}) {
+        sim::ServingConfig cfg;
+        cfg.arrivalRatePerSecond = per_minute / 60.0;
+        cfg.requests = requests;
+        cfg.seed = seed;
+        const auto lia_run = sim::simulateServing(cfg, lia_latency);
+        const auto fg_run = sim::simulateServing(cfg, fg_latency);
+        table.addRow({fmtDouble(per_minute, 0), "LIA",
+                      fmtPercent(lia_run.utilisation),
+                      fmtSeconds(lia_run.responseTime.p50()),
+                      fmtSeconds(lia_run.responseTime.p95()),
+                      fmtSeconds(lia_run.waitingTime.mean())});
+        table.addRow({fmtDouble(per_minute, 0), "FlexGen",
+                      fmtPercent(fg_run.utilisation),
+                      fmtSeconds(fg_run.responseTime.p50()),
+                      fmtSeconds(fg_run.responseTime.p95()),
+                      fmtSeconds(fg_run.waitingTime.mean())});
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape to expect: FlexGen saturates (util -> 100%, "
+                 "waits explode) at\narrival rates LIA absorbs "
+                 "comfortably — ~5x service-time advantage\nbecomes "
+                 "~5x sustainable load.\n";
+
+    // Dynamic batching: under heavy load, grouping requests amortises
+    // the parameter reads and keeps the queue stable long after the
+    // B=1 server melts down.
+    std::map<std::pair<std::int64_t, std::pair<std::int64_t,
+                                               std::int64_t>>,
+             double>
+        batch_cache;
+    auto lia_batch_latency = [&](std::int64_t batch,
+                                 const trace::Request &r) {
+        auto key = std::make_pair(batch, std::make_pair(r.lIn, r.lOut));
+        auto it = batch_cache.find(key);
+        if (it == batch_cache.end()) {
+            it = batch_cache
+                     .emplace(key,
+                              lia.estimate(Scenario{batch, r.lIn,
+                                                    r.lOut})
+                                  .latency())
+                     .first;
+        }
+        return it->second;
+    };
+
+    std::cout << "\nDynamic batching at 12 arrivals/min (LIA)\n";
+    TextTable batching_table({"policy", "util", "p50 resp",
+                              "p95 resp"});
+    sim::ServingConfig heavy;
+    heavy.arrivalRatePerSecond = 12.0 / 60.0;
+    heavy.requests = requests;
+    heavy.seed = seed;
+    const auto single = sim::simulateServing(heavy, lia_latency);
+    batching_table.addRow({"B=1 FIFO", fmtPercent(single.utilisation),
+                           fmtSeconds(single.responseTime.p50()),
+                           fmtSeconds(single.responseTime.p95())});
+    for (double window : {5.0, 20.0}) {
+        sim::BatchingConfig batching;
+        batching.window = window;
+        batching.maxBatch = 32;
+        const auto run = sim::simulateBatchedServing(
+            heavy, batching, lia_batch_latency);
+        batching_table.addRow(
+            {"batch window " + fmtSeconds(window),
+             fmtPercent(run.utilisation),
+             fmtSeconds(run.responseTime.p50()),
+             fmtSeconds(run.responseTime.p95())});
+    }
+    batching_table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,68 @@
+#include "base/args.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace lia {
+
+ArgParser::ArgParser(int argc, const char *const *argv)
+{
+    LIA_ASSERT(argc >= 1, "argv must contain the program name");
+    program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        const std::string body = arg.substr(2);
+        const auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            options_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // `--key value` when the next token is not another option;
+        // otherwise a bare flag.
+        if (i + 1 < argc &&
+            std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            options_[body] = argv[++i];
+        } else {
+            options_[body] = "";
+        }
+    }
+}
+
+bool
+ArgParser::has(const std::string &name) const
+{
+    return options_.count(name) > 0;
+}
+
+std::string
+ArgParser::getString(const std::string &name,
+                     const std::string &fallback) const
+{
+    const auto it = options_.find(name);
+    return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name, std::int64_t fallback) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty())
+        return fallback;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double
+ArgParser::getDouble(const std::string &name, double fallback) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty())
+        return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+} // namespace lia

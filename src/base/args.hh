@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal command-line argument parsing for the examples and tools.
+ *
+ * Supports `--flag`, `--key value`, and `--key=value` forms plus
+ * positional arguments, with typed accessors and defaults. Small by
+ * design — just enough for reproducible tool invocations.
+ */
+
+#ifndef LIA_BASE_ARGS_HH
+#define LIA_BASE_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lia {
+
+/** Parsed command line. */
+class ArgParser
+{
+  public:
+    ArgParser(int argc, const char *const *argv);
+
+    /** Whether `--name` appeared (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String option value or @p fallback. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback = "") const;
+
+    /** Integer option value or @p fallback. */
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t fallback) const;
+
+    /** Floating-point option value or @p fallback. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Positional arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** The program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace lia
+
+#endif // LIA_BASE_ARGS_HH

@@ -1,0 +1,59 @@
+#include "base/logging.hh"
+
+#include <stdexcept>
+
+namespace lia {
+namespace detail {
+
+namespace {
+
+/**
+ * When set (used by unit tests), panic/fatal throw instead of
+ * terminating the process so death paths can be exercised in-process.
+ */
+bool throwOnError = false;
+
+} // namespace
+
+void
+setThrowOnError(bool enable)
+{
+    throwOnError = enable;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "panic: " << msg << " @ " << file << ":" << line;
+    if (throwOnError)
+        throw std::logic_error(oss.str());
+    std::cerr << oss.str() << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "fatal: " << msg << " @ " << file << ":" << line;
+    if (throwOnError)
+        throw std::runtime_error(oss.str());
+    std::cerr << oss.str() << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace lia

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Status and error reporting utilities in the gem5 style.
+ *
+ * panic()  - an internal invariant was violated (a library bug); aborts.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * warn()   - something is questionable but the run can continue.
+ * inform() - purely informational status output.
+ */
+
+#ifndef LIA_BASE_LOGGING_HH
+#define LIA_BASE_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lia {
+
+namespace detail {
+
+/** Stream the message parts into a string. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/**
+ * Make panic()/fatal() throw std::logic_error/std::runtime_error instead
+ * of terminating the process. Intended for unit tests only.
+ */
+void setThrowOnError(bool enable);
+
+} // namespace detail
+
+/** Abort with a message; use for violated internal invariants. */
+#define LIA_PANIC(...) \
+    ::lia::detail::panicImpl(__FILE__, __LINE__, \
+                             ::lia::detail::concatMessage(__VA_ARGS__))
+
+/** Exit with a message; use for unusable user-provided configuration. */
+#define LIA_FATAL(...) \
+    ::lia::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::lia::detail::concatMessage(__VA_ARGS__))
+
+/** Report a suspicious but survivable condition. */
+#define LIA_WARN(...) \
+    ::lia::detail::warnImpl(::lia::detail::concatMessage(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define LIA_INFORM(...) \
+    ::lia::detail::informImpl(::lia::detail::concatMessage(__VA_ARGS__))
+
+/** Panic when @p cond does not hold. */
+#define LIA_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            LIA_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace lia
+
+#endif // LIA_BASE_LOGGING_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * A small xoshiro256** implementation seeded through splitmix64. All
+ * stochastic behaviour in the library (workload generation, synthetic
+ * weights, property-test sampling) flows through this class so runs are
+ * reproducible given a seed.
+ */
+
+#ifndef LIA_BASE_RNG_HH
+#define LIA_BASE_RNG_HH
+
+#include <cstdint>
+
+namespace lia {
+
+/** Deterministic xoshiro256** pseudo-random generator. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed expanded with splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x11A5EEDULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal variate (Box-Muller, cached pair). */
+    double normal();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool bernoulli(double p);
+
+  private:
+    std::uint64_t s_[4];
+    bool hasCachedNormal_ = false;
+    double cachedNormal_ = 0.0;
+};
+
+} // namespace lia
+
+#endif // LIA_BASE_RNG_HH

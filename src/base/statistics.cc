@@ -1,0 +1,172 @@
+#include "base/statistics.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace stats {
+
+namespace {
+
+void
+printLine(std::ostream &os, const std::string &name, double value,
+          const std::string &desc, std::size_t name_width)
+{
+    os << std::left << std::setw(static_cast<int>(name_width + 2))
+       << name << std::right << std::setw(16) << std::setprecision(6)
+       << value;
+    if (!desc.empty())
+        os << "  # " << desc;
+    os << '\n';
+}
+
+} // namespace
+
+Stat::Stat(std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    LIA_ASSERT(!name_.empty(), "statistics need names");
+}
+
+Scalar &
+Scalar::operator+=(double delta)
+{
+    value_ += delta;
+    return *this;
+}
+
+Scalar &
+Scalar::operator++()
+{
+    value_ += 1.0;
+    return *this;
+}
+
+void
+Scalar::print(std::ostream &os, std::size_t name_width) const
+{
+    printLine(os, name(), value_, desc(), name_width);
+}
+
+Formula::Formula(std::string name, std::string desc,
+                 std::function<double()> fn)
+    : Stat(std::move(name), std::move(desc)), fn_(std::move(fn))
+{
+    LIA_ASSERT(fn_ != nullptr, name, ": formula needs a function");
+}
+
+void
+Formula::print(std::ostream &os, std::size_t name_width) const
+{
+    printLine(os, name(), fn_(), desc(), name_width);
+}
+
+Vector::Vector(std::string name, std::string desc,
+               std::vector<std::string> labels)
+    : Stat(std::move(name), std::move(desc)),
+      labels_(std::move(labels)), values_(labels_.size(), 0.0)
+{
+    LIA_ASSERT(!labels_.empty(), "vector stats need buckets");
+}
+
+void
+Vector::add(std::size_t index, double delta)
+{
+    LIA_ASSERT(index < values_.size(), name(), ": bucket ", index,
+               " out of range");
+    values_[index] += delta;
+}
+
+double
+Vector::value(std::size_t index) const
+{
+    LIA_ASSERT(index < values_.size(), name(), ": bucket ", index,
+               " out of range");
+    return values_[index];
+}
+
+double
+Vector::total() const
+{
+    double sum = 0;
+    for (double v : values_)
+        sum += v;
+    return sum;
+}
+
+void
+Vector::print(std::ostream &os, std::size_t name_width) const
+{
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        printLine(os, name() + "::" + labels_[i], values_[i], desc(),
+                  name_width);
+    }
+    printLine(os, name() + "::total", total(), desc(), name_width);
+}
+
+Group::Group(std::string name) : name_(std::move(name))
+{
+}
+
+std::string
+Group::qualify(const std::string &name) const
+{
+    LIA_ASSERT(!name.empty(), "statistics need names");
+    return name_.empty() ? name : name_ + "." + name;
+}
+
+Scalar &
+Group::scalar(const std::string &name, const std::string &desc)
+{
+    auto stat = std::make_unique<Scalar>(qualify(name), desc);
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Formula &
+Group::formula(const std::string &name, const std::string &desc,
+               std::function<double()> fn)
+{
+    auto stat =
+        std::make_unique<Formula>(qualify(name), desc, std::move(fn));
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Vector &
+Group::vector(const std::string &name, const std::string &desc,
+              std::vector<std::string> labels)
+{
+    auto stat = std::make_unique<Vector>(qualify(name), desc,
+                                         std::move(labels));
+    auto &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+const Stat *
+Group::find(const std::string &name) const
+{
+    for (const auto &stat : stats_) {
+        if (stat->name() == name)
+            return stat.get();
+    }
+    return nullptr;
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    std::size_t width = 0;
+    for (const auto &stat : stats_)
+        width = std::max(width, stat->name().size() + 8);
+    for (const auto &stat : stats_)
+        stat->print(os, width);
+}
+
+} // namespace stats
+} // namespace lia

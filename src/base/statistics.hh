@@ -1,0 +1,134 @@
+/**
+ * @file
+ * gem5-style statistics: named scalar counters, derived formulas, and
+ * labelled vectors registered in a group and dumped as an aligned
+ * name / value / description listing (the `stats.txt` idiom).
+ *
+ * Components expose a `registerStats(stats::Group &)` hook; harnesses
+ * call `dump()` after a run to produce a machine-greppable report.
+ */
+
+#ifndef LIA_BASE_STATISTICS_HH
+#define LIA_BASE_STATISTICS_HH
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lia {
+namespace stats {
+
+/** Base class of every named statistic. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render one or more "name value # desc" lines. */
+    virtual void print(std::ostream &os, std::size_t name_width)
+        const = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A mutable scalar counter/accumulator. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator+=(double delta);
+    Scalar &operator++();
+    void set(double value) { value_ = value; }
+    double value() const { return value_; }
+
+    void print(std::ostream &os, std::size_t name_width)
+        const override;
+
+  private:
+    double value_ = 0;
+};
+
+/** A derived statistic evaluated at dump time. */
+class Formula : public Stat
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_(); }
+
+    void print(std::ostream &os, std::size_t name_width)
+        const override;
+
+  private:
+    std::function<double()> fn_;
+};
+
+/** A fixed set of labelled scalar buckets. */
+class Vector : public Stat
+{
+  public:
+    Vector(std::string name, std::string desc,
+           std::vector<std::string> labels);
+
+    /** Accumulate into bucket @p index. */
+    void add(std::size_t index, double delta);
+
+    double value(std::size_t index) const;
+    double total() const;
+    std::size_t size() const { return values_.size(); }
+
+    void print(std::ostream &os, std::size_t name_width)
+        const override;
+
+  private:
+    std::vector<std::string> labels_;
+    std::vector<double> values_;
+};
+
+/** A named registry of statistics. */
+class Group
+{
+  public:
+    explicit Group(std::string name = "");
+
+    /** Create and register a scalar. */
+    Scalar &scalar(const std::string &name, const std::string &desc);
+
+    /** Create and register a formula. */
+    Formula &formula(const std::string &name, const std::string &desc,
+                     std::function<double()> fn);
+
+    /** Create and register a vector. */
+    Vector &vector(const std::string &name, const std::string &desc,
+                   std::vector<std::string> labels);
+
+    /** Number of registered statistics. */
+    std::size_t size() const { return stats_.size(); }
+
+    /** Look up a statistic by fully qualified name; null if absent. */
+    const Stat *find(const std::string &name) const;
+
+    /** Dump all statistics, aligned, in registration order. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string qualify(const std::string &name) const;
+
+    std::string name_;
+    std::vector<std::unique_ptr<Stat>> stats_;
+};
+
+} // namespace stats
+} // namespace lia
+
+#endif // LIA_BASE_STATISTICS_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Summary statistics over sample sets.
+ *
+ * Used by the serving-queue simulation and the examples to report
+ * latency distributions (mean / percentiles / extremes) the way the
+ * paper's latency-driven scenarios are judged.
+ */
+
+#ifndef LIA_BASE_STATS_HH
+#define LIA_BASE_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace lia {
+
+/** Accumulates samples and reports distribution summaries. */
+class SampleStats
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Add many samples. */
+    void add(const std::vector<double> &values);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double mean() const;
+    double min() const;
+    double max() const;
+    double stddev() const;
+
+    /**
+     * Percentile in [0, 100] via linear interpolation between order
+     * statistics.
+     */
+    double percentile(double pct) const;
+
+    /** Convenience accessors for the common service percentiles. */
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+  private:
+    /** Sort samples lazily before order-statistic queries. */
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+} // namespace lia
+
+#endif // LIA_BASE_STATS_HH

@@ -1,0 +1,131 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace lia {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    LIA_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    LIA_ASSERT(cells.size() == headers_.size(),
+               "row width ", cells.size(), " != header width ",
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    // An empty row vector marks a separator when printing.
+    rows_.emplace_back();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_rule = [&] {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << ' ' << cell << std::string(widths[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << '\n';
+    };
+
+    print_rule();
+    print_cells(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_rule();
+        else
+            print_cells(row);
+    }
+    print_rule();
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << value;
+    return oss.str();
+}
+
+std::string
+fmtSeconds(double seconds)
+{
+    if (std::abs(seconds) >= 1.0)
+        return fmtDouble(seconds, 2) + " s";
+    if (std::abs(seconds) >= 1e-3)
+        return fmtDouble(seconds * 1e3, 2) + " ms";
+    return fmtDouble(seconds * 1e6, 2) + " us";
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    const char *suffixes[] = {"B", "KB", "MB", "GB", "TB"};
+    int idx = 0;
+    while (std::abs(bytes) >= 1000.0 && idx < 4) {
+        bytes /= 1000.0;
+        ++idx;
+    }
+    return fmtDouble(bytes, idx == 0 ? 0 : 2) + " " + suffixes[idx];
+}
+
+std::string
+fmtThroughput(double flops)
+{
+    if (std::abs(flops) >= 1e12)
+        return fmtDouble(flops / 1e12, 2) + " TFLOPS";
+    return fmtDouble(flops / 1e9, 2) + " GFLOPS";
+}
+
+std::string
+fmtRatio(double ratio)
+{
+    return fmtDouble(ratio, 2) + "x";
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    return fmtDouble(fraction * 100.0, decimals) + "%";
+}
+
+} // namespace lia

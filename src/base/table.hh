@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Plain-text table formatting used by the benchmark harnesses.
+ *
+ * Every bench binary prints the rows/series of the paper table or figure
+ * it regenerates; TextTable keeps that output aligned and diffable.
+ */
+
+#ifndef LIA_BASE_TABLE_HH
+#define LIA_BASE_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lia {
+
+/** Column-aligned plain text table. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a fully formatted row; size must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+    /** Number of rows added so far (separators included). */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals fraction digits. */
+std::string fmtDouble(double value, int decimals = 2);
+
+/** Format seconds adaptively (s / ms / us). */
+std::string fmtSeconds(double seconds);
+
+/** Format a byte count adaptively (B / KB / MB / GB / TB, decimal). */
+std::string fmtBytes(double bytes);
+
+/** Format FLOP/s adaptively (GFLOPS / TFLOPS). */
+std::string fmtThroughput(double flops);
+
+/** Format a ratio as "N.NNx". */
+std::string fmtRatio(double ratio);
+
+/** Format a fraction as a percentage "NN.N%". */
+std::string fmtPercent(double fraction, int decimals = 1);
+
+} // namespace lia
+
+#endif // LIA_BASE_TABLE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unit constants and conversion helpers.
+ *
+ * The library works in SI base units throughout: seconds for time, bytes
+ * for data, FLOP for compute work, bytes/second for bandwidth, FLOP/second
+ * for throughput, and watts for power. These helpers exist to make the
+ * magnitudes readable at construction sites, e.g. `64 * units::GB_s`.
+ */
+
+#ifndef LIA_BASE_UNITS_HH
+#define LIA_BASE_UNITS_HH
+
+#include <cstdint>
+
+namespace lia {
+namespace units {
+
+// --- Data sizes (decimal, matching vendor bandwidth/capacity specs) ---
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+inline constexpr double TB = 1e12;
+
+// --- Data sizes (binary, for memory capacities) ---
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * 1024.0;
+inline constexpr double GiB = 1024.0 * 1024.0 * 1024.0;
+inline constexpr double TiB = 1024.0 * GiB;
+
+// --- Bandwidth ---
+inline constexpr double GB_s = 1e9;
+inline constexpr double TB_s = 1e12;
+
+// --- Compute throughput ---
+inline constexpr double GFLOPS = 1e9;
+inline constexpr double TFLOPS = 1e12;
+
+// --- Time ---
+inline constexpr double ns = 1e-9;
+inline constexpr double us = 1e-6;
+inline constexpr double ms = 1e-3;
+
+// --- BF16/FP16 element size used across the paper's Table 1 ---
+inline constexpr double bytesPerElement = 2.0;
+
+} // namespace units
+} // namespace lia
+
+#endif // LIA_BASE_UNITS_HH

@@ -1,0 +1,98 @@
+#include "baselines/multigpu.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "model/footprint.hh"
+#include "model/sublayer.hh"
+
+namespace lia {
+namespace baselines {
+
+using model::Stage;
+using model::Workload;
+
+TensorParallelModel::TensorParallelModel(const hw::SystemConfig &system,
+                                         const model::ModelConfig &model)
+    : system_(system), model_(model)
+{
+    model_.validate();
+    LIA_ASSERT(system_.gpuCount > 1, "tensor parallelism needs >1 GPU");
+    LIA_ASSERT(system_.gpuFabric.has_value(),
+               system_.name, ": no GPU fabric configured");
+}
+
+double
+TensorParallelModel::allReduceTime(double bytes) const
+{
+    const double n = static_cast<double>(system_.gpuCount);
+    const auto &fabric = *system_.gpuFabric;
+    // Ring all-reduce: 2(n-1) steps, each moving bytes/n per GPU.
+    const double steps = 2.0 * (n - 1.0);
+    return steps * fabric.latency +
+           steps * (bytes / n) / fabric.bandwidth;
+}
+
+double
+TensorParallelModel::layerTime(const Workload &workload) const
+{
+    const auto &gpu = system_.gpu;
+    const double n = static_cast<double>(system_.gpuCount);
+    const double rows = static_cast<double>(workload.batch) *
+                        static_cast<double>(workload.tokens());
+
+    double compute = 0;
+    for (auto sub : model::allSublayers()) {
+        const auto costs = model::sublayerCosts(model_, workload, sub);
+        // Heads and FFN columns shard evenly across GPUs.
+        compute += gpu.matmulTime(
+            costs.flops / n,
+            (costs.dX + costs.dY + costs.dOut) / n, rows);
+    }
+
+    // Two all-reduces of the hidden state per layer (Megatron TP).
+    const double hidden_bytes =
+        units::bytesPerElement * rows * static_cast<double>(model_.dModel);
+    return compute + 2.0 * allReduceTime(hidden_bytes);
+}
+
+core::InferenceEstimate
+TensorParallelModel::estimate(const core::Scenario &scenario) const
+{
+    core::InferenceEstimate est;
+
+    const double n = static_cast<double>(system_.gpuCount);
+    const auto fp = model::inferenceFootprint(model_, scenario.batch,
+                                              scenario.lIn,
+                                              scenario.lOut);
+    // Everything shards across the GPUs; activations replicate.
+    const double per_gpu =
+        (fp.paramBytes + fp.kvCacheBytes) / n + fp.activationBytes;
+    if (per_gpu > system_.gpu.memoryCapacity) {
+        est.feasible = false;
+        est.note = "GPU memory capacity exceeded (OOM)";
+    }
+
+    const double layers = static_cast<double>(model_.numLayers);
+    Workload prefill{Stage::Prefill, scenario.batch, scenario.lIn};
+    est.prefillTime = layers * layerTime(prefill);
+    for (std::int64_t t = 0; t < scenario.lOut; ++t) {
+        Workload decode{Stage::Decode, scenario.batch, scenario.lIn + t};
+        est.decodeTime += layers * layerTime(decode);
+    }
+    est.prefillPolicy = core::Policy::fullGpu();
+    est.decodePolicy = core::Policy::fullGpu();
+    return est;
+}
+
+double
+TensorParallelModel::perGpuThroughput(const core::Scenario &scenario) const
+{
+    const auto est = estimate(scenario);
+    return est.throughput(scenario) /
+           static_cast<double>(system_.gpuCount);
+}
+
+} // namespace baselines
+} // namespace lia

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Multi-GPU tensor-parallel inference model (§7.8's DGX-A100 and §8's
+ * cheap 3xV100 alternative).
+ *
+ * Weights, KV cache, and compute shard across the GPUs; every decoder
+ * layer performs two all-reduces of the hidden state over the GPU
+ * fabric (after the attention output projection and after FC2), the
+ * standard Megatron-style TP communication pattern.
+ */
+
+#ifndef LIA_BASELINES_MULTIGPU_HH
+#define LIA_BASELINES_MULTIGPU_HH
+
+#include "core/engine.hh"
+
+namespace lia {
+namespace baselines {
+
+/** Analytical tensor-parallel inference model. */
+class TensorParallelModel
+{
+  public:
+    /** @p system must have gpuCount > 1 and a gpuFabric link. */
+    TensorParallelModel(const hw::SystemConfig &system,
+                        const model::ModelConfig &model);
+
+    core::InferenceEstimate estimate(const core::Scenario &scenario) const;
+
+    /** Throughput divided by GPU count (Fig. 14's metric). */
+    double perGpuThroughput(const core::Scenario &scenario) const;
+
+  private:
+    double layerTime(const model::Workload &workload) const;
+
+    /** Ring all-reduce time for @p bytes of payload across the fabric. */
+    double allReduceTime(double bytes) const;
+
+    hw::SystemConfig system_;
+    model::ModelConfig model_;
+};
+
+} // namespace baselines
+} // namespace lia
+
+#endif // LIA_BASELINES_MULTIGPU_HH

@@ -1,0 +1,142 @@
+#include "baselines/powerinfer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "model/footprint.hh"
+#include "model/sublayer.hh"
+
+namespace lia {
+namespace baselines {
+
+using model::Stage;
+using model::Sublayer;
+using model::Workload;
+
+namespace {
+
+/** Random-access sparse weight gathers achieve poor DRAM efficiency. */
+constexpr double kSparseStreamEfficiency = 0.2;
+
+} // namespace
+
+PowerInferModel::PowerInferModel(const hw::SystemConfig &system,
+                                 const model::ModelConfig &model,
+                                 PowerInferConfig config)
+    : system_(system), model_(model), config_(config)
+{
+    model_.validate();
+    LIA_ASSERT(config_.coldActivationRate > 0 &&
+               config_.coldActivationRate <= 1.0,
+               "bad cold activation rate");
+    LIA_ASSERT(config_.hotFractionTarget >= 0 &&
+               config_.hotFractionTarget <= 1.0, "bad hot fraction");
+}
+
+double
+PowerInferModel::layerTime(const Workload &workload,
+                           double hot_fraction) const
+{
+    const auto &gpu = system_.gpu;
+    const auto &cpu = system_.cpu;
+    const auto &link = system_.hostLink;
+    const double rows = static_cast<double>(workload.batch) *
+                        static_cast<double>(workload.tokens());
+
+    double gpu_time = 0;
+    double cpu_time = 0;
+    double xfer_time = 0;
+
+    for (auto sub : model::allSublayers()) {
+        const auto costs = model::sublayerCosts(model_, workload, sub);
+        const bool is_ffn = sub == Sublayer::Fc1 || sub == Sublayer::Fc2;
+        if (!is_ffn) {
+            // Attention and projections run fully on the GPU with KV
+            // and weights resident in HBM.
+            gpu_time += gpu.matmulTime(
+                costs.flops, costs.dX + costs.dY + costs.dOut, rows);
+            continue;
+        }
+
+        // Hot neurons on GPU.
+        const double h = hot_fraction;
+        gpu_time += gpu.matmulTime(
+            costs.flops * h,
+            costs.dX + costs.dY * h + costs.dOut * h, rows);
+
+        // Cold neurons on CPU. Sparsity only helps while few tokens
+        // are in flight: the activated-neuron union saturates with
+        // batch size, which is why PowerInfer gains little from
+        // large-batch processing (§7.9).
+        double rate = config_.coldActivationRate;
+        if (workload.stage == Stage::Prefill) {
+            rate = 1.0;  // prompt tokens activate nearly everything
+        } else {
+            rate = 1.0 - std::pow(1.0 - rate, static_cast<double>(rows));
+        }
+        const double cold_flops = costs.flops * (1.0 - h) * rate;
+        const double cold_bytes = costs.dY * (1.0 - h) * rate;
+        const double eff =
+            cpu.gemmEfficiency.at(std::max(rows, 1.0)) *
+            kSparseStreamEfficiency;
+        cpu_time += cpu.kernelOverhead +
+                    cold_bytes / (cpu.memoryBandwidth *
+                                  kSparseStreamEfficiency) +
+                    cold_flops / (cpu.peakMatmulThroughput * eff);
+
+        // Intra-layer round trip: the hidden state ships to the CPU
+        // and the cold partial outputs return, every FFN sublayer.
+        xfer_time += link.transferTime(costs.dX) +
+                     link.transferTime(costs.dOut * (1.0 - h) * rate);
+    }
+
+    // Hot/cold halves execute concurrently; the PCIe round trips
+    // serialise with the slower half.
+    return std::max(gpu_time, cpu_time) + xfer_time;
+}
+
+core::InferenceEstimate
+PowerInferModel::estimate(const core::Scenario &scenario) const
+{
+    core::InferenceEstimate est;
+
+    // GPU memory demand: attention weights of every layer, the hot FFN
+    // fraction, the KV cache, and activations all live in HBM.
+    const double layer_params = model_.decoderLayerParamBytes();
+    Workload probe{Stage::Prefill, scenario.batch, scenario.lIn};
+    const double ffn_params =
+        model::sublayerCosts(model_, probe, Sublayer::Fc1).dY +
+        model::sublayerCosts(model_, probe, Sublayer::Fc2).dY;
+    const double attn_params = layer_params - ffn_params;
+    const double layers = static_cast<double>(model_.numLayers);
+
+    const double kv = model::kvCacheBytes(model_, scenario.batch,
+                                          scenario.lIn + scenario.lOut);
+    const double act =
+        model::activationBytes(model_, scenario.batch, scenario.lIn);
+    const double fixed = attn_params * layers + kv + act;
+    const double spare = system_.gpu.memoryCapacity - fixed;
+    if (spare <= 0) {
+        est.feasible = false;
+        est.note = "GPU memory capacity exceeded (CUDA OOM)";
+    }
+    const double hot_fraction = std::clamp(
+        std::min(config_.hotFractionTarget,
+                 spare / (ffn_params * layers)),
+        0.0, 1.0);
+
+    Workload prefill{Stage::Prefill, scenario.batch, scenario.lIn};
+    est.prefillTime = layers * layerTime(prefill, hot_fraction);
+    for (std::int64_t t = 0; t < scenario.lOut; ++t) {
+        Workload decode{Stage::Decode, scenario.batch, scenario.lIn + t};
+        est.decodeTime += layers * layerTime(decode, hot_fraction);
+    }
+    est.prefillPolicy = core::Policy::fullGpu();
+    est.decodePolicy = core::Policy::fullGpu();
+    return est;
+}
+
+} // namespace baselines
+} // namespace lia

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * PowerInfer baseline model (§7.9).
+ *
+ * PowerInfer splits each FFN's neurons into a GPU-resident hot set and
+ * a CPU-resident cold set, relying on activation sparsity to keep the
+ * cold work small. The consequence the paper highlights: per-layer
+ * intra-layer activation traffic over PCIe in *both* directions for
+ * every token, KV/activations pinned in GPU memory (so large batches
+ * OOM), and accuracy-compromising model adaptation for non-ReLU models.
+ * This model reproduces those performance characteristics.
+ */
+
+#ifndef LIA_BASELINES_POWERINFER_HH
+#define LIA_BASELINES_POWERINFER_HH
+
+#include "core/engine.hh"
+
+namespace lia {
+namespace baselines {
+
+/** Tunables of the PowerInfer performance model. */
+struct PowerInferConfig
+{
+    /**
+     * Fraction of cold neurons activated per token. ReLU-adapted
+     * Llama models retain noticeable density, limiting the CPU-side
+     * savings (§7.9).
+     */
+    double coldActivationRate = 0.4;
+
+    /** Fraction of FFN neurons classified hot (capacity permitting). */
+    double hotFractionTarget = 0.2;
+};
+
+/** Analytical PowerInfer performance model. */
+class PowerInferModel
+{
+  public:
+    PowerInferModel(const hw::SystemConfig &system,
+                    const model::ModelConfig &model,
+                    PowerInferConfig config = {});
+
+    core::InferenceEstimate estimate(const core::Scenario &scenario) const;
+
+  private:
+    /** Per-layer latency of one stage. */
+    double layerTime(const model::Workload &workload,
+                     double hot_fraction) const;
+
+    hw::SystemConfig system_;
+    model::ModelConfig model_;
+    PowerInferConfig config_;
+};
+
+} // namespace baselines
+} // namespace lia
+
+#endif // LIA_BASELINES_POWERINFER_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Engine presets for LIA and the offloading baselines it is compared
+ * against (§7: IPEX, FlexGen, naive data offloading).
+ *
+ * All presets share the same substrate (CostModel/EngineModel); only
+ * policy selection, overlap style, GPU caching granularity, and data
+ * placement differ — mirroring how the paper isolates its contribution.
+ */
+
+#ifndef LIA_BASELINES_PRESETS_HH
+#define LIA_BASELINES_PRESETS_HH
+
+#include "core/engine.hh"
+
+namespace lia {
+namespace baselines {
+
+/**
+ * LIA: optimized policies per stage, whole-layer GPU residency,
+ * full-batch decode overlap, automatic §6 CXL placement when a pool is
+ * configured.
+ */
+core::EngineModel liaEngine(const hw::SystemConfig &system,
+                            const model::ModelConfig &model);
+
+/** LIA with selected optimizations disabled (Table 4 ablations). */
+core::EngineModel liaEngineAblated(const hw::SystemConfig &system,
+                                   const model::ModelConfig &model,
+                                   bool optimization1,
+                                   bool optimization2,
+                                   bool lia_policy);
+
+/** IPEX: CPU-only AMX execution. */
+core::EngineModel ipexEngine(const hw::SystemConfig &system,
+                             const model::ModelConfig &model);
+
+/**
+ * FlexGen: all-GPU prefill, attention-scoring compute-offload in
+ * decode (KV host-side) or all-GPU with HBM-resident KV when the whole
+ * run fits GPU memory, sublayer-granular weight caching, mini-batched
+ * overlap in both stages.
+ */
+class FlexGenModel
+{
+  public:
+    FlexGenModel(const hw::SystemConfig &system,
+                 const model::ModelConfig &model);
+
+    core::InferenceEstimate estimate(const core::Scenario &scenario) const;
+
+    /** Whether the run keeps KV + activations in GPU memory. */
+    bool kvFitsGpu(const core::Scenario &scenario) const;
+
+  private:
+    hw::SystemConfig system_;
+    model::ModelConfig model_;
+};
+
+/**
+ * Naive data offloading: every sublayer on the GPU, all data streamed
+ * from host memory each layer (the §3.1 bottleneck study subject).
+ */
+core::EngineModel naiveOffloadEngine(const hw::SystemConfig &system,
+                                     const model::ModelConfig &model,
+                                     bool kv_on_gpu);
+
+} // namespace baselines
+} // namespace lia
+
+#endif // LIA_BASELINES_PRESETS_HH

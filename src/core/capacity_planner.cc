@@ -1,0 +1,107 @@
+#include "core/capacity_planner.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "model/footprint.hh"
+
+namespace lia {
+namespace core {
+
+namespace {
+
+EngineConfig
+liaConfig(const hw::SystemConfig &system)
+{
+    EngineConfig cfg;
+    cfg.costOptions.executionAwareObjective = true;
+    cfg.autoMemoryPolicy = system.cxl.present();
+    return cfg;
+}
+
+} // namespace
+
+CapacityPlanner::CapacityPlanner(const hw::SystemConfig &system,
+                                 const model::ModelConfig &model)
+    : system_(system), model_(model),
+      engine_(system, model, liaConfig(system))
+{
+    model_.validate();
+}
+
+std::int64_t
+CapacityPlanner::maxFeasibleBatch(const PlannerRequest &request) const
+{
+    // With a CXL pool, parameters can leave DDR entirely (§6), so the
+    // batch budget is DDR for KV/activations plus the pool for
+    // parameters — capped by what actually fits the pool.
+    const double params = model_.totalParamBytes();
+    double ddr_budget = system_.cpuMemory.capacity;
+    if (system_.cxl.present()) {
+        ddr_budget -=
+            std::max(0.0, params - system_.cxl.totalCapacity());
+    } else {
+        ddr_budget -= params;
+    }
+    if (ddr_budget <= 0)
+        return 0;
+    const auto cap = model::maxBatchForCapacity(
+        model_, request.lIn, request.lOut, ddr_budget, false);
+    return std::min(cap, request.maxBatch);
+}
+
+PlannerResult
+CapacityPlanner::plan(const PlannerRequest &request) const
+{
+    LIA_ASSERT(request.lIn >= 1 && request.lOut >= 1,
+               "bad request lengths");
+    LIA_ASSERT(request.maxBatch >= 1, "bad max batch");
+
+    PlannerResult result;
+    const std::int64_t cap = maxFeasibleBatch(request);
+    if (cap == 0) {
+        result.note = "model does not fit host memory";
+        return result;
+    }
+
+    // Geometric batch grid, always including the capacity edge.
+    std::vector<std::int64_t> grid;
+    for (std::int64_t b = 1; b < cap; b *= 2)
+        grid.push_back(b);
+    grid.push_back(cap);
+
+    for (auto batch : grid) {
+        const Scenario sc{batch, request.lIn, request.lOut};
+        PlannerCandidate candidate;
+        candidate.batch = batch;
+        candidate.estimate = engine_.estimate(sc);
+        if (!candidate.estimate.feasible)
+            continue;
+        candidate.throughput = candidate.estimate.throughput(sc);
+        candidate.meetsSlo =
+            request.latencySlo <= 0 ||
+            candidate.estimate.latency() <= request.latencySlo;
+        result.candidates.push_back(candidate);
+
+        if (!candidate.meetsSlo)
+            continue;
+        if (!result.feasible ||
+            candidate.throughput > result.best.throughput) {
+            result.feasible = true;
+            result.best = candidate;
+        }
+    }
+
+    if (!result.feasible) {
+        result.note = result.candidates.empty()
+                          ? "no feasible batch size"
+                          : "no batch size meets the latency SLO";
+    } else if (result.best.estimate.placement.paramTier ==
+               HostTier::Cxl) {
+        result.note = "parameters offloaded to CXL";
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace lia

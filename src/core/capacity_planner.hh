@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deployment capacity planner.
+ *
+ * Answers the question a LIA operator actually has: "given this
+ * machine and this workload shape, what batch size should I run — and
+ * is the CXL pool worth enabling?" Searches feasible batch sizes
+ * (capacity-bounded, optionally CXL-expanded) for the highest
+ * throughput, optionally under a per-query latency SLO — the online /
+ * offline split of §1 expressed as one knob.
+ */
+
+#ifndef LIA_CORE_CAPACITY_PLANNER_HH
+#define LIA_CORE_CAPACITY_PLANNER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+
+namespace lia {
+namespace core {
+
+/** What the operator wants to run. */
+struct PlannerRequest
+{
+    std::int64_t lIn = 512;
+    std::int64_t lOut = 32;
+
+    /**
+     * Per-query latency bound in seconds; 0 disables the bound
+     * (pure throughput-driven planning).
+     */
+    double latencySlo = 0;
+
+    /** Largest batch the serving layer can aggregate. */
+    std::int64_t maxBatch = 4096;
+};
+
+/** One evaluated candidate deployment. */
+struct PlannerCandidate
+{
+    std::int64_t batch = 0;
+    InferenceEstimate estimate;
+    double throughput = 0;   //!< tokens/s
+    bool meetsSlo = true;
+};
+
+/** The planner's decision. */
+struct PlannerResult
+{
+    bool feasible = false;
+    std::string note;
+    PlannerCandidate best;
+    std::vector<PlannerCandidate> candidates;  //!< the explored grid
+};
+
+/** Batch-size planner for one (system, model) deployment. */
+class CapacityPlanner
+{
+  public:
+    CapacityPlanner(const hw::SystemConfig &system,
+                    const model::ModelConfig &model);
+
+    /** Pick the best batch size for @p request. */
+    PlannerResult plan(const PlannerRequest &request) const;
+
+    /** Largest batch that fits host memory for the request shape. */
+    std::int64_t maxFeasibleBatch(const PlannerRequest &request) const;
+
+  private:
+    hw::SystemConfig system_;
+    model::ModelConfig model_;
+    EngineModel engine_;
+};
+
+} // namespace core
+} // namespace lia
+
+#endif // LIA_CORE_CAPACITY_PLANNER_HH

@@ -1,0 +1,258 @@
+#include "core/cost_model.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace lia {
+namespace core {
+
+using model::Stage;
+using model::Sublayer;
+
+const char *
+toString(HostTier tier)
+{
+    return tier == HostTier::Ddr ? "DDR" : "CXL";
+}
+
+double
+LayerTiming::overlappedTime() const
+{
+    // Steady-state pipelined rate (Fig. 7): bounded below by the PCIe
+    // channel's total per-layer occupancy (prefetch shares the link
+    // with inline traffic) and by the per-layer dependency chain
+    // (inline hops and compute serialise across layers).
+    return std::max(prefetchPcieTime + inlinePcieTime,
+                    inlinePcieTime + cpuTime + gpuTime);
+}
+
+CostModel::CostModel(const hw::SystemConfig &system,
+                     const model::ModelConfig &model,
+                     CostModelOptions options)
+    : system_(system), model_(model), options_(options)
+{
+    model_.validate();
+    if (options_.paramTier == HostTier::Cxl ||
+        options_.kvTier == HostTier::Cxl) {
+        LIA_ASSERT(system_.cxl.present(),
+                   system_.name, ": CXL tier requested without a pool");
+    }
+    LIA_ASSERT(options_.prefillMiniBatches >= 1 &&
+               options_.decodeMiniBatches >= 1,
+               "mini-batch counts must be >= 1");
+}
+
+void
+CostModel::setOptions(const CostModelOptions &options)
+{
+    options_ = options;
+    if (options_.paramTier == HostTier::Cxl ||
+        options_.kvTier == HostTier::Cxl) {
+        LIA_ASSERT(system_.cxl.present(),
+                   system_.name, ": CXL tier requested without a pool");
+    }
+}
+
+double
+CostModel::hostLinkBandwidth(HostTier tier) const
+{
+    // Observation-1 (§6): the host link is the bottleneck as long as
+    // the interleaved CXL pool supplies at least PCIe bandwidth;
+    // otherwise the pool throttles the transfer.
+    if (tier == HostTier::Cxl) {
+        return std::min(system_.hostLink.bandwidth,
+                        system_.cxl.interleavedBandwidth());
+    }
+    return system_.hostLink.bandwidth;
+}
+
+double
+CostModel::cpuTierBandwidth(HostTier tier) const
+{
+    return system_.cpuReadBandwidth(tier == HostTier::Cxl);
+}
+
+double
+CostModel::linkTime(double bytes, HostTier tier) const
+{
+    if (bytes <= 0)
+        return 0.0;
+    return system_.hostLink.latency + bytes / hostLinkBandwidth(tier);
+}
+
+int
+CostModel::chunksFor(Stage stage, const Policy &policy) const
+{
+    // Mini-batching exists to overlap PCIe transfers with compute;
+    // an all-CPU policy moves nothing, so the back-end would never
+    // split it (Table 4: disabling Optimization-2 is a no-op at B=1).
+    if (!options_.overlap || policy == Policy::fullCpu())
+        return 1;
+    if (stage == Stage::Prefill)
+        return options_.prefillMiniBatches;
+    return options_.decodeMiniBatchOverlap ? options_.decodeMiniBatches
+                                           : 1;
+}
+
+double
+CostModel::computeTime(Device device, const model::SublayerCosts &costs,
+                       double rows, HostTier tier_y, int chunks) const
+{
+    const double n = static_cast<double>(chunks);
+    const double chunk_rows = std::max(rows / n, 1.0);
+
+    if (device == Device::Gpu) {
+        const auto &gpu = system_.gpu;
+        const double bytes = costs.dX + costs.dY + costs.dOut;
+        const double eff = gpu.gemmEfficiency.at(chunk_rows);
+        const double stream =
+            gpu.streamEfficiency.at(std::max(bytes / n, 1.0));
+        const double per_chunk =
+            gpu.kernelOverhead +
+            (bytes / n) / (gpu.memoryBandwidth * stream) +
+            (costs.flops / n) / (gpu.peakMatmulThroughput * eff);
+        return n * per_chunk;
+    }
+
+    const auto &cpu = system_.cpu;
+    const double stream_x =
+        cpu.streamEfficiency.at(std::max(costs.dX + costs.dOut, 1.0));
+    // Activations and outputs always live in DDR; only the second
+    // operand (parameters or KV cache) may sit in CXL (§6).
+    const double bw_x = cpuTierBandwidth(HostTier::Ddr) * stream_x;
+    double bw_y = cpuTierBandwidth(tier_y);
+    if (tier_y == HostTier::Ddr)
+        bw_y *= cpu.streamEfficiency.at(std::max(costs.dY, 1.0));
+    const double eff = cpu.gemmEfficiency.at(chunk_rows);
+    const double per_chunk =
+        cpu.kernelOverhead +
+        ((costs.dX + costs.dOut) / n) / bw_x + (costs.dY / n) / bw_y +
+        (costs.flops / n) / (cpu.peakMatmulThroughput * eff);
+    return n * per_chunk;
+}
+
+SublayerTiming
+CostModel::sublayerTiming(const model::Workload &workload,
+                          const Policy &policy, int index,
+                          bool gpu_resident) const
+{
+    LIA_ASSERT(index >= 0 && index < model::kNumSublayers,
+               "sublayer index out of range");
+
+    const auto sublayer = model::allSublayers()[index];
+    const auto costs = model::sublayerCosts(model_, workload, sublayer);
+    const Device dev = policy.device(index);
+    // p_0 = p_6: the first sublayer's producer is the previous decoder
+    // layer's FC2 (steady state with an identical per-layer policy).
+    const Device prev_dev =
+        index == 0 ? policy.device(model::kNumSublayers - 1)
+                   : policy.device(index - 1);
+
+    const double rows = static_cast<double>(workload.batch) *
+                        static_cast<double>(workload.tokens());
+    int chunks = chunksFor(workload.stage, policy);
+    // GPU-resident layers stream nothing in prefill, so the back-end
+    // has no reason to pay the mini-batch split there either.
+    if (gpu_resident && workload.stage == Stage::Prefill)
+        chunks = 1;
+
+    SublayerTiming t;
+
+    // --- Load X: activation hop when adjacent devices differ (Eq. 4).
+    if (dev != prev_dev) {
+        t.inlinePcieTime += linkTime(costs.dX, HostTier::Ddr);
+        t.actPcieBytes += costs.dX;
+    }
+
+    // --- Load Y: parameters or KV cache (Eq. 5/7).
+    HostTier tier_y = HostTier::Ddr;
+    if (model::isParamSublayer(sublayer)) {
+        tier_y = options_.paramTier;
+        if (dev == Device::Gpu && !gpu_resident) {
+            // Parameters stream from host memory; prefetchable.
+            t.prefetchPcieTime += linkTime(costs.dY, tier_y);
+            t.paramPcieBytes += costs.dY;
+        }
+    } else {
+        tier_y = options_.kvTier;
+        if (workload.stage == Stage::Prefill) {
+            // K/V were produced by sublayer 1 this layer (Eq. 7).
+            if (dev != policy.device(0)) {
+                t.inlinePcieTime += linkTime(costs.dY, HostTier::Ddr);
+                t.kvPcieBytes += costs.dY;
+            }
+        } else if (options_.kvOnGpu) {
+            if (dev == Device::Cpu) {
+                // KV pinned in HBM but attention on CPU: ship it out.
+                t.inlinePcieTime += linkTime(costs.dY, HostTier::Ddr);
+                t.kvPcieBytes += costs.dY;
+            }
+        } else if (dev == Device::Gpu) {
+            // The persistent host-side KV cache streams in. Only the
+            // next layer's *parameters* are double-buffered (Fig. 7),
+            // so this transfer sits on the critical path.
+            t.inlinePcieTime += linkTime(costs.dY, tier_y);
+            t.kvPcieBytes += costs.dY;
+        }
+    }
+
+    // --- Load R: residual operand hop (Eq. 6). The residual operand is
+    // the d_model-wide activation, B*T*d bytes.
+    const double residual_bytes =
+        units::bytesPerElement * rows * static_cast<double>(model_.dModel);
+    if (sublayer == Sublayer::OutProjection &&
+        dev != policy.device(0)) {
+        t.inlinePcieTime += linkTime(residual_bytes, HostTier::Ddr);
+        t.actPcieBytes += residual_bytes;
+    }
+    if (sublayer == Sublayer::Fc2 &&
+        dev != policy.device(
+            static_cast<int>(Sublayer::OutProjection))) {
+        t.inlinePcieTime += linkTime(residual_bytes, HostTier::Ddr);
+        t.actPcieBytes += residual_bytes;
+    }
+
+    // --- Compute (Eq. 8).
+    // When the KV cache stays in HBM the GPU reads Y locally and the
+    // CPU never holds it; tier only matters for CPU execution.
+    const double comp =
+        computeTime(dev, costs, rows, tier_y, chunks);
+    if (dev == Device::Cpu)
+        t.cpuTime += comp;
+    else
+        t.gpuTime += comp;
+
+    // --- Store: GPU-computed KV returns to the host cache (Eq. 9).
+    if (sublayer == Sublayer::QkvMapping && dev == Device::Gpu &&
+        !options_.kvOnGpu) {
+        t.storePcieTime += linkTime(costs.dKv, HostTier::Ddr);
+        t.kvPcieBytes += costs.dKv;
+    }
+
+    return t;
+}
+
+LayerTiming
+CostModel::layerTiming(const model::Workload &workload,
+                       const Policy &policy, bool gpu_resident) const
+{
+    LayerTiming total;
+    for (int i = 0; i < model::kNumSublayers; ++i) {
+        const auto t = sublayerTiming(workload, policy, i, gpu_resident);
+        total.prefetchPcieTime += t.prefetchPcieTime;
+        // Stores sit on the dependency chain like other inline traffic
+        // at layer granularity.
+        total.inlinePcieTime += t.inlinePcieTime + t.storePcieTime;
+        total.cpuTime += t.cpuTime;
+        total.gpuTime += t.gpuTime;
+        total.paramPcieBytes += t.paramPcieBytes;
+        total.kvPcieBytes += t.kvPcieBytes;
+        total.actPcieBytes += t.actPcieBytes;
+    }
+    return total;
+}
+
+} // namespace core
+} // namespace lia

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Analytical latency model of a single decoder layer (§5.1, Eq. 1-9).
+ *
+ * Given a system, a model, and an offloading policy, computes the load /
+ * compute / store latency of every sublayer, split into:
+ *
+ *  - prefetchable PCIe time: parameter (and decode KV) transfers that
+ *    double-buffering can overlap with compute (Optimization-2, Fig. 7);
+ *  - inline PCIe time: activation, residual, freshly-produced KV, and
+ *    KV-store transfers that sit on the dependency critical path;
+ *  - CPU and GPU compute time, roofline-style with size-dependent
+ *    efficiency, honouring which host tier (DDR or CXL) each operand
+ *    class resides in (§6).
+ *
+ * The same object reports both the serial layer time (overlap disabled,
+ * used by Table 5's breakdown) and the steady-state pipelined time
+ * max(prefetch, inline + compute) used end-to-end.
+ */
+
+#ifndef LIA_CORE_COST_MODEL_HH
+#define LIA_CORE_COST_MODEL_HH
+
+#include "core/policy.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "model/sublayer.hh"
+
+namespace lia {
+namespace core {
+
+/** Host-side memory tier holding a class of data. */
+enum class HostTier { Ddr, Cxl };
+
+const char *toString(HostTier tier);
+
+/** Knobs controlling the execution model. */
+struct CostModelOptions
+{
+    /** Optimization-2: overlap transfers with compute. */
+    bool overlap = true;
+
+    /** Host tier holding model parameters (§6 policy may pick Cxl). */
+    HostTier paramTier = HostTier::Ddr;
+
+    /** Host tier holding the KV cache (§6 keeps it in DDR). */
+    HostTier kvTier = HostTier::Ddr;
+
+    /**
+     * Keep the KV cache in GPU HBM instead of host memory. Used by the
+     * small-batch data-offloading baselines (§3); LIA itself keeps all
+     * intermediate values host-side.
+     */
+    bool kvOnGpu = false;
+
+    /** Mini-batches pipelined through the prefill stage (Fig. 7). */
+    int prefillMiniBatches = 2;
+
+    /**
+     * FlexGen-style decode mini-batching. LIA deliberately computes the
+     * full batch in decode because compute does not scale down linearly
+     * with mini-batch size (§5.2, Optimization-2).
+     */
+    bool decodeMiniBatchOverlap = false;
+    int decodeMiniBatches = 4;
+
+    /**
+     * Extension (not in the paper): after the serial Eq.-(1) scan,
+     * re-arbitrate the winner against the three §7.1 primary policies
+     * under the overlap-aware execution model. The paper's front-end
+     * optimizes the serial Eq. (2) even though the back-end overlaps,
+     * which can leave latency on the table when a policy's parameter
+     * stream hides fully behind compute; this flag recovers it. Off
+     * by default to reproduce the published Fig.-9 crossovers.
+     */
+    bool executionAwareObjective = false;
+};
+
+/** Timing of one sublayer under a policy. */
+struct SublayerTiming
+{
+    double prefetchPcieTime = 0;  //!< overlappable PCIe transfer time
+    double inlinePcieTime = 0;    //!< critical-path load transfers
+    double storePcieTime = 0;     //!< GPU->CPU result/KV store-back
+    double cpuTime = 0;           //!< CPU compute time
+    double gpuTime = 0;           //!< GPU compute time
+
+    double paramPcieBytes = 0;    //!< PCIe bytes moving parameters
+    double kvPcieBytes = 0;       //!< PCIe bytes moving KV data
+    double actPcieBytes = 0;      //!< PCIe bytes moving activations
+
+    double pcieBytes() const
+    {
+        return paramPcieBytes + kvPcieBytes + actPcieBytes;
+    }
+
+    /** Serial (unoverlapped) time of the sublayer. */
+    double serialTime() const
+    {
+        return prefetchPcieTime + inlinePcieTime + storePcieTime +
+               cpuTime + gpuTime;
+    }
+};
+
+/** Aggregated timing of one decoder layer under a policy. */
+struct LayerTiming
+{
+    double prefetchPcieTime = 0;
+    double inlinePcieTime = 0;
+    double cpuTime = 0;
+    double gpuTime = 0;
+
+    double paramPcieBytes = 0;
+    double kvPcieBytes = 0;
+    double actPcieBytes = 0;
+
+    double pcieBytes() const
+    {
+        return paramPcieBytes + kvPcieBytes + actPcieBytes;
+    }
+
+    /** Sum of everything: overlap disabled. */
+    double serialTime() const
+    {
+        return prefetchPcieTime + inlinePcieTime + cpuTime + gpuTime;
+    }
+
+    /** Steady-state per-layer time with double-buffered prefetch. */
+    double overlappedTime() const;
+
+    /** Pick per the overlap flag. */
+    double time(bool overlap) const
+    {
+        return overlap ? overlappedTime() : serialTime();
+    }
+};
+
+/**
+ * Analytical per-layer latency model for one (system, model) pair.
+ */
+class CostModel
+{
+  public:
+    CostModel(const hw::SystemConfig &system,
+              const model::ModelConfig &model,
+              CostModelOptions options = {});
+
+    /** Timing of sublayer @p index (0-based) of a decoder layer. */
+    SublayerTiming sublayerTiming(const model::Workload &workload,
+                                  const Policy &policy, int index,
+                                  bool gpu_resident = false) const;
+
+    /** Timing of a whole decoder layer. */
+    LayerTiming layerTiming(const model::Workload &workload,
+                            const Policy &policy,
+                            bool gpu_resident = false) const;
+
+    const CostModelOptions &options() const { return options_; }
+    const hw::SystemConfig &system() const { return system_; }
+    const model::ModelConfig &model() const { return model_; }
+
+    /** Replace the option set (e.g. to flip CXL placement). */
+    void setOptions(const CostModelOptions &options);
+
+  private:
+    /** Effective CPU->GPU bandwidth for data sourced from @p tier. */
+    double hostLinkBandwidth(HostTier tier) const;
+
+    /** Host-tier read bandwidth seen by CPU compute. */
+    double cpuTierBandwidth(HostTier tier) const;
+
+    /** PCIe time for @p bytes sourced from @p tier. */
+    double linkTime(double bytes, HostTier tier) const;
+
+    /**
+     * Compute time of a sublayer on @p device, with operand Y read from
+     * @p tier_y when on the CPU, split into @p chunks mini-batches.
+     */
+    double computeTime(Device device, const model::SublayerCosts &costs,
+                       double rows, HostTier tier_y, int chunks) const;
+
+    /** Mini-batch chunk count for the stage/policy under options. */
+    int chunksFor(model::Stage stage, const Policy &policy) const;
+
+    hw::SystemConfig system_;
+    model::ModelConfig model_;
+    CostModelOptions options_;
+};
+
+} // namespace core
+} // namespace lia
+
+#endif // LIA_CORE_COST_MODEL_HH

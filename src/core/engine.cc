@@ -1,0 +1,286 @@
+#include "core/engine.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "model/footprint.hh"
+
+namespace lia {
+namespace core {
+
+using model::Stage;
+using model::Workload;
+
+double
+InferenceEstimate::throughput(const Scenario &scenario) const
+{
+    const double t = latency();
+    LIA_ASSERT(t > 0, "non-positive latency");
+    return static_cast<double>(scenario.batch) *
+           static_cast<double>(scenario.lOut) / t;
+}
+
+EngineModel::EngineModel(const hw::SystemConfig &system,
+                         const model::ModelConfig &model,
+                         EngineConfig config)
+    : system_(system), model_(model), config_(std::move(config))
+{
+    model_.validate();
+}
+
+namespace {
+
+/** Blend two layer timings: f resident, (1-f) streamed. */
+LayerTiming
+blendTimings(const LayerTiming &streamed, const LayerTiming &resident,
+             double f)
+{
+    LayerTiming mix;
+    auto lerp = [f](double s, double r) { return (1.0 - f) * s + f * r; };
+    mix.prefetchPcieTime =
+        lerp(streamed.prefetchPcieTime, resident.prefetchPcieTime);
+    mix.inlinePcieTime =
+        lerp(streamed.inlinePcieTime, resident.inlinePcieTime);
+    mix.cpuTime = lerp(streamed.cpuTime, resident.cpuTime);
+    mix.gpuTime = lerp(streamed.gpuTime, resident.gpuTime);
+    mix.paramPcieBytes =
+        lerp(streamed.paramPcieBytes, resident.paramPcieBytes);
+    mix.kvPcieBytes = lerp(streamed.kvPcieBytes, resident.kvPcieBytes);
+    mix.actPcieBytes =
+        lerp(streamed.actPcieBytes, resident.actPcieBytes);
+    return mix;
+}
+
+MemoryPlacement
+placementFromOptions(const hw::SystemConfig &system,
+                     const model::ModelConfig &config,
+                     const Scenario &scenario,
+                     const CostModelOptions &opts)
+{
+    const auto fp = model::inferenceFootprint(config, scenario.batch,
+                                              scenario.lIn,
+                                              scenario.lOut);
+    MemoryPlacement placement;
+    placement.paramTier = opts.paramTier;
+    placement.kvTier = opts.kvTier;
+    double cxl = 0;
+    double ddr = fp.activationBytes;
+    (opts.paramTier == HostTier::Cxl ? cxl : ddr) += fp.paramBytes;
+    if (opts.paramTier == HostTier::Cxl)
+        placement.paramCxlFraction = 1.0;
+    if (!opts.kvOnGpu)
+        (opts.kvTier == HostTier::Cxl ? cxl : ddr) += fp.kvCacheBytes;
+    placement.ddrBytes = ddr;
+    placement.cxlBytes = cxl;
+    if (ddr > system.cpuMemory.capacity) {
+        placement.feasible = false;
+        placement.note = "DDR capacity exceeded";
+    }
+    if (cxl > system.cxl.totalCapacity()) {
+        placement.feasible = false;
+        placement.note = "CXL capacity exceeded";
+    }
+    return placement;
+}
+
+} // namespace
+
+EngineModel::StageContribution
+EngineModel::stageTime(const CostModel &cm, const Workload &workload,
+                       const ResidencyPlan &residency,
+                       std::optional<Policy> forced) const
+{
+    const bool overlap = cm.options().overlap;
+    const auto layers = model_.numLayers;
+    PolicyOptimizer optimizer(cm);
+
+    auto choose = [&](bool resident) -> PolicyChoice {
+        if (config_.cpuOnly) {
+            const Policy p = Policy::fullCpu();
+            return {p, cm.layerTiming(workload, p, resident)};
+        }
+        if (forced.has_value()) {
+            return {*forced, cm.layerTiming(workload, *forced, resident)};
+        }
+        return optimizer.optimize(workload, resident);
+    };
+
+    // Overlap works at *stage* granularity: parameter prefetch for
+    // streamed layers proceeds whenever the link is free, including
+    // while GPU-resident layers compute (LIA interleaves resident and
+    // streamed layers for exactly this reason). The stage time is the
+    // bottleneck of total link occupancy vs. the total dependency
+    // chain; serial execution is the plain component sum.
+    struct StageTotals
+    {
+        double link = 0;
+        double chain = 0;
+        double serial = 0;
+        Breakdown breakdown;
+        double pcieBytes = 0;
+
+        void
+        add(const LayerTiming &t, double layer_count)
+        {
+            link += layer_count *
+                    (t.prefetchPcieTime + t.inlinePcieTime);
+            chain += layer_count *
+                     (t.inlinePcieTime + t.cpuTime + t.gpuTime);
+            serial += layer_count * t.serialTime();
+            breakdown.cpuTime += layer_count * t.cpuTime;
+            breakdown.gpuTime += layer_count * t.gpuTime;
+            breakdown.comTime +=
+                layer_count * (t.prefetchPcieTime + t.inlinePcieTime);
+            pcieBytes += layer_count * t.pcieBytes();
+        }
+
+        double
+        time(bool overlapped) const
+        {
+            return overlapped ? std::max(link, chain) : serial;
+        }
+    };
+
+    const PolicyChoice resident_choice = choose(true);
+    const int resident_layers =
+        config_.cacheGranularity == CacheGranularity::WholeLayer
+            ? std::min<int>(residency.residentLayers,
+                            static_cast<int>(layers))
+            : 0;
+
+    auto evaluate = [&](const PolicyChoice &streamed) {
+        StageTotals totals;
+        if (config_.cacheGranularity == CacheGranularity::WholeLayer) {
+            if (resident_layers > 0)
+                totals.add(resident_choice.timing, resident_layers);
+            totals.add(streamed.timing, layers - resident_layers);
+        } else {
+            // FlexGen-style uniform caching: every layer keeps
+            // fraction f of its parameters in GPU memory.
+            const double f = residency.uniformCachedFraction;
+            const auto resident_timing = cm.layerTiming(
+                workload, streamed.policy, true);
+            const auto mix =
+                blendTimings(streamed.timing, resident_timing, f);
+            totals.add(mix, static_cast<double>(layers));
+        }
+        return totals;
+    };
+
+    PolicyChoice best_streamed = choose(false);
+    StageTotals best_totals = evaluate(best_streamed);
+
+    // Stage-level arbitration of the streamed-layer policy: resident
+    // layers donate link slack, which can flip the best choice toward
+    // a prefetch-heavy policy that per-layer reasoning rejects.
+    if (cm.options().executionAwareObjective && overlap &&
+        !config_.cpuOnly && !forced.has_value()) {
+        for (const Policy p :
+             {Policy::fullCpu(), Policy::attentionOnCpu(),
+              Policy::fullGpu()}) {
+            PolicyChoice candidate{p,
+                                   cm.layerTiming(workload, p, false)};
+            const StageTotals totals = evaluate(candidate);
+            if (totals.time(true) < best_totals.time(true)) {
+                best_totals = totals;
+                best_streamed = candidate;
+            }
+        }
+    }
+
+    StageContribution out;
+    out.streamedPolicy = best_streamed.policy;
+    out.residentPolicy = resident_layers > 0 ? resident_choice.policy
+                                             : best_streamed.policy;
+    out.time = best_totals.time(overlap);
+    out.breakdown = best_totals.breakdown;
+    out.pcieBytes = best_totals.pcieBytes;
+    return out;
+}
+
+InferenceEstimate
+EngineModel::estimate(const Scenario &scenario) const
+{
+    LIA_ASSERT(scenario.batch >= 1, "batch must be >= 1");
+    LIA_ASSERT(scenario.lIn >= 1 && scenario.lOut >= 1,
+               "sequence lengths must be >= 1");
+    LIA_ASSERT(scenario.lIn + scenario.lOut <= model_.maxSeqLen,
+               model_.name, ": context ", scenario.lIn + scenario.lOut,
+               " exceeds model maximum ", model_.maxSeqLen);
+
+    InferenceEstimate est;
+    CostModelOptions opts = config_.costOptions;
+
+    // --- Memory-offloading policy (§6) -------------------------------
+    if (config_.autoMemoryPolicy && system_.cxl.present() &&
+        !config_.cpuOnly) {
+        // Probe the decode policy with DDR-resident data first.
+        CostModel probe_cm(system_, model_, opts);
+        Workload probe{Stage::Decode, scenario.batch,
+                       scenario.lIn + scenario.lOut / 2};
+        Policy probe_policy = config_.forcedDecodePolicy.value_or(
+            PolicyOptimizer(probe_cm).optimize(probe).policy);
+        est.placement = planMemoryPlacement(system_, model_,
+                                            scenario.batch, scenario.lIn,
+                                            scenario.lOut, probe_policy);
+        opts = applyPlacement(opts, est.placement);
+    } else {
+        est.placement =
+            placementFromOptions(system_, model_, scenario, opts);
+    }
+    if (!est.placement.feasible) {
+        est.feasible = false;
+        est.note = est.placement.note;
+    }
+
+    const CostModel cm(system_, model_, opts);
+
+    // --- Optimization-1 residency planning ---------------------------
+    est.residency = ResidencyPlan{};
+    est.residency.perLayerBytes = model_.decoderLayerParamBytes();
+    if (!config_.cpuOnly && config_.enableResidency) {
+        est.residency = planResidency(
+            system_, model_, scenario.batch, scenario.lIn, opts.kvOnGpu,
+            scenario.lIn + scenario.lOut, config_.cacheGranularity);
+    }
+    if (opts.kvOnGpu &&
+        est.residency.reservedBytes > system_.gpu.memoryCapacity) {
+        est.feasible = false;
+        est.note = "GPU memory capacity exceeded (CUDA OOM)";
+    }
+
+    // --- Prefill stage ------------------------------------------------
+    {
+        Workload prefill{Stage::Prefill, scenario.batch, scenario.lIn};
+        const auto c = stageTime(cm, prefill, est.residency,
+                                 config_.forcedPrefillPolicy);
+        est.prefillTime = c.time;
+        est.prefillPolicy = c.streamedPolicy;
+        est.residentPrefillPolicy = c.residentPolicy;
+        est.breakdown.cpuTime += c.breakdown.cpuTime;
+        est.breakdown.gpuTime += c.breakdown.gpuTime;
+        est.breakdown.comTime += c.breakdown.comTime;
+        est.pcieBytes += c.pcieBytes;
+    }
+
+    // --- Decode stage: one step per generated token -------------------
+    for (std::int64_t t = 0; t < scenario.lOut; ++t) {
+        Workload decode{Stage::Decode, scenario.batch, scenario.lIn + t};
+        const auto c = stageTime(cm, decode, est.residency,
+                                 config_.forcedDecodePolicy);
+        est.decodeTime += c.time;
+        if (t == 0) {
+            est.decodePolicy = c.streamedPolicy;
+            est.residentDecodePolicy = c.residentPolicy;
+        }
+        est.breakdown.cpuTime += c.breakdown.cpuTime;
+        est.breakdown.gpuTime += c.breakdown.gpuTime;
+        est.breakdown.comTime += c.breakdown.comTime;
+        est.pcieBytes += c.pcieBytes;
+    }
+
+    return est;
+}
+
+} // namespace core
+} // namespace lia

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * End-to-end inference estimator — LIA's algorithm front-end (§5, §7).
+ *
+ * Combines the analytical cost model, the exhaustive policy optimizer,
+ * the Optimization-1 residency planner, and the §6 memory-offloading
+ * policy into a single façade that mirrors the paper's latency model:
+ * per-stage decoder-layer latency summed over layers, prefill plus
+ * every decode step (with the KV context growing per token).
+ *
+ * The same engine, with different EngineConfig presets, models LIA and
+ * the baselines (IPEX, FlexGen, naive data offloading) — isolating the
+ * policy differences exactly as the paper's comparison does.
+ */
+
+#ifndef LIA_CORE_ENGINE_HH
+#define LIA_CORE_ENGINE_HH
+
+#include <optional>
+#include <string>
+
+#include "core/cost_model.hh"
+#include "core/memory_policy.hh"
+#include "core/optimizer.hh"
+#include "core/residency.hh"
+
+namespace lia {
+namespace core {
+
+/** One inference operating point. */
+struct Scenario
+{
+    std::int64_t batch = 1;   //!< B
+    std::int64_t lIn = 512;   //!< input token length
+    std::int64_t lOut = 32;   //!< output token length
+};
+
+/** Engine behaviour preset. */
+struct EngineConfig
+{
+    CostModelOptions costOptions;
+
+    /** Solve Eq. (1) per stage; otherwise use the forced policies. */
+    bool optimizePolicies = true;
+    std::optional<Policy> forcedPrefillPolicy;
+    std::optional<Policy> forcedDecodePolicy;
+
+    /** Optimization-1 (GPU parameter caching). */
+    bool enableResidency = true;
+    CacheGranularity cacheGranularity = CacheGranularity::WholeLayer;
+
+    /** CPU-only execution (the IPEX baseline). */
+    bool cpuOnly = false;
+
+    /** Apply the §6 CXL memory-offloading policy automatically
+     *  (a no-op on systems without a CXL pool). */
+    bool autoMemoryPolicy = true;
+};
+
+/** Unoverlapped component totals (Table 5's breakdown). */
+struct Breakdown
+{
+    double cpuTime = 0;  //!< CPU compute seconds
+    double gpuTime = 0;  //!< GPU compute seconds
+    double comTime = 0;  //!< CPU-GPU communication seconds
+};
+
+/** Result of estimating one scenario. */
+struct InferenceEstimate
+{
+    bool feasible = true;   //!< memory capacities respected
+    std::string note;       //!< OOM reason or memory-policy remark
+
+    double prefillTime = 0;  //!< seconds
+    double decodeTime = 0;   //!< seconds across all generated tokens
+
+    Policy prefillPolicy;    //!< streamed-layer prefill policy
+    Policy decodePolicy;     //!< streamed-layer decode policy (1st step)
+    Policy residentPrefillPolicy;  //!< policy of GPU-resident layers
+    Policy residentDecodePolicy;
+
+    ResidencyPlan residency;
+    MemoryPlacement placement;
+    Breakdown breakdown;
+    double pcieBytes = 0;    //!< total CPU-GPU traffic
+
+    /** End-to-end seconds per query. */
+    double latency() const { return prefillTime + decodeTime; }
+
+    /** Generated tokens per second for the scenario. */
+    double throughput(const Scenario &scenario) const;
+};
+
+/** LIA's end-to-end analytical engine. */
+class EngineModel
+{
+  public:
+    EngineModel(const hw::SystemConfig &system,
+                const model::ModelConfig &model,
+                EngineConfig config = {});
+
+    /** Estimate the full run for @p scenario. */
+    InferenceEstimate estimate(const Scenario &scenario) const;
+
+    const hw::SystemConfig &system() const { return system_; }
+    const model::ModelConfig &model() const { return model_; }
+    const EngineConfig &config() const { return config_; }
+
+  private:
+    /** Per-layer time for one workload given residency interpolation. */
+    struct StageContribution
+    {
+        double time = 0;
+        Policy streamedPolicy;
+        Policy residentPolicy;
+        Breakdown breakdown;
+        double pcieBytes = 0;
+    };
+
+    StageContribution stageTime(const CostModel &cm,
+                                const model::Workload &workload,
+                                const ResidencyPlan &residency,
+                                std::optional<Policy> forced) const;
+
+    hw::SystemConfig system_;
+    model::ModelConfig model_;
+    EngineConfig config_;
+};
+
+} // namespace core
+} // namespace lia
+
+#endif // LIA_CORE_ENGINE_HH

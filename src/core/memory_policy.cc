@@ -1,0 +1,105 @@
+#include "core/memory_policy.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "model/footprint.hh"
+#include "model/sublayer.hh"
+
+namespace lia {
+namespace core {
+
+double
+MemoryPlacement::offloadedFraction() const
+{
+    const double total = ddrBytes + cxlBytes;
+    return total > 0 ? cxlBytes / total : 0.0;
+}
+
+namespace {
+
+/** Whether every parameter-dependent sublayer runs on the GPU. */
+bool
+paramSublayersOnGpu(const Policy &policy)
+{
+    for (auto sub : model::allSublayers()) {
+        if (model::isParamSublayer(sub) &&
+            policy.device(sub) == Device::Cpu) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+MemoryPlacement
+planMemoryPlacement(const hw::SystemConfig &system,
+                    const model::ModelConfig &config, std::int64_t batch,
+                    std::int64_t l_in, std::int64_t l_out,
+                    const Policy &decode_policy)
+{
+    const auto fp = model::inferenceFootprint(config, batch, l_in, l_out);
+
+    MemoryPlacement placement;
+    placement.ddrBytes = fp.total();
+
+    if (!system.cxl.present()) {
+        placement.note = "no CXL pool configured";
+    } else if (!paramSublayersOnGpu(decode_policy)) {
+        // Observation-2: CPU-computed parameter sublayers would read
+        // weights at pool bandwidth; keep them in DDR.
+        placement.note = "CPU computes parameter sublayers; params "
+                         "stay in DDR";
+    } else {
+        const double cxl_cap = system.cxl.totalCapacity();
+        const double offload = std::min(fp.paramBytes, cxl_cap);
+        placement.paramTier = HostTier::Cxl;
+        placement.paramCxlFraction =
+            fp.paramBytes > 0 ? offload / fp.paramBytes : 0.0;
+        placement.cxlBytes = offload;
+        placement.ddrBytes = fp.total() - offload;
+    }
+
+    if (placement.ddrBytes > system.cpuMemory.capacity) {
+        placement.feasible = false;
+        placement.note = "DDR capacity exceeded";
+    }
+    if (placement.cxlBytes > system.cxl.totalCapacity()) {
+        placement.feasible = false;
+        placement.note = "CXL capacity exceeded";
+    }
+    return placement;
+}
+
+MemoryPlacement
+obliviousCxlPlacement(const hw::SystemConfig &system,
+                      const model::ModelConfig &config, std::int64_t batch,
+                      std::int64_t l_in, std::int64_t l_out)
+{
+    LIA_ASSERT(system.cxl.present(), system.name, ": no CXL pool");
+    const auto fp = model::inferenceFootprint(config, batch, l_in, l_out);
+
+    MemoryPlacement placement;
+    placement.paramTier = HostTier::Cxl;
+    placement.kvTier = HostTier::Cxl;
+    placement.paramCxlFraction = 1.0;
+    placement.cxlBytes = fp.paramBytes + fp.kvCacheBytes;
+    placement.ddrBytes = fp.activationBytes;
+    if (placement.cxlBytes > system.cxl.totalCapacity()) {
+        placement.feasible = false;
+        placement.note = "CXL capacity exceeded";
+    }
+    return placement;
+}
+
+CostModelOptions
+applyPlacement(CostModelOptions options, const MemoryPlacement &placement)
+{
+    options.paramTier = placement.paramTier;
+    options.kvTier = placement.kvTier;
+    return options;
+}
+
+} // namespace core
+} // namespace lia

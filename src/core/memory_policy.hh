@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CXL memory-offloading policy (§6).
+ *
+ * For throughput-driven (large-B) inference, parameters move to the
+ * interleaved CXL pool — the CPU-GPU link stays the bottleneck, so GPU
+ * transfer speed is unchanged (Observation-1) — while the KV cache stays
+ * in DDR so CPU-computed attention keeps full memory bandwidth
+ * (Observation-2). The planner checks capacities and reports how much
+ * DDR the placement frees.
+ */
+
+#ifndef LIA_CORE_MEMORY_POLICY_HH
+#define LIA_CORE_MEMORY_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/cost_model.hh"
+#include "core/policy.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace lia {
+namespace core {
+
+/** Host-side placement decision for one inference run. */
+struct MemoryPlacement
+{
+    HostTier paramTier = HostTier::Ddr;
+    HostTier kvTier = HostTier::Ddr;
+
+    /** Fraction of parameter bytes actually placed in CXL. */
+    double paramCxlFraction = 0;
+
+    double ddrBytes = 0;   //!< bytes demanded from the DDR tier
+    double cxlBytes = 0;   //!< bytes demanded from the CXL pool
+
+    bool feasible = true;      //!< all tiers within capacity
+    std::string note;          //!< reason when infeasible / fallback
+
+    /** Fraction of total inference data offloaded out of DDR. */
+    double offloadedFraction() const;
+};
+
+/**
+ * Plan data placement for an inference run.
+ *
+ * Parameters go to CXL only when (a) a CXL pool exists and (b) the
+ * decode-stage policy keeps all parameter-dependent sublayers on the
+ * GPU — otherwise CPU compute would read weights through the slow pool
+ * (Observation-2), so the planner falls back to DDR.
+ */
+MemoryPlacement planMemoryPlacement(const hw::SystemConfig &system,
+                                    const model::ModelConfig &config,
+                                    std::int64_t batch,
+                                    std::int64_t l_in, std::int64_t l_out,
+                                    const Policy &decode_policy);
+
+/**
+ * The oblivious placement the paper warns against: everything in CXL.
+ * Used by the Fig. 8(b)/Observation-2 experiments.
+ */
+MemoryPlacement obliviousCxlPlacement(const hw::SystemConfig &system,
+                                      const model::ModelConfig &config,
+                                      std::int64_t batch,
+                                      std::int64_t l_in,
+                                      std::int64_t l_out);
+
+/** Apply a placement to cost-model options. */
+CostModelOptions applyPlacement(CostModelOptions options,
+                                const MemoryPlacement &placement);
+
+} // namespace core
+} // namespace lia
+
+#endif // LIA_CORE_MEMORY_POLICY_HH

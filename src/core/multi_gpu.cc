@@ -1,0 +1,96 @@
+#include "core/multi_gpu.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace lia {
+namespace core {
+
+MultiGpuLiaModel::MultiGpuLiaModel(const hw::SystemConfig &base,
+                                   const model::ModelConfig &model,
+                                   int gpu_count,
+                                   const hw::Link &fabric)
+    : pooled_(base), model_(model), gpuCount_(gpu_count),
+      fabric_(fabric)
+{
+    LIA_ASSERT(gpu_count >= 1, "need at least one GPU");
+    model_.validate();
+    const double n = static_cast<double>(gpu_count);
+    pooled_.name = base.name + "-TPx" + std::to_string(gpu_count);
+    pooled_.gpu.peakMatmulThroughput *= n;
+    pooled_.gpu.memoryBandwidth *= n;
+    pooled_.gpu.memoryCapacity *= n;
+    // Each GPU rides its own host-link lanes; parameters shard, so
+    // the aggregate streaming bandwidth scales too (§8).
+    pooled_.hostLink.bandwidth *= n;
+    pooled_.systemCost +=
+        (n - 1.0) * 0.35 * base.systemCost;  // extra cards
+}
+
+double
+MultiGpuLiaModel::allReduceTime(double bytes) const
+{
+    if (gpuCount_ == 1)
+        return 0.0;
+    const double n = static_cast<double>(gpuCount_);
+    const double steps = 2.0 * (n - 1.0);
+    return steps * fabric_.latency +
+           steps * (bytes / n) / fabric_.bandwidth;
+}
+
+double
+MultiGpuLiaModel::layerCommTime(const model::Workload &workload,
+                                const Policy &policy) const
+{
+    if (gpuCount_ == 1)
+        return 0.0;
+    const double rows = static_cast<double>(workload.batch) *
+                        static_cast<double>(workload.tokens());
+    const double hidden_bytes =
+        units::bytesPerElement * rows *
+        static_cast<double>(model_.dModel);
+    double comm = 0;
+    // Megatron-style TP: a row-parallel matmul's output must be
+    // all-reduced — after the attention output projection and after
+    // FC2, whenever those sublayers run on the GPUs.
+    if (policy.device(model::Sublayer::OutProjection) == Device::Gpu)
+        comm += allReduceTime(hidden_bytes);
+    if (policy.device(model::Sublayer::Fc2) == Device::Gpu)
+        comm += allReduceTime(hidden_bytes);
+    return comm;
+}
+
+InferenceEstimate
+MultiGpuLiaModel::estimate(const Scenario &scenario) const
+{
+    EngineConfig cfg;
+    cfg.costOptions.executionAwareObjective = true;
+    cfg.autoMemoryPolicy = pooled_.cxl.present();
+    EngineModel engine(pooled_, model_, cfg);
+    InferenceEstimate est = engine.estimate(scenario);
+
+    const double layers = static_cast<double>(model_.numLayers);
+
+    // Prefill all-reduces: once per layer.
+    model::Workload prefill{model::Stage::Prefill, scenario.batch,
+                            scenario.lIn};
+    const double prefill_comm =
+        layers * layerCommTime(prefill, est.prefillPolicy);
+    est.prefillTime += prefill_comm;
+
+    // Decode all-reduces: once per layer per generated token.
+    double decode_comm = 0;
+    for (std::int64_t t = 0; t < scenario.lOut; ++t) {
+        model::Workload decode{model::Stage::Decode, scenario.batch,
+                               scenario.lIn + t};
+        decode_comm += layers * layerCommTime(decode, est.decodePolicy);
+    }
+    est.decodeTime += decode_comm;
+    est.breakdown.comTime += prefill_comm + decode_comm;
+    return est;
+}
+
+} // namespace core
+} // namespace lia

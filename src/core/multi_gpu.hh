@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Multi-GPU LIA extension (§8 "Scaling to multi-GPU").
+ *
+ * The paper sketches the extension: when LIA directs a sublayer to
+ * the GPU, Tensor Parallelism distributes it across the GPUs; GPU
+ * compute throughput and aggregate CPU-GPU bandwidth scale with the
+ * GPU count, while inter-GPU all-reduces add communication that can
+ * erode the scaling — especially over PCIe fabrics.
+ *
+ * The model: the GPU side is pooled (n x compute, HBM bandwidth and
+ * capacity, host-link lanes), Eq. (1) optimizes policies against the
+ * pooled platform, and every decoder layer whose output-projection or
+ * FC2 runs on the GPUs pays a ring all-reduce of the hidden state.
+ */
+
+#ifndef LIA_CORE_MULTI_GPU_HH
+#define LIA_CORE_MULTI_GPU_HH
+
+#include "core/engine.hh"
+
+namespace lia {
+namespace core {
+
+/** LIA deployed across several tensor-parallel GPUs. */
+class MultiGpuLiaModel
+{
+  public:
+    /**
+     * @param base       single-GPU platform to replicate the GPU of
+     * @param gpu_count  tensor-parallel width (>= 1)
+     * @param fabric     inter-GPU link (ignored when gpu_count == 1)
+     */
+    MultiGpuLiaModel(const hw::SystemConfig &base,
+                     const model::ModelConfig &model, int gpu_count,
+                     const hw::Link &fabric);
+
+    /** Estimate with TP compute and all-reduce overhead included. */
+    InferenceEstimate estimate(const Scenario &scenario) const;
+
+    /** The pooled platform the policies are optimized against. */
+    const hw::SystemConfig &pooledSystem() const { return pooled_; }
+
+  private:
+    /** Ring all-reduce seconds for @p bytes of payload. */
+    double allReduceTime(double bytes) const;
+
+    /** Per-layer all-reduce seconds for one workload and policy. */
+    double layerCommTime(const model::Workload &workload,
+                         const Policy &policy) const;
+
+    hw::SystemConfig pooled_;
+    model::ModelConfig model_;
+    int gpuCount_;
+    hw::Link fabric_;
+};
+
+} // namespace core
+} // namespace lia
+
+#endif // LIA_CORE_MULTI_GPU_HH

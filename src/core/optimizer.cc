@@ -1,0 +1,105 @@
+#include "core/optimizer.hh"
+
+#include <algorithm>
+#include <array>
+
+namespace lia {
+namespace core {
+
+PolicyOptimizer::PolicyOptimizer(const CostModel &cost_model)
+    : costModel_(cost_model)
+{
+}
+
+namespace {
+
+/**
+ * Policy visit order: the three primary policies of §7.1 first, so a
+ * strict less-than comparison keeps them on exact ties against exotic
+ * mixtures that the serial objective cannot distinguish.
+ */
+std::array<unsigned, Policy::kCount>
+visitOrder()
+{
+    std::array<unsigned, Policy::kCount> order{};
+    std::size_t n = 0;
+    const unsigned preferred[] = {Policy::fullCpu().mask(),
+                                  Policy::attentionOnCpu().mask(),
+                                  Policy::fullGpu().mask()};
+    for (unsigned m : preferred)
+        order[n++] = m;
+    for (unsigned m = 0; m < Policy::kCount; ++m) {
+        bool is_preferred = false;
+        for (unsigned p : preferred)
+            is_preferred |= (m == p);
+        if (!is_preferred)
+            order[n++] = m;
+    }
+    return order;
+}
+
+} // namespace
+
+PolicyChoice
+PolicyOptimizer::optimize(const model::Workload &workload,
+                          bool gpu_resident) const
+{
+    // The Eq. (2) objective is the *serial* per-layer latency: the
+    // paper's front-end picks the policy on the unoverlapped sum, then
+    // the back-end overlaps transfers at execution time (§5.2).
+    PolicyChoice best;
+    double best_time = -1.0;
+    for (unsigned mask : visitOrder()) {
+        const Policy p = Policy::fromMask(mask);
+        const auto timing =
+            costModel_.layerTiming(workload, p, gpu_resident);
+        const double t = timing.serialTime();
+        if (best_time < 0.0 || t < best_time) {
+            best_time = t;
+            best = {p, timing};
+        }
+    }
+
+    // Optional extension: arbitrate the serial winner against the
+    // three primary §7.1 policies under the *execution* (overlap-
+    // aware) semantics — the serial objective occasionally
+    // undervalues a policy whose parameter stream hides fully behind
+    // compute (see CostModelOptions::executionAwareObjective).
+    if (costModel_.options().executionAwareObjective &&
+        costModel_.options().overlap) {
+        double best_exec = best.timing.overlappedTime();
+        for (const Policy p :
+             {Policy::fullCpu(), Policy::attentionOnCpu(),
+              Policy::fullGpu()}) {
+            const auto timing =
+                costModel_.layerTiming(workload, p, gpu_resident);
+            if (timing.overlappedTime() < best_exec) {
+                best_exec = timing.overlappedTime();
+                best = {p, timing};
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<PolicyChoice>
+PolicyOptimizer::rank(const model::Workload &workload,
+                      bool gpu_resident) const
+{
+    std::vector<PolicyChoice> choices;
+    choices.reserve(Policy::kCount);
+    for (unsigned mask : visitOrder()) {
+        const Policy p = Policy::fromMask(mask);
+        choices.push_back(
+            {p, costModel_.layerTiming(workload, p, gpu_resident)});
+    }
+    std::stable_sort(choices.begin(), choices.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.timing.serialTime() <
+                                b.timing.serialTime();
+                     });
+    return choices;
+}
+
+} // namespace core
+} // namespace lia

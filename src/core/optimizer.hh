@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Exhaustive compute-offloading policy optimizer (§5.1, Eq. 1).
+ *
+ * The policy space is tiny (2^6 assignments per stage), so LIA's
+ * front-end solves Eq. (1) exactly: evaluate the per-layer latency of
+ * every policy under the analytical cost model and keep the argmin.
+ */
+
+#ifndef LIA_CORE_OPTIMIZER_HH
+#define LIA_CORE_OPTIMIZER_HH
+
+#include <vector>
+
+#include "core/cost_model.hh"
+
+namespace lia {
+namespace core {
+
+/** A policy with its evaluated per-layer timing. */
+struct PolicyChoice
+{
+    Policy policy;
+    LayerTiming timing;
+
+    /** Layer latency under the cost model's overlap setting. */
+    double time(bool overlap) const { return timing.time(overlap); }
+};
+
+/** Exhaustive Eq.-(1) solver over the 64 policies. */
+class PolicyOptimizer
+{
+  public:
+    explicit PolicyOptimizer(const CostModel &cost_model);
+
+    /** Optimal policy for the workload (Eq. 1). */
+    PolicyChoice optimize(const model::Workload &workload,
+                          bool gpu_resident = false) const;
+
+    /** All 64 policies sorted by ascending layer latency. */
+    std::vector<PolicyChoice> rank(const model::Workload &workload,
+                                   bool gpu_resident = false) const;
+
+  private:
+    const CostModel &costModel_;
+};
+
+} // namespace core
+} // namespace lia
+
+#endif // LIA_CORE_OPTIMIZER_HH

@@ -1,0 +1,99 @@
+#include "core/policy.hh"
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace core {
+
+const char *
+toString(Device device)
+{
+    return device == Device::Cpu ? "CPU" : "GPU";
+}
+
+Policy::Policy(const std::array<int, model::kNumSublayers> &bits)
+{
+    for (int i = 0; i < model::kNumSublayers; ++i) {
+        LIA_ASSERT(bits[i] == 0 || bits[i] == 1, "policy bits are 0/1");
+        if (bits[i])
+            mask_ |= 1u << i;
+    }
+}
+
+Policy
+Policy::fromMask(unsigned mask)
+{
+    LIA_ASSERT(mask < kCount, "policy mask out of range: ", mask);
+    Policy p;
+    p.mask_ = mask;
+    return p;
+}
+
+Device
+Policy::device(int index) const
+{
+    LIA_ASSERT(index >= 0 && index < model::kNumSublayers,
+               "sublayer index out of range: ", index);
+    return (mask_ >> index) & 1u ? Device::Cpu : Device::Gpu;
+}
+
+Device
+Policy::device(model::Sublayer sublayer) const
+{
+    return device(static_cast<int>(sublayer));
+}
+
+void
+Policy::setDevice(int index, Device device)
+{
+    LIA_ASSERT(index >= 0 && index < model::kNumSublayers,
+               "sublayer index out of range: ", index);
+    if (device == Device::Cpu)
+        mask_ |= 1u << index;
+    else
+        mask_ &= ~(1u << index);
+}
+
+int
+Policy::cpuCount() const
+{
+    int count = 0;
+    for (int i = 0; i < model::kNumSublayers; ++i)
+        count += onCpu(i) ? 1 : 0;
+    return count;
+}
+
+std::string
+Policy::toString() const
+{
+    std::string out = "(";
+    for (int i = 0; i < model::kNumSublayers; ++i) {
+        out += onCpu(i) ? '1' : '0';
+        if (i + 1 < model::kNumSublayers)
+            out += ',';
+    }
+    out += ')';
+    return out;
+}
+
+Policy
+Policy::fullGpu()
+{
+    return Policy::fromMask(0b000000);
+}
+
+Policy
+Policy::fullCpu()
+{
+    return Policy::fromMask(0b111111);
+}
+
+Policy
+Policy::attentionOnCpu()
+{
+    // Sublayers 2 and 3 (0-based indices 1 and 2) on the CPU.
+    return Policy::fromMask(0b000110);
+}
+
+} // namespace core
+} // namespace lia

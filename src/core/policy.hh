@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Compute-offloading policy vectors (§5.1).
+ *
+ * A policy assigns each of the six decoder sublayers to the CPU or the
+ * GPU. We follow the paper text's convention: p_i = 1 means sublayer i
+ * is computed on the CPU, p_i = 0 on the GPU. (The printed equations use
+ * the inverted convention; see DESIGN.md §4.)
+ */
+
+#ifndef LIA_CORE_POLICY_HH
+#define LIA_CORE_POLICY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "model/sublayer.hh"
+
+namespace lia {
+namespace core {
+
+/** Where a sublayer executes. */
+enum class Device { Gpu = 0, Cpu = 1 };
+
+const char *toString(Device device);
+
+/** Offloading policy vector p = (p_1 ... p_6). */
+class Policy
+{
+  public:
+    /** All-GPU policy (0,0,0,0,0,0). */
+    Policy() = default;
+
+    /** Construct from six 0/1 flags, p_i = 1 meaning CPU. */
+    explicit Policy(const std::array<int, model::kNumSublayers> &bits);
+
+    /** Construct from a 6-bit mask; bit i is sublayer i's flag. */
+    static Policy fromMask(unsigned mask);
+
+    /** Device of sublayer @p index (0-based). */
+    Device device(int index) const;
+    Device device(model::Sublayer sublayer) const;
+
+    /** Set sublayer @p index to @p device. */
+    void setDevice(int index, Device device);
+
+    /** Whether the sublayer runs on the CPU (p_i == 1). */
+    bool onCpu(int index) const { return device(index) == Device::Cpu; }
+
+    /** 6-bit mask form; bit i set means sublayer i on CPU. */
+    unsigned mask() const { return mask_; }
+
+    /** Number of CPU-assigned sublayers. */
+    int cpuCount() const;
+
+    /** Render as "(p1,p2,p3,p4,p5,p6)". */
+    std::string toString() const;
+
+    bool operator==(const Policy &other) const = default;
+
+    // --- The three primary policies identified in §7.1 ---
+
+    /** Full GPU compute: p = (0,0,0,0,0,0). */
+    static Policy fullGpu();
+
+    /** Full CPU offloading: p = (1,1,1,1,1,1). */
+    static Policy fullCpu();
+
+    /** Partial CPU offloading (attention on CPU): p = (0,1,1,0,0,0). */
+    static Policy attentionOnCpu();
+
+    /** Number of distinct policies (2^6). */
+    static constexpr unsigned kCount = 64;
+
+  private:
+    unsigned mask_ = 0;
+};
+
+} // namespace core
+} // namespace lia
+
+#endif // LIA_CORE_POLICY_HH

@@ -1,0 +1,72 @@
+#include "core/residency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "model/footprint.hh"
+
+namespace lia {
+namespace core {
+
+double
+ResidencyPlan::residentFraction(std::int64_t total_layers) const
+{
+    LIA_ASSERT(total_layers > 0, "no layers");
+    return static_cast<double>(residentLayers) /
+           static_cast<double>(total_layers);
+}
+
+ResidencyPlan
+planResidency(const hw::SystemConfig &system,
+              const model::ModelConfig &config, std::int64_t batch,
+              std::int64_t prompt_len, bool kv_on_gpu,
+              std::int64_t max_context, CacheGranularity granularity)
+{
+    LIA_ASSERT(batch > 0 && prompt_len > 0 && max_context >= prompt_len,
+               "bad residency request");
+
+    ResidencyPlan plan;
+    plan.perLayerBytes = config.decoderLayerParamBytes();
+
+    // Working set that must stay free: double-buffered streaming slots
+    // for one in-flight layer, the activation working set of the
+    // prefill batch, and optionally the full KV cache.
+    double reserve = 2.0 * plan.perLayerBytes +
+                     model::activationBytes(config, batch, prompt_len);
+    if (kv_on_gpu)
+        reserve += model::kvCacheBytes(config, batch, max_context);
+    plan.reservedBytes = reserve;
+
+    const double capacity = system.gpu.memoryCapacity;
+    const double spare = capacity - reserve;
+    if (spare <= 0)
+        return plan;  // nothing fits; streaming only
+
+    if (granularity == CacheGranularity::WholeLayer) {
+        const auto layers = static_cast<std::int64_t>(
+            spare / plan.perLayerBytes);
+        plan.residentLayers = static_cast<int>(
+            std::min<std::int64_t>(layers, config.numLayers));
+        plan.gpuBytesUsed = plan.residentLayers * plan.perLayerBytes;
+    } else {
+        // FlexGen slices parameters into d_model^2-sized quanta
+        // replicated across all layers (e.g. ~4.7 GB per quantum for
+        // OPT-30B, §5.2); capacity is consumed in those coarse units.
+        const double quantum =
+            units::bytesPerElement *
+            static_cast<double>(config.dModel) *
+            static_cast<double>(config.dModel) *
+            static_cast<double>(config.numLayers);
+        const double quanta = std::floor(spare / quantum);
+        const double total_params =
+            static_cast<double>(config.numLayers) * plan.perLayerBytes;
+        plan.gpuBytesUsed = std::min(quanta * quantum, total_params);
+        plan.uniformCachedFraction = plan.gpuBytesUsed / total_params;
+    }
+    return plan;
+}
+
+} // namespace core
+} // namespace lia

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * GPU-memory residency planning (Optimization-1, §5.2).
+ *
+ * LIA fills otherwise-unused GPU memory with *whole decoder layers*;
+ * resident layers never pay the parameter PCIe transfer. FlexGen instead
+ * caches per-sublayer slices across all layers — a coarser allocation
+ * unit that wastes part of the capacity. Both granularities are
+ * implemented so the Table 4 ablation and the FlexGen baseline share
+ * this planner.
+ */
+
+#ifndef LIA_CORE_RESIDENCY_HH
+#define LIA_CORE_RESIDENCY_HH
+
+#include <cstdint>
+
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace lia {
+namespace core {
+
+/** Allocation unit for cached parameters in GPU memory. */
+enum class CacheGranularity
+{
+    WholeLayer,          //!< LIA: all sublayers of as many layers as fit
+    SublayerAcrossLayers //!< FlexGen: one weight matrix slice x all layers
+};
+
+/** Result of the GPU-memory planning pass. */
+struct ResidencyPlan
+{
+    /** Decoder layers whose parameters fully reside in GPU memory. */
+    int residentLayers = 0;
+
+    /**
+     * Fraction of *every* layer's parameter bytes cached on the GPU.
+     * Zero under WholeLayer granularity; used by the FlexGen model.
+     */
+    double uniformCachedFraction = 0;
+
+    double perLayerBytes = 0;   //!< parameter bytes of one decoder layer
+    double reservedBytes = 0;   //!< working set kept free in GPU memory
+    double gpuBytesUsed = 0;    //!< bytes of parameters actually cached
+
+    /** Fraction of layers resident, for reporting. */
+    double residentFraction(std::int64_t total_layers) const;
+};
+
+/**
+ * Plan parameter residency for an inference run.
+ *
+ * @param system       the platform (GPU memory capacity matters)
+ * @param config       the model
+ * @param batch        batch size B
+ * @param prompt_len   input token length (activation working set)
+ * @param kv_on_gpu    reserve room for the whole KV cache in HBM
+ * @param max_context  final context length (KV reservation size)
+ * @param granularity  allocation unit (LIA vs. FlexGen)
+ */
+ResidencyPlan planResidency(const hw::SystemConfig &system,
+                            const model::ModelConfig &config,
+                            std::int64_t batch, std::int64_t prompt_len,
+                            bool kv_on_gpu, std::int64_t max_context,
+                            CacheGranularity granularity =
+                                CacheGranularity::WholeLayer);
+
+} // namespace core
+} // namespace lia
+
+#endif // LIA_CORE_RESIDENCY_HH

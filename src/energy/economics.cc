@@ -1,0 +1,56 @@
+#include "energy/economics.hh"
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace lia {
+namespace energy {
+
+EconomicsModel::EconomicsModel(EconomicsConfig config) : config_(config)
+{
+    LIA_ASSERT(config_.amortizationYears > 0, "bad amortization period");
+    LIA_ASSERT(config_.electricityPerKwh >= 0, "bad electricity rate");
+}
+
+double
+EconomicsModel::capitalPerHour(const hw::SystemConfig &system) const
+{
+    const double hours = config_.amortizationYears * 365.0 * 24.0;
+    return system.systemCost / hours;
+}
+
+double
+EconomicsModel::electricityPerHour(double average_watts) const
+{
+    LIA_ASSERT(average_watts >= 0, "negative power");
+    return average_watts / 1000.0 * config_.electricityPerKwh;
+}
+
+double
+EconomicsModel::costPerMillionTokens(const hw::SystemConfig &system,
+                                     double tokens_per_second,
+                                     double average_watts) const
+{
+    LIA_ASSERT(tokens_per_second > 0, "non-positive throughput");
+    const double dollars_per_hour =
+        capitalPerHour(system) + electricityPerHour(average_watts);
+    const double tokens_per_hour = tokens_per_second * 3600.0;
+    return dollars_per_hour / tokens_per_hour * 1e6;
+}
+
+double
+EconomicsModel::memorySystemCost(const hw::SystemConfig &system,
+                                 double bytes, double cxl_fraction) const
+{
+    LIA_ASSERT(cxl_fraction >= 0 && cxl_fraction <= 1,
+               "bad CXL fraction");
+    const double gb = bytes / units::GB;
+    const double ddr_rate = system.cpuMemory.costPerGB;
+    const double cxl_rate =
+        system.cxl.present() ? system.cxl.costPerGB : ddr_rate;
+    return gb * ((1.0 - cxl_fraction) * ddr_rate +
+                 cxl_fraction * cxl_rate);
+}
+
+} // namespace energy
+} // namespace lia

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cost-efficiency model (§7.8, §8).
+ *
+ * Amortises the system purchase price over a three-year service life,
+ * adds electricity at the paper's $0.10/kWh rate, and converts a
+ * sustained throughput into dollars per million generated tokens. Also
+ * prices memory systems with and without the CXL blend (§8's
+ * "$6,300 -> $3,200" example).
+ */
+
+#ifndef LIA_ENERGY_ECONOMICS_HH
+#define LIA_ENERGY_ECONOMICS_HH
+
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace lia {
+namespace energy {
+
+/** Economic parameters (defaults follow the paper's footnotes). */
+struct EconomicsConfig
+{
+    double amortizationYears = 3.0;
+    double electricityPerKwh = 0.10;  //!< USD, Louisiana rate
+};
+
+/** Cost model for a system running at a sustained throughput. */
+class EconomicsModel
+{
+  public:
+    explicit EconomicsModel(EconomicsConfig config = {});
+
+    /** Amortised capital cost per hour of operation, USD. */
+    double capitalPerHour(const hw::SystemConfig &system) const;
+
+    /** Electricity cost per hour at @p average_watts, USD. */
+    double electricityPerHour(double average_watts) const;
+
+    /**
+     * USD per million generated tokens at @p tokens_per_second with
+     * @p average_watts wall power.
+     */
+    double costPerMillionTokens(const hw::SystemConfig &system,
+                                double tokens_per_second,
+                                double average_watts) const;
+
+    /**
+     * Price of a host memory system holding @p bytes: DDR-only versus
+     * the DDR+CXL blend that offloads @p cxl_fraction of the bytes.
+     */
+    double memorySystemCost(const hw::SystemConfig &system, double bytes,
+                            double cxl_fraction) const;
+
+  private:
+    EconomicsConfig config_;
+};
+
+} // namespace energy
+} // namespace lia
+
+#endif // LIA_ENERGY_ECONOMICS_HH

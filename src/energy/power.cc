@@ -1,0 +1,60 @@
+#include "energy/power.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace energy {
+
+PowerModel::PowerModel(const hw::SystemConfig &system) : system_(system)
+{
+}
+
+EnergyReport
+PowerModel::energy(const core::InferenceEstimate &estimate) const
+{
+    EnergyReport report;
+    report.wallSeconds = estimate.latency();
+    LIA_ASSERT(report.wallSeconds > 0, "non-positive latency");
+
+    // Idle floors burn for the entire run.
+    const double static_power = system_.staticPower +
+                                system_.cpu.idlePower +
+                                system_.gpu.idlePower *
+                                    static_cast<double>(system_.gpuCount);
+    report.staticJoules = static_power * report.wallSeconds;
+
+    // Dynamic power scales with device busy fraction; busy time beyond
+    // the wall clock (overlapped runs) is clamped at full utilisation.
+    const double cpu_busy =
+        std::min(estimate.breakdown.cpuTime, report.wallSeconds);
+    const double gpu_busy =
+        std::min(estimate.breakdown.gpuTime, report.wallSeconds);
+    report.cpuJoules =
+        (system_.cpu.tdp - system_.cpu.idlePower) * cpu_busy;
+    report.gpuJoules =
+        (system_.gpu.tdp - system_.gpu.idlePower) * gpu_busy *
+        static_cast<double>(std::max(system_.gpuCount, 1));
+    return report;
+}
+
+double
+PowerModel::energyPerToken(const core::InferenceEstimate &estimate,
+                           const core::Scenario &scenario) const
+{
+    const double tokens = static_cast<double>(scenario.batch) *
+                          static_cast<double>(scenario.lOut);
+    LIA_ASSERT(tokens > 0, "no generated tokens");
+    return energy(estimate).totalJoules() / tokens;
+}
+
+double
+PowerModel::averagePower(const core::InferenceEstimate &estimate) const
+{
+    const auto report = energy(estimate);
+    return report.totalJoules() / report.wallSeconds;
+}
+
+} // namespace energy
+} // namespace lia

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Power and energy model (§7.5).
+ *
+ * The paper measures whole-system wall power with ipmitool and converts
+ * it to energy per generated token. We model system power as a static
+ * floor plus per-device dynamic power scaled by utilisation (busy time
+ * over wall time), which reproduces the paper's two observations: LIA
+ * wins on static energy through shorter latency, and wins on dynamic
+ * energy by steering compute-intensive phases to the more efficient
+ * device.
+ */
+
+#ifndef LIA_ENERGY_POWER_HH
+#define LIA_ENERGY_POWER_HH
+
+#include "core/engine.hh"
+#include "hw/system.hh"
+
+namespace lia {
+namespace energy {
+
+/** Energy accounting for one inference estimate. */
+struct EnergyReport
+{
+    double wallSeconds = 0;
+    double staticJoules = 0;
+    double cpuJoules = 0;
+    double gpuJoules = 0;
+
+    double totalJoules() const
+    {
+        return staticJoules + cpuJoules + gpuJoules;
+    }
+};
+
+/** System-level power/energy model. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const hw::SystemConfig &system);
+
+    /** Energy of one estimated run. */
+    EnergyReport energy(const core::InferenceEstimate &estimate) const;
+
+    /** Joules per generated token. */
+    double energyPerToken(const core::InferenceEstimate &estimate,
+                          const core::Scenario &scenario) const;
+
+    /** Average wall power over the run, watts. */
+    double averagePower(const core::InferenceEstimate &estimate) const;
+
+  private:
+    hw::SystemConfig system_;
+};
+
+} // namespace energy
+} // namespace lia
+
+#endif // LIA_ENERGY_POWER_HH

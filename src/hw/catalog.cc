@@ -1,0 +1,322 @@
+#include "hw/catalog.hh"
+
+#include "base/units.hh"
+
+namespace lia {
+namespace hw {
+
+using namespace units;
+
+namespace {
+
+/**
+ * GPU streaming-efficiency curve over bytes touched: batched GEMV
+ * kernels under-fill HBM until transfers are large (§4.2).
+ */
+EfficiencyCurve
+gpuStreamCurve()
+{
+    return EfficiencyCurve({{1.0 * MB, 0.25},
+                            {30.0 * MB, 0.45},
+                            {300.0 * MB, 0.65},
+                            {3.0 * GB, 0.77}});
+}
+
+/** CPUs keep a flat, high streaming efficiency. */
+EfficiencyCurve
+cpuStreamCurve()
+{
+    return EfficiencyCurve(0.77);
+}
+
+} // namespace
+
+ComputeDevice
+avx512Spr()
+{
+    ComputeDevice d;
+    d.name = "AVX512";
+    d.kind = ComputeKind::Cpu;
+    d.peakMatmulThroughput = 11.3 * TFLOPS;
+    d.memoryBandwidth = 260 * GB_s;
+    d.memoryCapacity = 512 * GiB;
+    d.kernelOverhead = 2 * us;
+    // Mature AVX libraries reach a high, nearly flat fraction of peak.
+    d.gemmEfficiency = EfficiencyCurve({{64, 0.30},
+                                        {512, 0.36},
+                                        {4096, 0.39},
+                                        {36864, 0.39}});
+    d.streamEfficiency = cpuStreamCurve();
+    d.tdp = 350;
+    d.idlePower = 90;
+    return d;
+}
+
+ComputeDevice
+amxSpr()
+{
+    ComputeDevice d;
+    d.name = "SPR-AMX";
+    d.kind = ComputeKind::Cpu;
+    // 90.1 TFLOPS theoretical peak (§4.1); measured max ~20 TFLOPS, i.e.
+    // ~22% utilisation with the young AMX software stack.
+    d.peakMatmulThroughput = 90.1 * TFLOPS;
+    d.memoryBandwidth = 260 * GB_s;
+    d.memoryCapacity = 512 * GiB;
+    d.kernelOverhead = 2 * us;
+    // Large LLM-shaped GEMMs approach the footnote-4 "well optimised
+    // shape" regime, so the tail sits above the mid-sweep utilisation.
+    d.gemmEfficiency = EfficiencyCurve({{64, 0.080},
+                                        {512, 0.170},
+                                        {4096, 0.240},
+                                        {36864, 0.260}});
+    d.streamEfficiency = cpuStreamCurve();
+    d.tdp = 350;
+    d.idlePower = 90;
+    return d;
+}
+
+ComputeDevice
+amxGnr()
+{
+    ComputeDevice d;
+    d.name = "GNR-AMX";
+    d.kind = ComputeKind::Cpu;
+    // 128 cores: 3.2x the SPR core count; AMX throughput scales with
+    // cores (§4.1). Measured max ~2.4x SPR => ~48 TFLOPS.
+    d.peakMatmulThroughput = 240 * TFLOPS;
+    // 12 channels of DDR5-5600: ~1.7x SPR's achieved bandwidth (§4.2).
+    d.memoryBandwidth = 442 * GB_s;
+    d.memoryCapacity = 1024 * GiB;
+    d.kernelOverhead = 2 * us;
+    d.gemmEfficiency = EfficiencyCurve({{64, 0.067},
+                                        {512, 0.140},
+                                        {4096, 0.180},
+                                        {36864, 0.190}});
+    d.streamEfficiency = cpuStreamCurve();
+    d.tdp = 500;
+    d.idlePower = 120;
+    return d;
+}
+
+ComputeDevice
+amxGnr2S()
+{
+    ComputeDevice d = amxGnr();
+    d.name = "GNR-AMX-2S";
+    // A second socket adds 1.8x GEMM throughput (§4.1) and doubles the
+    // memory system.
+    d.peakMatmulThroughput *= 1.8;
+    d.memoryBandwidth *= 2.0;
+    d.memoryCapacity *= 2.0;
+    d.tdp *= 2.0;
+    d.idlePower *= 2.0;
+    return d;
+}
+
+ComputeDevice
+graceCpu()
+{
+    ComputeDevice d;
+    d.name = "Grace";
+    d.kind = ComputeKind::Cpu;
+    // SVE2 peak of 6.91 TFLOPS, 30x lower than GNR (§8 footnote).
+    d.peakMatmulThroughput = 6.91 * TFLOPS;
+    d.memoryBandwidth = 450 * GB_s;  // of 512 GB/s LPDDR5X peak
+    d.memoryCapacity = 480 * GiB;
+    d.kernelOverhead = 2 * us;
+    d.gemmEfficiency = EfficiencyCurve({{64, 0.30},
+                                        {512, 0.40},
+                                        {36864, 0.45}});
+    d.streamEfficiency = cpuStreamCurve();
+    d.tdp = 250;
+    d.idlePower = 70;
+    return d;
+}
+
+ComputeDevice
+gpuP100()
+{
+    ComputeDevice d;
+    d.name = "P100";
+    d.kind = ComputeKind::Gpu;
+    d.peakMatmulThroughput = 18.7 * TFLOPS;  // FP16, no tensor cores
+    d.memoryBandwidth = 634 * GB_s;          // achieved, of 732 peak
+    d.memoryCapacity = 16 * GiB;
+    d.kernelOverhead = 10 * us;
+    d.gemmEfficiency = EfficiencyCurve({{64, 0.30},
+                                        {512, 0.40},
+                                        {4096, 0.44},
+                                        {36864, 0.44}});
+    d.streamEfficiency = gpuStreamCurve();
+    d.tdp = 250;
+    d.idlePower = 30;
+    return d;
+}
+
+ComputeDevice
+gpuV100()
+{
+    ComputeDevice d;
+    d.name = "V100";
+    d.kind = ComputeKind::Gpu;
+    d.peakMatmulThroughput = 112 * TFLOPS;  // FP16 tensor cores
+    d.memoryBandwidth = 765 * GB_s;
+    d.memoryCapacity = 32 * GiB;
+    d.kernelOverhead = 10 * us;
+    d.gemmEfficiency = EfficiencyCurve({{64, 0.23},
+                                        {512, 0.45},
+                                        {4096, 0.75},
+                                        {36864, 0.85}});
+    d.streamEfficiency = gpuStreamCurve();
+    d.tdp = 300;
+    d.idlePower = 35;
+    return d;
+}
+
+ComputeDevice
+gpuA100()
+{
+    ComputeDevice d;
+    d.name = "A100";
+    d.kind = ComputeKind::Gpu;
+    d.peakMatmulThroughput = 312 * TFLOPS;  // BF16 tensor cores
+    d.memoryBandwidth = 1300 * GB_s;        // achieved, of 1555 peak
+    d.memoryCapacity = 40 * GiB;
+    d.kernelOverhead = 10 * us;
+    d.gemmEfficiency = EfficiencyCurve({{64, 0.154},
+                                        {512, 0.350},
+                                        {4096, 0.520},
+                                        {36864, 0.583}});
+    d.streamEfficiency = gpuStreamCurve();
+    d.tdp = 300;
+    d.idlePower = 40;
+    return d;
+}
+
+ComputeDevice
+gpuA100Sxm()
+{
+    ComputeDevice d = gpuA100();
+    d.name = "A100-SXM-80GB";
+    d.memoryCapacity = 80 * GiB;
+    d.memoryBandwidth = 1700 * GB_s;  // HBM2e
+    d.tdp = 400;
+    return d;
+}
+
+ComputeDevice
+gpuH100()
+{
+    ComputeDevice d;
+    d.name = "H100";
+    d.kind = ComputeKind::Gpu;
+    d.peakMatmulThroughput = 756 * TFLOPS;  // BF16, PCIe variant
+    d.memoryBandwidth = 1733 * GB_s;        // achieved HBM3
+    d.memoryCapacity = 80 * GiB;
+    d.kernelOverhead = 10 * us;
+    d.gemmEfficiency = EfficiencyCurve({{64, 0.086},
+                                        {512, 0.250},
+                                        {4096, 0.450},
+                                        {36864, 0.530}});
+    d.streamEfficiency = gpuStreamCurve();
+    d.tdp = 350;
+    d.idlePower = 45;
+    return d;
+}
+
+MemoryTier
+ddr5Spr()
+{
+    MemoryTier m;
+    m.name = "DDR5-4800 x8";
+    m.bandwidth = 260 * GB_s;
+    m.latency = 100 * ns;
+    m.capacity = 512 * GiB;
+    m.costPerGB = 11.25;  // [4], $ per GB for commodity 32 GB DIMMs
+    return m;
+}
+
+MemoryTier
+ddr5Gnr()
+{
+    MemoryTier m;
+    m.name = "DDR5-5600 x12";
+    m.bandwidth = 442 * GB_s;
+    m.latency = 100 * ns;
+    m.capacity = 1024 * GiB;
+    m.costPerGB = 11.25;
+    return m;
+}
+
+MemoryTier
+lpddr5Grace()
+{
+    MemoryTier m;
+    m.name = "LPDDR5X";
+    m.bandwidth = 450 * GB_s;
+    m.latency = 110 * ns;
+    m.capacity = 480 * GiB;
+    m.costPerGB = 14.0;
+    return m;
+}
+
+CxlPool
+cxlSamsungX2()
+{
+    CxlPool p;
+    p.deviceCount = 2;
+    // Each expander sustains ~17 GB/s toward the host (Fig. 8a).
+    p.perDeviceBandwidth = 17 * GB_s;
+    p.perDeviceCapacity = 128 * GiB;
+    // 140-170 ns over DDR's ~100 ns loaded latency [48].
+    p.latency = 250 * ns;
+    // Repurposed DDR4 from retired servers [54]; §8's memory-cost
+    // example ($6,300 -> $3,200 for 560 GB half-offloaded) implies
+    // nearly free media plus enclosure overhead.
+    p.costPerGB = 0.20;
+    return p;
+}
+
+Link
+pcie4x16()
+{
+    Link l;
+    l.name = "PCIe 4.0 x16";
+    l.bandwidth = 26 * GB_s;  // achieved, of 32 GB/s raw
+    l.latency = 10 * us;
+    return l;
+}
+
+Link
+pcie5x16()
+{
+    Link l;
+    l.name = "PCIe 5.0 x16";
+    l.bandwidth = 52 * GB_s;  // achieved, of 64 GB/s raw
+    l.latency = 10 * us;
+    return l;
+}
+
+Link
+nvlink3()
+{
+    Link l;
+    l.name = "NVLink 3.0";
+    l.bandwidth = 600 * GB_s;
+    l.latency = 3 * us;
+    return l;
+}
+
+Link
+nvlinkC2C()
+{
+    Link l;
+    l.name = "NVLink-C2C";
+    l.bandwidth = 900 * GB_s;
+    l.latency = 2 * us;
+    return l;
+}
+
+} // namespace hw
+} // namespace lia

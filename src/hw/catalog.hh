@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Catalog of calibrated hardware descriptors.
+ *
+ * Every factory returns a value object whose parameters are calibrated
+ * against the paper's §4 microbenchmarks (Fig. 5), the cited CXL
+ * characterisation [48], and public spec sheets. DESIGN.md §4 documents
+ * the calibration targets; tests/hw/catalog_test.cc asserts them.
+ */
+
+#ifndef LIA_HW_CATALOG_HH
+#define LIA_HW_CATALOG_HH
+
+#include "hw/device.hh"
+
+namespace lia {
+namespace hw {
+
+// --- CPU compute engines -------------------------------------------------
+
+/** 40-core Sapphire Rapids using only AVX512 (FlexGen's substrate). */
+ComputeDevice avx512Spr();
+
+/** 40-core Sapphire Rapids with AMX (Xeon Platinum 8460H). */
+ComputeDevice amxSpr();
+
+/** 128-core Granite Rapids with AMX. */
+ComputeDevice amxGnr();
+
+/** Two-socket Granite Rapids with AMX (§4.1). */
+ComputeDevice amxGnr2S();
+
+/** NVIDIA Grace CPU with SVE2 (§8, Grace-Hopper discussion). */
+ComputeDevice graceCpu();
+
+// --- GPUs ----------------------------------------------------------------
+
+ComputeDevice gpuP100();
+ComputeDevice gpuV100();
+ComputeDevice gpuA100();  //!< PCIe 4.0, 40 GB HBM2
+ComputeDevice gpuA100Sxm(); //!< 80 GB SXM variant used in the DGX (§7.8)
+ComputeDevice gpuH100();  //!< PCIe 5.0, 80 GB HBM3
+
+// --- Memory tiers ---------------------------------------------------------
+
+/** 8-channel DDR5-4800 (SPR socket), 512 GB. */
+MemoryTier ddr5Spr();
+
+/** 12-channel DDR5-5600 (GNR socket). */
+MemoryTier ddr5Gnr();
+
+/** Grace LPDDR5X memory. */
+MemoryTier lpddr5Grace();
+
+/** Two Samsung 128 GB CXL Type-3 expanders (DDR4-based). */
+CxlPool cxlSamsungX2();
+
+// --- Links ----------------------------------------------------------------
+
+Link pcie4x16();    //!< A100 host link
+Link pcie5x16();    //!< H100 host link
+Link nvlink3();     //!< DGX-A100 NVLink fabric (per GPU)
+Link nvlinkC2C();   //!< Grace-Hopper chip-to-chip link
+
+} // namespace hw
+} // namespace lia
+
+#endif // LIA_HW_CATALOG_HH

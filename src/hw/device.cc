@@ -1,0 +1,101 @@
+#include "hw/device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace hw {
+
+EfficiencyCurve::EfficiencyCurve(double constant)
+    : points_{{1.0, constant}}
+{
+    LIA_ASSERT(constant > 0.0 && constant <= 1.0,
+               "efficiency must be in (0,1], got ", constant);
+}
+
+EfficiencyCurve::EfficiencyCurve(std::vector<Point> points)
+    : points_(std::move(points))
+{
+    LIA_ASSERT(!points_.empty(), "efficiency curve needs points");
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        LIA_ASSERT(points_[i].metric > 0.0, "metric must be positive");
+        LIA_ASSERT(points_[i].efficiency > 0.0 &&
+                   points_[i].efficiency <= 1.0,
+                   "efficiency must be in (0,1]");
+        if (i > 0) {
+            LIA_ASSERT(points_[i].metric > points_[i - 1].metric,
+                       "curve points must be sorted by metric");
+        }
+    }
+}
+
+double
+EfficiencyCurve::at(double metric) const
+{
+    LIA_ASSERT(metric > 0.0, "metric must be positive, got ", metric);
+    if (metric <= points_.front().metric)
+        return points_.front().efficiency;
+    if (metric >= points_.back().metric)
+        return points_.back().efficiency;
+
+    const double lx = std::log10(metric);
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (metric <= points_[i].metric) {
+            const double x0 = std::log10(points_[i - 1].metric);
+            const double x1 = std::log10(points_[i].metric);
+            const double y0 = points_[i - 1].efficiency;
+            const double y1 = points_[i].efficiency;
+            const double t = (lx - x0) / (x1 - x0);
+            return y0 + t * (y1 - y0);
+        }
+    }
+    return points_.back().efficiency;
+}
+
+double
+ComputeDevice::matmulTime(double flops, double bytes,
+                          double size_metric) const
+{
+    LIA_ASSERT(peakMatmulThroughput > 0, name, ": no peak throughput");
+    LIA_ASSERT(memoryBandwidth > 0, name, ": no memory bandwidth");
+    const double eff = gemmEfficiency.at(std::max(size_metric, 1.0));
+    const double compute = flops / (peakMatmulThroughput * eff);
+    const double stream_eff = streamEfficiency.at(std::max(bytes, 1.0));
+    const double memory = bytes / (memoryBandwidth * stream_eff);
+    return kernelOverhead + compute + memory;
+}
+
+double
+ComputeDevice::matmulThroughput(double flops, double bytes,
+                                double size_metric) const
+{
+    const double t = matmulTime(flops, bytes, size_metric);
+    LIA_ASSERT(t > 0, "matmul time must be positive");
+    return flops / t;
+}
+
+double
+Link::transferTime(double bytes) const
+{
+    LIA_ASSERT(bandwidth > 0, name, ": link has no bandwidth");
+    if (bytes <= 0)
+        return 0.0;
+    return latency + bytes / bandwidth;
+}
+
+double
+CxlPool::interleavedBandwidth() const
+{
+    return deviceCount * perDeviceBandwidth;
+}
+
+double
+CxlPool::totalCapacity() const
+{
+    return deviceCount * perDeviceCapacity;
+}
+
+} // namespace hw
+} // namespace lia

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Hardware component descriptors used across the performance models.
+ *
+ * These structures carry the calibrated parameters of the CPUs, GPUs,
+ * memory tiers, and interconnects the paper evaluates on. All timing
+ * math consumes them through simple roofline-style helper functions, so
+ * the descriptors double as a documentation of the calibration data.
+ */
+
+#ifndef LIA_HW_DEVICE_HH
+#define LIA_HW_DEVICE_HH
+
+#include <string>
+#include <vector>
+
+namespace lia {
+namespace hw {
+
+/** Whether a compute device is the host CPU or a discrete GPU. */
+enum class ComputeKind { Cpu, Gpu };
+
+/**
+ * Piecewise log-linear efficiency curve.
+ *
+ * Maps a scalar "problem size" metric (e.g. the GEMM row count B*L) to a
+ * fraction of peak throughput actually achieved. Points are interpolated
+ * linearly in log10(metric) and clamped at the ends. This is how the
+ * size-dependent utilisation measured in the paper's Fig. 5 enters the
+ * model: small problems under-utilise wide engines, and the AMX software
+ * stack reaches lower peak fractions than mature GPU libraries.
+ */
+class EfficiencyCurve
+{
+  public:
+    /** One calibration point: problem-size metric and efficiency. */
+    struct Point
+    {
+        double metric;      //!< problem-size metric, must be > 0
+        double efficiency;  //!< fraction of peak in (0, 1]
+    };
+
+    /** A constant-efficiency curve. */
+    explicit EfficiencyCurve(double constant = 1.0);
+
+    /** A curve through the given points (sorted by metric). */
+    explicit EfficiencyCurve(std::vector<Point> points);
+
+    /** Efficiency at @p metric, clamped to the curve's range. */
+    double at(double metric) const;
+
+  private:
+    std::vector<Point> points_;
+};
+
+/**
+ * A matrix-multiplication-capable compute device.
+ *
+ * Captures the parameters of one compute engine: peak half-precision
+ * matmul throughput, the bandwidth of the memory it computes from, and
+ * the efficiency curves and overheads that shape measured throughput.
+ */
+struct ComputeDevice
+{
+    std::string name;           //!< e.g. "SPR-AMX"
+    ComputeKind kind = ComputeKind::Cpu;
+
+    double peakMatmulThroughput = 0;  //!< FLOP/s, BF16/FP16
+    double memoryBandwidth = 0;       //!< achieved B/s of attached memory
+    double memoryCapacity = 0;        //!< bytes (HBM for GPUs, DRAM for CPUs)
+    double kernelOverhead = 0;        //!< seconds of fixed launch cost
+
+    /** GEMM efficiency vs. output row count (B*L for FC-style GEMMs). */
+    EfficiencyCurve gemmEfficiency{1.0};
+    /**
+     * Fraction of memoryBandwidth achieved by streaming (GEMV-style)
+     * kernels, as a function of bytes touched. GPUs ramp up slowly with
+     * transfer size (small batched GEMVs under-fill the HBM system),
+     * which is why SPR reaches 35% of H100 GEMV throughput at small
+     * shapes but only 15% at large ones (§4.2).
+     */
+    EfficiencyCurve streamEfficiency{1.0};
+
+    double tdp = 0;        //!< watts at full load
+    double idlePower = 0;  //!< watts when idle
+
+    /**
+     * Time to run a matmul with @p flops of work touching @p bytes of
+     * operand/result data, following the paper's Eq. (8) roofline sum
+     * with size-dependent efficiency and fixed kernel overhead.
+     *
+     * @param flops       floating point operations
+     * @param bytes       operand and result bytes moved through memory
+     * @param size_metric problem-size metric for the efficiency curve
+     */
+    double matmulTime(double flops, double bytes, double size_metric) const;
+
+    /** Effective matmul throughput (FLOP/s) for the same arguments. */
+    double matmulThroughput(double flops, double bytes,
+                            double size_metric) const;
+};
+
+/**
+ * One tier of the host memory system (DDR or a CXL expander pool).
+ */
+struct MemoryTier
+{
+    std::string name;          //!< e.g. "DDR5-4800 x8"
+    double bandwidth = 0;      //!< achieved B/s
+    double latency = 0;        //!< loaded access latency, seconds
+    double capacity = 0;       //!< bytes
+    double costPerGB = 0;      //!< USD per (decimal) GB
+};
+
+/**
+ * A CPU-GPU or GPU-GPU interconnect.
+ */
+struct Link
+{
+    std::string name;          //!< e.g. "PCIe 5.0 x16"
+    double bandwidth = 0;      //!< effective B/s per direction
+    double latency = 0;        //!< per-transfer setup latency, seconds
+
+    /** Time to move @p bytes across the link. */
+    double transferTime(double bytes) const;
+};
+
+/**
+ * A pool of CXL Type-3 memory expanders.
+ *
+ * Multiple devices are page-interleaved (Observation-1, §6), so their
+ * bandwidth aggregates toward the GPU transfer path. CPU compute reading
+ * operands from CXL sees the pool bandwidth instead of DDR bandwidth.
+ */
+struct CxlPool
+{
+    int deviceCount = 0;
+    double perDeviceBandwidth = 0;   //!< achieved B/s per expander
+    double perDeviceCapacity = 0;    //!< bytes per expander
+    double latency = 0;              //!< loaded latency, seconds
+    double costPerGB = 0;            //!< USD per GB (repurposed DDR4)
+
+    /** Aggregate interleaved bandwidth of the pool. */
+    double interleavedBandwidth() const;
+
+    /** Total capacity of the pool. */
+    double totalCapacity() const;
+
+    /** Whether the pool has at least one device. */
+    bool present() const { return deviceCount > 0; }
+};
+
+} // namespace hw
+} // namespace lia
+
+#endif // LIA_HW_DEVICE_HH

@@ -1,0 +1,60 @@
+#include "hw/microbench.hh"
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace lia {
+namespace hw {
+
+double
+GemmShape::flops() const
+{
+    // (rows, d) x (d, 4d): 2 multiply-accumulate FLOPs per output cell.
+    return 2.0 * static_cast<double>(rows) * dModel * (4.0 * dModel);
+}
+
+double
+GemmShape::bytes() const
+{
+    const double d = static_cast<double>(dModel);
+    const double r = static_cast<double>(rows);
+    return units::bytesPerElement * (r * d + d * 4.0 * d + r * 4.0 * d);
+}
+
+double
+BatchedGemvShape::flops() const
+{
+    return 2.0 * static_cast<double>(batches) * dHead * seqLen;
+}
+
+double
+BatchedGemvShape::bytes() const
+{
+    const double b = static_cast<double>(batches);
+    const double dh = static_cast<double>(dHead);
+    const double l = static_cast<double>(seqLen);
+    // Vector + matrix + result per batch.
+    return units::bytesPerElement * b * (dh + dh * l + l);
+}
+
+double
+gemmThroughput(const ComputeDevice &dev, const GemmShape &shape)
+{
+    LIA_ASSERT(shape.rows > 0 && shape.dModel > 0, "bad GEMM shape");
+    return dev.matmulThroughput(shape.flops(), shape.bytes(),
+                                static_cast<double>(shape.rows));
+}
+
+double
+gemvThroughput(const ComputeDevice &dev, const BatchedGemvShape &shape)
+{
+    LIA_ASSERT(shape.batches > 0 && shape.dHead > 0 && shape.seqLen > 0,
+               "bad GEMV shape");
+    // GEMV work is memory-bound: the size metric for the (irrelevant)
+    // compute-efficiency term is the batch count, and bytes dominate.
+    return dev.matmulThroughput(shape.flops(), shape.bytes(),
+                                static_cast<double>(shape.batches));
+}
+
+} // namespace hw
+} // namespace lia

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Matrix-multiplication microbenchmark model (§4, Fig. 5).
+ *
+ * Emulates the paper's GEMM and batched-GEMV throughput measurements for
+ * any ComputeDevice. The GEMM benchmark uses the FC1 sublayer shape
+ * (B*L, d_model) x (d_model, 4*d_model); the GEMV benchmark uses the
+ * Q*K^T decode shape (B*n_h, 1, d_h) x (B*n_h, d_h, L).
+ */
+
+#ifndef LIA_HW_MICROBENCH_HH
+#define LIA_HW_MICROBENCH_HH
+
+#include <cstdint>
+
+#include "hw/device.hh"
+
+namespace lia {
+namespace hw {
+
+/** Shape of the FC1-style GEMM benchmark. */
+struct GemmShape
+{
+    std::int64_t rows = 0;     //!< B*L
+    std::int64_t dModel = 0;   //!< model dimension
+
+    /** Total floating point operations: 2 * rows * d * 4d. */
+    double flops() const;
+
+    /** Operand + result bytes at 2 bytes/element. */
+    double bytes() const;
+};
+
+/** Shape of the batched Q*K^T GEMV benchmark. */
+struct BatchedGemvShape
+{
+    std::int64_t batches = 0;  //!< B * n_h
+    std::int64_t dHead = 0;    //!< head dimension
+    std::int64_t seqLen = 0;   //!< L (columns of K^T)
+
+    /** Total floating point operations: 2 * batches * d_h * L. */
+    double flops() const;
+
+    /** Operand + result bytes at 2 bytes/element. */
+    double bytes() const;
+};
+
+/** Modeled achieved GEMM throughput (FLOP/s) for the device. */
+double gemmThroughput(const ComputeDevice &dev, const GemmShape &shape);
+
+/** Modeled achieved batched-GEMV throughput (FLOP/s) for the device. */
+double gemvThroughput(const ComputeDevice &dev,
+                      const BatchedGemvShape &shape);
+
+} // namespace hw
+} // namespace lia
+
+#endif // LIA_HW_MICROBENCH_HH

@@ -1,0 +1,194 @@
+#include "hw/system.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "hw/catalog.hh"
+
+namespace lia {
+namespace hw {
+
+double
+SystemConfig::cpuReadBandwidth(bool from_cxl) const
+{
+    if (!from_cxl)
+        return cpuMemory.bandwidth;
+    LIA_ASSERT(cxl.present(), name, ": no CXL pool configured");
+    // Interleaved CXL reads cannot exceed what the pool provides, nor
+    // what the CPU's memory system can absorb.
+    return std::min(cxl.interleavedBandwidth(), cpuMemory.bandwidth);
+}
+
+double
+SystemConfig::hostMemoryCapacity() const
+{
+    return cpuMemory.capacity + cxl.totalCapacity();
+}
+
+SystemConfig
+sprA100()
+{
+    SystemConfig s;
+    s.name = "SPR-A100";
+    s.cpu = amxSpr();
+    s.gpu = gpuA100();
+    s.cpuMemory = ddr5Spr();
+    s.hostLink = pcie4x16();
+    s.systemCost = 18'000;
+    s.staticPower = 180;
+    return s;
+}
+
+SystemConfig
+sprH100()
+{
+    SystemConfig s = sprA100();
+    s.name = "SPR-H100";
+    s.gpu = gpuH100();
+    s.hostLink = pcie5x16();
+    s.systemCost = 36'000;
+    return s;
+}
+
+SystemConfig
+gnrA100()
+{
+    SystemConfig s;
+    s.name = "GNR-A100";
+    s.cpu = amxGnr();
+    s.gpu = gpuA100();
+    s.cpuMemory = ddr5Gnr();
+    s.hostLink = pcie4x16();
+    s.systemCost = 22'000;  // §7.8 footnote
+    s.staticPower = 200;
+    return s;
+}
+
+SystemConfig
+gnrH100()
+{
+    SystemConfig s = gnrA100();
+    s.name = "GNR-H100";
+    s.gpu = gpuH100();
+    s.hostLink = pcie5x16();
+    s.systemCost = 40'000;
+    return s;
+}
+
+SystemConfig
+graceHopper()
+{
+    SystemConfig s;
+    s.name = "Grace-Hopper";
+    s.cpu = graceCpu();
+    s.gpu = gpuH100();
+    s.gpu.name = "H100-GH200";
+    s.gpu.memoryCapacity = 96.0 * 1024 * 1024 * 1024;
+    s.cpuMemory = lpddr5Grace();
+    s.hostLink = nvlinkC2C();
+    s.systemCost = 45'000;
+    s.staticPower = 200;
+    return s;
+}
+
+SystemConfig
+dgxA100()
+{
+    SystemConfig s;
+    s.name = "DGX-A100";
+    // The DGX host CPU plays no compute role in the TP baseline.
+    s.cpu = avx512Spr();
+    s.cpu.name = "EPYC-host";
+    s.gpu = gpuA100Sxm();
+    s.cpuMemory = ddr5Spr();
+    s.cpuMemory.capacity = 2.0 * 1024 * 1024 * 1024 * 1024.0;
+    s.hostLink = pcie4x16();
+    s.gpuCount = 8;
+    s.gpuFabric = nvlink3();
+    s.systemCost = 200'000;  // §7.8 footnote
+    s.staticPower = 1'200;
+    return s;
+}
+
+SystemConfig
+cheapV100x3()
+{
+    SystemConfig s;
+    s.name = "3xV100";
+    s.cpu = avx512Spr();
+    s.cpu.name = "low-end-host";
+    s.cpu.peakMatmulThroughput /= 2.0;
+    s.cpu.memoryBandwidth = 150e9;
+    s.gpu = gpuV100();
+    s.cpuMemory = ddr5Spr();
+    s.cpuMemory.bandwidth = 150e9;
+    s.hostLink = pcie4x16();
+    s.gpuCount = 3;
+    s.gpuFabric = pcie4x16();
+    s.systemCost = 21'000;  // ~GNR-A100 price point (§8)
+    s.staticPower = 200;
+    return s;
+}
+
+SystemConfig
+cheapV100x3Pooled()
+{
+    SystemConfig s = cheapV100x3();
+    s.name = "3xV100-pooled";
+    s.gpu.name = "V100x3";
+    s.gpu.peakMatmulThroughput *= 3.0;
+    s.gpu.memoryBandwidth *= 3.0;
+    s.gpu.memoryCapacity *= 3.0;
+    // A low-end host cannot feed three x16 links at full rate; the
+    // cards share its limited PCIe lanes (~1.25x one gen-4 x16).
+    s.hostLink.bandwidth *= 1.25;
+    s.gpuCount = 1;
+    s.gpuFabric.reset();
+    return s;
+}
+
+SystemConfig
+withCxl(SystemConfig sys)
+{
+    sys.cxl = cxlSamsungX2();
+    sys.name += "+CXL";
+    return sys;
+}
+
+SystemConfig
+systemByName(const std::string &name)
+{
+    const bool wants_cxl = name.size() > 4 &&
+                           name.substr(name.size() - 4) == "+CXL";
+    const std::string base =
+        wants_cxl ? name.substr(0, name.size() - 4) : name;
+    SystemConfig sys;
+    if (base == "SPR-A100")
+        sys = sprA100();
+    else if (base == "SPR-H100")
+        sys = sprH100();
+    else if (base == "GNR-A100")
+        sys = gnrA100();
+    else if (base == "GNR-H100")
+        sys = gnrH100();
+    else if (base == "Grace-Hopper")
+        sys = graceHopper();
+    else if (base == "DGX-A100")
+        sys = dgxA100();
+    else if (base == "3xV100")
+        sys = cheapV100x3();
+    else
+        LIA_FATAL("unknown system '", name, "'");
+    return wants_cxl ? withCxl(sys) : sys;
+}
+
+std::vector<std::string>
+knownSystemNames()
+{
+    return {"SPR-A100", "SPR-H100",     "GNR-A100", "GNR-H100",
+            "Grace-Hopper", "DGX-A100", "3xV100",
+            "SPR-A100+CXL", "GNR-A100+CXL"};
+}
+
+} // namespace hw
+} // namespace lia

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Whole-system configurations pairing a CPU, GPU(s), memory, and links.
+ *
+ * A SystemConfig is the unit the LIA planner reasons about: it provides
+ * the bandwidth/throughput constants in the paper's Eq. (2)-(9) and the
+ * capacity limits for the memory-offloading policy.
+ */
+
+#ifndef LIA_HW_SYSTEM_HH
+#define LIA_HW_SYSTEM_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/device.hh"
+
+namespace lia {
+namespace hw {
+
+/** A complete evaluation platform. */
+struct SystemConfig
+{
+    std::string name;       //!< e.g. "SPR-A100"
+
+    ComputeDevice cpu;      //!< host CPU (AMX or AVX engine selected)
+    ComputeDevice gpu;      //!< the single (or per-node) GPU
+    MemoryTier cpuMemory;   //!< DDR tier attached to the CPU
+    CxlPool cxl;            //!< optional CXL expansion (deviceCount == 0
+                            //!< when absent)
+    Link hostLink;          //!< CPU <-> GPU link (PCIe or C2C)
+
+    int gpuCount = 1;               //!< >1 only for multi-GPU baselines
+    std::optional<Link> gpuFabric;  //!< inter-GPU link when gpuCount > 1
+
+    double systemCost = 0;      //!< whole-system price, USD
+    double staticPower = 0;     //!< chassis/fans/idle board power, watts
+
+    /** Effective bandwidth for CPU compute reading from the given pool. */
+    double cpuReadBandwidth(bool from_cxl) const;
+
+    /** Total host-side memory capacity (DDR + CXL). */
+    double hostMemoryCapacity() const;
+};
+
+// --- Evaluation-system presets (Table 2 and §7.6/§7.8/§8) ---------------
+
+SystemConfig sprA100();       //!< Table 2 with the A100 card
+SystemConfig sprH100();       //!< Table 2 with the H100 card
+SystemConfig gnrA100();       //!< §7.6 Granite Rapids host, A100
+SystemConfig gnrH100();       //!< §7.6 Granite Rapids host, H100
+SystemConfig graceHopper();   //!< §8 Grace-Hopper superchip
+SystemConfig dgxA100();       //!< §7.8 8x A100-80GB NVLink system
+SystemConfig cheapV100x3();   //!< §8 3x V100 + low-end CPU alternative
+
+/**
+ * The §8 comparator as a *data-offloading* platform: the three V100s
+ * pooled into one accelerator (3x compute/HBM/host-link lanes), which
+ * is generous to the baseline since the paper explicitly ignores
+ * inter-V100 communication overhead.
+ */
+SystemConfig cheapV100x3Pooled();
+
+/** Attach the two-expander CXL pool to a system (Table 2 option). */
+SystemConfig withCxl(SystemConfig sys);
+
+/**
+ * Look up an evaluation-system preset by name (case-sensitive, e.g.
+ * "SPR-A100", "GNR-H100", "SPR-A100+CXL"); fatal on unknown names.
+ */
+SystemConfig systemByName(const std::string &name);
+
+/** Names accepted by systemByName. */
+std::vector<std::string> knownSystemNames();
+
+} // namespace hw
+} // namespace lia
+
+#endif // LIA_HW_SYSTEM_HH

@@ -1,0 +1,69 @@
+#include "model/footprint.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace lia {
+namespace model {
+
+double
+kvCacheBytes(const ModelConfig &config, std::int64_t batch,
+             std::int64_t context_len)
+{
+    LIA_ASSERT(batch > 0 && context_len >= 0, "bad KV cache request");
+    return static_cast<double>(batch) *
+           static_cast<double>(context_len) * config.kvBytesPerToken();
+}
+
+double
+activationBytes(const ModelConfig &config, std::int64_t batch,
+                std::int64_t tokens)
+{
+    const double widest =
+        static_cast<double>(std::max(config.dModel, config.ffnDim));
+    // Two live buffers: the sublayer input and its output.
+    return 2.0 * units::bytesPerElement * static_cast<double>(batch) *
+           static_cast<double>(tokens) * widest;
+}
+
+MemoryFootprint
+inferenceFootprint(const ModelConfig &config, std::int64_t batch,
+                   std::int64_t l_in, std::int64_t l_out)
+{
+    LIA_ASSERT(l_in > 0 && l_out > 0, "bad sequence lengths");
+    MemoryFootprint f;
+    f.paramBytes = config.totalParamBytes();
+    f.kvCacheBytes = kvCacheBytes(config, batch, l_in + l_out);
+    // The prefill stage holds the whole prompt's activations.
+    f.activationBytes = activationBytes(config, batch, l_in);
+    return f;
+}
+
+std::int64_t
+maxBatchForCapacity(const ModelConfig &config, std::int64_t l_in,
+                    std::int64_t l_out, double capacity_bytes,
+                    bool params_included)
+{
+    const double params =
+        params_included ? config.totalParamBytes() : 0.0;
+    if (capacity_bytes <= params)
+        return 0;
+    // Footprint grows linearly in B; solve directly then verify.
+    const double per_batch =
+        kvCacheBytes(config, 1, l_in + l_out) +
+        activationBytes(config, 1, l_in);
+    auto fits = [&](std::int64_t b) {
+        return params + static_cast<double>(b) * per_batch <=
+               capacity_bytes;
+    };
+    std::int64_t b = static_cast<std::int64_t>(
+        (capacity_bytes - params) / per_batch);
+    while (b > 0 && !fits(b))
+        --b;
+    return b;
+}
+
+} // namespace model
+} // namespace lia

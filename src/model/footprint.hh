@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Inference memory footprint accounting.
+ *
+ * Computes the parameter, KV-cache, and activation storage an inference
+ * run needs (§1's OPT-175B examples; §6's capacity motivation) and the
+ * largest batch that fits a given capacity — the quantity behind the
+ * paper's CXL-enabled batch-size increases (Table 3, 900 -> 1.6K).
+ */
+
+#ifndef LIA_MODEL_FOOTPRINT_HH
+#define LIA_MODEL_FOOTPRINT_HH
+
+#include <cstdint>
+
+#include "model/config.hh"
+
+namespace lia {
+namespace model {
+
+/** Bytes of storage demanded by one inference run. */
+struct MemoryFootprint
+{
+    double paramBytes = 0;       //!< all model parameters (BF16)
+    double kvCacheBytes = 0;     //!< KV cache at the final context length
+    double activationBytes = 0;  //!< peak hidden-state working set
+
+    double total() const
+    {
+        return paramBytes + kvCacheBytes + activationBytes;
+    }
+};
+
+/** KV cache bytes for @p batch sequences of @p context_len tokens. */
+double kvCacheBytes(const ModelConfig &config, std::int64_t batch,
+                    std::int64_t context_len);
+
+/**
+ * Peak activation working set: double-buffered hidden states for the
+ * widest sublayer boundary (the FC1 output) across the batch.
+ */
+double activationBytes(const ModelConfig &config, std::int64_t batch,
+                       std::int64_t tokens);
+
+/** Footprint of a full run generating @p l_out tokens from @p l_in. */
+MemoryFootprint inferenceFootprint(const ModelConfig &config,
+                                   std::int64_t batch, std::int64_t l_in,
+                                   std::int64_t l_out);
+
+/**
+ * Largest batch whose footprint fits @p capacity_bytes, optionally
+ * excluding parameters (they live in CXL under the §6 policy).
+ */
+std::int64_t maxBatchForCapacity(const ModelConfig &config,
+                                 std::int64_t l_in, std::int64_t l_out,
+                                 double capacity_bytes,
+                                 bool params_included = true);
+
+} // namespace model
+} // namespace lia
+
+#endif // LIA_MODEL_FOOTPRINT_HH

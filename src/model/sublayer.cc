@@ -1,0 +1,154 @@
+#include "model/sublayer.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace lia {
+namespace model {
+
+namespace {
+
+constexpr double be = units::bytesPerElement;
+
+/**
+ * Number of distinct experts whose weights must be touched for a batch
+ * of B*T tokens routed top-k. With many tokens every expert is hot, so
+ * the effective parameter traffic saturates at numExperts — this is the
+ * §7.1 observation that MoE FFN sublayers lose arithmetic intensity.
+ */
+double
+activeExperts(const ModelConfig &config, double tokens)
+{
+    const double routed = tokens * static_cast<double>(config.expertTopK);
+    return std::min(static_cast<double>(config.numExperts),
+                    std::max(routed, 1.0));
+}
+
+} // namespace
+
+const char *
+toString(Stage stage)
+{
+    return stage == Stage::Prefill ? "prefill" : "decode";
+}
+
+const char *
+toString(Sublayer sublayer)
+{
+    switch (sublayer) {
+      case Sublayer::QkvMapping:
+        return "QKV";
+      case Sublayer::AttnScoreQK:
+        return "QxK^T";
+      case Sublayer::AttnScoreSV:
+        return "SxV";
+      case Sublayer::OutProjection:
+        return "OutProj";
+      case Sublayer::Fc1:
+        return "FC1";
+      case Sublayer::Fc2:
+        return "FC2";
+    }
+    LIA_PANIC("unknown sublayer");
+}
+
+bool
+isParamSublayer(Sublayer sublayer)
+{
+    return sublayer == Sublayer::QkvMapping ||
+           sublayer == Sublayer::OutProjection ||
+           sublayer == Sublayer::Fc1 || sublayer == Sublayer::Fc2;
+}
+
+bool
+isKvSublayer(Sublayer sublayer)
+{
+    return sublayer == Sublayer::AttnScoreQK ||
+           sublayer == Sublayer::AttnScoreSV;
+}
+
+SublayerCosts
+sublayerCosts(const ModelConfig &config, const Workload &workload,
+              Sublayer sublayer)
+{
+    LIA_ASSERT(workload.batch > 0, "batch must be positive");
+    LIA_ASSERT(workload.contextLen > 0, "context must be positive");
+
+    const double b = static_cast<double>(workload.batch);
+    const double l = static_cast<double>(workload.contextLen);
+    const double t = static_cast<double>(workload.tokens());
+    const double d = static_cast<double>(config.dModel);
+    const double kv = static_cast<double>(config.kvDim());
+    const double nh = static_cast<double>(config.numHeads);
+    const double f = static_cast<double>(config.ffnDim);
+    const double up_mats = config.gatedFfn ? 2.0 : 1.0;
+    // Weight operands may be quantized; activations and KV stay BF16.
+    const double wbe = config.weightBytesPerElement;
+
+    SublayerCosts c;
+    switch (sublayer) {
+      case Sublayer::QkvMapping:
+        c.dX = be * b * t * d;
+        c.dY = wbe * (d * d + 2.0 * d * kv);
+        c.flops = 2.0 * b * t * d * (d + 2.0 * kv);
+        c.dOut = be * b * t * d;          // the Q activation
+        c.dKv = be * 2.0 * b * t * kv;    // K and V written to the cache
+        break;
+      case Sublayer::AttnScoreQK:
+        c.dX = be * b * t * d;            // Q
+        c.dY = be * b * l * kv;           // K cache over the full context
+        c.flops = 2.0 * b * t * d * l;
+        c.dOut = be * b * nh * t * l;     // score matrix S
+        break;
+      case Sublayer::AttnScoreSV:
+        c.dX = be * b * nh * t * l;       // S
+        c.dY = be * b * l * kv;           // V cache
+        c.flops = 2.0 * b * t * d * l;
+        c.dOut = be * b * t * d;
+        break;
+      case Sublayer::OutProjection:
+        c.dX = be * b * t * d;
+        c.dY = wbe * d * d;
+        c.flops = 2.0 * b * t * d * d;
+        c.dOut = be * b * t * d;
+        break;
+      case Sublayer::Fc1:
+        c.dX = be * b * t * d;
+        c.dY = wbe * up_mats * d * f * activeExperts(config, b * t);
+        c.flops = 2.0 * b * t * d * f * up_mats *
+                  static_cast<double>(config.expertTopK);
+        c.dOut = be * b * t * f;
+        break;
+      case Sublayer::Fc2:
+        c.dX = be * b * t * f;
+        c.dY = wbe * f * d * activeExperts(config, b * t);
+        c.flops = 2.0 * b * t * d * f *
+                  static_cast<double>(config.expertTopK);
+        c.dOut = be * b * t * d;
+        break;
+    }
+    return c;
+}
+
+double
+layerFlops(const ModelConfig &config, const Workload &workload)
+{
+    double total = 0;
+    for (auto sub : allSublayers())
+        total += sublayerCosts(config, workload, sub).flops;
+    return total;
+}
+
+double
+layerBytesRead(const ModelConfig &config, const Workload &workload)
+{
+    double total = 0;
+    for (auto sub : allSublayers())
+        total += sublayerCosts(config, workload, sub).dY;
+    return total;
+}
+
+} // namespace model
+} // namespace lia

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The six-sublayer decoder decomposition and its data/compute costs.
+ *
+ * Implements the paper's Table 1: per-sublayer operand sizes (D_X, D_Y),
+ * FLOP counts (C), and the KV bytes produced by the QKV mapping, for
+ * both the prefill and decode stages. The formulas are generalised over
+ * grouped-query attention, gated FFNs, and MoE FFNs so the §7.7 model
+ * sweep uses the same code path.
+ *
+ * One deliberate refinement over the printed table: the attention score
+ * matrix S transferred between sublayers 2 and 3 is sized exactly
+ * (B * n_h * T * L elements) instead of the paper's 2*B*L*d_m
+ * approximation; a unit test checks the OPT entries still match Table 1
+ * where the paper's approximation is exact.
+ */
+
+#ifndef LIA_MODEL_SUBLAYER_HH
+#define LIA_MODEL_SUBLAYER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "model/config.hh"
+
+namespace lia {
+namespace model {
+
+/** Inference stage: prompt processing vs. token generation. */
+enum class Stage { Prefill, Decode };
+
+/** The six GEMM/GEMV sublayers of a decoder layer (Fig. 6). */
+enum class Sublayer
+{
+    QkvMapping = 0,     //!< hidden -> Q, K, V projections
+    AttnScoreQK = 1,    //!< Q x K^T
+    AttnScoreSV = 2,    //!< softmax(S) x V
+    OutProjection = 3,  //!< attention output projection
+    Fc1 = 4,            //!< FFN up (and gate) projection
+    Fc2 = 5,            //!< FFN down projection
+};
+
+inline constexpr int kNumSublayers = 6;
+
+/** All sublayers in execution order. */
+constexpr std::array<Sublayer, kNumSublayers>
+allSublayers()
+{
+    return {Sublayer::QkvMapping, Sublayer::AttnScoreQK,
+            Sublayer::AttnScoreSV, Sublayer::OutProjection,
+            Sublayer::Fc1, Sublayer::Fc2};
+}
+
+const char *toString(Stage stage);
+const char *toString(Sublayer sublayer);
+
+/** Whether the sublayer's second operand is model parameters. */
+bool isParamSublayer(Sublayer sublayer);
+
+/** Whether the sublayer's second operand is the KV cache. */
+bool isKvSublayer(Sublayer sublayer);
+
+/**
+ * One (stage, batch, context) operating point of a decoder layer.
+ *
+ * For prefill, contextLen is the input token length L and every
+ * sequence contributes contextLen tokens of work. For decode,
+ * one new token per sequence is processed against a KV history of
+ * contextLen tokens.
+ */
+struct Workload
+{
+    Stage stage = Stage::Prefill;
+    std::int64_t batch = 1;       //!< B
+    std::int64_t contextLen = 1;  //!< L
+
+    /** Tokens processed per sequence this step (L or 1). */
+    std::int64_t tokens() const
+    {
+        return stage == Stage::Prefill ? contextLen : 1;
+    }
+};
+
+/** Data movement and compute of one sublayer (Table 1). */
+struct SublayerCosts
+{
+    double dX = 0;     //!< bytes of the first (activation) operand
+    double dY = 0;     //!< bytes of the second operand (params or KV)
+    double dOut = 0;   //!< bytes of the produced activation
+    double flops = 0;  //!< floating point operations C
+    double dKv = 0;    //!< KV bytes produced (QkvMapping only)
+
+    /** Arithmetic intensity used in Fig. 1's heat map. */
+    double opsPerByte() const { return flops / (dX + dY); }
+};
+
+/** Costs of @p sublayer for @p workload on @p config. */
+SublayerCosts sublayerCosts(const ModelConfig &config,
+                            const Workload &workload, Sublayer sublayer);
+
+/** Total FLOPs of one decoder layer at the operating point. */
+double layerFlops(const ModelConfig &config, const Workload &workload);
+
+/** Total bytes of parameters + KV read by one decoder layer. */
+double layerBytesRead(const ModelConfig &config,
+                      const Workload &workload);
+
+} // namespace model
+} // namespace lia
+
+#endif // LIA_MODEL_SUBLAYER_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * BF16 emulation helpers.
+ *
+ * AMX and recent tensor cores compute in BF16; the runtime stores FP32
+ * but can round values through BF16 after each kernel to reproduce the
+ * numeric behaviour (round-to-nearest-even on the top 16 bits).
+ */
+
+#ifndef LIA_RUNTIME_BF16_HH
+#define LIA_RUNTIME_BF16_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace lia {
+namespace runtime {
+
+/** Round an FP32 value to the nearest BF16-representable value. */
+inline float
+roundToBf16(float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    // Round to nearest even on the truncated 16 mantissa bits.
+    const std::uint32_t lsb = (bits >> 16) & 1u;
+    bits += 0x7FFFu + lsb;
+    bits &= 0xFFFF0000u;
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+/** Pack an FP32 value into its BF16 bit pattern. */
+inline std::uint16_t
+packBf16(float value)
+{
+    const float rounded = roundToBf16(value);
+    std::uint32_t bits;
+    std::memcpy(&bits, &rounded, sizeof(bits));
+    return static_cast<std::uint16_t>(bits >> 16);
+}
+
+/** Expand a BF16 bit pattern back to FP32. */
+inline float
+unpackBf16(std::uint16_t half)
+{
+    const std::uint32_t bits = static_cast<std::uint32_t>(half) << 16;
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+} // namespace runtime
+} // namespace lia
+
+#endif // LIA_RUNTIME_BF16_HH

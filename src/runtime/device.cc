@@ -1,0 +1,91 @@
+#include "runtime/device.hh"
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace runtime {
+
+const char *
+toString(Traffic traffic)
+{
+    switch (traffic) {
+      case Traffic::Param:
+        return "params";
+      case Traffic::Kv:
+        return "kv-cache";
+      case Traffic::Activation:
+        return "activation";
+    }
+    LIA_PANIC("unknown traffic class");
+}
+
+TransferLedger::TransferLedger(hw::Link link) : link_(std::move(link))
+{
+}
+
+void
+TransferLedger::record(Traffic traffic, double bytes)
+{
+    LIA_ASSERT(bytes >= 0, "negative transfer");
+    if (bytes == 0)
+        return;
+    bytes_[static_cast<int>(traffic)] += bytes;
+    time_ += link_.transferTime(bytes);
+    ++transfers_;
+}
+
+double
+TransferLedger::bytes(Traffic traffic) const
+{
+    return bytes_[static_cast<int>(traffic)];
+}
+
+double
+TransferLedger::totalBytes() const
+{
+    double total = 0;
+    for (double b : bytes_)
+        total += b;
+    return total;
+}
+
+void
+TransferLedger::reset()
+{
+    for (double &b : bytes_)
+        b = 0;
+    time_ = 0;
+    transfers_ = 0;
+}
+
+SimDevice::SimDevice(hw::ComputeDevice descriptor)
+    : descriptor_(std::move(descriptor))
+{
+}
+
+bool
+SimDevice::tryAllocate(double bytes)
+{
+    LIA_ASSERT(bytes >= 0, "negative allocation");
+    if (allocated_ + bytes > descriptor_.memoryCapacity)
+        return false;
+    allocated_ += bytes;
+    return true;
+}
+
+void
+SimDevice::release(double bytes)
+{
+    LIA_ASSERT(bytes >= 0 && bytes <= allocated_ + 1e-6,
+               name(), ": releasing more than allocated");
+    allocated_ -= bytes;
+}
+
+void
+SimDevice::accrueCompute(double flops, double bytes, double rows)
+{
+    busyTime_ += descriptor_.matmulTime(flops, bytes, rows);
+}
+
+} // namespace runtime
+} // namespace lia

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Simulated execution devices and the transfer ledger.
+ *
+ * The functional back-end runs every kernel on the host, but models the
+ * paper's two-device system: each SimDevice tracks its own memory
+ * allocation against the real capacity limits, and every CPU<->GPU data
+ * movement is recorded in a TransferLedger with the paper's three
+ * traffic categories (parameters, KV cache, activations — Fig. 3).
+ * Devices also accrue *modeled* busy time from the calibrated hw
+ * descriptors, making the executor an execution-driven timing model.
+ */
+
+#ifndef LIA_RUNTIME_DEVICE_HH
+#define LIA_RUNTIME_DEVICE_HH
+
+#include <string>
+
+#include "hw/device.hh"
+
+namespace lia {
+namespace runtime {
+
+/** Traffic classes tracked on the CPU-GPU link (Fig. 3). */
+enum class Traffic { Param = 0, Kv = 1, Activation = 2 };
+
+inline constexpr int kTrafficClasses = 3;
+
+const char *toString(Traffic traffic);
+
+/** Byte and time accounting for the CPU-GPU link. */
+class TransferLedger
+{
+  public:
+    explicit TransferLedger(hw::Link link);
+
+    /** Record a transfer of @p bytes of @p traffic, accrue its time. */
+    void record(Traffic traffic, double bytes);
+
+    double bytes(Traffic traffic) const;
+    double totalBytes() const;
+    double totalTime() const { return time_; }
+    std::int64_t transferCount() const { return transfers_; }
+
+    void reset();
+
+  private:
+    hw::Link link_;
+    double bytes_[kTrafficClasses] = {0, 0, 0};
+    double time_ = 0;
+    std::int64_t transfers_ = 0;
+};
+
+/** One execution device with capacity tracking and modeled time. */
+class SimDevice
+{
+  public:
+    /** Wrap a calibrated hardware descriptor. */
+    explicit SimDevice(hw::ComputeDevice descriptor);
+
+    const std::string &name() const { return descriptor_.name; }
+    hw::ComputeKind kind() const { return descriptor_.kind; }
+    const hw::ComputeDevice &descriptor() const { return descriptor_; }
+
+    /** Reserve @p bytes; false when capacity would be exceeded. */
+    bool tryAllocate(double bytes);
+
+    /** Release @p bytes. */
+    void release(double bytes);
+
+    double allocatedBytes() const { return allocated_; }
+    double capacityBytes() const { return descriptor_.memoryCapacity; }
+
+    /**
+     * Accrue modeled time for a matmul-like kernel.
+     *
+     * @param flops  floating point operations executed
+     * @param bytes  operand/result bytes at BF16
+     * @param rows   problem-size metric for the efficiency curve
+     */
+    void accrueCompute(double flops, double bytes, double rows);
+
+    /** Modeled busy seconds so far. */
+    double busyTime() const { return busyTime_; }
+
+    void resetTime() { busyTime_ = 0; }
+
+  private:
+    hw::ComputeDevice descriptor_;
+    double allocated_ = 0;
+    double busyTime_ = 0;
+};
+
+} // namespace runtime
+} // namespace lia
+
+#endif // LIA_RUNTIME_DEVICE_HH

@@ -1,0 +1,367 @@
+#include "runtime/executor.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "model/sublayer.hh"
+
+namespace lia {
+namespace runtime {
+
+using core::Device;
+using core::Policy;
+using model::Stage;
+using model::Sublayer;
+
+CooperativeExecutor::CooperativeExecutor(const hw::SystemConfig &system,
+                                         TransformerWeights weights,
+                                         ExecutorConfig config)
+    : system_(system), weights_(std::move(weights)),
+      config_(std::move(config)),
+      kernelOpts_{config_.bf16Rounding},
+      cpu_(system.cpu), gpu_(system.gpu), ledger_(system.hostLink),
+      sampler_(config_.sampling)
+{
+    weights_.config.validate();
+    LIA_ASSERT(config_.residentLayers >= 0 &&
+               config_.residentLayers <= weights_.config.numLayers,
+               "bad resident layer count");
+
+    // The framework keeps every parameter host-side (§5); resident
+    // layers additionally occupy GPU memory (Optimization-1).
+    const bool cpu_ok = cpu_.tryAllocate(weights_.bf16Bytes());
+    LIA_ASSERT(cpu_ok, "model does not fit host memory");
+    double resident_bytes = 0;
+    for (int l = 0; l < config_.residentLayers; ++l)
+        resident_bytes += weights_.layers[l].bf16Bytes();
+    const bool gpu_ok = gpu_.tryAllocate(resident_bytes);
+    LIA_ASSERT(gpu_ok, "resident layers exceed GPU memory");
+}
+
+const KvCache &
+CooperativeExecutor::cache() const
+{
+    LIA_ASSERT(cache_ != nullptr, "no active generation");
+    return *cache_;
+}
+
+double
+CooperativeExecutor::modeledSerialLatency() const
+{
+    return cpu_.busyTime() + gpu_.busyTime() + ledger_.totalTime();
+}
+
+void
+CooperativeExecutor::registerStats(stats::Group &group) const
+{
+    group.formula("xfer.param_bytes",
+                  "parameter bytes moved over the host link",
+                  [this] { return ledger_.bytes(Traffic::Param); });
+    group.formula("xfer.kv_bytes",
+                  "KV-cache bytes moved over the host link",
+                  [this] { return ledger_.bytes(Traffic::Kv); });
+    group.formula("xfer.activation_bytes",
+                  "activation bytes moved over the host link",
+                  [this] { return ledger_.bytes(Traffic::Activation); });
+    group.formula("xfer.count", "host-link transfers issued",
+                  [this] {
+                      return static_cast<double>(
+                          ledger_.transferCount());
+                  });
+    group.formula("xfer.seconds", "modeled host-link busy seconds",
+                  [this] { return ledger_.totalTime(); });
+    group.formula("cpu.busy_seconds", "modeled CPU busy seconds",
+                  [this] { return cpu_.busyTime(); });
+    group.formula("gpu.busy_seconds", "modeled GPU busy seconds",
+                  [this] { return gpu_.busyTime(); });
+    group.formula("cpu.allocated_bytes", "host memory allocated",
+                  [this] { return cpu_.allocatedBytes(); });
+    group.formula("gpu.allocated_bytes", "GPU memory allocated",
+                  [this] { return gpu_.allocatedBytes(); });
+    group.formula("kv.context_tokens", "tokens held in the KV cache",
+                  [this] {
+                      return cache_ ? static_cast<double>(
+                                          cache_->length())
+                                    : 0.0;
+                  });
+}
+
+void
+CooperativeExecutor::resetStats()
+{
+    ledger_.reset();
+    cpu_.resetTime();
+    gpu_.resetTime();
+}
+
+Tensor
+CooperativeExecutor::embed(const std::vector<std::int64_t> &flat_tokens,
+                           std::int64_t batch, std::int64_t tokens,
+                           std::int64_t position)
+{
+    const auto &cfg = weights_.config;
+    Tensor hidden({batch * tokens, cfg.dModel});
+    for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t t = 0; t < tokens; ++t) {
+            const std::int64_t tok =
+                flat_tokens[static_cast<std::size_t>(b * tokens + t)];
+            LIA_ASSERT(tok >= 0 && tok < cfg.vocabSize,
+                       "token id out of range: ", tok);
+            const std::int64_t pos = position + t;
+            LIA_ASSERT(pos < cfg.maxSeqLen, "position overflow");
+            for (std::int64_t c = 0; c < cfg.dModel; ++c) {
+                hidden.at(b * tokens + t, c) =
+                    weights_.embedding.at(tok, c) +
+                    weights_.posEmbedding.at(pos, c);
+            }
+        }
+    }
+    if (kernelOpts_.bf16Rounding)
+        hidden.roundBf16();
+    return hidden;
+}
+
+Tensor
+CooperativeExecutor::attention(const Tensor &q, const Tensor &keys,
+                               const Tensor &values, std::int64_t batch,
+                               std::int64_t tokens)
+{
+    const auto &cfg = weights_.config;
+    const std::int64_t dh = cfg.headDim;
+    const std::int64_t nh = cfg.numHeads;
+    const std::int64_t group = nh / cfg.kvHeads;
+    const std::int64_t len = keys.dim(1);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    Tensor out({batch * tokens, cfg.dModel});
+    for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t h = 0; h < nh; ++h) {
+            const std::int64_t kvh = h / group;
+            // Slice this head's Q / K / V.
+            Tensor qh({tokens, dh});
+            for (std::int64_t t = 0; t < tokens; ++t)
+                for (std::int64_t c = 0; c < dh; ++c)
+                    qh.at(t, c) = q.at(b * tokens + t, h * dh + c);
+            Tensor kh({len, dh});
+            Tensor vh({len, dh});
+            for (std::int64_t i = 0; i < len; ++i) {
+                for (std::int64_t c = 0; c < dh; ++c) {
+                    kh.at(i, c) = keys.at(b, i, kvh * dh + c);
+                    vh.at(i, c) = values.at(b, i, kvh * dh + c);
+                }
+            }
+            // Sublayer 2: S = Q x K^T (scaled).
+            Tensor scores = matmulTransposed(qh, kh, kernelOpts_);
+            for (std::int64_t i = 0; i < scores.numel(); ++i)
+                scores.data()[i] *= scale;
+            causalSoftmaxRows(scores, len - tokens, kernelOpts_);
+            // Sublayer 3: softmax(S) x V.
+            Tensor ctx = matmul(scores, vh, Tensor(), kernelOpts_);
+            for (std::int64_t t = 0; t < tokens; ++t)
+                for (std::int64_t c = 0; c < dh; ++c)
+                    out.at(b * tokens + t, h * dh + c) = ctx.at(t, c);
+        }
+    }
+    return out;
+}
+
+void
+CooperativeExecutor::chargeSublayer(int index, Stage stage,
+                                    std::int64_t batch,
+                                    std::int64_t context, bool resident,
+                                    const Policy &policy)
+{
+    const auto sublayer = model::allSublayers()[index];
+    const model::Workload workload{stage, batch, context};
+    const auto costs =
+        model::sublayerCosts(weights_.config, workload, sublayer);
+    const Device dev = policy.device(index);
+    const Device prev_dev = index == 0
+                                ? policy.device(model::kNumSublayers - 1)
+                                : policy.device(index - 1);
+
+    if (dev != prev_dev)
+        ledger_.record(Traffic::Activation, costs.dX);
+
+    if (model::isParamSublayer(sublayer)) {
+        if (dev == Device::Gpu && !resident)
+            ledger_.record(Traffic::Param, costs.dY);
+    } else if (stage == Stage::Prefill) {
+        if (dev != policy.device(0))
+            ledger_.record(Traffic::Kv, costs.dY);
+    } else if (dev == Device::Gpu) {
+        ledger_.record(Traffic::Kv, costs.dY);
+    }
+
+    const double residual_bytes =
+        units::bytesPerElement * static_cast<double>(batch) *
+        static_cast<double>(workload.tokens()) *
+        static_cast<double>(weights_.config.dModel);
+    if (sublayer == Sublayer::OutProjection &&
+        dev != policy.device(0)) {
+        ledger_.record(Traffic::Activation, residual_bytes);
+    }
+    if (sublayer == Sublayer::Fc2 &&
+        dev != policy.device(static_cast<int>(Sublayer::OutProjection))) {
+        ledger_.record(Traffic::Activation, residual_bytes);
+    }
+
+    if (sublayer == Sublayer::QkvMapping && dev == Device::Gpu)
+        ledger_.record(Traffic::Kv, costs.dKv);
+
+    const double rows = static_cast<double>(batch) *
+                        static_cast<double>(workload.tokens());
+    SimDevice &device = dev == Device::Cpu ? cpu_ : gpu_;
+    device.accrueCompute(costs.flops, costs.dX + costs.dY + costs.dOut,
+                         rows);
+}
+
+Tensor
+CooperativeExecutor::forwardLayers(Tensor hidden, Stage stage,
+                                   std::int64_t batch,
+                                   std::int64_t tokens)
+{
+    const auto &cfg = weights_.config;
+    const Policy &policy = stage == Stage::Prefill
+                               ? config_.prefillPolicy
+                               : config_.decodePolicy;
+    // Context length the attention sublayers operate on, including the
+    // tokens this step appends (decode reads the grown cache).
+    const std::int64_t context =
+        stage == Stage::Prefill ? tokens : cache_->length() + tokens;
+
+    for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
+        const auto &w = weights_.layers[static_cast<std::size_t>(l)];
+        const bool resident = l < config_.residentLayers;
+
+        // Sublayer 1: QKV mapping (pre-LN).
+        Tensor normed =
+            layerNorm(hidden, w.lnAttnGain, w.lnAttnBias, kernelOpts_);
+        Tensor q = matmul(normed, w.wq, w.bq, kernelOpts_);
+        Tensor k = matmul(normed, w.wk, w.bk, kernelOpts_);
+        Tensor v = matmul(normed, w.wv, w.bv, kernelOpts_);
+        cache_->append(l, k.reshaped({batch, tokens, cfg.kvDim()}),
+                       v.reshaped({batch, tokens, cfg.kvDim()}));
+        chargeSublayer(0, stage, batch, context, resident, policy);
+
+        // Sublayers 2+3: attention scoring against the cache.
+        Tensor keys = cache_->keys(l);
+        Tensor values = cache_->values(l);
+        Tensor attn = attention(q, keys, values, batch, tokens);
+        chargeSublayer(1, stage, batch, context, resident, policy);
+        chargeSublayer(2, stage, batch, context, resident, policy);
+
+        // Sublayer 4: output projection + residual.
+        Tensor proj = matmul(attn, w.wo, w.bo, kernelOpts_);
+        hidden = add(hidden, proj, kernelOpts_);
+        chargeSublayer(3, stage, batch, context, resident, policy);
+
+        // Sublayers 5+6: FFN + residual. OPT uses ReLU; Llama-style
+        // models gate the up projection with SiLU (SwiGLU).
+        Tensor ffn_in =
+            layerNorm(hidden, w.lnFfnGain, w.lnFfnBias, kernelOpts_);
+        Tensor h1 = matmul(ffn_in, w.w1, w.b1, kernelOpts_);
+        if (cfg.gatedFfn) {
+            Tensor gate = matmul(ffn_in, w.wg, w.bg, kernelOpts_);
+            siluInPlace(gate, kernelOpts_);
+            mulInPlace(h1, gate, kernelOpts_);
+        } else {
+            reluInPlace(h1, kernelOpts_);
+        }
+        chargeSublayer(4, stage, batch, context, resident, policy);
+        Tensor h2 = matmul(h1, w.w2, w.b2, kernelOpts_);
+        hidden = add(hidden, h2, kernelOpts_);
+        chargeSublayer(5, stage, batch, context, resident, policy);
+    }
+    return hidden;
+}
+
+std::vector<std::int64_t>
+CooperativeExecutor::sample(const Tensor &hidden, std::int64_t batch,
+                            std::int64_t tokens)
+{
+    const auto &cfg = weights_.config;
+    // Only the final position of each sequence feeds the LM head.
+    Tensor last({batch, cfg.dModel});
+    for (std::int64_t b = 0; b < batch; ++b)
+        for (std::int64_t c = 0; c < cfg.dModel; ++c)
+            last.at(b, c) = hidden.at(b * tokens + (tokens - 1), c);
+    Tensor normed =
+        layerNorm(last, weights_.lnFinalGain, weights_.lnFinalBias,
+                  kernelOpts_);
+    Tensor logits =
+        matmulTransposed(normed, weights_.embedding, kernelOpts_);
+    return sampler_.sampleRows(logits);
+}
+
+std::vector<std::int64_t>
+CooperativeExecutor::prefill(
+    const std::vector<std::vector<std::int64_t>> &prompts)
+{
+    LIA_ASSERT(!prompts.empty(), "empty batch");
+    const auto batch = static_cast<std::int64_t>(prompts.size());
+    const auto tokens = static_cast<std::int64_t>(prompts[0].size());
+    LIA_ASSERT(tokens > 0, "empty prompt");
+    for (const auto &p : prompts)
+        LIA_ASSERT(static_cast<std::int64_t>(p.size()) == tokens,
+                   "prompts must share one length");
+
+    // (Re)create the cache; it is host-resident (§5's assumption).
+    if (cacheAllocation_ > 0)
+        cpu_.release(cacheAllocation_);
+    cache_ = std::make_unique<KvCache>(weights_.config, batch,
+                                       weights_.config.maxSeqLen);
+    cacheAllocation_ =
+        units::bytesPerElement * 2.0 * static_cast<double>(batch) *
+        static_cast<double>(weights_.config.maxSeqLen) *
+        static_cast<double>(weights_.config.kvDim()) *
+        static_cast<double>(weights_.config.numLayers);
+    const bool ok = cpu_.tryAllocate(cacheAllocation_);
+    LIA_ASSERT(ok, "KV cache does not fit host memory");
+
+    std::vector<std::int64_t> flat;
+    flat.reserve(static_cast<std::size_t>(batch * tokens));
+    for (const auto &p : prompts)
+        flat.insert(flat.end(), p.begin(), p.end());
+
+    Tensor hidden = embed(flat, batch, tokens, 0);
+    hidden = forwardLayers(std::move(hidden), Stage::Prefill, batch,
+                           tokens);
+    return sample(hidden, batch, tokens);
+}
+
+std::vector<std::int64_t>
+CooperativeExecutor::decodeStep(const std::vector<std::int64_t> &tokens)
+{
+    LIA_ASSERT(cache_ != nullptr, "prefill must run first");
+    const auto batch = static_cast<std::int64_t>(tokens.size());
+    LIA_ASSERT(batch == cache_->batch(), "batch mismatch");
+
+    Tensor hidden = embed(tokens, batch, 1, cache_->length());
+    hidden =
+        forwardLayers(std::move(hidden), Stage::Decode, batch, 1);
+    return sample(hidden, batch, 1);
+}
+
+std::vector<std::vector<std::int64_t>>
+CooperativeExecutor::generate(
+    const std::vector<std::vector<std::int64_t>> &prompts,
+    std::int64_t l_out)
+{
+    LIA_ASSERT(l_out >= 1, "need at least one output token");
+    std::vector<std::vector<std::int64_t>> out(prompts.size());
+
+    std::vector<std::int64_t> next = prefill(prompts);
+    for (std::size_t b = 0; b < prompts.size(); ++b)
+        out[b].push_back(next[b]);
+    for (std::int64_t t = 1; t < l_out; ++t) {
+        next = decodeStep(next);
+        for (std::size_t b = 0; b < prompts.size(); ++b)
+            out[b].push_back(next[b]);
+    }
+    return out;
+}
+
+} // namespace runtime
+} // namespace lia

@@ -1,0 +1,219 @@
+#include "runtime/kernels.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+#include "runtime/bf16.hh"
+
+namespace lia {
+namespace runtime {
+
+namespace {
+
+void
+maybeRound(Tensor &t, const KernelOptions &opts)
+{
+    if (opts.bf16Rounding)
+        t.roundBf16();
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b, const Tensor &bias,
+       const KernelOptions &opts)
+{
+    LIA_ASSERT(a.ndim() == 2 && b.ndim() == 2, "matmul wants 2-D");
+    const std::int64_t m = a.dim(0);
+    const std::int64_t k = a.dim(1);
+    const std::int64_t n = b.dim(1);
+    LIA_ASSERT(b.dim(0) == k, "matmul inner dimension mismatch: ",
+               k, " vs ", b.dim(0));
+    const bool has_bias = !bias.empty();
+    if (has_bias) {
+        LIA_ASSERT(bias.ndim() == 1 && bias.dim(0) == n,
+                   "bias shape mismatch");
+    }
+
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    // i-k-j loop order streams B row-wise for cache friendliness.
+    for (std::int64_t i = 0; i < m; ++i) {
+        float *crow = pc + i * n;
+        if (has_bias) {
+            const float *pbias = bias.data();
+            for (std::int64_t j = 0; j < n; ++j)
+                crow[j] = pbias[j];
+        }
+        const float *arow = pa + i * k;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = pb + kk * n;
+            for (std::int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    maybeRound(c, opts);
+    return c;
+}
+
+Tensor
+matmulTransposed(const Tensor &a, const Tensor &b,
+                 const KernelOptions &opts)
+{
+    LIA_ASSERT(a.ndim() == 2 && b.ndim() == 2,
+               "matmulTransposed wants 2-D");
+    const std::int64_t m = a.dim(0);
+    const std::int64_t k = a.dim(1);
+    const std::int64_t n = b.dim(0);
+    LIA_ASSERT(b.dim(1) == k, "inner dimension mismatch");
+
+    Tensor c({m, n});
+    for (std::int64_t i = 0; i < m; ++i) {
+        const float *arow = a.data() + i * k;
+        float *crow = c.data() + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+            const float *brow = b.data() + j * k;
+            float acc = 0.0f;
+            for (std::int64_t kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+    maybeRound(c, opts);
+    return c;
+}
+
+void
+softmaxRows(Tensor &t, const KernelOptions &opts)
+{
+    // An offset past the final column disables the causal mask.
+    causalSoftmaxRows(t, t.dim(1), opts);
+}
+
+void
+causalSoftmaxRows(Tensor &t, std::int64_t offset,
+                  const KernelOptions &opts)
+{
+    LIA_ASSERT(t.ndim() == 2, "softmax wants 2-D");
+    const std::int64_t rows = t.dim(0);
+    const std::int64_t cols = t.dim(1);
+    for (std::int64_t i = 0; i < rows; ++i) {
+        float *row = t.data() + i * cols;
+        const std::int64_t limit = std::min(cols, offset + i + 1);
+        LIA_ASSERT(limit > 0, "softmax row fully masked");
+        float max_val = row[0];
+        for (std::int64_t j = 1; j < limit; ++j)
+            max_val = std::max(max_val, row[j]);
+        float sum = 0.0f;
+        for (std::int64_t j = 0; j < limit; ++j) {
+            row[j] = std::exp(row[j] - max_val);
+            sum += row[j];
+        }
+        for (std::int64_t j = 0; j < limit; ++j)
+            row[j] /= sum;
+        for (std::int64_t j = limit; j < cols; ++j)
+            row[j] = 0.0f;
+    }
+    maybeRound(t, opts);
+}
+
+Tensor
+layerNorm(const Tensor &x, const Tensor &gain, const Tensor &bias,
+          const KernelOptions &opts)
+{
+    LIA_ASSERT(x.ndim() == 2, "layerNorm wants 2-D");
+    const std::int64_t rows = x.dim(0);
+    const std::int64_t n = x.dim(1);
+    LIA_ASSERT(gain.ndim() == 1 && gain.dim(0) == n &&
+               bias.ndim() == 1 && bias.dim(0) == n,
+               "layerNorm parameter shapes");
+
+    Tensor out({rows, n});
+    constexpr float eps = 1e-5f;
+    for (std::int64_t i = 0; i < rows; ++i) {
+        const float *row = x.data() + i * n;
+        float *orow = out.data() + i * n;
+        float mean = 0.0f;
+        for (std::int64_t j = 0; j < n; ++j)
+            mean += row[j];
+        mean /= static_cast<float>(n);
+        float var = 0.0f;
+        for (std::int64_t j = 0; j < n; ++j) {
+            const float d = row[j] - mean;
+            var += d * d;
+        }
+        var /= static_cast<float>(n);
+        const float inv = 1.0f / std::sqrt(var + eps);
+        for (std::int64_t j = 0; j < n; ++j) {
+            orow[j] = (row[j] - mean) * inv * gain.at(j) + bias.at(j);
+        }
+    }
+    maybeRound(out, opts);
+    return out;
+}
+
+void
+reluInPlace(Tensor &t, const KernelOptions &opts)
+{
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t.data()[i] = std::max(t.data()[i], 0.0f);
+    maybeRound(t, opts);
+}
+
+void
+siluInPlace(Tensor &t, const KernelOptions &opts)
+{
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        const float x = t.data()[i];
+        t.data()[i] = x / (1.0f + std::exp(-x));
+    }
+    maybeRound(t, opts);
+}
+
+void
+mulInPlace(Tensor &a, const Tensor &b, const KernelOptions &opts)
+{
+    LIA_ASSERT(a.shape() == b.shape(), "mul shape mismatch");
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        a.data()[i] *= b.data()[i];
+    maybeRound(a, opts);
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b, const KernelOptions &opts)
+{
+    LIA_ASSERT(a.shape() == b.shape(), "add shape mismatch");
+    Tensor c = a.clone();
+    for (std::int64_t i = 0; i < c.numel(); ++i)
+        c.data()[i] += b.data()[i];
+    maybeRound(c, opts);
+    return c;
+}
+
+std::vector<std::int64_t>
+argmaxRows(const Tensor &t)
+{
+    LIA_ASSERT(t.ndim() == 2, "argmax wants 2-D");
+    std::vector<std::int64_t> out;
+    out.reserve(static_cast<std::size_t>(t.dim(0)));
+    for (std::int64_t i = 0; i < t.dim(0); ++i) {
+        const float *row = t.data() + i * t.dim(1);
+        std::int64_t best = 0;
+        for (std::int64_t j = 1; j < t.dim(1); ++j) {
+            if (row[j] > row[best])
+                best = j;
+        }
+        out.push_back(best);
+    }
+    return out;
+}
+
+} // namespace runtime
+} // namespace lia

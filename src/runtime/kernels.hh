@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Numeric kernels of the functional back-end.
+ *
+ * Plain portable implementations of the operations a decoder layer
+ * needs. Every kernel optionally rounds its output through BF16 so the
+ * runtime reproduces half-precision numerics. Kernels are device
+ * agnostic — the executor charges their cost to whichever SimDevice the
+ * policy selected, so results are bit-identical regardless of policy
+ * (a key invariant the integration tests check).
+ */
+
+#ifndef LIA_RUNTIME_KERNELS_HH
+#define LIA_RUNTIME_KERNELS_HH
+
+#include "runtime/tensor.hh"
+
+namespace lia {
+namespace runtime {
+
+/** Kernel numeric options. */
+struct KernelOptions
+{
+    bool bf16Rounding = true;  //!< round outputs through BF16
+};
+
+/**
+ * C = A x B (+ bias broadcast over rows).
+ *
+ * @param a      (m, k)
+ * @param b      (k, n)
+ * @param bias   optional (n); pass empty tensor to skip
+ */
+Tensor matmul(const Tensor &a, const Tensor &b, const Tensor &bias,
+              const KernelOptions &opts = {});
+
+/** C = A x B^T, with A (m, k) and B (n, k). */
+Tensor matmulTransposed(const Tensor &a, const Tensor &b,
+                        const KernelOptions &opts = {});
+
+/** Row-wise softmax over the last axis of a 2-D tensor. */
+void softmaxRows(Tensor &t, const KernelOptions &opts = {});
+
+/**
+ * Row-wise softmax with a causal mask: row i may attend to columns
+ * 0..(offset + i); later columns receive zero probability.
+ */
+void causalSoftmaxRows(Tensor &t, std::int64_t offset,
+                       const KernelOptions &opts = {});
+
+/** LayerNorm over the last axis with learned gain/bias (both (n)). */
+Tensor layerNorm(const Tensor &x, const Tensor &gain, const Tensor &bias,
+                 const KernelOptions &opts = {});
+
+/** Elementwise ReLU (OPT's FFN activation). */
+void reluInPlace(Tensor &t, const KernelOptions &opts = {});
+
+/** Elementwise SiLU x*sigmoid(x) (Llama's gated-FFN activation). */
+void siluInPlace(Tensor &t, const KernelOptions &opts = {});
+
+/** Elementwise product a *= b (gating). */
+void mulInPlace(Tensor &a, const Tensor &b,
+                const KernelOptions &opts = {});
+
+/** Elementwise sum of two same-shape tensors. */
+Tensor add(const Tensor &a, const Tensor &b,
+           const KernelOptions &opts = {});
+
+/** Row-wise argmax of a 2-D tensor (greedy sampling). */
+std::vector<std::int64_t> argmaxRows(const Tensor &t);
+
+} // namespace runtime
+} // namespace lia
+
+#endif // LIA_RUNTIME_KERNELS_HH

@@ -1,0 +1,100 @@
+#include "runtime/kv_cache.hh"
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace runtime {
+
+KvCache::KvCache(const model::ModelConfig &config, std::int64_t batch,
+                 std::int64_t max_len)
+    : config_(config), batch_(batch), maxLen_(max_len)
+{
+    LIA_ASSERT(batch > 0 && max_len > 0, "bad KV cache dimensions");
+    keys_.reserve(static_cast<std::size_t>(config.numLayers));
+    values_.reserve(static_cast<std::size_t>(config.numLayers));
+    for (std::int64_t l = 0; l < config.numLayers; ++l) {
+        keys_.emplace_back(
+            std::vector<std::int64_t>{batch, max_len, config.kvDim()});
+        values_.emplace_back(
+            std::vector<std::int64_t>{batch, max_len, config.kvDim()});
+    }
+}
+
+void
+KvCache::append(std::int64_t layer, const Tensor &k, const Tensor &v)
+{
+    LIA_ASSERT(layer == nextLayer_,
+               "layers must append in order; expected ", nextLayer_,
+               " got ", layer);
+    LIA_ASSERT(k.ndim() == 3 && v.ndim() == 3, "KV must be 3-D");
+    LIA_ASSERT(k.dim(0) == batch_ && v.dim(0) == batch_,
+               "KV batch mismatch");
+    LIA_ASSERT(k.dim(2) == config_.kvDim() &&
+               v.dim(2) == config_.kvDim(), "KV width mismatch");
+    const std::int64_t t = k.dim(1);
+    LIA_ASSERT(v.dim(1) == t, "K/V token count mismatch");
+    LIA_ASSERT(length_ + t <= maxLen_, "KV cache overflow");
+    if (layer == 0)
+        pendingTokens_ = t;
+    LIA_ASSERT(t == pendingTokens_,
+               "inconsistent token count across layers");
+
+    Tensor &kd = keys_[static_cast<std::size_t>(layer)];
+    Tensor &vd = values_[static_cast<std::size_t>(layer)];
+    for (std::int64_t b = 0; b < batch_; ++b) {
+        for (std::int64_t i = 0; i < t; ++i) {
+            for (std::int64_t c = 0; c < config_.kvDim(); ++c) {
+                kd.at(b, length_ + i, c) = k.at(b, i, c);
+                vd.at(b, length_ + i, c) = v.at(b, i, c);
+            }
+        }
+    }
+
+    ++nextLayer_;
+    if (nextLayer_ == config_.numLayers) {
+        nextLayer_ = 0;
+        length_ += pendingTokens_;
+        pendingTokens_ = 0;
+    }
+}
+
+Tensor
+KvCache::sliceCurrent(const Tensor &full) const
+{
+    // Include tokens appended mid-step so earlier layers' reads during
+    // the same step see their freshly appended KV.
+    const std::int64_t len =
+        length_ + (nextLayer_ > 0 ? pendingTokens_ : 0);
+    Tensor out({batch_, len, config_.kvDim()});
+    for (std::int64_t b = 0; b < batch_; ++b)
+        for (std::int64_t i = 0; i < len; ++i)
+            for (std::int64_t c = 0; c < config_.kvDim(); ++c)
+                out.at(b, i, c) = full.at(b, i, c);
+    return out;
+}
+
+Tensor
+KvCache::keys(std::int64_t layer) const
+{
+    LIA_ASSERT(layer >= 0 && layer < config_.numLayers, "bad layer");
+    return sliceCurrent(keys_[static_cast<std::size_t>(layer)]);
+}
+
+Tensor
+KvCache::values(std::int64_t layer) const
+{
+    LIA_ASSERT(layer >= 0 && layer < config_.numLayers, "bad layer");
+    return sliceCurrent(values_[static_cast<std::size_t>(layer)]);
+}
+
+double
+KvCache::bf16Bytes() const
+{
+    return 2.0 * 2.0 * static_cast<double>(batch_) *
+           static_cast<double>(length_) *
+           static_cast<double>(config_.kvDim()) *
+           static_cast<double>(config_.numLayers);
+}
+
+} // namespace runtime
+} // namespace lia

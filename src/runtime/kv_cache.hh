@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-layer key/value cache.
+ *
+ * Stores K and V for every decoder layer, appended once per prefill or
+ * decode step. The cache is the GPU-capacity pressure point that
+ * motivates the paper's host-side offloading: its byte count feeds the
+ * footprint checks and the transfer accounting.
+ */
+
+#ifndef LIA_RUNTIME_KV_CACHE_HH
+#define LIA_RUNTIME_KV_CACHE_HH
+
+#include <vector>
+
+#include "model/config.hh"
+#include "runtime/tensor.hh"
+
+namespace lia {
+namespace runtime {
+
+/** Growing K/V storage for all layers of one batch. */
+class KvCache
+{
+  public:
+    KvCache(const model::ModelConfig &config, std::int64_t batch,
+            std::int64_t max_len);
+
+    /**
+     * Append @p k and @p v (each (B, T, kvDim)) for @p layer. All
+     * layers must be appended the same number of tokens per step; the
+     * context length advances when the last layer is appended.
+     */
+    void append(std::int64_t layer, const Tensor &k, const Tensor &v);
+
+    /** Context length currently stored. */
+    std::int64_t length() const { return length_; }
+
+    std::int64_t batch() const { return batch_; }
+
+    /** Copy of layer @p layer's keys: (B, length, kvDim). */
+    Tensor keys(std::int64_t layer) const;
+
+    /** Copy of layer @p layer's values: (B, length, kvDim). */
+    Tensor values(std::int64_t layer) const;
+
+    /** BF16 bytes currently held (K and V, all layers). */
+    double bf16Bytes() const;
+
+  private:
+    Tensor sliceCurrent(const Tensor &full) const;
+
+    model::ModelConfig config_;
+    std::int64_t batch_;
+    std::int64_t maxLen_;
+    std::int64_t length_ = 0;
+    std::int64_t pendingTokens_ = 0;  //!< tokens appended this step
+    std::int64_t nextLayer_ = 0;      //!< append cursor
+    std::vector<Tensor> keys_;    //!< per layer (B, maxLen, kvDim)
+    std::vector<Tensor> values_;
+};
+
+} // namespace runtime
+} // namespace lia
+
+#endif // LIA_RUNTIME_KV_CACHE_HH

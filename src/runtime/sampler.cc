@@ -1,0 +1,77 @@
+#include "runtime/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace runtime {
+
+Sampler::Sampler(SamplingConfig config)
+    : config_(config), rng_(config.seed)
+{
+    LIA_ASSERT(config_.topK >= 1, "topK must be >= 1");
+    LIA_ASSERT(config_.temperature > 0, "temperature must be > 0");
+}
+
+std::int64_t
+Sampler::sample(const float *logits, std::int64_t n)
+{
+    LIA_ASSERT(n >= 1, "empty logits");
+    if (config_.mode == SamplingMode::Greedy) {
+        std::int64_t best = 0;
+        for (std::int64_t i = 1; i < n; ++i) {
+            if (logits[i] > logits[best])
+                best = i;
+        }
+        return best;
+    }
+
+    // Top-k with temperature: keep the k largest logits, softmax,
+    // draw from the categorical distribution.
+    const auto k =
+        std::min<std::int64_t>(config_.topK, n);
+    std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+    std::iota(idx.begin(), idx.end(), 0);
+    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                      [&](std::int64_t a, std::int64_t b) {
+                          return logits[a] > logits[b];
+                      });
+
+    const double inv_t = 1.0 / config_.temperature;
+    const double max_logit = logits[idx[0]];
+    std::vector<double> probs(static_cast<std::size_t>(k));
+    double sum = 0;
+    for (std::int64_t i = 0; i < k; ++i) {
+        probs[static_cast<std::size_t>(i)] = std::exp(
+            (static_cast<double>(logits[idx[static_cast<std::size_t>(
+                 i)]]) -
+             max_logit) *
+            inv_t);
+        sum += probs[static_cast<std::size_t>(i)];
+    }
+    double draw = rng_.uniform() * sum;
+    for (std::int64_t i = 0; i < k; ++i) {
+        draw -= probs[static_cast<std::size_t>(i)];
+        if (draw <= 0)
+            return idx[static_cast<std::size_t>(i)];
+    }
+    return idx[static_cast<std::size_t>(k - 1)];
+}
+
+std::vector<std::int64_t>
+Sampler::sampleRows(const Tensor &logits)
+{
+    LIA_ASSERT(logits.ndim() == 2, "sampler wants 2-D logits");
+    std::vector<std::int64_t> out;
+    out.reserve(static_cast<std::size_t>(logits.dim(0)));
+    for (std::int64_t i = 0; i < logits.dim(0); ++i)
+        out.push_back(
+            sample(logits.data() + i * logits.dim(1), logits.dim(1)));
+    return out;
+}
+
+} // namespace runtime
+} // namespace lia

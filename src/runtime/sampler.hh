@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Token sampling strategies for the generation loop.
+ *
+ * Greedy argmax is the default (and what the performance study uses —
+ * sampling choice does not affect timing); top-k with temperature is
+ * provided so the runtime is usable for actual text generation.
+ */
+
+#ifndef LIA_RUNTIME_SAMPLER_HH
+#define LIA_RUNTIME_SAMPLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "runtime/tensor.hh"
+
+namespace lia {
+namespace runtime {
+
+/** Sampling strategy selection. */
+enum class SamplingMode { Greedy, TopK };
+
+/** Sampling configuration. */
+struct SamplingConfig
+{
+    SamplingMode mode = SamplingMode::Greedy;
+    int topK = 40;             //!< candidates kept in TopK mode
+    double temperature = 1.0;  //!< logit divisor in TopK mode
+    std::uint64_t seed = 1;    //!< RNG seed for stochastic modes
+};
+
+/** Stateful sampler drawing one token per logits row. */
+class Sampler
+{
+  public:
+    explicit Sampler(SamplingConfig config = {});
+
+    /** Sample one token id from @p n logits. */
+    std::int64_t sample(const float *logits, std::int64_t n);
+
+    /** Sample one token per row of a (rows, vocab) tensor. */
+    std::vector<std::int64_t> sampleRows(const Tensor &logits);
+
+    const SamplingConfig &config() const { return config_; }
+
+  private:
+    SamplingConfig config_;
+    Rng rng_;
+};
+
+} // namespace runtime
+} // namespace lia
+
+#endif // LIA_RUNTIME_SAMPLER_HH

@@ -1,0 +1,132 @@
+#include "runtime/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "runtime/bf16.hh"
+
+namespace lia {
+namespace runtime {
+
+namespace {
+
+std::int64_t
+shapeNumel(const std::vector<std::int64_t> &shape)
+{
+    std::int64_t n = 1;
+    for (auto d : shape) {
+        LIA_ASSERT(d > 0, "tensor dimensions must be positive");
+        n *= d;
+    }
+    return n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shapeNumel(shape_)), 0.0f)
+{
+}
+
+Tensor
+Tensor::randomNormal(std::vector<std::int64_t> shape, Rng &rng,
+                     double stddev)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.data_)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+std::int64_t
+Tensor::dim(std::size_t axis) const
+{
+    LIA_ASSERT(axis < shape_.size(), "axis out of range");
+    return shape_[axis];
+}
+
+float &
+Tensor::at(std::int64_t i)
+{
+    LIA_ASSERT(ndim() == 1 && i >= 0 && i < shape_[0], "bad index");
+    return data_[static_cast<std::size_t>(i)];
+}
+
+float
+Tensor::at(std::int64_t i) const
+{
+    return const_cast<Tensor *>(this)->at(i);
+}
+
+float &
+Tensor::at(std::int64_t i, std::int64_t j)
+{
+    LIA_ASSERT(ndim() == 2 && i >= 0 && i < shape_[0] && j >= 0 &&
+               j < shape_[1], "bad index");
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+}
+
+float
+Tensor::at(std::int64_t i, std::int64_t j) const
+{
+    return const_cast<Tensor *>(this)->at(i, j);
+}
+
+float &
+Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k)
+{
+    LIA_ASSERT(ndim() == 3 && i >= 0 && i < shape_[0] && j >= 0 &&
+               j < shape_[1] && k >= 0 && k < shape_[2], "bad index");
+    return data_[static_cast<std::size_t>(
+        (i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float
+Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const
+{
+    return const_cast<Tensor *>(this)->at(i, j, k);
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor t;
+    t.shape_ = shape_;
+    t.data_ = data_;
+    return t;
+}
+
+Tensor
+Tensor::reshaped(std::vector<std::int64_t> shape) const
+{
+    LIA_ASSERT(shapeNumel(shape) == numel(),
+               "reshape must preserve element count");
+    Tensor t = clone();
+    t.shape_ = std::move(shape);
+    return t;
+}
+
+void
+Tensor::roundBf16()
+{
+    for (auto &v : data_)
+        v = roundToBf16(v);
+}
+
+double
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    LIA_ASSERT(shape_ == other.shape_, "shape mismatch");
+    double max_diff = 0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        max_diff = std::max(
+            max_diff,
+            static_cast<double>(std::fabs(data_[i] - other.data_[i])));
+    }
+    return max_diff;
+}
+
+} // namespace runtime
+} // namespace lia

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dense row-major FP32 tensor for the functional execution back-end.
+ *
+ * Deliberately minimal: contiguous storage, up to four dimensions, and
+ * the operations the transformer runtime needs. BF16 numerics are
+ * emulated by rounding storage through BF16 (see bf16.hh).
+ */
+
+#ifndef LIA_RUNTIME_TENSOR_HH
+#define LIA_RUNTIME_TENSOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace lia {
+namespace runtime {
+
+/** Dense row-major FP32 tensor. */
+class Tensor
+{
+  public:
+    /** An empty tensor. */
+    Tensor() = default;
+
+    /** A zero-initialised tensor of the given shape. */
+    explicit Tensor(std::vector<std::int64_t> shape);
+
+    /** A tensor filled with normal(0, stddev) values. */
+    static Tensor randomNormal(std::vector<std::int64_t> shape, Rng &rng,
+                               double stddev);
+
+    const std::vector<std::int64_t> &shape() const { return shape_; }
+    std::int64_t dim(std::size_t axis) const;
+    std::size_t ndim() const { return shape_.size(); }
+    std::int64_t numel() const
+    {
+        return static_cast<std::int64_t>(data_.size());
+    }
+    bool empty() const { return data_.empty(); }
+
+    /** Bytes this tensor would occupy at BF16 precision. */
+    double bf16Bytes() const { return 2.0 * numel(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &at(std::int64_t i);
+    float at(std::int64_t i) const;
+    float &at(std::int64_t i, std::int64_t j);
+    float at(std::int64_t i, std::int64_t j) const;
+    float &at(std::int64_t i, std::int64_t j, std::int64_t k);
+    float at(std::int64_t i, std::int64_t j, std::int64_t k) const;
+
+    /** Deep copy. */
+    Tensor clone() const;
+
+    /** Reinterpret as a new shape with identical element count. */
+    Tensor reshaped(std::vector<std::int64_t> shape) const;
+
+    /** Round every element through BF16. */
+    void roundBf16();
+
+    /** Largest absolute difference against @p other (same shape). */
+    double maxAbsDiff(const Tensor &other) const;
+
+  private:
+    std::vector<std::int64_t> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace runtime
+} // namespace lia
+
+#endif // LIA_RUNTIME_TENSOR_HH

@@ -1,0 +1,152 @@
+#include "runtime/weights.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace runtime {
+
+double
+LayerWeights::bf16Bytes() const
+{
+    double total = 0;
+    for (const Tensor *t :
+         {&wq, &wk, &wv, &wo, &bq, &bk, &bv, &bo, &w1, &b1, &w2, &b2,
+          &wg, &bg, &lnAttnGain, &lnAttnBias, &lnFfnGain,
+          &lnFfnBias}) {
+        total += t->bf16Bytes();
+    }
+    return total;
+}
+
+double
+LayerWeights::sublayerBf16Bytes(int sublayer) const
+{
+    switch (sublayer) {
+      case 0:  // QKV mapping
+        return wq.bf16Bytes() + wk.bf16Bytes() + wv.bf16Bytes() +
+               bq.bf16Bytes() + bk.bf16Bytes() + bv.bf16Bytes();
+      case 1:  // Q x K^T: operand is the KV cache, not parameters
+      case 2:  // S x V
+        return 0.0;
+      case 3:  // output projection
+        return wo.bf16Bytes() + bo.bf16Bytes();
+      case 4:  // FC1 (gate included for gated FFNs)
+        return w1.bf16Bytes() + b1.bf16Bytes() + wg.bf16Bytes() +
+               bg.bf16Bytes();
+      case 5:  // FC2
+        return w2.bf16Bytes() + b2.bf16Bytes();
+      default:
+        LIA_PANIC("bad sublayer index ", sublayer);
+    }
+}
+
+TransformerWeights
+TransformerWeights::random(const model::ModelConfig &config, Rng &rng)
+{
+    config.validate();
+    const std::int64_t d = config.dModel;
+    const std::int64_t kv = config.kvDim();
+    const std::int64_t f = config.ffnDim;
+    // Variance-preserving initialisation keeps activations O(1).
+    const double sd = 1.0 / std::sqrt(static_cast<double>(d));
+    const double sf = 1.0 / std::sqrt(static_cast<double>(f));
+
+    TransformerWeights w;
+    w.config = config;
+    w.embedding =
+        Tensor::randomNormal({config.vocabSize, d}, rng, 0.05);
+    w.posEmbedding =
+        Tensor::randomNormal({config.maxSeqLen, d}, rng, 0.02);
+    w.lnFinalGain = Tensor({d});
+    w.lnFinalBias = Tensor({d});
+    for (std::int64_t i = 0; i < d; ++i)
+        w.lnFinalGain.at(i) = 1.0f;
+
+    w.layers.reserve(static_cast<std::size_t>(config.numLayers));
+    for (std::int64_t l = 0; l < config.numLayers; ++l) {
+        LayerWeights lw;
+        lw.wq = Tensor::randomNormal({d, d}, rng, sd);
+        lw.wk = Tensor::randomNormal({d, kv}, rng, sd);
+        lw.wv = Tensor::randomNormal({d, kv}, rng, sd);
+        lw.wo = Tensor::randomNormal({d, d}, rng, sd);
+        lw.bq = Tensor({d});
+        lw.bk = Tensor({kv});
+        lw.bv = Tensor({kv});
+        lw.bo = Tensor({d});
+        lw.w1 = Tensor::randomNormal({d, f}, rng, sd);
+        lw.b1 = Tensor({f});
+        lw.w2 = Tensor::randomNormal({f, d}, rng, sf);
+        lw.b2 = Tensor({d});
+        if (config.gatedFfn) {
+            lw.wg = Tensor::randomNormal({d, f}, rng, sd);
+            lw.bg = Tensor({f});
+        }
+        lw.lnAttnGain = Tensor({d});
+        lw.lnAttnBias = Tensor({d});
+        lw.lnFfnGain = Tensor({d});
+        lw.lnFfnBias = Tensor({d});
+        for (std::int64_t i = 0; i < d; ++i) {
+            lw.lnAttnGain.at(i) = 1.0f;
+            lw.lnFfnGain.at(i) = 1.0f;
+        }
+        w.layers.push_back(std::move(lw));
+    }
+    return w;
+}
+
+namespace {
+
+/** Symmetric per-tensor fake-quantization onto a 2^bits grid. */
+void
+fakeQuantize(Tensor &t, int bits)
+{
+    if (t.empty())
+        return;
+    float absmax = 0;
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        absmax = std::max(absmax, std::fabs(t.data()[i]));
+    if (absmax == 0)
+        return;
+    const float levels =
+        static_cast<float>((1 << (bits - 1)) - 1);  // e.g. 127
+    const float scale = absmax / levels;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        const float q = std::round(t.data()[i] / scale);
+        t.data()[i] = std::clamp(q, -levels, levels) * scale;
+    }
+}
+
+} // namespace
+
+void
+quantizeWeights(TransformerWeights &weights,
+                model::WeightPrecision precision)
+{
+    if (precision == model::WeightPrecision::Bf16)
+        return;
+    const int bits =
+        precision == model::WeightPrecision::Int8 ? 8 : 4;
+    for (auto &layer : weights.layers) {
+        for (Tensor *t : {&layer.wq, &layer.wk, &layer.wv, &layer.wo,
+                          &layer.w1, &layer.w2, &layer.wg}) {
+            fakeQuantize(*t, bits);
+        }
+    }
+    weights.config = model::quantized(weights.config, precision);
+}
+
+double
+TransformerWeights::bf16Bytes() const
+{
+    double total = embedding.bf16Bytes() + posEmbedding.bf16Bytes() +
+                   lnFinalGain.bf16Bytes() + lnFinalBias.bf16Bytes();
+    for (const auto &layer : layers)
+        total += layer.bf16Bytes();
+    return total;
+}
+
+} // namespace runtime
+} // namespace lia

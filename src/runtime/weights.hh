@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Transformer weight containers.
+ *
+ * The paper's artifact evaluates with synthetic ("dummy") weights since
+ * performance is independent of weight values; TransformerWeights::
+ * random produces deterministic synthetic parameters from a seed, with
+ * variance scaling that keeps activations bounded so tiny models decode
+ * sensibly.
+ */
+
+#ifndef LIA_RUNTIME_WEIGHTS_HH
+#define LIA_RUNTIME_WEIGHTS_HH
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "model/config.hh"
+#include "runtime/tensor.hh"
+
+namespace lia {
+namespace runtime {
+
+/** Parameters of one decoder layer (pre-LN OPT style). */
+struct LayerWeights
+{
+    Tensor wq, wk, wv, wo;      //!< (d,d) (d,kv) (d,kv) (d,d)
+    Tensor bq, bk, bv, bo;      //!< biases
+    Tensor w1, b1, w2, b2;      //!< FFN up/down
+    Tensor wg, bg;              //!< gate projection (gated FFNs only)
+    Tensor lnAttnGain, lnAttnBias;  //!< pre-attention LayerNorm
+    Tensor lnFfnGain, lnFfnBias;    //!< pre-FFN LayerNorm
+
+    /** BF16 bytes of all tensors in this layer. */
+    double bf16Bytes() const;
+
+    /** BF16 bytes of the weights used by one sublayer (0-5). */
+    double sublayerBf16Bytes(int sublayer) const;
+};
+
+/** Full model parameters. */
+struct TransformerWeights
+{
+    model::ModelConfig config;
+    Tensor embedding;      //!< (vocab, d); LM head is tied
+    Tensor posEmbedding;   //!< (maxSeq, d)
+    Tensor lnFinalGain, lnFinalBias;
+    std::vector<LayerWeights> layers;
+
+    /** Deterministic synthetic weights. */
+    static TransformerWeights random(const model::ModelConfig &config,
+                                     Rng &rng);
+
+    /** BF16 bytes of all parameters. */
+    double bf16Bytes() const;
+};
+
+/**
+ * Apply simulated weight-only quantization in place: every weight
+ * matrix is rounded onto a symmetric per-tensor INT8/INT4 grid (and
+ * dequantized back to FP32 storage), and the config's
+ * weightBytesPerElement is updated so all transfer accounting sees
+ * the compressed size. Embeddings, biases, and norms stay BF16, as in
+ * standard weight-only schemes.
+ */
+void quantizeWeights(TransformerWeights &weights,
+                     model::WeightPrecision precision);
+
+} // namespace runtime
+} // namespace lia
+
+#endif // LIA_RUNTIME_WEIGHTS_HH

@@ -1,0 +1,38 @@
+#include "sim/event_queue.hh"
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace sim {
+
+void
+EventQueue::schedule(Tick when, std::function<void()> callback)
+{
+    LIA_ASSERT(when >= now_, "cannot schedule in the past: ", when,
+               " < ", now_);
+    heap_.push(Event{when, nextSeq_++, std::move(callback)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // Move out of the heap before popping so the callback may schedule.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.callback();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+} // namespace sim
+} // namespace lia

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal gem5-style event queue: events are (time, sequence) ordered
+ * callbacks; the queue advances a simulated clock as it drains. All
+ * timing in the simulator is in seconds (double), matching the rest of
+ * the library.
+ */
+
+#ifndef LIA_SIM_EVENT_QUEUE_HH
+#define LIA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace lia {
+namespace sim {
+
+/** Simulated time in seconds. */
+using Tick = double;
+
+/** Min-heap driven discrete-event scheduler. */
+class EventQueue
+{
+  public:
+    /** Schedule @p callback at absolute time @p when (>= now). */
+    void schedule(Tick when, std::function<void()> callback);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Whether any events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Execute the next event; returns false when the queue is empty. */
+    bool step();
+
+    /** Drain the queue completely. */
+    void run();
+
+    /** Number of events executed so far. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;  //!< FIFO tie-breaker for simultaneous events
+        std::function<void()> callback;
+    };
+
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sim
+} // namespace lia
+
+#endif // LIA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,131 @@
+#include "sim/pipeline.hh"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/task_graph.hh"
+
+namespace lia {
+namespace sim {
+
+PipelineResult
+simulateStage(const core::CostModel &cost_model,
+              const model::Workload &workload,
+              const core::Policy &streamed_policy,
+              const core::Policy &resident_policy, int resident_layers,
+              bool collect_spans)
+{
+    const auto layers = cost_model.model().numLayers;
+    LIA_ASSERT(resident_layers >= 0 && resident_layers <= layers,
+               "bad resident layer count");
+
+    EventQueue queue;
+    // PCIe is full duplex: host-to-device traffic (parameter prefetch,
+    // operand loads toward the GPU) and device-to-host traffic (loads
+    // toward the CPU, KV store-backs) ride independent directions.
+    Resource link_down(queue, "pcie-h2d");
+    Resource link_up(queue, "pcie-d2h");
+    Resource cpu(queue, "cpu");
+    Resource gpu(queue, "gpu");
+    TaskGraph graph(queue);
+
+    using TaskId = TaskGraph::TaskId;
+    // Completion of each layer's final chain task, for cross-layer and
+    // double-buffer dependencies.
+    std::vector<TaskId> layer_tail;
+    layer_tail.reserve(layers);
+
+    for (std::int64_t layer = 0; layer < layers; ++layer) {
+        // Resident layers interleave evenly with streamed ones so the
+        // link can prefetch ahead while resident layers compute (the
+        // placement LIA's Optimization-1 would choose).
+        const auto r = static_cast<std::int64_t>(resident_layers);
+        const bool resident =
+            ((layer + 1) * r) / layers > (layer * r) / layers;
+        const core::Policy &policy =
+            resident ? resident_policy : streamed_policy;
+
+        // Gather this layer's sublayer timings.
+        double prefetch_total = 0;
+        std::vector<core::SublayerTiming> timings;
+        for (int i = 0; i < model::kNumSublayers; ++i) {
+            timings.push_back(cost_model.sublayerTiming(
+                workload, policy, i, resident));
+            prefetch_total += timings.back().prefetchPcieTime;
+        }
+
+        // Parameter prefetch: double-buffered two layers deep — the
+        // stream for layer L may begin once layer L-2 has finished
+        // computing and released its buffer.
+        std::optional<TaskId> prefetch;
+        if (prefetch_total > 0) {
+            std::vector<TaskId> deps;
+            if (layer >= 2)
+                deps.push_back(layer_tail[layer - 2]);
+            prefetch = graph.addTask(
+                "prefetch L" + std::to_string(layer), &link_down,
+                prefetch_total, deps);
+        }
+
+        // The sequential sublayer chain: inline transfer, compute,
+        // then any store-back.
+        std::optional<TaskId> prev;
+        if (layer > 0)
+            prev = layer_tail[layer - 1];
+        for (int i = 0; i < model::kNumSublayers; ++i) {
+            const auto &t = timings[i];
+            const bool on_cpu = t.cpuTime > 0;
+            if (t.inlinePcieTime > 0) {
+                // Loads travel toward the consuming device.
+                Resource *channel = on_cpu ? &link_up : &link_down;
+                std::vector<TaskId> deps;
+                if (prev)
+                    deps.push_back(*prev);
+                prev = graph.addTask(
+                    "xfer L" + std::to_string(layer) + "." +
+                        std::to_string(i),
+                    channel, t.inlinePcieTime, deps);
+            }
+            {
+                const double comp = t.cpuTime + t.gpuTime;
+                Resource *res = on_cpu ? &cpu : &gpu;
+                std::vector<TaskId> deps;
+                if (prev)
+                    deps.push_back(*prev);
+                if (prefetch)
+                    deps.push_back(*prefetch);
+                prev = graph.addTask(
+                    "comp L" + std::to_string(layer) + "." +
+                        std::to_string(i),
+                    res, comp, deps);
+            }
+            if (t.storePcieTime > 0) {
+                // Store-backs always run device-to-host.
+                std::vector<TaskId> deps{*prev};
+                prev = graph.addTask(
+                    "store L" + std::to_string(layer) + "." +
+                        std::to_string(i),
+                    &link_up, t.storePcieTime, deps);
+            }
+        }
+        LIA_ASSERT(prev.has_value(), "layer produced no tasks");
+        layer_tail.push_back(*prev);
+    }
+
+    graph.run();
+
+    PipelineResult result;
+    result.makespan = graph.makespan();
+    result.linkBusy = link_down.busyTime() + link_up.busyTime();
+    result.cpuBusy = cpu.busyTime();
+    result.gpuBusy = gpu.busyTime();
+    result.tasks = graph.size();
+    if (collect_spans)
+        result.spans = graph.spans();
+    return result;
+}
+
+} // namespace sim
+} // namespace lia

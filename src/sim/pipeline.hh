@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Discrete-event execution of one inference stage (Fig. 7).
+ *
+ * Builds the decoder-layer task graph — parameter prefetch streams on
+ * the PCIe channel double-buffered two layers deep, activation/KV hops
+ * and compute chained through their data dependencies — and executes it
+ * on the DES kernel. Unlike the closed-form max(prefetch, chain) model,
+ * the simulation captures contention between prefetch and inline
+ * traffic on the shared link, and pipeline fill/drain effects.
+ */
+
+#ifndef LIA_SIM_PIPELINE_HH
+#define LIA_SIM_PIPELINE_HH
+
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "sim/task_graph.hh"
+
+namespace lia {
+namespace sim {
+
+/** Outcome of simulating one stage across all decoder layers. */
+struct PipelineResult
+{
+    double makespan = 0;   //!< end-to-end seconds for the stage
+    double linkBusy = 0;   //!< PCIe channel busy seconds
+    double cpuBusy = 0;    //!< CPU stream busy seconds
+    double gpuBusy = 0;    //!< GPU stream busy seconds
+    std::size_t tasks = 0; //!< tasks executed
+
+    /** Executed task spans (only when collect_spans was requested). */
+    std::vector<TaskSpan> spans;
+
+    /** Link utilisation over the makespan. */
+    double linkUtilisation() const
+    {
+        return makespan > 0 ? linkBusy / makespan : 0.0;
+    }
+};
+
+/**
+ * Simulate one stage (all decoder layers) under the given policies.
+ *
+ * @param cost_model       source of per-sublayer durations
+ * @param workload         the stage operating point
+ * @param streamed_policy  policy of layers streaming their parameters
+ * @param resident_policy  policy of GPU-resident layers
+ * @param resident_layers  number of leading GPU-resident layers
+ */
+PipelineResult simulateStage(const core::CostModel &cost_model,
+                             const model::Workload &workload,
+                             const core::Policy &streamed_policy,
+                             const core::Policy &resident_policy,
+                             int resident_layers,
+                             bool collect_spans = false);
+
+} // namespace sim
+} // namespace lia
+
+#endif // LIA_SIM_PIPELINE_HH

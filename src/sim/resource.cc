@@ -1,0 +1,45 @@
+#include "sim/resource.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace sim {
+
+Resource::Resource(EventQueue &queue, std::string name)
+    : queue_(queue), name_(std::move(name))
+{
+}
+
+void
+Resource::submit(Tick ready, double duration,
+                 std::function<void(Tick)> done)
+{
+    submitSpan(ready, duration,
+               [done = std::move(done)](Tick, Tick finish) {
+                   if (done)
+                       done(finish);
+               });
+}
+
+void
+Resource::submitSpan(Tick ready, double duration,
+                     std::function<void(Tick, Tick)> done)
+{
+    LIA_ASSERT(duration >= 0, name_, ": negative duration");
+    LIA_ASSERT(ready >= 0, name_, ": negative ready time");
+    const Tick start = std::max(ready, freeAt_);
+    const Tick finish = start + duration;
+    freeAt_ = finish;
+    busyTime_ += duration;
+    queue_.schedule(finish,
+                    [done = std::move(done), start, finish] {
+                        if (done)
+                            done(start, finish);
+                    });
+}
+
+} // namespace sim
+} // namespace lia

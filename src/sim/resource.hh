@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Serially-shared simulation resources.
+ *
+ * A Resource models one unit that processes work items back-to-back: a
+ * compute device's execution stream or a PCIe channel. Work submitted
+ * while the resource is busy queues FIFO; utilisation statistics are
+ * collected for the runtime breakdowns.
+ */
+
+#ifndef LIA_SIM_RESOURCE_HH
+#define LIA_SIM_RESOURCE_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hh"
+
+namespace lia {
+namespace sim {
+
+/** One serially-shared resource (device stream or link channel). */
+class Resource
+{
+  public:
+    Resource(EventQueue &queue, std::string name);
+
+    /**
+     * Submit work that becomes ready at @p ready and occupies the
+     * resource for @p duration seconds. @p done runs at completion
+     * with the completion time.
+     */
+    void submit(Tick ready, double duration,
+                std::function<void(Tick)> done);
+
+    /**
+     * Like submit(), but the completion callback also receives the
+     * time the work actually started occupying the resource (for
+     * timeline/Gantt reconstruction).
+     */
+    void submitSpan(Tick ready, double duration,
+                    std::function<void(Tick, Tick)> done);
+
+    /** Earliest time new work could start. */
+    Tick freeAt() const { return freeAt_; }
+
+    /** Total busy seconds accumulated. */
+    double busyTime() const { return busyTime_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    EventQueue &queue_;
+    std::string name_;
+    Tick freeAt_ = 0;
+    double busyTime_ = 0;
+};
+
+} // namespace sim
+} // namespace lia
+
+#endif // LIA_SIM_RESOURCE_HH

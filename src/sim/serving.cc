@@ -1,0 +1,137 @@
+#include "sim/serving.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+
+namespace lia {
+namespace sim {
+
+ServingResult
+simulateServing(const ServingConfig &config,
+                const ServiceTimeFn &service_time)
+{
+    LIA_ASSERT(config.arrivalRatePerSecond > 0, "bad arrival rate");
+    LIA_ASSERT(config.requests > 0, "no requests");
+    LIA_ASSERT(service_time != nullptr, "no service-time model");
+
+    Rng rng(config.seed);
+    trace::AzureTraceGenerator gen(config.trace, config.maxContext,
+                                   config.seed + 1);
+
+    EventQueue queue;
+    Resource server(queue, "engine");
+    ServingResult result;
+
+    double arrival = 0;
+    for (std::size_t i = 0; i < config.requests; ++i) {
+        // Poisson process: exponential inter-arrival gaps.
+        const double u = std::max(rng.uniform(), 1e-12);
+        arrival += -std::log(u) / config.arrivalRatePerSecond;
+
+        const trace::Request request = gen.next();
+        const double service = service_time(request);
+        LIA_ASSERT(service > 0, "service time must be positive");
+
+        server.submit(arrival, service,
+                      [&result, arrival, service](Tick done) {
+                          result.serviceTime.add(service);
+                          result.responseTime.add(done - arrival);
+                          result.waitingTime.add(done - arrival -
+                                                 service);
+                      });
+    }
+    queue.run();
+
+    result.makespan = queue.now();
+    result.utilisation =
+        result.makespan > 0 ? server.busyTime() / result.makespan
+                            : 0.0;
+    return result;
+}
+
+ServingResult
+simulateBatchedServing(const ServingConfig &config,
+                       const BatchingConfig &batching,
+                       const BatchTimeFn &batch_time)
+{
+    LIA_ASSERT(config.arrivalRatePerSecond > 0, "bad arrival rate");
+    LIA_ASSERT(config.requests > 0, "no requests");
+    LIA_ASSERT(batching.window >= 0, "bad batching window");
+    LIA_ASSERT(batching.maxBatch >= 1, "bad batch ceiling");
+    LIA_ASSERT(batch_time != nullptr, "no batch-time model");
+
+    Rng rng(config.seed);
+    trace::AzureTraceGenerator gen(config.trace, config.maxContext,
+                                   config.seed + 1);
+
+    // Draw the full arrival sequence up front.
+    struct Arrival
+    {
+        double at;
+        trace::Request request;
+    };
+    std::vector<Arrival> arrivals;
+    arrivals.reserve(config.requests);
+    double t = 0;
+    for (std::size_t i = 0; i < config.requests; ++i) {
+        const double u = std::max(rng.uniform(), 1e-12);
+        t += -std::log(u) / config.arrivalRatePerSecond;
+        arrivals.push_back(Arrival{t, gen.next()});
+    }
+
+    ServingResult result;
+    double server_free = 0;
+    double busy = 0;
+    std::size_t next = 0;
+    while (next < arrivals.size()) {
+        // Collect one batch: everything arriving within the window of
+        // the first queued request (or already queued while the
+        // server was busy), capped at maxBatch.
+        const double window_open =
+            std::max(arrivals[next].at, server_free);
+        const double window_close =
+            std::max(arrivals[next].at + batching.window, server_free);
+        std::size_t end = next;
+        trace::Request widest = arrivals[next].request;
+        while (end < arrivals.size() &&
+               static_cast<std::int64_t>(end - next) <
+                   batching.maxBatch &&
+               arrivals[end].at <= window_close) {
+            widest.lIn = std::max(widest.lIn, arrivals[end].request.lIn);
+            widest.lOut =
+                std::max(widest.lOut, arrivals[end].request.lOut);
+            ++end;
+        }
+
+        const auto batch =
+            static_cast<std::int64_t>(end - next);
+        const double dispatch =
+            std::max(window_open,
+                     std::min(window_close, arrivals[end - 1].at));
+        const double duration = batch_time(batch, widest);
+        LIA_ASSERT(duration > 0, "batch time must be positive");
+        const double done = dispatch + duration;
+
+        for (std::size_t i = next; i < end; ++i) {
+            result.serviceTime.add(duration);
+            result.responseTime.add(done - arrivals[i].at);
+            result.waitingTime.add(done - arrivals[i].at - duration);
+        }
+        busy += duration;
+        server_free = done;
+        next = end;
+    }
+
+    result.makespan = server_free;
+    result.utilisation =
+        result.makespan > 0 ? busy / result.makespan : 0.0;
+    return result;
+}
+
+} // namespace sim
+} // namespace lia

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Online-serving queue simulation.
+ *
+ * The paper motivates the latency-driven regime with user-facing
+ * applications (§1): requests arrive continuously and response time —
+ * queueing included — is what the user experiences. This module runs
+ * an M/G/1-style simulation on the DES kernel: Poisson arrivals,
+ * FIFO service, per-request service times supplied by a latency model
+ * (e.g. the LIA engine at B = 1), and reports waiting/latency
+ * distributions and utilisation.
+ */
+
+#ifndef LIA_SIM_SERVING_HH
+#define LIA_SIM_SERVING_HH
+
+#include <functional>
+
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "trace/azure.hh"
+
+namespace lia {
+namespace sim {
+
+/** Configuration of one serving simulation. */
+struct ServingConfig
+{
+    double arrivalRatePerSecond = 0.05;  //!< Poisson arrival rate
+    std::size_t requests = 200;          //!< requests to simulate
+    trace::TraceKind trace = trace::TraceKind::Code;
+    std::int64_t maxContext = 2048;
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of the simulation. */
+struct ServingResult
+{
+    SampleStats serviceTime;   //!< pure inference seconds
+    SampleStats waitingTime;   //!< seconds queued before service
+    SampleStats responseTime;  //!< waiting + service
+    double makespan = 0;       //!< simulated wall-clock span
+    double utilisation = 0;    //!< server busy fraction
+
+    /** Whether the offered load kept the queue stable (util < 1). */
+    bool stable() const { return utilisation < 0.999; }
+};
+
+/** Maps one trace request to its inference latency in seconds. */
+using ServiceTimeFn = std::function<double(const trace::Request &)>;
+
+/**
+ * Simulate FIFO single-server serving.
+ *
+ * @param config        arrival process and trace shape
+ * @param service_time  per-request latency model
+ */
+ServingResult simulateServing(const ServingConfig &config,
+                              const ServiceTimeFn &service_time);
+
+/** Dynamic-batching policy for simulateBatchedServing. */
+struct BatchingConfig
+{
+    /** Longest a request may wait for batch-mates, seconds. */
+    double window = 5.0;
+
+    /** Dispatch immediately once this many requests are queued. */
+    std::int64_t maxBatch = 32;
+};
+
+/**
+ * Maps a dispatched batch (size, representative request) to its
+ * inference latency in seconds.
+ */
+using BatchTimeFn =
+    std::function<double(std::int64_t, const trace::Request &)>;
+
+/**
+ * Simulate dynamic batching: arrivals accumulate until the window
+ * expires or maxBatch requests are queued, then dispatch as one
+ * engine batch. Captures the latency/throughput trade the paper's
+ * online-vs-offline split hides: batching amortises parameter reads
+ * (tokens/s up) at the price of queueing delay (response time up).
+ */
+ServingResult simulateBatchedServing(const ServingConfig &config,
+                                     const BatchingConfig &batching,
+                                     const BatchTimeFn &batch_time);
+
+} // namespace sim
+} // namespace lia
+
+#endif // LIA_SIM_SERVING_HH

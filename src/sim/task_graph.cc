@@ -1,0 +1,125 @@
+#include "sim/task_graph.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace sim {
+
+TaskGraph::TaskGraph(EventQueue &queue) : queue_(queue)
+{
+}
+
+TaskGraph::TaskId
+TaskGraph::addTask(std::string name, Resource *resource, double duration,
+                   const std::vector<TaskId> &deps)
+{
+    LIA_ASSERT(!ran_, "graph already executed");
+    LIA_ASSERT(resource != nullptr || duration == 0,
+               "barrier tasks must have zero duration");
+    const TaskId id = tasks_.size();
+    Task task;
+    task.name = std::move(name);
+    task.resource = resource;
+    task.duration = duration;
+    task.pendingDeps = static_cast<int>(deps.size());
+    tasks_.push_back(std::move(task));
+    for (TaskId dep : deps) {
+        LIA_ASSERT(dep < id, "dependency on a later task");
+        tasks_[dep].dependents.push_back(id);
+    }
+    return id;
+}
+
+void
+TaskGraph::release(TaskId id)
+{
+    Task &task = tasks_[id];
+    if (task.resource) {
+        task.resource->submitSpan(
+            task.ready, task.duration,
+            [this, id](Tick start, Tick finish) {
+                complete(id, start, finish);
+            });
+    } else {
+        // Barrier: completes instantly at its ready time.
+        const Tick when = std::max(task.ready, queue_.now());
+        queue_.schedule(when, [this, id, when] {
+            complete(id, when, when);
+        });
+    }
+}
+
+void
+TaskGraph::complete(TaskId id, Tick start, Tick finish)
+{
+    Task &task = tasks_[id];
+    LIA_ASSERT(!task.done, task.name, ": completed twice");
+    task.done = true;
+    task.start = start;
+    task.finish = finish;
+    for (TaskId next : task.dependents) {
+        Task &succ = tasks_[next];
+        succ.ready = std::max(succ.ready, finish);
+        if (--succ.pendingDeps == 0)
+            release(next);
+    }
+}
+
+void
+TaskGraph::run()
+{
+    LIA_ASSERT(!ran_, "graph already executed");
+    ran_ = true;
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+        if (tasks_[id].pendingDeps == 0)
+            release(id);
+    }
+    queue_.run();
+    for (const auto &task : tasks_)
+        LIA_ASSERT(task.done, task.name, ": never ran (cycle?)");
+}
+
+Tick
+TaskGraph::finishTime(TaskId task) const
+{
+    LIA_ASSERT(task < tasks_.size(), "bad task id");
+    LIA_ASSERT(tasks_[task].done, "graph not executed");
+    return tasks_[task].finish;
+}
+
+Tick
+TaskGraph::startTime(TaskId task) const
+{
+    LIA_ASSERT(task < tasks_.size(), "bad task id");
+    LIA_ASSERT(tasks_[task].done, "graph not executed");
+    return tasks_[task].start;
+}
+
+std::vector<TaskSpan>
+TaskGraph::spans() const
+{
+    std::vector<TaskSpan> out;
+    out.reserve(tasks_.size());
+    for (const auto &task : tasks_) {
+        LIA_ASSERT(task.done, task.name, ": graph not executed");
+        out.push_back(TaskSpan{
+            task.name,
+            task.resource ? task.resource->name() : std::string(),
+            task.start, task.finish});
+    }
+    return out;
+}
+
+Tick
+TaskGraph::makespan() const
+{
+    Tick max_finish = 0;
+    for (const auto &task : tasks_)
+        max_finish = std::max(max_finish, task.finish);
+    return max_finish;
+}
+
+} // namespace sim
+} // namespace lia

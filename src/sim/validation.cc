@@ -1,0 +1,67 @@
+#include "sim/validation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "core/optimizer.hh"
+#include "sim/pipeline.hh"
+
+namespace lia {
+namespace sim {
+
+double
+ValidationReport::meanAbsError() const
+{
+    LIA_ASSERT(!points.empty(), "empty validation report");
+    double sum = 0;
+    for (const auto &p : points)
+        sum += std::fabs(p.relativeError());
+    return sum / static_cast<double>(points.size());
+}
+
+double
+ValidationReport::maxAbsError() const
+{
+    LIA_ASSERT(!points.empty(), "empty validation report");
+    double max_err = 0;
+    for (const auto &p : points)
+        max_err = std::max(max_err, std::fabs(p.relativeError()));
+    return max_err;
+}
+
+ValidationReport
+validateOverlapModel(const hw::SystemConfig &system,
+                     const model::ModelConfig &config,
+                     const std::vector<std::int64_t> &batches,
+                     const std::vector<std::int64_t> &contexts)
+{
+    core::CostModel cm(system, config, {});
+    core::PolicyOptimizer opt(cm);
+    const double layers = static_cast<double>(config.numLayers);
+
+    ValidationReport report;
+    for (auto stage : {model::Stage::Prefill, model::Stage::Decode}) {
+        for (auto batch : batches) {
+            for (auto context : contexts) {
+                model::Workload w{stage, batch, context};
+                const auto choice = opt.optimize(w);
+
+                ValidationPoint point;
+                point.workload = w;
+                point.policy = choice.policy;
+                point.analytical =
+                    layers * choice.timing.overlappedTime();
+                point.simulated =
+                    simulateStage(cm, w, choice.policy, choice.policy,
+                                  0)
+                        .makespan;
+                report.points.push_back(point);
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace sim
+} // namespace lia

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Latency-model validation harness.
+ *
+ * The paper validates its analytical model against the real system and
+ * reports a 12% average error (§7 "Memory constraints and latency
+ * model"). With the testbed replaced by the discrete-event simulator,
+ * the analogous check compares the closed-form stage estimates against
+ * DES execution of the same plan across an operating-point grid and
+ * reports the error distribution.
+ */
+
+#ifndef LIA_SIM_VALIDATION_HH
+#define LIA_SIM_VALIDATION_HH
+
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "core/policy.hh"
+
+namespace lia {
+namespace sim {
+
+/** One validated operating point. */
+struct ValidationPoint
+{
+    model::Workload workload;
+    core::Policy policy;
+    double analytical = 0;  //!< closed-form stage seconds
+    double simulated = 0;   //!< DES makespan seconds
+
+    /** Signed relative error of the closed form vs. the DES. */
+    double relativeError() const
+    {
+        return (analytical - simulated) / simulated;
+    }
+};
+
+/** Aggregate validation outcome. */
+struct ValidationReport
+{
+    std::vector<ValidationPoint> points;
+
+    /** Mean of |relative error| across points. */
+    double meanAbsError() const;
+
+    /** Largest |relative error|. */
+    double maxAbsError() const;
+};
+
+/**
+ * Validate the closed-form overlap model on @p system / @p config
+ * across a (B, L, stage) grid. For each point the Eq.-(1)-optimal
+ * policy is evaluated both ways.
+ *
+ * @param batches   batch sizes to sweep
+ * @param contexts  context lengths to sweep
+ */
+ValidationReport validateOverlapModel(
+    const hw::SystemConfig &system, const model::ModelConfig &config,
+    const std::vector<std::int64_t> &batches,
+    const std::vector<std::int64_t> &contexts);
+
+} // namespace sim
+} // namespace lia
+
+#endif // LIA_SIM_VALIDATION_HH

@@ -1,0 +1,99 @@
+#include "trace/scheduler.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.hh"
+#include "model/footprint.hh"
+
+namespace lia {
+namespace trace {
+
+namespace {
+
+core::EngineConfig
+liaConfig(const hw::SystemConfig &system)
+{
+    core::EngineConfig cfg;
+    cfg.costOptions.executionAwareObjective = true;
+    cfg.autoMemoryPolicy = system.cxl.present();
+    return cfg;
+}
+
+std::int64_t
+padTo(std::int64_t value, std::int64_t granule)
+{
+    return (value + granule - 1) / granule * granule;
+}
+
+} // namespace
+
+BatchScheduler::BatchScheduler(const hw::SystemConfig &system,
+                               const model::ModelConfig &model)
+    : system_(system), model_(model),
+      engine_(system, model, liaConfig(system))
+{
+    model_.validate();
+}
+
+ScheduleResult
+BatchScheduler::schedule(const std::vector<Request> &requests,
+                         const SchedulerConfig &config) const
+{
+    LIA_ASSERT(!requests.empty(), "nothing to schedule");
+    LIA_ASSERT(config.maxBatch >= 1, "bad batch ceiling");
+    LIA_ASSERT(config.inputBucket >= 1 && config.outputBucket >= 1,
+               "bad bucket granularity");
+
+    // Group by padded shape.
+    std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t>
+        buckets;
+    std::int64_t useful = 0;
+    for (const auto &request : requests) {
+        LIA_ASSERT(request.lIn >= 1 && request.lOut >= 1,
+                   "bad request");
+        // Pad the output first, then give the input whatever context
+        // budget remains — padding must never shrink a request.
+        std::int64_t l_out =
+            padTo(request.lOut, config.outputBucket);
+        if (request.lIn + l_out > model_.maxSeqLen)
+            l_out = model_.maxSeqLen - request.lIn;
+        const std::int64_t l_in =
+            std::min(padTo(request.lIn, config.inputBucket),
+                     model_.maxSeqLen - l_out);
+        LIA_ASSERT(l_in >= request.lIn && l_out >= request.lOut,
+                   "request exceeds the model context budget");
+        buckets[{l_in, l_out}] += 1;
+        useful += request.lOut;
+    }
+
+    ScheduleResult result;
+    result.usefulTokens = useful;
+
+    for (const auto &[shape, count] : buckets) {
+        const auto [l_in, l_out] = shape;
+        // The engine caps the batch by memory capacity too.
+        std::int64_t capacity_cap = model::maxBatchForCapacity(
+            model_, l_in, l_out, system_.hostMemoryCapacity());
+        capacity_cap = std::max<std::int64_t>(capacity_cap, 1);
+        const std::int64_t batch_cap =
+            std::min(config.maxBatch, capacity_cap);
+
+        std::int64_t remaining = count;
+        while (remaining > 0) {
+            const std::int64_t batch =
+                std::min(remaining, batch_cap);
+            const core::Scenario sc{batch, l_in, l_out};
+            const auto est = engine_.estimate(sc);
+            result.batches.push_back(
+                ScheduledBatch{batch, l_in, l_out, est.latency()});
+            result.makespan += est.latency();
+            result.paddedTokens += batch * l_out;
+            remaining -= batch;
+        }
+    }
+    return result;
+}
+
+} // namespace trace
+} // namespace lia

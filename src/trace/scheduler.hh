@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Offline batch scheduler.
+ *
+ * The paper's throughput-driven scenarios assume a corpus already
+ * grouped into uniform batches; real corpora have mixed lengths. This
+ * scheduler buckets requests by padded (L_in, L_out), splits buckets
+ * into engine-sized batches, prices each batch with the LIA engine,
+ * and reports makespan / effective throughput / padding waste — the
+ * orchestration layer a deployment would run above the back-end.
+ */
+
+#ifndef LIA_TRACE_SCHEDULER_HH
+#define LIA_TRACE_SCHEDULER_HH
+
+#include <vector>
+
+#include "core/engine.hh"
+#include "trace/azure.hh"
+
+namespace lia {
+namespace trace {
+
+/** Scheduling knobs. */
+struct SchedulerConfig
+{
+    std::int64_t maxBatch = 256;          //!< engine batch ceiling
+    std::int64_t inputBucket = 128;       //!< L_in padding granularity
+    std::int64_t outputBucket = 32;       //!< L_out padding granularity
+};
+
+/** One batch the scheduler dispatched. */
+struct ScheduledBatch
+{
+    std::int64_t batch = 0;   //!< requests in the batch
+    std::int64_t lIn = 0;     //!< padded input length
+    std::int64_t lOut = 0;    //!< padded output length
+    double latency = 0;       //!< engine seconds for the batch
+};
+
+/** Outcome of scheduling one corpus. */
+struct ScheduleResult
+{
+    std::vector<ScheduledBatch> batches;
+    double makespan = 0;          //!< serial seconds over all batches
+    std::int64_t usefulTokens = 0;   //!< requested output tokens
+    std::int64_t paddedTokens = 0;   //!< tokens actually generated
+
+    /** Useful generated tokens per second. */
+    double throughput() const
+    {
+        return makespan > 0
+                   ? static_cast<double>(usefulTokens) / makespan
+                   : 0.0;
+    }
+
+    /** Fraction of generated tokens wasted on padding. */
+    double paddingWaste() const
+    {
+        return paddedTokens > 0
+                   ? 1.0 - static_cast<double>(usefulTokens) /
+                               static_cast<double>(paddedTokens)
+                   : 0.0;
+    }
+};
+
+/** Length-bucketing batch scheduler over the LIA engine. */
+class BatchScheduler
+{
+  public:
+    BatchScheduler(const hw::SystemConfig &system,
+                   const model::ModelConfig &model);
+
+    /** Schedule @p requests under @p config. */
+    ScheduleResult schedule(const std::vector<Request> &requests,
+                            const SchedulerConfig &config) const;
+
+  private:
+    hw::SystemConfig system_;
+    model::ModelConfig model_;
+    core::EngineModel engine_;
+};
+
+} // namespace trace
+} // namespace lia
+
+#endif // LIA_TRACE_SCHEDULER_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/args.hh"
+
+namespace {
+
+using lia::ArgParser;
+
+ArgParser
+parse(std::initializer_list<const char *> argv)
+{
+    std::vector<const char *> v(argv);
+    return ArgParser(static_cast<int>(v.size()), v.data());
+}
+
+TEST(ArgParserTest, KeyValuePairs)
+{
+    const auto args = parse({"prog", "--system", "SPR-A100",
+                             "--batch", "64"});
+    EXPECT_EQ(args.getString("system", ""), "SPR-A100");
+    EXPECT_EQ(args.getInt("batch", 0), 64);
+    EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(ArgParserTest, EqualsSyntax)
+{
+    const auto args = parse({"prog", "--model=OPT-30B", "--slo=2.5"});
+    EXPECT_EQ(args.getString("model", ""), "OPT-30B");
+    EXPECT_DOUBLE_EQ(args.getDouble("slo", 0), 2.5);
+}
+
+TEST(ArgParserTest, BareFlags)
+{
+    const auto args = parse({"prog", "--verbose", "--cxl"});
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_TRUE(args.has("cxl"));
+    EXPECT_FALSE(args.has("quiet"));
+}
+
+TEST(ArgParserTest, FlagFollowedByOption)
+{
+    const auto args = parse({"prog", "--dry-run", "--batch", "8"});
+    EXPECT_TRUE(args.has("dry-run"));
+    EXPECT_EQ(args.getString("dry-run", "x"), "");
+    EXPECT_EQ(args.getInt("batch", 0), 8);
+}
+
+TEST(ArgParserTest, PositionalArguments)
+{
+    const auto args = parse({"prog", "plan", "--lin", "128", "extra"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "plan");
+    EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(ArgParserTest, FallbacksWhenAbsent)
+{
+    const auto args = parse({"prog"});
+    EXPECT_EQ(args.getString("missing", "dflt"), "dflt");
+    EXPECT_EQ(args.getInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
+    EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(ArgParserTest, LastOccurrenceWins)
+{
+    const auto args = parse({"prog", "--b", "1", "--b", "2"});
+    EXPECT_EQ(args.getInt("b", 0), 2);
+}
+
+} // namespace

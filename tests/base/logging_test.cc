@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the logging/error-reporting utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+
+namespace {
+
+using namespace lia;
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { detail::setThrowOnError(true); }
+    void TearDown() override { detail::setThrowOnError(false); }
+};
+
+TEST_F(LoggingTest, PanicThrowsLogicError)
+{
+    EXPECT_THROW(LIA_PANIC("boom ", 42), std::logic_error);
+}
+
+TEST_F(LoggingTest, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(LIA_FATAL("bad config"), std::runtime_error);
+}
+
+TEST_F(LoggingTest, PanicMessageCarriesPartsAndLocation)
+{
+    try {
+        LIA_PANIC("value=", 7, " name=", "x");
+        FAIL() << "panic did not throw";
+    } catch (const std::logic_error &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("value=7 name=x"), std::string::npos);
+        EXPECT_NE(what.find("logging_test.cc"), std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, AssertPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(LIA_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST_F(LoggingTest, AssertPanicsOnFalseCondition)
+{
+    EXPECT_THROW(LIA_ASSERT(false, "nope"), std::logic_error);
+}
+
+TEST_F(LoggingTest, AssertMessageNamesCondition)
+{
+    try {
+        LIA_ASSERT(2 < 1, "ordering");
+        FAIL() << "assert did not throw";
+    } catch (const std::logic_error &err) {
+        EXPECT_NE(std::string(err.what()).find("2 < 1"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(LIA_WARN("just a warning ", 1));
+    EXPECT_NO_THROW(LIA_INFORM("status ", 2));
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "base/rng.hh"
+
+namespace {
+
+using lia::Rng;
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1'000; ++i) {
+        const double u = rng.uniform(-3.0, 5.5);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.5);
+    }
+}
+
+TEST(RngTest, UniformMeanNearOneHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange)
+{
+    Rng rng(13);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1'000; ++i) {
+        const auto v = rng.uniformInt(3, 8);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 8);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, UniformIntSingleton)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(RngTest, NormalMomentsMatch)
+{
+    Rng rng(19);
+    double sum = 0, sq = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ScaledNormalMoments)
+{
+    Rng rng(23);
+    double sum = 0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+} // namespace

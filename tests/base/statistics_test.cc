@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the gem5-style statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "base/statistics.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::stats;
+
+TEST(StatsScalarTest, AccumulatesAndSets)
+{
+    Group g;
+    auto &counter = g.scalar("hits", "cache hits");
+    counter += 3;
+    ++counter;
+    EXPECT_DOUBLE_EQ(counter.value(), 4.0);
+    counter.set(10);
+    EXPECT_DOUBLE_EQ(counter.value(), 10.0);
+}
+
+TEST(StatsFormulaTest, EvaluatesAtDumpTime)
+{
+    Group g;
+    double live = 1.0;
+    auto &f = g.formula("ratio", "live value", [&] { return live; });
+    EXPECT_DOUBLE_EQ(f.value(), 1.0);
+    live = 7.5;
+    EXPECT_DOUBLE_EQ(f.value(), 7.5);
+}
+
+TEST(StatsVectorTest, BucketsAndTotal)
+{
+    Group g;
+    auto &v = g.vector("traffic", "bytes by class",
+                       {"param", "kv", "act"});
+    v.add(0, 100);
+    v.add(1, 50);
+    v.add(0, 25);
+    EXPECT_DOUBLE_EQ(v.value(0), 125);
+    EXPECT_DOUBLE_EQ(v.value(2), 0);
+    EXPECT_DOUBLE_EQ(v.total(), 175);
+    EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(StatsVectorTest, OutOfRangeBucketPanics)
+{
+    detail::setThrowOnError(true);
+    Group g;
+    auto &v = g.vector("v", "", {"a"});
+    EXPECT_THROW(v.add(1, 1.0), std::logic_error);
+    EXPECT_THROW(v.value(5), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(StatsGroupTest, QualifiesNames)
+{
+    Group g("lia.exec");
+    auto &s = g.scalar("steps", "decode steps");
+    EXPECT_EQ(s.name(), "lia.exec.steps");
+    EXPECT_NE(g.find("lia.exec.steps"), nullptr);
+    EXPECT_EQ(g.find("steps"), nullptr);
+}
+
+TEST(StatsGroupTest, DumpFormat)
+{
+    Group g("sim");
+    g.scalar("ticks", "simulated ticks") += 42;
+    g.formula("speed", "ticks per second", [] { return 2.5; });
+    auto &v = g.vector("lanes", "per-lane counts", {"up", "down"});
+    v.add(1, 9);
+
+    std::ostringstream oss;
+    g.dump(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("sim.ticks"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("# simulated ticks"), std::string::npos);
+    EXPECT_NE(out.find("sim.lanes::down"), std::string::npos);
+    EXPECT_NE(out.find("sim.lanes::total"), std::string::npos);
+    // One line per scalar/formula, four for the vector buckets+total.
+    EXPECT_EQ(static_cast<int>(std::count(out.begin(), out.end(),
+                                          '\n')),
+              5);
+}
+
+TEST(StatsGroupTest, RegistrationOrderPreserved)
+{
+    Group g;
+    g.scalar("b", "");
+    g.scalar("a", "");
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_LT(oss.str().find("b"), oss.str().find("a"));
+}
+
+TEST(StatsGroupTest, EmptyNameRejected)
+{
+    detail::setThrowOnError(true);
+    Group g;
+    EXPECT_THROW(g.scalar("", "oops"), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the table formatter and numeric formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+
+namespace {
+
+using namespace lia;
+
+TEST(TextTableTest, RendersHeadersAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTableTest, RowCountCountsDataRows)
+{
+    TextTable t({"a"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"x"});
+    t.addSeparator();
+    t.addRow({"y"});
+    EXPECT_EQ(t.rowCount(), 3u);
+}
+
+TEST(TextTableTest, ColumnsAlignToWidestCell)
+{
+    TextTable t({"c"});
+    t.addRow({"short"});
+    t.addRow({"a-much-longer-cell"});
+    const std::string out = t.toString();
+    // Every line has the same length in an aligned table.
+    std::size_t expected = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t next = out.find('\n', pos);
+        EXPECT_EQ(next - pos, expected);
+        pos = next + 1;
+    }
+}
+
+TEST(TextTableTest, MismatchedRowWidthPanics)
+{
+    detail::setThrowOnError(true);
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(FormatTest, FmtDoubleRespectsDecimals)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(3.14159, 0), "3");
+}
+
+TEST(FormatTest, FmtSecondsPicksUnit)
+{
+    EXPECT_EQ(fmtSeconds(2.5), "2.50 s");
+    EXPECT_EQ(fmtSeconds(0.0025), "2.50 ms");
+    EXPECT_EQ(fmtSeconds(2.5e-6), "2.50 us");
+}
+
+TEST(FormatTest, FmtBytesPicksUnit)
+{
+    EXPECT_EQ(fmtBytes(512), "512 B");
+    EXPECT_EQ(fmtBytes(2'000), "2.00 KB");
+    EXPECT_EQ(fmtBytes(3.5e9), "3.50 GB");
+    EXPECT_EQ(fmtBytes(1.2e12), "1.20 TB");
+}
+
+TEST(FormatTest, FmtThroughputPicksUnit)
+{
+    EXPECT_EQ(fmtThroughput(5e9), "5.00 GFLOPS");
+    EXPECT_EQ(fmtThroughput(2e13), "20.00 TFLOPS");
+}
+
+TEST(FormatTest, FmtRatioAndPercent)
+{
+    EXPECT_EQ(fmtRatio(2.5), "2.50x");
+    EXPECT_EQ(fmtPercent(0.431), "43.1%");
+    EXPECT_EQ(fmtPercent(0.5, 0), "50%");
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the PowerInfer baseline model (§7.9 comparison).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "baselines/powerinfer.hh"
+#include "baselines/presets.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::baselines;
+using core::Scenario;
+
+class PowerInferTest : public ::testing::Test
+{
+  protected:
+    hw::SystemConfig sys = hw::gnrA100();
+    model::ModelConfig m = model::llama2_70b();
+};
+
+TEST_F(PowerInferTest, LiaFasterOnline)
+{
+    // Fig. 15: LIA achieves 1.4-9.0x lower latency on Llama2-70B.
+    const Scenario sc{1, 512, 32};
+    const double lia = liaEngine(sys, m).estimate(sc).latency();
+    const double pi = PowerInferModel(sys, m).estimate(sc).latency();
+    EXPECT_GT(pi / lia, 1.2);
+    EXPECT_LT(pi / lia, 15.0);
+}
+
+TEST_F(PowerInferTest, LiaHigherThroughputOffline)
+{
+    // Fig. 15: 1.5-15x higher throughput at B=64.
+    const Scenario sc{64, 256, 32};
+    const auto lia = liaEngine(sys, m).estimate(sc);
+    const auto pi = PowerInferModel(sys, m).estimate(sc);
+    EXPECT_GT(lia.throughput(sc) / pi.throughput(sc), 1.3);
+}
+
+TEST_F(PowerInferTest, LargeBatchRunsOutOfMemory)
+{
+    // Fig. 15: PowerInfer hits CUDA OOM at B=900.
+    const auto est = PowerInferModel(sys, m).estimate({900, 256, 32});
+    EXPECT_FALSE(est.feasible);
+    EXPECT_NE(est.note.find("OOM"), std::string::npos);
+}
+
+TEST_F(PowerInferTest, SmallBatchIsFeasible)
+{
+    EXPECT_TRUE(PowerInferModel(sys, m).estimate({1, 512, 32}).feasible);
+}
+
+TEST_F(PowerInferTest, SparsityCollapsesWithBatch)
+{
+    // §7.9: PowerInfer gains little from large batches because the
+    // activated-neuron union saturates; per-token decode time should
+    // grow far slower for LIA than for PowerInfer going B=1 -> 64.
+    PowerInferModel pi(sys, m);
+    const auto pi1 = pi.estimate({1, 256, 32});
+    const auto pi64 = pi.estimate({64, 256, 32});
+    // Per-token time ratio: ideal batching keeps it flat at 1/64.
+    const double scaling = pi64.decodeTime / pi1.decodeTime;
+    EXPECT_GT(scaling, 3.0);  // far from free batching
+}
+
+TEST_F(PowerInferTest, HigherSparsityHelpsDecode)
+{
+    PowerInferConfig sparse;
+    sparse.coldActivationRate = 0.05;
+    PowerInferConfig dense;
+    dense.coldActivationRate = 0.9;
+    const Scenario sc{1, 256, 32};
+    const double t_sparse =
+        PowerInferModel(sys, m, sparse).estimate(sc).decodeTime;
+    const double t_dense =
+        PowerInferModel(sys, m, dense).estimate(sc).decodeTime;
+    EXPECT_LT(t_sparse, t_dense);
+}
+
+TEST_F(PowerInferTest, RejectsBadConfig)
+{
+    detail::setThrowOnError(true);
+    PowerInferConfig bad;
+    bad.coldActivationRate = 0.0;
+    EXPECT_THROW(PowerInferModel(sys, m, bad), std::logic_error);
+    bad = PowerInferConfig{};
+    bad.hotFractionTarget = 1.5;
+    EXPECT_THROW(PowerInferModel(sys, m, bad), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the LIA/IPEX/FlexGen engine presets and the paper's
+ * headline comparisons (Figs. 10 and 11 shapes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/presets.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::baselines;
+using core::Policy;
+using core::Scenario;
+
+class PresetsTest : public ::testing::Test
+{
+  protected:
+    hw::SystemConfig sys = hw::sprA100();
+    model::ModelConfig m30 = model::opt30b();
+    model::ModelConfig m175 = model::opt175b();
+};
+
+TEST_F(PresetsTest, LiaBeatsIpexAndFlexGenOnline)
+{
+    // Fig. 10 (SPR-A100, B=1): LIA is 1.8-2.1x faster than IPEX and
+    // 5.3-7.3x faster than FlexGen on OPT-30B.
+    const Scenario sc{1, 512, 32};
+    const double lia = liaEngine(sys, m30).estimate(sc).latency();
+    const double ipex = ipexEngine(sys, m30).estimate(sc).latency();
+    const double flexgen = FlexGenModel(sys, m30).estimate(sc).latency();
+    EXPECT_GT(ipex / lia, 1.2);
+    EXPECT_LT(ipex / lia, 3.5);
+    EXPECT_GT(flexgen / lia, 3.0);
+    EXPECT_LT(flexgen / lia, 14.0);
+}
+
+TEST_F(PresetsTest, LiaBeatsBaselinesOnline175b)
+{
+    // Fig. 10: 1.1-1.3x over IPEX and 8.5-12x over FlexGen for
+    // OPT-175B on SPR-A100.
+    const Scenario sc{1, 512, 32};
+    const double lia = liaEngine(sys, m175).estimate(sc).latency();
+    const double ipex = ipexEngine(sys, m175).estimate(sc).latency();
+    const double flexgen =
+        FlexGenModel(sys, m175).estimate(sc).latency();
+    EXPECT_GT(ipex / lia, 1.0);
+    EXPECT_LT(ipex / lia, 2.0);
+    EXPECT_GT(flexgen / lia, 4.0);
+    EXPECT_LT(flexgen / lia, 25.0);
+}
+
+TEST_F(PresetsTest, LiaGapOverIpexShrinksWithModelSize)
+{
+    // Fig. 10: fewer decoder layers fit the GPU for bigger models, so
+    // LIA's edge over CPU-only IPEX narrows from OPT-30B to OPT-175B.
+    const Scenario sc{1, 512, 32};
+    const double gain30 =
+        ipexEngine(sys, m30).estimate(sc).latency() /
+        liaEngine(sys, m30).estimate(sc).latency();
+    const double gain175 =
+        ipexEngine(sys, m175).estimate(sc).latency() /
+        liaEngine(sys, m175).estimate(sc).latency();
+    EXPECT_GT(gain30, gain175);
+}
+
+TEST_F(PresetsTest, LiaBeatsBaselinesOffline)
+{
+    // Fig. 11: LIA delivers higher tokens/s at both B=64 and B=900.
+    for (std::int64_t b : {64, 900}) {
+        const Scenario sc{b, 256, 32};
+        const auto lia = liaEngine(sys, m30).estimate(sc);
+        const auto ipex = ipexEngine(sys, m30).estimate(sc);
+        const auto flexgen = FlexGenModel(sys, m30).estimate(sc);
+        EXPECT_GT(lia.throughput(sc), ipex.throughput(sc)) << b;
+        EXPECT_GT(lia.throughput(sc), flexgen.throughput(sc)) << b;
+    }
+}
+
+TEST_F(PresetsTest, H100ImprovesLiaOver175b)
+{
+    // §7.2: LIA on SPR-H100 is 1.1-1.3x faster than on SPR-A100.
+    const Scenario sc{1, 512, 32};
+    const double a100 = liaEngine(sys, m175).estimate(sc).latency();
+    const double h100 =
+        liaEngine(hw::sprH100(), m175).estimate(sc).latency();
+    EXPECT_GT(a100 / h100, 1.0);
+    EXPECT_LT(a100 / h100, 2.0);
+}
+
+TEST_F(PresetsTest, FlexGenKeepsKvOnGpuOnlyWhenItFits)
+{
+    FlexGenModel fg(sys, m30);
+    EXPECT_TRUE(fg.kvFitsGpu({1, 512, 32}));
+    EXPECT_FALSE(fg.kvFitsGpu({64, 1024, 32}));
+}
+
+TEST_F(PresetsTest, FlexGenPoliciesMatchItsDesign)
+{
+    FlexGenModel fg(sys, m30);
+    // Small batch: everything on GPU with HBM-resident KV.
+    const auto small = fg.estimate({1, 512, 32});
+    EXPECT_EQ(small.decodePolicy, Policy::fullGpu());
+    // Large batch: attention compute-offloaded.
+    const auto large = fg.estimate({64, 1024, 32});
+    EXPECT_EQ(large.decodePolicy, Policy::attentionOnCpu());
+    EXPECT_EQ(large.prefillPolicy, Policy::fullGpu());
+}
+
+TEST_F(PresetsTest, IpexIsCpuOnly)
+{
+    const auto est = ipexEngine(sys, m30).estimate({8, 256, 32});
+    EXPECT_DOUBLE_EQ(est.pcieBytes, 0.0);
+    EXPECT_DOUBLE_EQ(est.breakdown.gpuTime, 0.0);
+}
+
+TEST_F(PresetsTest, NaiveOffloadIsTransferBound)
+{
+    // §3.1: >80-98% of naive offloading latency is CPU-GPU transfer.
+    auto naive = naiveOffloadEngine(sys, m175, true);
+    const auto est = naive.estimate({1, 512, 32});
+    const double total = est.breakdown.cpuTime +
+                         est.breakdown.gpuTime +
+                         est.breakdown.comTime;
+    EXPECT_GT(est.breakdown.comTime / total, 0.8);
+}
+
+TEST_F(PresetsTest, LiaWithCxlKeepsThroughputWithinOnePercent)
+{
+    // Table 3: CXL offloading costs <1% throughput at the same B.
+    const Scenario sc{900, 32, 32};
+    const auto plain = liaEngine(sys, m30).estimate(sc);
+    const auto cxl =
+        liaEngine(hw::withCxl(sys), m30).estimate(sc);
+    EXPECT_NEAR(cxl.throughput(sc) / plain.throughput(sc), 1.0, 0.02);
+    EXPECT_GT(cxl.placement.cxlBytes, 0.0);
+}
+
+TEST_F(PresetsTest, AblationOrderingMatchesTable4)
+{
+    // All-optimizations is the fastest configuration everywhere.
+    for (std::int64_t b : {1, 64, 900}) {
+        const Scenario sc{b, 256, 32};
+        const double full =
+            liaEngineAblated(sys, m30, true, true, true)
+                .estimate(sc).latency();
+        for (int drop = 0; drop < 3; ++drop) {
+            const double ablated =
+                liaEngineAblated(sys, m30, drop != 0, drop != 1,
+                                 drop != 2)
+                    .estimate(sc).latency();
+            EXPECT_GE(ablated, full * 0.999)
+                << "B=" << b << " drop=" << drop;
+        }
+    }
+}
+
+} // namespace

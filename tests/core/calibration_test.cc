@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Whole-model calibration against the paper's reported operating
+ * points: Fig. 9 policy regions and Table 4/5's absolute latencies.
+ *
+ * These tests pin the reproduction to the paper's *shape*: which
+ * policy wins where, roughly where crossovers fall, and the order of
+ * magnitude of end-to-end latencies (our substrate is a calibrated
+ * model, not the authors' testbed, so the tolerances are generous).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/presets.hh"
+#include "core/engine.hh"
+#include "core/optimizer.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::core;
+using lia::model::Stage;
+using lia::model::Workload;
+
+std::int64_t
+decodeCrossover(const CostModel &cm)
+{
+    PolicyOptimizer opt(cm);
+    std::int64_t lo = 1, hi = 4096;
+    while (lo < hi) {
+        const std::int64_t mid = (lo + hi) / 2;
+        Workload w{Stage::Decode, mid, 512};
+        if (opt.optimize(w).policy == Policy::fullCpu())
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::int64_t
+prefillCrossover(const CostModel &cm)
+{
+    PolicyOptimizer opt(cm);
+    std::int64_t lo = 1, hi = 2048;
+    while (lo < hi) {
+        const std::int64_t mid = (lo + hi) / 2;
+        Workload w{Stage::Prefill, 1, mid};
+        if (opt.optimize(w).policy == Policy::fullCpu())
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+TEST(CalibrationFig9, DecodeCrossoverNearPaperValue)
+{
+    // §7.1: the CPU -> partial-offload transition sits near B=858 for
+    // OPT-175B on the evaluation system.
+    CostModel cm(hw::sprA100(), model::opt175b(), {});
+    const auto b_star = decodeCrossover(cm);
+    EXPECT_GT(b_star, 400);
+    EXPECT_LT(b_star, 1100);
+}
+
+TEST(CalibrationFig9, PrefillCrossoverNearPaperValue)
+{
+    // §7.1: prefill transitions from full-CPU to full-GPU around
+    // B*L ~ 850.
+    CostModel cm(hw::sprA100(), model::opt175b(), {});
+    const auto bl_star = prefillCrossover(cm);
+    EXPECT_GT(bl_star, 250);
+    EXPECT_LT(bl_star, 1300);
+}
+
+TEST(CalibrationFig9, DecodePolicyIndependentOfContext)
+{
+    // §7.1: the decode policy depends on B, not L, so it stays fixed
+    // while output tokens are generated.
+    CostModel cm(hw::sprA100(), model::opt175b(), {});
+    PolicyOptimizer opt(cm);
+    for (std::int64_t b : {1, 64, 1600}) {
+        Policy first;
+        bool have_first = false;
+        for (std::int64_t l : {64, 128, 256, 512, 1024}) {
+            Workload w{Stage::Decode, b, l};
+            const auto p = opt.optimize(w).policy;
+            if (!have_first) {
+                first = p;
+                have_first = true;
+            }
+            EXPECT_EQ(p, first) << "B=" << b << " L=" << l;
+        }
+    }
+}
+
+TEST(CalibrationTable4, LiaLatenciesWithinFactorTwoOfPaper)
+{
+    // Table 4 "All optimizations": 5.05 s / 24.0 s / 291 s for
+    // B = 1 / 64 / 900 (OPT-30B, L_in=256, L_out=32, SPR-A100).
+    const auto sys = hw::sprA100();
+    const auto m = model::opt30b();
+    auto lia = baselines::liaEngine(sys, m);
+    const double paper[] = {5.05, 24.0, 291.0};
+    const std::int64_t batches[] = {1, 64, 900};
+    for (int i = 0; i < 3; ++i) {
+        const auto est = lia.estimate({batches[i], 256, 32});
+        EXPECT_GT(est.latency(), paper[i] / 2.2) << "B=" << batches[i];
+        EXPECT_LT(est.latency(), paper[i] * 2.2) << "B=" << batches[i];
+    }
+}
+
+TEST(CalibrationTable5, IpexLatenciesWithinFactorTwoOfPaper)
+{
+    // Table 5 IPEX CPU times: 10.2 / 75.7 / 1216.5 s.
+    const auto sys = hw::sprA100();
+    const auto m = model::opt30b();
+    auto ipex = baselines::ipexEngine(sys, m);
+    const double paper[] = {10.2, 75.7, 1216.5};
+    const std::int64_t batches[] = {1, 64, 900};
+    for (int i = 0; i < 3; ++i) {
+        const auto est = ipex.estimate({batches[i], 256, 32});
+        EXPECT_GT(est.latency(), paper[i] / 2.2) << "B=" << batches[i];
+        EXPECT_LT(est.latency(), paper[i] * 2.2) << "B=" << batches[i];
+    }
+}
+
+TEST(CalibrationTable4, OptimizationOneMattersMostAtBatchOne)
+{
+    // Table 4: no-Opt-1 doubles B=1 latency (5.05 -> 10.09) but barely
+    // moves B=900 (291 -> 297).
+    const auto sys = hw::sprA100();
+    const auto m = model::opt30b();
+    auto full = baselines::liaEngineAblated(sys, m, true, true, true);
+    auto no_opt1 = baselines::liaEngineAblated(sys, m, false, true, true);
+    const double gain_b1 = no_opt1.estimate({1, 256, 32}).latency() /
+                           full.estimate({1, 256, 32}).latency();
+    const double gain_b900 =
+        no_opt1.estimate({900, 256, 32}).latency() /
+        full.estimate({900, 256, 32}).latency();
+    EXPECT_GT(gain_b1, 1.3);
+    EXPECT_LT(gain_b900, 1.15);
+}
+
+TEST(CalibrationTable4, OptimizationTwoMattersMostAtLargeBatch)
+{
+    // Table 4: no-Opt-2 is ~1.5x at B=900 (291 -> 444) but a no-op at
+    // B=1 (5.05 -> 5.05).
+    const auto sys = hw::sprA100();
+    const auto m = model::opt30b();
+    auto full = baselines::liaEngineAblated(sys, m, true, true, true);
+    auto no_opt2 = baselines::liaEngineAblated(sys, m, true, false, true);
+    const double gain_b900 =
+        no_opt2.estimate({900, 256, 32}).latency() /
+        full.estimate({900, 256, 32}).latency();
+    const double gain_b1 = no_opt2.estimate({1, 256, 32}).latency() /
+                           full.estimate({1, 256, 32}).latency();
+    EXPECT_GT(gain_b900, 1.2);
+    EXPECT_LT(gain_b1, 1.1);
+}
+
+TEST(CalibrationTable4, FlexGenPolicyLosesBigAtSmallBatch)
+{
+    // Table 4: swapping in FlexGen's fixed policy costs 6.2x at B=1
+    // and 3.5x at B=64, but nothing at B=900 (same policy there).
+    const auto sys = hw::sprA100();
+    const auto m = model::opt30b();
+    auto lia = baselines::liaEngineAblated(sys, m, true, true, true);
+    auto fg_policy =
+        baselines::liaEngineAblated(sys, m, true, true, false);
+    const double gain_b1 = fg_policy.estimate({1, 256, 32}).latency() /
+                           lia.estimate({1, 256, 32}).latency();
+    const double gain_b900 =
+        fg_policy.estimate({900, 256, 32}).latency() /
+        lia.estimate({900, 256, 32}).latency();
+    EXPECT_GT(gain_b1, 2.0);
+    EXPECT_LT(gain_b900, 1.3);
+}
+
+} // namespace

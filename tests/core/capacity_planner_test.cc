@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the deployment capacity planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/capacity_planner.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "model/footprint.hh"
+
+namespace {
+
+using namespace lia;
+using core::CapacityPlanner;
+using core::PlannerRequest;
+
+class CapacityPlannerTest : public ::testing::Test
+{
+  protected:
+    hw::SystemConfig sys = hw::sprA100();
+    model::ModelConfig m = model::opt30b();
+};
+
+TEST_F(CapacityPlannerTest, ThroughputPlanningPicksLargeBatches)
+{
+    CapacityPlanner planner(sys, m);
+    PlannerRequest req;
+    req.lIn = 32;
+    req.lOut = 32;
+    const auto result = planner.plan(req);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_GT(result.best.batch, 256);
+    EXPECT_GT(result.best.throughput, 100);
+}
+
+TEST_F(CapacityPlannerTest, TightSloForcesSmallBatches)
+{
+    CapacityPlanner planner(sys, m);
+    PlannerRequest relaxed;
+    relaxed.lIn = 256;
+    relaxed.lOut = 32;
+    PlannerRequest tight = relaxed;
+    tight.latencySlo = 10.0;  // seconds per query
+
+    const auto free_plan = planner.plan(relaxed);
+    const auto slo_plan = planner.plan(tight);
+    ASSERT_TRUE(free_plan.feasible);
+    ASSERT_TRUE(slo_plan.feasible);
+    EXPECT_LT(slo_plan.best.batch, free_plan.best.batch);
+    EXPECT_LE(slo_plan.best.estimate.latency(), 10.0);
+}
+
+TEST_F(CapacityPlannerTest, ImpossibleSloReported)
+{
+    CapacityPlanner planner(sys, m);
+    PlannerRequest req;
+    req.lIn = 256;
+    req.lOut = 32;
+    req.latencySlo = 0.001;  // nothing meets 1 ms
+    const auto result = planner.plan(req);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_NE(result.note.find("SLO"), std::string::npos);
+    EXPECT_FALSE(result.candidates.empty());
+}
+
+TEST_F(CapacityPlannerTest, CxlPoolRaisesTheBatchCeiling)
+{
+    CapacityPlanner plain(sys, m);
+    CapacityPlanner cxl(hw::withCxl(sys), m);
+    PlannerRequest req;
+    req.lIn = 512;  // long contexts keep the ceiling below maxBatch
+    req.lOut = 32;
+    EXPECT_GT(cxl.maxFeasibleBatch(req), plain.maxFeasibleBatch(req));
+}
+
+TEST_F(CapacityPlannerTest, CxlPlanOffloadsParameters)
+{
+    CapacityPlanner planner(hw::withCxl(sys), m);
+    PlannerRequest req;
+    req.lIn = 32;
+    req.lOut = 32;
+    const auto result = planner.plan(req);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.best.estimate.placement.paramTier,
+              core::HostTier::Cxl);
+    EXPECT_NE(result.note.find("CXL"), std::string::npos);
+}
+
+TEST_F(CapacityPlannerTest, OversizedModelRejected)
+{
+    // OPT-175B at BF16 does not fit 512 GB DDR alongside a batch.
+    CapacityPlanner planner(sys, model::opt175b());
+    PlannerRequest req;
+    req.lIn = 1024;
+    req.lOut = 256;
+    req.maxBatch = 8192;
+    const auto result = planner.plan(req);
+    if (!result.feasible)
+        EXPECT_FALSE(result.note.empty());
+    else
+        EXPECT_LE(model::inferenceFootprint(
+                      model::opt175b(), result.best.batch, 1024, 256)
+                      .total(),
+                  sys.cpuMemory.capacity * 1.01);
+}
+
+TEST_F(CapacityPlannerTest, CandidatesRespectMaxBatch)
+{
+    CapacityPlanner planner(sys, m);
+    PlannerRequest req;
+    req.lIn = 32;
+    req.lOut = 32;
+    req.maxBatch = 100;
+    const auto result = planner.plan(req);
+    ASSERT_TRUE(result.feasible);
+    for (const auto &candidate : result.candidates)
+        EXPECT_LE(candidate.batch, 100);
+}
+
+TEST_F(CapacityPlannerTest, BestIsArgmaxOfSloCandidates)
+{
+    CapacityPlanner planner(sys, m);
+    PlannerRequest req;
+    req.lIn = 128;
+    req.lOut = 32;
+    const auto result = planner.plan(req);
+    ASSERT_TRUE(result.feasible);
+    for (const auto &candidate : result.candidates) {
+        if (candidate.meetsSlo) {
+            EXPECT_LE(candidate.throughput,
+                      result.best.throughput + 1e-9);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for the Eq. (1)-(9) analytical cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "core/cost_model.hh"
+#include "hw/catalog.hh"
+#include "hw/system.hh"
+#include "model/sublayer.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::core;
+using lia::model::Stage;
+using lia::model::Workload;
+
+class CostModelTest : public ::testing::Test
+{
+  protected:
+    hw::SystemConfig sys = hw::sprA100();
+    model::ModelConfig m = model::opt175b();
+    CostModel cm{sys, m, {}};
+};
+
+TEST_F(CostModelTest, FullCpuHasNoPcieTraffic)
+{
+    Workload w{Stage::Decode, 8, 512};
+    const auto t = cm.layerTiming(w, Policy::fullCpu());
+    EXPECT_DOUBLE_EQ(t.pcieBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(t.gpuTime, 0.0);
+    EXPECT_GT(t.cpuTime, 0.0);
+}
+
+TEST_F(CostModelTest, FullGpuStreamsAllParameters)
+{
+    Workload w{Stage::Decode, 8, 512};
+    const auto t = cm.layerTiming(w, Policy::fullGpu());
+    // All four parameter sublayers stream: 24*d^2 bytes per layer.
+    const double d = 12288;
+    EXPECT_DOUBLE_EQ(t.paramPcieBytes, 24.0 * d * d);
+    EXPECT_DOUBLE_EQ(t.cpuTime, 0.0);
+    EXPECT_GT(t.gpuTime, 0.0);
+}
+
+TEST_F(CostModelTest, GpuResidencySkipsParameterTransfer)
+{
+    Workload w{Stage::Decode, 8, 512};
+    const auto stream = cm.layerTiming(w, Policy::fullGpu(), false);
+    const auto resident = cm.layerTiming(w, Policy::fullGpu(), true);
+    EXPECT_DOUBLE_EQ(resident.paramPcieBytes, 0.0);
+    EXPECT_LT(resident.time(true), stream.time(true));
+}
+
+TEST_F(CostModelTest, DecodeGpuAttentionStreamsKvCache)
+{
+    Workload w{Stage::Decode, 8, 512};
+    const auto t = cm.layerTiming(w, Policy::fullGpu());
+    // Q*K^T and S*V each read the full 2BLd cache, plus sublayer 1
+    // stores the fresh 4Bd KV back (Eq. 9).
+    const double d = 12288;
+    const double expected = 2.0 * (2.0 * 8 * 512 * d) + 4.0 * 8 * d;
+    EXPECT_DOUBLE_EQ(t.kvPcieBytes, expected);
+}
+
+TEST_F(CostModelTest, AttentionOnCpuAvoidsKvCacheTraffic)
+{
+    Workload w{Stage::Decode, 8, 512};
+    const auto t = cm.layerTiming(w, Policy::attentionOnCpu());
+    // Only the freshly produced 4Bd KV store-back (Eq. 9) remains;
+    // the 2BLd cache never crosses PCIe.
+    EXPECT_DOUBLE_EQ(t.kvPcieBytes, 4.0 * 8 * 12288);
+    EXPECT_GT(t.actPcieBytes, 0.0);  // hops around the CPU island
+}
+
+TEST_F(CostModelTest, ActivationHopsFollowDeviceChanges)
+{
+    Workload w{Stage::Decode, 4, 256};
+    // (0,1,1,0,0,0): GPU->CPU before sublayer 2, CPU->GPU before 4.
+    const auto t = cm.layerTiming(w, Policy::attentionOnCpu());
+    const double d = 12288;
+    // dX hops: into sublayer 2 (2Bd), into sublayer 4 (S... dX of
+    // sublayer 4 is 2Bd) — plus no residual hops (p4==p1, p6==p4).
+    EXPECT_DOUBLE_EQ(t.actPcieBytes, 2.0 * (2.0 * 4 * d));
+}
+
+TEST_F(CostModelTest, ResidualHopChargedWhenDevicesDiffer)
+{
+    Workload w{Stage::Decode, 4, 256};
+    // Sublayer 1 on CPU, sublayer 4 on GPU: residual must cross.
+    Policy p = Policy::fullGpu();
+    p.setDevice(0, Device::Cpu);
+    const auto t = cm.layerTiming(w, p);
+    // Hops: into sublayer 2 (CPU->GPU) and p0!=p5 wrap hop into
+    // sublayer 1, plus the residual into sublayer 4.
+    const double d = 12288;
+    EXPECT_DOUBLE_EQ(t.actPcieBytes, 3.0 * (2.0 * 4 * d));
+}
+
+TEST_F(CostModelTest, PrefillKvTransfersOnlyWhenSplitFromQkv)
+{
+    Workload w{Stage::Prefill, 2, 128};
+    // Attention together with QKV on the GPU: no KV PCIe except the
+    // Eq. 9 store-back of the fresh cache.
+    const auto same = cm.layerTiming(w, Policy::fullGpu());
+    EXPECT_DOUBLE_EQ(same.kvPcieBytes, 4.0 * 2 * 128 * 12288.0);
+    // Attention on CPU but QKV on GPU: K and V must cross (Eq. 7).
+    const auto split = cm.layerTiming(w, Policy::attentionOnCpu());
+    EXPECT_GT(split.kvPcieBytes, same.kvPcieBytes);
+}
+
+TEST_F(CostModelTest, SerialTimeIsSumOfComponents)
+{
+    Workload w{Stage::Decode, 16, 512};
+    for (unsigned mask = 0; mask < Policy::kCount; ++mask) {
+        const auto t = cm.layerTiming(w, Policy::fromMask(mask));
+        EXPECT_NEAR(t.serialTime(),
+                    t.prefetchPcieTime + t.inlinePcieTime + t.cpuTime +
+                        t.gpuTime,
+                    1e-12);
+    }
+}
+
+TEST_F(CostModelTest, OverlappedNeverExceedsSerial)
+{
+    for (auto stage : {Stage::Prefill, Stage::Decode}) {
+        Workload w{stage, 32, 256};
+        for (unsigned mask = 0; mask < Policy::kCount; ++mask) {
+            const auto t = cm.layerTiming(w, Policy::fromMask(mask));
+            EXPECT_LE(t.overlappedTime(), t.serialTime() + 1e-12);
+            EXPECT_GE(t.overlappedTime(),
+                      std::max(t.prefetchPcieTime,
+                               t.cpuTime + t.gpuTime) -
+                          1e-12);
+        }
+    }
+}
+
+TEST_F(CostModelTest, LayerTimingIsSumOfSublayerTimings)
+{
+    Workload w{Stage::Prefill, 8, 256};
+    const Policy p = Policy::attentionOnCpu();
+    const auto layer = cm.layerTiming(w, p);
+    double prefetch = 0, inline_t = 0, cpu = 0, gpu = 0, bytes = 0;
+    for (int i = 0; i < model::kNumSublayers; ++i) {
+        const auto s = cm.sublayerTiming(w, p, i);
+        prefetch += s.prefetchPcieTime;
+        inline_t += s.inlinePcieTime + s.storePcieTime;
+        cpu += s.cpuTime;
+        gpu += s.gpuTime;
+        bytes += s.pcieBytes();
+    }
+    EXPECT_NEAR(layer.prefetchPcieTime, prefetch, 1e-12);
+    EXPECT_NEAR(layer.inlinePcieTime, inline_t, 1e-12);
+    EXPECT_NEAR(layer.cpuTime, cpu, 1e-12);
+    EXPECT_NEAR(layer.gpuTime, gpu, 1e-12);
+    EXPECT_NEAR(layer.pcieBytes(), bytes, 1e-6);
+}
+
+class CostModelMonotoneTest
+    : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    hw::SystemConfig sys = hw::sprA100();
+    model::ModelConfig m = model::opt30b();
+    CostModel cm{sys, m, {}};
+};
+
+TEST_P(CostModelMonotoneTest, SerialTimeNonDecreasingInBatch)
+{
+    const Policy p = Policy::fromMask(GetParam());
+    double prev = 0;
+    for (std::int64_t b : {1, 2, 4, 8, 16, 32, 64, 128}) {
+        Workload w{Stage::Decode, b, 256};
+        const double t = cm.layerTiming(w, p).serialTime();
+        EXPECT_GE(t, prev) << "B=" << b;
+        prev = t;
+    }
+}
+
+TEST_P(CostModelMonotoneTest, SerialTimeNonDecreasingInContext)
+{
+    const Policy p = Policy::fromMask(GetParam());
+    double prev = 0;
+    for (std::int64_t l : {32, 64, 128, 256, 512, 1024}) {
+        Workload w{Stage::Decode, 8, l};
+        const double t = cm.layerTiming(w, p).serialTime();
+        EXPECT_GE(t, prev) << "L=" << l;
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CostModelMonotoneTest,
+                         ::testing::Values(0b000000u, 0b111111u,
+                                           0b000110u, 0b101010u,
+                                           0b010101u, 0b111000u,
+                                           0b000111u, 0b100001u));
+
+TEST(CostModelCxlTest, ParamsInCxlSlowCpuComputeOnly)
+{
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::opt175b();
+    Workload w{Stage::Decode, 64, 512};
+
+    CostModelOptions ddr_opts;
+    CostModelOptions cxl_opts;
+    cxl_opts.paramTier = HostTier::Cxl;
+    CostModel ddr(sys, m, ddr_opts);
+    CostModel cxl(sys, m, cxl_opts);
+
+    // CPU-computed parameter sublayers degrade (Observation-2)...
+    const auto cpu_ddr = ddr.layerTiming(w, Policy::fullCpu());
+    const auto cpu_cxl = cxl.layerTiming(w, Policy::fullCpu());
+    EXPECT_GT(cpu_cxl.cpuTime, cpu_ddr.cpuTime * 1.5);
+
+    // ...but GPU transfers are PCIe-bound either way (Observation-1;
+    // two 17 GB/s expanders exceed the PCIe 4.0 link).
+    const auto gpu_ddr = ddr.layerTiming(w, Policy::fullGpu());
+    const auto gpu_cxl = cxl.layerTiming(w, Policy::fullGpu());
+    EXPECT_NEAR(gpu_cxl.prefetchPcieTime, gpu_ddr.prefetchPcieTime,
+                0.25 * gpu_ddr.prefetchPcieTime);
+}
+
+TEST(CostModelCxlTest, KvInCxlHurtsCpuAttentionMore)
+{
+    // Observation-2: sublayer 2's ops/byte of ~1 makes it the most
+    // bandwidth-sensitive victim of CXL placement.
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::opt175b();
+    Workload w{Stage::Decode, 64, 1024};
+
+    CostModelOptions opts;
+    opts.kvTier = HostTier::Cxl;
+    CostModel cxl(sys, m, opts);
+    CostModel ddr(sys, m, {});
+
+    const auto t_cxl = cxl.sublayerTiming(w, Policy::fullCpu(), 1);
+    const auto t_ddr = ddr.sublayerTiming(w, Policy::fullCpu(), 1);
+    EXPECT_GT(t_cxl.cpuTime, 3.0 * t_ddr.cpuTime);
+}
+
+TEST(CostModelCxlTest, CxlTierWithoutPoolPanics)
+{
+    lia::detail::setThrowOnError(true);
+    CostModelOptions opts;
+    opts.paramTier = HostTier::Cxl;
+    EXPECT_THROW(CostModel(hw::sprA100(), model::opt30b(), opts),
+                 std::logic_error);
+    lia::detail::setThrowOnError(false);
+}
+
+TEST(CostModelKvGpuTest, KvOnGpuRemovesDecodeKvTraffic)
+{
+    const auto sys = hw::sprA100();
+    const auto m = model::opt30b();
+    CostModelOptions opts;
+    opts.kvOnGpu = true;
+    CostModel cm(sys, m, opts);
+    Workload w{Stage::Decode, 1, 512};
+    const auto t = cm.layerTiming(w, Policy::fullGpu());
+    EXPECT_DOUBLE_EQ(t.kvPcieBytes, 0.0);
+}
+
+TEST(CostModelMiniBatchTest, DecodeMiniBatchingSlowsCompute)
+{
+    // §5.2 Optimization-2: FlexGen-style decode mini-batching loses
+    // compute efficiency; LIA's full-batch decode avoids that.
+    const auto sys = hw::sprA100();
+    const auto m = model::opt30b();
+    CostModelOptions full;
+    CostModelOptions mini;
+    mini.decodeMiniBatchOverlap = true;
+    CostModel cm_full(sys, m, full);
+    CostModel cm_mini(sys, m, mini);
+    Workload w{Stage::Decode, 900, 256};
+    const auto t_full = cm_full.layerTiming(w, Policy::fullGpu());
+    const auto t_mini = cm_mini.layerTiming(w, Policy::fullGpu());
+    EXPECT_GT(t_mini.gpuTime, t_full.gpuTime * 1.02);
+}
+
+} // namespace
+
+namespace {
+
+using namespace lia;
+using namespace lia::core;
+using lia::model::Stage;
+using lia::model::Workload;
+
+TEST(CostModelCxlTest, PoolThrottlesPcie5Transfers)
+{
+    // The Observation-1 parity holds only while the interleaved pool
+    // supplies at least PCIe bandwidth. Two 17 GB/s expanders exceed
+    // PCIe 4.0 (26 GB/s) but throttle a PCIe 5.0 link (52 GB/s).
+    const auto m = model::opt175b();
+    Workload w{Stage::Decode, 900, 128};
+    CostModelOptions cxl_opts;
+    cxl_opts.paramTier = HostTier::Cxl;
+
+    CostModel h100_ddr(hw::withCxl(hw::sprH100()), m, {});
+    CostModel h100_cxl(hw::withCxl(hw::sprH100()), m, cxl_opts);
+    const auto ddr = h100_ddr.layerTiming(w, Policy::fullGpu());
+    const auto cxl = h100_cxl.layerTiming(w, Policy::fullGpu());
+    EXPECT_GT(cxl.prefetchPcieTime, 1.4 * ddr.prefetchPcieTime);
+
+    CostModel a100_ddr(hw::withCxl(hw::sprA100()), m, {});
+    CostModel a100_cxl(hw::withCxl(hw::sprA100()), m, cxl_opts);
+    const auto ddr4 = a100_ddr.layerTiming(w, Policy::fullGpu());
+    const auto cxl4 = a100_cxl.layerTiming(w, Policy::fullGpu());
+    EXPECT_NEAR(cxl4.prefetchPcieTime, ddr4.prefetchPcieTime,
+                0.05 * ddr4.prefetchPcieTime);
+}
+
+TEST(CostModelOptionsTest, SetOptionsRevalidatesTiers)
+{
+    detail::setThrowOnError(true);
+    CostModel cm(hw::sprA100(), model::opt30b(), {});
+    CostModelOptions bad;
+    bad.paramTier = HostTier::Cxl;  // no pool on plain SPR-A100
+    EXPECT_THROW(cm.setOptions(bad), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(CostModelChunkTest, FullCpuPolicyNeverMiniBatches)
+{
+    // Table 4's no-Opt-2 row is exactly a no-op at B=1 because the
+    // all-CPU policy moves nothing worth overlapping.
+    const auto m = model::opt30b();
+    CostModelOptions on;
+    CostModelOptions off;
+    off.overlap = false;
+    CostModel cm_on(hw::sprA100(), m, on);
+    CostModel cm_off(hw::sprA100(), m, off);
+    Workload w{Stage::Prefill, 1, 256};
+    EXPECT_DOUBLE_EQ(
+        cm_on.layerTiming(w, Policy::fullCpu()).serialTime(),
+        cm_off.layerTiming(w, Policy::fullCpu()).serialTime());
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the end-to-end inference estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "core/engine.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::core;
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    hw::SystemConfig sys = hw::sprA100();
+    model::ModelConfig m = model::opt30b();
+};
+
+TEST_F(EngineTest, LatencySplitsIntoStages)
+{
+    EngineModel engine(sys, m);
+    const auto est = engine.estimate({1, 256, 32});
+    EXPECT_GT(est.prefillTime, 0);
+    EXPECT_GT(est.decodeTime, 0);
+    EXPECT_DOUBLE_EQ(est.latency(), est.prefillTime + est.decodeTime);
+    EXPECT_TRUE(est.feasible);
+}
+
+TEST_F(EngineTest, ThroughputCountsGeneratedTokens)
+{
+    EngineModel engine(sys, m);
+    const Scenario sc{64, 256, 32};
+    const auto est = engine.estimate(sc);
+    EXPECT_NEAR(est.throughput(sc), 64.0 * 32.0 / est.latency(), 1e-9);
+}
+
+TEST_F(EngineTest, MoreOutputTokensTakeLonger)
+{
+    EngineModel engine(sys, m);
+    const auto short_run = engine.estimate({1, 256, 32});
+    const auto long_run = engine.estimate({1, 256, 256});
+    EXPECT_GT(long_run.decodeTime, short_run.decodeTime * 4);
+    EXPECT_NEAR(long_run.prefillTime, short_run.prefillTime, 1e-9);
+}
+
+TEST_F(EngineTest, CpuOnlyNeverTouchesGpuOrPcie)
+{
+    EngineConfig cfg;
+    cfg.cpuOnly = true;
+    cfg.enableResidency = false;
+    cfg.costOptions.overlap = false;
+    EngineModel engine(sys, m, cfg);
+    const auto est = engine.estimate({8, 256, 32});
+    EXPECT_DOUBLE_EQ(est.breakdown.gpuTime, 0.0);
+    EXPECT_DOUBLE_EQ(est.breakdown.comTime, 0.0);
+    EXPECT_DOUBLE_EQ(est.pcieBytes, 0.0);
+    EXPECT_EQ(est.prefillPolicy, Policy::fullCpu());
+}
+
+TEST_F(EngineTest, ForcedPoliciesAreRespected)
+{
+    EngineConfig cfg;
+    cfg.optimizePolicies = false;
+    cfg.forcedPrefillPolicy = Policy::fullGpu();
+    cfg.forcedDecodePolicy = Policy::attentionOnCpu();
+    cfg.enableResidency = false;
+    EngineModel engine(sys, m, cfg);
+    const auto est = engine.estimate({8, 256, 32});
+    EXPECT_EQ(est.prefillPolicy, Policy::fullGpu());
+    EXPECT_EQ(est.decodePolicy, Policy::attentionOnCpu());
+}
+
+TEST_F(EngineTest, OverlapReducesLatency)
+{
+    EngineConfig with;
+    EngineConfig without;
+    without.costOptions.overlap = false;
+    // Use a forced GPU-heavy policy so there is traffic to overlap.
+    for (auto *cfg : {&with, &without}) {
+        cfg->optimizePolicies = false;
+        cfg->forcedPrefillPolicy = Policy::fullGpu();
+        cfg->forcedDecodePolicy = Policy::attentionOnCpu();
+        cfg->enableResidency = false;
+    }
+    const auto est_with = EngineModel(sys, m, with).estimate({64, 256, 32});
+    const auto est_without =
+        EngineModel(sys, m, without).estimate({64, 256, 32});
+    EXPECT_LT(est_with.latency(), est_without.latency());
+}
+
+TEST_F(EngineTest, ResidencyReducesLatencyAtSmallBatch)
+{
+    // Table 4: disabling Optimization-1 roughly doubles B=1 latency.
+    EngineConfig on;
+    EngineConfig off;
+    off.enableResidency = false;
+    const auto est_on = EngineModel(sys, m, on).estimate({1, 256, 32});
+    const auto est_off = EngineModel(sys, m, off).estimate({1, 256, 32});
+    EXPECT_LT(est_on.latency(), est_off.latency());
+    EXPECT_GT(est_on.residency.residentLayers, 0);
+}
+
+TEST_F(EngineTest, ResidencyEffectShrinksAtLargeBatch)
+{
+    EngineConfig on;
+    EngineConfig off;
+    off.enableResidency = false;
+    const Scenario big{900, 256, 32};
+    const double gain_big =
+        EngineModel(sys, m, off).estimate(big).latency() /
+        EngineModel(sys, m, on).estimate(big).latency();
+    const Scenario small{1, 256, 32};
+    const double gain_small =
+        EngineModel(sys, m, off).estimate(small).latency() /
+        EngineModel(sys, m, on).estimate(small).latency();
+    EXPECT_GT(gain_small, gain_big);
+}
+
+TEST_F(EngineTest, InfeasibleWhenHostMemoryOverflows)
+{
+    // OPT-175B params (350 GB) + giant KV cannot fit 512 GB DDR.
+    EngineModel engine(sys, model::opt175b());
+    const auto est = engine.estimate({512, 1024, 256});
+    EXPECT_FALSE(est.feasible);
+    EXPECT_FALSE(est.note.empty());
+}
+
+TEST_F(EngineTest, KvOnGpuOomDetected)
+{
+    EngineConfig cfg;
+    cfg.optimizePolicies = false;
+    cfg.forcedPrefillPolicy = Policy::fullGpu();
+    cfg.forcedDecodePolicy = Policy::fullGpu();
+    cfg.costOptions.kvOnGpu = true;
+    EngineModel engine(sys, m, cfg);
+    // 900 x 1024 tokens of KV greatly exceeds 40 GB HBM.
+    const auto est = engine.estimate({900, 1024, 32});
+    EXPECT_FALSE(est.feasible);
+    EXPECT_NE(est.note.find("GPU"), std::string::npos);
+}
+
+TEST_F(EngineTest, AutoMemoryPolicyUsesCxlAtLargeBatch)
+{
+    EngineModel engine(hw::withCxl(sys), m);
+    const auto est = engine.estimate({900, 32, 32});
+    EXPECT_EQ(est.placement.paramTier, HostTier::Cxl);
+    EXPECT_GT(est.placement.cxlBytes, 0);
+}
+
+TEST_F(EngineTest, AutoMemoryPolicyKeepsDdrAtSmallBatch)
+{
+    EngineModel engine(hw::withCxl(sys), m);
+    const auto est = engine.estimate({1, 256, 32});
+    EXPECT_EQ(est.placement.paramTier, HostTier::Ddr);
+}
+
+TEST_F(EngineTest, ScenarioValidation)
+{
+    detail::setThrowOnError(true);
+    EngineModel engine(sys, m);
+    EXPECT_THROW(engine.estimate({0, 256, 32}), std::logic_error);
+    EXPECT_THROW(engine.estimate({1, 0, 32}), std::logic_error);
+    EXPECT_THROW(engine.estimate({1, 2040, 32}), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST_F(EngineTest, BreakdownComponentsArePositiveAndConsistent)
+{
+    EngineModel engine(sys, m);
+    const auto est = engine.estimate({64, 256, 32});
+    EXPECT_GE(est.breakdown.cpuTime, 0);
+    EXPECT_GE(est.breakdown.gpuTime, 0);
+    EXPECT_GE(est.breakdown.comTime, 0);
+    // Serial component sum bounds the overlapped latency from above.
+    EXPECT_GE(est.breakdown.cpuTime + est.breakdown.gpuTime +
+                  est.breakdown.comTime,
+              est.latency() - 1e-9);
+}
+
+} // namespace

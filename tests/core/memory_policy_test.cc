@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the §6 CXL memory-offloading policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/memory_policy.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "model/footprint.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::core;
+
+class MemoryPolicyTest : public ::testing::Test
+{
+  protected:
+    hw::SystemConfig sys = hw::withCxl(hw::sprA100());
+    model::ModelConfig m = model::opt30b();
+};
+
+TEST_F(MemoryPolicyTest, LargeBatchMovesParamsToCxl)
+{
+    // Decode policy (0,1,1,0,0,0): every parameter sublayer on GPU.
+    const auto placement = planMemoryPlacement(
+        sys, m, 900, 32, 32, Policy::attentionOnCpu());
+    EXPECT_EQ(placement.paramTier, HostTier::Cxl);
+    EXPECT_EQ(placement.kvTier, HostTier::Ddr);
+    EXPECT_TRUE(placement.feasible);
+    EXPECT_GT(placement.paramCxlFraction, 0.9);
+}
+
+TEST_F(MemoryPolicyTest, OffloadedFractionMatchesTable3)
+{
+    // Table 3: B=900, L_in=32, L_out=32 offloads ~43% of all bytes.
+    const auto placement = planMemoryPlacement(
+        sys, m, 900, 32, 32, Policy::attentionOnCpu());
+    EXPECT_NEAR(placement.offloadedFraction(), 0.431, 0.06);
+}
+
+TEST_F(MemoryPolicyTest, OffloadedFractionShrinksWithLongerOutputs)
+{
+    // Table 3's trend: larger L_out grows the KV share, diluting the
+    // parameter fraction (43% -> 14% as L_out goes 32 -> 256).
+    double prev = 1.0;
+    for (std::int64_t l_out : {32, 64, 128, 256}) {
+        const auto placement = planMemoryPlacement(
+            sys, m, 900, 32, l_out, Policy::attentionOnCpu());
+        EXPECT_LT(placement.offloadedFraction(), prev);
+        prev = placement.offloadedFraction();
+    }
+    EXPECT_NEAR(prev, 0.144, 0.05);  // L_out = 256 row of Table 3
+}
+
+TEST_F(MemoryPolicyTest, CpuParamPoliciesKeepParamsInDdr)
+{
+    // Observation-2 guard: full-CPU decode would read weights through
+    // the pool, so the planner refuses to offload.
+    const auto placement =
+        planMemoryPlacement(sys, m, 16, 32, 32, Policy::fullCpu());
+    EXPECT_EQ(placement.paramTier, HostTier::Ddr);
+    EXPECT_DOUBLE_EQ(placement.cxlBytes, 0.0);
+}
+
+TEST_F(MemoryPolicyTest, NoCxlPoolMeansDdrOnly)
+{
+    const auto placement = planMemoryPlacement(
+        hw::sprA100(), m, 900, 32, 32, Policy::attentionOnCpu());
+    EXPECT_EQ(placement.paramTier, HostTier::Ddr);
+    EXPECT_NE(placement.note.find("no CXL"), std::string::npos);
+}
+
+TEST_F(MemoryPolicyTest, DdrReliefEqualsOffloadedParams)
+{
+    const auto with_cxl = planMemoryPlacement(
+        sys, m, 900, 32, 32, Policy::attentionOnCpu());
+    const auto without = planMemoryPlacement(
+        hw::sprA100(), m, 900, 32, 32, Policy::attentionOnCpu());
+    EXPECT_NEAR(without.ddrBytes - with_cxl.ddrBytes,
+                with_cxl.cxlBytes, 1.0);
+}
+
+TEST_F(MemoryPolicyTest, PartialOffloadWhenParamsExceedPool)
+{
+    // OPT-175B's ~350 GB exceeds the 256 GB pool: offload saturates.
+    const auto big = model::opt175b();
+    const auto placement = planMemoryPlacement(
+        sys, big, 64, 32, 32, Policy::attentionOnCpu());
+    EXPECT_LT(placement.paramCxlFraction, 1.0);
+    EXPECT_NEAR(placement.cxlBytes, sys.cxl.totalCapacity(), 1e9);
+}
+
+TEST_F(MemoryPolicyTest, InfeasibleWhenDdrOverflows)
+{
+    // A batch whose KV cache alone exceeds 512 GB DDR.
+    const auto placement = planMemoryPlacement(
+        sys, m, 4000, 1024, 256, Policy::attentionOnCpu());
+    EXPECT_FALSE(placement.feasible);
+}
+
+TEST_F(MemoryPolicyTest, ObliviousPlacementPutsKvInCxl)
+{
+    const auto placement =
+        obliviousCxlPlacement(sys, m, 64, 256, 32);
+    EXPECT_EQ(placement.paramTier, HostTier::Cxl);
+    EXPECT_EQ(placement.kvTier, HostTier::Cxl);
+}
+
+TEST_F(MemoryPolicyTest, ApplyPlacementCopiesTiers)
+{
+    MemoryPlacement placement;
+    placement.paramTier = HostTier::Cxl;
+    placement.kvTier = HostTier::Ddr;
+    CostModelOptions opts = applyPlacement({}, placement);
+    EXPECT_EQ(opts.paramTier, HostTier::Cxl);
+    EXPECT_EQ(opts.kvTier, HostTier::Ddr);
+}
+
+TEST_F(MemoryPolicyTest, HostTierNames)
+{
+    EXPECT_STREQ(toString(HostTier::Ddr), "DDR");
+    EXPECT_STREQ(toString(HostTier::Cxl), "CXL");
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the §8 multi-GPU LIA extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/multi_gpu.hh"
+#include "hw/catalog.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+using core::MultiGpuLiaModel;
+using core::Scenario;
+
+class MultiGpuLiaTest : public ::testing::Test
+{
+  protected:
+    hw::SystemConfig base = hw::sprA100();
+    model::ModelConfig m = model::opt175b();
+};
+
+TEST_F(MultiGpuLiaTest, SingleGpuMatchesPlainEngine)
+{
+    MultiGpuLiaModel one(base, m, 1, hw::nvlink3());
+    core::EngineConfig cfg;
+    cfg.costOptions.executionAwareObjective = true;
+    core::EngineModel plain(base, m, cfg);
+    const Scenario sc{64, 512, 32};
+    EXPECT_NEAR(one.estimate(sc).latency(),
+                plain.estimate(sc).latency(), 1e-9);
+}
+
+TEST_F(MultiGpuLiaTest, MoreGpusNeverSlower)
+{
+    const Scenario sc{900, 256, 32};
+    double prev = 1e30;
+    for (int n : {1, 2, 4, 8}) {
+        MultiGpuLiaModel tp(base, m, n, hw::nvlink3());
+        const double t = tp.estimate(sc).latency();
+        EXPECT_LE(t, prev * 1.001) << n << " GPUs";
+        prev = t;
+    }
+}
+
+TEST_F(MultiGpuLiaTest, ScalingIsSubLinear)
+{
+    // §8: communication overhead erodes the scaling impact.
+    const Scenario sc{900, 256, 32};
+    MultiGpuLiaModel one(base, m, 1, hw::nvlink3());
+    MultiGpuLiaModel eight(base, m, 8, hw::nvlink3());
+    const double speedup = one.estimate(sc).latency() /
+                           eight.estimate(sc).latency();
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 8.0);
+}
+
+TEST_F(MultiGpuLiaTest, PcieFabricScalesWorseThanNvlink)
+{
+    // §8: scaling suffers "especially when the GPUs are connected
+    // via PCIe interconnects".
+    const Scenario sc{900, 256, 32};
+    MultiGpuLiaModel nvlink(base, m, 4, hw::nvlink3());
+    MultiGpuLiaModel pcie(base, m, 4, hw::pcie4x16());
+    EXPECT_LT(nvlink.estimate(sc).latency(),
+              pcie.estimate(sc).latency());
+}
+
+TEST_F(MultiGpuLiaTest, GpusShiftPoliciesTowardGpu)
+{
+    // Aggregate PCIe bandwidth scales with GPU count, so the GPU
+    // handles computation more frequently (§8).
+    const Scenario sc{256, 512, 32};
+    MultiGpuLiaModel one(base, m, 1, hw::nvlink3());
+    MultiGpuLiaModel eight(base, m, 8, hw::nvlink3());
+    const auto p1 = one.estimate(sc).decodePolicy;
+    const auto p8 = eight.estimate(sc).decodePolicy;
+    EXPECT_LE(p8.cpuCount(), p1.cpuCount());
+    // With 8x aggregate PCIe even the KV stream can move to the
+    // GPUs; all parameter sublayers certainly do.
+    EXPECT_NE(p8, core::Policy::fullCpu());
+    EXPECT_LE(p8.cpuCount(), 2);
+}
+
+TEST_F(MultiGpuLiaTest, NoCommChargedForCpuOnlyPolicies)
+{
+    // Small-batch decode stays on the CPU; no all-reduce applies.
+    MultiGpuLiaModel tp(base, m, 4, hw::nvlink3());
+    const auto est = tp.estimate({1, 128, 16});
+    EXPECT_EQ(est.decodePolicy, core::Policy::fullCpu());
+}
+
+TEST_F(MultiGpuLiaTest, PooledSystemAggregatesResources)
+{
+    MultiGpuLiaModel tp(base, m, 4, hw::nvlink3());
+    const auto &pooled = tp.pooledSystem();
+    EXPECT_NEAR(pooled.gpu.peakMatmulThroughput,
+                4.0 * base.gpu.peakMatmulThroughput, 1.0);
+    EXPECT_NEAR(pooled.hostLink.bandwidth,
+                4.0 * base.hostLink.bandwidth, 1.0);
+    EXPECT_GT(pooled.systemCost, base.systemCost);
+}
+
+TEST_F(MultiGpuLiaTest, LargerHbmPoolRaisesResidency)
+{
+    // Pooled HBM admits more resident layers (or all of them).
+    MultiGpuLiaModel one(base, m, 1, hw::nvlink3());
+    MultiGpuLiaModel eight(base, m, 8, hw::nvlink3());
+    const Scenario sc{1, 512, 32};
+    EXPECT_GT(eight.estimate(sc).residency.residentLayers,
+              one.estimate(sc).residency.residentLayers);
+}
+
+} // namespace

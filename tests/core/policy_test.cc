@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for offloading policy vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "core/policy.hh"
+
+namespace {
+
+using namespace lia::core;
+using lia::model::kNumSublayers;
+
+TEST(PolicyTest, DefaultIsAllGpu)
+{
+    Policy p;
+    for (int i = 0; i < kNumSublayers; ++i)
+        EXPECT_EQ(p.device(i), Device::Gpu);
+    EXPECT_EQ(p, Policy::fullGpu());
+}
+
+TEST(PolicyTest, FullCpuHasAllOnes)
+{
+    const Policy p = Policy::fullCpu();
+    for (int i = 0; i < kNumSublayers; ++i)
+        EXPECT_TRUE(p.onCpu(i));
+    EXPECT_EQ(p.cpuCount(), 6);
+}
+
+TEST(PolicyTest, AttentionOnCpuMatchesPaperVector)
+{
+    // §7.1: partial CPU offloading is p = (0,1,1,0,0,0).
+    const Policy p = Policy::attentionOnCpu();
+    EXPECT_EQ(p.toString(), "(0,1,1,0,0,0)");
+    EXPECT_TRUE(p.onCpu(1));
+    EXPECT_TRUE(p.onCpu(2));
+    EXPECT_EQ(p.cpuCount(), 2);
+}
+
+TEST(PolicyTest, ArrayConstructorMatchesMask)
+{
+    const Policy p(std::array<int, 6>{1, 0, 1, 0, 0, 1});
+    EXPECT_EQ(p.mask(), 0b100101u);
+    EXPECT_TRUE(p.onCpu(0));
+    EXPECT_FALSE(p.onCpu(1));
+    EXPECT_TRUE(p.onCpu(5));
+}
+
+TEST(PolicyTest, MaskRoundTrip)
+{
+    for (unsigned m = 0; m < Policy::kCount; ++m)
+        EXPECT_EQ(Policy::fromMask(m).mask(), m);
+}
+
+TEST(PolicyTest, AllMasksDistinct)
+{
+    std::set<std::string> seen;
+    for (unsigned m = 0; m < Policy::kCount; ++m)
+        seen.insert(Policy::fromMask(m).toString());
+    EXPECT_EQ(seen.size(), Policy::kCount);
+}
+
+TEST(PolicyTest, SetDeviceFlipsSingleBit)
+{
+    Policy p = Policy::fullGpu();
+    p.setDevice(3, Device::Cpu);
+    EXPECT_TRUE(p.onCpu(3));
+    EXPECT_EQ(p.cpuCount(), 1);
+    p.setDevice(3, Device::Gpu);
+    EXPECT_EQ(p, Policy::fullGpu());
+}
+
+TEST(PolicyTest, SublayerEnumOverloadAgreesWithIndex)
+{
+    const Policy p = Policy::attentionOnCpu();
+    EXPECT_EQ(p.device(lia::model::Sublayer::AttnScoreQK),
+              p.device(1));
+    EXPECT_EQ(p.device(lia::model::Sublayer::Fc2), p.device(5));
+}
+
+TEST(PolicyTest, OutOfRangeMaskPanics)
+{
+    lia::detail::setThrowOnError(true);
+    EXPECT_THROW(Policy::fromMask(64), std::logic_error);
+    lia::detail::setThrowOnError(false);
+}
+
+TEST(PolicyTest, OutOfRangeIndexPanics)
+{
+    lia::detail::setThrowOnError(true);
+    Policy p;
+    EXPECT_THROW(p.device(6), std::logic_error);
+    EXPECT_THROW(p.setDevice(-1, Device::Cpu), std::logic_error);
+    lia::detail::setThrowOnError(false);
+}
+
+TEST(PolicyTest, DeviceToString)
+{
+    EXPECT_STREQ(toString(Device::Cpu), "CPU");
+    EXPECT_STREQ(toString(Device::Gpu), "GPU");
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the Optimization-1 GPU residency planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/residency.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::core;
+
+TEST(ResidencyTest, Opt30bB1MatchesPaperExample)
+{
+    // §5.2: OPT-30B at B=1, L=2016 keeps ~62% of layers (~30 of 48)
+    // on a 40 GB A100 using ~35 GB.
+    const auto plan = planResidency(hw::sprA100(), model::opt30b(), 1,
+                                    2016, false, 2048);
+    EXPECT_NEAR(plan.residentLayers, 30, 3);
+    EXPECT_NEAR(plan.gpuBytesUsed, 35e9, 5e9);
+    EXPECT_NEAR(plan.residentFraction(48), 0.62, 0.08);
+}
+
+TEST(ResidencyTest, LargerBatchLeavesFewerResidentLayers)
+{
+    // Table 4: Optimization-1's benefit shrinks with B because the
+    // activation working set grows.
+    const auto sys = hw::sprA100();
+    const auto m = model::opt30b();
+    int prev = 1000;
+    for (std::int64_t b : {1, 64, 256, 900}) {
+        const auto plan = planResidency(sys, m, b, 256, false, 288);
+        EXPECT_LE(plan.residentLayers, prev) << "B=" << b;
+        prev = plan.residentLayers;
+    }
+}
+
+TEST(ResidencyTest, ResidentLayersCappedAtModelSize)
+{
+    // A tiny model fits entirely.
+    const auto plan = planResidency(hw::sprA100(), model::tinyOpt(), 1,
+                                    16, false, 32);
+    EXPECT_EQ(plan.residentLayers, 4);
+}
+
+TEST(ResidencyTest, KvOnGpuReservationShrinksResidency)
+{
+    const auto sys = hw::sprA100();
+    const auto m = model::opt13b();
+    const auto without = planResidency(sys, m, 32, 512, false, 1024);
+    const auto with_kv = planResidency(sys, m, 32, 512, true, 1024);
+    EXPECT_LT(with_kv.residentLayers, without.residentLayers);
+    EXPECT_GT(with_kv.reservedBytes, without.reservedBytes);
+}
+
+TEST(ResidencyTest, NothingFitsWhenReserveExceedsCapacity)
+{
+    // OPT-175B at huge batch: activations alone exceed 40 GB.
+    const auto plan = planResidency(hw::sprA100(), model::opt175b(),
+                                    900, 1024, false, 1056);
+    EXPECT_EQ(plan.residentLayers, 0);
+    EXPECT_DOUBLE_EQ(plan.gpuBytesUsed, 0.0);
+}
+
+TEST(ResidencyTest, FlexGenGranularityWastesCapacity)
+{
+    // §5.2: FlexGen's coarse sublayer-across-layers quanta cache less
+    // than LIA's whole-layer allocation in the same spare memory.
+    // OPT-66B's 64 layers make the FlexGen quantum (5.33 layers'
+    // worth) misalign with the spare capacity.
+    const auto sys = hw::sprA100();
+    const auto m = model::opt66b();
+    const auto lia = planResidency(sys, m, 1, 2016, false, 2048,
+                                   CacheGranularity::WholeLayer);
+    const auto flexgen =
+        planResidency(sys, m, 1, 2016, false, 2048,
+                      CacheGranularity::SublayerAcrossLayers);
+    EXPECT_LT(flexgen.gpuBytesUsed, lia.gpuBytesUsed);
+    EXPECT_GT(flexgen.uniformCachedFraction, 0.0);
+    EXPECT_LT(flexgen.uniformCachedFraction, 1.0);
+    EXPECT_EQ(lia.uniformCachedFraction, 0.0);
+}
+
+TEST(ResidencyTest, FlexGenFractionNeverExceedsOne)
+{
+    const auto plan =
+        planResidency(hw::sprA100(), model::tinyOpt(), 1, 16, false, 32,
+                      CacheGranularity::SublayerAcrossLayers);
+    EXPECT_LE(plan.uniformCachedFraction, 1.0);
+    EXPECT_GT(plan.uniformCachedFraction, 0.99);
+}
+
+TEST(ResidencyTest, PerLayerBytesMatchModel)
+{
+    const auto m = model::opt66b();
+    const auto plan = planResidency(hw::sprH100(), m, 1, 512, false,
+                                    1024);
+    EXPECT_DOUBLE_EQ(plan.perLayerBytes, m.decoderLayerParamBytes());
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the cost-efficiency model (§7.8, §8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "energy/economics.hh"
+#include "hw/system.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::energy;
+
+TEST(EconomicsTest, CapitalAmortisesOverThreeYears)
+{
+    EconomicsModel econ;
+    const auto dgx = hw::dgxA100();
+    EXPECT_NEAR(econ.capitalPerHour(dgx),
+                200'000.0 / (3 * 365 * 24), 1e-6);
+}
+
+TEST(EconomicsTest, ElectricityAtTenCentsPerKwh)
+{
+    EconomicsModel econ;
+    EXPECT_NEAR(econ.electricityPerHour(1000.0), 0.10, 1e-9);
+}
+
+TEST(EconomicsTest, CostPerMillionTokensInverseInThroughput)
+{
+    EconomicsModel econ;
+    const auto sys = hw::gnrA100();
+    const double slow = econ.costPerMillionTokens(sys, 10.0, 500);
+    const double fast = econ.costPerMillionTokens(sys, 20.0, 500);
+    EXPECT_NEAR(slow / fast, 2.0, 1e-9);
+}
+
+TEST(EconomicsTest, GnrSystemAnOrderOfMagnitudeCheaperThanDgx)
+{
+    // §7.8: LIA needs only ~10% of the DGX's system cost.
+    EXPECT_NEAR(hw::gnrA100().systemCost / hw::dgxA100().systemCost,
+                0.11, 0.03);
+}
+
+TEST(EconomicsTest, CxlBlendHalvesMemoryCost)
+{
+    // §8: a 560 GB memory system drops from ~$6,300 (DDR only) to
+    // ~$3,200 with half the bytes on repurposed-DDR4 CXL.
+    EconomicsModel econ;
+    const auto sys = hw::withCxl(hw::sprA100());
+    const double bytes = 560e9;
+    const double ddr_only = econ.memorySystemCost(sys, bytes, 0.0);
+    const double blended = econ.memorySystemCost(sys, bytes, 0.5);
+    EXPECT_NEAR(ddr_only, 6'300, 300);
+    EXPECT_NEAR(blended, 3'200, 400);
+}
+
+TEST(EconomicsTest, NoCxlPoolPricesAtDdrRate)
+{
+    EconomicsModel econ;
+    const auto sys = hw::sprA100();
+    EXPECT_NEAR(econ.memorySystemCost(sys, 100e9, 0.5),
+                econ.memorySystemCost(sys, 100e9, 0.0), 1e-9);
+}
+
+TEST(EconomicsTest, RejectsBadParameters)
+{
+    detail::setThrowOnError(true);
+    EconomicsConfig bad;
+    bad.amortizationYears = 0;
+    EXPECT_THROW(EconomicsModel{bad}, std::logic_error);
+    EconomicsModel econ;
+    EXPECT_THROW(econ.costPerMillionTokens(hw::sprA100(), 0.0, 100),
+                 std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the power/energy model (§7.5 shapes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/presets.hh"
+#include "energy/power.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::energy;
+using core::Scenario;
+
+class PowerTest : public ::testing::Test
+{
+  protected:
+    hw::SystemConfig sys = hw::sprA100();
+    model::ModelConfig m = model::opt30b();
+    PowerModel power{sys};
+};
+
+TEST_F(PowerTest, EnergyComponentsPositive)
+{
+    const auto est = baselines::liaEngine(sys, m).estimate({1, 256, 32});
+    const auto report = power.energy(est);
+    EXPECT_GT(report.staticJoules, 0);
+    EXPECT_GE(report.cpuJoules, 0);
+    EXPECT_GE(report.gpuJoules, 0);
+    EXPECT_NEAR(report.totalJoules(),
+                report.staticJoules + report.cpuJoules +
+                    report.gpuJoules,
+                1e-9);
+}
+
+TEST_F(PowerTest, AveragePowerWithinPlatformEnvelope)
+{
+    const auto est = baselines::liaEngine(sys, m).estimate({64, 256, 32});
+    const double watts = power.averagePower(est);
+    EXPECT_GT(watts, sys.staticPower);
+    EXPECT_LT(watts, sys.staticPower + sys.cpu.tdp + sys.gpu.tdp + 1);
+}
+
+TEST_F(PowerTest, LiaMoreEfficientThanBaselines)
+{
+    // Fig. 12: LIA's energy/token beats IPEX (1.1-5.8x) and FlexGen
+    // (1.6-10.3x).
+    const Scenario sc{1, 512, 32};
+    const auto lia = baselines::liaEngine(sys, m).estimate(sc);
+    const auto ipex = baselines::ipexEngine(sys, m).estimate(sc);
+    const auto flexgen = baselines::FlexGenModel(sys, m).estimate(sc);
+    const double e_lia = power.energyPerToken(lia, sc);
+    EXPECT_GT(power.energyPerToken(ipex, sc) / e_lia, 1.05);
+    EXPECT_GT(power.energyPerToken(flexgen, sc) / e_lia, 1.5);
+}
+
+TEST_F(PowerTest, IdleTransferTimeBurnsStaticPowerOnly)
+{
+    // A transfer-dominated run has low dynamic energy share.
+    auto naive = baselines::naiveOffloadEngine(sys, model::opt175b(),
+                                               true);
+    const auto est = naive.estimate({1, 512, 32});
+    const auto report = power.energy(est);
+    EXPECT_GT(report.staticJoules,
+              report.cpuJoules + report.gpuJoules);
+}
+
+TEST_F(PowerTest, CpuOnlyRunHasNoGpuDynamicEnergy)
+{
+    const auto est = baselines::ipexEngine(sys, m).estimate({8, 256, 32});
+    const auto report = power.energy(est);
+    EXPECT_DOUBLE_EQ(report.gpuJoules, 0.0);
+    EXPECT_GT(report.cpuJoules, 0.0);
+}
+
+TEST_F(PowerTest, EnergyPerTokenDividesByGeneratedTokens)
+{
+    const Scenario sc{4, 256, 32};
+    const auto est = baselines::liaEngine(sys, m).estimate(sc);
+    EXPECT_NEAR(power.energyPerToken(est, sc),
+                power.energy(est).totalJoules() / (4.0 * 32.0), 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Calibration tests: the catalog must reproduce the paper's §4
+ * microbenchmark relationships (Fig. 5 and surrounding text).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hh"
+#include "hw/microbench.hh"
+
+namespace {
+
+using namespace lia::hw;
+
+constexpr std::int64_t kDModel = 12288;  // OPT-175B
+
+double
+gemmMax(const ComputeDevice &dev)
+{
+    double best = 0;
+    for (std::int64_t rows = 64; rows <= 36864; rows *= 2)
+        best = std::max(best, gemmThroughput(dev, {rows, kDModel}));
+    return best;
+}
+
+TEST(CatalogCalibration, SprAmxPeakIs90TFlops)
+{
+    EXPECT_NEAR(amxSpr().peakMatmulThroughput, 90.1e12, 1e9);
+}
+
+TEST(CatalogCalibration, SprAmxMeasuredGemmNear20TFlops)
+{
+    // Abstract: "matrix multiplication throughput of 20 TFLOPS".
+    EXPECT_NEAR(gemmMax(amxSpr()), 20e12, 5e12);
+}
+
+TEST(CatalogCalibration, GnrMeasuredGemmNear40TFlops)
+{
+    // Abstract: "40 TFLOPS" on Granite Rapids, ~2.4x SPR (§4.1).
+    const double gnr = gemmMax(amxGnr());
+    const double spr = gemmMax(amxSpr());
+    EXPECT_NEAR(gnr, 44e12, 9e12);
+    EXPECT_NEAR(gnr / spr, 2.2, 0.5);
+}
+
+TEST(CatalogCalibration, AmxBeatsAvxByFourToFiveTimes)
+{
+    // §4.1: measured maximum 4.5x higher than AVX512.
+    const double ratio = gemmMax(amxSpr()) / gemmMax(avx512Spr());
+    EXPECT_GT(ratio, 3.5);
+    EXPECT_LT(ratio, 6.5);
+}
+
+TEST(CatalogCalibration, AmxPeakIsEightTimesAvxPeak)
+{
+    EXPECT_NEAR(amxSpr().peakMatmulThroughput /
+                    avx512Spr().peakMatmulThroughput,
+                8.0, 0.5);
+}
+
+TEST(CatalogCalibration, SprWithinPaperFractionOfRecentGpus)
+{
+    // §4.1: SPR-AMX reaches 4-11% of H100 and 7-15% of A100 GEMM.
+    const double spr = gemmMax(amxSpr());
+    const double vs_h100 = spr / gemmMax(gpuH100());
+    const double vs_a100 = spr / gemmMax(gpuA100());
+    EXPECT_GT(vs_h100, 0.03);
+    EXPECT_LT(vs_h100, 0.13);
+    EXPECT_GT(vs_a100, 0.06);
+    EXPECT_LT(vs_a100, 0.17);
+}
+
+TEST(CatalogCalibration, GemmRankingMatchesFig5)
+{
+    // H100 > A100 > V100 > GNR > SPR > P100 > AVX512 at peak sizes.
+    const double h100 = gemmMax(gpuH100());
+    const double a100 = gemmMax(gpuA100());
+    const double v100 = gemmMax(gpuV100());
+    const double gnr = gemmMax(amxGnr());
+    const double spr = gemmMax(amxSpr());
+    const double p100 = gemmMax(gpuP100());
+    const double avx = gemmMax(avx512Spr());
+    EXPECT_GT(h100, a100);
+    EXPECT_GT(a100, v100);
+    EXPECT_GT(v100, gnr);
+    EXPECT_GT(gnr, spr);
+    EXPECT_GT(spr, p100);
+    EXPECT_GT(p100, avx);
+}
+
+TEST(CatalogCalibration, SprGemvNear199GFlops)
+{
+    // §4.2: peak GEMV throughput of 199 GFLOPS on SPR.
+    BatchedGemvShape shape{256 * 96, 128, 1024};
+    EXPECT_NEAR(gemvThroughput(amxSpr(), shape), 199e9, 30e9);
+}
+
+TEST(CatalogCalibration, GemvAmxMatchesAvxWithinTenPercent)
+{
+    // §4.2: memory-bound GEMV differs by <10% between AMX and AVX512.
+    BatchedGemvShape shape{64 * 96, 128, 512};
+    const double amx = gemvThroughput(amxSpr(), shape);
+    const double avx = gemvThroughput(avx512Spr(), shape);
+    EXPECT_NEAR(amx / avx, 1.0, 0.1);
+}
+
+TEST(CatalogCalibration, GnrGemvSeventyPercentFaster)
+{
+    // §4.2: GNR improves GEMV throughput by ~70% via 12 channels.
+    BatchedGemvShape shape{256 * 96, 128, 1024};
+    const double ratio = gemvThroughput(amxGnr(), shape) /
+                         gemvThroughput(amxSpr(), shape);
+    EXPECT_NEAR(ratio, 1.7, 0.25);
+}
+
+TEST(CatalogCalibration, GemvRankingMatchesFig5)
+{
+    // H100 > A100 > V100 > P100 > GNR > SPR at large shapes.
+    BatchedGemvShape shape{900 * 96, 128, 1024};
+    const double h100 = gemvThroughput(gpuH100(), shape);
+    const double a100 = gemvThroughput(gpuA100(), shape);
+    const double v100 = gemvThroughput(gpuV100(), shape);
+    const double p100 = gemvThroughput(gpuP100(), shape);
+    const double gnr = gemvThroughput(amxGnr(), shape);
+    const double spr = gemvThroughput(amxSpr(), shape);
+    EXPECT_GT(h100, a100);
+    EXPECT_GT(a100, v100);
+    EXPECT_GT(v100, p100);
+    EXPECT_GT(p100, gnr);
+    EXPECT_GT(gnr, spr);
+}
+
+TEST(CatalogCalibration, SprGemvFractionOfH100RisesAtSmallShapes)
+{
+    // §4.2: 15% of H100 at large shapes, up to ~35% at small ones.
+    BatchedGemvShape large{900 * 96, 128, 1024};
+    BatchedGemvShape small{4 * 96, 128, 128};
+    const double frac_large = gemvThroughput(amxSpr(), large) /
+                              gemvThroughput(gpuH100(), large);
+    const double frac_small = gemvThroughput(amxSpr(), small) /
+                              gemvThroughput(gpuH100(), small);
+    EXPECT_LT(frac_large, 0.25);
+    EXPECT_GT(frac_small, frac_large * 1.5);
+}
+
+TEST(CatalogCalibration, TwoSocketGnrAddsEightyPercent)
+{
+    const double ratio = amxGnr2S().peakMatmulThroughput /
+                         amxGnr().peakMatmulThroughput;
+    EXPECT_NEAR(ratio, 1.8, 0.01);
+}
+
+TEST(CatalogCalibration, GraceCpuThirtyTimesBelowGnr)
+{
+    // §8 footnote: Grace SVE2 peak is 6.91 TFLOPS.
+    EXPECT_NEAR(graceCpu().peakMatmulThroughput, 6.91e12, 1e9);
+}
+
+TEST(CatalogCalibration, CxlPoolMatchesTable2)
+{
+    const CxlPool pool = cxlSamsungX2();
+    EXPECT_EQ(pool.deviceCount, 2);
+    EXPECT_NEAR(pool.perDeviceBandwidth, 17e9, 1e6);
+    EXPECT_NEAR(pool.totalCapacity(), 2.0 * 128 * 1024.0 * 1024 * 1024,
+                1.0);
+    // Latency 140-170ns above DDR's ~100ns.
+    EXPECT_GT(pool.latency, 200e-9);
+    EXPECT_LT(pool.latency, 300e-9);
+}
+
+TEST(CatalogCalibration, LinksOrderedByGeneration)
+{
+    EXPECT_LT(pcie4x16().bandwidth, pcie5x16().bandwidth);
+    EXPECT_LT(pcie5x16().bandwidth, nvlink3().bandwidth);
+    EXPECT_LT(nvlink3().bandwidth, nvlinkC2C().bandwidth);
+}
+
+TEST(CatalogCalibration, Opt175bParamTransferNearFiveSeconds)
+{
+    // Footnote 2: moving OPT-175B's ~350 GB over PCIe 5.0 costs ~5 s.
+    const double t = pcie5x16().transferTime(350e9);
+    EXPECT_GT(t, 4.5);
+    EXPECT_LT(t, 8.0);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for hardware descriptor primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "hw/device.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::hw;
+using namespace lia::units;
+
+TEST(EfficiencyCurveTest, ConstantCurveIsFlat)
+{
+    EfficiencyCurve c(0.5);
+    EXPECT_DOUBLE_EQ(c.at(1), 0.5);
+    EXPECT_DOUBLE_EQ(c.at(1e9), 0.5);
+}
+
+TEST(EfficiencyCurveTest, ClampsBelowAndAboveRange)
+{
+    EfficiencyCurve c({{10, 0.2}, {1000, 0.8}});
+    EXPECT_DOUBLE_EQ(c.at(1), 0.2);
+    EXPECT_DOUBLE_EQ(c.at(1e7), 0.8);
+}
+
+TEST(EfficiencyCurveTest, InterpolatesLogLinearly)
+{
+    EfficiencyCurve c({{10, 0.2}, {1000, 0.8}});
+    // Midpoint in log10 space: metric 100 -> efficiency 0.5.
+    EXPECT_NEAR(c.at(100), 0.5, 1e-9);
+}
+
+TEST(EfficiencyCurveTest, MonotoneInputsInterpolateWithinBounds)
+{
+    EfficiencyCurve c({{64, 0.1}, {512, 0.3}, {4096, 0.5}});
+    double prev = 0.0;
+    for (double m = 64; m <= 4096; m *= 1.3) {
+        const double e = c.at(m);
+        EXPECT_GE(e, prev - 1e-12);
+        EXPECT_GE(e, 0.1);
+        EXPECT_LE(e, 0.5);
+        prev = e;
+    }
+}
+
+TEST(EfficiencyCurveTest, RejectsUnsortedPoints)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(EfficiencyCurve({{100, 0.5}, {10, 0.6}}),
+                 std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(EfficiencyCurveTest, RejectsOutOfRangeEfficiency)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(EfficiencyCurve(1.5), std::logic_error);
+    EXPECT_THROW(EfficiencyCurve({{10, 0.0}}), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(ComputeDeviceTest, MatmulTimeIsRooflineSum)
+{
+    ComputeDevice d;
+    d.name = "unit";
+    d.peakMatmulThroughput = 100 * GFLOPS;
+    d.memoryBandwidth = 10 * GB_s;
+    d.kernelOverhead = 1e-6;
+    // flat efficiency 1.0 defaults
+    const double t = d.matmulTime(1e9, 1e9, 1000);
+    EXPECT_NEAR(t, 1e-6 + 1e9 / 100e9 + 1e9 / 10e9, 1e-12);
+}
+
+TEST(ComputeDeviceTest, ThroughputInverseOfTime)
+{
+    ComputeDevice d;
+    d.name = "unit";
+    d.peakMatmulThroughput = 100 * GFLOPS;
+    d.memoryBandwidth = 10 * GB_s;
+    const double th = d.matmulThroughput(1e9, 1e6, 1000);
+    EXPECT_NEAR(th, 1e9 / d.matmulTime(1e9, 1e6, 1000), 1e-3);
+}
+
+TEST(ComputeDeviceTest, MoreBytesNeverFaster)
+{
+    ComputeDevice d;
+    d.name = "unit";
+    d.peakMatmulThroughput = 100 * GFLOPS;
+    d.memoryBandwidth = 10 * GB_s;
+    EXPECT_LE(d.matmulTime(1e9, 1e6, 64), d.matmulTime(1e9, 1e9, 64));
+}
+
+TEST(LinkTest, TransferTimeLinearInBytes)
+{
+    Link l{"test", 10 * GB_s, 5 * us};
+    EXPECT_NEAR(l.transferTime(10e9), 5e-6 + 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(l.transferTime(0), 0.0);
+}
+
+TEST(LinkTest, LatencyDominatesSmallTransfers)
+{
+    Link l{"test", 10 * GB_s, 10 * us};
+    EXPECT_GT(l.transferTime(1), 10e-6);
+    EXPECT_LT(l.transferTime(1), 11e-6);
+}
+
+TEST(CxlPoolTest, InterleavingAggregatesBandwidth)
+{
+    CxlPool p;
+    p.deviceCount = 2;
+    p.perDeviceBandwidth = 17 * GB_s;
+    p.perDeviceCapacity = 128 * GiB;
+    EXPECT_DOUBLE_EQ(p.interleavedBandwidth(), 34e9);
+    EXPECT_DOUBLE_EQ(p.totalCapacity(), 2 * 128 * GiB);
+    EXPECT_TRUE(p.present());
+}
+
+TEST(CxlPoolTest, EmptyPoolAbsent)
+{
+    CxlPool p;
+    EXPECT_FALSE(p.present());
+    EXPECT_DOUBLE_EQ(p.interleavedBandwidth(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the name-based system/model lookups used by the CLI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+
+TEST(SystemLookupTest, EveryKnownNameResolves)
+{
+    for (const auto &name : hw::knownSystemNames()) {
+        const auto sys = hw::systemByName(name);
+        EXPECT_EQ(sys.name, name);
+    }
+}
+
+TEST(SystemLookupTest, CxlSuffixAttachesPool)
+{
+    const auto sys = hw::systemByName("SPR-A100+CXL");
+    EXPECT_TRUE(sys.cxl.present());
+    EXPECT_FALSE(hw::systemByName("SPR-A100").cxl.present());
+}
+
+TEST(SystemLookupTest, UnknownNameIsFatal)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(hw::systemByName("SPR-B200"), std::runtime_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(ModelLookupTest, EveryKnownNameResolves)
+{
+    for (const auto &name : model::knownModelNames()) {
+        const auto m = model::modelByName(name);
+        EXPECT_EQ(m.name, name);
+        EXPECT_NO_THROW(m.validate());
+    }
+}
+
+TEST(ModelLookupTest, PrecisionSuffixes)
+{
+    const auto int8 = model::modelByName("OPT-30B-int8");
+    EXPECT_DOUBLE_EQ(int8.weightBytesPerElement, 1.0);
+    const auto int4 = model::modelByName("Llama2-70B-int4");
+    EXPECT_DOUBLE_EQ(int4.weightBytesPerElement, 0.5);
+    EXPECT_EQ(int4.name, "Llama2-70B-int4");
+}
+
+TEST(ModelLookupTest, UnknownNameIsFatal)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(model::modelByName("GPT-5"), std::runtime_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit and property tests for the microbenchmark shapes and model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hh"
+#include "hw/microbench.hh"
+
+namespace {
+
+using namespace lia::hw;
+
+TEST(GemmShapeTest, FlopCountMatchesFc1Formula)
+{
+    // (rows, d) x (d, 4d) -> 8 * rows * d^2 FLOPs.
+    GemmShape s{128, 1024};
+    EXPECT_DOUBLE_EQ(s.flops(), 8.0 * 128 * 1024 * 1024);
+}
+
+TEST(GemmShapeTest, BytesCountOperandsAndResult)
+{
+    GemmShape s{2, 8};
+    // 2*(2*8 + 8*32 + 2*32) elements at 2 bytes each.
+    EXPECT_DOUBLE_EQ(s.bytes(), 2.0 * (16 + 256 + 64));
+}
+
+TEST(BatchedGemvShapeTest, FlopCountMatchesQkFormula)
+{
+    BatchedGemvShape s{96, 128, 512};
+    EXPECT_DOUBLE_EQ(s.flops(), 2.0 * 96 * 128 * 512);
+}
+
+TEST(BatchedGemvShapeTest, GemvIntensityNearOne)
+{
+    // Q x K^T is the paper's most memory-bound sublayer: ~1 FLOP/byte.
+    BatchedGemvShape s{96 * 64, 128, 1024};
+    EXPECT_NEAR(s.flops() / s.bytes(), 1.0, 0.05);
+}
+
+class GemmMonotonicityTest
+    : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(GemmMonotonicityTest, ThroughputGrowsWithRows)
+{
+    // Larger GEMMs always achieve >= throughput on every device.
+    const std::int64_t rows = GetParam();
+    for (const auto &dev :
+         {avx512Spr(), amxSpr(), amxGnr(), gpuP100(), gpuV100(),
+          gpuA100(), gpuH100()}) {
+        const double small = gemmThroughput(dev, {rows, 12288});
+        const double large = gemmThroughput(dev, {rows * 4, 12288});
+        EXPECT_GE(large, small * 0.999) << dev.name << " rows=" << rows;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RowSweep, GemmMonotonicityTest,
+                         ::testing::Values(64, 128, 256, 512, 1024, 2048,
+                                           4096, 8192));
+
+class GemvBandwidthBoundTest
+    : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(GemvBandwidthBoundTest, ThroughputNeverExceedsBandwidth)
+{
+    // flops/bytes ~ 1, so achieved GEMV FLOP/s can't beat memory B/s.
+    const std::int64_t batches = GetParam();
+    for (const auto &dev : {amxSpr(), amxGnr(), gpuA100(), gpuH100()}) {
+        BatchedGemvShape s{batches, 128, 512};
+        EXPECT_LE(gemvThroughput(dev, s), dev.memoryBandwidth * 1.1)
+            << dev.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSweep, GemvBandwidthBoundTest,
+                         ::testing::Values(96, 960, 9600, 96000));
+
+TEST(MicrobenchTest, ThroughputBelowPeakEverywhere)
+{
+    for (const auto &dev : {amxSpr(), gpuA100(), gpuH100()}) {
+        for (std::int64_t rows = 64; rows <= 36864; rows *= 4) {
+            EXPECT_LT(gemmThroughput(dev, {rows, 12288}),
+                      dev.peakMatmulThroughput)
+                << dev.name;
+        }
+    }
+}
+
+TEST(MicrobenchTest, KernelOverheadHurtsSmallGpuShapes)
+{
+    // The same tiny GEMV on the GPU is slower relative to its peak
+    // than on the CPU (§4.2's kernel-invocation overhead effect).
+    BatchedGemvShape tiny{96, 64, 32};
+    const auto cpu = amxSpr();
+    const auto gpu = gpuH100();
+    const double cpu_frac = gemvThroughput(cpu, tiny) /
+                            (cpu.memoryBandwidth);
+    const double gpu_frac = gemvThroughput(gpu, tiny) /
+                            (gpu.memoryBandwidth);
+    EXPECT_GT(cpu_frac, gpu_frac);
+}
+
+} // namespace

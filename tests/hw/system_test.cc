@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for system configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "hw/catalog.hh"
+#include "hw/system.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::hw;
+
+TEST(SystemTest, SprA100MatchesTable2)
+{
+    const auto s = sprA100();
+    EXPECT_EQ(s.cpu.name, "SPR-AMX");
+    EXPECT_EQ(s.gpu.name, "A100");
+    EXPECT_EQ(s.hostLink.name, "PCIe 4.0 x16");
+    EXPECT_NEAR(s.cpuMemory.capacity, 512.0 * 1024 * 1024 * 1024, 1.0);
+    EXPECT_FALSE(s.cxl.present());
+    EXPECT_EQ(s.gpuCount, 1);
+}
+
+TEST(SystemTest, SprH100UsesPcie5)
+{
+    const auto s = sprH100();
+    EXPECT_EQ(s.gpu.name, "H100");
+    EXPECT_EQ(s.hostLink.name, "PCIe 5.0 x16");
+}
+
+TEST(SystemTest, WithCxlAttachesPoolAndRenames)
+{
+    const auto s = withCxl(sprA100());
+    EXPECT_TRUE(s.cxl.present());
+    EXPECT_EQ(s.name, "SPR-A100+CXL");
+}
+
+TEST(SystemTest, CpuReadBandwidthFromDdr)
+{
+    const auto s = sprA100();
+    EXPECT_DOUBLE_EQ(s.cpuReadBandwidth(false), s.cpuMemory.bandwidth);
+}
+
+TEST(SystemTest, CpuReadBandwidthFromCxlIsPoolLimited)
+{
+    const auto s = withCxl(sprA100());
+    EXPECT_DOUBLE_EQ(s.cpuReadBandwidth(true),
+                     s.cxl.interleavedBandwidth());
+    EXPECT_LT(s.cpuReadBandwidth(true), s.cpuReadBandwidth(false));
+}
+
+TEST(SystemTest, CpuReadBandwidthFromMissingCxlPanics)
+{
+    detail::setThrowOnError(true);
+    const auto s = sprA100();
+    EXPECT_THROW(s.cpuReadBandwidth(true), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(SystemTest, HostCapacityIncludesCxl)
+{
+    const auto base = sprA100();
+    const auto cxl = withCxl(base);
+    EXPECT_DOUBLE_EQ(cxl.hostMemoryCapacity(),
+                     base.cpuMemory.capacity +
+                         cxl.cxl.totalCapacity());
+}
+
+TEST(SystemTest, DgxHasEightGpusAndFabric)
+{
+    const auto s = dgxA100();
+    EXPECT_EQ(s.gpuCount, 8);
+    ASSERT_TRUE(s.gpuFabric.has_value());
+    EXPECT_EQ(s.gpuFabric->name, "NVLink 3.0");
+    EXPECT_NEAR(s.systemCost, 200'000, 1.0);  // §7.8 footnote
+}
+
+TEST(SystemTest, GnrA100CostMatchesPaper)
+{
+    EXPECT_NEAR(gnrA100().systemCost, 22'000, 1.0);  // §7.8 footnote
+}
+
+TEST(SystemTest, GraceHopperUsesC2cLink)
+{
+    const auto s = graceHopper();
+    EXPECT_EQ(s.hostLink.name, "NVLink-C2C");
+    // §8: 900 GB/s, ~7x a x16 PCIe 5.0 link.
+    EXPECT_NEAR(s.hostLink.bandwidth / pcie5x16().bandwidth, 7.0, 11.0);
+    EXPECT_GT(s.hostLink.bandwidth, 800e9);
+}
+
+TEST(SystemTest, CheapV100SystemPricedLikeGnrA100)
+{
+    const auto cheap = cheapV100x3();
+    EXPECT_EQ(cheap.gpuCount, 3);
+    EXPECT_NEAR(cheap.systemCost, gnrA100().systemCost, 2'000);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Golden-number regression tests.
+ *
+ * EXPERIMENTS.md publishes specific measured values for the key
+ * exhibits; these tests pin them (with a few percent of slack) so a
+ * calibration or model change that silently moves the reported
+ * reproduction is caught at test time. When a deliberate change moves
+ * a number, update BOTH this file and EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/presets.hh"
+#include "hw/catalog.hh"
+#include "hw/microbench.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+
+namespace {
+
+using namespace lia;
+using core::Scenario;
+
+constexpr double kSlack = 0.03;  // 3% drift tolerance
+
+void
+expectNear(double actual, double golden, const char *what)
+{
+    EXPECT_NEAR(actual, golden, kSlack * golden) << what;
+}
+
+TEST(GoldenNumbers, Table4AllOptimizations)
+{
+    // EXPERIMENTS.md: 5.59 / 23.5 / 167 seconds at B = 1 / 64 / 900.
+    auto lia = baselines::liaEngine(hw::sprA100(), model::opt30b());
+    expectNear(lia.estimate({1, 256, 32}).latency(), 5.59, "B=1");
+    expectNear(lia.estimate({64, 256, 32}).latency(), 23.49, "B=64");
+    expectNear(lia.estimate({900, 256, 32}).latency(), 165.7,
+               "B=900");
+}
+
+TEST(GoldenNumbers, Table5LiaComponentsAtB1)
+{
+    // EXPERIMENTS.md: LIA 3.8 / 1.7 / 0.0 seconds CPU / GPU / com.
+    auto engine = baselines::liaEngineAblated(
+        hw::sprA100(), model::opt30b(), true, false, true);
+    const auto breakdown = engine.estimate({1, 256, 32}).breakdown;
+    expectNear(breakdown.cpuTime, 3.8, "cpu");
+    expectNear(breakdown.gpuTime, 1.7, "gpu");
+    EXPECT_LT(breakdown.comTime, 0.2);
+}
+
+TEST(GoldenNumbers, Fig5SprAmxThroughput)
+{
+    // EXPERIMENTS.md: SPR-AMX 22.4 TFLOPS max GEMM, 197 GFLOPS GEMV.
+    const auto spr = hw::amxSpr();
+    expectNear(hw::gemmThroughput(spr, {36864, 12288}) / 1e12, 23.08,
+               "gemm");
+    expectNear(
+        hw::gemvThroughput(spr, {256 * 96, 128, 1024}) / 1e9, 196.8,
+        "gemv");
+}
+
+TEST(GoldenNumbers, Table3OffloadedFractions)
+{
+    // EXPERIMENTS.md: 42.1% / 14.3% offloaded at L_out = 32 / 256.
+    const auto sys = hw::withCxl(hw::sprA100());
+    auto lia = baselines::liaEngine(sys, model::opt30b());
+    expectNear(
+        lia.estimate({900, 32, 32}).placement.offloadedFraction(),
+        0.421, "L_out=32");
+    expectNear(
+        lia.estimate({900, 32, 256}).placement.offloadedFraction(),
+        0.143, "L_out=256");
+}
+
+TEST(GoldenNumbers, Fig10OnlineRatios175b)
+{
+    // EXPERIMENTS.md: OPT-175B on SPR-A100 at L_in=512: ~1.08x IPEX,
+    // ~6.1x FlexGen.
+    const auto sys = hw::sprA100();
+    const auto m = model::opt175b();
+    const Scenario sc{1, 512, 32};
+    const double lia = baselines::liaEngine(sys, m)
+                           .estimate(sc).latency();
+    expectNear(baselines::ipexEngine(sys, m).estimate(sc).latency() /
+                   lia,
+               1.08, "vs IPEX");
+    expectNear(
+        baselines::FlexGenModel(sys, m).estimate(sc).latency() / lia,
+        6.14, "vs FlexGen");
+}
+
+TEST(GoldenNumbers, Fig9Crossovers)
+{
+    // EXPERIMENTS.md: decode B* ~653, prefill B*L ~662 on SPR-A100.
+    core::CostModel cm(hw::sprA100(), model::opt175b(), {});
+    core::PolicyOptimizer opt(cm);
+    auto bisect = [&](auto make_workload) {
+        std::int64_t lo = 1, hi = 4096;
+        while (lo < hi) {
+            const auto mid = (lo + hi) / 2;
+            if (opt.optimize(make_workload(mid)).policy ==
+                core::Policy::fullCpu())
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    };
+    const auto decode = bisect([](std::int64_t b) {
+        return model::Workload{model::Stage::Decode, b, 512};
+    });
+    const auto prefill = bisect([](std::int64_t l) {
+        return model::Workload{model::Stage::Prefill, 1, l};
+    });
+    EXPECT_NEAR(static_cast<double>(decode), 653, 25);
+    EXPECT_NEAR(static_cast<double>(prefill), 662, 25);
+}
+
+} // namespace

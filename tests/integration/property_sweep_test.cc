@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cross-product property sweep: invariants that must hold for every
+ * (system, model, scenario) combination, exercised with parameterized
+ * gtest over the full preset catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/presets.hh"
+#include "core/optimizer.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "model/footprint.hh"
+
+namespace {
+
+using namespace lia;
+using core::Scenario;
+
+using SweepParam = std::tuple<std::string,   // system
+                              std::string,   // model
+                              std::int64_t,  // batch
+                              std::int64_t>; // l_in
+
+class EngineSweepTest : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    hw::SystemConfig sys = hw::systemByName(std::get<0>(GetParam()));
+    model::ModelConfig m = model::modelByName(std::get<1>(GetParam()));
+    Scenario sc{std::get<2>(GetParam()), std::get<3>(GetParam()), 32};
+};
+
+TEST_P(EngineSweepTest, EstimatesAreFiniteAndPositive)
+{
+    const auto est = baselines::liaEngine(sys, m).estimate(sc);
+    EXPECT_GT(est.prefillTime, 0);
+    EXPECT_GT(est.decodeTime, 0);
+    EXPECT_LT(est.latency(), 1e7);
+    EXPECT_GT(est.throughput(sc), 0);
+}
+
+TEST_P(EngineSweepTest, LiaNeverLosesToForcedBaselinePolicies)
+{
+    // LIA optimizes over a superset of every fixed policy choice, so
+    // with identical substrate options it can never be slower.
+    const auto lia_est = baselines::liaEngine(sys, m).estimate(sc);
+    core::EngineConfig forced;
+    forced.optimizePolicies = false;
+    forced.forcedPrefillPolicy = core::Policy::fullGpu();
+    forced.forcedDecodePolicy = core::Policy::attentionOnCpu();
+    forced.costOptions.executionAwareObjective = true;
+    const auto fixed =
+        core::EngineModel(sys, m, forced).estimate(sc);
+    EXPECT_LE(lia_est.latency(), fixed.latency() * 1.001);
+}
+
+TEST_P(EngineSweepTest, MoreOutputTokensMonotone)
+{
+    auto engine = baselines::liaEngine(sys, m);
+    const auto short_est = engine.estimate(sc);
+    Scenario longer = sc;
+    longer.lOut = 64;
+    const auto long_est = engine.estimate(longer);
+    EXPECT_GT(long_est.decodeTime, short_est.decodeTime);
+}
+
+TEST_P(EngineSweepTest, BreakdownBoundsLatency)
+{
+    const auto est = baselines::liaEngine(sys, m).estimate(sc);
+    const double serial_sum = est.breakdown.cpuTime +
+                              est.breakdown.gpuTime +
+                              est.breakdown.comTime;
+    EXPECT_GE(serial_sum, est.latency() - 1e-9);
+    // Overlap cannot beat the single largest component either.
+    EXPECT_GE(est.latency(),
+              std::max({est.breakdown.cpuTime, est.breakdown.gpuTime,
+                        est.breakdown.comTime}) /
+                  2.0);
+}
+
+TEST_P(EngineSweepTest, PolicyBitsImplyTraffic)
+{
+    const auto est = baselines::liaEngine(sys, m).estimate(sc);
+    if (est.prefillPolicy == core::Policy::fullCpu() &&
+        est.decodePolicy == core::Policy::fullCpu() &&
+        est.residency.residentLayers == 0) {
+        EXPECT_DOUBLE_EQ(est.pcieBytes, 0.0);
+    }
+    if (est.pcieBytes == 0.0) {
+        EXPECT_DOUBLE_EQ(est.breakdown.comTime, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, EngineSweepTest,
+    ::testing::Combine(
+        ::testing::Values("SPR-A100", "SPR-H100", "GNR-A100",
+                          "SPR-A100+CXL"),
+        ::testing::Values("OPT-30B", "OPT-175B", "Llama2-70B"),
+        ::testing::Values<std::int64_t>(1, 64),
+        ::testing::Values<std::int64_t>(128, 1024)));
+
+class OptimizerSweepTest : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    hw::SystemConfig sys = hw::systemByName(std::get<0>(GetParam()));
+    model::ModelConfig m = model::modelByName(std::get<1>(GetParam()));
+};
+
+TEST_P(OptimizerSweepTest, OptimumIsGlobalOverAllPolicies)
+{
+    core::CostModel cm(sys, m, {});
+    core::PolicyOptimizer opt(cm);
+    model::Workload w{model::Stage::Decode, std::get<2>(GetParam()),
+                      std::get<3>(GetParam())};
+    const auto best = opt.optimize(w);
+    for (unsigned mask = 0; mask < core::Policy::kCount; ++mask) {
+        const auto t =
+            cm.layerTiming(w, core::Policy::fromMask(mask));
+        EXPECT_LE(best.timing.serialTime(), t.serialTime() + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, OptimizerSweepTest,
+    ::testing::Combine(::testing::Values("SPR-A100", "GNR-H100"),
+                       ::testing::Values("OPT-66B", "Bloom-176B",
+                                         "MoE-8x7B"),
+                       ::testing::Values<std::int64_t>(1, 256),
+                       ::testing::Values<std::int64_t>(64, 512)));
+
+} // namespace

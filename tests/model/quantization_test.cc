@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the weight-only quantization extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+
+#include "core/optimizer.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "model/footprint.hh"
+#include "model/sublayer.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::model;
+
+TEST(QuantizationTest, PrecisionScalesWeightBytesOnly)
+{
+    const auto bf16 = opt30b();
+    const auto int8 = quantized(bf16, WeightPrecision::Int8);
+    const auto int4 = quantized(bf16, WeightPrecision::Int4);
+    EXPECT_DOUBLE_EQ(int8.totalParamBytes(),
+                     bf16.totalParamBytes() / 2.0);
+    EXPECT_DOUBLE_EQ(int4.totalParamBytes(),
+                     bf16.totalParamBytes() / 4.0);
+    // KV cache stays BF16.
+    EXPECT_DOUBLE_EQ(int4.kvBytesPerToken(), bf16.kvBytesPerToken());
+}
+
+TEST(QuantizationTest, SublayerCostsFollowPrecision)
+{
+    const auto bf16 = opt175b();
+    const auto int8 = quantized(bf16, WeightPrecision::Int8);
+    Workload w{Stage::Decode, 8, 512};
+    for (auto sub : allSublayers()) {
+        const auto c16 = sublayerCosts(bf16, w, sub);
+        const auto c8 = sublayerCosts(int8, w, sub);
+        if (isParamSublayer(sub)) {
+            EXPECT_DOUBLE_EQ(c8.dY, c16.dY / 2.0) << toString(sub);
+        } else {
+            EXPECT_DOUBLE_EQ(c8.dY, c16.dY) << toString(sub);
+        }
+        // Compute and activations are precision-independent.
+        EXPECT_DOUBLE_EQ(c8.flops, c16.flops);
+        EXPECT_DOUBLE_EQ(c8.dX, c16.dX);
+    }
+}
+
+TEST(QuantizationTest, QuantizationShiftsDecodeCrossoverDown)
+{
+    // Cheaper parameter transfers make the GPU attractive earlier.
+    const auto sys = hw::sprA100();
+    auto crossover = [&](const ModelConfig &m) {
+        core::CostModel cm(sys, m, {});
+        core::PolicyOptimizer opt(cm);
+        std::int64_t lo = 1, hi = 4096;
+        while (lo < hi) {
+            const auto mid = (lo + hi) / 2;
+            Workload w{Stage::Decode, mid, 512};
+            if (opt.optimize(w).policy == core::Policy::fullCpu())
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    };
+    const auto bf16 = opt175b();
+    const auto int4 = quantized(bf16, WeightPrecision::Int4);
+    EXPECT_LT(crossover(int4), crossover(bf16));
+}
+
+TEST(QuantizationTest, Int4RaisesMaxBatch)
+{
+    const auto bf16 = opt30b();
+    const auto int4 = quantized(bf16, WeightPrecision::Int4);
+    const double cap = 512e9;
+    EXPECT_GT(maxBatchForCapacity(int4, 256, 32, cap),
+              maxBatchForCapacity(bf16, 256, 32, cap));
+}
+
+TEST(QuantizationTest, Opt175bInt4FitsTwoGpusWorthOfMemory)
+{
+    // §1 footnote: even 4-bit OPT-175B needs ~two H100s for weights.
+    const auto int4 = quantized(opt175b(), WeightPrecision::Int4);
+    const double two_h100 = 2.0 * hw::sprH100().gpu.memoryCapacity;
+    EXPECT_LT(int4.totalParamBytes(), two_h100);
+    EXPECT_GT(int4.totalParamBytes(),
+              hw::sprH100().gpu.memoryCapacity);
+}
+
+TEST(QuantizationTest, ValidateRejectsNonsensePrecision)
+{
+    detail::setThrowOnError(true);
+    auto bad = opt30b();
+    bad.weightBytesPerElement = 0.0;
+    EXPECT_THROW(bad.validate(), std::logic_error);
+    bad.weightBytesPerElement = 4.0;  // wider than activations
+    EXPECT_THROW(bad.validate(), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(QuantizationTest, NamesAnnotated)
+{
+    EXPECT_EQ(quantized(opt30b(), WeightPrecision::Int8).name,
+              "OPT-30B-int8");
+    EXPECT_EQ(quantized(opt30b(), WeightPrecision::Bf16).name,
+              "OPT-30B");
+    EXPECT_STREQ(toString(WeightPrecision::Int4), "INT4");
+}
+
+} // namespace

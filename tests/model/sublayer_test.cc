@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the Table-1 sublayer data-size and FLOP formulas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/sublayer.hh"
+
+namespace {
+
+using namespace lia::model;
+
+constexpr double kBe = 2.0;  // bytes per BF16 element
+
+class Table1PrefillTest : public ::testing::Test
+{
+  protected:
+    ModelConfig m = opt175b();
+    double d = 12288;
+    std::int64_t b = 180;
+    std::int64_t l = 512;
+    Workload w{Stage::Prefill, 180, 512};
+};
+
+TEST_F(Table1PrefillTest, QkvMapping)
+{
+    const auto c = sublayerCosts(m, w, Sublayer::QkvMapping);
+    EXPECT_DOUBLE_EQ(c.dX, kBe * b * l * d);      // 2BLd
+    EXPECT_DOUBLE_EQ(c.dY, 6.0 * d * d);          // 6d^2
+    EXPECT_DOUBLE_EQ(c.flops, 6.0 * b * l * d * d);
+    EXPECT_DOUBLE_EQ(c.dKv, 4.0 * b * l * d);     // K + V at 2 bytes
+}
+
+TEST_F(Table1PrefillTest, AttentionQk)
+{
+    const auto c = sublayerCosts(m, w, Sublayer::AttnScoreQK);
+    EXPECT_DOUBLE_EQ(c.dX, kBe * b * l * d);
+    EXPECT_DOUBLE_EQ(c.dY, kBe * b * l * d);      // K cache
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * b * l * l * d);
+}
+
+TEST_F(Table1PrefillTest, AttentionSv)
+{
+    const auto c = sublayerCosts(m, w, Sublayer::AttnScoreSV);
+    EXPECT_DOUBLE_EQ(c.dY, kBe * b * l * d);      // V cache
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * b * l * l * d);
+}
+
+TEST_F(Table1PrefillTest, OutProjection)
+{
+    const auto c = sublayerCosts(m, w, Sublayer::OutProjection);
+    EXPECT_DOUBLE_EQ(c.dX, kBe * b * l * d);
+    EXPECT_DOUBLE_EQ(c.dY, kBe * d * d);          // 2d^2
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * b * l * d * d);
+}
+
+TEST_F(Table1PrefillTest, Fc1)
+{
+    const auto c = sublayerCosts(m, w, Sublayer::Fc1);
+    EXPECT_DOUBLE_EQ(c.dX, kBe * b * l * d);
+    EXPECT_DOUBLE_EQ(c.dY, 8.0 * d * d);          // 8d^2
+    EXPECT_DOUBLE_EQ(c.flops, 8.0 * b * l * d * d);
+}
+
+TEST_F(Table1PrefillTest, Fc2)
+{
+    const auto c = sublayerCosts(m, w, Sublayer::Fc2);
+    EXPECT_DOUBLE_EQ(c.dX, 8.0 * b * l * d);      // 8BLd
+    EXPECT_DOUBLE_EQ(c.dY, 8.0 * d * d);
+    EXPECT_DOUBLE_EQ(c.flops, 8.0 * b * l * d * d);
+}
+
+class Table1DecodeTest : public ::testing::Test
+{
+  protected:
+    ModelConfig m = opt175b();
+    double d = 12288;
+    std::int64_t b = 180;
+    std::int64_t l = 512;
+    Workload w{Stage::Decode, 180, 512};
+};
+
+TEST_F(Table1DecodeTest, QkvMapping)
+{
+    const auto c = sublayerCosts(m, w, Sublayer::QkvMapping);
+    EXPECT_DOUBLE_EQ(c.dX, kBe * b * d);          // 2Bd
+    EXPECT_DOUBLE_EQ(c.dY, 6.0 * d * d);
+    EXPECT_DOUBLE_EQ(c.flops, 6.0 * b * d * d);
+}
+
+TEST_F(Table1DecodeTest, AttentionQkReadsFullCache)
+{
+    const auto c = sublayerCosts(m, w, Sublayer::AttnScoreQK);
+    EXPECT_DOUBLE_EQ(c.dX, kBe * b * d);
+    EXPECT_DOUBLE_EQ(c.dY, kBe * b * l * d);      // 2BLd cache
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * b * l * d);
+}
+
+TEST_F(Table1DecodeTest, Fc2)
+{
+    const auto c = sublayerCosts(m, w, Sublayer::Fc2);
+    EXPECT_DOUBLE_EQ(c.dX, 8.0 * b * d);
+    EXPECT_DOUBLE_EQ(c.flops, 8.0 * b * d * d);
+}
+
+TEST(SublayerTest, ActivationChainIsConsistent)
+{
+    // Each sublayer's dX equals the previous sublayer's dOut.
+    const auto m = opt175b();
+    for (auto stage : {Stage::Prefill, Stage::Decode}) {
+        Workload w{stage, 16, 256};
+        const auto subs = allSublayers();
+        for (std::size_t i = 1; i < subs.size(); ++i) {
+            const auto prev = sublayerCosts(m, w, subs[i - 1]);
+            const auto cur = sublayerCosts(m, w, subs[i]);
+            EXPECT_DOUBLE_EQ(cur.dX, prev.dOut)
+                << toString(subs[i]) << " " << toString(stage);
+        }
+    }
+}
+
+TEST(SublayerTest, OpsPerByteRangeMatchesFig1)
+{
+    // Fig. 1: OPT-175B at L=512, B=180 spans ~1 to tens of thousands.
+    const auto m = opt175b();
+    double lo = 1e18, hi = 0;
+    for (auto stage : {Stage::Prefill, Stage::Decode}) {
+        Workload w{stage, 180, 512};
+        for (auto sub : allSublayers()) {
+            const double opb = sublayerCosts(m, w, sub).opsPerByte();
+            lo = std::min(lo, opb);
+            hi = std::max(hi, opb);
+        }
+    }
+    EXPECT_NEAR(lo, 1.0, 0.5);      // decode attention scoring
+    EXPECT_GT(hi, 10'000.0);        // prefill FC1
+}
+
+TEST(SublayerTest, AttentionScoringIsTheMemoryBoundExtreme)
+{
+    // §4: Q x K^T in decode has the lowest ops/byte of all sublayers.
+    const auto m = opt175b();
+    Workload w{Stage::Decode, 180, 512};
+    const double qk =
+        sublayerCosts(m, w, Sublayer::AttnScoreQK).opsPerByte();
+    // S x V sits within a percent of Q x K^T (both ~1 op/byte); every
+    // other sublayer is far above.
+    for (auto sub : allSublayers()) {
+        EXPECT_LE(qk, sublayerCosts(m, w, sub).opsPerByte() + 0.01)
+            << toString(sub);
+    }
+}
+
+TEST(SublayerTest, Fc1IsTheComputeBoundExtremeInPrefill)
+{
+    const auto m = opt175b();
+    Workload w{Stage::Prefill, 180, 512};
+    const double fc1 = sublayerCosts(m, w, Sublayer::Fc1).opsPerByte();
+    for (auto sub : allSublayers()) {
+        EXPECT_GE(fc1, sublayerCosts(m, w, sub).opsPerByte() - 1e-9)
+            << toString(sub);
+    }
+}
+
+TEST(SublayerTest, ParamAndKvClassesPartitionSublayers)
+{
+    int params = 0, kv = 0;
+    for (auto sub : allSublayers()) {
+        EXPECT_NE(isParamSublayer(sub), isKvSublayer(sub));
+        params += isParamSublayer(sub);
+        kv += isKvSublayer(sub);
+    }
+    EXPECT_EQ(params, 4);
+    EXPECT_EQ(kv, 2);
+}
+
+TEST(SublayerTest, GqaShrinksKvOperandNotCompute)
+{
+    // Llama2-70B's 8 kv heads cut the K/V cache 8x but queries still
+    // attend with all 64 heads.
+    const auto m = llama2_70b();
+    Workload w{Stage::Decode, 8, 1024};
+    const auto c = sublayerCosts(m, w, Sublayer::AttnScoreQK);
+    EXPECT_DOUBLE_EQ(c.dY, kBe * 8 * 1024 * (8 * 128));
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * 8 * 1024 * 8192);
+}
+
+TEST(SublayerTest, GatedFfnDoublesFc1Parameters)
+{
+    const auto llama = llama2_70b();
+    Workload w{Stage::Decode, 1, 128};
+    const auto c = sublayerCosts(llama, w, Sublayer::Fc1);
+    EXPECT_DOUBLE_EQ(c.dY, kBe * 2.0 * 8192 * 28672);
+}
+
+TEST(SublayerTest, MoeLosesIntensityAsTokensGrow)
+{
+    // §7.1: with more experts touched, FFN ops/byte shrinks.
+    const auto moe = moeMixtral8x7b();
+    Workload small{Stage::Decode, 1, 128};
+    Workload large{Stage::Decode, 64, 128};
+    const double opb_small =
+        sublayerCosts(moe, small, Sublayer::Fc1).opsPerByte();
+    const double opb_large_per_token =
+        sublayerCosts(moe, large, Sublayer::Fc1).opsPerByte();
+    // Dense models would keep per-token intensity 64x higher at B=64;
+    // the MoE gains far less because all 8 experts get touched.
+    const auto dense = opt175b();
+    const double dense_ratio =
+        sublayerCosts(dense, large, Sublayer::Fc1).opsPerByte() /
+        sublayerCosts(dense, small, Sublayer::Fc1).opsPerByte();
+    const double moe_ratio = opb_large_per_token / opb_small;
+    EXPECT_LT(moe_ratio, dense_ratio * 0.5);
+}
+
+TEST(SublayerTest, WorkloadTokensPerStage)
+{
+    Workload prefill{Stage::Prefill, 4, 100};
+    Workload decode{Stage::Decode, 4, 100};
+    EXPECT_EQ(prefill.tokens(), 100);
+    EXPECT_EQ(decode.tokens(), 1);
+}
+
+TEST(SublayerTest, LayerAggregatesArePositiveAndAdditive)
+{
+    const auto m = opt30b();
+    Workload w{Stage::Prefill, 4, 64};
+    double flops = 0, bytes = 0;
+    for (auto sub : allSublayers()) {
+        flops += sublayerCosts(m, w, sub).flops;
+        bytes += sublayerCosts(m, w, sub).dY;
+    }
+    EXPECT_DOUBLE_EQ(layerFlops(m, w), flops);
+    EXPECT_DOUBLE_EQ(layerBytesRead(m, w), bytes);
+    EXPECT_GT(flops, 0);
+}
+
+} // namespace

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for BF16 emulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hh"
+#include "runtime/bf16.hh"
+
+namespace {
+
+using namespace lia::runtime;
+
+TEST(Bf16Test, ExactValuesSurvive)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 256.0f, -0.25f})
+        EXPECT_EQ(roundToBf16(v), v);
+}
+
+TEST(Bf16Test, RoundTripThroughPackedForm)
+{
+    lia::Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = static_cast<float>(rng.normal(0, 10));
+        const float rounded = roundToBf16(v);
+        EXPECT_EQ(unpackBf16(packBf16(v)), rounded);
+    }
+}
+
+TEST(Bf16Test, RoundingIsIdempotent)
+{
+    lia::Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = static_cast<float>(rng.normal(0, 1));
+        const float once = roundToBf16(v);
+        EXPECT_EQ(roundToBf16(once), once);
+    }
+}
+
+TEST(Bf16Test, RelativeErrorWithinMantissaBound)
+{
+    // BF16 has 8 significand bits: relative error <= 2^-8.
+    lia::Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = static_cast<float>(rng.uniform(0.1, 100.0));
+        const float r = roundToBf16(v);
+        EXPECT_LE(std::fabs(r - v) / v, 1.0 / 256.0);
+    }
+}
+
+TEST(Bf16Test, RoundsToNearestEven)
+{
+    // 1 + 2^-8 sits exactly between 1.0 and the next BF16 value
+    // 1 + 2^-7; ties round to the even significand (1.0).
+    const float tie = 1.0f + std::ldexp(1.0f, -8);
+    EXPECT_EQ(roundToBf16(tie), 1.0f);
+    // Just above the tie rounds up.
+    const float above = 1.0f + std::ldexp(1.2f, -8);
+    EXPECT_EQ(roundToBf16(above), 1.0f + std::ldexp(1.0f, -7));
+}
+
+TEST(Bf16Test, SignPreserved)
+{
+    EXPECT_EQ(roundToBf16(-3.14159f), -roundToBf16(3.14159f));
+}
+
+TEST(Bf16Test, PackedFormIsSixteenBits)
+{
+    EXPECT_EQ(packBf16(1.0f), 0x3F80u);
+    EXPECT_EQ(unpackBf16(0x3F80u), 1.0f);
+}
+
+} // namespace

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for the cooperative executor: real inference on a tiny model,
+ * plan-independence of results, and transfer/capacity accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "hw/catalog.hh"
+#include "hw/system.hh"
+#include "model/sublayer.hh"
+#include "runtime/executor.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::runtime;
+using core::Policy;
+
+class ExecutorTest : public ::testing::Test
+{
+  protected:
+    hw::SystemConfig sys = hw::sprA100();
+    model::ModelConfig m = model::tinyOpt();
+
+    TransformerWeights
+    weights(std::uint64_t seed = 42)
+    {
+        Rng rng(seed);
+        return TransformerWeights::random(m, rng);
+    }
+
+    std::vector<std::vector<std::int64_t>>
+    prompts(std::int64_t batch = 2, std::int64_t len = 8)
+    {
+        std::vector<std::vector<std::int64_t>> out;
+        for (std::int64_t b = 0; b < batch; ++b) {
+            std::vector<std::int64_t> p;
+            for (std::int64_t t = 0; t < len; ++t)
+                p.push_back((7 * b + 3 * t + 1) % m.vocabSize);
+            out.push_back(std::move(p));
+        }
+        return out;
+    }
+};
+
+TEST_F(ExecutorTest, GeneratesRequestedTokenCount)
+{
+    CooperativeExecutor exec(sys, weights(), {});
+    const auto out = exec.generate(prompts(), 6);
+    ASSERT_EQ(out.size(), 2u);
+    for (const auto &seq : out) {
+        EXPECT_EQ(seq.size(), 6u);
+        for (auto tok : seq) {
+            EXPECT_GE(tok, 0);
+            EXPECT_LT(tok, m.vocabSize);
+        }
+    }
+}
+
+TEST_F(ExecutorTest, GenerationIsDeterministic)
+{
+    CooperativeExecutor a(sys, weights(), {});
+    CooperativeExecutor b(sys, weights(), {});
+    EXPECT_EQ(a.generate(prompts(), 5), b.generate(prompts(), 5));
+}
+
+TEST_F(ExecutorTest, ResultsIndependentOfPolicy)
+{
+    // The execution plan moves work between devices; the numerics
+    // must not change (the paper's back-end preserves the model).
+    ExecutorConfig cpu_plan;  // default full CPU
+    ExecutorConfig gpu_plan;
+    gpu_plan.prefillPolicy = Policy::fullGpu();
+    gpu_plan.decodePolicy = Policy::fullGpu();
+    gpu_plan.residentLayers = 2;
+    ExecutorConfig mixed_plan;
+    mixed_plan.prefillPolicy = Policy::fullGpu();
+    mixed_plan.decodePolicy = Policy::attentionOnCpu();
+
+    CooperativeExecutor cpu_exec(sys, weights(), cpu_plan);
+    CooperativeExecutor gpu_exec(sys, weights(), gpu_plan);
+    CooperativeExecutor mixed_exec(sys, weights(), mixed_plan);
+    const auto expected = cpu_exec.generate(prompts(), 8);
+    EXPECT_EQ(gpu_exec.generate(prompts(), 8), expected);
+    EXPECT_EQ(mixed_exec.generate(prompts(), 8), expected);
+}
+
+TEST_F(ExecutorTest, DifferentSeedsChangeOutputs)
+{
+    CooperativeExecutor a(sys, weights(1), {});
+    CooperativeExecutor b(sys, weights(2), {});
+    EXPECT_NE(a.generate(prompts(), 8), b.generate(prompts(), 8));
+}
+
+TEST_F(ExecutorTest, FullCpuPlanHasZeroTraffic)
+{
+    CooperativeExecutor exec(sys, weights(), {});
+    exec.generate(prompts(), 4);
+    EXPECT_DOUBLE_EQ(exec.ledger().totalBytes(), 0.0);
+    EXPECT_GT(exec.cpuDevice().busyTime(), 0.0);
+    EXPECT_DOUBLE_EQ(exec.gpuDevice().busyTime(), 0.0);
+}
+
+TEST_F(ExecutorTest, GpuPlanTrafficMatchesAnalyticalModel)
+{
+    ExecutorConfig plan;
+    plan.prefillPolicy = Policy::fullGpu();
+    plan.decodePolicy = Policy::fullGpu();
+    CooperativeExecutor exec(sys, weights(), plan);
+
+    const std::int64_t b = 2, l_in = 8;
+    exec.prefill(prompts(b, l_in));
+
+    // Expected: per layer, all four parameter operands stream (Eq. 5)
+    // plus the Eq. 9 KV store-back; activations never hop.
+    model::Workload w{model::Stage::Prefill, b, l_in};
+    double params = 0, kv = 0;
+    for (auto sub : model::allSublayers()) {
+        const auto c = model::sublayerCosts(m, w, sub);
+        if (model::isParamSublayer(sub))
+            params += c.dY;
+        if (sub == model::Sublayer::QkvMapping)
+            kv += c.dKv;
+    }
+    const double layers = static_cast<double>(m.numLayers);
+    EXPECT_DOUBLE_EQ(exec.ledger().bytes(Traffic::Param),
+                     layers * params);
+    EXPECT_DOUBLE_EQ(exec.ledger().bytes(Traffic::Kv), layers * kv);
+    EXPECT_DOUBLE_EQ(exec.ledger().bytes(Traffic::Activation), 0.0);
+}
+
+TEST_F(ExecutorTest, DecodeStepStreamsKvCache)
+{
+    ExecutorConfig plan;
+    plan.prefillPolicy = Policy::fullGpu();
+    plan.decodePolicy = Policy::fullGpu();
+    CooperativeExecutor exec(sys, weights(), plan);
+    const auto next = exec.prefill(prompts(2, 8));
+    exec.resetStats();
+    exec.decodeStep(next);
+
+    // Context after the decode append is 9 tokens.
+    model::Workload w{model::Stage::Decode, 2, 9};
+    const auto qk = model::sublayerCosts(m, w,
+                                         model::Sublayer::AttnScoreQK);
+    const auto qkv = model::sublayerCosts(m, w,
+                                          model::Sublayer::QkvMapping);
+    const double layers = static_cast<double>(m.numLayers);
+    EXPECT_DOUBLE_EQ(exec.ledger().bytes(Traffic::Kv),
+                     layers * (2.0 * qk.dY + qkv.dKv));
+}
+
+TEST_F(ExecutorTest, ResidentLayersReduceParamTraffic)
+{
+    ExecutorConfig stream;
+    stream.prefillPolicy = Policy::fullGpu();
+    stream.decodePolicy = Policy::fullGpu();
+    ExecutorConfig resident = stream;
+    resident.residentLayers = 2;  // half of the 4 layers
+
+    CooperativeExecutor a(sys, weights(), stream);
+    CooperativeExecutor b(sys, weights(), resident);
+    a.prefill(prompts());
+    b.prefill(prompts());
+    EXPECT_NEAR(b.ledger().bytes(Traffic::Param),
+                0.5 * a.ledger().bytes(Traffic::Param), 1.0);
+    EXPECT_GT(b.gpuDevice().allocatedBytes(), 0.0);
+}
+
+TEST_F(ExecutorTest, MixedPolicyChargesActivationHops)
+{
+    ExecutorConfig plan;
+    plan.prefillPolicy = Policy::attentionOnCpu();
+    plan.decodePolicy = Policy::attentionOnCpu();
+    CooperativeExecutor exec(sys, weights(), plan);
+    exec.prefill(prompts());
+    EXPECT_GT(exec.ledger().bytes(Traffic::Activation), 0.0);
+    EXPECT_GT(exec.cpuDevice().busyTime(), 0.0);
+    EXPECT_GT(exec.gpuDevice().busyTime(), 0.0);
+}
+
+TEST_F(ExecutorTest, ModeledLatencyIsPositiveAndComposed)
+{
+    ExecutorConfig plan;
+    plan.prefillPolicy = Policy::fullGpu();
+    plan.decodePolicy = Policy::attentionOnCpu();
+    CooperativeExecutor exec(sys, weights(), plan);
+    exec.generate(prompts(), 4);
+    EXPECT_NEAR(exec.modeledSerialLatency(),
+                exec.cpuDevice().busyTime() +
+                    exec.gpuDevice().busyTime() +
+                    exec.ledger().totalTime(),
+                1e-12);
+    EXPECT_GT(exec.modeledSerialLatency(), 0.0);
+}
+
+TEST_F(ExecutorTest, ResetStatsClearsCounters)
+{
+    ExecutorConfig plan;
+    plan.prefillPolicy = Policy::fullGpu();
+    plan.decodePolicy = Policy::fullGpu();
+    CooperativeExecutor exec(sys, weights(), plan);
+    exec.prefill(prompts());
+    exec.resetStats();
+    EXPECT_DOUBLE_EQ(exec.ledger().totalBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(exec.cpuDevice().busyTime(), 0.0);
+    EXPECT_EQ(exec.ledger().transferCount(), 0);
+}
+
+TEST_F(ExecutorTest, PromptsMustShareLength)
+{
+    detail::setThrowOnError(true);
+    CooperativeExecutor exec(sys, weights(), {});
+    std::vector<std::vector<std::int64_t>> ragged{{1, 2, 3}, {1, 2}};
+    EXPECT_THROW(exec.prefill(ragged), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST_F(ExecutorTest, DecodeBeforePrefillPanics)
+{
+    detail::setThrowOnError(true);
+    CooperativeExecutor exec(sys, weights(), {});
+    EXPECT_THROW(exec.decodeStep({1, 2}), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(SimDeviceTest, AllocationTracksCapacity)
+{
+    SimDevice dev(hw::gpuA100());
+    EXPECT_TRUE(dev.tryAllocate(10e9));
+    EXPECT_FALSE(dev.tryAllocate(100e9));  // over 40 GB
+    dev.release(10e9);
+    EXPECT_DOUBLE_EQ(dev.allocatedBytes(), 0.0);
+}
+
+TEST(TransferLedgerTest, RecordsByCategory)
+{
+    TransferLedger ledger(hw::pcie4x16());
+    ledger.record(Traffic::Param, 100);
+    ledger.record(Traffic::Kv, 50);
+    ledger.record(Traffic::Kv, 25);
+    EXPECT_DOUBLE_EQ(ledger.bytes(Traffic::Param), 100);
+    EXPECT_DOUBLE_EQ(ledger.bytes(Traffic::Kv), 75);
+    EXPECT_DOUBLE_EQ(ledger.totalBytes(), 175);
+    EXPECT_EQ(ledger.transferCount(), 3);
+    EXPECT_GT(ledger.totalTime(), 0.0);
+}
+
+TEST(TransferLedgerTest, ZeroByteTransfersIgnored)
+{
+    TransferLedger ledger(hw::pcie4x16());
+    ledger.record(Traffic::Activation, 0);
+    EXPECT_EQ(ledger.transferCount(), 0);
+    EXPECT_DOUBLE_EQ(ledger.totalTime(), 0.0);
+}
+
+} // namespace
+
+namespace {
+
+TEST(ExecutorStatsTest, RegisteredStatsTrackTheRun)
+{
+    using namespace lia;
+    using namespace lia::runtime;
+    const auto sys = hw::sprA100();
+    const auto m = model::tinyOpt();
+    Rng rng(55);
+    ExecutorConfig plan;
+    plan.prefillPolicy = core::Policy::fullGpu();
+    plan.decodePolicy = core::Policy::fullGpu();
+    CooperativeExecutor exec(
+        sys, TransformerWeights::random(m, rng), plan);
+    stats::Group group("lia");
+    exec.registerStats(group);
+
+    std::vector<std::vector<std::int64_t>> prompts{{1, 2, 3, 4},
+                                                   {5, 6, 7, 8}};
+    exec.generate(prompts, 3);
+
+    const auto *param = dynamic_cast<const stats::Formula *>(
+        group.find("lia.xfer.param_bytes"));
+    ASSERT_NE(param, nullptr);
+    EXPECT_DOUBLE_EQ(param->value(),
+                     exec.ledger().bytes(Traffic::Param));
+    EXPECT_GT(param->value(), 0.0);
+
+    const auto *kv_tokens = dynamic_cast<const stats::Formula *>(
+        group.find("lia.kv.context_tokens"));
+    ASSERT_NE(kv_tokens, nullptr);
+    EXPECT_DOUBLE_EQ(kv_tokens->value(), 4.0 + 3.0 - 1.0);
+
+    std::ostringstream oss;
+    group.dump(oss);
+    EXPECT_NE(oss.str().find("lia.gpu.busy_seconds"),
+              std::string::npos);
+}
+
+} // namespace
+
+namespace {
+
+TEST(ExecutorBatchInvarianceTest, SequencesIndependentOfBatchMates)
+{
+    // A sequence's outputs must not depend on what else shares its
+    // batch — the causal mask and per-sequence KV must isolate them.
+    // (This is the functional counterpart of splitting a batch into
+    // mini-batches for Optimization-2: results cannot change.)
+    using namespace lia;
+    using namespace lia::runtime;
+    const auto sys = hw::sprA100();
+    const auto m = model::tinyOpt();
+    Rng rng(99);
+    const auto weights = TransformerWeights::random(m, rng);
+
+    std::vector<std::vector<std::int64_t>> all{
+        {1, 2, 3, 4, 5, 6},
+        {7, 8, 9, 10, 11, 12},
+        {13, 14, 15, 16, 17, 18},
+        {19, 20, 21, 22, 23, 24}};
+
+    CooperativeExecutor full(sys, weights, {});
+    const auto joint = full.generate(all, 6);
+
+    // The same sequences run as two half batches and as singletons.
+    CooperativeExecutor half_a(sys, weights, {});
+    const auto first =
+        half_a.generate({all[0], all[1]}, 6);
+    CooperativeExecutor half_b(sys, weights, {});
+    const auto second =
+        half_b.generate({all[2], all[3]}, 6);
+    EXPECT_EQ(joint[0], first[0]);
+    EXPECT_EQ(joint[1], first[1]);
+    EXPECT_EQ(joint[2], second[0]);
+    EXPECT_EQ(joint[3], second[1]);
+
+    CooperativeExecutor solo(sys, weights, {});
+    const auto alone = solo.generate({all[2]}, 6);
+    EXPECT_EQ(joint[2], alone[0]);
+}
+
+} // namespace

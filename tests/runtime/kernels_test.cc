@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the numeric kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "runtime/kernels.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::runtime;
+
+const KernelOptions kExact{false};  // fp32, no BF16 rounding
+
+TEST(MatmulTest, TwoByTwoKnownResult)
+{
+    Tensor a({2, 2});
+    a.at(0, 0) = 1; a.at(0, 1) = 2;
+    a.at(1, 0) = 3; a.at(1, 1) = 4;
+    Tensor b({2, 2});
+    b.at(0, 0) = 5; b.at(0, 1) = 6;
+    b.at(1, 0) = 7; b.at(1, 1) = 8;
+    const Tensor c = matmul(a, b, Tensor(), kExact);
+    EXPECT_EQ(c.at(0, 0), 19);
+    EXPECT_EQ(c.at(0, 1), 22);
+    EXPECT_EQ(c.at(1, 0), 43);
+    EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(MatmulTest, IdentityIsNeutral)
+{
+    Rng rng(1);
+    const Tensor a = Tensor::randomNormal({4, 4}, rng, 1.0);
+    Tensor eye({4, 4});
+    for (int i = 0; i < 4; ++i)
+        eye.at(i, i) = 1.0f;
+    const Tensor c = matmul(a, eye, Tensor(), kExact);
+    EXPECT_EQ(c.maxAbsDiff(a), 0.0);
+}
+
+TEST(MatmulTest, BiasBroadcastsOverRows)
+{
+    Tensor a({2, 1});
+    a.at(0, 0) = 1;
+    a.at(1, 0) = 2;
+    Tensor b({1, 2});
+    b.at(0, 0) = 10;
+    b.at(0, 1) = 20;
+    Tensor bias({2});
+    bias.at(0) = 1;
+    bias.at(1) = -1;
+    const Tensor c = matmul(a, b, bias, kExact);
+    EXPECT_EQ(c.at(0, 0), 11);
+    EXPECT_EQ(c.at(0, 1), 19);
+    EXPECT_EQ(c.at(1, 0), 21);
+    EXPECT_EQ(c.at(1, 1), 39);
+}
+
+TEST(MatmulTest, TransposedAgreesWithExplicitTranspose)
+{
+    Rng rng(2);
+    const Tensor a = Tensor::randomNormal({3, 5}, rng, 1.0);
+    const Tensor b = Tensor::randomNormal({4, 5}, rng, 1.0);
+    Tensor bt({5, 4});
+    for (int i = 0; i < 4; ++i)
+        for (int k = 0; k < 5; ++k)
+            bt.at(k, i) = b.at(i, k);
+    const Tensor c1 = matmulTransposed(a, b, kExact);
+    const Tensor c2 = matmul(a, bt, Tensor(), kExact);
+    EXPECT_LT(c1.maxAbsDiff(c2), 1e-5);
+}
+
+TEST(SoftmaxTest, RowsSumToOne)
+{
+    Rng rng(3);
+    Tensor t = Tensor::randomNormal({8, 16}, rng, 2.0);
+    softmaxRows(t, kExact);
+    for (int i = 0; i < 8; ++i) {
+        float sum = 0;
+        for (int j = 0; j < 16; ++j) {
+            sum += t.at(i, j);
+            EXPECT_GE(t.at(i, j), 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(SoftmaxTest, InvariantToRowShift)
+{
+    Tensor a({1, 3});
+    a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+    Tensor b = a.clone();
+    for (int j = 0; j < 3; ++j)
+        b.at(0, j) += 100.0f;
+    softmaxRows(a, kExact);
+    softmaxRows(b, kExact);
+    EXPECT_LT(a.maxAbsDiff(b), 1e-5);
+}
+
+TEST(SoftmaxTest, CausalMaskZeroesFuture)
+{
+    Rng rng(4);
+    Tensor t = Tensor::randomNormal({4, 4}, rng, 1.0);
+    causalSoftmaxRows(t, 0, kExact);  // row i sees columns 0..i
+    for (int i = 0; i < 4; ++i) {
+        float sum = 0;
+        for (int j = 0; j < 4; ++j) {
+            if (j > i) {
+                EXPECT_EQ(t.at(i, j), 0.0f);
+            }
+            sum += t.at(i, j);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(SoftmaxTest, DecodeOffsetSeesWholeHistory)
+{
+    Rng rng(5);
+    Tensor t = Tensor::randomNormal({1, 8}, rng, 1.0);
+    causalSoftmaxRows(t, 7, kExact);  // one query, 8-token history
+    for (int j = 0; j < 8; ++j)
+        EXPECT_GT(t.at(0, j), 0.0f);
+}
+
+TEST(LayerNormTest, NormalisesToZeroMeanUnitVar)
+{
+    Rng rng(6);
+    const Tensor x = Tensor::randomNormal({4, 64}, rng, 5.0);
+    Tensor gain({64}), bias({64});
+    for (int j = 0; j < 64; ++j)
+        gain.at(j) = 1.0f;
+    const Tensor y = layerNorm(x, gain, bias, kExact);
+    for (int i = 0; i < 4; ++i) {
+        float mean = 0, var = 0;
+        for (int j = 0; j < 64; ++j)
+            mean += y.at(i, j);
+        mean /= 64;
+        for (int j = 0; j < 64; ++j)
+            var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+        var /= 64;
+        EXPECT_NEAR(mean, 0.0f, 1e-4);
+        EXPECT_NEAR(var, 1.0f, 1e-2);
+    }
+}
+
+TEST(LayerNormTest, GainAndBiasApplied)
+{
+    Tensor x({1, 2});
+    x.at(0, 0) = -1;
+    x.at(0, 1) = 1;
+    Tensor gain({2}), bias({2});
+    gain.at(0) = 2; gain.at(1) = 2;
+    bias.at(0) = 5; bias.at(1) = 5;
+    const Tensor y = layerNorm(x, gain, bias, kExact);
+    EXPECT_NEAR(y.at(0, 0), 5.0f - 2.0f, 1e-3);
+    EXPECT_NEAR(y.at(0, 1), 5.0f + 2.0f, 1e-3);
+}
+
+TEST(ReluTest, ClampsNegatives)
+{
+    Tensor t({4});
+    t.at(0) = -1; t.at(1) = 2; t.at(2) = -0.5; t.at(3) = 0;
+    reluInPlace(t, kExact);
+    EXPECT_EQ(t.at(0), 0.0f);
+    EXPECT_EQ(t.at(1), 2.0f);
+    EXPECT_EQ(t.at(2), 0.0f);
+    EXPECT_EQ(t.at(3), 0.0f);
+}
+
+TEST(AddTest, ElementwiseSum)
+{
+    Tensor a({2}), b({2});
+    a.at(0) = 1; a.at(1) = 2;
+    b.at(0) = 10; b.at(1) = 20;
+    const Tensor c = add(a, b, kExact);
+    EXPECT_EQ(c.at(0), 11.0f);
+    EXPECT_EQ(c.at(1), 22.0f);
+}
+
+TEST(ArgmaxTest, PicksRowMaximum)
+{
+    Tensor t({2, 3});
+    t.at(0, 1) = 5.0f;
+    t.at(1, 2) = 3.0f;
+    const auto idx = argmaxRows(t);
+    EXPECT_EQ(idx[0], 1);
+    EXPECT_EQ(idx[1], 2);
+}
+
+TEST(KernelTest, Bf16RoundingChangesResultsSlightly)
+{
+    Rng rng(7);
+    const Tensor a = Tensor::randomNormal({16, 32}, rng, 1.0);
+    const Tensor b = Tensor::randomNormal({32, 16}, rng, 1.0);
+    const Tensor exact = matmul(a, b, Tensor(), kExact);
+    const Tensor rounded = matmul(a, b, Tensor(), KernelOptions{true});
+    const double diff = exact.maxAbsDiff(rounded);
+    EXPECT_GT(diff, 0.0);
+    EXPECT_LT(diff, 0.1);
+}
+
+TEST(MatmulTest, InnerDimensionMismatchPanics)
+{
+    lia::detail::setThrowOnError(true);
+    Tensor a({2, 3}), b({4, 2});
+    EXPECT_THROW(matmul(a, b, Tensor(), kExact), std::logic_error);
+    lia::detail::setThrowOnError(false);
+}
+
+} // namespace

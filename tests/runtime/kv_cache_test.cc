@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the KV cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "runtime/kv_cache.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::runtime;
+
+class KvCacheTest : public ::testing::Test
+{
+  protected:
+    model::ModelConfig m = model::tinyOpt();  // 4 layers, kvDim 64
+    KvCache cache{m, 2, 32};
+
+    Tensor
+    filled(std::int64_t tokens, float value)
+    {
+        Tensor t({2, tokens, m.kvDim()});
+        for (std::int64_t i = 0; i < t.numel(); ++i)
+            t.data()[i] = value;
+        return t;
+    }
+
+    void
+    appendAllLayers(std::int64_t tokens, float value)
+    {
+        for (std::int64_t l = 0; l < m.numLayers; ++l)
+            cache.append(l, filled(tokens, value),
+                         filled(tokens, value + 0.5f));
+    }
+};
+
+TEST_F(KvCacheTest, LengthAdvancesAfterLastLayer)
+{
+    EXPECT_EQ(cache.length(), 0);
+    for (std::int64_t l = 0; l < m.numLayers; ++l) {
+        cache.append(l, filled(4, 1.0f), filled(4, 1.0f));
+        if (l + 1 < m.numLayers) {
+            EXPECT_EQ(cache.length(), 0);
+        }
+    }
+    EXPECT_EQ(cache.length(), 4);
+}
+
+TEST_F(KvCacheTest, MidStepReadsIncludePendingTokens)
+{
+    cache.append(0, filled(4, 2.0f), filled(4, 3.0f));
+    // Layer 0's attention (run right after its append) must see the
+    // 4 freshly appended tokens.
+    const Tensor k = cache.keys(0);
+    EXPECT_EQ(k.dim(1), 4);
+    EXPECT_EQ(k.at(0, 3, 0), 2.0f);
+}
+
+TEST_F(KvCacheTest, ValuesAndKeysStoredSeparately)
+{
+    appendAllLayers(2, 1.0f);
+    EXPECT_EQ(cache.keys(1).at(0, 0, 0), 1.0f);
+    EXPECT_EQ(cache.values(1).at(0, 0, 0), 1.5f);
+}
+
+TEST_F(KvCacheTest, DecodeAppendsGrowContext)
+{
+    appendAllLayers(4, 1.0f);
+    appendAllLayers(1, 2.0f);
+    appendAllLayers(1, 3.0f);
+    EXPECT_EQ(cache.length(), 6);
+    const Tensor k = cache.keys(0);
+    EXPECT_EQ(k.at(1, 3, 5), 1.0f);
+    EXPECT_EQ(k.at(1, 4, 5), 2.0f);
+    EXPECT_EQ(k.at(1, 5, 5), 3.0f);
+}
+
+TEST_F(KvCacheTest, OutOfOrderAppendPanics)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(cache.append(1, filled(1, 0), filled(1, 0)),
+                 std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST_F(KvCacheTest, OverflowPanics)
+{
+    detail::setThrowOnError(true);
+    appendAllLayers(32, 1.0f);  // fills max_len
+    EXPECT_THROW(cache.append(0, filled(1, 0), filled(1, 0)),
+                 std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST_F(KvCacheTest, BatchMismatchPanics)
+{
+    detail::setThrowOnError(true);
+    Tensor wrong({3, 1, m.kvDim()});
+    EXPECT_THROW(cache.append(0, wrong, wrong), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST_F(KvCacheTest, Bf16BytesMatchFormula)
+{
+    appendAllLayers(4, 1.0f);
+    // 2 tensors * B=2 * len=4 * kvDim=64 * layers=4 * 2 bytes.
+    EXPECT_DOUBLE_EQ(cache.bf16Bytes(), 2.0 * 2 * 4 * 64 * 4 * 2);
+}
+
+} // namespace

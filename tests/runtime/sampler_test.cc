@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for token sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "runtime/sampler.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::runtime;
+
+TEST(SamplerTest, GreedyPicksArgmax)
+{
+    Sampler sampler;
+    const float logits[] = {0.1f, 2.5f, -1.0f, 2.4f};
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sampler.sample(logits, 4), 1);
+}
+
+TEST(SamplerTest, TopKOnlyDrawsFromTopCandidates)
+{
+    SamplingConfig cfg;
+    cfg.mode = SamplingMode::TopK;
+    cfg.topK = 2;
+    Sampler sampler(cfg);
+    const float logits[] = {5.0f, -10.0f, 4.5f, -9.0f};
+    for (int i = 0; i < 200; ++i) {
+        const auto tok = sampler.sample(logits, 4);
+        EXPECT_TRUE(tok == 0 || tok == 2) << tok;
+    }
+}
+
+TEST(SamplerTest, TopKFrequenciesFollowLogits)
+{
+    SamplingConfig cfg;
+    cfg.mode = SamplingMode::TopK;
+    cfg.topK = 2;
+    cfg.temperature = 1.0;
+    Sampler sampler(cfg);
+    // logit gap of ln(3): expect ~3:1 ratio.
+    const float logits[] = {1.0986f, 0.0f};
+    std::map<std::int64_t, int> counts;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        counts[sampler.sample(logits, 2)]++;
+    const double frac =
+        static_cast<double>(counts[0]) / static_cast<double>(n);
+    EXPECT_NEAR(frac, 0.75, 0.02);
+}
+
+TEST(SamplerTest, LowTemperatureApproachesGreedy)
+{
+    SamplingConfig cfg;
+    cfg.mode = SamplingMode::TopK;
+    cfg.topK = 4;
+    cfg.temperature = 0.01;
+    Sampler sampler(cfg);
+    const float logits[] = {1.0f, 1.5f, 0.5f, 1.4f};
+    int argmax_hits = 0;
+    for (int i = 0; i < 500; ++i)
+        argmax_hits += sampler.sample(logits, 4) == 1 ? 1 : 0;
+    EXPECT_GT(argmax_hits, 480);
+}
+
+TEST(SamplerTest, DeterministicForSeed)
+{
+    SamplingConfig cfg;
+    cfg.mode = SamplingMode::TopK;
+    cfg.seed = 99;
+    Sampler a(cfg), b(cfg);
+    const float logits[] = {0.2f, 0.8f, 0.5f};
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.sample(logits, 3), b.sample(logits, 3));
+}
+
+TEST(SamplerTest, SampleRowsHandlesBatches)
+{
+    Sampler sampler;
+    Tensor logits({2, 3});
+    logits.at(0, 2) = 1.0f;
+    logits.at(1, 0) = 1.0f;
+    const auto out = sampler.sampleRows(logits);
+    EXPECT_EQ(out, (std::vector<std::int64_t>{2, 0}));
+}
+
+TEST(SamplerTest, TopKLargerThanVocabClamped)
+{
+    SamplingConfig cfg;
+    cfg.mode = SamplingMode::TopK;
+    cfg.topK = 100;
+    Sampler sampler(cfg);
+    const float logits[] = {0.0f, 1.0f};
+    for (int i = 0; i < 20; ++i) {
+        const auto tok = sampler.sample(logits, 2);
+        EXPECT_TRUE(tok == 0 || tok == 1);
+    }
+}
+
+TEST(SamplerTest, BadConfigRejected)
+{
+    detail::setThrowOnError(true);
+    SamplingConfig bad;
+    bad.topK = 0;
+    EXPECT_THROW(Sampler{bad}, std::logic_error);
+    bad = SamplingConfig{};
+    bad.temperature = 0;
+    EXPECT_THROW(Sampler{bad}, std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace

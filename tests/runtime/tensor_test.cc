@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the dense tensor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "runtime/tensor.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::runtime;
+
+TEST(TensorTest, ZeroInitialised)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6);
+    for (std::int64_t i = 0; i < 2; ++i)
+        for (std::int64_t j = 0; j < 3; ++j)
+            EXPECT_EQ(t.at(i, j), 0.0f);
+}
+
+TEST(TensorTest, RowMajorLayout)
+{
+    Tensor t({2, 3});
+    t.at(1, 2) = 5.0f;
+    EXPECT_EQ(t.data()[5], 5.0f);
+    Tensor u({2, 2, 2});
+    u.at(1, 0, 1) = 7.0f;
+    EXPECT_EQ(u.data()[5], 7.0f);
+}
+
+TEST(TensorTest, CloneIsDeep)
+{
+    Tensor t({2});
+    t.at(0) = 1.0f;
+    Tensor c = t.clone();
+    c.at(0) = 9.0f;
+    EXPECT_EQ(t.at(0), 1.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData)
+{
+    Tensor t({2, 3});
+    t.at(1, 1) = 4.0f;
+    const Tensor r = t.reshaped({6});
+    EXPECT_EQ(r.at(4), 4.0f);
+    EXPECT_EQ(r.ndim(), 1u);
+}
+
+TEST(TensorTest, ReshapeRejectsWrongCount)
+{
+    detail::setThrowOnError(true);
+    Tensor t({2, 3});
+    EXPECT_THROW(t.reshaped({5}), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(TensorTest, OutOfBoundsPanics)
+{
+    detail::setThrowOnError(true);
+    Tensor t({2, 3});
+    EXPECT_THROW(t.at(2, 0), std::logic_error);
+    EXPECT_THROW(t.at(0, 3), std::logic_error);
+    EXPECT_THROW(t.at(0), std::logic_error);  // wrong arity
+    detail::setThrowOnError(false);
+}
+
+TEST(TensorTest, RandomNormalIsDeterministic)
+{
+    Rng a(42), b(42);
+    const Tensor x = Tensor::randomNormal({100}, a, 1.0);
+    const Tensor y = Tensor::randomNormal({100}, b, 1.0);
+    EXPECT_EQ(x.maxAbsDiff(y), 0.0);
+}
+
+TEST(TensorTest, RoundBf16BoundsError)
+{
+    Rng rng(1);
+    Tensor t = Tensor::randomNormal({1000}, rng, 1.0);
+    const Tensor orig = t.clone();
+    t.roundBf16();
+    EXPECT_LT(t.maxAbsDiff(orig), 0.05);
+    EXPECT_GT(t.maxAbsDiff(orig), 0.0);
+}
+
+TEST(TensorTest, Bf16BytesCountsTwoPerElement)
+{
+    Tensor t({4, 5});
+    EXPECT_DOUBLE_EQ(t.bf16Bytes(), 40.0);
+}
+
+TEST(TensorTest, MaxAbsDiffShapeMismatchPanics)
+{
+    detail::setThrowOnError(true);
+    Tensor a({2}), b({3});
+    EXPECT_THROW(a.maxAbsDiff(b), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(TensorTest, EmptyTensorBehaviour)
+{
+    Tensor t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(TensorTest, ZeroDimensionRejected)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(Tensor({2, 0}), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace

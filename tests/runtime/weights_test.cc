@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for transformer weight containers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/weights.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::runtime;
+
+TEST(WeightsTest, ShapesFollowConfig)
+{
+    Rng rng(1);
+    const auto m = model::tinyOpt(64, 4, 4, 128, 256);
+    const auto w = TransformerWeights::random(m, rng);
+    ASSERT_EQ(w.layers.size(), 4u);
+    EXPECT_EQ(w.embedding.dim(0), 256);
+    EXPECT_EQ(w.embedding.dim(1), 64);
+    EXPECT_EQ(w.posEmbedding.dim(0), 128);
+    const auto &l = w.layers[0];
+    EXPECT_EQ(l.wq.dim(0), 64);
+    EXPECT_EQ(l.wq.dim(1), 64);
+    EXPECT_EQ(l.w1.dim(1), 256);  // ffn = 4d
+    EXPECT_EQ(l.w2.dim(0), 256);
+}
+
+TEST(WeightsTest, DeterministicFromSeed)
+{
+    const auto m = model::tinyOpt();
+    Rng a(9), b(9);
+    const auto w1 = TransformerWeights::random(m, a);
+    const auto w2 = TransformerWeights::random(m, b);
+    EXPECT_EQ(w1.layers[2].w1.maxAbsDiff(w2.layers[2].w1), 0.0);
+}
+
+TEST(WeightsTest, LayerBytesCloseToAnalyticalModel)
+{
+    // The runtime's actual tensor bytes should track the analytical
+    // decoderLayerParamBytes (biases and norms add a little).
+    Rng rng(2);
+    const auto m = model::tinyOpt();
+    const auto w = TransformerWeights::random(m, rng);
+    const double actual = w.layers[0].bf16Bytes();
+    const double analytical = m.decoderLayerParamBytes();
+    EXPECT_NEAR(actual, analytical, 0.05 * analytical);
+    EXPECT_GE(actual, analytical);  // extras only add
+}
+
+TEST(WeightsTest, SublayerBytesPartitionMatrixWeights)
+{
+    Rng rng(3);
+    const auto m = model::tinyOpt();
+    const auto w = TransformerWeights::random(m, rng);
+    const auto &l = w.layers[0];
+    double sum = 0;
+    for (int i = 0; i < 6; ++i)
+        sum += l.sublayerBf16Bytes(i);
+    // Attention-scoring sublayers carry no weights.
+    EXPECT_EQ(l.sublayerBf16Bytes(1), 0.0);
+    EXPECT_EQ(l.sublayerBf16Bytes(2), 0.0);
+    // The sum is the layer total minus the LayerNorm parameters.
+    const double norms = l.lnAttnGain.bf16Bytes() +
+                         l.lnAttnBias.bf16Bytes() +
+                         l.lnFfnGain.bf16Bytes() +
+                         l.lnFfnBias.bf16Bytes();
+    EXPECT_NEAR(sum + norms, l.bf16Bytes(), 1e-6);
+}
+
+TEST(WeightsTest, LayerNormGainsInitialisedToOne)
+{
+    Rng rng(4);
+    const auto w = TransformerWeights::random(model::tinyOpt(), rng);
+    EXPECT_EQ(w.layers[0].lnAttnGain.at(0), 1.0f);
+    EXPECT_EQ(w.lnFinalGain.at(5), 1.0f);
+}
+
+TEST(WeightsTest, TotalBytesIncludeEmbeddings)
+{
+    Rng rng(5);
+    const auto m = model::tinyOpt();
+    const auto w = TransformerWeights::random(m, rng);
+    double layer_sum = 0;
+    for (const auto &l : w.layers)
+        layer_sum += l.bf16Bytes();
+    EXPECT_GT(w.bf16Bytes(), layer_sum);
+}
+
+} // namespace
+
+namespace {
+
+using namespace lia;
+using namespace lia::runtime;
+
+TEST(QuantizeWeightsTest, Int8ChangesWeightsSlightly)
+{
+    Rng rng(6);
+    const auto m = model::tinyOpt();
+    auto w = TransformerWeights::random(m, rng);
+    const Tensor original = w.layers[0].w1.clone();
+    quantizeWeights(w, model::WeightPrecision::Int8);
+    const double diff = w.layers[0].w1.maxAbsDiff(original);
+    EXPECT_GT(diff, 0.0);
+    EXPECT_LT(diff, 0.01);  // ~absmax/254 for unit-scale weights
+    EXPECT_DOUBLE_EQ(w.config.weightBytesPerElement, 1.0);
+}
+
+TEST(QuantizeWeightsTest, Int4CoarserThanInt8)
+{
+    const auto m = model::tinyOpt();
+    Rng r1(6), r2(6);
+    auto w8 = TransformerWeights::random(m, r1);
+    auto w4 = TransformerWeights::random(m, r2);
+    const Tensor original = w8.layers[1].wq.clone();
+    quantizeWeights(w8, model::WeightPrecision::Int8);
+    quantizeWeights(w4, model::WeightPrecision::Int4);
+    EXPECT_GT(w4.layers[1].wq.maxAbsDiff(original),
+              w8.layers[1].wq.maxAbsDiff(original));
+}
+
+TEST(QuantizeWeightsTest, Bf16IsANoOp)
+{
+    Rng rng(6);
+    auto w = TransformerWeights::random(model::tinyOpt(), rng);
+    const Tensor original = w.layers[0].w2.clone();
+    quantizeWeights(w, model::WeightPrecision::Bf16);
+    EXPECT_EQ(w.layers[0].w2.maxAbsDiff(original), 0.0);
+}
+
+TEST(QuantizeWeightsTest, QuantizationIsIdempotent)
+{
+    Rng rng(8);
+    auto w = TransformerWeights::random(model::tinyOpt(), rng);
+    quantizeWeights(w, model::WeightPrecision::Int8);
+    const Tensor once = w.layers[0].w1.clone();
+    // Re-quantizing values already on the grid must not move them.
+    auto w2 = w;
+    quantizeWeights(w2, model::WeightPrecision::Int8);
+    EXPECT_LT(w2.layers[0].w1.maxAbsDiff(once), 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace lia::sim;
+
+TEST(EventQueueTest, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_DOUBLE_EQ(q.now(), 0.0);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, SimultaneousEventsKeepFifoOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&] {
+        ++fired;
+        q.schedule(2.0, [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueueTest, SchedulingInThePastPanics)
+{
+    lia::detail::setThrowOnError(true);
+    EventQueue q;
+    q.schedule(5.0, [] {});
+    q.run();
+    EXPECT_THROW(q.schedule(1.0, [] {}), std::logic_error);
+    lia::detail::setThrowOnError(false);
+}
+
+TEST(EventQueueTest, CountsExecutedEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(i, [] {});
+    q.run();
+    EXPECT_EQ(q.executedEvents(), 5u);
+}
+
+TEST(EventQueueTest, StepExecutesExactlyOne)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&] { ++fired; });
+    q.schedule(2.0, [&] { ++fired; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+} // namespace

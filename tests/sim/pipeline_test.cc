@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the DES decoder-stage pipeline, including validation of
+ * the closed-form overlap model against true pipelined execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "sim/pipeline.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::core;
+using lia::model::Stage;
+using lia::model::Workload;
+
+class PipelineTest : public ::testing::Test
+{
+  protected:
+    hw::SystemConfig sys = hw::sprA100();
+    model::ModelConfig m = model::opt30b();
+    CostModel cm{sys, m, {}};
+};
+
+TEST_F(PipelineTest, FullCpuMakespanEqualsSerialSum)
+{
+    // Without transfers there is nothing to overlap: makespan equals
+    // layers x serial layer time.
+    Workload w{Stage::Decode, 8, 256};
+    const auto timing = cm.layerTiming(w, Policy::fullCpu());
+    const auto result = sim::simulateStage(cm, w, Policy::fullCpu(),
+                                           Policy::fullCpu(), 0);
+    EXPECT_NEAR(result.makespan,
+                static_cast<double>(m.numLayers) * timing.serialTime(),
+                1e-9);
+    EXPECT_DOUBLE_EQ(result.linkBusy, 0.0);
+    EXPECT_DOUBLE_EQ(result.gpuBusy, 0.0);
+}
+
+TEST_F(PipelineTest, DesMatchesClosedFormWithinTolerance)
+{
+    // The steady-state overlap model should predict the DES makespan
+    // within ~15% for transfer-heavy policies (Fig. 7's pipeline).
+    for (auto stage : {Stage::Prefill, Stage::Decode}) {
+        Workload w{stage, 64, 256};
+        for (auto policy :
+             {Policy::fullGpu(), Policy::attentionOnCpu()}) {
+            const auto timing = cm.layerTiming(w, policy);
+            const double closed_form =
+                static_cast<double>(m.numLayers) *
+                timing.overlappedTime();
+            const auto result =
+                sim::simulateStage(cm, w, policy, policy, 0);
+            EXPECT_NEAR(result.makespan, closed_form,
+                        0.15 * closed_form)
+                << policy.toString() << " " << toString(stage);
+        }
+    }
+}
+
+TEST_F(PipelineTest, DesAtLeastAsLongAsClosedForm)
+{
+    // The closed form ignores link contention between prefetch and
+    // inline traffic, so it can only be optimistic.
+    Workload w{Stage::Decode, 900, 256};
+    for (unsigned mask : {0b000000u, 0b000110u, 0b100001u}) {
+        const auto policy = Policy::fromMask(mask);
+        const auto timing = cm.layerTiming(w, policy);
+        const double closed_form =
+            static_cast<double>(m.numLayers) * timing.overlappedTime();
+        const auto result = sim::simulateStage(cm, w, policy, policy, 0);
+        EXPECT_GE(result.makespan, closed_form * 0.999)
+            << policy.toString();
+    }
+}
+
+TEST_F(PipelineTest, OverlapBeatsSerialExecution)
+{
+    Workload w{Stage::Decode, 64, 256};
+    const auto policy = Policy::attentionOnCpu();
+    const auto timing = cm.layerTiming(w, policy);
+    const double serial = static_cast<double>(m.numLayers) *
+                          timing.serialTime();
+    const auto result = sim::simulateStage(cm, w, policy, policy, 0);
+    EXPECT_LT(result.makespan, serial);
+}
+
+TEST_F(PipelineTest, ResidentLayersShortenTheRun)
+{
+    Workload w{Stage::Decode, 1, 256};
+    const auto policy = Policy::fullGpu();
+    const auto none = sim::simulateStage(cm, w, policy, policy, 0);
+    const auto half = sim::simulateStage(cm, w, policy, policy, 24);
+    EXPECT_LT(half.makespan, none.makespan);
+    EXPECT_LT(half.linkBusy, none.linkBusy);
+}
+
+TEST_F(PipelineTest, BusyTimesMatchAnalyticalComponents)
+{
+    Workload w{Stage::Decode, 32, 256};
+    const auto policy = Policy::attentionOnCpu();
+    const auto timing = cm.layerTiming(w, policy);
+    const auto result = sim::simulateStage(cm, w, policy, policy, 0);
+    const double layers = static_cast<double>(m.numLayers);
+    EXPECT_NEAR(result.cpuBusy, layers * timing.cpuTime, 1e-9);
+    EXPECT_NEAR(result.gpuBusy, layers * timing.gpuTime, 1e-9);
+    EXPECT_NEAR(result.linkBusy,
+                layers * (timing.prefetchPcieTime +
+                          timing.inlinePcieTime),
+                1e-9);
+}
+
+TEST_F(PipelineTest, LinkUtilisationBoundedByOne)
+{
+    Workload w{Stage::Decode, 900, 512};
+    const auto result = sim::simulateStage(
+        cm, w, Policy::attentionOnCpu(), Policy::attentionOnCpu(), 0);
+    EXPECT_GT(result.linkUtilisation(), 0.0);
+    EXPECT_LE(result.linkUtilisation(), 1.0 + 1e-9);
+}
+
+TEST_F(PipelineTest, TaskCountScalesWithLayers)
+{
+    Workload w{Stage::Decode, 8, 128};
+    const auto result = sim::simulateStage(
+        cm, w, Policy::fullGpu(), Policy::fullGpu(), 0);
+    // At least one compute task per sublayer per layer.
+    EXPECT_GE(result.tasks, static_cast<std::size_t>(
+        m.numLayers * model::kNumSublayers));
+}
+
+} // namespace

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for serially-shared simulation resources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.hh"
+
+namespace {
+
+using namespace lia::sim;
+
+TEST(ResourceTest, BackToBackWorkSerialises)
+{
+    EventQueue q;
+    Resource r(q, "dev");
+    std::vector<Tick> finishes;
+    r.submit(0.0, 2.0, [&](Tick t) { finishes.push_back(t); });
+    r.submit(0.0, 3.0, [&](Tick t) { finishes.push_back(t); });
+    q.run();
+    ASSERT_EQ(finishes.size(), 2u);
+    EXPECT_DOUBLE_EQ(finishes[0], 2.0);
+    EXPECT_DOUBLE_EQ(finishes[1], 5.0);
+    EXPECT_DOUBLE_EQ(r.busyTime(), 5.0);
+}
+
+TEST(ResourceTest, ReadyTimeDelaysStart)
+{
+    EventQueue q;
+    Resource r(q, "dev");
+    Tick finish = -1;
+    r.submit(10.0, 1.0, [&](Tick t) { finish = t; });
+    q.run();
+    EXPECT_DOUBLE_EQ(finish, 11.0);
+    // Busy time counts occupancy, not waiting.
+    EXPECT_DOUBLE_EQ(r.busyTime(), 1.0);
+}
+
+TEST(ResourceTest, IdleGapsAreNotBusy)
+{
+    EventQueue q;
+    Resource r(q, "dev");
+    r.submit(0.0, 1.0, nullptr);
+    r.submit(5.0, 1.0, nullptr);
+    q.run();
+    EXPECT_DOUBLE_EQ(r.busyTime(), 2.0);
+    EXPECT_DOUBLE_EQ(r.freeAt(), 6.0);
+}
+
+TEST(ResourceTest, ZeroDurationWorkCompletesInstantly)
+{
+    EventQueue q;
+    Resource r(q, "dev");
+    Tick finish = -1;
+    r.submit(2.0, 0.0, [&](Tick t) { finish = t; });
+    q.run();
+    EXPECT_DOUBLE_EQ(finish, 2.0);
+}
+
+TEST(ResourceTest, NullDoneCallbackIsAllowed)
+{
+    EventQueue q;
+    Resource r(q, "dev");
+    r.submit(0.0, 1.0, nullptr);
+    EXPECT_NO_THROW(q.run());
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the dependency-driven task graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "core/cost_model.hh"
+#include "hw/system.hh"
+#include "sim/pipeline.hh"
+#include "sim/task_graph.hh"
+
+namespace {
+
+using namespace lia::sim;
+
+TEST(TaskGraphTest, ChainSerialises)
+{
+    EventQueue q;
+    Resource r(q, "dev");
+    TaskGraph g(q);
+    const auto a = g.addTask("a", &r, 1.0);
+    const auto b = g.addTask("b", &r, 2.0, {a});
+    const auto c = g.addTask("c", &r, 3.0, {b});
+    g.run();
+    EXPECT_DOUBLE_EQ(g.finishTime(a), 1.0);
+    EXPECT_DOUBLE_EQ(g.finishTime(b), 3.0);
+    EXPECT_DOUBLE_EQ(g.finishTime(c), 6.0);
+    EXPECT_DOUBLE_EQ(g.makespan(), 6.0);
+}
+
+TEST(TaskGraphTest, IndependentTasksOnDifferentResourcesOverlap)
+{
+    EventQueue q;
+    Resource r1(q, "r1"), r2(q, "r2");
+    TaskGraph g(q);
+    g.addTask("a", &r1, 5.0);
+    g.addTask("b", &r2, 3.0);
+    g.run();
+    EXPECT_DOUBLE_EQ(g.makespan(), 5.0);
+}
+
+TEST(TaskGraphTest, SharedResourceSerialisesIndependentTasks)
+{
+    EventQueue q;
+    Resource r(q, "r");
+    TaskGraph g(q);
+    g.addTask("a", &r, 5.0);
+    g.addTask("b", &r, 3.0);
+    g.run();
+    EXPECT_DOUBLE_EQ(g.makespan(), 8.0);
+}
+
+TEST(TaskGraphTest, JoinWaitsForAllDependencies)
+{
+    EventQueue q;
+    Resource r1(q, "r1"), r2(q, "r2"), r3(q, "r3");
+    TaskGraph g(q);
+    const auto a = g.addTask("a", &r1, 2.0);
+    const auto b = g.addTask("b", &r2, 7.0);
+    const auto c = g.addTask("c", &r3, 1.0, {a, b});
+    g.run();
+    EXPECT_DOUBLE_EQ(g.finishTime(c), 8.0);
+}
+
+TEST(TaskGraphTest, DiamondDependency)
+{
+    EventQueue q;
+    Resource r1(q, "r1"), r2(q, "r2");
+    TaskGraph g(q);
+    const auto src = g.addTask("src", &r1, 1.0);
+    const auto left = g.addTask("left", &r1, 2.0, {src});
+    const auto right = g.addTask("right", &r2, 5.0, {src});
+    const auto sink = g.addTask("sink", &r1, 1.0, {left, right});
+    g.run();
+    EXPECT_DOUBLE_EQ(g.finishTime(sink), 7.0);
+}
+
+TEST(TaskGraphTest, BarrierTaskHasZeroWidth)
+{
+    EventQueue q;
+    Resource r(q, "r");
+    TaskGraph g(q);
+    const auto a = g.addTask("a", &r, 2.0);
+    const auto barrier = g.addTask("barrier", nullptr, 0.0, {a});
+    const auto b = g.addTask("b", &r, 1.0, {barrier});
+    g.run();
+    EXPECT_DOUBLE_EQ(g.finishTime(barrier), 2.0);
+    EXPECT_DOUBLE_EQ(g.finishTime(b), 3.0);
+}
+
+TEST(TaskGraphTest, PipelineOverlapsStages)
+{
+    // Classic two-stage pipeline: transfer(1s) then compute(1s) per
+    // item; with 4 items the makespan is fill + N * bottleneck.
+    EventQueue q;
+    Resource link(q, "link"), dev(q, "dev");
+    TaskGraph g(q);
+    std::vector<TaskGraph::TaskId> prev_compute;
+    for (int i = 0; i < 4; ++i) {
+        const auto xfer = g.addTask("x", &link, 1.0);
+        std::vector<TaskGraph::TaskId> deps{xfer};
+        if (!prev_compute.empty())
+            deps.push_back(prev_compute.back());
+        prev_compute.push_back(g.addTask("c", &dev, 1.0, deps));
+    }
+    g.run();
+    EXPECT_DOUBLE_EQ(g.makespan(), 5.0);  // 1 fill + 4 compute
+    EXPECT_DOUBLE_EQ(link.busyTime(), 4.0);
+    EXPECT_DOUBLE_EQ(dev.busyTime(), 4.0);
+}
+
+TEST(TaskGraphTest, ForwardDependenciesRejected)
+{
+    lia::detail::setThrowOnError(true);
+    EventQueue q;
+    Resource r(q, "r");
+    TaskGraph g(q);
+    EXPECT_THROW(g.addTask("bad", &r, 1.0, {5}), std::logic_error);
+    lia::detail::setThrowOnError(false);
+}
+
+TEST(TaskGraphTest, NonZeroBarrierRejected)
+{
+    lia::detail::setThrowOnError(true);
+    EventQueue q;
+    TaskGraph g(q);
+    EXPECT_THROW(g.addTask("bad", nullptr, 1.0), std::logic_error);
+    lia::detail::setThrowOnError(false);
+}
+
+} // namespace
+
+namespace {
+
+using namespace lia::sim;
+
+TEST(TaskSpanTest, SpansRecordOccupancy)
+{
+    EventQueue q;
+    Resource r(q, "dev");
+    TaskGraph g(q);
+    const auto a = g.addTask("a", &r, 2.0);
+    const auto b = g.addTask("b", &r, 3.0, {a});
+    g.run();
+    EXPECT_DOUBLE_EQ(g.startTime(a), 0.0);
+    EXPECT_DOUBLE_EQ(g.startTime(b), 2.0);
+    const auto spans = g.spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "a");
+    EXPECT_EQ(spans[0].resource, "dev");
+    EXPECT_DOUBLE_EQ(spans[1].finish - spans[1].start, 3.0);
+}
+
+TEST(TaskSpanTest, SpansOnOneResourceNeverOverlap)
+{
+    EventQueue q;
+    Resource r(q, "dev");
+    TaskGraph g(q);
+    for (int i = 0; i < 8; ++i)
+        g.addTask("t" + std::to_string(i), &r, 0.5 + 0.1 * i);
+    g.run();
+    const auto spans = g.spans();
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        for (std::size_t j = i + 1; j < spans.size(); ++j) {
+            const bool disjoint =
+                spans[i].finish <= spans[j].start + 1e-12 ||
+                spans[j].finish <= spans[i].start + 1e-12;
+            EXPECT_TRUE(disjoint) << i << " vs " << j;
+        }
+    }
+}
+
+TEST(TaskSpanTest, PipelineSpansCoverBusyTime)
+{
+    // The sum of span widths on a resource equals its busy time.
+    const auto sys = lia::hw::sprA100();
+    const auto m = lia::model::opt13b();
+    lia::core::CostModel cm(sys, m, {});
+    lia::model::Workload w{lia::model::Stage::Decode, 64, 128};
+    const auto result = simulateStage(
+        cm, w, lia::core::Policy::attentionOnCpu(),
+        lia::core::Policy::attentionOnCpu(), 0, true);
+    double cpu_span = 0;
+    for (const auto &span : result.spans) {
+        if (span.resource == "cpu")
+            cpu_span += span.finish - span.start;
+    }
+    EXPECT_NEAR(cpu_span, result.cpuBusy, 1e-9);
+}
+
+} // namespace

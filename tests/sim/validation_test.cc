@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for the latency-model validation harness — the reproduction's
+ * analogue of the paper's "12% average error" claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "sim/validation.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::sim;
+
+TEST(ValidationTest, AverageErrorWithinPaperBallpark)
+{
+    // The paper's analytical model shows 12% average error against
+    // the measured system; ours must stay comparably tight against
+    // the DES.
+    const auto report = validateOverlapModel(
+        hw::sprA100(), model::opt30b(), {1, 32, 256, 900},
+        {64, 256, 1024});
+    EXPECT_LT(report.meanAbsError(), 0.12);
+    EXPECT_LT(report.maxAbsError(), 0.30);
+    EXPECT_EQ(report.points.size(), 24u);  // 2 stages x 4 B x 3 L
+}
+
+TEST(ValidationTest, H100SystemAlsoValidates)
+{
+    const auto report = validateOverlapModel(
+        hw::sprH100(), model::opt66b(), {1, 64, 900}, {128, 1024});
+    EXPECT_LT(report.meanAbsError(), 0.12);
+}
+
+TEST(ValidationTest, ClosedFormIsOptimisticOrClose)
+{
+    // The closed form ignores fill/drain and residual contention, so
+    // it should rarely exceed the DES by much.
+    const auto report = validateOverlapModel(
+        hw::sprA100(), model::opt175b(), {1, 64}, {128, 512});
+    for (const auto &p : report.points)
+        EXPECT_LT(p.relativeError(), 0.05)
+            << p.policy.toString();
+}
+
+TEST(ValidationTest, ReportStatisticsConsistent)
+{
+    const auto report = validateOverlapModel(
+        hw::sprA100(), model::opt30b(), {16}, {256});
+    EXPECT_GE(report.maxAbsError(), report.meanAbsError());
+    for (const auto &p : report.points) {
+        EXPECT_GT(p.analytical, 0);
+        EXPECT_GT(p.simulated, 0);
+    }
+}
+
+} // namespace

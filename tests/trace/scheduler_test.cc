@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the offline batch scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "trace/scheduler.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::trace;
+
+class SchedulerTest : public ::testing::Test
+{
+  protected:
+    hw::SystemConfig sys = hw::sprA100();
+    model::ModelConfig m = model::opt30b();
+    BatchScheduler scheduler{sys, m};
+
+    std::vector<Request>
+    corpus(std::size_t n, std::uint64_t seed = 4)
+    {
+        AzureTraceGenerator gen(TraceKind::Code, m.maxSeqLen, seed);
+        return gen.batch(n);
+    }
+};
+
+TEST_F(SchedulerTest, EveryRequestScheduledExactlyOnce)
+{
+    const auto requests = corpus(500);
+    const auto result = scheduler.schedule(requests, {});
+    std::int64_t scheduled = 0;
+    for (const auto &batch : result.batches)
+        scheduled += batch.batch;
+    EXPECT_EQ(scheduled, 500);
+}
+
+TEST_F(SchedulerTest, BatchesRespectCeiling)
+{
+    SchedulerConfig cfg;
+    cfg.maxBatch = 16;
+    const auto result = scheduler.schedule(corpus(300), cfg);
+    for (const auto &batch : result.batches)
+        EXPECT_LE(batch.batch, 16);
+}
+
+TEST_F(SchedulerTest, PaddingCoversEveryRequest)
+{
+    const auto requests = corpus(200);
+    SchedulerConfig cfg;
+    const auto result = scheduler.schedule(requests, cfg);
+    EXPECT_GE(result.paddedTokens, result.usefulTokens);
+    EXPECT_GE(result.paddingWaste(), 0.0);
+    EXPECT_LT(result.paddingWaste(), 0.8);
+}
+
+TEST_F(SchedulerTest, LargerBatchesRaiseThroughput)
+{
+    const auto requests = corpus(400);
+    SchedulerConfig small;
+    small.maxBatch = 4;
+    SchedulerConfig large;
+    large.maxBatch = 256;
+    const auto t_small = scheduler.schedule(requests, small);
+    const auto t_large = scheduler.schedule(requests, large);
+    EXPECT_GT(t_large.throughput(), t_small.throughput() * 1.5);
+}
+
+TEST_F(SchedulerTest, CoarserBucketsWasteMorePadding)
+{
+    const auto requests = corpus(400);
+    SchedulerConfig fine;
+    fine.inputBucket = 32;
+    fine.outputBucket = 8;
+    SchedulerConfig coarse;
+    coarse.inputBucket = 1024;
+    coarse.outputBucket = 64;
+    const auto fine_result = scheduler.schedule(requests, fine);
+    const auto coarse_result = scheduler.schedule(requests, coarse);
+    EXPECT_LT(fine_result.paddingWaste(),
+              coarse_result.paddingWaste());
+}
+
+TEST_F(SchedulerTest, MakespanIsSumOfBatchLatencies)
+{
+    const auto result = scheduler.schedule(corpus(100), {});
+    double sum = 0;
+    for (const auto &batch : result.batches)
+        sum += batch.latency;
+    EXPECT_NEAR(result.makespan, sum, 1e-9);
+}
+
+TEST_F(SchedulerTest, PaddedShapesStayWithinContext)
+{
+    const auto result = scheduler.schedule(corpus(300), {});
+    for (const auto &batch : result.batches)
+        EXPECT_LE(batch.lIn + batch.lOut, m.maxSeqLen);
+}
+
+TEST_F(SchedulerTest, EmptyCorpusRejected)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(scheduler.schedule({}, {}), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace
