@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Extension: static vs continuous vs SLO-aware serving across
+ * arrival rates (online mixed trace).
+ *
+ * The paper's online scenario (§1, §7.2) fixes B = 1; real endpoints
+ * run iteration-level continuous batching instead. This harness
+ * offers the same Poisson mixed-trace stream to the three serve::
+ * scheduler policies on SPR-A100+CXL / OPT-30B and sweeps the
+ * arrival rate, reporting the serving percentiles and goodput. Two
+ * headline numbers close the table: the sustainable arrival rate of
+ * continuous vs static batching at equal p95 response time, and the
+ * p95 TTFT of the SLO-aware policy at rates where unconstrained
+ * continuous batching violates the TTFT target.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "base/table.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "serve/engine.hh"
+
+namespace {
+
+constexpr double kRespSlo = 120.0;  //!< p95 response bound, seconds
+constexpr double kTtftSlo = 20.0;   //!< TTFT target, seconds
+constexpr double kTbtSlo = 0.5;     //!< time-between-tokens target
+
+} // namespace
+
+int
+main()
+{
+    using namespace lia;
+    using serve::SchedulerPolicy;
+
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::opt30b();
+    const std::size_t requests = 250;
+
+    std::cout << "Serving-policy sweep: " << m.name << " on "
+              << sys.name << ", " << requests
+              << " mixed-trace requests per point\n"
+              << "SLO targets: TTFT " << fmtSeconds(kTtftSlo)
+              << ", TBT " << fmtSeconds(kTbtSlo) << ", p95 response "
+              << fmtSeconds(kRespSlo) << "\n\n";
+
+    const std::vector<double> rates_per_min = {1, 2,  3,  4,  6,
+                                               8, 10, 14, 18, 24};
+    const std::vector<SchedulerPolicy> policies = {
+        SchedulerPolicy::StaticFifo, SchedulerPolicy::Continuous,
+        SchedulerPolicy::SloAware};
+
+    TextTable table({"rate/min", "policy", "done", "shed", "util",
+                     "p95 TTFT", "p95 TBT", "p95 resp", "tok/s",
+                     "goodput/min"});
+    std::map<SchedulerPolicy, std::map<double, serve::Result>> runs;
+    for (double rate : rates_per_min) {
+        for (SchedulerPolicy policy : policies) {
+            serve::Config cfg;
+            cfg.arrivalRatePerSecond = rate / 60.0;
+            cfg.requests = requests;
+            cfg.seed = 1;
+            cfg.policy = policy;
+            cfg.maxBatch = 64;
+            cfg.slo.ttft = kTtftSlo;
+            cfg.slo.tbt = kTbtSlo;
+            serve::ServingEngine engine(sys, m, cfg);
+            auto result = engine.run();
+            const auto &mx = result.metrics;
+            table.addRow({fmtDouble(rate, 0),
+                          serve::toString(policy),
+                          std::to_string(mx.completed),
+                          std::to_string(mx.rejected()),
+                          fmtPercent(mx.utilisation()),
+                          fmtSeconds(mx.ttft.p95()),
+                          fmtSeconds(mx.tbt.p95()),
+                          fmtSeconds(mx.responseTime.p95()),
+                          fmtDouble(mx.tokensPerSecond(), 1),
+                          fmtDouble(result.goodputPerSecond(cfg.slo) *
+                                        60.0,
+                                    1)});
+            runs[policy].emplace(rate, std::move(result));
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    // --- Sustainable arrival rate at equal p95 response time --------
+    auto sustainable = [&](SchedulerPolicy policy) {
+        double best = 0;
+        for (const auto &[rate, result] : runs[policy]) {
+            if (result.metrics.responseTime.p95() <= kRespSlo)
+                best = std::max(best, rate);
+        }
+        return best;
+    };
+    const double static_rate = sustainable(SchedulerPolicy::StaticFifo);
+    const double cont_rate = sustainable(SchedulerPolicy::Continuous);
+    std::cout << "\nSustainable arrival rate (p95 response <= "
+              << fmtSeconds(kRespSlo) << "):\n"
+              << "  static FIFO batching : "
+              << fmtDouble(static_rate, 0) << "/min\n"
+              << "  continuous batching  : " << fmtDouble(cont_rate, 0)
+              << "/min  ("
+              << fmtRatio(static_rate > 0 ? cont_rate / static_rate
+                                          : 0)
+              << " static)\n";
+
+    // --- SLO-aware TTFT protection ----------------------------------
+    std::cout << "\np95 TTFT where unconstrained continuous batching "
+                 "violates the "
+              << fmtSeconds(kTtftSlo) << " target:\n";
+    bool any = false;
+    for (double rate : rates_per_min) {
+        const auto &cont = runs[SchedulerPolicy::Continuous].at(rate);
+        const auto &slo = runs[SchedulerPolicy::SloAware].at(rate);
+        if (cont.metrics.ttft.p95() <= kTtftSlo)
+            continue;
+        any = true;
+        std::cout << "  " << fmtDouble(rate, 0)
+                  << "/min: continuous "
+                  << fmtSeconds(cont.metrics.ttft.p95())
+                  << " -> slo-aware "
+                  << fmtSeconds(slo.metrics.ttft.p95())
+                  << (slo.metrics.ttft.p95() <= kTtftSlo
+                          ? "  (within target)"
+                          : "  (VIOLATED)")
+                  << "\n";
+    }
+    if (!any)
+        std::cout << "  (no violation in the swept range)\n";
+
+    std::cout << "\nShape to expect: continuous batching sustains "
+                 ">= 2x the static arrival rate\nat equal p95 "
+                 "response; past its own saturation its TTFT "
+                 "explodes, while the\nSLO-aware scheduler sheds "
+                 "late requests and keeps p95 TTFT inside the "
+                 "target.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Continuous-batching serving engine walkthrough.
+ *
+ * Feeds one Poisson request stream (mixed code/conversation trace)
+ * through the three scheduler policies of serve:: on the same
+ * SPR-A100 + OPT-30B deployment and prints the serving metrics an
+ * online endpoint is judged by — TTFT, time between tokens, response
+ * time, queue depth, goodput — plus the effect of CXL spill on the
+ * KV admission budget.
+ *
+ * Usage: serving_engine [requests] [arrivals_per_min] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "base/table.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "serve/engine.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lia;
+
+    std::size_t requests = 120;
+    double per_minute = 30.0;
+    std::uint64_t seed = 1;
+    if (argc > 1)
+        requests = static_cast<std::size_t>(std::atoll(argv[1]));
+    if (argc > 2)
+        per_minute = std::atof(argv[2]);
+    if (argc > 3)
+        seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::opt30b();
+
+    serve::Config base;
+    base.requests = requests;
+    base.arrivalRatePerSecond = per_minute / 60.0;
+    base.seed = seed;
+    base.maxBatch = 64;
+    base.slo.ttft = 20.0;
+    base.slo.tbt = 0.5;
+
+    std::cout << "Serving engine: " << m.name << " on " << sys.name
+              << ", " << requests << " mixed-trace requests at "
+              << fmtDouble(per_minute, 0) << "/min (seed " << seed
+              << ")\n\n";
+
+    TextTable table({"policy", "completed", "shed", "util",
+                     "p50 TTFT", "p95 TTFT", "p95 TBT", "p95 resp",
+                     "tok/s", "goodput/min"});
+    for (const auto policy : {serve::SchedulerPolicy::StaticFifo,
+                              serve::SchedulerPolicy::Continuous,
+                              serve::SchedulerPolicy::SloAware}) {
+        serve::Config cfg = base;
+        cfg.policy = policy;
+        serve::ServingEngine engine(sys, m, cfg);
+        const auto result = engine.run();
+        const auto &mx = result.metrics;
+        table.addRow(
+            {serve::toString(policy), std::to_string(mx.completed),
+             std::to_string(mx.rejected()),
+             fmtPercent(mx.utilisation()),
+             fmtSeconds(mx.ttft.p50()), fmtSeconds(mx.ttft.p95()),
+             fmtSeconds(mx.tbt.p95()),
+             fmtSeconds(mx.responseTime.p95()),
+             fmtDouble(mx.tokensPerSecond(), 1),
+             fmtDouble(result.goodputPerSecond(base.slo) * 60.0, 1)});
+    }
+    table.print(std::cout);
+
+    // The CXL pool's contribution to serving: parameters leave DDR,
+    // the freed capacity becomes KV admission budget (Table 3's batch
+    // increase, restated as admission capacity).
+    serve::Config no_spill = base;
+    no_spill.policy = serve::SchedulerPolicy::Continuous;
+    no_spill.cxlSpill = false;
+    serve::ServingEngine spill(sys, m, base),
+        plain(sys, m, no_spill);
+    const double with_cxl = spill.run().kvBudgetBytes;
+    const double without = plain.run().kvBudgetBytes;
+    std::cout << "\nKV admission budget: " << fmtBytes(without)
+              << " (params in DDR) -> " << fmtBytes(with_cxl)
+              << " (params spilled to CXL, "
+              << fmtRatio(with_cxl / without) << " capacity)\n";
+
+    std::cout
+        << "\nShape to expect: static batching wastes slots on "
+           "short requests and blocks\njoiners for a whole cohort; "
+           "continuous batching turns both into throughput.\nThe "
+           "SLO-aware scheduler sheds what it cannot serve in time "
+           "and keeps TTFT/TBT\npercentiles inside their targets.\n";
+    return 0;
+}

@@ -198,6 +198,68 @@ EngineModel::stageTime(const CostModel &cm, const Workload &workload,
     return out;
 }
 
+IterationEstimate
+EngineModel::estimateIteration(const IterationScenario &scenario) const
+{
+    LIA_ASSERT(scenario.batch >= 1, "batch must be >= 1");
+    LIA_ASSERT(scenario.context >= 1, "context must be >= 1");
+    LIA_ASSERT(scenario.context <= model_.maxSeqLen,
+               model_.name, ": context ", scenario.context,
+               " exceeds model maximum ", model_.maxSeqLen);
+
+    IterationEstimate est;
+    CostModelOptions opts = config_.costOptions;
+    const Workload workload{scenario.stage, scenario.batch,
+                            scenario.context};
+
+    // §6 memory policy at the iteration's actual batch size: whether
+    // parameters may sit in CXL depends on the decode policy at this
+    // (B, L), exactly as in the whole-run path. An iteration generates
+    // one token, so the placement footprint uses l_out = 1.
+    if (config_.autoMemoryPolicy && system_.cxl.present() &&
+        !config_.cpuOnly) {
+        CostModel probe_cm(system_, model_, opts);
+        const Workload probe{Stage::Decode, scenario.batch,
+                             scenario.context};
+        const Policy probe_policy = config_.forcedDecodePolicy.value_or(
+            PolicyOptimizer(probe_cm).optimize(probe).policy);
+        est.placement =
+            planMemoryPlacement(system_, model_, scenario.batch,
+                                scenario.context, 1, probe_policy);
+        opts = applyPlacement(opts, est.placement);
+    }
+    if (!est.placement.feasible) {
+        est.feasible = false;
+        est.note = est.placement.note;
+    }
+
+    const CostModel cm(system_, model_, opts);
+
+    est.residency = ResidencyPlan{};
+    est.residency.perLayerBytes = model_.decoderLayerParamBytes();
+    if (!config_.cpuOnly && config_.enableResidency) {
+        est.residency = planResidency(
+            system_, model_, scenario.batch, scenario.context,
+            opts.kvOnGpu, scenario.context, config_.cacheGranularity);
+    }
+    if (opts.kvOnGpu &&
+        est.residency.reservedBytes > system_.gpu.memoryCapacity) {
+        est.feasible = false;
+        est.note = "GPU memory capacity exceeded (CUDA OOM)";
+    }
+
+    const auto forced = scenario.stage == Stage::Prefill
+                            ? config_.forcedPrefillPolicy
+                            : config_.forcedDecodePolicy;
+    const auto c = stageTime(cm, workload, est.residency, forced);
+    est.time = c.time;
+    est.policy = c.streamedPolicy;
+    est.residentPolicy = c.residentPolicy;
+    est.breakdown = c.breakdown;
+    est.pcieBytes = c.pcieBytes;
+    return est;
+}
+
 InferenceEstimate
 EngineModel::estimate(const Scenario &scenario) const
 {

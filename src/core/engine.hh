@@ -91,6 +91,42 @@ struct InferenceEstimate
     double throughput(const Scenario &scenario) const;
 };
 
+/**
+ * One scheduler iteration: a single stage executed once at a dynamic
+ * batch size. A continuous-batching serving engine prices every
+ * iteration through this instead of whole requests, because the batch
+ * composition (and therefore the optimal policy) changes as requests
+ * join and leave between iterations.
+ */
+struct IterationScenario
+{
+    model::Stage stage = model::Stage::Decode;
+
+    /** Sequences taking part in this iteration. */
+    std::int64_t batch = 1;
+
+    /**
+     * Token context: the prompt length for prefill iterations, the KV
+     * history length for a decode step.
+     */
+    std::int64_t context = 512;
+};
+
+/** Cost of one scheduler iteration. */
+struct IterationEstimate
+{
+    bool feasible = true;
+    std::string note;
+
+    double time = 0;          //!< seconds for the whole iteration
+    Policy policy;            //!< streamed-layer policy chosen
+    Policy residentPolicy;    //!< policy of GPU-resident layers
+    Breakdown breakdown;
+    double pcieBytes = 0;
+    MemoryPlacement placement;
+    ResidencyPlan residency;
+};
+
 /** LIA's end-to-end analytical engine. */
 class EngineModel
 {
@@ -101,6 +137,16 @@ class EngineModel
 
     /** Estimate the full run for @p scenario. */
     InferenceEstimate estimate(const Scenario &scenario) const;
+
+    /**
+     * Price one scheduler iteration at its current dynamic batch size,
+     * re-running the §6 memory policy, the Optimization-1 residency
+     * plan, and the Eq.-(1) policy optimization for the iteration's
+     * actual (stage, B, L) — the per-iteration analogue of estimate()
+     * used by the continuous-batching serving engine.
+     */
+    IterationEstimate
+    estimateIteration(const IterationScenario &scenario) const;
 
     const hw::SystemConfig &system() const { return system_; }
     const model::ModelConfig &model() const { return model_; }

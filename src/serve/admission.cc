@@ -1,0 +1,84 @@
+#include "serve/admission.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "core/memory_policy.hh"
+#include "core/policy.hh"
+#include "model/footprint.hh"
+
+namespace lia {
+namespace serve {
+
+AdmissionController::AdmissionController(
+    const hw::SystemConfig &system, const model::ModelConfig &model,
+    const Config &config)
+    : model_(model)
+{
+    // Reuse the §6 planner to decide where parameters live. The spill
+    // is only legal when the decode-stage policy keeps the
+    // parameter-dependent sublayers on the GPU, which is what the
+    // planner checks; probe it with the full-GPU policy at a
+    // representative single-sequence shape.
+    double param_ddr = model.totalParamBytes();
+    if (config.cxlSpill && system.cxl.present()) {
+        const auto placement = core::planMemoryPlacement(
+            system, model, 1, 512, 1, core::Policy::fullGpu());
+        if (placement.paramTier == core::HostTier::Cxl) {
+            paramsInCxl_ = true;
+            param_ddr = model.totalParamBytes() *
+                        (1.0 - placement.paramCxlFraction);
+        }
+    }
+
+    // Reserve headroom for the activation working set of the largest
+    // iteration the scheduler can launch (a full-batch prefill at the
+    // context ceiling), and keep a 5% safety margin for the rest of
+    // the host.
+    const double activations = model::activationBytes(
+        model, config.maxBatch,
+        std::min(config.maxContext, model.maxSeqLen));
+    kvBudget_ = std::max(0.0, 0.95 * system.cpuMemory.capacity -
+                                  param_ddr - activations);
+}
+
+double
+AdmissionController::requestKvBytes(const Request &request) const
+{
+    return model_.kvBytesPerToken() *
+           static_cast<double>(request.lIn + request.lOut);
+}
+
+bool
+AdmissionController::fitsAlone(const Request &request) const
+{
+    return requestKvBytes(request) <= kvBudget_;
+}
+
+bool
+AdmissionController::canAdmit(const Request &request) const
+{
+    return reserved_ + requestKvBytes(request) <= kvBudget_;
+}
+
+void
+AdmissionController::reserve(Request &request)
+{
+    LIA_ASSERT(request.kvReservedBytes == 0, "double reservation");
+    request.kvReservedBytes = requestKvBytes(request);
+    reserved_ += request.kvReservedBytes;
+    LIA_ASSERT(reserved_ <= kvBudget_ * (1 + 1e-9),
+               "KV reservation exceeds the budget");
+}
+
+void
+AdmissionController::release(Request &request)
+{
+    LIA_ASSERT(request.kvReservedBytes > 0, "release without reserve");
+    reserved_ -= request.kvReservedBytes;
+    request.kvReservedBytes = 0;
+    reserved_ = std::max(reserved_, 0.0);
+}
+
+} // namespace serve
+} // namespace lia

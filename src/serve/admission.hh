@@ -1,0 +1,66 @@
+/**
+ * @file
+ * KV-footprint-aware admission control.
+ *
+ * A request may only join the running batch if its full-horizon KV
+ * cache reservation (prompt + all demanded output tokens) fits the
+ * host-memory budget left after parameters. With CXL spill enabled the
+ * §6 memory policy moves parameters into the CXL pool, so the DDR
+ * budget — and with it the admission capacity — grows exactly as the
+ * paper's Table 3 batch-size increase.
+ */
+
+#ifndef LIA_SERVE_ADMISSION_HH
+#define LIA_SERVE_ADMISSION_HH
+
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "serve/config.hh"
+#include "serve/request.hh"
+
+namespace lia {
+namespace serve {
+
+/** Tracks KV reservations against the host-memory budget. */
+class AdmissionController
+{
+  public:
+    AdmissionController(const hw::SystemConfig &system,
+                        const model::ModelConfig &model,
+                        const Config &config);
+
+    /** Bytes available for KV reservations. */
+    double kvBudgetBytes() const { return kvBudget_; }
+
+    /** Bytes currently reserved by admitted requests. */
+    double reservedBytes() const { return reserved_; }
+
+    /** Whether the §6 policy spilled parameters to the CXL pool. */
+    bool paramsInCxl() const { return paramsInCxl_; }
+
+    /** Full-horizon KV reservation of @p request, bytes. */
+    double requestKvBytes(const Request &request) const;
+
+    /** Whether @p request ever fits (an empty engine included). */
+    bool fitsAlone(const Request &request) const;
+
+    /** Whether @p request fits on top of current reservations. */
+    bool canAdmit(const Request &request) const;
+
+    /** Reserve @p request's KV footprint (records it on the request). */
+    void reserve(Request &request);
+
+    /** Return @p request's reservation to the pool. */
+    void release(Request &request);
+
+  private:
+    model::ModelConfig model_;
+    double kvBudget_ = 0;
+    double reserved_ = 0;
+    bool paramsInCxl_ = false;
+};
+
+} // namespace serve
+} // namespace lia
+
+#endif // LIA_SERVE_ADMISSION_HH

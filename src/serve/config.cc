@@ -1,0 +1,35 @@
+#include "serve/config.hh"
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace serve {
+
+const char *
+toString(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::StaticFifo:
+        return "static-fifo";
+      case SchedulerPolicy::Continuous:
+        return "continuous";
+      case SchedulerPolicy::SloAware:
+        return "slo-aware";
+    }
+    LIA_PANIC("unknown scheduler policy");
+}
+
+void
+Config::validate() const
+{
+    LIA_ASSERT(arrivalRatePerSecond > 0, "bad arrival rate");
+    LIA_ASSERT(requests > 0, "no requests");
+    LIA_ASSERT(maxContext >= 64, "context too small for the trace");
+    LIA_ASSERT(maxBatch >= 1, "bad batch ceiling");
+    LIA_ASSERT(contextBucket >= 1, "bad context bucket");
+    LIA_ASSERT(slo.ttft >= 0 && slo.tbt >= 0 && slo.e2e >= 0,
+               "negative SLO target");
+}
+
+} // namespace serve
+} // namespace lia

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Configuration of the continuous-batching serving engine.
+ *
+ * The engine generalises the M/G/1 serving queue (sim/serving.hh) to
+ * iteration-level scheduling: requests join and leave the running
+ * batch between engine iterations, and every iteration is priced by
+ * the LIA analytical engine at the *current* dynamic batch size. The
+ * scheduler policy selects between the Orca-style continuous batcher,
+ * the static FIFO baseline, and an SLO-aware variant with admission
+ * control.
+ */
+
+#ifndef LIA_SERVE_CONFIG_HH
+#define LIA_SERVE_CONFIG_HH
+
+#include <cstdint>
+
+#include "trace/azure.hh"
+
+namespace lia {
+namespace serve {
+
+/** Iteration-level scheduling discipline. */
+enum class SchedulerPolicy
+{
+    /**
+     * Static FIFO batching: collect up to maxBatch queued requests,
+     * prefill them together, then decode the cohort until *every*
+     * member finishes. No joins mid-flight; finished requests keep
+     * occupying (and being priced at) their batch slot — the slot
+     * waste continuous batching exists to eliminate.
+     */
+    StaticFifo,
+
+    /**
+     * Continuous (iteration-level) batching: after every iteration,
+     * finished requests leave immediately and queued requests join up
+     * to maxBatch, KV capacity permitting. Joiners are prefilled
+     * piggybacked on the running batch's next iteration.
+     */
+    Continuous,
+
+    /**
+     * Continuous batching plus SLO enforcement: the decode batch is
+     * capped so one decode step stays within the time-between-tokens
+     * target (derived from the engine's iteration estimates, the
+     * capacity planner's latency model), and admission sheds requests
+     * whose projected time-to-first-token already exceeds the TTFT
+     * target — trading raw completions for goodput.
+     */
+    SloAware,
+};
+
+const char *toString(SchedulerPolicy policy);
+
+/** Service-level objectives enforced by SchedulerPolicy::SloAware. */
+struct SloTargets
+{
+    /** Time-to-first-token target, seconds; 0 disables. */
+    double ttft = 0;
+
+    /** Per-token decode budget (time between tokens), seconds. */
+    double tbt = 0;
+
+    /** End-to-end response-time target used by goodput accounting. */
+    double e2e = 0;
+
+    bool any() const { return ttft > 0 || tbt > 0 || e2e > 0; }
+};
+
+/** Configuration of one serving-engine run. */
+struct Config
+{
+    double arrivalRatePerSecond = 0.2;  //!< Poisson arrival rate
+    std::size_t requests = 200;         //!< requests to simulate
+    trace::TraceKind trace = trace::TraceKind::Mixed;
+    std::int64_t maxContext = 2048;     //!< trace length ceiling
+    std::uint64_t seed = 1;             //!< arrivals + trace shapes
+
+    SchedulerPolicy policy = SchedulerPolicy::Continuous;
+    std::int64_t maxBatch = 64;         //!< hard batch ceiling
+    SloTargets slo;                     //!< used by SloAware only
+
+    /**
+     * Let the §6 memory policy spill parameters to the CXL pool (when
+     * the system has one), freeing DDR for KV cache — admission
+     * capacity then grows exactly as Table 3's batch increase.
+     */
+    bool cxlSpill = true;
+
+    /**
+     * Token granularity for memoising iteration costs: contexts are
+     * rounded up to this bucket before pricing, trading a slightly
+     * conservative estimate for far fewer cost-model evaluations.
+     */
+    std::int64_t contextBucket = 32;
+
+    /** Panics on malformed settings. */
+    void validate() const;
+};
+
+} // namespace serve
+} // namespace lia
+
+#endif // LIA_SERVE_CONFIG_HH

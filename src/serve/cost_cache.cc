@@ -1,0 +1,65 @@
+#include "serve/cost_cache.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace serve {
+
+IterationCostCache::IterationCostCache(const core::EngineModel &engine,
+                                       std::int64_t context_bucket)
+    : engine_(engine), contextBucket_(context_bucket)
+{
+    LIA_ASSERT(context_bucket >= 1, "bad context bucket");
+}
+
+std::int64_t
+IterationCostCache::bucketContext(std::int64_t context) const
+{
+    LIA_ASSERT(context >= 1, "bad context");
+    const std::int64_t up =
+        ((context + contextBucket_ - 1) / contextBucket_) *
+        contextBucket_;
+    return std::min(up, engine_.model().maxSeqLen);
+}
+
+std::int64_t
+IterationCostCache::bucketBatch(std::int64_t batch)
+{
+    LIA_ASSERT(batch >= 1, "bad batch");
+    if (batch <= 4)
+        return batch;
+    // Geometric ladder 4, 6, 8, 12, 16, 24, ... (x1.5 alternating with
+    // x1.33): fine enough that rounding up costs < 50% extra batch.
+    std::int64_t step = 4;
+    while (step < batch)
+        step += std::max<std::int64_t>(step / 2, 1);
+    return step;
+}
+
+const core::IterationEstimate &
+IterationCostCache::estimate(model::Stage stage, std::int64_t batch,
+                             std::int64_t context) const
+{
+    const Key key{static_cast<int>(stage), bucketBatch(batch),
+                  bucketContext(context)};
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        const core::IterationScenario scenario{
+            stage, std::get<1>(key), std::get<2>(key)};
+        it = cache_.emplace(key, engine_.estimateIteration(scenario))
+                 .first;
+    }
+    return it->second;
+}
+
+double
+IterationCostCache::time(model::Stage stage, std::int64_t batch,
+                         std::int64_t context) const
+{
+    return estimate(stage, batch, context).time;
+}
+
+} // namespace serve
+} // namespace lia

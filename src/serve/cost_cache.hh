@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Memoised per-iteration pricing for the serving engine.
+ *
+ * The scheduler consults the LIA analytical engine
+ * (core::EngineModel::estimateIteration) thousands of times per run —
+ * once per decode step and prefill group, at whatever dynamic batch
+ * size the batch happens to have. The cache quantises (batch, context)
+ * onto a coarse grid (contexts rounded up to a bucket, batches rounded
+ * up onto a geometric ladder) and memoises the engine estimates, so
+ * repeated iterations at nearby operating points are priced once.
+ * Rounding *up* keeps the estimates conservative.
+ */
+
+#ifndef LIA_SERVE_COST_CACHE_HH
+#define LIA_SERVE_COST_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "core/engine.hh"
+
+namespace lia {
+namespace serve {
+
+/** Memoised iteration-cost lookups against a core::EngineModel. */
+class IterationCostCache
+{
+  public:
+    /**
+     * @param engine          the analytical pricing engine
+     * @param context_bucket  token granularity of the context grid
+     */
+    IterationCostCache(const core::EngineModel &engine,
+                       std::int64_t context_bucket = 32);
+
+    /** Seconds for one iteration of @p stage at (batch, context). */
+    double time(model::Stage stage, std::int64_t batch,
+                std::int64_t context) const;
+
+    /** Full engine estimate at the quantised operating point. */
+    const core::IterationEstimate &estimate(model::Stage stage,
+                                            std::int64_t batch,
+                                            std::int64_t context) const;
+
+    /** Context rounded up to the bucket grid (model-max clamped). */
+    std::int64_t bucketContext(std::int64_t context) const;
+
+    /** Batch rounded up onto the geometric pricing ladder. */
+    static std::int64_t bucketBatch(std::int64_t batch);
+
+    /** Distinct engine evaluations performed so far. */
+    std::size_t evaluations() const { return cache_.size(); }
+
+  private:
+    using Key = std::tuple<int, std::int64_t, std::int64_t>;
+
+    const core::EngineModel &engine_;
+    std::int64_t contextBucket_;
+    mutable std::map<Key, core::IterationEstimate> cache_;
+};
+
+} // namespace serve
+} // namespace lia
+
+#endif // LIA_SERVE_COST_CACHE_HH

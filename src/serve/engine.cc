@@ -1,0 +1,257 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.hh"
+#include "core/capacity_planner.hh"
+#include "serve/admission.hh"
+#include "serve/scheduler.hh"
+#include "sim/event_queue.hh"
+#include "sim/serving.hh"
+#include "trace/azure.hh"
+
+namespace lia {
+namespace serve {
+
+using model::Stage;
+
+namespace {
+
+core::EngineConfig
+pricingConfig(const hw::SystemConfig &system, const Config &config)
+{
+    core::EngineConfig cfg;
+    cfg.costOptions.executionAwareObjective = true;
+    cfg.autoMemoryPolicy = config.cxlSpill && system.cxl.present();
+    return cfg;
+}
+
+/** Per-run simulation state driving the event queue. */
+struct Run
+{
+    const Config &config;
+    IterationCostCache &costs;
+    sim::EventQueue events;
+    AdmissionController admission;
+    Scheduler scheduler;
+
+    std::vector<Request> requests;
+    std::vector<std::size_t> waiting;  //!< FIFO admission queue
+    std::vector<std::size_t> active;   //!< admitted, unfinished
+    bool inFlight = false;
+    Metrics metrics;
+
+    Run(const hw::SystemConfig &system,
+        const model::ModelConfig &model, const Config &cfg,
+        IterationCostCache &cost_cache)
+        : config(cfg), costs(cost_cache),
+          admission(system, model, cfg),
+          scheduler(cfg, cost_cache, admission)
+    {
+    }
+
+    void
+    arrival(std::size_t index)
+    {
+        Request &request = requests[index];
+        if (!admission.fitsAlone(request)) {
+            // Can never fit the KV budget, not even alone.
+            request.state = RequestState::Rejected;
+            ++metrics.rejectedCapacity;
+            return;
+        }
+        waiting.push_back(index);
+        if (!inFlight)
+            startIteration();
+    }
+
+    void
+    startIteration()
+    {
+        const double now = events.now();
+        const std::size_t depth = waiting.size();
+        IterationPlan plan =
+            scheduler.next(now, waiting, active, requests);
+
+        for (std::size_t index : plan.shed) {
+            requests[index].state = RequestState::Rejected;
+            ++metrics.shedSlo;
+        }
+        for (std::size_t index : plan.admit) {
+            requests[index].state = RequestState::Prefilling;
+            requests[index].admitTime = now;
+        }
+        if (!plan.shed.empty() || !plan.admit.empty()) {
+            waiting.erase(
+                std::remove_if(waiting.begin(), waiting.end(),
+                               [this](std::size_t index) {
+                                   return requests[index].state !=
+                                          RequestState::Queued;
+                               }),
+                waiting.end());
+        }
+
+        if (plan.idle()) {
+            inFlight = false;
+            return;
+        }
+        inFlight = true;
+
+        double duration = 0;
+        if (!plan.admit.empty()) {
+            std::int64_t prompt = 1;
+            for (std::size_t index : plan.admit)
+                prompt = std::max(prompt, requests[index].lIn);
+            duration += costs.time(
+                Stage::Prefill,
+                static_cast<std::int64_t>(plan.admit.size()), prompt);
+        }
+        if (!plan.decode.empty()) {
+            std::int64_t context = 1;
+            for (std::size_t index : plan.decode)
+                context =
+                    std::max(context, requests[index].context());
+            duration += costs.time(Stage::Decode,
+                                   plan.decodePriceBatch, context);
+        }
+        LIA_ASSERT(duration > 0, "iteration priced at zero time");
+
+        metrics.queueDepth.add(static_cast<double>(depth));
+        metrics.batchOccupancy.add(static_cast<double>(
+            active.size() + plan.admit.size()));
+        ++metrics.iterations;
+        metrics.busyTime += duration;
+
+        events.schedule(now + duration,
+                        [this, plan = std::move(plan)]() {
+                            completeIteration(plan);
+                        });
+    }
+
+    void
+    completeIteration(const IterationPlan &plan)
+    {
+        const double now = events.now();
+        for (std::size_t index : plan.decode) {
+            Request &request = requests[index];
+            ++request.generated;
+            ++metrics.tokensGenerated;
+            if (request.done())
+                finish(request, now);
+        }
+        for (std::size_t index : plan.admit) {
+            Request &request = requests[index];
+            request.generated = 1;  // prefill produces the first token
+            ++metrics.tokensGenerated;
+            request.firstTokenTime = now;
+            metrics.ttft.add(request.ttft());
+            metrics.queueWait.add(request.queueWait());
+            if (request.done()) {
+                finish(request, now);
+            } else {
+                request.state = RequestState::Decoding;
+                active.push_back(index);
+            }
+        }
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [this](std::size_t index) {
+                                        return requests[index].state ==
+                                               RequestState::Finished;
+                                    }),
+                     active.end());
+        startIteration();
+    }
+
+    void
+    finish(Request &request, double now)
+    {
+        request.state = RequestState::Finished;
+        request.finishTime = now;
+        admission.release(request);
+        ++metrics.completed;
+        metrics.responseTime.add(request.responseTime());
+        if (request.lOut > 1)
+            metrics.tbt.add(request.meanTbt());
+    }
+};
+
+} // namespace
+
+ServingEngine::ServingEngine(const hw::SystemConfig &system,
+                             const model::ModelConfig &model,
+                             Config config)
+    : system_(system), model_(model), config_(std::move(config)),
+      engine_(system, model, pricingConfig(system, config_)),
+      costs_(engine_, config_.contextBucket)
+{
+    config_.validate();
+    model_.validate();
+    config_.maxContext =
+        std::min(config_.maxContext, model_.maxSeqLen);
+
+    // SLO-aware scheduling caps batch growth with the capacity
+    // planner's latency estimates: the largest batch whose whole-run
+    // latency at the trace's typical shape meets the end-to-end SLO.
+    if (config_.policy == SchedulerPolicy::SloAware &&
+        config_.slo.e2e > 0) {
+        const std::int64_t typical_out =
+            config_.trace == trace::TraceKind::Code
+                ? 32
+                : (config_.trace == trace::TraceKind::Conversation
+                       ? 256
+                       : 144);
+        core::PlannerRequest request;
+        request.lOut = std::min<std::int64_t>(typical_out,
+                                              config_.maxContext / 4);
+        request.lIn = (config_.maxContext - request.lOut) / 2;
+        request.latencySlo = config_.slo.e2e;
+        request.maxBatch = config_.maxBatch;
+        const auto planned =
+            core::CapacityPlanner(system_, model_).plan(request);
+        if (planned.feasible)
+            plannerCap_ = planned.best.batch;
+    }
+}
+
+Result
+ServingEngine::run()
+{
+    Run run(system_, model_, config_, costs_);
+    run.scheduler.setPlannerCap(plannerCap_);
+
+    // Draw the arrival sequence and request shapes up front, sharing
+    // the Poisson helper (and its seed convention) with the M/G/1
+    // simulators so equal seeds mean equal workloads.
+    sim::PoissonProcess arrivals(config_.arrivalRatePerSecond,
+                                 config_.seed);
+    trace::AzureTraceGenerator gen(config_.trace, config_.maxContext,
+                                   config_.seed + 1);
+    run.requests.resize(config_.requests);
+    for (std::size_t i = 0; i < config_.requests; ++i) {
+        Request &request = run.requests[i];
+        request.id = i;
+        request.arrival = arrivals.next();
+        const trace::Request shape = gen.next();
+        request.lIn = shape.lIn;
+        request.lOut = shape.lOut;
+    }
+    for (std::size_t i = 0; i < config_.requests; ++i) {
+        run.events.schedule(run.requests[i].arrival,
+                            [&run, i]() { run.arrival(i); });
+    }
+    run.events.run();
+
+    Result result;
+    result.metrics = std::move(run.metrics);
+    result.metrics.makespan = run.events.now();
+    result.requests = std::move(run.requests);
+    result.policy = config_.policy;
+    result.paramsInCxl = run.admission.paramsInCxl();
+    result.kvBudgetBytes = run.admission.kvBudgetBytes();
+    result.plannerCap = plannerCap_;
+    return result;
+}
+
+} // namespace serve
+} // namespace lia

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Continuous-batching online serving engine.
+ *
+ * Runs the full online-inference scenario of §1/§7.2 on the DES
+ * kernel: Poisson arrivals drawn from the Azure-statistics trace, an
+ * iteration-level scheduler (static / continuous / SLO-aware), KV
+ * admission with optional CXL spill, and every iteration priced by
+ * the LIA analytical engine at the batch size it actually ran at.
+ * This replaces the single-request M/G/1 view (sim/serving.hh) with
+ * the batch-size-dependent serving model the paper's Fig. 9 policy
+ * map implies.
+ */
+
+#ifndef LIA_SERVE_ENGINE_HH
+#define LIA_SERVE_ENGINE_HH
+
+#include <vector>
+
+#include "core/engine.hh"
+#include "serve/config.hh"
+#include "serve/cost_cache.hh"
+#include "serve/metrics.hh"
+#include "serve/request.hh"
+
+namespace lia {
+namespace serve {
+
+/** Outcome of one serving run. */
+struct Result
+{
+    Metrics metrics;
+
+    /** Final lifecycle record of every request (arrival order). */
+    std::vector<Request> requests;
+
+    SchedulerPolicy policy = SchedulerPolicy::Continuous;
+    bool paramsInCxl = false;     //!< §6 spill active this run
+    double kvBudgetBytes = 0;     //!< admission budget used
+    std::int64_t plannerCap = 0;  //!< capacity-planner batch cap (0 = none)
+
+    /** Goodput against @p slo (see metrics.hh). */
+    double goodputPerSecond(const SloTargets &slo) const
+    {
+        return serve::goodputPerSecond(requests, slo,
+                                       metrics.makespan);
+    }
+
+    /** Fraction of completions meeting @p slo. */
+    double sloAttainment(const SloTargets &slo) const
+    {
+        return serve::sloAttainment(requests, slo);
+    }
+};
+
+/** The serving engine: one (system, model, config) deployment. */
+class ServingEngine
+{
+  public:
+    ServingEngine(const hw::SystemConfig &system,
+                  const model::ModelConfig &model, Config config);
+
+    /**
+     * Simulate the configured request stream to completion. Runs are
+     * deterministic: the same Config (seed included) yields
+     * bit-identical results, and repeated calls are independent.
+     */
+    Result run();
+
+    const core::EngineModel &pricingEngine() const { return engine_; }
+    const IterationCostCache &costs() const { return costs_; }
+    const Config &config() const { return config_; }
+
+  private:
+    hw::SystemConfig system_;
+    model::ModelConfig model_;
+    Config config_;
+    core::EngineModel engine_;
+    IterationCostCache costs_;
+    std::int64_t plannerCap_ = 0;
+};
+
+} // namespace serve
+} // namespace lia
+
+#endif // LIA_SERVE_ENGINE_HH

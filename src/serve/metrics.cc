@@ -1,0 +1,71 @@
+#include "serve/metrics.hh"
+
+namespace lia {
+namespace serve {
+
+double
+Metrics::utilisation() const
+{
+    return makespan > 0 ? busyTime / makespan : 0.0;
+}
+
+double
+Metrics::completedPerSecond() const
+{
+    return makespan > 0 ? static_cast<double>(completed) / makespan
+                        : 0.0;
+}
+
+double
+Metrics::tokensPerSecond() const
+{
+    return makespan > 0
+               ? static_cast<double>(tokensGenerated) / makespan
+               : 0.0;
+}
+
+bool
+meetsSlo(const Request &request, const SloTargets &slo)
+{
+    if (request.state != RequestState::Finished)
+        return false;
+    if (slo.ttft > 0 && request.ttft() > slo.ttft)
+        return false;
+    if (slo.tbt > 0 && request.lOut > 1 && request.meanTbt() > slo.tbt)
+        return false;
+    if (slo.e2e > 0 && request.responseTime() > slo.e2e)
+        return false;
+    return true;
+}
+
+double
+goodputPerSecond(const std::vector<Request> &requests,
+                 const SloTargets &slo, double makespan)
+{
+    if (makespan <= 0)
+        return 0.0;
+    std::size_t good = 0;
+    for (const Request &request : requests)
+        good += meetsSlo(request, slo) ? 1 : 0;
+    return static_cast<double>(good) / makespan;
+}
+
+double
+sloAttainment(const std::vector<Request> &requests,
+              const SloTargets &slo)
+{
+    std::size_t finished = 0, good = 0;
+    for (const Request &request : requests) {
+        if (request.state != RequestState::Finished)
+            continue;
+        ++finished;
+        good += meetsSlo(request, slo) ? 1 : 0;
+    }
+    return finished > 0
+               ? static_cast<double>(good) /
+                     static_cast<double>(finished)
+               : 0.0;
+}
+
+} // namespace serve
+} // namespace lia

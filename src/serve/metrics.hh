@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Serving-metrics layer.
+ *
+ * Aggregates the quantities an online LLM service is judged by:
+ * per-request time-to-first-token, time-between-tokens, end-to-end
+ * latency, queue depth over time, engine utilisation, and goodput
+ * (completions that met their SLOs) — all as SampleStats so the
+ * benches report percentiles, not just means.
+ */
+
+#ifndef LIA_SERVE_METRICS_HH
+#define LIA_SERVE_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "serve/config.hh"
+#include "serve/request.hh"
+
+namespace lia {
+namespace serve {
+
+/** Aggregated outcome of one serving run. */
+struct Metrics
+{
+    SampleStats ttft;           //!< time-to-first-token, seconds
+    SampleStats tbt;            //!< per-request mean time between tokens
+    SampleStats responseTime;   //!< end-to-end seconds
+    SampleStats queueWait;      //!< seconds queued before admission
+    SampleStats queueDepth;     //!< waiting requests at iteration starts
+    SampleStats batchOccupancy; //!< running batch size at iteration starts
+
+    std::size_t completed = 0;      //!< requests fully served
+    std::size_t rejectedCapacity = 0;  //!< never fit the KV budget
+    std::size_t shedSlo = 0;        //!< dropped by SLO admission control
+
+    std::uint64_t iterations = 0;   //!< engine iterations executed
+    std::int64_t tokensGenerated = 0;
+    double makespan = 0;            //!< simulated span, seconds
+    double busyTime = 0;            //!< engine-occupied seconds
+
+    /** All requests turned away, for any reason. */
+    std::size_t rejected() const { return rejectedCapacity + shedSlo; }
+
+    /** Engine busy fraction. */
+    double utilisation() const;
+
+    /** Completed requests per second of simulated time. */
+    double completedPerSecond() const;
+
+    /** Generated tokens per second of simulated time. */
+    double tokensPerSecond() const;
+
+    /** Whether the offered load kept the system stable. */
+    bool saturated() const { return utilisation() > 0.999; }
+};
+
+/** Whether a finished request met every enabled SLO target. */
+bool meetsSlo(const Request &request, const SloTargets &slo);
+
+/**
+ * Goodput: completed requests that met every enabled SLO target, per
+ * second of simulated time (all completions when no target is set).
+ */
+double goodputPerSecond(const std::vector<Request> &requests,
+                        const SloTargets &slo, double makespan);
+
+/** Fraction of completed requests meeting every enabled SLO target. */
+double sloAttainment(const std::vector<Request> &requests,
+                     const SloTargets &slo);
+
+} // namespace serve
+} // namespace lia
+
+#endif // LIA_SERVE_METRICS_HH

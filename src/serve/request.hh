@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Request lifecycle model of the serving engine.
+ *
+ * A request moves arrive -> admit -> prefill -> per-token decode ->
+ * complete (or is rejected/shed at admission). Every transition is
+ * timestamped in simulated seconds so the metrics layer can report
+ * TTFT, time-between-tokens, and end-to-end latency per request.
+ */
+
+#ifndef LIA_SERVE_REQUEST_HH
+#define LIA_SERVE_REQUEST_HH
+
+#include <cstdint>
+
+namespace lia {
+namespace serve {
+
+/** Lifecycle state of one served request. */
+enum class RequestState
+{
+    Queued,      //!< arrived, waiting for admission
+    Prefilling,  //!< admitted, prompt being processed this iteration
+    Decoding,    //!< generating output tokens
+    Finished,    //!< all lOut tokens produced
+    Rejected,    //!< never admitted (capacity or SLO shedding)
+};
+
+const char *toString(RequestState state);
+
+/** One request flowing through the serving engine. */
+struct Request
+{
+    std::uint64_t id = 0;
+    std::int64_t lIn = 0;     //!< prompt tokens
+    std::int64_t lOut = 0;    //!< output tokens demanded
+    double arrival = 0;       //!< simulated arrival time, seconds
+
+    RequestState state = RequestState::Queued;
+    std::int64_t generated = 0;  //!< output tokens produced so far
+
+    double admitTime = -1;       //!< entered the running batch
+    double firstTokenTime = -1;  //!< prefill completed (token 1)
+    double finishTime = -1;      //!< last token produced
+
+    /** KV bytes reserved for this request while admitted. */
+    double kvReservedBytes = 0;
+
+    /** Current KV context length (prompt + generated tokens). */
+    std::int64_t context() const { return lIn + generated; }
+
+    /** Whether all demanded tokens have been produced. */
+    bool done() const { return generated >= lOut; }
+
+    // --- Per-request metrics (valid once Finished) -------------------
+
+    /** Seconds queued before joining the batch. */
+    double queueWait() const { return admitTime - arrival; }
+
+    /** Time-to-first-token: arrival to end of prefill. */
+    double ttft() const { return firstTokenTime - arrival; }
+
+    /** End-to-end response time. */
+    double responseTime() const { return finishTime - arrival; }
+
+    /** Mean time between tokens after the first. */
+    double meanTbt() const
+    {
+        if (lOut <= 1)
+            return 0;
+        return (finishTime - firstTokenTime) /
+               static_cast<double>(lOut - 1);
+    }
+};
+
+} // namespace serve
+} // namespace lia
+
+#endif // LIA_SERVE_REQUEST_HH

@@ -1,0 +1,144 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace serve {
+
+using model::Stage;
+
+Scheduler::Scheduler(const Config &config,
+                     const IterationCostCache &costs,
+                     AdmissionController &admission)
+    : config_(config), costs_(costs), admission_(admission)
+{
+}
+
+void
+Scheduler::setPlannerCap(std::int64_t cap)
+{
+    LIA_ASSERT(cap >= 0, "bad planner cap");
+    plannerCap_ = cap;
+}
+
+std::int64_t
+Scheduler::decodeBatchCap(std::int64_t context) const
+{
+    if (config_.slo.tbt <= 0)
+        return config_.maxBatch;
+    const std::int64_t key = costs_.bucketContext(context);
+    auto it = tbtCapByContext_.find(key);
+    if (it != tbtCapByContext_.end())
+        return it->second;
+
+    // Step time grows with batch, so binary-search the largest batch
+    // still within the TBT budget; a lone request is always allowed
+    // even when it violates (the alternative is starvation).
+    std::int64_t lo = 1, hi = config_.maxBatch;
+    if (costs_.time(Stage::Decode, hi, key) <= config_.slo.tbt) {
+        lo = hi;
+    } else {
+        while (lo < hi) {
+            const std::int64_t mid = (lo + hi + 1) / 2;
+            if (costs_.time(Stage::Decode, mid, key) <= config_.slo.tbt)
+                lo = mid;
+            else
+                hi = mid - 1;
+        }
+    }
+    tbtCapByContext_.emplace(key, lo);
+    return lo;
+}
+
+IterationPlan
+Scheduler::next(double now, const std::vector<std::size_t> &queue,
+                const std::vector<std::size_t> &active,
+                std::vector<Request> &requests)
+{
+    IterationPlan plan;
+
+    if (config_.policy == SchedulerPolicy::StaticFifo) {
+        if (!active.empty()) {
+            // Cohort in flight: decode everyone still running, priced
+            // at the cohort's *initial* size — finished requests do
+            // not give their slot back until the whole cohort drains.
+            plan.decode = active;
+            plan.decodePriceBatch = staticCohort_;
+            plan.batchCap = config_.maxBatch;
+            return plan;
+        }
+        for (std::size_t index : queue) {
+            if (static_cast<std::int64_t>(plan.admit.size()) >=
+                config_.maxBatch)
+                break;
+            Request &request = requests[index];
+            if (!admission_.canAdmit(request))
+                break;  // FIFO: the head of the line blocks
+            admission_.reserve(request);
+            plan.admit.push_back(index);
+        }
+        staticCohort_ = static_cast<std::int64_t>(plan.admit.size());
+        plan.batchCap = config_.maxBatch;
+        return plan;
+    }
+
+    // Continuous batching: every unfinished admitted request decodes
+    // one token per iteration; the batch is topped up from the queue.
+    const bool slo = config_.policy == SchedulerPolicy::SloAware;
+    plan.decode = active;
+    plan.decodePriceBatch = static_cast<std::int64_t>(active.size());
+
+    std::int64_t cap = config_.maxBatch;
+    if (slo && plannerCap_ > 0)
+        cap = std::min(cap, plannerCap_);
+    if (slo && config_.slo.tbt > 0) {
+        // Cap growth where the *next* decode step would overshoot the
+        // time-between-tokens budget.
+        std::int64_t context = 1;
+        for (std::size_t index : active)
+            context =
+                std::max(context, requests[index].context() + 1);
+        cap = std::min(cap, decodeBatchCap(context));
+    }
+    plan.batchCap = cap;
+
+    std::int64_t widest_prompt = 1;
+    for (std::size_t index : queue) {
+        const auto occupancy = static_cast<std::int64_t>(
+            active.size() + plan.admit.size());
+        if (occupancy >= cap)
+            break;
+        Request &request = requests[index];
+        if (!admission_.canAdmit(request))
+            break;  // FIFO: no skip-ahead past a blocked head
+        if (slo && config_.slo.ttft > 0) {
+            // Shed requests that can no longer make their TTFT target
+            // even if prefilled right now with the group so far. The
+            // iteration also carries the decode step, bounded by the
+            // TBT budget when one is in force.
+            const std::int64_t prompt =
+                std::max(widest_prompt, request.lIn);
+            const double prefill_estimate = costs_.time(
+                Stage::Prefill,
+                static_cast<std::int64_t>(plan.admit.size()) + 1,
+                prompt);
+            const double decode_share =
+                config_.slo.tbt > 0 ? config_.slo.tbt : 0;
+            if ((now - request.arrival) + prefill_estimate +
+                    decode_share >
+                config_.slo.ttft) {
+                plan.shed.push_back(index);
+                continue;
+            }
+        }
+        admission_.reserve(request);
+        widest_prompt = std::max(widest_prompt, request.lIn);
+        plan.admit.push_back(index);
+    }
+    return plan;
+}
+
+} // namespace serve
+} // namespace lia

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Iteration-level scheduler (Orca-style continuous batching).
+ *
+ * Between engine iterations the scheduler decides which queued
+ * requests join the running batch (FIFO, KV-admission gated) and which
+ * active requests take a decode step. Three disciplines are
+ * implemented: the static FIFO baseline (cohorts run to completion,
+ * finished slots wasted), plain continuous batching, and an SLO-aware
+ * variant that caps decode-batch growth from the engine's latency
+ * estimates and sheds requests that can no longer meet their TTFT
+ * target.
+ *
+ * The scheduler is pure decision logic over request indices — no
+ * simulated time advances here — so its invariants (FIFO order, batch
+ * and KV caps, SLO caps) are unit-testable without the DES.
+ */
+
+#ifndef LIA_SERVE_SCHEDULER_HH
+#define LIA_SERVE_SCHEDULER_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "serve/admission.hh"
+#include "serve/config.hh"
+#include "serve/cost_cache.hh"
+#include "serve/request.hh"
+
+namespace lia {
+namespace serve {
+
+/** One iteration's worth of scheduling decisions. */
+struct IterationPlan
+{
+    /** Queue indices admitted this iteration (prefilled together). */
+    std::vector<std::size_t> admit;
+
+    /** Queue indices shed by SLO admission control (rejected). */
+    std::vector<std::size_t> shed;
+
+    /** Active indices taking one decode step. */
+    std::vector<std::size_t> decode;
+
+    /**
+     * Batch size the decode part is priced at. Equals decode.size()
+     * for continuous policies; under static batching it stays at the
+     * cohort's initial size — finished requests keep occupying slots.
+     */
+    std::int64_t decodePriceBatch = 0;
+
+    /** Batch cap in force when the plan was made (for reporting). */
+    std::int64_t batchCap = 0;
+
+    /** Whether the iteration performs no work. */
+    bool idle() const { return admit.empty() && decode.empty(); }
+};
+
+/** Batch-composition policy engine. */
+class Scheduler
+{
+  public:
+    Scheduler(const Config &config, const IterationCostCache &costs,
+              AdmissionController &admission);
+
+    /**
+     * Decide the next iteration.
+     *
+     * @param now       current simulated time (drives SLO shedding)
+     * @param queue     waiting request indices, FIFO order
+     * @param active    admitted unfinished request indices
+     * @param requests  backing store; admitted requests get their KV
+     *                  reserved here
+     */
+    IterationPlan next(double now,
+                       const std::vector<std::size_t> &queue,
+                       const std::vector<std::size_t> &active,
+                       std::vector<Request> &requests);
+
+    /**
+     * Largest decode batch whose step time stays within the
+     * time-between-tokens target at @p context (>= 1 so a lone
+     * request is never starved). maxBatch when no TBT target is set.
+     */
+    std::int64_t decodeBatchCap(std::int64_t context) const;
+
+    /** Static cap from the capacity planner (0 disables). */
+    void setPlannerCap(std::int64_t cap);
+    std::int64_t plannerCap() const { return plannerCap_; }
+
+  private:
+    const Config &config_;
+    const IterationCostCache &costs_;
+    AdmissionController &admission_;
+
+    std::int64_t staticCohort_ = 0;  //!< initial size of the running cohort
+    std::int64_t plannerCap_ = 0;
+    mutable std::map<std::int64_t, std::int64_t> tbtCapByContext_;
+};
+
+} // namespace serve
+} // namespace lia
+
+#endif // LIA_SERVE_SCHEDULER_HH

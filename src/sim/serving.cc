@@ -11,6 +11,21 @@
 namespace lia {
 namespace sim {
 
+PoissonProcess::PoissonProcess(double rate_per_second,
+                               std::uint64_t seed)
+    : rate_(rate_per_second), rng_(seed)
+{
+    LIA_ASSERT(rate_per_second > 0, "bad arrival rate");
+}
+
+double
+PoissonProcess::next()
+{
+    const double u = std::max(rng_.uniform(), 1e-12);
+    t_ += -std::log(u) / rate_;
+    return t_;
+}
+
 ServingResult
 simulateServing(const ServingConfig &config,
                 const ServiceTimeFn &service_time)
@@ -19,7 +34,7 @@ simulateServing(const ServingConfig &config,
     LIA_ASSERT(config.requests > 0, "no requests");
     LIA_ASSERT(service_time != nullptr, "no service-time model");
 
-    Rng rng(config.seed);
+    PoissonProcess arrivals(config.arrivalRatePerSecond, config.seed);
     trace::AzureTraceGenerator gen(config.trace, config.maxContext,
                                    config.seed + 1);
 
@@ -27,12 +42,8 @@ simulateServing(const ServingConfig &config,
     Resource server(queue, "engine");
     ServingResult result;
 
-    double arrival = 0;
     for (std::size_t i = 0; i < config.requests; ++i) {
-        // Poisson process: exponential inter-arrival gaps.
-        const double u = std::max(rng.uniform(), 1e-12);
-        arrival += -std::log(u) / config.arrivalRatePerSecond;
-
+        const double arrival = arrivals.next();
         const trace::Request request = gen.next();
         const double service = service_time(request);
         LIA_ASSERT(service > 0, "service time must be positive");
@@ -65,7 +76,7 @@ simulateBatchedServing(const ServingConfig &config,
     LIA_ASSERT(batching.maxBatch >= 1, "bad batch ceiling");
     LIA_ASSERT(batch_time != nullptr, "no batch-time model");
 
-    Rng rng(config.seed);
+    PoissonProcess process(config.arrivalRatePerSecond, config.seed);
     trace::AzureTraceGenerator gen(config.trace, config.maxContext,
                                    config.seed + 1);
 
@@ -77,10 +88,8 @@ simulateBatchedServing(const ServingConfig &config,
     };
     std::vector<Arrival> arrivals;
     arrivals.reserve(config.requests);
-    double t = 0;
     for (std::size_t i = 0; i < config.requests; ++i) {
-        const double u = std::max(rng.uniform(), 1e-12);
-        t += -std::log(u) / config.arrivalRatePerSecond;
+        const double t = process.next();
         arrivals.push_back(Arrival{t, gen.next()});
     }
 

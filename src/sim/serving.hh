@@ -23,6 +23,26 @@
 namespace lia {
 namespace sim {
 
+/**
+ * Deterministic Poisson arrival process: exponential inter-arrival
+ * gaps drawn from an owned Rng. Shared by the M/G/1 simulators here
+ * and the continuous-batching engine in serve/, so equal seeds mean
+ * equal arrival sequences across serving models.
+ */
+class PoissonProcess
+{
+  public:
+    PoissonProcess(double rate_per_second, std::uint64_t seed);
+
+    /** Absolute time of the next arrival (monotonically increasing). */
+    double next();
+
+  private:
+    double rate_;
+    double t_ = 0;
+    Rng rng_;
+};
+
 /** Configuration of one serving simulation. */
 struct ServingConfig
 {

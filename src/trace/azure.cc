@@ -7,6 +7,20 @@
 namespace lia {
 namespace trace {
 
+const char *
+toString(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::Code:
+        return "code";
+      case TraceKind::Conversation:
+        return "conversation";
+      case TraceKind::Mixed:
+        return "mixed";
+    }
+    LIA_PANIC("unknown trace kind");
+}
+
 AzureTraceGenerator::AzureTraceGenerator(TraceKind kind,
                                          std::int64_t max_context,
                                          std::uint64_t seed)
@@ -20,9 +34,14 @@ AzureTraceGenerator::next()
 {
     Request r;
     // Mean output lengths from the code/conversation traces; clamp the
-    // spread so l_in + l_out always fits the context.
+    // spread so l_in + l_out always fits the context. The mixed trace
+    // flips a fair coin per request between the two families.
+    TraceKind kind = kind_;
+    if (kind == TraceKind::Mixed)
+        kind = rng_.bernoulli(0.5) ? TraceKind::Code
+                                   : TraceKind::Conversation;
     const std::int64_t mean_out =
-        kind_ == TraceKind::Code ? 32 : 256;
+        kind == TraceKind::Code ? 32 : 256;
     const double drawn = rng_.normal(static_cast<double>(mean_out),
                                      static_cast<double>(mean_out) / 4.0);
     r.lOut = std::clamp<std::int64_t>(

@@ -26,7 +26,18 @@ enum class TraceKind
 {
     Code,          //!< short responses, L_out ~ 32
     Conversation,  //!< long responses, L_out ~ 256
+
+    /**
+     * Online mix: each request is drawn from the code or conversation
+     * family with equal probability — the interleaved stream a
+     * user-facing endpoint actually sees, and the workload whose
+     * output-length spread makes iteration-level (continuous)
+     * batching pay off over static batching.
+     */
+    Mixed,
 };
+
+const char *toString(TraceKind kind);
 
 /** One inference request drawn from the trace distribution. */
 struct Request

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the KV-footprint admission controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "serve/admission.hh"
+
+namespace {
+
+using namespace lia;
+using serve::AdmissionController;
+using serve::Request;
+
+Request
+makeRequest(std::int64_t l_in, std::int64_t l_out)
+{
+    Request request;
+    request.lIn = l_in;
+    request.lOut = l_out;
+    return request;
+}
+
+TEST(AdmissionTest, CxlSpillGrowsTheKvBudget)
+{
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::opt30b();
+    serve::Config spill, plain;
+    plain.cxlSpill = false;
+
+    AdmissionController with(sys, m, spill);
+    AdmissionController without(sys, m, plain);
+    EXPECT_TRUE(with.paramsInCxl());
+    EXPECT_FALSE(without.paramsInCxl());
+    EXPECT_GT(with.kvBudgetBytes(), without.kvBudgetBytes());
+
+    // The growth is exactly the DDR the parameters vacated.
+    EXPECT_NEAR(with.kvBudgetBytes() - without.kvBudgetBytes(),
+                m.totalParamBytes(),
+                0.02 * m.totalParamBytes());
+}
+
+TEST(AdmissionTest, NoCxlPoolMeansNoSpill)
+{
+    const auto sys = hw::sprA100();  // DDR only
+    const auto m = model::opt30b();
+    serve::Config cfg;  // cxlSpill defaults to true
+    AdmissionController admission(sys, m, cfg);
+    EXPECT_FALSE(admission.paramsInCxl());
+}
+
+TEST(AdmissionTest, RequestBytesScaleWithTheFullHorizon)
+{
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::opt30b();
+    AdmissionController admission(sys, m, serve::Config{});
+
+    const auto small = makeRequest(50, 50);
+    const auto large = makeRequest(100, 100);
+    EXPECT_GT(admission.requestKvBytes(small), 0.0);
+    EXPECT_DOUBLE_EQ(admission.requestKvBytes(large),
+                     2.0 * admission.requestKvBytes(small));
+    // Output tokens count as much as prompt tokens: the reservation
+    // is for the request's final context, not its current one.
+    EXPECT_DOUBLE_EQ(admission.requestKvBytes(makeRequest(100, 0)),
+                     admission.requestKvBytes(makeRequest(0, 100)));
+}
+
+TEST(AdmissionTest, ReserveAndReleaseBalance)
+{
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::opt30b();
+    AdmissionController admission(sys, m, serve::Config{});
+
+    auto a = makeRequest(256, 64);
+    auto b = makeRequest(1024, 256);
+    EXPECT_DOUBLE_EQ(admission.reservedBytes(), 0.0);
+    admission.reserve(a);
+    admission.reserve(b);
+    EXPECT_GT(a.kvReservedBytes, 0.0);
+    EXPECT_DOUBLE_EQ(admission.reservedBytes(),
+                     admission.requestKvBytes(a) +
+                         admission.requestKvBytes(b));
+    admission.release(a);
+    EXPECT_DOUBLE_EQ(a.kvReservedBytes, 0.0);
+    EXPECT_DOUBLE_EQ(admission.reservedBytes(),
+                     admission.requestKvBytes(b));
+    admission.release(b);
+    EXPECT_DOUBLE_EQ(admission.reservedBytes(), 0.0);
+}
+
+TEST(AdmissionTest, CanAdmitHonoursTheBudget)
+{
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::opt30b();
+    serve::Config cfg;
+    AdmissionController admission(sys, m, cfg);
+
+    // Fill the pool with identical requests until one no longer fits.
+    std::vector<Request> held;
+    auto probe = makeRequest(1024, 1024);
+    ASSERT_TRUE(admission.fitsAlone(probe));
+    while (admission.canAdmit(probe)) {
+        held.push_back(probe);
+        admission.reserve(held.back());
+        ASSERT_LT(held.size(), 100'000u) << "budget never exhausted";
+    }
+    EXPECT_GT(held.size(), 0u);
+    EXPECT_LE(admission.reservedBytes(), admission.kvBudgetBytes());
+    EXPECT_GT(admission.reservedBytes() +
+                  admission.requestKvBytes(probe),
+              admission.kvBudgetBytes());
+    // Still admissible in principle — just not right now.
+    EXPECT_TRUE(admission.fitsAlone(probe));
+}
+
+TEST(AdmissionTest, OversizedRequestNeverFits)
+{
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::opt30b();
+    AdmissionController admission(sys, m, serve::Config{});
+    const auto monster = makeRequest(1'000'000'000, 1'000'000'000);
+    EXPECT_FALSE(admission.fitsAlone(monster));
+    EXPECT_FALSE(admission.canAdmit(monster));
+}
+
+} // namespace

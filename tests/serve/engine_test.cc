@@ -1,0 +1,161 @@
+/**
+ * @file
+ * End-to-end tests for the continuous-batching serving engine:
+ * request-lifecycle accounting, metric consistency, and the
+ * determinism guard (same seed, bit-identical results).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "serve/engine.hh"
+
+namespace {
+
+using namespace lia;
+using serve::RequestState;
+
+serve::Config
+baseConfig()
+{
+    serve::Config cfg;
+    cfg.arrivalRatePerSecond = 8.0 / 60.0;
+    cfg.requests = 80;
+    cfg.seed = 11;
+    cfg.maxBatch = 32;
+    return cfg;
+}
+
+serve::Result
+run(const serve::Config &cfg)
+{
+    serve::ServingEngine engine(hw::withCxl(hw::sprA100()),
+                                model::opt30b(), cfg);
+    return engine.run();
+}
+
+TEST(ServingEngineTest, EveryRequestIsAccountedFor)
+{
+    const auto result = run(baseConfig());
+    EXPECT_EQ(result.metrics.completed + result.metrics.rejected(),
+              result.requests.size());
+    for (const auto &request : result.requests) {
+        if (request.state == RequestState::Finished) {
+            EXPECT_EQ(request.generated, request.lOut);
+            EXPECT_LE(request.arrival, request.admitTime);
+            EXPECT_LE(request.admitTime, request.firstTokenTime);
+            EXPECT_LE(request.firstTokenTime, request.finishTime);
+            EXPECT_DOUBLE_EQ(request.kvReservedBytes, 0.0);
+        } else {
+            EXPECT_EQ(request.state, RequestState::Rejected);
+            EXPECT_LT(request.admitTime, 0.0);
+        }
+    }
+}
+
+TEST(ServingEngineTest, MetricsAreInternallyConsistent)
+{
+    const auto result = run(baseConfig());
+    const auto &mx = result.metrics;
+    EXPECT_EQ(mx.ttft.count(), mx.completed);
+    EXPECT_EQ(mx.responseTime.count(), mx.completed);
+    EXPECT_GT(mx.iterations, 0u);
+    EXPECT_GT(mx.tokensGenerated, 0);
+    EXPECT_LE(mx.busyTime, mx.makespan + 1e-9);
+    EXPECT_GT(mx.utilisation(), 0.0);
+    EXPECT_LE(mx.utilisation(), 1.0);
+    // Every generated token belongs to some request's output budget.
+    std::int64_t demanded = 0;
+    for (const auto &request : result.requests)
+        if (request.state == RequestState::Finished)
+            demanded += request.lOut;
+    EXPECT_EQ(mx.tokensGenerated, demanded);
+}
+
+TEST(ServingEngineTest, BatchOccupancyRespectsTheCeiling)
+{
+    auto cfg = baseConfig();
+    cfg.maxBatch = 4;
+    cfg.arrivalRatePerSecond = 30.0 / 60.0;  // force queueing
+    const auto result = run(cfg);
+    EXPECT_LE(result.metrics.batchOccupancy.max(), 4.0);
+    EXPECT_GT(result.metrics.batchOccupancy.max(), 1.0);
+}
+
+TEST(ServingEngineTest, DeterministicForSeed)
+{
+    const auto cfg = baseConfig();
+    const auto a = run(cfg);
+    const auto b = run(cfg);
+
+    EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+    EXPECT_EQ(a.metrics.iterations, b.metrics.iterations);
+    EXPECT_EQ(a.metrics.tokensGenerated, b.metrics.tokensGenerated);
+    EXPECT_DOUBLE_EQ(a.metrics.makespan, b.metrics.makespan);
+    EXPECT_DOUBLE_EQ(a.metrics.busyTime, b.metrics.busyTime);
+    EXPECT_DOUBLE_EQ(a.metrics.ttft.mean(), b.metrics.ttft.mean());
+    EXPECT_DOUBLE_EQ(a.metrics.ttft.p95(), b.metrics.ttft.p95());
+    EXPECT_DOUBLE_EQ(a.metrics.responseTime.p99(),
+                     b.metrics.responseTime.p99());
+
+    // Bit-identical per-request trajectories, not just aggregates.
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].lIn, b.requests[i].lIn);
+        EXPECT_EQ(a.requests[i].lOut, b.requests[i].lOut);
+        EXPECT_DOUBLE_EQ(a.requests[i].arrival,
+                         b.requests[i].arrival);
+        EXPECT_EQ(a.requests[i].state, b.requests[i].state);
+        EXPECT_DOUBLE_EQ(a.requests[i].finishTime,
+                         b.requests[i].finishTime);
+    }
+}
+
+TEST(ServingEngineTest, RepeatedRunsOfOneEngineAreIndependent)
+{
+    serve::ServingEngine engine(hw::withCxl(hw::sprA100()),
+                                model::opt30b(), baseConfig());
+    const auto a = engine.run();
+    const auto b = engine.run();
+    EXPECT_DOUBLE_EQ(a.metrics.makespan, b.metrics.makespan);
+    EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+}
+
+TEST(ServingEngineTest, SeedChangesTheWorkload)
+{
+    auto cfg = baseConfig();
+    const auto a = run(cfg);
+    cfg.seed = cfg.seed + 1;
+    const auto b = run(cfg);
+    EXPECT_NE(a.metrics.makespan, b.metrics.makespan);
+}
+
+TEST(ServingEngineTest, CxlSpillRaisesTheAdmissionBudget)
+{
+    auto cfg = baseConfig();
+    const auto spill = run(cfg);
+    cfg.cxlSpill = false;
+    const auto plain = run(cfg);
+    EXPECT_TRUE(spill.paramsInCxl);
+    EXPECT_FALSE(plain.paramsInCxl);
+    EXPECT_GT(spill.kvBudgetBytes, plain.kvBudgetBytes);
+}
+
+TEST(ServingEngineTest, GoodputNeverExceedsCompletions)
+{
+    auto cfg = baseConfig();
+    cfg.policy = serve::SchedulerPolicy::SloAware;
+    cfg.slo.ttft = 20.0;
+    cfg.slo.tbt = 0.5;
+    const auto result = run(cfg);
+    const double goodput = result.goodputPerSecond(cfg.slo);
+    EXPECT_GE(goodput, 0.0);
+    EXPECT_LE(goodput * result.metrics.makespan,
+              static_cast<double>(result.metrics.completed) + 1e-6);
+    const double attainment = result.sloAttainment(cfg.slo);
+    EXPECT_GE(attainment, 0.0);
+    EXPECT_LE(attainment, 1.0);
+}
+
+} // namespace
