@@ -260,6 +260,43 @@ EngineModel::estimateIteration(const IterationScenario &scenario) const
     return est;
 }
 
+IterationEstimate
+EngineModel::estimatePrefillChunk(std::int64_t batch,
+                                 std::int64_t history,
+                                 std::int64_t tokens) const
+{
+    LIA_ASSERT(batch >= 1, "batch must be >= 1");
+    LIA_ASSERT(tokens >= 1, "chunk must process at least one token");
+    LIA_ASSERT(history >= 0, "negative KV history");
+    LIA_ASSERT(history + tokens <= model_.maxSeqLen,
+               model_.name, ": chunk end ", history + tokens,
+               " exceeds model maximum ", model_.maxSeqLen);
+
+    IterationEstimate full = estimateIteration(
+        {Stage::Prefill, batch, history + tokens});
+    if (history <= 0)
+        return full;
+
+    const IterationEstimate prior =
+        estimateIteration({Stage::Prefill, batch, history});
+    IterationEstimate chunk = full;
+    chunk.time = full.time - prior.time;
+    chunk.pcieBytes = std::max(full.pcieBytes - prior.pcieBytes, 0.0);
+    chunk.breakdown.cpuTime =
+        std::max(full.breakdown.cpuTime - prior.breakdown.cpuTime, 0.0);
+    chunk.breakdown.gpuTime =
+        std::max(full.breakdown.gpuTime - prior.breakdown.gpuTime, 0.0);
+    chunk.breakdown.comTime =
+        std::max(full.breakdown.comTime - prior.breakdown.comTime, 0.0);
+    if (chunk.time <= 0) {
+        // The optimizer picked cheaper policies for the longer prefill
+        // than for the history alone; the difference is not a price.
+        // Charge the chunk as a standalone prefill instead.
+        return estimateIteration({Stage::Prefill, batch, tokens});
+    }
+    return chunk;
+}
+
 InferenceEstimate
 EngineModel::estimate(const Scenario &scenario) const
 {

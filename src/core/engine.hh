@@ -148,6 +148,21 @@ class EngineModel
     IterationEstimate
     estimateIteration(const IterationScenario &scenario) const;
 
+    /**
+     * Price one *partial* prefill chunk: @p tokens prompt tokens
+     * processed on top of @p history tokens of already-materialised KV
+     * cache (chunked prefill). Priced as the marginal cost of
+     * extending a prefill from @p history to @p history + @p tokens,
+     * so the chunk costs of one prompt telescope back to the
+     * monolithic prefill cost while later chunks correctly pay for
+     * attention over the growing history. Falls back to pricing the
+     * chunk as a standalone prefill when the telescoped difference is
+     * not positive (policy switches between the two operating points).
+     */
+    IterationEstimate estimatePrefillChunk(std::int64_t batch,
+                                           std::int64_t history,
+                                           std::int64_t tokens) const;
+
     const hw::SystemConfig &system() const { return system_; }
     const model::ModelConfig &model() const { return model_; }
     const EngineConfig &config() const { return config_; }

@@ -21,13 +21,15 @@ AdmissionController::AdmissionController(
     // planner checks; probe it with the full-GPU policy at a
     // representative single-sequence shape.
     double param_ddr = model.totalParamBytes();
+    double param_cxl = 0;
     if (config.cxlSpill && system.cxl.present()) {
         const auto placement = core::planMemoryPlacement(
             system, model, 1, 512, 1, core::Policy::fullGpu());
         if (placement.paramTier == core::HostTier::Cxl) {
             paramsInCxl_ = true;
-            param_ddr = model.totalParamBytes() *
-                        (1.0 - placement.paramCxlFraction);
+            param_cxl =
+                model.totalParamBytes() * placement.paramCxlFraction;
+            param_ddr = model.totalParamBytes() - param_cxl;
         }
     }
 
@@ -40,6 +42,24 @@ AdmissionController::AdmissionController(
         std::min(config.maxContext, model.maxSeqLen));
     kvBudget_ = std::max(0.0, 0.95 * system.cpuMemory.capacity -
                                   param_ddr - activations);
+    if (config.kvBudgetCapBytes > 0)
+        kvBudget_ = std::min(kvBudget_, config.kvBudgetCapBytes);
+
+    // CXL capacity left after spilled parameters is the swap pool the
+    // preemptive scheduler parks evicted KV caches in; the pool's
+    // interleaved bandwidth prices each swap direction.
+    if (system.cxl.present()) {
+        swapPool_ = std::max(
+            0.0, 0.95 * system.cxl.totalCapacity() - param_cxl);
+        swapBandwidth_ = system.cxl.interleavedBandwidth();
+        swapLatency_ = system.cxl.latency;
+    }
+}
+
+double
+AdmissionController::kvBytesPerToken() const
+{
+    return model_.kvBytesPerToken();
 }
 
 double
@@ -47,6 +67,14 @@ AdmissionController::requestKvBytes(const Request &request) const
 {
     return model_.kvBytesPerToken() *
            static_cast<double>(request.lIn + request.lOut);
+}
+
+double
+AdmissionController::promptKvBytes(const Request &request) const
+{
+    const std::int64_t target =
+        request.prefillTarget > 0 ? request.prefillTarget : request.lIn;
+    return model_.kvBytesPerToken() * static_cast<double>(target);
 }
 
 bool
@@ -61,6 +89,12 @@ AdmissionController::canAdmit(const Request &request) const
     return reserved_ + requestKvBytes(request) <= kvBudget_;
 }
 
+bool
+AdmissionController::fitsBytes(double bytes, double watermark) const
+{
+    return reserved_ + bytes <= kvBudget_ * (1.0 - watermark);
+}
+
 void
 AdmissionController::reserve(Request &request)
 {
@@ -72,12 +106,79 @@ AdmissionController::reserve(Request &request)
 }
 
 void
+AdmissionController::reservePrompt(Request &request)
+{
+    LIA_ASSERT(request.kvReservedBytes == 0, "double reservation");
+    request.kvReservedBytes = promptKvBytes(request);
+    reserved_ += request.kvReservedBytes;
+    LIA_ASSERT(reserved_ <= kvBudget_ * (1 + 1e-9),
+               "KV reservation exceeds the budget");
+}
+
+void
+AdmissionController::grow(Request &request, std::int64_t tokens)
+{
+    LIA_ASSERT(tokens >= 1, "bad reservation growth");
+    LIA_ASSERT(request.kvReservedBytes > 0, "grow without reserve");
+    const double bytes =
+        model_.kvBytesPerToken() * static_cast<double>(tokens);
+    request.kvReservedBytes += bytes;
+    reserved_ += bytes;
+    LIA_ASSERT(reserved_ <= kvBudget_ * (1 + 1e-9),
+               "KV growth exceeds the budget");
+}
+
+void
 AdmissionController::release(Request &request)
 {
     LIA_ASSERT(request.kvReservedBytes > 0, "release without reserve");
     reserved_ -= request.kvReservedBytes;
     request.kvReservedBytes = 0;
     reserved_ = std::max(reserved_, 0.0);
+}
+
+bool
+AdmissionController::canSwapOut(const Request &request) const
+{
+    return swapBandwidth_ > 0 &&
+           swapped_ + request.kvReservedBytes <= swapPool_;
+}
+
+void
+AdmissionController::swapOut(Request &request)
+{
+    LIA_ASSERT(request.kvReservedBytes > 0, "swap-out without reserve");
+    LIA_ASSERT(request.kvSwappedBytes == 0, "double swap-out");
+    LIA_ASSERT(swapped_ + request.kvReservedBytes <=
+                   swapPool_ * (1 + 1e-9),
+               "swap pool exceeded");
+    request.kvSwappedBytes = request.kvReservedBytes;
+    swapped_ += request.kvSwappedBytes;
+    reserved_ -= request.kvReservedBytes;
+    request.kvReservedBytes = 0;
+    reserved_ = std::max(reserved_, 0.0);
+}
+
+void
+AdmissionController::swapIn(Request &request)
+{
+    LIA_ASSERT(request.kvSwappedBytes > 0, "swap-in without swap-out");
+    LIA_ASSERT(request.kvReservedBytes == 0,
+               "swap-in of a DDR-resident request");
+    request.kvReservedBytes = request.kvSwappedBytes;
+    reserved_ += request.kvReservedBytes;
+    swapped_ -= request.kvSwappedBytes;
+    request.kvSwappedBytes = 0;
+    swapped_ = std::max(swapped_, 0.0);
+    LIA_ASSERT(reserved_ <= kvBudget_ * (1 + 1e-9),
+               "swap-in exceeds the budget");
+}
+
+double
+AdmissionController::swapTransferSeconds(double bytes) const
+{
+    LIA_ASSERT(swapBandwidth_ > 0, "swap on a system without CXL");
+    return swapLatency_ + bytes / swapBandwidth_;
 }
 
 } // namespace serve

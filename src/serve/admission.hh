@@ -2,16 +2,30 @@
  * @file
  * KV-footprint-aware admission control.
  *
- * A request may only join the running batch if its full-horizon KV
- * cache reservation (prompt + all demanded output tokens) fits the
- * host-memory budget left after parameters. With CXL spill enabled the
- * §6 memory policy moves parameters into the CXL pool, so the DDR
- * budget — and with it the admission capacity — grows exactly as the
- * paper's Table 3 batch-size increase.
+ * Two admission disciplines share one byte account:
+ *
+ *  - Full-horizon (static / continuous / SLO-aware policies): a
+ *    request may only join the running batch if its whole-lifetime KV
+ *    reservation (prompt + all demanded output tokens) fits the
+ *    host-memory budget left after parameters.
+ *  - Optimistic (preemptive policy): a request joins once its
+ *    *current* footprint — the prompt KV its prefill will materialise
+ *    — fits under a free-space watermark; its reservation then grows
+ *    one token per decode step, and the scheduler preempts when
+ *    projected growth would breach the budget.
+ *
+ * With CXL spill enabled the §6 memory policy moves parameters into
+ * the CXL pool, so the DDR budget — and with it the admission
+ * capacity — grows exactly as the paper's Table 3 batch-size
+ * increase. The CXL capacity left after spilled parameters doubles as
+ * the swap pool preempted KV caches park in, and the pool's
+ * interleaved bandwidth prices the swap transfers.
  */
 
 #ifndef LIA_SERVE_ADMISSION_HH
 #define LIA_SERVE_ADMISSION_HH
+
+#include <cstdint>
 
 #include "hw/system.hh"
 #include "model/config.hh"
@@ -35,11 +49,23 @@ class AdmissionController
     /** Bytes currently reserved by admitted requests. */
     double reservedBytes() const { return reserved_; }
 
+    /** Bytes currently parked in the CXL swap pool. */
+    double swappedBytes() const { return swapped_; }
+
+    /** CXL bytes available for swapped-out KV caches. */
+    double swapPoolBytes() const { return swapPool_; }
+
     /** Whether the §6 policy spilled parameters to the CXL pool. */
     bool paramsInCxl() const { return paramsInCxl_; }
 
+    /** KV bytes one token of context occupies. */
+    double kvBytesPerToken() const;
+
     /** Full-horizon KV reservation of @p request, bytes. */
     double requestKvBytes(const Request &request) const;
+
+    /** KV bytes @p request's current prefill pass materialises. */
+    double promptKvBytes(const Request &request) const;
 
     /** Whether @p request ever fits (an empty engine included). */
     bool fitsAlone(const Request &request) const;
@@ -47,16 +73,49 @@ class AdmissionController
     /** Whether @p request fits on top of current reservations. */
     bool canAdmit(const Request &request) const;
 
-    /** Reserve @p request's KV footprint (records it on the request). */
+    /**
+     * Whether @p bytes more fit while leaving @p watermark of the
+     * budget free — the optimistic admission test.
+     */
+    bool fitsBytes(double bytes, double watermark = 0) const;
+
+    /** Reserve @p request's full horizon (records it on the request). */
     void reserve(Request &request);
+
+    /** Reserve only @p request's current prefill-pass footprint. */
+    void reservePrompt(Request &request);
+
+    /** Grow @p request's reservation by @p tokens of decode output. */
+    void grow(Request &request, std::int64_t tokens);
 
     /** Return @p request's reservation to the pool. */
     void release(Request &request);
+
+    // --- CXL swap account -------------------------------------------
+
+    /** Whether @p request's live KV fits in the swap pool. */
+    bool canSwapOut(const Request &request) const;
+
+    /** Move @p request's reservation DDR -> swap pool. */
+    void swapOut(Request &request);
+
+    /** Move @p request's parked bytes swap pool -> DDR (must fit). */
+    void swapIn(Request &request);
+
+    /** Seconds one direction of a swap of @p bytes occupies the pool. */
+    double swapTransferSeconds(double bytes) const;
+
+    double swapBandwidth() const { return swapBandwidth_; }
+    double swapLatency() const { return swapLatency_; }
 
   private:
     model::ModelConfig model_;
     double kvBudget_ = 0;
     double reserved_ = 0;
+    double swapped_ = 0;
+    double swapPool_ = 0;
+    double swapBandwidth_ = 0;
+    double swapLatency_ = 0;
     bool paramsInCxl_ = false;
 };
 

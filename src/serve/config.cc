@@ -15,6 +15,8 @@ toString(SchedulerPolicy policy)
         return "continuous";
       case SchedulerPolicy::SloAware:
         return "slo-aware";
+      case SchedulerPolicy::Preemptive:
+        return "preemptive";
     }
     LIA_PANIC("unknown scheduler policy");
 }
@@ -29,6 +31,10 @@ Config::validate() const
     LIA_ASSERT(contextBucket >= 1, "bad context bucket");
     LIA_ASSERT(slo.ttft >= 0 && slo.tbt >= 0 && slo.e2e >= 0,
                "negative SLO target");
+    LIA_ASSERT(prefillChunkTokens >= 0, "bad prefill chunk size");
+    LIA_ASSERT(admissionWatermark >= 0 && admissionWatermark <= 0.9,
+               "admission watermark outside [0, 0.9]");
+    LIA_ASSERT(kvBudgetCapBytes >= 0, "negative KV budget cap");
 }
 
 } // namespace serve

@@ -50,6 +50,20 @@ enum class SchedulerPolicy
      * target — trading raw completions for goodput.
      */
     SloAware,
+
+    /**
+     * Continuous batching with vLLM-style optimistic admission:
+     * requests are admitted against their *current* KV footprint
+     * (prompt only) plus a free-space watermark instead of the full
+     * output horizon. When an iteration's projected KV growth would
+     * breach the DDR budget the scheduler preempts victims
+     * last-admitted-first, choosing per victim between swapping its
+     * cache to the CXL pool (priced at the pool's interleaved
+     * bandwidth) and discarding it for a later recompute prefill
+     * (priced by the analytical engine), whichever the model says is
+     * cheaper. Raises steady-state occupancy at the same DDR budget.
+     */
+    Preemptive,
 };
 
 const char *toString(SchedulerPolicy policy);
@@ -95,6 +109,30 @@ struct Config
      * conservative estimate for far fewer cost-model evaluations.
      */
     std::int64_t contextBucket = 32;
+
+    /**
+     * Chunked prefill: largest number of prompt tokens a request may
+     * prefill in one iteration (0 = monolithic prefill). Long prompts
+     * then split across iterations and interleave with the running
+     * batch's decode steps instead of stalling them for the whole
+     * prompt. Ignored by StaticFifo (cohorts prefill together).
+     */
+    std::int64_t prefillChunkTokens = 0;
+
+    /**
+     * Preemptive admission watermark: fraction of the KV budget kept
+     * free when admitting new work optimistically, absorbing a few
+     * iterations of decode growth before preemption triggers.
+     */
+    double admissionWatermark = 0.1;
+
+    /**
+     * Operator-imposed ceiling on the KV budget, bytes (0 = derive
+     * the budget from system memory alone). Lets deployments pin the
+     * KV pool — and lets tests compare admission policies at one
+     * explicit DDR budget.
+     */
+    double kvBudgetCapBytes = 0;
 
     /** Panics on malformed settings. */
     void validate() const;

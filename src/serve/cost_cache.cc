@@ -61,5 +61,33 @@ IterationCostCache::time(model::Stage stage, std::int64_t batch,
     return estimate(stage, batch, context).time;
 }
 
+double
+IterationCostCache::chunkTime(std::int64_t batch, std::int64_t history,
+                              std::int64_t tokens) const
+{
+    LIA_ASSERT(history >= 0, "bad chunk history");
+    if (history <= 0)
+        return time(model::Stage::Prefill, batch, tokens);
+
+    // Quantise both ends of the chunk onto the context grid so nearby
+    // (history, chunk) pairs share one telescoped evaluation; keep the
+    // chunk end within the model maximum the same way bucketContext
+    // does.
+    const std::int64_t max_seq = engine_.model().maxSeqLen;
+    const std::int64_t h = std::min(bucketContext(history), max_seq - 1);
+    const std::int64_t end =
+        std::min(bucketContext(history + tokens), max_seq);
+    const std::int64_t t = std::max<std::int64_t>(end - h, 1);
+
+    const Key key{bucketBatch(batch), h, t};
+    auto it = chunkCache_.find(key);
+    if (it == chunkCache_.end()) {
+        const auto est = engine_.estimatePrefillChunk(
+            std::get<0>(key), h, t);
+        it = chunkCache_.emplace(key, est.time).first;
+    }
+    return it->second;
+}
+
 } // namespace serve
 } // namespace lia

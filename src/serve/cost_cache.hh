@@ -44,6 +44,17 @@ class IterationCostCache
                                             std::int64_t batch,
                                             std::int64_t context) const;
 
+    /**
+     * Seconds for one chunked-prefill iteration: @p tokens prompt
+     * tokens on top of @p history tokens of materialised KV, at
+     * @p batch concurrent chunks (core::EngineModel's telescoped
+     * partial-prefill price, quantised and memoised like the rest).
+     * With no history this is exactly the monolithic prefill price,
+     * so chunking-off runs are bit-identical to the legacy path.
+     */
+    double chunkTime(std::int64_t batch, std::int64_t history,
+                     std::int64_t tokens) const;
+
     /** Context rounded up to the bucket grid (model-max clamped). */
     std::int64_t bucketContext(std::int64_t context) const;
 
@@ -51,7 +62,12 @@ class IterationCostCache
     static std::int64_t bucketBatch(std::int64_t batch);
 
     /** Distinct engine evaluations performed so far. */
-    std::size_t evaluations() const { return cache_.size(); }
+    std::size_t evaluations() const
+    {
+        return cache_.size() + chunkCache_.size();
+    }
+
+    const core::EngineModel &engine() const { return engine_; }
 
   private:
     using Key = std::tuple<int, std::int64_t, std::int64_t>;
@@ -59,6 +75,7 @@ class IterationCostCache
     const core::EngineModel &engine_;
     std::int64_t contextBucket_;
     mutable std::map<Key, core::IterationEstimate> cache_;
+    mutable std::map<Key, double> chunkCache_;
 };
 
 } // namespace serve

@@ -9,6 +9,7 @@
 #include "serve/scheduler.hh"
 #include "sim/event_queue.hh"
 #include "sim/serving.hh"
+#include "sim/transfer.hh"
 #include "trace/azure.hh"
 
 namespace lia {
@@ -31,23 +32,29 @@ pricingConfig(const hw::SystemConfig &system, const Config &config)
 struct Run
 {
     const Config &config;
-    IterationCostCache &costs;
+    const IterationCostCache &costs;
     sim::EventQueue events;
     AdmissionController admission;
     Scheduler scheduler;
+    sim::TransferChannel swapChannel;
 
     std::vector<Request> requests;
-    std::vector<std::size_t> waiting;  //!< FIFO admission queue
-    std::vector<std::size_t> active;   //!< admitted, unfinished
+    std::vector<std::size_t> waiting;    //!< FIFO admission queue
+    std::vector<std::size_t> active;     //!< admitted, unfinished
+    std::vector<std::size_t> preempted;  //!< evicted, awaiting recompute
+    std::vector<std::size_t> swapped;    //!< KV parked in the CXL pool
     bool inFlight = false;
     Metrics metrics;
 
     Run(const hw::SystemConfig &system,
         const model::ModelConfig &model, const Config &cfg,
-        IterationCostCache &cost_cache)
+        const IterationCostCache &cost_cache)
         : config(cfg), costs(cost_cache),
           admission(system, model, cfg),
-          scheduler(cfg, cost_cache, admission)
+          scheduler(cfg, cost_cache, admission),
+          swapChannel(events, "ddr-cxl-swap",
+                      admission.swapBandwidth(),
+                      admission.swapLatency())
     {
     }
 
@@ -66,21 +73,63 @@ struct Run
             startIteration();
     }
 
+    /** A request emitted one token: record the inter-token gap. */
+    void
+    tokenEmitted(Request &request, double now)
+    {
+        ++metrics.tokensGenerated;
+        if (request.lastTokenTime >= 0)
+            metrics.tokenGap.add(now - request.lastTokenTime);
+        request.lastTokenTime = now;
+    }
+
+    /** The running pools must stay pairwise disjoint per request. */
+    void
+    checkStateExclusivity() const
+    {
+        for (std::size_t index : active) {
+            const RequestState s = requests[index].state;
+            LIA_ASSERT(s == RequestState::Prefilling ||
+                           s == RequestState::Decoding,
+                       "active request in state ", toString(s));
+        }
+        for (std::size_t index : preempted)
+            LIA_ASSERT(requests[index].state == RequestState::Preempted,
+                       "preempted pool holds a ",
+                       toString(requests[index].state), " request");
+        for (std::size_t index : swapped)
+            LIA_ASSERT(requests[index].state == RequestState::Swapped,
+                       "swap pool holds a ",
+                       toString(requests[index].state), " request");
+    }
+
     void
     startIteration()
     {
         const double now = events.now();
         const std::size_t depth = waiting.size();
-        IterationPlan plan =
-            scheduler.next(now, waiting, active, requests);
+        checkStateExclusivity();
+
+        SchedulerState state;
+        state.queue = waiting;
+        state.active = active;
+        state.preempted = preempted;
+        state.swappedTotal = swapped.size();
+        for (std::size_t index : swapped)
+            if (requests[index].swapReady)
+                state.swappable.push_back(index);
+
+        IterationPlan plan = scheduler.next(now, state, requests);
 
         for (std::size_t index : plan.shed) {
             requests[index].state = RequestState::Rejected;
             ++metrics.shedSlo;
         }
         for (std::size_t index : plan.admit) {
-            requests[index].state = RequestState::Prefilling;
-            requests[index].admitTime = now;
+            Request &request = requests[index];
+            request.state = RequestState::Prefilling;
+            request.admitTime = now;
+            active.push_back(index);
         }
         if (!plan.shed.empty() || !plan.admit.empty()) {
             waiting.erase(
@@ -92,20 +141,111 @@ struct Run
                 waiting.end());
         }
 
-        if (plan.idle()) {
+        // --- Preemption traffic ---------------------------------------
+        for (std::size_t index : plan.evict) {
+            Request &request = requests[index];
+            request.state = RequestState::Preempted;
+            request.prefillTarget = request.context();
+            request.prefilled = 0;
+            ++request.preemptions;
+            ++request.recomputes;
+            ++metrics.preemptions;
+            ++metrics.recomputes;
+            preempted.push_back(index);
+        }
+        for (std::size_t index : plan.swapOut) {
+            Request &request = requests[index];
+            request.state = RequestState::Swapped;
+            request.swapReady = false;
+            ++request.preemptions;
+            ++request.swapOuts;
+            ++metrics.preemptions;
+            ++metrics.swapOuts;
+            metrics.swapOutBytes += request.kvSwappedBytes;
+            swapped.push_back(index);
+            swapChannel.transfer(
+                request.kvSwappedBytes,
+                [this, index](sim::Tick) {
+                    requests[index].swapReady = true;
+                    // A drained swap-out may be the only thing the
+                    // idle engine was waiting on.
+                    if (!inFlight)
+                        startIteration();
+                });
+        }
+        if (!plan.evict.empty() || !plan.swapOut.empty()) {
+            active.erase(
+                std::remove_if(active.begin(), active.end(),
+                               [this](std::size_t index) {
+                                   const RequestState s =
+                                       requests[index].state;
+                                   return s ==
+                                              RequestState::Preempted ||
+                                          s == RequestState::Swapped;
+                               }),
+                active.end());
+        }
+        for (std::size_t index : plan.resume) {
+            requests[index].state = RequestState::Prefilling;
+            active.push_back(index);
+        }
+        if (!plan.resume.empty()) {
+            preempted.erase(
+                std::remove_if(preempted.begin(), preempted.end(),
+                               [this](std::size_t index) {
+                                   return requests[index].state !=
+                                          RequestState::Preempted;
+                               }),
+                preempted.end());
+        }
+        for (std::size_t index : plan.swapIn) {
+            // The cache streams back while this iteration computes; the
+            // request rejoins the batch when its transfer drains.
+            Request &request = requests[index];
+            ++metrics.swapIns;
+            metrics.swapInBytes += request.kvReservedBytes;
+            swapChannel.transfer(
+                request.kvReservedBytes,
+                [this, index](sim::Tick) { swapInArrived(index); });
+        }
+        if (!plan.swapIn.empty()) {
+            swapped.erase(
+                std::remove_if(swapped.begin(), swapped.end(),
+                               [this, &plan](std::size_t index) {
+                                   return std::find(
+                                              plan.swapIn.begin(),
+                                              plan.swapIn.end(),
+                                              index) !=
+                                          plan.swapIn.end();
+                               }),
+                swapped.end());
+        }
+
+        if (plan.computeIdle()) {
             inFlight = false;
+            // A bookkeeping-only round (victims out, nothing to run)
+            // replans immediately: the freed budget lets preempted
+            // work resume in the same instant. Terminates because
+            // each replan either schedules compute, goes fully idle
+            // (swap completions re-kick later), or shrinks the active
+            // set further. Fully idle rounds just wait.
+            if (!plan.idle())
+                startIteration();
             return;
         }
         inFlight = true;
 
         double duration = 0;
-        if (!plan.admit.empty()) {
-            std::int64_t prompt = 1;
-            for (std::size_t index : plan.admit)
-                prompt = std::max(prompt, requests[index].lIn);
-            duration += costs.time(
-                Stage::Prefill,
-                static_cast<std::int64_t>(plan.admit.size()), prompt);
+        if (!plan.chunks.empty()) {
+            std::int64_t tokens = 1, history = 0;
+            for (const PrefillChunk &chunk : plan.chunks) {
+                tokens = std::max(tokens, chunk.tokens);
+                history = std::max(history, chunk.history);
+            }
+            duration += costs.chunkTime(
+                static_cast<std::int64_t>(plan.chunks.size()), history,
+                tokens);
+            metrics.prefillChunks += plan.chunks.size();
         }
         if (!plan.decode.empty()) {
             std::int64_t context = 1;
@@ -118,8 +258,13 @@ struct Run
         LIA_ASSERT(duration > 0, "iteration priced at zero time");
 
         metrics.queueDepth.add(static_cast<double>(depth));
-        metrics.batchOccupancy.add(static_cast<double>(
-            active.size() + plan.admit.size()));
+        metrics.batchOccupancy.add(static_cast<double>(active.size()));
+        if (admission.kvBudgetBytes() > 0)
+            metrics.kvOccupancy.add(admission.reservedBytes() /
+                                    admission.kvBudgetBytes());
+        metrics.kvReservedPeakBytes =
+            std::max(metrics.kvReservedPeakBytes,
+                     admission.reservedBytes());
         ++metrics.iterations;
         metrics.busyTime += duration;
 
@@ -130,28 +275,52 @@ struct Run
     }
 
     void
+    swapInArrived(std::size_t index)
+    {
+        Request &request = requests[index];
+        LIA_ASSERT(request.state == RequestState::Swapped,
+                   "swap-in of a ", toString(request.state),
+                   " request");
+        request.state = RequestState::Decoding;
+        request.swapReady = false;
+        active.push_back(index);
+        if (!inFlight)
+            startIteration();
+    }
+
+    void
     completeIteration(const IterationPlan &plan)
     {
         const double now = events.now();
         for (std::size_t index : plan.decode) {
             Request &request = requests[index];
             ++request.generated;
-            ++metrics.tokensGenerated;
+            tokenEmitted(request, now);
             if (request.done())
                 finish(request, now);
         }
-        for (std::size_t index : plan.admit) {
-            Request &request = requests[index];
-            request.generated = 1;  // prefill produces the first token
-            ++metrics.tokensGenerated;
-            request.firstTokenTime = now;
-            metrics.ttft.add(request.ttft());
-            metrics.queueWait.add(request.queueWait());
-            if (request.done()) {
-                finish(request, now);
+        for (const PrefillChunk &chunk : plan.chunks) {
+            Request &request = requests[chunk.index];
+            request.prefilled += chunk.tokens;
+            if (request.inPrefill())
+                continue;
+            if (request.generated == 0) {
+                // First prefill pass done: the prompt's last forward
+                // pass emits the first output token.
+                request.generated = 1;
+                request.firstTokenTime = now;
+                tokenEmitted(request, now);
+                metrics.ttft.add(request.ttft());
+                metrics.queueWait.add(request.queueWait());
+                if (request.done()) {
+                    finish(request, now);
+                } else {
+                    request.state = RequestState::Decoding;
+                }
             } else {
+                // Recompute pass: the cache is rebuilt, generation
+                // resumes where it stopped — no new token emitted.
                 request.state = RequestState::Decoding;
-                active.push_back(index);
             }
         }
         active.erase(std::remove_if(active.begin(), active.end(),
@@ -181,9 +350,17 @@ struct Run
 ServingEngine::ServingEngine(const hw::SystemConfig &system,
                              const model::ModelConfig &model,
                              Config config)
+    : ServingEngine(system, model, std::move(config), nullptr)
+{
+}
+
+ServingEngine::ServingEngine(
+    const hw::SystemConfig &system, const model::ModelConfig &model,
+    Config config, std::shared_ptr<const IterationCostCache> shared)
     : system_(system), model_(model), config_(std::move(config)),
       engine_(system, model, pricingConfig(system, config_)),
-      costs_(engine_, config_.contextBucket)
+      costs_(engine_, config_.contextBucket),
+      shared_(std::move(shared))
 {
     config_.validate();
     model_.validate();
@@ -217,7 +394,7 @@ ServingEngine::ServingEngine(const hw::SystemConfig &system,
 Result
 ServingEngine::run()
 {
-    Run run(system_, model_, config_, costs_);
+    Run run(system_, model_, config_, costs());
     run.scheduler.setPlannerCap(plannerCap_);
 
     // Draw the arrival sequence and request shapes up front, sharing
@@ -245,11 +422,14 @@ ServingEngine::run()
     Result result;
     result.metrics = std::move(run.metrics);
     result.metrics.makespan = run.events.now();
+    result.metrics.swapBusyTime = run.swapChannel.busyTime();
     result.requests = std::move(run.requests);
     result.policy = config_.policy;
     result.paramsInCxl = run.admission.paramsInCxl();
     result.kvBudgetBytes = run.admission.kvBudgetBytes();
     result.plannerCap = plannerCap_;
+    result.kvReservedAtDrain =
+        run.admission.reservedBytes() + run.admission.swappedBytes();
     return result;
 }
 

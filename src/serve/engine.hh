@@ -4,9 +4,10 @@
  *
  * Runs the full online-inference scenario of §1/§7.2 on the DES
  * kernel: Poisson arrivals drawn from the Azure-statistics trace, an
- * iteration-level scheduler (static / continuous / SLO-aware), KV
- * admission with optional CXL spill, and every iteration priced by
- * the LIA analytical engine at the batch size it actually ran at.
+ * iteration-level scheduler (static / continuous / SLO-aware /
+ * preemptive), KV admission with optional CXL spill, chunked prefill,
+ * swap transfers on a DDR<->CXL channel, and every iteration priced
+ * by the LIA analytical engine at the batch size it actually ran at.
  * This replaces the single-request M/G/1 view (sim/serving.hh) with
  * the batch-size-dependent serving model the paper's Fig. 9 policy
  * map implies.
@@ -15,6 +16,7 @@
 #ifndef LIA_SERVE_ENGINE_HH
 #define LIA_SERVE_ENGINE_HH
 
+#include <memory>
 #include <vector>
 
 #include "core/engine.hh"
@@ -39,6 +41,12 @@ struct Result
     double kvBudgetBytes = 0;     //!< admission budget used
     std::int64_t plannerCap = 0;  //!< capacity-planner batch cap (0 = none)
 
+    /**
+     * KV bytes (DDR + swap pool) still held when the run drained.
+     * Zero unless the admission account leaked — regression-tested.
+     */
+    double kvReservedAtDrain = 0;
+
     /** Goodput against @p slo (see metrics.hh). */
     double goodputPerSecond(const SloTargets &slo) const
     {
@@ -61,6 +69,18 @@ class ServingEngine
                   const model::ModelConfig &model, Config config);
 
     /**
+     * Like the primary constructor, but pricing iterations through a
+     * caller-owned cost cache instead of a private one — deployments
+     * (and test harnesses) running many configurations of one
+     * (system, model) pair then calibrate the analytical model once.
+     * The shared cache must be built over the same system, model, and
+     * engine preset this config implies, and must outlive the engine.
+     */
+    ServingEngine(const hw::SystemConfig &system,
+                  const model::ModelConfig &model, Config config,
+                  std::shared_ptr<const IterationCostCache> shared);
+
+    /**
      * Simulate the configured request stream to completion. Runs are
      * deterministic: the same Config (seed included) yields
      * bit-identical results, and repeated calls are independent.
@@ -68,7 +88,10 @@ class ServingEngine
     Result run();
 
     const core::EngineModel &pricingEngine() const { return engine_; }
-    const IterationCostCache &costs() const { return costs_; }
+    const IterationCostCache &costs() const
+    {
+        return shared_ ? *shared_ : costs_;
+    }
     const Config &config() const { return config_; }
 
   private:
@@ -77,6 +100,7 @@ class ServingEngine
     Config config_;
     core::EngineModel engine_;
     IterationCostCache costs_;
+    std::shared_ptr<const IterationCostCache> shared_;
     std::int64_t plannerCap_ = 0;
 };
 

@@ -27,10 +27,12 @@ struct Metrics
 {
     SampleStats ttft;           //!< time-to-first-token, seconds
     SampleStats tbt;            //!< per-request mean time between tokens
+    SampleStats tokenGap;       //!< every inter-token interval (tail TBT)
     SampleStats responseTime;   //!< end-to-end seconds
     SampleStats queueWait;      //!< seconds queued before admission
     SampleStats queueDepth;     //!< waiting requests at iteration starts
     SampleStats batchOccupancy; //!< running batch size at iteration starts
+    SampleStats kvOccupancy;    //!< reserved/budget at iteration starts
 
     std::size_t completed = 0;      //!< requests fully served
     std::size_t rejectedCapacity = 0;  //!< never fit the KV budget
@@ -41,8 +43,28 @@ struct Metrics
     double makespan = 0;            //!< simulated span, seconds
     double busyTime = 0;            //!< engine-occupied seconds
 
+    // --- Preemption / chunked-prefill accounting ---------------------
+
+    std::size_t preemptions = 0;    //!< victims evicted or swapped out
+    std::size_t swapOuts = 0;       //!< preemptions served by CXL swap
+    std::size_t swapIns = 0;        //!< swapped caches restored
+    std::size_t recomputes = 0;     //!< evictions repaid by re-prefill
+    std::size_t prefillChunks = 0;  //!< chunked-prefill work items run
+    double swapOutBytes = 0;        //!< KV bytes moved DDR -> CXL
+    double swapInBytes = 0;         //!< KV bytes moved CXL -> DDR
+    double swapBusyTime = 0;        //!< swap-channel occupied seconds
+    double kvReservedPeakBytes = 0; //!< high-water KV reservation
+
     /** All requests turned away, for any reason. */
     std::size_t rejected() const { return rejectedCapacity + shedSlo; }
+
+    /** Preemptions per completed request. */
+    double preemptionRate() const
+    {
+        return completed > 0 ? static_cast<double>(preemptions) /
+                                   static_cast<double>(completed)
+                             : 0.0;
+    }
 
     /** Engine busy fraction. */
     double utilisation() const;

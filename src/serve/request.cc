@@ -15,6 +15,10 @@ toString(RequestState state)
         return "prefilling";
       case RequestState::Decoding:
         return "decoding";
+      case RequestState::Preempted:
+        return "preempted";
+      case RequestState::Swapped:
+        return "swapped";
       case RequestState::Finished:
         return "finished";
       case RequestState::Rejected:

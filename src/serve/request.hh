@@ -3,9 +3,14 @@
  * Request lifecycle model of the serving engine.
  *
  * A request moves arrive -> admit -> prefill -> per-token decode ->
- * complete (or is rejected/shed at admission). Every transition is
- * timestamped in simulated seconds so the metrics layer can report
- * TTFT, time-between-tokens, and end-to-end latency per request.
+ * complete (or is rejected/shed at admission). Under the preemptive
+ * scheduler a running request can additionally be preempted when KV
+ * pressure breaches the budget: its cache is either swapped to the
+ * CXL pool (Swapped, restored by a swap-in transfer) or discarded
+ * (Preempted, rebuilt later by a recompute prefill over prompt plus
+ * already-generated tokens). Every transition is timestamped in
+ * simulated seconds so the metrics layer can report TTFT,
+ * time-between-tokens, and end-to-end latency per request.
  */
 
 #ifndef LIA_SERVE_REQUEST_HH
@@ -22,6 +27,8 @@ enum class RequestState
     Queued,      //!< arrived, waiting for admission
     Prefilling,  //!< admitted, prompt being processed this iteration
     Decoding,    //!< generating output tokens
+    Preempted,   //!< KV evicted under pressure, awaiting recompute
+    Swapped,     //!< KV swapped to the CXL pool, awaiting swap-in
     Finished,    //!< all lOut tokens produced
     Rejected,    //!< never admitted (capacity or SLO shedding)
 };
@@ -42,12 +49,38 @@ struct Request
     double admitTime = -1;       //!< entered the running batch
     double firstTokenTime = -1;  //!< prefill completed (token 1)
     double finishTime = -1;      //!< last token produced
+    double lastTokenTime = -1;   //!< most recent token (TBT gaps)
 
-    /** KV bytes reserved for this request while admitted. */
+    /** KV bytes reserved against the DDR budget while admitted. */
     double kvReservedBytes = 0;
+
+    /** KV bytes parked in the CXL swap pool while Swapped. */
+    double kvSwappedBytes = 0;
+
+    // --- Chunked-prefill / preemption bookkeeping --------------------
+
+    /**
+     * Prompt tokens this prefill pass must process: lIn on first
+     * admission, lIn + generated after an evict-and-recompute (the
+     * generated tokens are re-prefilled to rebuild their KV).
+     */
+    std::int64_t prefillTarget = 0;
+
+    /** Prompt tokens of the current pass already processed. */
+    std::int64_t prefilled = 0;
+
+    /** Whether a swap-out transfer has drained (swap-in eligible). */
+    bool swapReady = false;
+
+    std::int64_t preemptions = 0;  //!< times evicted or swapped out
+    std::int64_t recomputes = 0;   //!< evictions repaid by re-prefill
+    std::int64_t swapOuts = 0;     //!< preemptions served by CXL swap
 
     /** Current KV context length (prompt + generated tokens). */
     std::int64_t context() const { return lIn + generated; }
+
+    /** Whether the current prefill pass is still incomplete. */
+    bool inPrefill() const { return prefilled < prefillTarget; }
 
     /** Whether all demanded tokens have been produced. */
     bool done() const { return generated >= lOut; }

@@ -1,6 +1,7 @@
 #include "serve/scheduler.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "base/logging.hh"
 
@@ -52,12 +53,59 @@ Scheduler::decodeBatchCap(std::int64_t context) const
     return lo;
 }
 
+double
+Scheduler::swapCost(const Request &request) const
+{
+    if (!admission_.canSwapOut(request))
+        return std::numeric_limits<double>::infinity();
+    // The cache crosses the DDR<->CXL channel twice: out now, back in
+    // once pressure clears.
+    return 2.0 *
+           admission_.swapTransferSeconds(request.kvReservedBytes);
+}
+
+double
+Scheduler::recomputeCost(const Request &request) const
+{
+    // Rebuilding the cache replays prompt + generated tokens as a
+    // single-sequence prefill.
+    return costs_.time(Stage::Prefill, 1,
+                       std::max<std::int64_t>(request.context(), 1));
+}
+
+void
+Scheduler::addChunk(IterationPlan &plan, std::size_t index,
+                    const Request &request) const
+{
+    std::int64_t remaining = request.prefillTarget - request.prefilled;
+    LIA_ASSERT(remaining > 0, "chunk for a completed prefill");
+    if (config_.prefillChunkTokens > 0 &&
+        config_.policy != SchedulerPolicy::StaticFifo)
+        remaining = std::min(remaining, config_.prefillChunkTokens);
+    plan.chunks.push_back({index, remaining, request.prefilled});
+}
+
 IterationPlan
 Scheduler::next(double now, const std::vector<std::size_t> &queue,
                 const std::vector<std::size_t> &active,
                 std::vector<Request> &requests)
 {
+    SchedulerState state;
+    state.queue = queue;
+    state.active = active;
+    return next(now, state, requests);
+}
+
+IterationPlan
+Scheduler::next(double now, const SchedulerState &state,
+                std::vector<Request> &requests)
+{
+    if (config_.policy == SchedulerPolicy::Preemptive)
+        return nextPreemptive(state, requests);
+
     IterationPlan plan;
+    const std::vector<std::size_t> &queue = state.queue;
+    const std::vector<std::size_t> &active = state.active;
 
     if (config_.policy == SchedulerPolicy::StaticFifo) {
         if (!active.empty()) {
@@ -77,18 +125,27 @@ Scheduler::next(double now, const std::vector<std::size_t> &queue,
             if (!admission_.canAdmit(request))
                 break;  // FIFO: the head of the line blocks
             admission_.reserve(request);
+            request.prefillTarget = request.lIn;
             plan.admit.push_back(index);
+            addChunk(plan, index, request);
         }
         staticCohort_ = static_cast<std::int64_t>(plan.admit.size());
         plan.batchCap = config_.maxBatch;
         return plan;
     }
 
-    // Continuous batching: every unfinished admitted request decodes
-    // one token per iteration; the batch is topped up from the queue.
+    // Continuous batching: every decoding request takes one token per
+    // iteration, in-flight prefills continue their chunks, and the
+    // batch is topped up from the queue.
     const bool slo = config_.policy == SchedulerPolicy::SloAware;
-    plan.decode = active;
-    plan.decodePriceBatch = static_cast<std::int64_t>(active.size());
+    for (std::size_t index : active) {
+        if (requests[index].inPrefill())
+            addChunk(plan, index, requests[index]);
+        else
+            plan.decode.push_back(index);
+    }
+    plan.decodePriceBatch =
+        static_cast<std::int64_t>(plan.decode.size());
 
     std::int64_t cap = config_.maxBatch;
     if (slo && plannerCap_ > 0)
@@ -97,7 +154,7 @@ Scheduler::next(double now, const std::vector<std::size_t> &queue,
         // Cap growth where the *next* decode step would overshoot the
         // time-between-tokens budget.
         std::int64_t context = 1;
-        for (std::size_t index : active)
+        for (std::size_t index : plan.decode)
             context =
                 std::max(context, requests[index].context() + 1);
         cap = std::min(cap, decodeBatchCap(context));
@@ -134,8 +191,120 @@ Scheduler::next(double now, const std::vector<std::size_t> &queue,
             }
         }
         admission_.reserve(request);
+        request.prefillTarget = request.lIn;
         widest_prompt = std::max(widest_prompt, request.lIn);
         plan.admit.push_back(index);
+        addChunk(plan, index, request);
+    }
+    return plan;
+}
+
+IterationPlan
+Scheduler::nextPreemptive(const SchedulerState &state,
+                          std::vector<Request> &requests)
+{
+    IterationPlan plan;
+    plan.batchCap = config_.maxBatch;
+
+    // Split the running batch into decode candidates and in-flight
+    // prefills (whose KV is already reserved and does not grow).
+    std::vector<std::size_t> decode;
+    std::vector<std::size_t> prefilling;
+    for (std::size_t index : state.active) {
+        if (requests[index].inPrefill())
+            prefilling.push_back(index);
+        else
+            decode.push_back(index);
+    }
+
+    // --- Preemption: make this iteration's KV growth fit -------------
+    // Each decode step appends one token of KV per sequence. Victims
+    // leave last-admitted-first (active order is admission order), and
+    // each picks the cheaper exit per the analytical model: swap both
+    // ways across the CXL pool vs a single-sequence recompute prefill.
+    const double per_token = admission_.kvBytesPerToken();
+    while (!decode.empty() &&
+           admission_.reservedBytes() +
+                   static_cast<double>(decode.size()) * per_token >
+               admission_.kvBudgetBytes()) {
+        const std::size_t victim = decode.back();
+        decode.pop_back();
+        Request &request = requests[victim];
+        if (swapCost(request) <= recomputeCost(request)) {
+            admission_.swapOut(request);
+            plan.swapOut.push_back(victim);
+        } else {
+            admission_.release(request);
+            plan.evict.push_back(victim);
+        }
+    }
+    for (std::size_t index : decode)
+        admission_.grow(requests[index], 1);
+    plan.decode = std::move(decode);
+    plan.decodePriceBatch =
+        static_cast<std::int64_t>(plan.decode.size());
+
+    for (std::size_t index : prefilling)
+        addChunk(plan, index, requests[index]);
+
+    auto occupancy = [&]() {
+        return static_cast<std::int64_t>(
+            plan.decode.size() + plan.chunks.size() +
+            plan.swapIn.size());
+    };
+
+    // --- Victim re-entry: swapped caches first, then recomputes ------
+    // Only when this round preempted nobody (otherwise the freed bytes
+    // would bounce straight back) and always against the full budget —
+    // the watermark gates new work, not returning work.
+    const bool stable = plan.swapOut.empty() && plan.evict.empty();
+    if (stable) {
+        for (std::size_t index : state.swappable) {
+            if (occupancy() >= config_.maxBatch)
+                break;
+            Request &request = requests[index];
+            if (!admission_.fitsBytes(request.kvSwappedBytes))
+                break;  // FIFO: oldest swap-out returns first
+            admission_.swapIn(request);
+            plan.swapIn.push_back(index);
+        }
+        for (std::size_t index : state.preempted) {
+            if (occupancy() >= config_.maxBatch)
+                break;
+            Request &request = requests[index];
+            if (!admission_.fitsBytes(admission_.promptKvBytes(request)))
+                break;
+            admission_.reservePrompt(request);
+            plan.resume.push_back(index);
+            addChunk(plan, index, request);
+        }
+    }
+
+    // --- Optimistic admission ----------------------------------------
+    // New requests join against their prompt footprint plus the
+    // watermark, and only while no victim is waiting to return —
+    // otherwise fresh arrivals would starve preempted work forever.
+    if (stable && state.preempted.empty() && state.swappedTotal == 0) {
+        for (std::size_t index : state.queue) {
+            if (occupancy() >= config_.maxBatch)
+                break;
+            Request &request = requests[index];
+            request.prefillTarget = request.lIn;
+            // Starvation guard: an empty engine admits its queue head
+            // unconditionally (fitsAlone held at arrival) — otherwise
+            // a prompt wider than (1 - watermark) of the budget would
+            // block the queue forever.
+            const double watermark =
+                occupancy() == 0 && admission_.reservedBytes() == 0
+                    ? 0.0
+                    : config_.admissionWatermark;
+            if (!admission_.fitsBytes(admission_.promptKvBytes(request),
+                                      watermark))
+                break;  // FIFO: no skip-ahead past a blocked head
+            admission_.reservePrompt(request);
+            plan.admit.push_back(index);
+            addChunk(plan, index, request);
+        }
     }
     return plan;
 }

@@ -4,16 +4,25 @@
  *
  * Between engine iterations the scheduler decides which queued
  * requests join the running batch (FIFO, KV-admission gated) and which
- * active requests take a decode step. Three disciplines are
+ * active requests take a decode step. Four disciplines are
  * implemented: the static FIFO baseline (cohorts run to completion,
- * finished slots wasted), plain continuous batching, and an SLO-aware
+ * finished slots wasted), plain continuous batching, an SLO-aware
  * variant that caps decode-batch growth from the engine's latency
  * estimates and sheds requests that can no longer meet their TTFT
- * target.
+ * target, and a preemption-capable variant with vLLM-style optimistic
+ * admission that swaps or evicts victims when projected KV growth
+ * breaches the budget — choosing swap-to-CXL vs evict-and-recompute
+ * by whichever the analytical model prices cheaper.
+ *
+ * Prefill work is expressed as chunks: a monolithic prefill is one
+ * full-prompt chunk, and with Config::prefillChunkTokens set, long
+ * prompts split across iterations and interleave with the running
+ * batch's decode steps.
  *
  * The scheduler is pure decision logic over request indices — no
  * simulated time advances here — so its invariants (FIFO order, batch
- * and KV caps, SLO caps) are unit-testable without the DES.
+ * and KV caps, SLO caps, preemption accounting) are unit-testable
+ * without the DES.
  */
 
 #ifndef LIA_SERVE_SCHEDULER_HH
@@ -31,17 +40,40 @@
 namespace lia {
 namespace serve {
 
+/** One chunked-prefill work item of an iteration. */
+struct PrefillChunk
+{
+    std::size_t index = 0;      //!< request being prefilled
+    std::int64_t tokens = 0;    //!< prompt tokens processed this chunk
+    std::int64_t history = 0;   //!< KV tokens materialised before it
+};
+
 /** One iteration's worth of scheduling decisions. */
 struct IterationPlan
 {
-    /** Queue indices admitted this iteration (prefilled together). */
+    /** Queue indices admitted this iteration (enter prefill). */
     std::vector<std::size_t> admit;
 
     /** Queue indices shed by SLO admission control (rejected). */
     std::vector<std::size_t> shed;
 
+    /** Preempted indices resuming their recompute prefill. */
+    std::vector<std::size_t> resume;
+
+    /** Prefill work items executed this iteration. */
+    std::vector<PrefillChunk> chunks;
+
     /** Active indices taking one decode step. */
     std::vector<std::size_t> decode;
+
+    /** Victims whose KV moves to the CXL swap pool this iteration. */
+    std::vector<std::size_t> swapOut;
+
+    /** Victims whose KV is discarded for a later recompute. */
+    std::vector<std::size_t> evict;
+
+    /** Swapped indices whose KV transfers back to DDR. */
+    std::vector<std::size_t> swapIn;
 
     /**
      * Batch size the decode part is priced at. Equals decode.size()
@@ -53,8 +85,34 @@ struct IterationPlan
     /** Batch cap in force when the plan was made (for reporting). */
     std::int64_t batchCap = 0;
 
-    /** Whether the iteration performs no work. */
-    bool idle() const { return admit.empty() && decode.empty(); }
+    /** Whether the iteration performs no compute work. */
+    bool computeIdle() const { return chunks.empty() && decode.empty(); }
+
+    /** Whether the iteration performs no work at all. */
+    bool idle() const
+    {
+        return computeIdle() && swapOut.empty() && evict.empty() &&
+               swapIn.empty();
+    }
+};
+
+/** Scheduler view of the request pools at an iteration boundary. */
+struct SchedulerState
+{
+    /** Waiting request indices, FIFO order. */
+    std::vector<std::size_t> queue;
+
+    /** Admitted unfinished indices (Prefilling or Decoding). */
+    std::vector<std::size_t> active;
+
+    /** Evicted indices awaiting a recompute slot, FIFO order. */
+    std::vector<std::size_t> preempted;
+
+    /** Swapped indices whose swap-out drained (swap-in eligible). */
+    std::vector<std::size_t> swappable;
+
+    /** All swapped-out requests, drained or not. */
+    std::size_t swappedTotal = 0;
 };
 
 /** Batch-composition policy engine. */
@@ -68,11 +126,15 @@ class Scheduler
      * Decide the next iteration.
      *
      * @param now       current simulated time (drives SLO shedding)
-     * @param queue     waiting request indices, FIFO order
-     * @param active    admitted unfinished request indices
+     * @param state     queue / active / preempted / swapped pools
      * @param requests  backing store; admitted requests get their KV
-     *                  reserved here
+     *                  reserved here, victims get theirs released or
+     *                  moved to the swap account
      */
+    IterationPlan next(double now, const SchedulerState &state,
+                       std::vector<Request> &requests);
+
+    /** Convenience overload for queue+active-only call sites. */
     IterationPlan next(double now,
                        const std::vector<std::size_t> &queue,
                        const std::vector<std::size_t> &active,
@@ -85,11 +147,27 @@ class Scheduler
      */
     std::int64_t decodeBatchCap(std::int64_t context) const;
 
+    /**
+     * Analytical preemption pricing: seconds to swap @p request's
+     * live KV out and eventually back in (both directions on the CXL
+     * pool bandwidth), vs seconds to recompute its context with a
+     * single-sequence prefill. Used to pick each victim's exit.
+     */
+    double swapCost(const Request &request) const;
+    double recomputeCost(const Request &request) const;
+
     /** Static cap from the capacity planner (0 disables). */
     void setPlannerCap(std::int64_t cap);
     std::int64_t plannerCap() const { return plannerCap_; }
 
   private:
+    /** Append @p index's next prefill chunk to @p plan. */
+    void addChunk(IterationPlan &plan, std::size_t index,
+                  const Request &request) const;
+
+    IterationPlan nextPreemptive(const SchedulerState &state,
+                                 std::vector<Request> &requests);
+
     const Config &config_;
     const IterationCostCache &costs_;
     AdmissionController &admission_;

@@ -1,0 +1,36 @@
+#include "sim/transfer.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace sim {
+
+TransferChannel::TransferChannel(EventQueue &queue, std::string name,
+                                 double bandwidth, double latency)
+    : queue_(queue), resource_(queue, std::move(name)),
+      bandwidth_(bandwidth), latency_(latency)
+{
+    LIA_ASSERT(bandwidth >= 0, "negative channel bandwidth");
+    LIA_ASSERT(latency >= 0, "negative channel latency");
+}
+
+double
+TransferChannel::transferTime(double bytes) const
+{
+    LIA_ASSERT(bandwidth_ > 0, resource_.name(),
+               ": transfer on a zero-bandwidth channel");
+    LIA_ASSERT(bytes >= 0, "negative transfer size");
+    return latency_ + bytes / bandwidth_;
+}
+
+void
+TransferChannel::transfer(double bytes, std::function<void(Tick)> done)
+{
+    resource_.submit(queue_.now(), transferTime(bytes),
+                     std::move(done));
+}
+
+} // namespace sim
+} // namespace lia

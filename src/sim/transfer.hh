@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bandwidth-priced transfer channel on the DES kernel.
+ *
+ * A TransferChannel turns byte counts into occupancy time on a
+ * serially-shared link (DDR <-> CXL swap traffic, host <-> device
+ * staging): transfers queue FIFO on the underlying Resource and their
+ * completion callbacks fire on the event queue, so data movement
+ * overlaps simulated compute exactly as DMA overlaps real kernels.
+ */
+
+#ifndef LIA_SIM_TRANSFER_HH
+#define LIA_SIM_TRANSFER_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/resource.hh"
+
+namespace lia {
+namespace sim {
+
+/** One serially-shared, bandwidth-priced data channel. */
+class TransferChannel
+{
+  public:
+    /**
+     * @param queue      event queue driving completions
+     * @param name       channel name (for breakdowns)
+     * @param bandwidth  effective bytes/second (> 0 to transfer)
+     * @param latency    per-transfer setup latency, seconds
+     */
+    TransferChannel(EventQueue &queue, std::string name,
+                    double bandwidth, double latency = 0);
+
+    /** Seconds one transfer of @p bytes occupies the channel. */
+    double transferTime(double bytes) const;
+
+    /**
+     * Enqueue a transfer of @p bytes; @p done fires at completion
+     * with the completion time. FIFO behind in-flight transfers.
+     */
+    void transfer(double bytes, std::function<void(Tick)> done);
+
+    /** Whether the channel can move data at all. */
+    bool usable() const { return bandwidth_ > 0; }
+
+    double bandwidth() const { return bandwidth_; }
+    double busyTime() const { return resource_.busyTime(); }
+    const std::string &name() const { return resource_.name(); }
+
+  private:
+    EventQueue &queue_;
+    Resource resource_;
+    double bandwidth_;
+    double latency_;
+};
+
+} // namespace sim
+} // namespace lia
+
+#endif // LIA_SIM_TRANSFER_HH

@@ -142,6 +142,56 @@ TEST(ServingEngineTest, CxlSpillRaisesTheAdmissionBudget)
     EXPECT_GT(spill.kvBudgetBytes, plain.kvBudgetBytes);
 }
 
+/**
+ * Regression: shed and completed requests must hand their reserved KV
+ * bytes back — across every policy the admission account balances to
+ * zero once the run drains, even under heavy SLO shedding and under
+ * preemption churn (swap-outs included: the swap pool must also be
+ * empty at drain).
+ */
+TEST(ServingEngineTest, KvAccountBalancesToZeroAtDrain)
+{
+    const serve::SchedulerPolicy policies[] = {
+        serve::SchedulerPolicy::StaticFifo,
+        serve::SchedulerPolicy::Continuous,
+        serve::SchedulerPolicy::SloAware,
+        serve::SchedulerPolicy::Preemptive,
+    };
+    for (const auto policy : policies) {
+        auto cfg = baseConfig();
+        cfg.policy = policy;
+        cfg.arrivalRatePerSecond = 1.5;   // deep queueing
+        cfg.maxBatch = 8;
+        if (policy == serve::SchedulerPolicy::SloAware) {
+            // Tight targets so a large fraction of requests is shed
+            // after their KV-free wait, not admitted-and-completed.
+            cfg.slo.ttft = 2.0;
+            cfg.slo.tbt = 0.2;
+        }
+        if (policy == serve::SchedulerPolicy::Preemptive) {
+            // Budget small enough that decode growth forces
+            // preemptions (both exits move bytes around the account).
+            cfg.kvBudgetCapBytes = 6e9;
+            cfg.prefillChunkTokens = 128;
+        }
+        SCOPED_TRACE(testing::Message()
+                     << "policy " << static_cast<int>(policy));
+        const auto result = run(cfg);
+        EXPECT_NEAR(result.kvReservedAtDrain, 0.0, 1.0);
+        EXPECT_EQ(result.metrics.swapIns, result.metrics.swapOuts);
+        for (const auto &request : result.requests) {
+            EXPECT_DOUBLE_EQ(request.kvReservedBytes, 0.0);
+            EXPECT_DOUBLE_EQ(request.kvSwappedBytes, 0.0);
+        }
+        if (policy == serve::SchedulerPolicy::SloAware) {
+            EXPECT_GT(result.metrics.shedSlo, 0u);
+        }
+        if (policy == serve::SchedulerPolicy::Preemptive) {
+            EXPECT_GT(result.metrics.preemptions, 0u);
+        }
+    }
+}
+
 TEST(ServingEngineTest, GoodputNeverExceedsCompletions)
 {
     auto cfg = baseConfig();

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Property-based fuzzer for the serving scheduler stack.
+ *
+ * Drives randomized scenarios (arrival rate, trace family, batch
+ * ceiling, prefill chunking, admission watermark, KV budget cap, seed)
+ * through all four scheduling policies and asserts the invariants that
+ * must hold regardless of configuration:
+ *
+ *  - the KV reservation never exceeds the budget (peak and occupancy);
+ *  - the byte account balances to zero when the run drains, with every
+ *    swap-out matched by a swap-in;
+ *  - every request reaches a terminal state — preempted or swapped
+ *    work eventually completes (or was shed before admission);
+ *  - equal seeds produce bit-identical runs.
+ *
+ * Scenario count scales with the LIA_PROPERTY_SCENARIOS environment
+ * variable (total scenarios = configurations x 4 policies; the nightly
+ * CI job raises it well past the default ~1k). Mid-run invariants
+ * (pool exclusivity, non-negative balances) are LIA_ASSERT-enforced
+ * inside the engine, so any violation aborts the fuzzer loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "serve/engine.hh"
+
+namespace {
+
+using namespace lia;
+using serve::RequestState;
+using serve::SchedulerPolicy;
+
+constexpr SchedulerPolicy kPolicies[] = {
+    SchedulerPolicy::StaticFifo,
+    SchedulerPolicy::Continuous,
+    SchedulerPolicy::SloAware,
+    SchedulerPolicy::Preemptive,
+};
+
+/** Scenario configurations to fuzz (each runs all four policies). */
+std::size_t
+configurations()
+{
+    if (const char *env = std::getenv("LIA_PROPERTY_SCENARIOS")) {
+        const long scenarios = std::atol(env);
+        if (scenarios > 0)
+            return (static_cast<std::size_t>(scenarios) + 3) / 4;
+    }
+    return 260;  // 1040 scenarios
+}
+
+/**
+ * Fuzz both the CXL deployment (swap-to-CXL available) and the plain
+ * DDR one (no swap pool, so every preemption must take the
+ * evict-and-recompute exit).
+ */
+const hw::SystemConfig &
+system(bool cxl)
+{
+    static const hw::SystemConfig with = hw::withCxl(hw::sprA100());
+    static const hw::SystemConfig without = hw::sprA100();
+    return cxl ? with : without;
+}
+
+/**
+ * One analytical engine + cost cache per system, shared by every
+ * scenario: the fuzzer prices thousands of runs of the same
+ * (system, model) pair, so calibrating per run would dominate the
+ * test. Must mirror the pricing preset ServingEngine builds
+ * internally.
+ */
+std::shared_ptr<const serve::IterationCostCache>
+sharedCosts(bool cxl)
+{
+    static const auto make = [](bool has_cxl) {
+        core::EngineConfig cfg;
+        cfg.costOptions.executionAwareObjective = true;
+        cfg.autoMemoryPolicy = has_cxl;  // cxlSpill needs a CXL pool
+        static std::vector<std::unique_ptr<core::EngineModel>> keep;
+        keep.push_back(std::make_unique<core::EngineModel>(
+            system(has_cxl), model::opt30b(), cfg));
+        return std::make_shared<const serve::IterationCostCache>(
+            *keep.back(), 32);
+    };
+    static const auto with = make(true);
+    static const auto without = make(false);
+    return cxl ? with : without;
+}
+
+serve::Config
+randomConfig(std::mt19937_64 &rng)
+{
+    serve::Config cfg;
+    cfg.arrivalRatePerSecond =
+        std::uniform_real_distribution<double>(0.05, 4.0)(rng);
+    cfg.requests =
+        std::uniform_int_distribution<std::size_t>(8, 48)(rng);
+    cfg.seed = std::uniform_int_distribution<std::uint64_t>(
+        1, 1u << 30)(rng);
+
+    const trace::TraceKind traces[] = {trace::TraceKind::Code,
+                                       trace::TraceKind::Conversation,
+                                       trace::TraceKind::Mixed};
+    cfg.trace = traces[std::uniform_int_distribution<int>(0, 2)(rng)];
+
+    const std::int64_t contexts[] = {512, 1024, 2048};
+    cfg.maxContext =
+        contexts[std::uniform_int_distribution<int>(0, 2)(rng)];
+
+    const std::int64_t batches[] = {2, 4, 8, 16, 32};
+    cfg.maxBatch =
+        batches[std::uniform_int_distribution<int>(0, 4)(rng)];
+
+    const std::int64_t chunks[] = {0, 64, 256};
+    cfg.prefillChunkTokens =
+        chunks[std::uniform_int_distribution<int>(0, 2)(rng)];
+
+    const double watermarks[] = {0.0, 0.1, 0.3};
+    cfg.admissionWatermark =
+        watermarks[std::uniform_int_distribution<int>(0, 2)(rng)];
+
+    // Caps small enough that decode growth genuinely breaches the
+    // budget (forcing preemption / blocked admission), mixed with the
+    // uncapped default; the smallest also rejects wide requests
+    // outright at arrival (a 2048-token horizon is ~2.8 GB of KV).
+    const double caps[] = {0.0, 2e9, 4e9, 8e9, 16e9};
+    cfg.kvBudgetCapBytes =
+        caps[std::uniform_int_distribution<int>(0, 4)(rng)];
+
+    // SLO targets sometimes in force (e2e stays off: the capacity
+    // planner would re-run per scenario and dominate the fuzzer).
+    if (std::uniform_int_distribution<int>(0, 1)(rng)) {
+        cfg.slo.ttft =
+            std::uniform_real_distribution<double>(1.0, 20.0)(rng);
+        cfg.slo.tbt =
+            std::uniform_real_distribution<double>(0.05, 0.5)(rng);
+    }
+    return cfg;
+}
+
+serve::Result
+run(const serve::Config &cfg, bool cxl)
+{
+    serve::ServingEngine engine(system(cxl), model::opt30b(), cfg,
+                                sharedCosts(cxl));
+    return engine.run();
+}
+
+void
+checkInvariants(const serve::Result &result, const serve::Config &cfg)
+{
+    const auto &mx = result.metrics;
+
+    // --- Budget: reservations never exceeded it ----------------------
+    EXPECT_LE(mx.kvReservedPeakBytes,
+              result.kvBudgetBytes * (1.0 + 1e-12));
+    if (mx.kvOccupancy.count() > 0) {
+        EXPECT_LE(mx.kvOccupancy.max(), 1.0 + 1e-12);
+    }
+    if (cfg.kvBudgetCapBytes > 0) {
+        EXPECT_LE(result.kvBudgetBytes, cfg.kvBudgetCapBytes);
+    }
+
+    // --- Drain: the byte account balances to zero --------------------
+    EXPECT_NEAR(result.kvReservedAtDrain, 0.0, 1.0);
+    EXPECT_EQ(mx.swapIns, mx.swapOuts);  // every swap-out came back
+
+    // --- Termination: everyone completes or is shed ------------------
+    EXPECT_EQ(mx.completed + mx.rejected(), result.requests.size());
+    for (const auto &request : result.requests) {
+        if (request.state == RequestState::Finished) {
+            EXPECT_EQ(request.generated, request.lOut);
+            EXPECT_EQ(request.prefilled, request.prefillTarget);
+            EXPECT_DOUBLE_EQ(request.kvReservedBytes, 0.0);
+            EXPECT_DOUBLE_EQ(request.kvSwappedBytes, 0.0);
+            EXPECT_LE(request.arrival, request.admitTime);
+            EXPECT_LE(request.admitTime, request.firstTokenTime);
+            EXPECT_LE(request.firstTokenTime, request.finishTime);
+            EXPECT_EQ(request.preemptions,
+                      request.recomputes + request.swapOuts);
+        } else {
+            // Rejection happens strictly before admission, so a
+            // preempted request can never be shed mid-flight.
+            ASSERT_EQ(request.state, RequestState::Rejected);
+            EXPECT_LT(request.admitTime, 0.0);
+            EXPECT_EQ(request.preemptions, 0);
+        }
+    }
+
+    // --- Policy restrictions -----------------------------------------
+    if (cfg.policy != SchedulerPolicy::Preemptive) {
+        EXPECT_EQ(mx.preemptions, 0u);
+        EXPECT_EQ(mx.swapOuts, 0u);
+        EXPECT_EQ(mx.recomputes, 0u);
+    }
+    EXPECT_EQ(mx.preemptions, mx.swapOuts + mx.recomputes);
+}
+
+/** Bit-identical equality of two runs (the determinism property). */
+void
+expectIdentical(const serve::Result &a, const serve::Result &b)
+{
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+    EXPECT_EQ(a.metrics.iterations, b.metrics.iterations);
+    EXPECT_EQ(a.metrics.tokensGenerated, b.metrics.tokensGenerated);
+    EXPECT_EQ(a.metrics.preemptions, b.metrics.preemptions);
+    EXPECT_EQ(a.metrics.swapOuts, b.metrics.swapOuts);
+    EXPECT_EQ(a.metrics.recomputes, b.metrics.recomputes);
+    EXPECT_EQ(a.metrics.prefillChunks, b.metrics.prefillChunks);
+    EXPECT_EQ(a.metrics.makespan, b.metrics.makespan);
+    EXPECT_EQ(a.metrics.busyTime, b.metrics.busyTime);
+    EXPECT_EQ(a.metrics.swapBusyTime, b.metrics.swapBusyTime);
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        const auto &ra = a.requests[i];
+        const auto &rb = b.requests[i];
+        EXPECT_EQ(ra.state, rb.state);
+        EXPECT_EQ(ra.generated, rb.generated);
+        EXPECT_EQ(ra.preemptions, rb.preemptions);
+        EXPECT_EQ(ra.admitTime, rb.admitTime);
+        EXPECT_EQ(ra.firstTokenTime, rb.firstTokenTime);
+        EXPECT_EQ(ra.finishTime, rb.finishTime);
+    }
+}
+
+TEST(SchedulerPropertyTest, RandomizedScenariosHoldInvariants)
+{
+    std::mt19937_64 rng(0xC0FFEE);
+    const std::size_t configs = configurations();
+    std::size_t scenarios = 0;
+
+    for (std::size_t c = 0; c < configs; ++c) {
+        serve::Config cfg = randomConfig(rng);
+        const bool cxl =
+            std::uniform_int_distribution<int>(0, 3)(rng) > 0;
+        cfg.cxlSpill = cxl;
+        for (SchedulerPolicy policy : kPolicies) {
+            cfg.policy = policy;
+            SCOPED_TRACE(testing::Message()
+                         << "config " << c << " policy "
+                         << static_cast<int>(policy) << " seed "
+                         << cfg.seed << " rate "
+                         << cfg.arrivalRatePerSecond << " cap "
+                         << cfg.kvBudgetCapBytes << " chunk "
+                         << cfg.prefillChunkTokens << " cxl " << cxl);
+            const serve::Result result = run(cfg, cxl);
+            checkInvariants(result, cfg);
+            // Determinism: the preemptive path re-runs every config
+            // (it is the new machinery); legacy policies rotate.
+            if (policy == SchedulerPolicy::Preemptive ||
+                c % 4 == static_cast<std::size_t>(policy))
+                expectIdentical(result, run(cfg, cxl));
+            ++scenarios;
+            if (::testing::Test::HasFailure())
+                FAIL() << "invariant violated after " << scenarios
+                       << " scenarios";
+        }
+    }
+    RecordProperty("scenarios", static_cast<int>(scenarios));
+    EXPECT_GE(scenarios, 1000u);
+}
+
+/**
+ * The fuzzer must actually exercise the machinery it checks: across
+ * the default scenario set, preemption, both victim exits, swap-ins,
+ * chunked prefill, and capacity rejection all occur.
+ */
+TEST(SchedulerPropertyTest, ScenarioSetExercisesThePreemptionMachinery)
+{
+    std::mt19937_64 rng(0xC0FFEE);
+    const std::size_t configs = std::min<std::size_t>(
+        configurations(), 64);
+    std::size_t preemptions = 0, swapOuts = 0, recomputes = 0;
+    std::size_t swapIns = 0, chunks = 0, rejected = 0;
+    for (std::size_t c = 0; c < configs; ++c) {
+        serve::Config cfg = randomConfig(rng);
+        const bool cxl =
+            std::uniform_int_distribution<int>(0, 3)(rng) > 0;
+        cfg.cxlSpill = cxl;
+        cfg.policy = SchedulerPolicy::Preemptive;
+        const serve::Result result = run(cfg, cxl);
+        preemptions += result.metrics.preemptions;
+        swapOuts += result.metrics.swapOuts;
+        recomputes += result.metrics.recomputes;
+        swapIns += result.metrics.swapIns;
+        chunks += result.metrics.prefillChunks;
+        rejected += result.metrics.rejectedCapacity;
+    }
+    EXPECT_GT(preemptions, 0u);
+    EXPECT_GT(swapOuts, 0u);
+    EXPECT_GT(recomputes, 0u);
+    EXPECT_GT(swapIns, 0u);
+    EXPECT_GT(chunks, 0u);
+    EXPECT_GT(rejected, 0u);
+}
+
+} // namespace
