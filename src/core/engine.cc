@@ -208,6 +208,7 @@ EngineModel::estimateIteration(const IterationScenario &scenario) const
                " exceeds model maximum ", model_.maxSeqLen);
 
     IterationEstimate est;
+    est.scenario = scenario;
     CostModelOptions opts = config_.costOptions;
     const Workload workload{scenario.stage, scenario.batch,
                             scenario.context};
@@ -274,6 +275,7 @@ EngineModel::estimatePrefillChunk(std::int64_t batch,
 
     IterationEstimate full = estimateIteration(
         {Stage::Prefill, batch, history + tokens});
+    full.chunkTokens = tokens;
     if (history <= 0)
         return full;
 
@@ -292,7 +294,11 @@ EngineModel::estimatePrefillChunk(std::int64_t batch,
         // The optimizer picked cheaper policies for the longer prefill
         // than for the history alone; the difference is not a price.
         // Charge the chunk as a standalone prefill instead.
-        return estimateIteration({Stage::Prefill, batch, tokens});
+        IterationEstimate standalone =
+            estimateIteration({Stage::Prefill, batch, tokens});
+        standalone.scenario = full.scenario;
+        standalone.chunkTokens = tokens;
+        return standalone;
     }
     return chunk;
 }

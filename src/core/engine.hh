@@ -125,6 +125,17 @@ struct IterationEstimate
     double pcieBytes = 0;
     MemoryPlacement placement;
     ResidencyPlan residency;
+
+    /**
+     * The operating point this estimate priced — plan introspection
+     * for callers that execute or cross-check priced iterations (the
+     * runtime-backed serving path asserts the executed stage, batch,
+     * and context against it). For a chunked prefill, context is the
+     * chunk's end position (history + tokens) and chunkTokens the
+     * tokens the chunk itself processes; chunkTokens == 0 otherwise.
+     */
+    IterationScenario scenario;
+    std::int64_t chunkTokens = 0;
 };
 
 /** LIA's end-to-end analytical engine. */

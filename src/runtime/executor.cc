@@ -218,8 +218,8 @@ CooperativeExecutor::chargeSublayer(int index, Stage stage,
 }
 
 Tensor
-CooperativeExecutor::forwardLayers(Tensor hidden, Stage stage,
-                                   std::int64_t batch,
+CooperativeExecutor::forwardLayers(KvCache &cache, Tensor hidden,
+                                   Stage stage, std::int64_t batch,
                                    std::int64_t tokens)
 {
     const auto &cfg = weights_.config;
@@ -227,9 +227,9 @@ CooperativeExecutor::forwardLayers(Tensor hidden, Stage stage,
                                ? config_.prefillPolicy
                                : config_.decodePolicy;
     // Context length the attention sublayers operate on, including the
-    // tokens this step appends (decode reads the grown cache).
-    const std::int64_t context =
-        stage == Stage::Prefill ? tokens : cache_->length() + tokens;
+    // tokens this step appends (decode — and a chunked prefill
+    // extending existing history — read the grown cache).
+    const std::int64_t context = cache.length() + tokens;
 
     for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
         const auto &w = weights_.layers[static_cast<std::size_t>(l)];
@@ -241,13 +241,13 @@ CooperativeExecutor::forwardLayers(Tensor hidden, Stage stage,
         Tensor q = matmul(normed, w.wq, w.bq, kernelOpts_);
         Tensor k = matmul(normed, w.wk, w.bk, kernelOpts_);
         Tensor v = matmul(normed, w.wv, w.bv, kernelOpts_);
-        cache_->append(l, k.reshaped({batch, tokens, cfg.kvDim()}),
-                       v.reshaped({batch, tokens, cfg.kvDim()}));
+        cache.append(l, k.reshaped({batch, tokens, cfg.kvDim()}),
+                     v.reshaped({batch, tokens, cfg.kvDim()}));
         chargeSublayer(0, stage, batch, context, resident, policy);
 
         // Sublayers 2+3: attention scoring against the cache.
-        Tensor keys = cache_->keys(l);
-        Tensor values = cache_->values(l);
+        Tensor keys = cache.keys(l);
+        Tensor values = cache.values(l);
         Tensor attn = attention(q, keys, values, batch, tokens);
         chargeSublayer(1, stage, batch, context, resident, policy);
         chargeSublayer(2, stage, batch, context, resident, policy);
@@ -326,8 +326,8 @@ CooperativeExecutor::prefill(
         flat.insert(flat.end(), p.begin(), p.end());
 
     Tensor hidden = embed(flat, batch, tokens, 0);
-    hidden = forwardLayers(std::move(hidden), Stage::Prefill, batch,
-                           tokens);
+    hidden = forwardLayers(*cache_, std::move(hidden), Stage::Prefill,
+                           batch, tokens);
     return sample(hidden, batch, tokens);
 }
 
@@ -339,9 +339,35 @@ CooperativeExecutor::decodeStep(const std::vector<std::int64_t> &tokens)
     LIA_ASSERT(batch == cache_->batch(), "batch mismatch");
 
     Tensor hidden = embed(tokens, batch, 1, cache_->length());
-    hidden =
-        forwardLayers(std::move(hidden), Stage::Decode, batch, 1);
+    hidden = forwardLayers(*cache_, std::move(hidden), Stage::Decode,
+                           batch, 1);
     return sample(hidden, batch, 1);
+}
+
+std::int64_t
+CooperativeExecutor::prefillChunk(
+    KvCache &cache, const std::vector<std::int64_t> &tokens)
+{
+    LIA_ASSERT(cache.batch() == 1,
+               "per-sequence prefill wants a batch-1 cache");
+    LIA_ASSERT(!tokens.empty(), "empty prefill chunk");
+    const auto count = static_cast<std::int64_t>(tokens.size());
+    Tensor hidden = embed(tokens, 1, count, cache.length());
+    hidden = forwardLayers(cache, std::move(hidden), Stage::Prefill,
+                           1, count);
+    return sample(hidden, 1, count).front();
+}
+
+std::int64_t
+CooperativeExecutor::decodeOne(KvCache &cache, std::int64_t token)
+{
+    LIA_ASSERT(cache.batch() == 1,
+               "per-sequence decode wants a batch-1 cache");
+    LIA_ASSERT(cache.length() > 0, "decode against an empty cache");
+    Tensor hidden = embed({token}, 1, 1, cache.length());
+    hidden = forwardLayers(cache, std::move(hidden), Stage::Decode,
+                           1, 1);
+    return sample(hidden, 1, 1).front();
 }
 
 std::vector<std::vector<std::int64_t>>

@@ -73,6 +73,28 @@ class CooperativeExecutor
     generate(const std::vector<std::vector<std::int64_t>> &prompts,
              std::int64_t l_out);
 
+    // --- Per-sequence serving entry points ---------------------------
+    //
+    // The serving runtime backend interleaves many variable-length
+    // sequences, each with its own caller-owned KvCache, as the
+    // scheduler's iteration plans dictate. These run the same layer
+    // stack as the batch API against an explicit cache, so chunked
+    // prefill, decode, and recompute-after-eviction all produce
+    // bit-identical numerics to an uninterrupted run.
+
+    /**
+     * Run @p tokens of one sequence's prompt on top of @p cache's
+     * materialised history (empty cache = monolithic prefill; the
+     * token positions start at the current cache length). Returns the
+     * sampled next token of the chunk's final position — meaningful
+     * once the chunk completes the prompt.
+     */
+    std::int64_t prefillChunk(KvCache &cache,
+                              const std::vector<std::int64_t> &tokens);
+
+    /** One decode step of one sequence: feed @p token, sample the next. */
+    std::int64_t decodeOne(KvCache &cache, std::int64_t token);
+
     const TransferLedger &ledger() const { return ledger_; }
     const SimDevice &cpuDevice() const { return cpu_; }
     const SimDevice &gpuDevice() const { return gpu_; }
@@ -94,9 +116,11 @@ class CooperativeExecutor
     void resetStats();
 
   private:
-    /** Run all decoder layers over (B*T, d) hidden states. */
-    Tensor forwardLayers(Tensor hidden, model::Stage stage,
-                         std::int64_t batch, std::int64_t tokens);
+    /** Run all decoder layers over (B*T, d) hidden states against
+     *  @p cache (appending this step's KV). */
+    Tensor forwardLayers(KvCache &cache, Tensor hidden,
+                         model::Stage stage, std::int64_t batch,
+                         std::int64_t tokens);
 
     /** Gather embeddings for one step. */
     Tensor embed(const std::vector<std::int64_t> &flat_tokens,

@@ -1,5 +1,8 @@
 #include "runtime/kv_cache.hh"
 
+#include <algorithm>
+#include <cstring>
+
 #include "base/logging.hh"
 
 namespace lia {
@@ -85,6 +88,87 @@ KvCache::values(std::int64_t layer) const
 {
     LIA_ASSERT(layer >= 0 && layer < config_.numLayers, "bad layer");
     return sliceCurrent(values_[static_cast<std::size_t>(layer)]);
+}
+
+KvSnapshot
+KvCache::evict()
+{
+    LIA_ASSERT(nextLayer_ == 0 && pendingTokens_ == 0,
+               "evicting a cache mid-step (", nextLayer_,
+               " layers appended)");
+    KvSnapshot snapshot;
+    snapshot.length = length_;
+    snapshot.bytes = bf16Bytes();
+    snapshot.keys = std::move(keys_);
+    snapshot.values = std::move(values_);
+
+    keys_.clear();
+    values_.clear();
+    keys_.reserve(static_cast<std::size_t>(config_.numLayers));
+    values_.reserve(static_cast<std::size_t>(config_.numLayers));
+    for (std::int64_t l = 0; l < config_.numLayers; ++l) {
+        keys_.emplace_back(std::vector<std::int64_t>{
+            batch_, maxLen_, config_.kvDim()});
+        values_.emplace_back(std::vector<std::int64_t>{
+            batch_, maxLen_, config_.kvDim()});
+    }
+    length_ = 0;
+    return snapshot;
+}
+
+bool
+KvCache::restore(KvSnapshot &snapshot)
+{
+    if (length_ > 0 || nextLayer_ > 0 || pendingTokens_ > 0)
+        return false;  // occupied caches refuse a restore
+    if (snapshot.empty() ||
+        snapshot.keys.size() !=
+            static_cast<std::size_t>(config_.numLayers) ||
+        snapshot.values.size() != snapshot.keys.size())
+        return false;
+    if (snapshot.length > maxLen_)
+        return false;
+    for (const Tensor &k : snapshot.keys) {
+        if (k.ndim() != 3 || k.dim(0) != batch_ ||
+            k.dim(1) != maxLen_ || k.dim(2) != config_.kvDim())
+            return false;
+    }
+
+    keys_ = std::move(snapshot.keys);
+    values_ = std::move(snapshot.values);
+    length_ = snapshot.length;
+    snapshot = KvSnapshot{};
+    return true;
+}
+
+std::uint64_t
+KvCache::fingerprint(std::int64_t tokens) const
+{
+    const std::int64_t len =
+        tokens < 0 ? length_ : std::min(tokens, length_);
+    std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset
+    const auto mix = [&hash](float value) {
+        std::uint32_t bits;
+        static_assert(sizeof(bits) == sizeof(value));
+        std::memcpy(&bits, &value, sizeof(bits));
+        for (int shift = 0; shift < 32; shift += 8) {
+            hash ^= (bits >> shift) & 0xffu;
+            hash *= 1099511628211ull;
+        }
+    };
+    for (std::int64_t l = 0; l < config_.numLayers; ++l) {
+        const Tensor &kd = keys_[static_cast<std::size_t>(l)];
+        const Tensor &vd = values_[static_cast<std::size_t>(l)];
+        for (std::int64_t b = 0; b < batch_; ++b) {
+            for (std::int64_t i = 0; i < len; ++i) {
+                for (std::int64_t c = 0; c < config_.kvDim(); ++c) {
+                    mix(kd.at(b, i, c));
+                    mix(vd.at(b, i, c));
+                }
+            }
+        }
+    }
+    return hash;
 }
 
 double

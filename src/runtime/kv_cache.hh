@@ -6,11 +6,18 @@
  * decode step. The cache is the GPU-capacity pressure point that
  * motivates the paper's host-side offloading: its byte count feeds the
  * footprint checks and the transfer accounting.
+ *
+ * A cache can additionally be evicted — its contents move out as a
+ * KvSnapshot (the swap-to-CXL parking operation) or are simply
+ * discarded (evict-and-recompute) — and later restored bit-identically
+ * from the snapshot. The serving runtime backend drives these entry
+ * points from scheduler preemption decisions.
  */
 
 #ifndef LIA_RUNTIME_KV_CACHE_HH
 #define LIA_RUNTIME_KV_CACHE_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "model/config.hh"
@@ -18,6 +25,22 @@
 
 namespace lia {
 namespace runtime {
+
+/**
+ * Contents moved out of an evicted KvCache: the parked form a
+ * swapped-out cache takes while it lives in the CXL pool. The bytes
+ * field records the BF16 footprint at eviction time, so byte
+ * accounting can assert freed == restored.
+ */
+struct KvSnapshot
+{
+    std::int64_t length = 0;     //!< context tokens parked
+    double bytes = 0;            //!< BF16 bytes at eviction
+    std::vector<Tensor> keys;    //!< per layer (B, maxLen, kvDim)
+    std::vector<Tensor> values;
+
+    bool empty() const { return keys.empty(); }
+};
 
 /** Growing K/V storage for all layers of one batch. */
 class KvCache
@@ -46,6 +69,32 @@ class KvCache
 
     /** BF16 bytes currently held (K and V, all layers). */
     double bf16Bytes() const;
+
+    // --- Eviction / restoration entry points -------------------------
+
+    /**
+     * Move the stored KV out, leaving this cache empty but reusable.
+     * The snapshot's bytes equal bf16Bytes() at the call. Evicting
+     * mid-step (layers partially appended) is a bug and panics.
+     */
+    KvSnapshot evict();
+
+    /**
+     * Restore an evicted snapshot. Fails cleanly — returns false and
+     * leaves both the cache and the snapshot untouched — when the
+     * cache is not empty (a "full" cache cannot absorb a restore) or
+     * the snapshot's geometry does not match this cache.
+     */
+    bool restore(KvSnapshot &snapshot);
+
+    /**
+     * Position-ordered FNV-1a digest over the bit patterns of the
+     * first @p tokens of stored K and V (all layers); -1 digests the
+     * whole cache. Two caches holding bit-identical KV for a prefix
+     * fingerprint identically — the evict/recompute and swap/restore
+     * continuity checks rest on this.
+     */
+    std::uint64_t fingerprint(std::int64_t tokens = -1) const;
 
   private:
     Tensor sliceCurrent(const Tensor &full) const;

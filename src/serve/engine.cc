@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "core/capacity_planner.hh"
 #include "serve/admission.hh"
+#include "serve/backend.hh"
 #include "serve/scheduler.hh"
 #include "sim/event_queue.hh"
 #include "sim/serving.hh"
@@ -45,6 +46,9 @@ struct Run
     std::vector<std::size_t> swapped;    //!< KV parked in the CXL pool
     bool inFlight = false;
     Metrics metrics;
+
+    /** Optional plan executor; never influences scheduling. */
+    ExecutionBackend *backend = nullptr;
 
     Run(const hw::SystemConfig &system,
         const model::ModelConfig &model, const Config &cfg,
@@ -221,6 +225,12 @@ struct Run
                 swapped.end());
         }
 
+        // Execute the committed plan: all request pools and the
+        // admission byte account reflect it at this point, but no
+        // engine-side progress counters have advanced yet.
+        if (backend && !plan.idle())
+            backend->onPlan(plan, requests, admission);
+
         if (plan.computeIdle()) {
             inFlight = false;
             // A bookkeeping-only round (victims out, nothing to run)
@@ -304,22 +314,22 @@ struct Run
             request.prefilled += chunk.tokens;
             if (request.inPrefill())
                 continue;
-            if (request.generated == 0) {
-                // First prefill pass done: the prompt's last forward
-                // pass emits the first output token.
-                request.generated = 1;
+            // Pass complete: the pass's final forward emits one token
+            // — the first output token of a fresh prefill, or the
+            // continuation token of a recompute (the rebuilt cache's
+            // last position samples the token that follows the
+            // already-generated stream, so the recompute iteration
+            // makes the same one-token progress a decode step would).
+            ++request.generated;
+            if (request.firstTokenTime < 0) {
                 request.firstTokenTime = now;
-                tokenEmitted(request, now);
                 metrics.ttft.add(request.ttft());
                 metrics.queueWait.add(request.queueWait());
-                if (request.done()) {
-                    finish(request, now);
-                } else {
-                    request.state = RequestState::Decoding;
-                }
+            }
+            tokenEmitted(request, now);
+            if (request.done()) {
+                finish(request, now);
             } else {
-                // Recompute pass: the cache is rebuilt, generation
-                // resumes where it stopped — no new token emitted.
                 request.state = RequestState::Decoding;
             }
         }
@@ -338,6 +348,8 @@ struct Run
         request.state = RequestState::Finished;
         request.finishTime = now;
         admission.release(request);
+        if (backend)
+            backend->onFinish(request);
         ++metrics.completed;
         metrics.responseTime.add(request.responseTime());
         if (request.lOut > 1)
@@ -394,7 +406,14 @@ ServingEngine::ServingEngine(
 Result
 ServingEngine::run()
 {
+    return run(nullptr);
+}
+
+Result
+ServingEngine::run(ExecutionBackend *backend)
+{
     Run run(system_, model_, config_, costs());
+    run.backend = backend;
     run.scheduler.setPlannerCap(plannerCap_);
 
     // Draw the arrival sequence and request shapes up front, sharing
@@ -418,6 +437,8 @@ ServingEngine::run()
                             [&run, i]() { run.arrival(i); });
     }
     run.events.run();
+    if (backend)
+        backend->onDrain();
 
     Result result;
     result.metrics = std::move(run.metrics);

@@ -28,6 +28,8 @@
 namespace lia {
 namespace serve {
 
+class ExecutionBackend;
+
 /** Outcome of one serving run. */
 struct Result
 {
@@ -86,6 +88,15 @@ class ServingEngine
      * bit-identical results, and repeated calls are independent.
      */
     Result run();
+
+    /**
+     * Like run(), but additionally executing every committed iteration
+     * plan on @p backend (see backend.hh). The backend observes plans,
+     * finishes, and the drain; it must not influence scheduling — a
+     * backed run returns bit-identical Results to an analytical-only
+     * run (nullptr restores plain run() behaviour).
+     */
+    Result run(ExecutionBackend *backend);
 
     const core::EngineModel &pricingEngine() const { return engine_; }
     const IterationCostCache &costs() const

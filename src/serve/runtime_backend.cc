@@ -1,0 +1,346 @@
+#include "serve/runtime_backend.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "runtime/weights.hh"
+
+namespace lia {
+namespace serve {
+
+namespace {
+
+/** Exact-in-double byte counts still deserve a rounding guard. */
+bool
+sameBytes(double a, double b)
+{
+    return std::abs(a - b) < 0.5;
+}
+
+runtime::TransformerWeights
+synthWeights(const model::ModelConfig &model, std::uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+    return runtime::TransformerWeights::random(model, rng);
+}
+
+} // namespace
+
+RuntimeBackend::RuntimeBackend(const hw::SystemConfig &system,
+                               const model::ModelConfig &model,
+                               const Config &config)
+    : model_(model), config_(config),
+      executor_(system, synthWeights(model, config.seed),
+                runtime::ExecutorConfig{})
+{
+    model_.validate();
+    config_.validate();
+}
+
+double
+RuntimeBackend::perTokenBytes() const
+{
+    return model_.kvBytesPerToken();
+}
+
+RuntimeBackend::Sequence &
+RuntimeBackend::sequence(std::uint64_t id)
+{
+    auto it = live_.find(id);
+    LIA_ASSERT(it != live_.end(), "plan names request ", id,
+               " but the backend holds no sequence for it");
+    return it->second;
+}
+
+std::vector<std::int64_t>
+RuntimeBackend::prompt(const Request &request) const
+{
+    // Deterministic splitmix-style token synthesis from (seed, id):
+    // the analytical engine never sees token values, so any fixed
+    // stream works — it only has to be reproducible across runs.
+    std::vector<std::int64_t> tokens;
+    tokens.reserve(static_cast<std::size_t>(request.lIn));
+    std::uint64_t state =
+        config_.seed * 0xbf58476d1ce4e5b9ULL + request.id + 1;
+    for (std::int64_t i = 0; i < request.lIn; ++i) {
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        tokens.push_back(static_cast<std::int64_t>(
+            z % static_cast<std::uint64_t>(model_.vocabSize)));
+    }
+    return tokens;
+}
+
+std::vector<std::int64_t>
+RuntimeBackend::passStream(const Sequence &seq) const
+{
+    std::vector<std::int64_t> stream = seq.prompt;
+    stream.insert(stream.end(), seq.outputs.begin(), seq.outputs.end());
+    return stream;
+}
+
+void
+RuntimeBackend::onPlan(const IterationPlan &plan,
+                       const std::vector<Request> &requests,
+                       const AdmissionController &admission)
+{
+    const double perToken = perTokenBytes();
+    const bool optimistic = config_.policy == SchedulerPolicy::Preemptive;
+
+    // Preemption transitions first, mirroring the scheduler: victims
+    // freed their DDR bytes before this plan's chunks and decode grew.
+    for (std::size_t index : plan.swapOut) {
+        const Request &request = requests[index];
+        Sequence &seq = sequence(request.id);
+        LIA_ASSERT(seq.parked.empty(), "request ", request.id,
+                   " swapped out while already parked");
+        seq.parkedDigest = seq.cache->fingerprint();
+        ddrBytes_ -= seq.cache->bf16Bytes();
+        seq.parked = seq.cache->evict();
+        swapBytes_ += seq.parked.bytes;
+        LIA_ASSERT(sameBytes(seq.parked.bytes, request.kvSwappedBytes),
+                   "swap-out parked ", seq.parked.bytes,
+                   " bytes but the engine accounts ",
+                   request.kvSwappedBytes, " for request ", request.id);
+        LIA_ASSERT(request.kvReservedBytes == 0,
+                   "swapped request still holds a DDR reservation");
+        ++counters_.swapOuts;
+        counters_.swapOutBytes += seq.parked.bytes;
+    }
+
+    for (std::size_t index : plan.evict) {
+        const Request &request = requests[index];
+        Sequence &seq = sequence(request.id);
+        LIA_ASSERT(seq.parked.empty(), "evicting a parked request");
+        // The recompute pass must rebuild exactly this cache (and then
+        // one more position, which samples the continuation token).
+        seq.evictedLength = seq.cache->length();
+        seq.evictedDigest = seq.cache->fingerprint();
+        seq.recomputing = true;
+        LIA_ASSERT(seq.evictedLength == request.prefillTarget - 1,
+                   "evicted cache holds ", seq.evictedLength,
+                   " tokens but the recompute pass targets ",
+                   request.prefillTarget);
+        double freed = seq.cache->bf16Bytes();
+        runtime::KvSnapshot discarded = seq.cache->evict();
+        LIA_ASSERT(sameBytes(discarded.bytes, freed), "evict mismatch");
+        ddrBytes_ -= freed;
+        LIA_ASSERT(request.kvReservedBytes == 0,
+                   "evicted request still holds a DDR reservation");
+        ++counters_.evictions;
+    }
+
+    for (std::size_t index : plan.swapIn) {
+        const Request &request = requests[index];
+        Sequence &seq = sequence(request.id);
+        LIA_ASSERT(!seq.parked.empty(), "swap-in of request ",
+                   request.id, " with nothing parked");
+        const double bytes = seq.parked.bytes;
+        LIA_ASSERT(seq.cache->restore(seq.parked),
+                   "restoring request ", request.id,
+                   " into its empty cache failed");
+        LIA_ASSERT(seq.cache->fingerprint() == seq.parkedDigest,
+                   "request ", request.id,
+                   "'s KV changed across swap-out/swap-in");
+        swapBytes_ -= bytes;
+        ddrBytes_ += seq.cache->bf16Bytes();
+        LIA_ASSERT(sameBytes(bytes, request.kvReservedBytes),
+                   "swap-in restored ", bytes,
+                   " bytes but the engine reserved ",
+                   request.kvReservedBytes, " for request ", request.id);
+        ++counters_.swapIns;
+        counters_.swapInBytes += bytes;
+    }
+
+    for (std::size_t index : plan.admit) {
+        const Request &request = requests[index];
+        LIA_ASSERT(live_.find(request.id) == live_.end(), "request ",
+                   request.id, " admitted twice");
+        LIA_ASSERT(request.lIn + request.lOut <= model_.maxSeqLen,
+                   "request ", request.id,
+                   " exceeds the model context window");
+        Sequence seq;
+        seq.prompt = prompt(request);
+        seq.passTarget = request.prefillTarget;
+        seq.passDone = 0;
+        // The cache peaks at lIn + lOut - 1 tokens (the last decode
+        // step's KV lands before its token samples); one slot of slack
+        // keeps the bound obvious.
+        seq.cache = std::make_unique<runtime::KvCache>(
+            model_, 1, request.lIn + request.lOut);
+        live_.emplace(request.id, std::move(seq));
+    }
+
+    for (std::size_t index : plan.resume) {
+        const Request &request = requests[index];
+        Sequence &seq = sequence(request.id);
+        LIA_ASSERT(seq.recomputing, "resume of a non-evicted request");
+        LIA_ASSERT(seq.cache->length() == 0, "resumed request ",
+                   request.id, " still holds KV");
+        seq.passTarget = request.prefillTarget;
+        seq.passDone = 0;
+        LIA_ASSERT(seq.passTarget ==
+                       static_cast<std::int64_t>(seq.prompt.size() +
+                                                 seq.outputs.size()),
+                   "recompute pass target ", seq.passTarget,
+                   " != replayable stream ",
+                   seq.prompt.size() + seq.outputs.size());
+    }
+
+    for (const PrefillChunk &chunk : plan.chunks) {
+        const Request &request = requests[chunk.index];
+        Sequence &seq = sequence(request.id);
+        LIA_ASSERT(chunk.history == seq.passDone &&
+                       chunk.history == seq.cache->length(),
+                   "chunk history ", chunk.history,
+                   " does not continue request ", request.id,
+                   "'s pass (done ", seq.passDone, ", cache ",
+                   seq.cache->length(), ")");
+        LIA_ASSERT(seq.passDone + chunk.tokens <= seq.passTarget,
+                   "chunk overruns the prefill pass");
+        const std::vector<std::int64_t> stream = passStream(seq);
+        const auto first = stream.begin() + chunk.history;
+        const std::vector<std::int64_t> slice(first,
+                                              first + chunk.tokens);
+        const std::int64_t sampled =
+            executor_.prefillChunk(*seq.cache, slice);
+        seq.passDone += chunk.tokens;
+        ddrBytes_ += perToken * static_cast<double>(chunk.tokens);
+        ++counters_.prefillChunks;
+
+        if (seq.passDone < seq.passTarget)
+            continue;
+
+        // Pass complete: the final position's sample is the pass's
+        // emitted token — the first output token of a fresh prefill,
+        // the continuation token of a recompute.
+        if (seq.recomputing) {
+            LIA_ASSERT(seq.cache->fingerprint(seq.evictedLength) ==
+                           seq.evictedDigest,
+                       "recompute of request ", request.id,
+                       " did not rebuild the evicted KV bit-identically");
+            seq.recomputing = false;
+            ++counters_.recomputesVerified;
+        }
+        seq.outputs.push_back(sampled);
+        ++counters_.passCompletions;
+        if (optimistic) {
+            LIA_ASSERT(sameBytes(seq.cache->bf16Bytes(),
+                                 request.kvReservedBytes),
+                       "pass completion: cache ", seq.cache->bf16Bytes(),
+                       " bytes vs reservation ", request.kvReservedBytes);
+        }
+    }
+
+    for (std::size_t index : plan.decode) {
+        const Request &request = requests[index];
+        Sequence &seq = sequence(request.id);
+        LIA_ASSERT(request.generated ==
+                       static_cast<std::int64_t>(seq.outputs.size()),
+                   "engine counts ", request.generated,
+                   " generated tokens for request ", request.id,
+                   " but the backend holds ", seq.outputs.size());
+        const std::int64_t next =
+            executor_.decodeOne(*seq.cache, seq.outputs.back());
+        seq.outputs.push_back(next);
+        ddrBytes_ += perToken;
+        ++counters_.decodeSteps;
+        LIA_ASSERT(seq.cache->length() ==
+                       request.lIn +
+                           static_cast<std::int64_t>(
+                               seq.outputs.size()) - 1,
+                   "decode KV length diverged for request ", request.id);
+        if (optimistic) {
+            // The scheduler grew the reservation by exactly this
+            // step's token before committing the plan.
+            LIA_ASSERT(sameBytes(seq.cache->bf16Bytes(),
+                                 request.kvReservedBytes),
+                       "decode: cache ", seq.cache->bf16Bytes(),
+                       " bytes vs reservation ", request.kvReservedBytes);
+        } else {
+            LIA_ASSERT(seq.cache->bf16Bytes() <=
+                           request.kvReservedBytes + 0.5,
+                       "cache grew past the full-horizon reservation");
+        }
+    }
+
+    // Whole-account lockstep: the runtime's materialised bytes never
+    // exceed the engine's reservations (in-flight pass remainders and
+    // full-horizon slack are reserved but not yet materialised), and
+    // the parked bytes match the CXL swap account exactly.
+    double resident = 0;
+    for (const auto &entry : live_)
+        resident += entry.second.cache->bf16Bytes();
+    LIA_ASSERT(sameBytes(resident, ddrBytes_),
+               "backend byte ledger drifted from its caches");
+    LIA_ASSERT(ddrBytes_ <= admission.reservedBytes() + 0.5,
+               "runtime KV (", ddrBytes_,
+               " bytes) exceeds engine reservations (",
+               admission.reservedBytes(), ")");
+    LIA_ASSERT(sameBytes(swapBytes_, admission.swappedBytes()),
+               "swap pool: backend parks ", swapBytes_,
+               " bytes, engine accounts ", admission.swappedBytes());
+}
+
+void
+RuntimeBackend::onFinish(const Request &request)
+{
+    auto it = live_.find(request.id);
+    LIA_ASSERT(it != live_.end(), "finish of an unknown request");
+    Sequence &seq = it->second;
+    LIA_ASSERT(request.done() &&
+                   static_cast<std::int64_t>(seq.outputs.size()) ==
+                       request.lOut,
+               "request ", request.id, " finished with ",
+               seq.outputs.size(), " of ", request.lOut, " tokens");
+    LIA_ASSERT(seq.parked.empty(), "finished while swapped out");
+    LIA_ASSERT(seq.cache->length() == request.lIn + request.lOut - 1,
+               "finished request ", request.id, " holds ",
+               seq.cache->length(), " KV tokens, expected ",
+               request.lIn + request.lOut - 1);
+    LIA_ASSERT(request.kvReservedBytes == 0 &&
+                   request.kvSwappedBytes == 0,
+               "finished request still holds reservations");
+    ddrBytes_ -= seq.cache->bf16Bytes();
+    finished_.emplace(request.id, std::move(seq.outputs));
+    live_.erase(it);
+}
+
+void
+RuntimeBackend::onDrain()
+{
+    LIA_ASSERT(live_.empty(), live_.size(),
+               " sequences leaked at drain");
+    LIA_ASSERT(sameBytes(ddrBytes_, 0) && sameBytes(swapBytes_, 0),
+               "KV bytes leaked at drain: ddr ", ddrBytes_, ", swap ",
+               swapBytes_);
+}
+
+const std::vector<std::int64_t> &
+RuntimeBackend::outputs(std::uint64_t id) const
+{
+    auto it = finished_.find(id);
+    LIA_ASSERT(it != finished_.end(),
+               "no finished outputs for request ", id);
+    return it->second;
+}
+
+std::vector<std::int64_t>
+RuntimeBackend::referenceOutputs(const Request &request)
+{
+    runtime::KvCache cache(model_, 1, request.lIn + request.lOut);
+    std::vector<std::int64_t> generated;
+    generated.push_back(executor_.prefillChunk(cache, prompt(request)));
+    while (static_cast<std::int64_t>(generated.size()) < request.lOut)
+        generated.push_back(
+            executor_.decodeOne(cache, generated.back()));
+    return generated;
+}
+
+} // namespace serve
+} // namespace lia

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Runtime-backed plan execution: every scheduler-emitted iteration
+ * plan runs on the runtime:: functional stack.
+ *
+ * The backend keeps one single-sequence runtime::KvCache per admitted
+ * request and drives runtime::CooperativeExecutor through exactly the
+ * work the plan lists: chunked prefill passes (fresh and recompute),
+ * per-request decode steps, evict-and-recompute, and swap-to-CXL
+ * parking via KvCache::evict()/restore(). Prompts are synthesized
+ * deterministically from the request id, so the same served workload
+ * always decodes the same greedy token streams.
+ *
+ * The backend mirrors the engine's byte accounting token for token and
+ * LIA_ASSERTs the model-vs-runtime invariants on every plan:
+ *
+ *  - a decoding request's materialised KV is exactly
+ *    lIn + generated - 1 tokens, and under the preemptive policy its
+ *    byte count equals the engine-side reservation bit for bit;
+ *  - the parked swap bytes equal the admission controller's CXL swap
+ *    account at all times, and a restored cache fingerprints
+ *    identically to the cache that was swapped out;
+ *  - a recompute prefill rebuilds the evicted cache bit-identically
+ *    (prefix fingerprint check) before generation resumes;
+ *  - at drain no request holds live or parked KV (leak check).
+ *
+ * Any violation panics, so the property fuzzer and the differential
+ * harness fail loudly at the first diverging iteration.
+ */
+
+#ifndef LIA_SERVE_RUNTIME_BACKEND_HH
+#define LIA_SERVE_RUNTIME_BACKEND_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "runtime/executor.hh"
+#include "runtime/kv_cache.hh"
+#include "serve/backend.hh"
+#include "serve/config.hh"
+
+namespace lia {
+namespace serve {
+
+/** Executes iteration plans on the functional runtime. */
+class RuntimeBackend : public ExecutionBackend
+{
+  public:
+    /** Work actually executed, for harness cross-checks. */
+    struct Counters
+    {
+        std::uint64_t prefillChunks = 0;   //!< chunk forwards run
+        std::uint64_t passCompletions = 0; //!< prefill passes finished
+        std::uint64_t decodeSteps = 0;     //!< decode forwards run
+        std::uint64_t evictions = 0;       //!< caches discarded
+        std::uint64_t swapOuts = 0;        //!< caches parked in CXL
+        std::uint64_t swapIns = 0;         //!< caches restored
+        std::uint64_t recomputesVerified = 0;  //!< fingerprint-checked
+        double swapOutBytes = 0;
+        double swapInBytes = 0;
+
+        /** Tokens a backend must have produced for a finished run. */
+        std::uint64_t tokensProduced() const
+        {
+            return passCompletions + decodeSteps;
+        }
+    };
+
+    /**
+     * @param system  hardware the executor charges its work to
+     * @param model   served model; also sizes weights and KV caches
+     * @param config  the serving config the engine runs (policy and
+     *                seed drive the accounting discipline and the
+     *                deterministic prompt synthesis)
+     */
+    RuntimeBackend(const hw::SystemConfig &system,
+                   const model::ModelConfig &model,
+                   const Config &config);
+
+    void onPlan(const IterationPlan &plan,
+                const std::vector<Request> &requests,
+                const AdmissionController &admission) override;
+    void onFinish(const Request &request) override;
+    void onDrain() override;
+
+    /** Deterministic synthetic prompt of @p request. */
+    std::vector<std::int64_t> prompt(const Request &request) const;
+
+    /** Greedy output tokens of a finished request. */
+    const std::vector<std::int64_t> &outputs(std::uint64_t id) const;
+
+    /**
+     * Uninterrupted reference generation for @p request: one
+     * monolithic prefill plus plain decode steps on a fresh cache.
+     * Preemption, chunking, and swap must not change a request's
+     * greedy stream, so this must equal outputs(request.id).
+     */
+    std::vector<std::int64_t> referenceOutputs(const Request &request);
+
+    /** Live DDR-resident KV bytes across all sequences. */
+    double liveKvBytes() const { return ddrBytes_; }
+
+    /** KV bytes parked in the swap pool. */
+    double swappedKvBytes() const { return swapBytes_; }
+
+    const Counters &counters() const { return counters_; }
+    const runtime::CooperativeExecutor &executor() const
+    {
+        return executor_;
+    }
+
+  private:
+    /** Per-request runtime state. */
+    struct Sequence
+    {
+        std::unique_ptr<runtime::KvCache> cache;
+        std::vector<std::int64_t> prompt;
+        std::vector<std::int64_t> outputs;
+
+        std::int64_t passTarget = 0;  //!< tokens this pass prefills
+        std::int64_t passDone = 0;    //!< tokens already materialised
+
+        bool recomputing = false;         //!< pass rebuilds evicted KV
+        std::int64_t evictedLength = 0;   //!< tokens the pass restores
+        std::uint64_t evictedDigest = 0;  //!< their fingerprint
+
+        runtime::KvSnapshot parked;       //!< swapped-out contents
+        std::uint64_t parkedDigest = 0;
+    };
+
+    Sequence &sequence(std::uint64_t id);
+    double perTokenBytes() const;
+
+    /** The (prompt + generated) token stream a prefill pass replays. */
+    std::vector<std::int64_t> passStream(const Sequence &seq) const;
+
+    model::ModelConfig model_;
+    Config config_;
+    runtime::CooperativeExecutor executor_;
+
+    std::map<std::uint64_t, Sequence> live_;
+    std::map<std::uint64_t, std::vector<std::int64_t>> finished_;
+    double ddrBytes_ = 0;
+    double swapBytes_ = 0;
+    Counters counters_;
+};
+
+} // namespace serve
+} // namespace lia
+
+#endif // LIA_SERVE_RUNTIME_BACKEND_HH

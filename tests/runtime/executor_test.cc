@@ -97,6 +97,90 @@ TEST_F(ExecutorTest, DifferentSeedsChangeOutputs)
     EXPECT_NE(a.generate(prompts(), 8), b.generate(prompts(), 8));
 }
 
+// --- Per-sequence serving entry points (chunked prefill / decode) ----
+
+TEST_F(ExecutorTest, ChunkedPrefillIsBitIdenticalToMonolithic)
+{
+    CooperativeExecutor exec(sys, weights(), {});
+    const auto prompt = prompts(1, 12)[0];
+
+    KvCache whole(m, 1, 32);
+    const auto monolithic = exec.prefillChunk(whole, prompt);
+
+    // Uneven chunk boundaries; only the final chunk's sample counts.
+    KvCache pieces(m, 1, 32);
+    using Vec = std::vector<std::int64_t>;
+    exec.prefillChunk(pieces, Vec(prompt.begin(), prompt.begin() + 5));
+    exec.prefillChunk(pieces,
+                      Vec(prompt.begin() + 5, prompt.begin() + 6));
+    const auto chunked =
+        exec.prefillChunk(pieces, Vec(prompt.begin() + 6, prompt.end()));
+
+    EXPECT_EQ(chunked, monolithic);
+    EXPECT_EQ(pieces.length(), whole.length());
+    EXPECT_EQ(pieces.fingerprint(), whole.fingerprint());
+
+    // The continuations stay identical too.
+    auto a = monolithic, b = chunked;
+    for (int i = 0; i < 6; ++i) {
+        a = exec.decodeOne(whole, a);
+        b = exec.decodeOne(pieces, b);
+        EXPECT_EQ(b, a) << "diverged at continuation step " << i;
+    }
+}
+
+TEST_F(ExecutorTest, PerSequencePathMatchesTheBatchApi)
+{
+    CooperativeExecutor batch_exec(sys, weights(), {});
+    CooperativeExecutor seq_exec(sys, weights(), {});
+    const auto prompt = prompts(1, 8)[0];
+    const auto expected = batch_exec.generate({prompt}, 6)[0];
+
+    KvCache cache(m, 1, 32);
+    std::vector<std::int64_t> got;
+    got.push_back(seq_exec.prefillChunk(cache, prompt));
+    while (got.size() < expected.size())
+        got.push_back(seq_exec.decodeOne(cache, got.back()));
+    EXPECT_EQ(got, expected);
+}
+
+TEST_F(ExecutorTest, EvictAndRecomputeReproducesTheGeneration)
+{
+    CooperativeExecutor exec(sys, weights(), {});
+    const auto prompt = prompts(1, 8)[0];
+
+    // Uninterrupted reference generation.
+    KvCache straight(m, 1, 32);
+    std::vector<std::int64_t> reference;
+    reference.push_back(exec.prefillChunk(straight, prompt));
+    for (int i = 0; i < 5; ++i)
+        reference.push_back(
+            exec.decodeOne(straight, reference.back()));
+
+    // Same sequence, evicted after three tokens: replaying prompt +
+    // generated tokens rebuilds the KV bit-identically, the recompute
+    // pass's final sample is the continuation token, and decode then
+    // proceeds as if nothing happened.
+    KvCache cache(m, 1, 32);
+    std::vector<std::int64_t> out;
+    out.push_back(exec.prefillChunk(cache, prompt));
+    out.push_back(exec.decodeOne(cache, out.back()));
+    out.push_back(exec.decodeOne(cache, out.back()));
+
+    const auto parkedDigest = cache.fingerprint();
+    const auto parkedLength = cache.length();
+    (void)cache.evict();  // discard, as evict-and-recompute does
+
+    std::vector<std::int64_t> replay = prompt;
+    replay.insert(replay.end(), out.begin(), out.end());
+    out.push_back(exec.prefillChunk(cache, replay));
+    EXPECT_EQ(cache.fingerprint(parkedLength), parkedDigest);
+
+    while (out.size() < reference.size())
+        out.push_back(exec.decodeOne(cache, out.back()));
+    EXPECT_EQ(out, reference);
+}
+
 TEST_F(ExecutorTest, FullCpuPlanHasZeroTraffic)
 {
     CooperativeExecutor exec(sys, weights(), {});

@@ -112,4 +112,100 @@ TEST_F(KvCacheTest, Bf16BytesMatchFormula)
     EXPECT_DOUBLE_EQ(cache.bf16Bytes(), 2.0 * 2 * 4 * 64 * 4 * 2);
 }
 
+// --- Eviction / restoration (the serving preemption entry points) ----
+
+TEST_F(KvCacheTest, EvictFreesExactlyTheHeldBytesAndEmptiesTheCache)
+{
+    appendAllLayers(4, 1.0f);
+    appendAllLayers(1, 2.0f);
+    const double held = cache.bf16Bytes();
+
+    KvSnapshot snapshot = cache.evict();
+    EXPECT_DOUBLE_EQ(snapshot.bytes, held);
+    EXPECT_EQ(snapshot.length, 5);
+    EXPECT_FALSE(snapshot.empty());
+    EXPECT_EQ(cache.length(), 0);
+    EXPECT_DOUBLE_EQ(cache.bf16Bytes(), 0.0);
+}
+
+TEST_F(KvCacheTest, RestoreReturnsTheFreedBytesBitIdentically)
+{
+    appendAllLayers(4, 1.0f);
+    appendAllLayers(1, 2.0f);
+    const double held = cache.bf16Bytes();
+    const std::uint64_t digest = cache.fingerprint();
+
+    KvSnapshot snapshot = cache.evict();
+    ASSERT_TRUE(cache.restore(snapshot));
+    // Bytes freed match bytes restored, contents are bit-identical,
+    // and the snapshot was consumed.
+    EXPECT_DOUBLE_EQ(cache.bf16Bytes(), held);
+    EXPECT_EQ(cache.length(), 5);
+    EXPECT_EQ(cache.fingerprint(), digest);
+    EXPECT_TRUE(snapshot.empty());
+    EXPECT_EQ(cache.keys(0).at(1, 4, 5), 2.0f);
+    EXPECT_EQ(cache.values(0).at(1, 3, 5), 1.5f);
+}
+
+TEST_F(KvCacheTest, EvictedCacheRemainsUsableForRecompute)
+{
+    appendAllLayers(3, 1.0f);
+    (void)cache.evict();  // discard = evict-and-recompute exit
+    appendAllLayers(3, 4.0f);
+    EXPECT_EQ(cache.length(), 3);
+    EXPECT_EQ(cache.keys(0).at(0, 2, 0), 4.0f);
+}
+
+TEST_F(KvCacheTest, RestoreIntoAnOccupiedCacheFailsCleanly)
+{
+    appendAllLayers(2, 1.0f);
+    KvSnapshot snapshot = cache.evict();
+
+    appendAllLayers(3, 5.0f);  // cache is full again
+    const double before = cache.bf16Bytes();
+    EXPECT_FALSE(cache.restore(snapshot));
+    // Both sides untouched: the cache kept its contents, the snapshot
+    // its bytes — nothing was consumed or leaked by the failure.
+    EXPECT_EQ(cache.length(), 3);
+    EXPECT_DOUBLE_EQ(cache.bf16Bytes(), before);
+    EXPECT_FALSE(snapshot.empty());
+    EXPECT_EQ(snapshot.length, 2);
+}
+
+TEST_F(KvCacheTest, RestoreRejectsMismatchedGeometry)
+{
+    appendAllLayers(2, 1.0f);
+    KvSnapshot snapshot = cache.evict();
+
+    KvCache narrow(m, 1, 32);  // different batch width
+    EXPECT_FALSE(narrow.restore(snapshot));
+    EXPECT_FALSE(snapshot.empty());
+
+    KvCache small(m, 2, 1);    // snapshot no longer fits max_len
+    EXPECT_FALSE(small.restore(snapshot));
+    EXPECT_FALSE(snapshot.empty());
+
+    KvSnapshot empty;
+    EXPECT_FALSE(cache.restore(empty));
+}
+
+TEST_F(KvCacheTest, EvictMidStepPanics)
+{
+    detail::setThrowOnError(true);
+    cache.append(0, filled(1, 0), filled(1, 0));  // layer 0 only
+    EXPECT_THROW(cache.evict(), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST_F(KvCacheTest, FingerprintIsPrefixConsistent)
+{
+    appendAllLayers(4, 1.0f);
+    const std::uint64_t at4 = cache.fingerprint();
+    appendAllLayers(1, 9.0f);
+    // The first four tokens digest identically whatever follows; the
+    // full digests differ once contents diverge.
+    EXPECT_EQ(cache.fingerprint(4), at4);
+    EXPECT_NE(cache.fingerprint(), at4);
+}
+
 } // namespace

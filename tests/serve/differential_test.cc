@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Differential test: analytical-only vs runtime-backed serving.
+ *
+ * Runs randomized request streams through the serving engine twice —
+ * once purely analytically, once with a RuntimeBackend executing every
+ * committed iteration plan on the functional runtime stack — and
+ * asserts the two paths agree (see tests/support/differential.hh for
+ * the full property list). The per-iteration KV-lockstep invariants
+ * are LIA_ASSERT-enforced inside the backend, so any divergence aborts
+ * the run at the first bad iteration with the offending request named.
+ *
+ * Defaults to 500+ scenarios; LIA_DIFFERENTIAL_SCENARIOS scales the
+ * sweep (the nightly CI job raises it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "serve/config.hh"
+#include "support/differential.hh"
+
+namespace {
+
+using namespace lia;
+using serve::SchedulerPolicy;
+
+constexpr SchedulerPolicy kPolicies[] = {
+    SchedulerPolicy::StaticFifo,
+    SchedulerPolicy::Continuous,
+    SchedulerPolicy::SloAware,
+    SchedulerPolicy::Preemptive,
+};
+
+TEST(DifferentialTest, AnalyticalAndRuntimeBackedPathsAgree)
+{
+    const std::size_t scenarios =
+        test::envScenarioCount("LIA_DIFFERENTIAL_SCENARIOS", 500);
+    std::mt19937_64 rng(0xD1FFBEEF);
+    test::DifferentialOutcome outcome;
+
+    for (std::size_t s = 0; s < scenarios; ++s) {
+        const bool cxl =
+            std::uniform_int_distribution<int>(0, 3)(rng) > 0;
+        const double step = test::tinySharedCosts(cxl)->time(
+            model::Stage::Decode, 4, 64);
+        serve::Config cfg = test::randomTinyConfig(rng, step);
+        cfg.cxlSpill = cxl;
+        // Preemption is the differential surface of interest: run the
+        // preemptive policy every other scenario, the rest rotate.
+        cfg.policy = s % 2 == 0
+                         ? SchedulerPolicy::Preemptive
+                         : kPolicies[(s / 2) % 4];
+        SCOPED_TRACE(testing::Message()
+                     << "scenario " << s << " policy "
+                     << serve::toString(cfg.policy) << " seed "
+                     << cfg.seed << " cap " << cfg.kvBudgetCapBytes
+                     << " chunk " << cfg.prefillChunkTokens
+                     << " maxContext " << cfg.maxContext << " rate "
+                     << cfg.arrivalRatePerSecond << " cxl " << cxl);
+        test::runDifferentialScenario(cfg, cxl, outcome);
+        if (::testing::Test::HasFailure())
+            FAIL() << "differential divergence after " << s + 1
+                   << " scenarios";
+    }
+
+    RecordProperty("scenarios", static_cast<int>(outcome.scenarios));
+    EXPECT_GE(outcome.scenarios, scenarios);
+}
+
+/**
+ * The sweep must exercise the machinery it claims to verify: across
+ * the default scenario set both victim exits fire, swapped caches come
+ * back, prompts chunk, capacity rejects, and preempted completions are
+ * continuity-checked against uninterrupted references.
+ */
+TEST(DifferentialTest, SweepExercisesPreemptionAndContinuityChecks)
+{
+    const std::size_t scenarios = test::envScenarioCount(
+        "LIA_DIFFERENTIAL_SCENARIOS", 500);
+    std::mt19937_64 rng(0xD1FFBEEF);
+    test::DifferentialOutcome outcome;
+
+    for (std::size_t s = 0; s < scenarios && s < 200; ++s) {
+        const bool cxl =
+            std::uniform_int_distribution<int>(0, 3)(rng) > 0;
+        const double step = test::tinySharedCosts(cxl)->time(
+            model::Stage::Decode, 4, 64);
+        serve::Config cfg = test::randomTinyConfig(rng, step);
+        cfg.cxlSpill = cxl;
+        cfg.policy = SchedulerPolicy::Preemptive;
+        SCOPED_TRACE(testing::Message() << "scenario " << s << " seed "
+                                        << cfg.seed);
+        test::runDifferentialScenario(cfg, cxl, outcome);
+    }
+
+    EXPECT_GT(outcome.preemptions, 0u);
+    EXPECT_GT(outcome.recomputes, 0u);
+    EXPECT_GT(outcome.swapOuts, 0u);
+    EXPECT_GT(outcome.swapIns, 0u);
+    EXPECT_GT(outcome.prefillChunks, 0u);
+    EXPECT_GT(outcome.rejectedCapacity, 0u);
+    EXPECT_GT(outcome.continuityChecked, 0u);
+    EXPECT_GT(outcome.preemptedContinuityChecked, 0u);
+}
+
+} // namespace

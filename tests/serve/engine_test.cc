@@ -38,6 +38,8 @@ run(const serve::Config &cfg)
 TEST(ServingEngineTest, EveryRequestIsAccountedFor)
 {
     const auto result = run(baseConfig());
+    // A leaked KV account is a hard failure, not a tolerance.
+    ASSERT_NEAR(result.kvReservedAtDrain, 0.0, 0.5);
     EXPECT_EQ(result.metrics.completed + result.metrics.rejected(),
               result.requests.size());
     for (const auto &request : result.requests) {
@@ -177,7 +179,7 @@ TEST(ServingEngineTest, KvAccountBalancesToZeroAtDrain)
         SCOPED_TRACE(testing::Message()
                      << "policy " << static_cast<int>(policy));
         const auto result = run(cfg);
-        EXPECT_NEAR(result.kvReservedAtDrain, 0.0, 1.0);
+        ASSERT_NEAR(result.kvReservedAtDrain, 0.0, 0.5);
         EXPECT_EQ(result.metrics.swapIns, result.metrics.swapOuts);
         for (const auto &request : result.requests) {
             EXPECT_DOUBLE_EQ(request.kvReservedBytes, 0.0);

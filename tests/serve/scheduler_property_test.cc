@@ -31,6 +31,8 @@
 #include "hw/system.hh"
 #include "model/config.hh"
 #include "serve/engine.hh"
+#include "support/differential.hh"
+#include "support/serving_checks.hh"
 
 namespace {
 
@@ -154,82 +156,11 @@ run(const serve::Config &cfg, bool cxl)
     return engine.run();
 }
 
-void
-checkInvariants(const serve::Result &result, const serve::Config &cfg)
-{
-    const auto &mx = result.metrics;
-
-    // --- Budget: reservations never exceeded it ----------------------
-    EXPECT_LE(mx.kvReservedPeakBytes,
-              result.kvBudgetBytes * (1.0 + 1e-12));
-    if (mx.kvOccupancy.count() > 0) {
-        EXPECT_LE(mx.kvOccupancy.max(), 1.0 + 1e-12);
-    }
-    if (cfg.kvBudgetCapBytes > 0) {
-        EXPECT_LE(result.kvBudgetBytes, cfg.kvBudgetCapBytes);
-    }
-
-    // --- Drain: the byte account balances to zero --------------------
-    EXPECT_NEAR(result.kvReservedAtDrain, 0.0, 1.0);
-    EXPECT_EQ(mx.swapIns, mx.swapOuts);  // every swap-out came back
-
-    // --- Termination: everyone completes or is shed ------------------
-    EXPECT_EQ(mx.completed + mx.rejected(), result.requests.size());
-    for (const auto &request : result.requests) {
-        if (request.state == RequestState::Finished) {
-            EXPECT_EQ(request.generated, request.lOut);
-            EXPECT_EQ(request.prefilled, request.prefillTarget);
-            EXPECT_DOUBLE_EQ(request.kvReservedBytes, 0.0);
-            EXPECT_DOUBLE_EQ(request.kvSwappedBytes, 0.0);
-            EXPECT_LE(request.arrival, request.admitTime);
-            EXPECT_LE(request.admitTime, request.firstTokenTime);
-            EXPECT_LE(request.firstTokenTime, request.finishTime);
-            EXPECT_EQ(request.preemptions,
-                      request.recomputes + request.swapOuts);
-        } else {
-            // Rejection happens strictly before admission, so a
-            // preempted request can never be shed mid-flight.
-            ASSERT_EQ(request.state, RequestState::Rejected);
-            EXPECT_LT(request.admitTime, 0.0);
-            EXPECT_EQ(request.preemptions, 0);
-        }
-    }
-
-    // --- Policy restrictions -----------------------------------------
-    if (cfg.policy != SchedulerPolicy::Preemptive) {
-        EXPECT_EQ(mx.preemptions, 0u);
-        EXPECT_EQ(mx.swapOuts, 0u);
-        EXPECT_EQ(mx.recomputes, 0u);
-    }
-    EXPECT_EQ(mx.preemptions, mx.swapOuts + mx.recomputes);
-}
-
-/** Bit-identical equality of two runs (the determinism property). */
-void
-expectIdentical(const serve::Result &a, const serve::Result &b)
-{
-    ASSERT_EQ(a.requests.size(), b.requests.size());
-    EXPECT_EQ(a.metrics.completed, b.metrics.completed);
-    EXPECT_EQ(a.metrics.iterations, b.metrics.iterations);
-    EXPECT_EQ(a.metrics.tokensGenerated, b.metrics.tokensGenerated);
-    EXPECT_EQ(a.metrics.preemptions, b.metrics.preemptions);
-    EXPECT_EQ(a.metrics.swapOuts, b.metrics.swapOuts);
-    EXPECT_EQ(a.metrics.recomputes, b.metrics.recomputes);
-    EXPECT_EQ(a.metrics.prefillChunks, b.metrics.prefillChunks);
-    EXPECT_EQ(a.metrics.makespan, b.metrics.makespan);
-    EXPECT_EQ(a.metrics.busyTime, b.metrics.busyTime);
-    EXPECT_EQ(a.metrics.swapBusyTime, b.metrics.swapBusyTime);
-    for (std::size_t i = 0; i < a.requests.size(); ++i) {
-        const auto &ra = a.requests[i];
-        const auto &rb = b.requests[i];
-        EXPECT_EQ(ra.state, rb.state);
-        EXPECT_EQ(ra.generated, rb.generated);
-        EXPECT_EQ(ra.preemptions, rb.preemptions);
-        EXPECT_EQ(ra.admitTime, rb.admitTime);
-        EXPECT_EQ(ra.firstTokenTime, rb.firstTokenTime);
-        EXPECT_EQ(ra.finishTime, rb.finishTime);
-    }
-}
+// The invariant and bit-identity checkers are shared with the
+// differential harness (tests/support/serving_checks.hh). The drain
+// balance is a hard ASSERT there: a leaked byte account fails fast.
+using test::checkServingInvariants;
+using test::expectIdenticalRuns;
 
 TEST(SchedulerPropertyTest, RandomizedScenariosHoldInvariants)
 {
@@ -252,12 +183,12 @@ TEST(SchedulerPropertyTest, RandomizedScenariosHoldInvariants)
                          << cfg.kvBudgetCapBytes << " chunk "
                          << cfg.prefillChunkTokens << " cxl " << cxl);
             const serve::Result result = run(cfg, cxl);
-            checkInvariants(result, cfg);
+            checkServingInvariants(result, cfg);
             // Determinism: the preemptive path re-runs every config
             // (it is the new machinery); legacy policies rotate.
             if (policy == SchedulerPolicy::Preemptive ||
                 c % 4 == static_cast<std::size_t>(policy))
-                expectIdentical(result, run(cfg, cxl));
+                expectIdenticalRuns(result, run(cfg, cxl));
             ++scenarios;
             if (::testing::Test::HasFailure())
                 FAIL() << "invariant violated after " << scenarios
@@ -300,6 +231,44 @@ TEST(SchedulerPropertyTest, ScenarioSetExercisesThePreemptionMachinery)
     EXPECT_GT(swapIns, 0u);
     EXPECT_GT(chunks, 0u);
     EXPECT_GT(rejected, 0u);
+}
+
+/**
+ * Runtime-backed mode: a slice of the fuzz space re-runs with a
+ * RuntimeBackend executing every iteration plan on the functional
+ * runtime (tiny model, so real forwards stay fast). Each scenario
+ * asserts the four run invariants above plus output-token continuity
+ * across preemption — greedy streams bit-identical to uninterrupted
+ * generation. Scenario count follows LIA_PROPERTY_SCENARIOS / 16 so
+ * the nightly job deepens this mode alongside the analytic sweep.
+ */
+TEST(SchedulerPropertyTest, RuntimeBackedScenariosStayInLockstep)
+{
+    std::mt19937_64 rng(0xBACCED);
+    const std::size_t scenarios = std::max<std::size_t>(
+        16, (configurations() * 4) / 16);
+    test::DifferentialOutcome outcome;
+
+    for (std::size_t s = 0; s < scenarios; ++s) {
+        const bool cxl =
+            std::uniform_int_distribution<int>(0, 3)(rng) > 0;
+        const double step = test::tinySharedCosts(cxl)->time(
+            model::Stage::Decode, 4, 64);
+        serve::Config cfg = test::randomTinyConfig(rng, step);
+        cfg.cxlSpill = cxl;
+        cfg.policy = kPolicies[s % 4];
+        SCOPED_TRACE(testing::Message()
+                     << "scenario " << s << " policy "
+                     << static_cast<int>(cfg.policy) << " seed "
+                     << cfg.seed << " cap " << cfg.kvBudgetCapBytes
+                     << " cxl " << cxl);
+        test::runDifferentialScenario(cfg, cxl, outcome);
+        if (::testing::Test::HasFailure())
+            FAIL() << "runtime-backed divergence after " << s + 1
+                   << " scenarios";
+    }
+    EXPECT_EQ(outcome.scenarios, scenarios);
+    EXPECT_GT(outcome.continuityChecked, 0u);
 }
 
 } // namespace

@@ -1,0 +1,93 @@
+#include "support/serving_checks.hh"
+
+#include <gtest/gtest.h>
+
+namespace lia {
+namespace test {
+
+using serve::RequestState;
+using serve::SchedulerPolicy;
+
+void
+checkServingInvariants(const serve::Result &result,
+                       const serve::Config &config)
+{
+    const auto &mx = result.metrics;
+
+    // --- Budget: reservations never exceeded it ----------------------
+    EXPECT_LE(mx.kvReservedPeakBytes,
+              result.kvBudgetBytes * (1.0 + 1e-12));
+    if (mx.kvOccupancy.count() > 0) {
+        EXPECT_LE(mx.kvOccupancy.max(), 1.0 + 1e-12);
+    }
+    if (config.kvBudgetCapBytes > 0) {
+        EXPECT_LE(result.kvBudgetBytes, config.kvBudgetCapBytes);
+    }
+
+    // --- Drain: the byte account balances to zero. A leak here means
+    // a reservation outlived its request — hard failure. -------------
+    ASSERT_NEAR(result.kvReservedAtDrain, 0.0, 0.5)
+        << "KV bytes still reserved after the run drained";
+    EXPECT_EQ(mx.swapIns, mx.swapOuts);  // every swap-out came back
+
+    // --- Termination: everyone completes or is shed ------------------
+    EXPECT_EQ(mx.completed + mx.rejected(), result.requests.size());
+    for (const auto &request : result.requests) {
+        if (request.state == RequestState::Finished) {
+            EXPECT_EQ(request.generated, request.lOut);
+            EXPECT_EQ(request.prefilled, request.prefillTarget);
+            EXPECT_DOUBLE_EQ(request.kvReservedBytes, 0.0);
+            EXPECT_DOUBLE_EQ(request.kvSwappedBytes, 0.0);
+            EXPECT_LE(request.arrival, request.admitTime);
+            EXPECT_LE(request.admitTime, request.firstTokenTime);
+            EXPECT_LE(request.firstTokenTime, request.finishTime);
+            EXPECT_EQ(request.preemptions,
+                      request.recomputes + request.swapOuts);
+        } else {
+            // Rejection happens strictly before admission, so a
+            // preempted request can never be shed mid-flight.
+            ASSERT_EQ(request.state, RequestState::Rejected);
+            EXPECT_LT(request.admitTime, 0.0);
+            EXPECT_EQ(request.preemptions, 0);
+        }
+    }
+
+    // --- Policy restrictions -----------------------------------------
+    if (config.policy != SchedulerPolicy::Preemptive) {
+        EXPECT_EQ(mx.preemptions, 0u);
+        EXPECT_EQ(mx.swapOuts, 0u);
+        EXPECT_EQ(mx.recomputes, 0u);
+    }
+    EXPECT_EQ(mx.preemptions, mx.swapOuts + mx.recomputes);
+}
+
+void
+expectIdenticalRuns(const serve::Result &a, const serve::Result &b)
+{
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+    EXPECT_EQ(a.metrics.iterations, b.metrics.iterations);
+    EXPECT_EQ(a.metrics.tokensGenerated, b.metrics.tokensGenerated);
+    EXPECT_EQ(a.metrics.preemptions, b.metrics.preemptions);
+    EXPECT_EQ(a.metrics.swapOuts, b.metrics.swapOuts);
+    EXPECT_EQ(a.metrics.recomputes, b.metrics.recomputes);
+    EXPECT_EQ(a.metrics.prefillChunks, b.metrics.prefillChunks);
+    EXPECT_EQ(a.metrics.makespan, b.metrics.makespan);
+    EXPECT_EQ(a.metrics.busyTime, b.metrics.busyTime);
+    EXPECT_EQ(a.metrics.swapBusyTime, b.metrics.swapBusyTime);
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        const auto &ra = a.requests[i];
+        const auto &rb = b.requests[i];
+        EXPECT_EQ(ra.state, rb.state);
+        EXPECT_EQ(ra.generated, rb.generated);
+        EXPECT_EQ(ra.preemptions, rb.preemptions);
+        EXPECT_EQ(ra.recomputes, rb.recomputes);
+        EXPECT_EQ(ra.swapOuts, rb.swapOuts);
+        EXPECT_EQ(ra.admitTime, rb.admitTime);
+        EXPECT_EQ(ra.firstTokenTime, rb.firstTokenTime);
+        EXPECT_EQ(ra.finishTime, rb.finishTime);
+    }
+}
+
+} // namespace test
+} // namespace lia

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reusable serving-run checkers shared by the scheduler property
+ * fuzzer, the engine tests, and the differential harness.
+ *
+ * checkServingInvariants() asserts the policy-independent invariants
+ * every serving run must satisfy (budget respected, byte account
+ * drained to zero, all requests terminal, preemption accounting
+ * consistent). expectIdenticalRuns() asserts two runs are
+ * bit-identical in scheduling decisions, timings, and per-request
+ * lifecycles — the determinism property, and the analytical-vs-backed
+ * agreement the differential tests rest on.
+ */
+
+#ifndef LIA_TESTS_SUPPORT_SERVING_CHECKS_HH
+#define LIA_TESTS_SUPPORT_SERVING_CHECKS_HH
+
+#include "serve/engine.hh"
+
+namespace lia {
+namespace test {
+
+/** Assert the invariants any serving run must hold. Drain-balance is
+ *  a hard failure: a leaked byte account fails the test immediately. */
+void checkServingInvariants(const serve::Result &result,
+                            const serve::Config &config);
+
+/** Assert two runs are bit-identical (scheduling, timing, lifecycle). */
+void expectIdenticalRuns(const serve::Result &a, const serve::Result &b);
+
+} // namespace test
+} // namespace lia
+
+#endif // LIA_TESTS_SUPPORT_SERVING_CHECKS_HH
