@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Extension: kernel-layer throughput — blocked/packed matmul vs the
+ * retained scalar reference, across thread counts.
+ *
+ * Real measured host performance (not modeled). Sweeps prefill- and
+ * decode-shaped GEMMs (m, k, n); for each shape times the scalar
+ * reference once and the packed-tile parallel kernel at 1/2/4/8
+ * threads, verifying on every configuration that the blocked result
+ * is bit-identical to the reference (the DESIGN §7 determinism
+ * contract — blocking, packing, and threading are layout/schedule
+ * changes only). Also times end-to-end greedy decode on the tiny
+ * differential-test model so kernel regressions show up in the same
+ * JSON the differential suite's wall-clock lives in. Emits
+ * BENCH_kernel_throughput.json.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/table.hh"
+#include "base/thread_pool.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "runtime/executor.hh"
+#include "runtime/kernels.hh"
+
+namespace {
+
+using namespace lia;
+using namespace lia::runtime;
+using Clock = std::chrono::steady_clock;
+
+struct Shape
+{
+    std::int64_t m, k, n;
+    const char *kind;
+};
+
+const std::vector<Shape> kShapes = {
+    {1, 512, 2048, "decode"},    {8, 512, 2048, "decode batch"},
+    {128, 512, 512, "prefill"},  {128, 512, 2048, "prefill ffn"},
+    {256, 1024, 1024, "prefill"},
+};
+
+const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+
+/** Bit-for-bit tensor equality. */
+bool
+bitIdentical(const Tensor &a, const Tensor &b)
+{
+    return a.shape() == b.shape() &&
+           std::memcmp(a.data(), b.data(),
+                       sizeof(float) *
+                           static_cast<std::size_t>(a.numel())) == 0;
+}
+
+/** Seconds per call, timed over enough reps to pass @p min_time. */
+template <typename Fn>
+double
+timeIt(const Fn &fn, double min_time = 0.15)
+{
+    fn();  // warm-up (and first-touch)
+    int reps = 0;
+    const auto t0 = Clock::now();
+    double elapsed = 0;
+    do {
+        fn();
+        ++reps;
+        elapsed = std::chrono::duration<double>(Clock::now() - t0)
+                      .count();
+    } while (elapsed < min_time);
+    return elapsed / reps;
+}
+
+struct Point
+{
+    Shape shape{};
+    int threads = 0;          //!< 0 = scalar reference
+    double gflops = 0;
+    double speedup = 1.0;     //!< vs the scalar reference
+    bool exact = true;        //!< bit-identical to the reference
+};
+
+std::string
+jsonRecord(const Point &p)
+{
+    std::ostringstream out;
+    out << "    {\"m\": " << p.shape.m << ", \"k\": " << p.shape.k
+        << ", \"n\": " << p.shape.n << ", \"kind\": \"" << p.shape.kind
+        << "\", \"threads\": " << p.threads
+        << ", \"gflops\": " << p.gflops
+        << ", \"speedup_vs_scalar\": " << p.speedup
+        << ", \"bit_identical\": " << (p.exact ? "true" : "false")
+        << "}";
+    return out.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Kernel throughput: packed/blocked parallel matmul vs "
+                 "scalar reference\n"
+              << "(host threads available: "
+              << base::ThreadPool::defaultThreadCount() << ")\n\n";
+
+    const KernelOptions scalarOpts{false, nullptr};
+    TextTable table({"shape", "kind", "config", "GFLOP/s", "speedup",
+                     "exact"});
+    std::vector<Point> points;
+    bool all_exact = true;
+
+    for (const Shape &s : kShapes) {
+        Rng rng(7 + s.m);
+        const Tensor a = Tensor::randomNormal({s.m, s.k}, rng, 1.0);
+        const Tensor b = Tensor::randomNormal({s.k, s.n}, rng, 1.0);
+        const double flops = 2.0 * static_cast<double>(s.m) *
+                             static_cast<double>(s.k) *
+                             static_cast<double>(s.n);
+        const std::string dims = std::to_string(s.m) + "x" +
+                                 std::to_string(s.k) + "x" +
+                                 std::to_string(s.n);
+
+        const Tensor ref = scalarMatmul(a, b, Tensor(), scalarOpts);
+        const double scalar_s = timeIt(
+            [&] { scalarMatmul(a, b, Tensor(), scalarOpts); });
+        Point base;
+        base.shape = s;
+        base.gflops = flops / scalar_s / 1e9;
+        points.push_back(base);
+        table.addRow({dims, s.kind, "scalar",
+                      fmtDouble(base.gflops, 2), "1.00", "ref"});
+
+        const PackedMatrix packed = packColumns(b);
+        for (const int threads : kThreadCounts) {
+            base::ThreadPool pool(threads);
+            const KernelOptions opts{false, &pool};
+            const Tensor out = matmulPacked(a, packed, Tensor(), opts);
+            Point p;
+            p.shape = s;
+            p.threads = threads;
+            p.exact = bitIdentical(out, ref);
+            all_exact = all_exact && p.exact;
+            const double t = timeIt(
+                [&] { matmulPacked(a, packed, Tensor(), opts); });
+            p.gflops = flops / t / 1e9;
+            p.speedup = scalar_s / t;
+            table.addRow({dims, s.kind,
+                          "packed x" + std::to_string(threads),
+                          fmtDouble(p.gflops, 2),
+                          fmtDouble(p.speedup, 2),
+                          p.exact ? "yes" : "NO"});
+            points.push_back(p);
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+    LIA_ASSERT(all_exact, "a blocked/parallel kernel diverged from "
+                          "the scalar reference");
+
+    // End-to-end greedy decode on the differential-test model: the
+    // wall-clock the differential suite pays per forward, so kernel
+    // regressions are visible next to the GEMM numbers.
+    const auto m = model::tinyOpt(32, 2, 2, 256, 101);
+    Rng wrng(1234);
+    CooperativeExecutor exec(
+        hw::sprA100(), TransformerWeights::random(m, wrng), {});
+    const std::vector<std::vector<std::int64_t>> prompts = {
+        {1, 4, 7, 10, 13, 16, 19, 22},
+        {8, 15, 22, 29, 36, 43, 50, 57},
+    };
+    constexpr std::int64_t l_out = 16;
+    const double gen_s = timeIt([&] { exec.generate(prompts, l_out); });
+    const double tokens_per_s =
+        static_cast<double>(prompts.size()) *
+        static_cast<double>(l_out) / gen_s;
+    std::cout << "\nend-to-end greedy decode (" << m.name
+              << "): " << fmtDouble(tokens_per_s, 1)
+              << " tokens/s at default threads\n";
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"kernel_throughput\",\n"
+         << "  \"default_threads\": "
+         << base::ThreadPool::defaultThreadCount() << ",\n"
+         << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i)
+        json << jsonRecord(points[i])
+             << (i + 1 < points.size() ? ",\n" : "\n");
+    json << "  ],\n"
+         << "  \"decode_e2e\": {\"model\": \"" << m.name
+         << "\", \"tokens_per_s\": " << tokens_per_s
+         << ", \"seconds_per_generate\": " << gen_s << "}\n}\n";
+
+    const std::string path = "BENCH_kernel_throughput.json";
+    std::ofstream file(path);
+    file << json.str();
+    std::cout << "\nwrote " << path << "\n";
+    return 0;
+}

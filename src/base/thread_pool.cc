@@ -1,0 +1,161 @@
+#include "base/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace base {
+
+namespace {
+
+/** Set while a thread is executing chunks of some pool's job. */
+thread_local bool tlsInsideWorker = false;
+
+} // namespace
+
+bool
+ThreadPool::insideWorker()
+{
+    return tlsInsideWorker;
+}
+
+int
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("LIA_THREADS")) {
+        char *end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed >= 1)
+            return static_cast<int>(std::min(parsed, 256l));
+        LIA_WARN("ignoring unparsable LIA_THREADS value \"", env, "\"");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(std::clamp(hw, 1u, 256u));
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(defaultThreadCount());
+    return pool;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0)
+        threads = defaultThreadCount();
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int t = 1; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    const bool outer = !tlsInsideWorker;
+    tlsInsideWorker = true;
+    while (true) {
+        const std::int64_t c =
+            job.next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= job.chunks)
+            break;
+        const std::int64_t begin = c * job.chunk;
+        const std::int64_t end = std::min(job.n, begin + job.chunk);
+        try {
+            (*job.body)(begin, end);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(job.errorMutex);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        job.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+    if (outer)
+        tlsInsideWorker = false;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        // Hold a shared_ptr while working: a straggler that dequeues
+        // the job as the caller retires it must not touch freed state.
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || (job_ != nullptr && generation_ != seen);
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        runChunks(*job);
+        // Wake the caller in case this worker retired the final chunk.
+        finished_.notify_one();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::int64_t n, std::int64_t grain,
+                        const RangeFn &body)
+{
+    if (n <= 0)
+        return;
+    grain = std::max<std::int64_t>(grain, 1);
+    // Inline when serial, nested, or too small to amortise a dispatch.
+    // All three conditions are independent of scheduling, and chunk
+    // bodies are self-contained, so the inline path is bit-identical.
+    if (workers_.empty() || tlsInsideWorker || n <= grain) {
+        body(0, n);
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->body = &body;
+    job->n = n;
+    // A few chunks per thread for load balance; boundaries depend only
+    // on (n, grain, threadCount), keeping the partition deterministic.
+    const std::int64_t target =
+        static_cast<std::int64_t>(threadCount()) * 4;
+    job->chunk = std::max(grain, (n + target - 1) / target);
+    job->chunks = (n + job->chunk - 1) / job->chunk;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = job;
+        ++generation_;
+    }
+    wake_.notify_all();
+    runChunks(*job);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        finished_.wait(lock, [&] {
+            return job->done.load(std::memory_order_acquire) ==
+                   job->chunks;
+        });
+        job_.reset();
+    }
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+} // namespace base
+} // namespace lia

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic parallel-for thread pool.
+ *
+ * A small persistent-worker pool for data-parallel kernels. The design
+ * contract (see DESIGN.md §7) is that callers partition work into
+ * *self-contained* units — whole output rows, column tiles, disjoint
+ * element ranges — whose internal floating-point operation order never
+ * depends on the thread count. Under that contract every result is
+ * bit-identical at 1, 2, or N threads, which keeps the golden decode
+ * and differential suites valid oracles over the parallel kernels.
+ *
+ * Sizing: an explicit constructor argument wins; zero means "use the
+ * process default", which honours the LIA_THREADS environment variable
+ * and falls back to std::thread::hardware_concurrency(). A shared
+ * process-wide pool (ThreadPool::shared()) exists so batch-of-one
+ * decode calls all reuse one set of workers instead of spawning per
+ * call.
+ *
+ * Nested parallelFor calls (a parallel kernel invoked from inside a
+ * worker) execute inline on the calling worker — no deadlock, no
+ * oversubscription, and the inner loop's sequential order is exactly
+ * the serial one.
+ */
+
+#ifndef LIA_BASE_THREAD_POOL_HH
+#define LIA_BASE_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lia {
+namespace base {
+
+/** Persistent-worker pool running chunked parallel-for loops. */
+class ThreadPool
+{
+  public:
+    /** Range body: process [begin, end). */
+    using RangeFn = std::function<void(std::int64_t, std::int64_t)>;
+
+    /**
+     * @param threads worker count including the calling thread;
+     *                0 selects defaultThreadCount(). A pool of 1 runs
+     *                everything inline and spawns no workers.
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Threads that execute work (workers plus the caller). */
+    int threadCount() const
+    {
+        return static_cast<int>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run @p body over [0, n), split into contiguous chunks of at
+     * least @p grain items. The caller participates and the call
+     * returns once every chunk completed. Chunk boundaries depend only
+     * on (n, grain, threadCount) — never on scheduling — and each
+     * index lands in exactly one chunk, so bodies whose units are
+     * independent produce thread-count-invariant results. The first
+     * exception a chunk throws is rethrown on the calling thread after
+     * the loop drains.
+     */
+    void parallelFor(std::int64_t n, std::int64_t grain,
+                     const RangeFn &body);
+
+    /**
+     * Process default: LIA_THREADS when set to a positive integer,
+     * else std::thread::hardware_concurrency(), clamped to [1, 256].
+     */
+    static int defaultThreadCount();
+
+    /** Process-wide pool sized by defaultThreadCount(). */
+    static ThreadPool &shared();
+
+    /** True on a thread currently executing pool work. */
+    static bool insideWorker();
+
+  private:
+    /** One parallelFor invocation shared with the workers. */
+    struct Job
+    {
+        const RangeFn *body = nullptr;
+        std::int64_t n = 0;
+        std::int64_t chunk = 0;        //!< items per chunk
+        std::int64_t chunks = 0;
+        std::atomic<std::int64_t> next{0};   //!< chunk claim cursor
+        std::atomic<std::int64_t> done{0};   //!< chunks finished
+        std::exception_ptr error;            //!< first failure
+        std::mutex errorMutex;
+    };
+
+    void workerLoop();
+    void runChunks(Job &job);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;     //!< workers: new job / stop
+    std::condition_variable finished_; //!< caller: job drained
+    std::shared_ptr<Job> job_;         //!< active job (guarded)
+    std::uint64_t generation_ = 0;     //!< bumps per job
+    bool stop_ = false;
+};
+
+} // namespace base
+} // namespace lia
+
+#endif // LIA_BASE_THREAD_POOL_HH

@@ -28,6 +28,17 @@ CooperativeExecutor::CooperativeExecutor(const hw::SystemConfig &system,
                config_.residentLayers <= weights_.config.numLayers,
                "bad resident layer count");
 
+    // Construction-time pool injection: every kernel this executor
+    // runs — batch prefill/decode and the serving backend's per-call
+    // decodeOne stream alike — shares one set of persistent workers.
+    kernelOpts_.pool = config_.pool != nullptr
+                           ? config_.pool.get()
+                           : &base::ThreadPool::shared();
+    // One-time tile packing of the projection weights and LM head;
+    // layout only, so results are unchanged (and bit-identical at any
+    // thread count).
+    weights_.pack();
+
     // The framework keeps every parameter host-side (§5); resident
     // layers additionally occupy GPU memory (Optimization-1).
     const bool cpu_ok = cpu_.tryAllocate(weights_.bf16Bytes());
@@ -102,21 +113,29 @@ CooperativeExecutor::embed(const std::vector<std::int64_t> &flat_tokens,
 {
     const auto &cfg = weights_.config;
     Tensor hidden({batch * tokens, cfg.dModel});
-    for (std::int64_t b = 0; b < batch; ++b) {
-        for (std::int64_t t = 0; t < tokens; ++t) {
-            const std::int64_t tok =
-                flat_tokens[static_cast<std::size_t>(b * tokens + t)];
-            LIA_ASSERT(tok >= 0 && tok < cfg.vocabSize,
-                       "token id out of range: ", tok);
-            const std::int64_t pos = position + t;
-            LIA_ASSERT(pos < cfg.maxSeqLen, "position overflow");
-            for (std::int64_t c = 0; c < cfg.dModel; ++c) {
-                hidden.at(b * tokens + t, c) =
-                    weights_.embedding.at(tok, c) +
-                    weights_.posEmbedding.at(pos, c);
+    const std::int64_t d = cfg.dModel;
+    const float *emb = weights_.embedding.data();
+    const float *pos_emb = weights_.posEmbedding.data();
+    float *out = hidden.data();
+    // Row-partitioned gather: each (b, t) row is written by exactly
+    // one chunk, so the result is thread-count invariant.
+    kernelOpts_.pool->parallelFor(
+        batch * tokens, 4, [&](std::int64_t r0, std::int64_t r1) {
+            for (std::int64_t r = r0; r < r1; ++r) {
+                const std::int64_t t = r % tokens;
+                const std::int64_t tok =
+                    flat_tokens[static_cast<std::size_t>(r)];
+                LIA_ASSERT(tok >= 0 && tok < cfg.vocabSize,
+                           "token id out of range: ", tok);
+                const std::int64_t pos = position + t;
+                LIA_ASSERT(pos < cfg.maxSeqLen, "position overflow");
+                const float *erow = emb + tok * d;
+                const float *prow = pos_emb + pos * d;
+                float *orow = out + r * d;
+                for (std::int64_t c = 0; c < d; ++c)
+                    orow[c] = erow[c] + prow[c];
             }
-        }
-    }
+        });
     if (kernelOpts_.bf16Rounding)
         hidden.roundBf16();
     return hidden;
@@ -135,8 +154,15 @@ CooperativeExecutor::attention(const Tensor &q, const Tensor &keys,
     const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
     Tensor out({batch * tokens, cfg.dModel});
-    for (std::int64_t b = 0; b < batch; ++b) {
-        for (std::int64_t h = 0; h < nh; ++h) {
+    // Head-partitioned: each (batch, head) pair is self-contained and
+    // writes a disjoint column slice of the output, so any schedule
+    // produces identical bits. Kernels invoked inside run inline on
+    // the worker (nested parallelFor), keeping their serial order.
+    kernelOpts_.pool->parallelFor(
+        batch * nh, 1, [&](std::int64_t bh0, std::int64_t bh1) {
+        for (std::int64_t bh = bh0; bh < bh1; ++bh) {
+            const std::int64_t b = bh / nh;
+            const std::int64_t h = bh % nh;
             const std::int64_t kvh = h / group;
             // Slice this head's Q / K / V.
             Tensor qh({tokens, dh});
@@ -162,7 +188,7 @@ CooperativeExecutor::attention(const Tensor &q, const Tensor &keys,
                 for (std::int64_t c = 0; c < dh; ++c)
                     out.at(b * tokens + t, h * dh + c) = ctx.at(t, c);
         }
-    }
+    });
     return out;
 }
 
@@ -235,12 +261,13 @@ CooperativeExecutor::forwardLayers(KvCache &cache, Tensor hidden,
         const auto &w = weights_.layers[static_cast<std::size_t>(l)];
         const bool resident = l < config_.residentLayers;
 
-        // Sublayer 1: QKV mapping (pre-LN).
+        // Sublayer 1: QKV mapping (pre-LN). Weight matmuls run the
+        // packed-tile kernel against the forms cached at pack() time.
         Tensor normed =
             layerNorm(hidden, w.lnAttnGain, w.lnAttnBias, kernelOpts_);
-        Tensor q = matmul(normed, w.wq, w.bq, kernelOpts_);
-        Tensor k = matmul(normed, w.wk, w.bk, kernelOpts_);
-        Tensor v = matmul(normed, w.wv, w.bv, kernelOpts_);
+        Tensor q = matmulPacked(normed, w.packedWq, w.bq, kernelOpts_);
+        Tensor k = matmulPacked(normed, w.packedWk, w.bk, kernelOpts_);
+        Tensor v = matmulPacked(normed, w.packedWv, w.bv, kernelOpts_);
         cache.append(l, k.reshaped({batch, tokens, cfg.kvDim()}),
                      v.reshaped({batch, tokens, cfg.kvDim()}));
         chargeSublayer(0, stage, batch, context, resident, policy);
@@ -253,7 +280,7 @@ CooperativeExecutor::forwardLayers(KvCache &cache, Tensor hidden,
         chargeSublayer(2, stage, batch, context, resident, policy);
 
         // Sublayer 4: output projection + residual.
-        Tensor proj = matmul(attn, w.wo, w.bo, kernelOpts_);
+        Tensor proj = matmulPacked(attn, w.packedWo, w.bo, kernelOpts_);
         hidden = add(hidden, proj, kernelOpts_);
         chargeSublayer(3, stage, batch, context, resident, policy);
 
@@ -261,16 +288,17 @@ CooperativeExecutor::forwardLayers(KvCache &cache, Tensor hidden,
         // models gate the up projection with SiLU (SwiGLU).
         Tensor ffn_in =
             layerNorm(hidden, w.lnFfnGain, w.lnFfnBias, kernelOpts_);
-        Tensor h1 = matmul(ffn_in, w.w1, w.b1, kernelOpts_);
+        Tensor h1 = matmulPacked(ffn_in, w.packedW1, w.b1, kernelOpts_);
         if (cfg.gatedFfn) {
-            Tensor gate = matmul(ffn_in, w.wg, w.bg, kernelOpts_);
+            Tensor gate =
+                matmulPacked(ffn_in, w.packedWg, w.bg, kernelOpts_);
             siluInPlace(gate, kernelOpts_);
             mulInPlace(h1, gate, kernelOpts_);
         } else {
             reluInPlace(h1, kernelOpts_);
         }
         chargeSublayer(4, stage, batch, context, resident, policy);
-        Tensor h2 = matmul(h1, w.w2, w.b2, kernelOpts_);
+        Tensor h2 = matmulPacked(h1, w.packedW2, w.b2, kernelOpts_);
         hidden = add(hidden, h2, kernelOpts_);
         chargeSublayer(5, stage, batch, context, resident, policy);
     }
@@ -290,8 +318,11 @@ CooperativeExecutor::sample(const Tensor &hidden, std::int64_t batch,
     Tensor normed =
         layerNorm(last, weights_.lnFinalGain, weights_.lnFinalBias,
                   kernelOpts_);
-    Tensor logits =
-        matmulTransposed(normed, weights_.embedding, kernelOpts_);
+    // Tied LM head: the packed transpose of the embedding. The vocab
+    // axis is the column-tile partition, so decode's m = 1 projection
+    // — the widest matmul per step — spreads across the pool.
+    Tensor logits = matmulPacked(normed, weights_.packedLmHead,
+                                 Tensor(), kernelOpts_);
     return sampler_.sampleRows(logits);
 }
 

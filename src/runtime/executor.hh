@@ -41,6 +41,14 @@ struct ExecutorConfig
     int residentLayers = 0;     //!< Optimization-1 resident prefix
     bool bf16Rounding = true;   //!< emulate BF16 numerics
     SamplingConfig sampling;    //!< token selection (greedy default)
+    /**
+     * Pool the kernels run on; injected at construction so every
+     * prefill/decode call — including the serving backend's
+     * batch-of-one decodeOne stream — reuses one set of persistent
+     * workers. Null selects the process-wide shared pool. Thread
+     * count never changes results (DESIGN.md §7).
+     */
+    std::shared_ptr<base::ThreadPool> pool;
 };
 
 /** The cooperative inference executor. */

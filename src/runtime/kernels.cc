@@ -4,6 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#if defined(__SSE2__) || defined(_M_X64)
+#define LIA_KERNEL_SSE2 1
+#include <emmintrin.h>
+#endif
+
 #include "base/logging.hh"
 #include "runtime/bf16.hh"
 
@@ -12,14 +17,202 @@ namespace runtime {
 
 namespace {
 
+/** Run @p body over [0, n) on the options' pool (or inline). */
+template <typename Body>
+void
+parallelRun(const KernelOptions &opts, std::int64_t n,
+            std::int64_t grain, const Body &body)
+{
+    if (opts.pool != nullptr) {
+        opts.pool->parallelFor(n, grain, body);
+    } else {
+        body(static_cast<std::int64_t>(0), n);
+    }
+}
+
 void
 maybeRound(Tensor &t, const KernelOptions &opts)
 {
-    if (opts.bf16Rounding)
-        t.roundBf16();
+    if (!opts.bf16Rounding)
+        return;
+    float *p = t.data();
+    // Elementwise, so any chunking rounds identically.
+    parallelRun(opts, t.numel(), 8192,
+                [p](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i)
+                        p[i] = roundToBf16(p[i]);
+                });
+}
+
+/**
+ * The blocked inner kernel: accumulate @p MR rows of A against one
+ * packed column tile, k ascending — exactly the scalar reference's
+ * per-element operation order. MR is a compile-time constant so the
+ * accumulators live in registers.
+ *
+ * On x86-64 the kernel is written with explicit SSE2 intrinsics: the
+ * lane-wise mulps/addps are the IEEE operations the scalar reference
+ * performs per element (SSE2 has no FMA, so there is no contraction
+ * asymmetry either), keeping results bit-identical while sidestepping
+ * GCC's SLP vectoriser, which otherwise shuffles the accumulator tile
+ * across rows and spills it to the stack every iteration.
+ */
+template <int MR>
+void
+packedBlock(const float *pa, std::int64_t lda, const float *tile,
+            std::int64_t k, const float *pbias, std::int64_t j0,
+            std::int64_t jw, float *pc, std::int64_t n)
+{
+#if LIA_KERNEL_SSE2
+    __m128 acc[MR][2];  // two 4-lane vectors span the 8-wide tile
+    if (pbias != nullptr) {
+        float init[kPackTileWidth];
+        for (std::int64_t jj = 0; jj < kPackTileWidth; ++jj)
+            init[jj] = jj < jw ? pbias[j0 + jj] : 0.0f;
+        for (int r = 0; r < MR; ++r) {
+            acc[r][0] = _mm_loadu_ps(init);
+            acc[r][1] = _mm_loadu_ps(init + 4);
+        }
+    } else {
+        for (int r = 0; r < MR; ++r)
+            acc[r][0] = acc[r][1] = _mm_setzero_ps();
+    }
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float *bk = tile + kk * kPackTileWidth;
+        const __m128 b0 = _mm_loadu_ps(bk);
+        const __m128 b1 = _mm_loadu_ps(bk + 4);
+        for (int r = 0; r < MR; ++r) {
+            const __m128 av = _mm_set1_ps(pa[r * lda + kk]);
+            acc[r][0] = _mm_add_ps(acc[r][0], _mm_mul_ps(av, b0));
+            acc[r][1] = _mm_add_ps(acc[r][1], _mm_mul_ps(av, b1));
+        }
+    }
+    if (jw == kPackTileWidth) {
+        for (int r = 0; r < MR; ++r) {
+            _mm_storeu_ps(pc + r * n + j0, acc[r][0]);
+            _mm_storeu_ps(pc + r * n + j0 + 4, acc[r][1]);
+        }
+    } else {
+        for (int r = 0; r < MR; ++r) {
+            float tmp[kPackTileWidth];
+            _mm_storeu_ps(tmp, acc[r][0]);
+            _mm_storeu_ps(tmp + 4, acc[r][1]);
+            for (std::int64_t jj = 0; jj < jw; ++jj)
+                pc[r * n + j0 + jj] = tmp[jj];
+        }
+    }
+#else
+    float acc[MR][kPackTileWidth];
+    for (int r = 0; r < MR; ++r) {
+        for (std::int64_t jj = 0; jj < kPackTileWidth; ++jj)
+            acc[r][jj] =
+                (pbias != nullptr && jj < jw) ? pbias[j0 + jj] : 0.0f;
+    }
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float *bk = tile + kk * kPackTileWidth;
+        for (int r = 0; r < MR; ++r) {
+            const float av = pa[r * lda + kk];
+            for (std::int64_t jj = 0; jj < kPackTileWidth; ++jj)
+                acc[r][jj] += av * bk[jj];
+        }
+    }
+    for (int r = 0; r < MR; ++r)
+        for (std::int64_t jj = 0; jj < jw; ++jj)
+            pc[r * n + j0 + jj] = acc[r][jj];
+#endif
 }
 
 } // namespace
+
+std::int64_t
+PackedMatrix::tiles() const
+{
+    return (n + kPackTileWidth - 1) / kPackTileWidth;
+}
+
+PackedMatrix
+packColumns(const Tensor &b)
+{
+    LIA_ASSERT(b.ndim() == 2, "packColumns wants 2-D");
+    PackedMatrix p;
+    p.k = b.dim(0);
+    p.n = b.dim(1);
+    p.data.assign(
+        static_cast<std::size_t>(p.tiles() * p.k * kPackTileWidth),
+        0.0f);
+    const float *pb = b.data();
+    for (std::int64_t jt = 0; jt < p.tiles(); ++jt) {
+        float *tile = p.data.data() + jt * p.k * kPackTileWidth;
+        const std::int64_t j0 = jt * kPackTileWidth;
+        const std::int64_t jw = std::min(kPackTileWidth, p.n - j0);
+        for (std::int64_t kk = 0; kk < p.k; ++kk)
+            for (std::int64_t jj = 0; jj < jw; ++jj)
+                tile[kk * kPackTileWidth + jj] = pb[kk * p.n + j0 + jj];
+    }
+    return p;
+}
+
+PackedMatrix
+packTransposed(const Tensor &b)
+{
+    LIA_ASSERT(b.ndim() == 2, "packTransposed wants 2-D");
+    PackedMatrix p;
+    p.k = b.dim(1);
+    p.n = b.dim(0);
+    p.data.assign(
+        static_cast<std::size_t>(p.tiles() * p.k * kPackTileWidth),
+        0.0f);
+    const float *pb = b.data();
+    for (std::int64_t jt = 0; jt < p.tiles(); ++jt) {
+        float *tile = p.data.data() + jt * p.k * kPackTileWidth;
+        const std::int64_t j0 = jt * kPackTileWidth;
+        const std::int64_t jw = std::min(kPackTileWidth, p.n - j0);
+        for (std::int64_t jj = 0; jj < jw; ++jj)
+            for (std::int64_t kk = 0; kk < p.k; ++kk)
+                tile[kk * kPackTileWidth + jj] = pb[(j0 + jj) * p.k + kk];
+    }
+    return p;
+}
+
+Tensor
+scalarMatmul(const Tensor &a, const Tensor &b, const Tensor &bias,
+             const KernelOptions &opts)
+{
+    LIA_ASSERT(a.ndim() == 2 && b.ndim() == 2, "matmul wants 2-D");
+    const std::int64_t m = a.dim(0);
+    const std::int64_t k = a.dim(1);
+    const std::int64_t n = b.dim(1);
+    LIA_ASSERT(b.dim(0) == k, "matmul inner dimension mismatch: ",
+               k, " vs ", b.dim(0));
+    const bool has_bias = !bias.empty();
+    if (has_bias) {
+        LIA_ASSERT(bias.ndim() == 1 && bias.dim(0) == n,
+                   "bias shape mismatch");
+    }
+
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    const float *pbias = has_bias ? bias.data() : nullptr;
+    float *pc = c.data();
+    // i-k-j loop order streams B row-wise for cache friendliness.
+    for (std::int64_t i = 0; i < m; ++i) {
+        float *crow = pc + i * n;
+        if (has_bias) {
+            for (std::int64_t j = 0; j < n; ++j)
+                crow[j] = pbias[j];
+        }
+        const float *arow = pa + i * k;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            const float *brow = pb + kk * n;
+            for (std::int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    maybeRound(c, KernelOptions{opts.bf16Rounding, nullptr});
+    return c;
+}
 
 Tensor
 matmul(const Tensor &a, const Tensor &b, const Tensor &bias,
@@ -40,32 +233,99 @@ matmul(const Tensor &a, const Tensor &b, const Tensor &bias,
     Tensor c({m, n});
     const float *pa = a.data();
     const float *pb = b.data();
+    const float *pbias = has_bias ? bias.data() : nullptr;
     float *pc = c.data();
-    // i-k-j loop order streams B row-wise for cache friendliness.
-    for (std::int64_t i = 0; i < m; ++i) {
-        float *crow = pc + i * n;
-        if (has_bias) {
-            const float *pbias = bias.data();
-            for (std::int64_t j = 0; j < n; ++j)
-                crow[j] = pbias[j];
-        }
-        const float *arow = pa + i * k;
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f)
-                continue;
-            const float *brow = pb + kk * n;
-            for (std::int64_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
+    if (m >= 4) {
+        // Whole-output-row partition: every element of a row is
+        // produced by one chunk in the reference's i-k-j order.
+        parallelRun(opts, m, 1, [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i) {
+                float *crow = pc + i * n;
+                if (has_bias) {
+                    for (std::int64_t j = 0; j < n; ++j)
+                        crow[j] = pbias[j];
+                }
+                const float *arow = pa + i * k;
+                for (std::int64_t kk = 0; kk < k; ++kk) {
+                    const float av = arow[kk];
+                    const float *brow = pb + kk * n;
+                    for (std::int64_t j = 0; j < n; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        });
+    } else {
+        // Skinny (decode) shapes: partition output columns instead;
+        // each element still accumulates k-ascending.
+        parallelRun(opts, n, 64, [&](std::int64_t j0, std::int64_t j1) {
+            for (std::int64_t i = 0; i < m; ++i) {
+                float *crow = pc + i * n;
+                if (has_bias) {
+                    for (std::int64_t j = j0; j < j1; ++j)
+                        crow[j] = pbias[j];
+                }
+                const float *arow = pa + i * k;
+                for (std::int64_t kk = 0; kk < k; ++kk) {
+                    const float av = arow[kk];
+                    const float *brow = pb + kk * n;
+                    for (std::int64_t j = j0; j < j1; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        });
     }
     maybeRound(c, opts);
     return c;
 }
 
 Tensor
-matmulTransposed(const Tensor &a, const Tensor &b,
-                 const KernelOptions &opts)
+matmulPacked(const Tensor &a, const PackedMatrix &b, const Tensor &bias,
+             const KernelOptions &opts)
+{
+    LIA_ASSERT(a.ndim() == 2, "matmulPacked wants 2-D A");
+    LIA_ASSERT(!b.empty(), "matmulPacked against an unpacked operand");
+    const std::int64_t m = a.dim(0);
+    const std::int64_t k = a.dim(1);
+    const std::int64_t n = b.n;
+    LIA_ASSERT(b.k == k, "matmulPacked inner dimension mismatch: ",
+               k, " vs ", b.k);
+    const bool has_bias = !bias.empty();
+    if (has_bias) {
+        LIA_ASSERT(bias.ndim() == 1 && bias.dim(0) == n,
+                   "bias shape mismatch");
+    }
+
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pbias = has_bias ? bias.data() : nullptr;
+    float *pc = c.data();
+    // Column-tile partition: good for m = 1 decode (tiles spread over
+    // threads) and for prefill (the tile stays L1/L2-resident across
+    // the row sweep). Every output element is produced inside exactly
+    // one tile in k-ascending order — bit-identical at any count.
+    parallelRun(opts, b.tiles(), 1,
+                [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t jt = t0; jt < t1; ++jt) {
+            const float *tile =
+                b.data.data() + jt * k * kPackTileWidth;
+            const std::int64_t j0 = jt * kPackTileWidth;
+            const std::int64_t jw = std::min(kPackTileWidth, n - j0);
+            std::int64_t i = 0;
+            for (; i + 4 <= m; i += 4)
+                packedBlock<4>(pa + i * k, k, tile, k, pbias, j0, jw,
+                               pc + i * n, n);
+            for (; i < m; ++i)
+                packedBlock<1>(pa + i * k, k, tile, k, pbias, j0, jw,
+                               pc + i * n, n);
+        }
+    });
+    maybeRound(c, opts);
+    return c;
+}
+
+Tensor
+scalarMatmulTransposed(const Tensor &a, const Tensor &b,
+                       const KernelOptions &opts)
 {
     LIA_ASSERT(a.ndim() == 2 && b.ndim() == 2,
                "matmulTransposed wants 2-D");
@@ -86,6 +346,50 @@ matmulTransposed(const Tensor &a, const Tensor &b,
             crow[j] = acc;
         }
     }
+    maybeRound(c, KernelOptions{opts.bf16Rounding, nullptr});
+    return c;
+}
+
+Tensor
+matmulTransposed(const Tensor &a, const Tensor &b,
+                 const KernelOptions &opts)
+{
+    LIA_ASSERT(a.ndim() == 2 && b.ndim() == 2,
+               "matmulTransposed wants 2-D");
+    const std::int64_t m = a.dim(0);
+    const std::int64_t k = a.dim(1);
+    const std::int64_t n = b.dim(0);
+    LIA_ASSERT(b.dim(1) == k, "inner dimension mismatch");
+
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    // Each output element is one dot product accumulated k-ascending;
+    // partition rows when there are enough, columns otherwise.
+    const auto dotRange = [&](std::int64_t i0, std::int64_t i1,
+                              std::int64_t j0, std::int64_t j1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+            const float *arow = pa + i * k;
+            float *crow = pc + i * n;
+            for (std::int64_t j = j0; j < j1; ++j) {
+                const float *brow = pb + j * k;
+                float acc = 0.0f;
+                for (std::int64_t kk = 0; kk < k; ++kk)
+                    acc += arow[kk] * brow[kk];
+                crow[j] = acc;
+            }
+        }
+    };
+    if (m >= 4) {
+        parallelRun(opts, m, 1, [&](std::int64_t i0, std::int64_t i1) {
+            dotRange(i0, i1, 0, n);
+        });
+    } else {
+        parallelRun(opts, n, 16, [&](std::int64_t j0, std::int64_t j1) {
+            dotRange(0, m, j0, j1);
+        });
+    }
     maybeRound(c, opts);
     return c;
 }
@@ -104,23 +408,26 @@ causalSoftmaxRows(Tensor &t, std::int64_t offset,
     LIA_ASSERT(t.ndim() == 2, "softmax wants 2-D");
     const std::int64_t rows = t.dim(0);
     const std::int64_t cols = t.dim(1);
-    for (std::int64_t i = 0; i < rows; ++i) {
-        float *row = t.data() + i * cols;
-        const std::int64_t limit = std::min(cols, offset + i + 1);
-        LIA_ASSERT(limit > 0, "softmax row fully masked");
-        float max_val = row[0];
-        for (std::int64_t j = 1; j < limit; ++j)
-            max_val = std::max(max_val, row[j]);
-        float sum = 0.0f;
-        for (std::int64_t j = 0; j < limit; ++j) {
-            row[j] = std::exp(row[j] - max_val);
-            sum += row[j];
+    float *pt = t.data();
+    parallelRun(opts, rows, 1, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t i = r0; i < r1; ++i) {
+            float *row = pt + i * cols;
+            const std::int64_t limit = std::min(cols, offset + i + 1);
+            LIA_ASSERT(limit > 0, "softmax row fully masked");
+            float max_val = row[0];
+            for (std::int64_t j = 1; j < limit; ++j)
+                max_val = std::max(max_val, row[j]);
+            float sum = 0.0f;
+            for (std::int64_t j = 0; j < limit; ++j) {
+                row[j] = std::exp(row[j] - max_val);
+                sum += row[j];
+            }
+            for (std::int64_t j = 0; j < limit; ++j)
+                row[j] /= sum;
+            for (std::int64_t j = limit; j < cols; ++j)
+                row[j] = 0.0f;
         }
-        for (std::int64_t j = 0; j < limit; ++j)
-            row[j] /= sum;
-        for (std::int64_t j = limit; j < cols; ++j)
-            row[j] = 0.0f;
-    }
+    });
     maybeRound(t, opts);
 }
 
@@ -137,24 +444,29 @@ layerNorm(const Tensor &x, const Tensor &gain, const Tensor &bias,
 
     Tensor out({rows, n});
     constexpr float eps = 1e-5f;
-    for (std::int64_t i = 0; i < rows; ++i) {
-        const float *row = x.data() + i * n;
-        float *orow = out.data() + i * n;
-        float mean = 0.0f;
-        for (std::int64_t j = 0; j < n; ++j)
-            mean += row[j];
-        mean /= static_cast<float>(n);
-        float var = 0.0f;
-        for (std::int64_t j = 0; j < n; ++j) {
-            const float d = row[j] - mean;
-            var += d * d;
+    const float *px = x.data();
+    const float *pg = gain.data();
+    const float *pb = bias.data();
+    float *po = out.data();
+    parallelRun(opts, rows, 1, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t i = r0; i < r1; ++i) {
+            const float *row = px + i * n;
+            float *orow = po + i * n;
+            float mean = 0.0f;
+            for (std::int64_t j = 0; j < n; ++j)
+                mean += row[j];
+            mean /= static_cast<float>(n);
+            float var = 0.0f;
+            for (std::int64_t j = 0; j < n; ++j) {
+                const float d = row[j] - mean;
+                var += d * d;
+            }
+            var /= static_cast<float>(n);
+            const float inv = 1.0f / std::sqrt(var + eps);
+            for (std::int64_t j = 0; j < n; ++j)
+                orow[j] = (row[j] - mean) * inv * pg[j] + pb[j];
         }
-        var /= static_cast<float>(n);
-        const float inv = 1.0f / std::sqrt(var + eps);
-        for (std::int64_t j = 0; j < n; ++j) {
-            orow[j] = (row[j] - mean) * inv * gain.at(j) + bias.at(j);
-        }
-    }
+    });
     maybeRound(out, opts);
     return out;
 }
@@ -162,18 +474,26 @@ layerNorm(const Tensor &x, const Tensor &gain, const Tensor &bias,
 void
 reluInPlace(Tensor &t, const KernelOptions &opts)
 {
-    for (std::int64_t i = 0; i < t.numel(); ++i)
-        t.data()[i] = std::max(t.data()[i], 0.0f);
+    float *p = t.data();
+    parallelRun(opts, t.numel(), 8192,
+                [p](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i)
+                        p[i] = std::max(p[i], 0.0f);
+                });
     maybeRound(t, opts);
 }
 
 void
 siluInPlace(Tensor &t, const KernelOptions &opts)
 {
-    for (std::int64_t i = 0; i < t.numel(); ++i) {
-        const float x = t.data()[i];
-        t.data()[i] = x / (1.0f + std::exp(-x));
-    }
+    float *p = t.data();
+    parallelRun(opts, t.numel(), 2048,
+                [p](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i) {
+                        const float x = p[i];
+                        p[i] = x / (1.0f + std::exp(-x));
+                    }
+                });
     maybeRound(t, opts);
 }
 
@@ -181,8 +501,13 @@ void
 mulInPlace(Tensor &a, const Tensor &b, const KernelOptions &opts)
 {
     LIA_ASSERT(a.shape() == b.shape(), "mul shape mismatch");
-    for (std::int64_t i = 0; i < a.numel(); ++i)
-        a.data()[i] *= b.data()[i];
+    float *pa = a.data();
+    const float *pb = b.data();
+    parallelRun(opts, a.numel(), 8192,
+                [pa, pb](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i)
+                        pa[i] *= pb[i];
+                });
     maybeRound(a, opts);
 }
 
@@ -191,8 +516,13 @@ add(const Tensor &a, const Tensor &b, const KernelOptions &opts)
 {
     LIA_ASSERT(a.shape() == b.shape(), "add shape mismatch");
     Tensor c = a.clone();
-    for (std::int64_t i = 0; i < c.numel(); ++i)
-        c.data()[i] += b.data()[i];
+    float *pc = c.data();
+    const float *pb = b.data();
+    parallelRun(opts, c.numel(), 8192,
+                [pc, pb](std::int64_t i0, std::int64_t i1) {
+                    for (std::int64_t i = i0; i < i1; ++i)
+                        pc[i] += pb[i];
+                });
     maybeRound(c, opts);
     return c;
 }
@@ -206,7 +536,12 @@ argmaxRows(const Tensor &t)
     for (std::int64_t i = 0; i < t.dim(0); ++i) {
         const float *row = t.data() + i * t.dim(1);
         std::int64_t best = 0;
-        for (std::int64_t j = 1; j < t.dim(1); ++j) {
+        for (std::int64_t j = 0; j < t.dim(1); ++j) {
+            LIA_ASSERT(!std::isnan(row[j]),
+                       "argmaxRows: NaN logit in row ", i,
+                       " column ", j);
+            // Strict > keeps the first index on ties: greedy decode
+            // determinism pins this ordering.
             if (row[j] > row[best])
                 best = j;
         }

@@ -2,27 +2,73 @@
  * @file
  * Numeric kernels of the functional back-end.
  *
- * Plain portable implementations of the operations a decoder layer
- * needs. Every kernel optionally rounds its output through BF16 so the
- * runtime reproduces half-precision numerics. Kernels are device
+ * Cache-blocked, optionally multi-threaded implementations of the
+ * operations a decoder layer needs, plus retained single-thread scalar
+ * references. Every kernel optionally rounds its output through BF16 so
+ * the runtime reproduces half-precision numerics. Kernels are device
  * agnostic — the executor charges their cost to whichever SimDevice the
  * policy selected, so results are bit-identical regardless of policy
  * (a key invariant the integration tests check).
+ *
+ * Determinism policy (DESIGN.md §7): parallel kernels partition work
+ * into self-contained units — whole output rows, fixed column tiles,
+ * disjoint element ranges — whose internal floating-point operation
+ * order matches the scalar reference exactly. Results are therefore
+ * bit-identical to the references at any thread count, which keeps the
+ * golden greedy-decode and differential suites valid oracles.
  */
 
 #ifndef LIA_RUNTIME_KERNELS_HH
 #define LIA_RUNTIME_KERNELS_HH
 
+#include "base/thread_pool.hh"
 #include "runtime/tensor.hh"
 
 namespace lia {
 namespace runtime {
 
-/** Kernel numeric options. */
+/** Kernel numeric and execution options. */
 struct KernelOptions
 {
     bool bf16Rounding = true;  //!< round outputs through BF16
+    /**
+     * Pool running the kernel's data-parallel loops; nullptr executes
+     * serially inline. Thread count never changes results.
+     */
+    base::ThreadPool *pool = nullptr;
 };
+
+/**
+ * A weight matrix repacked for the blocked matmul inner kernel: the
+ * logical (k, n) operand is reordered into column tiles of
+ * kPackTileWidth — layout [tile][k][tileWidth], zero-padded in the
+ * final tile — so the microkernel streams one contiguous, cache-
+ * resident buffer per tile. Packing is layout-only: matmulPacked
+ * accumulates in exactly the scalar reference's k-order, so results
+ * are bit-identical to the unpacked kernels.
+ */
+struct PackedMatrix
+{
+    std::int64_t k = 0;     //!< inner (reduction) extent
+    std::int64_t n = 0;     //!< output columns
+    std::vector<float> data;
+
+    bool empty() const { return data.empty(); }
+    std::int64_t tiles() const;
+    double fp32Bytes() const
+    {
+        return 4.0 * static_cast<double>(data.size());
+    }
+};
+
+/** Column-tile width of PackedMatrix (8 floats = two SSE vectors). */
+inline constexpr std::int64_t kPackTileWidth = 8;
+
+/** Pack a (k, n) operand of matmul. */
+PackedMatrix packColumns(const Tensor &b);
+
+/** Pack a (n, k) operand of matmulTransposed (logical B^T). */
+PackedMatrix packTransposed(const Tensor &b);
 
 /**
  * C = A x B (+ bias broadcast over rows).
@@ -37,6 +83,24 @@ Tensor matmul(const Tensor &a, const Tensor &b, const Tensor &bias,
 /** C = A x B^T, with A (m, k) and B (n, k). */
 Tensor matmulTransposed(const Tensor &a, const Tensor &b,
                         const KernelOptions &opts = {});
+
+/**
+ * C = A x B (+ bias) against a pre-packed operand: the register-
+ * blocked tile microkernel behind the executor's weight matmuls.
+ * Bit-identical to matmul(a, unpacked, bias) at any thread count.
+ */
+Tensor matmulPacked(const Tensor &a, const PackedMatrix &b,
+                    const Tensor &bias, const KernelOptions &opts = {});
+
+/**
+ * Retained single-thread scalar references (the pre-blocking kernels).
+ * The parallel/blocked paths must match them bit for bit; the property
+ * suite and the kernel-throughput benchmark both compare against them.
+ */
+Tensor scalarMatmul(const Tensor &a, const Tensor &b, const Tensor &bias,
+                    const KernelOptions &opts = {});
+Tensor scalarMatmulTransposed(const Tensor &a, const Tensor &b,
+                              const KernelOptions &opts = {});
 
 /** Row-wise softmax over the last axis of a 2-D tensor. */
 void softmaxRows(Tensor &t, const KernelOptions &opts = {});
@@ -66,7 +130,11 @@ void mulInPlace(Tensor &a, const Tensor &b,
 Tensor add(const Tensor &a, const Tensor &b,
            const KernelOptions &opts = {});
 
-/** Row-wise argmax of a 2-D tensor (greedy sampling). */
+/**
+ * Row-wise argmax of a 2-D tensor (greedy sampling). Ties resolve to
+ * the first (lowest) index — greedy-decode determinism depends on
+ * that — and a NaN logit is a kernel bug upstream, so it panics.
+ */
 std::vector<std::int64_t> argmaxRows(const Tensor &t);
 
 } // namespace runtime

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 
 namespace lia {
 namespace runtime {
@@ -141,31 +143,69 @@ KvCache::restore(KvSnapshot &snapshot)
     return true;
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/** FNV-1a over one FP32 bit pattern. */
+std::uint64_t
+mixFloat(std::uint64_t hash, float value)
+{
+    std::uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (int shift = 0; shift < 32; shift += 8) {
+        hash ^= (bits >> shift) & 0xffu;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+} // namespace
+
 std::uint64_t
 KvCache::fingerprint(std::int64_t tokens) const
 {
     const std::int64_t len =
         tokens < 0 ? length_ : std::min(tokens, length_);
-    std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset
-    const auto mix = [&hash](float value) {
-        std::uint32_t bits;
-        static_assert(sizeof(bits) == sizeof(value));
-        std::memcpy(&bits, &value, sizeof(bits));
-        for (int shift = 0; shift < 32; shift += 8) {
-            hash ^= (bits >> shift) & 0xffu;
-            hash *= 1099511628211ull;
-        }
-    };
-    for (std::int64_t l = 0; l < config_.numLayers; ++l) {
-        const Tensor &kd = keys_[static_cast<std::size_t>(l)];
-        const Tensor &vd = values_[static_cast<std::size_t>(l)];
-        for (std::int64_t b = 0; b < batch_; ++b) {
-            for (std::int64_t i = 0; i < len; ++i) {
-                for (std::int64_t c = 0; c < config_.kvDim(); ++c) {
-                    mix(kd.at(b, i, c));
-                    mix(vd.at(b, i, c));
+    const std::int64_t kv = config_.kvDim();
+
+    // Per-token FNV-1a digests computed in parallel, then folded in
+    // position order: the combination is a pure function of the
+    // stored bits, so two caches holding bit-identical KV for the
+    // prefix fingerprint identically at any thread count.
+    std::vector<std::uint64_t> perToken(static_cast<std::size_t>(len));
+    base::ThreadPool::shared().parallelFor(
+        len, 2, [&](std::int64_t t0, std::int64_t t1) {
+            for (std::int64_t i = t0; i < t1; ++i) {
+                std::uint64_t hash = kFnvOffset;
+                for (std::int64_t l = 0; l < config_.numLayers; ++l) {
+                    const Tensor &kd =
+                        keys_[static_cast<std::size_t>(l)];
+                    const Tensor &vd =
+                        values_[static_cast<std::size_t>(l)];
+                    for (std::int64_t b = 0; b < batch_; ++b) {
+                        const std::int64_t base =
+                            (b * maxLen_ + i) * kv;
+                        const float *kr = kd.data() + base;
+                        const float *vr = vd.data() + base;
+                        for (std::int64_t c = 0; c < kv; ++c) {
+                            hash = mixFloat(hash, kr[c]);
+                            hash = mixFloat(hash, vr[c]);
+                        }
+                    }
                 }
+                perToken[static_cast<std::size_t>(i)] = hash;
             }
+        });
+
+    std::uint64_t hash = kFnvOffset;
+    for (std::int64_t i = 0; i < len; ++i) {
+        std::uint64_t digest = perToken[static_cast<std::size_t>(i)];
+        for (int shift = 0; shift < 64; shift += 8) {
+            hash ^= (digest >> shift) & 0xffu;
+            hash *= kFnvPrime;
         }
     }
     return hash;

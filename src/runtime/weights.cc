@@ -97,6 +97,23 @@ TransformerWeights::random(const model::ModelConfig &config, Rng &rng)
     return w;
 }
 
+void
+TransformerWeights::pack()
+{
+    for (LayerWeights &layer : layers) {
+        layer.packedWq = packColumns(layer.wq);
+        layer.packedWk = packColumns(layer.wk);
+        layer.packedWv = packColumns(layer.wv);
+        layer.packedWo = packColumns(layer.wo);
+        layer.packedW1 = packColumns(layer.w1);
+        layer.packedW2 = packColumns(layer.w2);
+        layer.packedWg =
+            layer.wg.empty() ? PackedMatrix{} : packColumns(layer.wg);
+    }
+    // The LM head is the tied embedding applied transposed.
+    packedLmHead = packTransposed(embedding);
+}
+
 namespace {
 
 /** Symmetric per-tensor fake-quantization onto a 2^bits grid. */
@@ -136,6 +153,9 @@ quantizeWeights(TransformerWeights &weights,
         }
     }
     weights.config = model::quantized(weights.config, precision);
+    // Any packed forms now describe pre-quantization values; rebuild.
+    if (!weights.packedLmHead.empty())
+        weights.pack();
 }
 
 double

@@ -16,6 +16,7 @@
 
 #include "base/rng.hh"
 #include "model/config.hh"
+#include "runtime/kernels.hh"
 #include "runtime/tensor.hh"
 
 namespace lia {
@@ -30,6 +31,16 @@ struct LayerWeights
     Tensor wg, bg;              //!< gate projection (gated FFNs only)
     Tensor lnAttnGain, lnAttnBias;  //!< pre-attention LayerNorm
     Tensor lnFfnGain, lnFfnBias;    //!< pre-FFN LayerNorm
+
+    /**
+     * One-time tile-packed forms of the projection matrices (the
+     * AMX-style packed-buffer strategy): built by
+     * TransformerWeights::pack(), consumed by the executor's
+     * matmulPacked calls. A layout cache only — packing changes no
+     * numerics and the packs never count toward model bytes.
+     */
+    PackedMatrix packedWq, packedWk, packedWv, packedWo;
+    PackedMatrix packedW1, packedWg, packedW2;
 
     /** BF16 bytes of all tensors in this layer. */
     double bf16Bytes() const;
@@ -47,9 +58,20 @@ struct TransformerWeights
     Tensor lnFinalGain, lnFinalBias;
     std::vector<LayerWeights> layers;
 
+    /** Tied LM head (embedding^T), tile-packed; see pack(). */
+    PackedMatrix packedLmHead;
+
     /** Deterministic synthetic weights. */
     static TransformerWeights random(const model::ModelConfig &config,
                                      Rng &rng);
+
+    /**
+     * (Re)build the packed forms of every projection matrix and the
+     * tied LM head. Idempotent; call after any weight mutation (the
+     * executor packs at construction). The gate pack stays empty for
+     * ungated configs.
+     */
+    void pack();
 
     /** BF16 bytes of all parameters. */
     double bf16Bytes() const;

@@ -26,6 +26,27 @@ synthWeights(const model::ModelConfig &model, std::uint64_t seed)
     return runtime::TransformerWeights::random(model, rng);
 }
 
+/**
+ * Every backend shares the process-wide kernel pool: the scheduler
+ * emits thousands of batch-of-one prefillChunk/decodeOne calls per
+ * run, and reusing one set of persistent workers (instead of any
+ * per-call spawning) keeps that stream cheap. Non-owning — the shared
+ * pool outlives every executor.
+ */
+std::shared_ptr<base::ThreadPool>
+sharedKernelPool()
+{
+    return {&base::ThreadPool::shared(), [](base::ThreadPool *) {}};
+}
+
+runtime::ExecutorConfig
+backendExecutorConfig()
+{
+    runtime::ExecutorConfig cfg;
+    cfg.pool = sharedKernelPool();
+    return cfg;
+}
+
 } // namespace
 
 RuntimeBackend::RuntimeBackend(const hw::SystemConfig &system,
@@ -33,7 +54,7 @@ RuntimeBackend::RuntimeBackend(const hw::SystemConfig &system,
                                const Config &config)
     : model_(model), config_(config),
       executor_(system, synthWeights(model, config.seed),
-                runtime::ExecutorConfig{})
+                backendExecutorConfig())
 {
     model_.validate();
     config_.validate();

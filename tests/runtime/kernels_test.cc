@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include <limits>
 #include <stdexcept>
 
 #include "base/logging.hh"
@@ -194,6 +195,30 @@ TEST(ArgmaxTest, PicksRowMaximum)
     const auto idx = argmaxRows(t);
     EXPECT_EQ(idx[0], 1);
     EXPECT_EQ(idx[1], 2);
+}
+
+TEST(ArgmaxTest, TiesResolveToFirstIndex)
+{
+    // Greedy decode depends on deterministic tie-breaking: the lowest
+    // index holding the maximum wins, wherever the duplicates sit.
+    Tensor t({3, 4});
+    t.at(0, 1) = 2.0f; t.at(0, 3) = 2.0f;           // interior tie
+    t.at(1, 0) = 7.0f; t.at(1, 1) = 7.0f;
+    t.at(1, 2) = 7.0f; t.at(1, 3) = 7.0f;           // all-equal row
+    /* row 2 all zeros: a degenerate all-equal tie too */
+    const auto idx = argmaxRows(t);
+    EXPECT_EQ(idx[0], 1);
+    EXPECT_EQ(idx[1], 0);
+    EXPECT_EQ(idx[2], 0);
+}
+
+TEST(ArgmaxTest, NanLogitPanics)
+{
+    lia::detail::setThrowOnError(true);
+    Tensor t({1, 3});
+    t.at(0, 1) = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_THROW(argmaxRows(t), std::logic_error);
+    lia::detail::setThrowOnError(false);
 }
 
 TEST(KernelTest, Bf16RoundingChangesResultsSlightly)
