@@ -109,7 +109,17 @@ ThreadPool::workerLoop()
         }
         runChunks(*job);
         // Wake the caller in case this worker retired the final chunk.
-        finished_.notify_one();
+        // The empty critical section is the classic lost-wakeup fence:
+        // job.done is incremented outside mutex_, so without it the
+        // final increment + notify could land between the caller's
+        // predicate check (made under the lock) and its block, and the
+        // caller would sleep forever. Taking the mutex here forces the
+        // worker to wait until the caller either re-reads done under
+        // the lock or is parked where notify_all can reach it.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+        }
+        finished_.notify_all();
     }
 }
 
@@ -127,6 +137,13 @@ ThreadPool::parallelFor(std::int64_t n, std::int64_t grain,
         body(0, n);
         return;
     }
+
+    // The pool has a single job slot, so concurrent external callers
+    // take turns: the second blocks here until the first drains. A
+    // body that re-enters parallelFor never reaches this lock — the
+    // caller thread is marked tlsInsideWorker while running chunks,
+    // so nested calls take the inline path above.
+    std::lock_guard<std::mutex> dispatch(dispatchMutex_);
 
     auto job = std::make_shared<Job>();
     job->body = &body;
@@ -151,7 +168,8 @@ ThreadPool::parallelFor(std::int64_t n, std::int64_t grain,
             return job->done.load(std::memory_order_acquire) ==
                    job->chunks;
         });
-        job_.reset();
+        if (job_ == job)
+            job_.reset();
     }
     if (job->error)
         std::rethrow_exception(job->error);

@@ -21,6 +21,12 @@
  * worker) execute inline on the calling worker — no deadlock, no
  * oversubscription, and the inner loop's sequential order is exactly
  * the serial one.
+ *
+ * Concurrency: the pool holds a single in-flight job, so concurrent
+ * parallelFor calls from different non-worker threads serialize on an
+ * internal dispatch mutex — safe, but the second caller blocks until
+ * the first loop drains. Callers wanting genuine loop-level overlap
+ * should use separate pools.
  */
 
 #ifndef LIA_BASE_THREAD_POOL_HH
@@ -71,7 +77,8 @@ class ThreadPool
      * index lands in exactly one chunk, so bodies whose units are
      * independent produce thread-count-invariant results. The first
      * exception a chunk throws is rethrown on the calling thread after
-     * the loop drains.
+     * the loop drains. Thread-safe: concurrent calls from different
+     * threads serialize (see the class comment).
      */
     void parallelFor(std::int64_t n, std::int64_t grain,
                      const RangeFn &body);
@@ -106,6 +113,7 @@ class ThreadPool
     void runChunks(Job &job);
 
     std::vector<std::thread> workers_;
+    std::mutex dispatchMutex_;         //!< serializes external callers
     std::mutex mutex_;
     std::condition_variable wake_;     //!< workers: new job / stop
     std::condition_variable finished_; //!< caller: job drained

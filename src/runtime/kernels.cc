@@ -535,17 +535,20 @@ argmaxRows(const Tensor &t)
     out.reserve(static_cast<std::size_t>(t.dim(0)));
     for (std::int64_t i = 0; i < t.dim(0); ++i) {
         const float *row = t.data() + i * t.dim(1);
-        std::int64_t best = 0;
+        // NaN logits are defined to never win: a single sequence's
+        // numeric blow-up must not take down the whole serving
+        // process, so the row still yields a deterministic token
+        // (index 0 when every logit is NaN) instead of aborting.
+        std::int64_t best = -1;
         for (std::int64_t j = 0; j < t.dim(1); ++j) {
-            LIA_ASSERT(!std::isnan(row[j]),
-                       "argmaxRows: NaN logit in row ", i,
-                       " column ", j);
+            if (std::isnan(row[j]))
+                continue;
             // Strict > keeps the first index on ties: greedy decode
             // determinism pins this ordering.
-            if (row[j] > row[best])
+            if (best < 0 || row[j] > row[best])
                 best = j;
         }
-        out.push_back(best);
+        out.push_back(best < 0 ? 0 : best);
     }
     return out;
 }

@@ -133,7 +133,10 @@ Tensor add(const Tensor &a, const Tensor &b,
 /**
  * Row-wise argmax of a 2-D tensor (greedy sampling). Ties resolve to
  * the first (lowest) index — greedy-decode determinism depends on
- * that — and a NaN logit is a kernel bug upstream, so it panics.
+ * that. NaN logits never win: they are skipped, and a row whose
+ * logits are all NaN yields index 0, so one sequence's numeric
+ * blow-up degrades to a garbage-but-deterministic token instead of
+ * killing the serving process.
  */
 std::vector<std::int64_t> argmaxRows(const Tensor &t);
 

@@ -165,18 +165,20 @@ mixFloat(std::uint64_t hash, float value)
 } // namespace
 
 std::uint64_t
-KvCache::fingerprint(std::int64_t tokens) const
+KvCache::fingerprint(std::int64_t tokens, base::ThreadPool *pool) const
 {
     const std::int64_t len =
         tokens < 0 ? length_ : std::min(tokens, length_);
     const std::int64_t kv = config_.kvDim();
+    if (pool == nullptr)
+        pool = &base::ThreadPool::shared();
 
     // Per-token FNV-1a digests computed in parallel, then folded in
     // position order: the combination is a pure function of the
     // stored bits, so two caches holding bit-identical KV for the
     // prefix fingerprint identically at any thread count.
     std::vector<std::uint64_t> perToken(static_cast<std::size_t>(len));
-    base::ThreadPool::shared().parallelFor(
+    pool->parallelFor(
         len, 2, [&](std::int64_t t0, std::int64_t t1) {
             for (std::int64_t i = t0; i < t1; ++i) {
                 std::uint64_t hash = kFnvOffset;

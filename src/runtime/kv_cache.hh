@@ -24,6 +24,10 @@
 #include "runtime/tensor.hh"
 
 namespace lia {
+namespace base {
+class ThreadPool;
+} // namespace base
+
 namespace runtime {
 
 /**
@@ -92,9 +96,13 @@ class KvCache
      * first @p tokens of stored K and V (all layers); -1 digests the
      * whole cache. Two caches holding bit-identical KV for a prefix
      * fingerprint identically — the evict/recompute and swap/restore
-     * continuity checks rest on this.
+     * continuity checks rest on this. Per-token digests run on
+     * @p pool (null selects the process-wide shared pool), matching
+     * the executor's construction-time pool injection; the result is
+     * the same at any thread count.
      */
-    std::uint64_t fingerprint(std::int64_t tokens = -1) const;
+    std::uint64_t fingerprint(std::int64_t tokens = -1,
+                              base::ThreadPool *pool = nullptr) const;
 
   private:
     Tensor sliceCurrent(const Tensor &full) const;

@@ -40,10 +40,10 @@ sharedKernelPool()
 }
 
 runtime::ExecutorConfig
-backendExecutorConfig()
+backendExecutorConfig(std::shared_ptr<base::ThreadPool> pool)
 {
     runtime::ExecutorConfig cfg;
-    cfg.pool = sharedKernelPool();
+    cfg.pool = std::move(pool);
     return cfg;
 }
 
@@ -52,9 +52,9 @@ backendExecutorConfig()
 RuntimeBackend::RuntimeBackend(const hw::SystemConfig &system,
                                const model::ModelConfig &model,
                                const Config &config)
-    : model_(model), config_(config),
+    : model_(model), config_(config), kernelPool_(sharedKernelPool()),
       executor_(system, synthWeights(model, config.seed),
-                backendExecutorConfig())
+                backendExecutorConfig(kernelPool_))
 {
     model_.validate();
     config_.validate();
@@ -120,7 +120,7 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
         Sequence &seq = sequence(request.id);
         LIA_ASSERT(seq.parked.empty(), "request ", request.id,
                    " swapped out while already parked");
-        seq.parkedDigest = seq.cache->fingerprint();
+        seq.parkedDigest = seq.cache->fingerprint(-1, kernelPool_.get());
         ddrBytes_ -= seq.cache->bf16Bytes();
         seq.parked = seq.cache->evict();
         swapBytes_ += seq.parked.bytes;
@@ -141,7 +141,7 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
         // The recompute pass must rebuild exactly this cache (and then
         // one more position, which samples the continuation token).
         seq.evictedLength = seq.cache->length();
-        seq.evictedDigest = seq.cache->fingerprint();
+        seq.evictedDigest = seq.cache->fingerprint(-1, kernelPool_.get());
         seq.recomputing = true;
         LIA_ASSERT(seq.evictedLength == request.prefillTarget - 1,
                    "evicted cache holds ", seq.evictedLength,
@@ -165,7 +165,8 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
         LIA_ASSERT(seq.cache->restore(seq.parked),
                    "restoring request ", request.id,
                    " into its empty cache failed");
-        LIA_ASSERT(seq.cache->fingerprint() == seq.parkedDigest,
+        LIA_ASSERT(seq.cache->fingerprint(-1, kernelPool_.get()) ==
+                       seq.parkedDigest,
                    "request ", request.id,
                    "'s KV changed across swap-out/swap-in");
         swapBytes_ -= bytes;
@@ -241,7 +242,8 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
         // emitted token — the first output token of a fresh prefill,
         // the continuation token of a recompute.
         if (seq.recomputing) {
-            LIA_ASSERT(seq.cache->fingerprint(seq.evictedLength) ==
+            LIA_ASSERT(seq.cache->fingerprint(seq.evictedLength,
+                                              kernelPool_.get()) ==
                            seq.evictedDigest,
                        "recompute of request ", request.id,
                        " did not rebuild the evicted KV bit-identically");

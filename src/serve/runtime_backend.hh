@@ -140,6 +140,8 @@ class RuntimeBackend : public ExecutionBackend
 
     model::ModelConfig model_;
     Config config_;
+    /** Kernel pool shared with executor_ and fingerprint checks. */
+    std::shared_ptr<base::ThreadPool> kernelPool_;
     runtime::CooperativeExecutor executor_;
 
     std::map<std::uint64_t, Sequence> live_;

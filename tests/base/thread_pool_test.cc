@@ -121,6 +121,40 @@ TEST(ThreadPoolTest, ManySmallLoopsReuseWorkers)
     }
 }
 
+TEST(ThreadPoolTest, ConcurrentExternalCallersSerializeSafely)
+{
+    // The pool holds a single job slot: two non-worker threads
+    // dispatching at once must take turns, not overwrite each other's
+    // job (which used to abandon one caller's loop and could strand a
+    // waiter forever). Each caller's loop must still visit every
+    // index exactly once.
+    ThreadPool pool(4);
+    constexpr int kCallers = 4;
+    constexpr std::int64_t n = 4096;
+    std::vector<std::int64_t> sums(kCallers, 0);
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&pool, &sums, c] {
+            for (int round = 0; round < 50; ++round) {
+                std::atomic<std::int64_t> sum{0};
+                pool.parallelFor(
+                    n, 1, [&sum](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i)
+                            sum.fetch_add(i,
+                                          std::memory_order_relaxed);
+                    });
+                sums[static_cast<std::size_t>(c)] = sum.load();
+            }
+        });
+    }
+    for (std::thread &caller : callers)
+        caller.join();
+    for (int c = 0; c < kCallers; ++c)
+        EXPECT_EQ(sums[static_cast<std::size_t>(c)], n * (n - 1) / 2)
+            << "caller " << c;
+}
+
 TEST(ThreadPoolTest, PartitionIsDeterministicPerPool)
 {
     // Same (n, grain, threadCount) must produce identical chunk

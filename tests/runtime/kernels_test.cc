@@ -212,13 +212,19 @@ TEST(ArgmaxTest, TiesResolveToFirstIndex)
     EXPECT_EQ(idx[2], 0);
 }
 
-TEST(ArgmaxTest, NanLogitPanics)
+TEST(ArgmaxTest, NanLogitsNeverWin)
 {
-    lia::detail::setThrowOnError(true);
-    Tensor t({1, 3});
-    t.at(0, 1) = std::numeric_limits<float>::quiet_NaN();
-    EXPECT_THROW(argmaxRows(t), std::logic_error);
-    lia::detail::setThrowOnError(false);
+    // A sequence whose logits blow up must not kill the server: NaN
+    // entries are skipped deterministically, wherever they sit.
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    Tensor t({3, 3});
+    t.at(0, 0) = nan; t.at(0, 1) = -2.0f; t.at(0, 2) = -5.0f;
+    t.at(1, 0) = 1.0f; t.at(1, 1) = nan; t.at(1, 2) = 4.0f;
+    t.at(2, 0) = nan; t.at(2, 1) = nan; t.at(2, 2) = nan;
+    const auto idx = argmaxRows(t);
+    EXPECT_EQ(idx[0], 1);  // NaN in the initial slot never poisons
+    EXPECT_EQ(idx[1], 2);
+    EXPECT_EQ(idx[2], 0);  // all-NaN row: defined fallback index
 }
 
 TEST(KernelTest, Bf16RoundingChangesResultsSlightly)
