@@ -9,8 +9,12 @@
  * and sweeps the arrival rate. Reports steady-state occupancy, the
  * preemption rate, the swap-vs-recompute exit mix, and the serving
  * percentiles — then emits the whole sweep as JSON to
- * BENCH_preemptive_scheduling.json so the bench trajectory is
- * machine-readable.
+ * BENCH_preemptive_scheduling.json (full serving metrics via
+ * Metrics::toJson) so the bench trajectory is machine-readable.
+ * `--trace-out trace.json` additionally records the preemptive run
+ * at the highest swept rate as a Chrome-trace / Perfetto timeline —
+ * the swap-channel track and preempt.swap_out/preempt.evict instants
+ * make the victim-exit decisions visible.
  */
 
 #include <fstream>
@@ -19,10 +23,13 @@
 #include <string>
 #include <vector>
 
+#include "base/args.hh"
 #include "base/table.hh"
 #include "hw/system.hh"
 #include "model/config.hh"
+#include "obs/chrome_trace.hh"
 #include "serve/engine.hh"
+#include "serve/metrics.hh"
 
 namespace {
 
@@ -34,7 +41,8 @@ constexpr double kTtftSlo = 30.0;
 constexpr double kE2eSlo = 180.0;
 
 serve::Result
-runAt(double per_minute, SchedulerPolicy policy)
+runAt(double per_minute, SchedulerPolicy policy,
+      obs::EventSink *sink = nullptr)
 {
     serve::Config cfg;
     cfg.arrivalRatePerSecond = per_minute / 60.0;
@@ -44,6 +52,7 @@ runAt(double per_minute, SchedulerPolicy policy)
     cfg.policy = policy;
     cfg.maxBatch = 32;
     cfg.kvBudgetCapBytes = kKvBudgetBytes;
+    cfg.sink = sink;
     if (policy == SchedulerPolicy::Preemptive)
         cfg.prefillChunkTokens = 256;
     serve::ServingEngine engine(hw::withCxl(hw::sprA100()),
@@ -60,34 +69,27 @@ jsonRecord(double rate, SchedulerPolicy policy,
         mx.preemptions > 0 ? static_cast<double>(mx.swapOuts) /
                                  static_cast<double>(mx.preemptions)
                            : 0.0;
+    // Per-point derived quantities only; the raw counters and
+    // distributions all come from Metrics::toJson.
     std::ostringstream out;
     out << "    {\"rate_per_min\": " << rate << ", \"policy\": \""
         << serve::toString(policy) << "\""
-        << ", \"completed\": " << mx.completed
-        << ", \"rejected\": " << mx.rejected()
-        << ", \"occupancy_mean\": " << mx.batchOccupancy.mean()
-        << ", \"kv_occupancy_mean\": " << mx.kvOccupancy.mean()
-        << ", \"kv_peak_bytes\": " << mx.kvReservedPeakBytes
-        << ", \"preemption_rate\": " << mx.preemptionRate()
-        << ", \"preemptions\": " << mx.preemptions
-        << ", \"swap_outs\": " << mx.swapOuts
-        << ", \"recomputes\": " << mx.recomputes
         << ", \"swap_share\": " << swap_share
-        << ", \"prefill_chunks\": " << mx.prefillChunks
-        << ", \"swap_busy_s\": " << mx.swapBusyTime
-        << ", \"p95_ttft_s\": " << mx.ttft.p95()
-        << ", \"p95_token_gap_s\": "
-        << (mx.tokenGap.count() > 0 ? mx.tokenGap.p95() : 0.0)
+        << ", \"preemption_rate\": " << mx.preemptionRate()
         << ", \"goodput_per_min\": " << goodput * 60.0
-        << ", \"makespan_s\": " << mx.makespan << "}";
+        << ", \"metrics\": " << mx.toJson() << "}";
     return out.str();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const ArgParser args(argc, argv);
+    const std::string trace_out = args.getString("trace-out");
+    obs::ChromeTraceWriter trace;
+
     const auto sys = hw::withCxl(hw::sprA100());
     const auto m = model::opt30b();
 
@@ -113,7 +115,12 @@ main()
     std::vector<std::string> records;
     for (double rate : rates_per_min) {
         for (SchedulerPolicy policy : policies) {
-            const auto result = runAt(rate, policy);
+            const bool traced =
+                !trace_out.empty() &&
+                policy == SchedulerPolicy::Preemptive &&
+                rate == rates_per_min.back();
+            const auto result =
+                runAt(rate, policy, traced ? &trace : nullptr);
             const auto &mx = result.metrics;
             const double goodput = result.goodputPerSecond(slo);
             table.addRow(
@@ -149,5 +156,15 @@ main()
     std::ofstream file(path);
     file << json.str();
     std::cout << "\nwrote " << path << "\n";
+
+    if (!trace_out.empty()) {
+        if (trace.writeFile(trace_out))
+            std::cout << "wrote " << trace.events().size()
+                      << "-event Chrome trace to " << trace_out
+                      << "\n";
+        else
+            std::cerr << "failed to write trace to " << trace_out
+                      << "\n";
+    }
     return 0;
 }

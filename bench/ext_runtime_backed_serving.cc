@@ -11,7 +11,14 @@
  * the executed-work counters against the
  * engine's analytical accounting, greedy-output continuity across
  * preemption, and the wall-clock cost of functional execution — then
- * emits the sweep as JSON to BENCH_runtime_backed_serving.json.
+ * emits the sweep as JSON to BENCH_runtime_backed_serving.json (full
+ * serving metrics via Metrics::toJson).
+ *
+ * Every backed run profiles the real kernels (wall-clock scoped
+ * timers, ExecutorConfig::profileKernels); the per-point profiles go
+ * to BENCH_kernel_profile.json. `--trace-out trace.json` records the
+ * backed run at the largest DDR+CXL budget as a Chrome-trace /
+ * Perfetto timeline.
  */
 
 #include <chrono>
@@ -22,11 +29,14 @@
 #include <string>
 #include <vector>
 
+#include "base/args.hh"
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "core/engine.hh"
 #include "hw/system.hh"
 #include "model/config.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/profiler.hh"
 #include "serve/engine.hh"
 #include "serve/runtime_backend.hh"
 
@@ -71,6 +81,7 @@ struct Point
     bool countersMatch = false;
     double analyticSeconds = 0;
     double backedSeconds = 0;
+    std::string kernelProfileJson;  //!< wall-clock kernel breakdown
 };
 
 bool
@@ -90,31 +101,31 @@ countersMatchMetrics(const serve::RuntimeBackend::Counters &c,
 std::string
 jsonRecord(const Point &p)
 {
-    const auto &mx = p.result.metrics;
+    // Harness-level facts only; the serving counters and
+    // distributions come from Metrics::toJson.
     std::ostringstream out;
     out << "    {\"kv_cap_bytes\": " << p.kvCapBytes
         << ", \"cxl\": " << (p.cxl ? "true" : "false")
-        << ", \"completed\": " << mx.completed
-        << ", \"tokens\": " << mx.tokensGenerated
-        << ", \"preemptions\": " << mx.preemptions
-        << ", \"swap_outs\": " << mx.swapOuts
-        << ", \"recomputes\": " << mx.recomputes
-        << ", \"prefill_chunks\": " << mx.prefillChunks
         << ", \"decode_steps\": " << p.counters.decodeSteps
         << ", \"counters_match\": "
         << (p.countersMatch ? "true" : "false")
         << ", \"continuity_checked\": " << p.continuityChecked
         << ", \"continuity_mismatches\": " << p.continuityMismatches
         << ", \"analytic_wall_s\": " << p.analyticSeconds
-        << ", \"backed_wall_s\": " << p.backedSeconds << "}";
+        << ", \"backed_wall_s\": " << p.backedSeconds
+        << ", \"metrics\": " << p.result.metrics.toJson() << "}";
     return out.str();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const ArgParser args(argc, argv);
+    const std::string trace_out = args.getString("trace-out");
+    obs::ChromeTraceWriter trace;
+
     // The differential-test model: one KV token is 256 bytes, so KB
     // budgets force real preemption while forwards stay microseconds.
     const auto m = model::tinyOpt(32, 2, 2, 256, 101);
@@ -152,12 +163,21 @@ main()
         const serve::Result analytic = serving.run();
         const auto t1 = Clock::now();
 
-        serve::RuntimeBackend backend(sys, m, cfg);
-        p.result = serving.run(&backend);
+        // The backed run of the largest DDR+CXL budget is the traced
+        // one; a sink never changes scheduling, so the analytic
+        // cross-check below still holds (DESIGN.md §8).
+        serve::Config backedCfg = cfg;
+        if (!trace_out.empty() && cxl && cap == caps.back())
+            backedCfg.sink = &trace;
+        serve::ServingEngine backedServing(sys, m, backedCfg, costs);
+        serve::RuntimeBackend backend(sys, m, cfg,
+                                      /*profile_kernels=*/true);
+        p.result = backedServing.run(&backend);
         const auto t2 = Clock::now();
         p.analyticSeconds = seconds(t0, t1);
         p.backedSeconds = seconds(t1, t2);
         p.counters = backend.counters();
+        p.kernelProfileJson = backend.kernelProfiler()->toJson();
 
         // The backend is passive: both runs must schedule identically.
         LIA_ASSERT(analytic.metrics.iterations ==
@@ -221,5 +241,31 @@ main()
     std::ofstream file(path);
     file << json.str();
     std::cout << "\nwrote " << path << "\n";
+
+    // Wall-clock kernel attribution of every backed run (the data a
+    // perf PR needs to argue where the time went).
+    std::ostringstream prof;
+    prof << "{\n  \"bench\": \"runtime_backed_serving\",\n"
+         << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i)
+        prof << "    {\"kv_cap_bytes\": " << points[i].kvCapBytes
+             << ", \"cxl\": " << (points[i].cxl ? "true" : "false")
+             << ", \"kernels\": " << points[i].kernelProfileJson
+             << "}" << (i + 1 < points.size() ? ",\n" : "\n");
+    prof << "  ]\n}\n";
+    const std::string prof_path = "BENCH_kernel_profile.json";
+    std::ofstream prof_file(prof_path);
+    prof_file << prof.str();
+    std::cout << "wrote " << prof_path << "\n";
+
+    if (!trace_out.empty()) {
+        if (trace.writeFile(trace_out))
+            std::cout << "wrote " << trace.events().size()
+                      << "-event Chrome trace to " << trace_out
+                      << "\n";
+        else
+            std::cerr << "failed to write trace to " << trace_out
+                      << "\n";
+    }
     return 0;
 }

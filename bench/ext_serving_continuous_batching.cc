@@ -12,17 +12,27 @@
  * continuous vs static batching at equal p95 response time, and the
  * p95 TTFT of the SLO-aware policy at rates where unconstrained
  * continuous batching violates the TTFT target.
+ *
+ * Emits the whole sweep (serving metrics via Metrics::toJson) to
+ * BENCH_serving_continuous_batching.json. `--trace-out trace.json`
+ * additionally records the SLO-aware run at the highest swept rate
+ * as a Chrome-trace / Perfetto timeline.
  */
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <vector>
 
+#include "base/args.hh"
 #include "base/table.hh"
 #include "hw/system.hh"
 #include "model/config.hh"
+#include "obs/chrome_trace.hh"
 #include "serve/engine.hh"
+#include "serve/metrics.hh"
 
 namespace {
 
@@ -33,10 +43,14 @@ constexpr double kTbtSlo = 0.5;     //!< time-between-tokens target
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lia;
     using serve::SchedulerPolicy;
+
+    const ArgParser args(argc, argv);
+    const std::string trace_out = args.getString("trace-out");
+    obs::ChromeTraceWriter trace;
 
     const auto sys = hw::withCxl(hw::sprA100());
     const auto m = model::opt30b();
@@ -69,6 +83,13 @@ main()
             cfg.maxBatch = 64;
             cfg.slo.ttft = kTtftSlo;
             cfg.slo.tbt = kTbtSlo;
+            // The traced run: SLO-aware at the deepest overload, where
+            // admission, shedding, and queueing all show up.
+            if (!trace_out.empty() &&
+                policy == SchedulerPolicy::SloAware &&
+                rate == rates_per_min.back()) {
+                cfg.sink = &trace;
+            }
             serve::ServingEngine engine(sys, m, cfg);
             auto result = engine.run();
             const auto &mx = result.metrics;
@@ -141,5 +162,45 @@ main()
                  "explodes, while the\nSLO-aware scheduler sheds "
                  "late requests and keeps p95 TTFT inside the "
                  "target.\n";
+
+    // Machine-readable sweep: full metrics via Metrics::toJson, no
+    // hand-rolled per-field duplication.
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"serving_continuous_batching\",\n"
+         << "  \"system\": \"" << sys.name << "\",\n"
+         << "  \"model\": \"" << m.name << "\",\n"
+         << "  \"points\": [\n";
+    bool first = true;
+    for (double rate : rates_per_min) {
+        for (SchedulerPolicy policy : policies) {
+            const auto &result = runs[policy].at(rate);
+            json << (first ? "" : ",\n")
+                 << "    {\"rate_per_min\": " << rate
+                 << ", \"policy\": \"" << serve::toString(policy)
+                 << "\", \"goodput_per_min\": "
+                 << result.goodputPerSecond(
+                        serve::SloTargets{kTtftSlo, kTbtSlo, 0.0}) *
+                        60.0
+                 << ", \"metrics\": " << result.metrics.toJson()
+                 << "}";
+            first = false;
+        }
+    }
+    json << "\n  ]\n}\n";
+    const std::string path =
+        "BENCH_serving_continuous_batching.json";
+    std::ofstream file(path);
+    file << json.str();
+    std::cout << "\nwrote " << path << "\n";
+
+    if (!trace_out.empty()) {
+        if (trace.writeFile(trace_out))
+            std::cout << "wrote " << trace.events().size()
+                      << "-event Chrome trace to " << trace_out
+                      << "\n";
+        else
+            std::cerr << "failed to write trace to " << trace_out
+                      << "\n";
+    }
     return 0;
 }

@@ -14,34 +14,27 @@
  * on the identical arrival sequence.
  *
  * Usage: online_serving [num_requests] [seed]
+ *                       [--trace-out trace.json]
+ *
+ * --trace-out records the B = 1 serving-engine cross-check run as a
+ * Chrome-trace / Perfetto JSON timeline. Tracing never changes the
+ * metrics (DESIGN.md §8).
  */
 
 #include <cstdlib>
 #include <iostream>
 
+#include "base/args.hh"
 #include "base/stats.hh"
 #include "base/table.hh"
 #include "baselines/presets.hh"
 #include "hw/system.hh"
 #include "model/config.hh"
+#include "obs/chrome_trace.hh"
 #include "serve/engine.hh"
+#include "serve/metrics.hh"
 #include "sim/serving.hh"
 #include "trace/azure.hh"
-
-namespace {
-
-void
-addLatencyRow(lia::TextTable &table, const std::string &name,
-              const lia::SampleStats &stats, double baseline_mean)
-{
-    using namespace lia;
-    table.addRow({name, fmtDouble(stats.mean(), 2),
-                  fmtDouble(stats.p50(), 2), fmtDouble(stats.p95(), 2),
-                  fmtDouble(stats.p99(), 2),
-                  fmtRatio(stats.mean() / baseline_mean)});
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -49,12 +42,17 @@ main(int argc, char **argv)
     using namespace lia;
     using core::Scenario;
 
-    std::size_t requests = 40;
-    std::uint64_t seed = 7;
-    if (argc > 1)
-        requests = static_cast<std::size_t>(std::atoll(argv[1]));
-    if (argc > 2)
-        seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const ArgParser args(argc, argv);
+    const auto &pos = args.positional();
+    const std::size_t requests =
+        pos.size() > 0
+            ? static_cast<std::size_t>(std::atoll(pos[0].c_str()))
+            : 40;
+    const std::uint64_t seed =
+        pos.size() > 1
+            ? static_cast<std::uint64_t>(std::atoll(pos[1].c_str()))
+            : 7;
+    const std::string trace_out = args.getString("trace-out");
 
     const auto sys = hw::sprA100();
     const auto m = model::opt30b();
@@ -83,11 +81,10 @@ main(int argc, char **argv)
             plan.decodePolicy == core::Policy::fullCpu() ? 1 : 0;
     }
 
-    TextTable table({"framework", "mean (s)", "p50 (s)", "p95 (s)",
-                     "p99 (s)", "mean vs LIA"});
-    addLatencyRow(table, "LIA", lia_lat, lia_lat.mean());
-    addLatencyRow(table, "IPEX", ipex_lat, lia_lat.mean());
-    addLatencyRow(table, "FlexGen", fg_lat, lia_lat.mean());
+    TextTable table = serve::latencyTable("framework");
+    serve::addLatencyRow(table, "LIA", lia_lat, lia_lat.mean());
+    serve::addLatencyRow(table, "IPEX", ipex_lat, lia_lat.mean());
+    serve::addLatencyRow(table, "FlexGen", fg_lat, lia_lat.mean());
     table.print(std::cout);
 
     std::cout << "\nLIA chose the full-CPU decode policy on "
@@ -116,6 +113,7 @@ main(int argc, char **argv)
             return lia.estimate(Scenario{1, r.lIn, r.lOut}).latency();
         });
 
+    obs::ChromeTraceWriter trace;
     serve::Config serve_cfg;
     serve_cfg.arrivalRatePerSecond = rate;
     serve_cfg.requests = requests;
@@ -125,6 +123,8 @@ main(int argc, char **argv)
     serve_cfg.policy = serve::SchedulerPolicy::Continuous;
     serve_cfg.maxBatch = 1;
     serve_cfg.cxlSpill = false;
+    if (!trace_out.empty())
+        serve_cfg.sink = &trace;
     serve::ServingEngine engine(sys, m, serve_cfg);
     const auto modern = engine.run();
 
@@ -148,5 +148,15 @@ main(int argc, char **argv)
                  "bucket granularity — the\ncontinuous-batching "
                  "engine degenerates to the M/G/1 queue at "
                  "batch 1.\n";
+
+    if (!trace_out.empty()) {
+        if (trace.writeFile(trace_out))
+            std::cout << "\nWrote " << trace.events().size()
+                      << "-event Chrome trace to " << trace_out
+                      << " (open in ui.perfetto.dev)\n";
+        else
+            std::cerr << "\nFailed to write trace to " << trace_out
+                      << "\n";
+    }
     return 0;
 }

@@ -11,30 +11,48 @@
  * KV budget.
  *
  * Usage: serving_engine [requests] [arrivals_per_min] [seed]
+ *                       [--trace-out trace.json]
+ *                       [--series-out series.json]
+ *
+ * --trace-out records the preemptive-policy run as a Chrome-trace /
+ * Perfetto JSON timeline (open in ui.perfetto.dev); --series-out
+ * additionally dumps the per-iteration counter time series. Tracing
+ * never changes the metrics (DESIGN.md §8).
  */
 
 #include <cstdlib>
 #include <iostream>
+#include <utility>
+#include <vector>
 
+#include "base/args.hh"
 #include "base/table.hh"
 #include "hw/system.hh"
 #include "model/config.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/series.hh"
 #include "serve/engine.hh"
+#include "serve/metrics.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace lia;
 
-    std::size_t requests = 120;
-    double per_minute = 30.0;
-    std::uint64_t seed = 1;
-    if (argc > 1)
-        requests = static_cast<std::size_t>(std::atoll(argv[1]));
-    if (argc > 2)
-        per_minute = std::atof(argv[2]);
-    if (argc > 3)
-        seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+    const ArgParser args(argc, argv);
+    const auto &pos = args.positional();
+    const std::size_t requests =
+        pos.size() > 0
+            ? static_cast<std::size_t>(std::atoll(pos[0].c_str()))
+            : 120;
+    const double per_minute =
+        pos.size() > 1 ? std::atof(pos[1].c_str()) : 30.0;
+    const std::uint64_t seed =
+        pos.size() > 2
+            ? static_cast<std::uint64_t>(std::atoll(pos[2].c_str()))
+            : 1;
+    const std::string trace_out = args.getString("trace-out");
+    const std::string series_out = args.getString("series-out");
 
     const auto sys = hw::withCxl(hw::sprA100());
     const auto m = model::opt30b();
@@ -52,15 +70,25 @@ main(int argc, char **argv)
               << fmtDouble(per_minute, 0) << "/min (seed " << seed
               << ")\n\n";
 
+    // The preemptive run — the mechanically richest timeline — is the
+    // one the observability sinks record when requested.
+    obs::ChromeTraceWriter trace;
+    obs::SeriesRegistry series;
+    obs::TeeSink traced({&trace, &series});
+    const bool tracing = !trace_out.empty() || !series_out.empty();
+
     TextTable table({"policy", "completed", "shed", "util",
-                     "p50 TTFT", "p95 TTFT", "p95 TBT", "p95 resp",
-                     "tok/s", "goodput/min"});
+                     "p50 TTFT", "p95 TTFT", "p95 TBT", "tok/s",
+                     "goodput/min"});
+    std::vector<std::pair<std::string, SampleStats>> response_times;
     for (const auto policy : {serve::SchedulerPolicy::StaticFifo,
                               serve::SchedulerPolicy::Continuous,
                               serve::SchedulerPolicy::SloAware,
                               serve::SchedulerPolicy::Preemptive}) {
         serve::Config cfg = base;
         cfg.policy = policy;
+        if (tracing && policy == serve::SchedulerPolicy::Preemptive)
+            cfg.sink = &traced;
         serve::ServingEngine engine(sys, m, cfg);
         const auto result = engine.run();
         const auto &mx = result.metrics;
@@ -70,11 +98,42 @@ main(int argc, char **argv)
              fmtPercent(mx.utilisation()),
              fmtSeconds(mx.ttft.p50()), fmtSeconds(mx.ttft.p95()),
              fmtSeconds(mx.tbt.p95()),
-             fmtSeconds(mx.responseTime.p95()),
              fmtDouble(mx.tokensPerSecond(), 1),
              fmtDouble(result.goodputPerSecond(base.slo) * 60.0, 1)});
+        response_times.emplace_back(serve::toString(policy),
+                                    mx.responseTime);
     }
     table.print(std::cout);
+
+    // Response-time distributions in the shared latency-table format,
+    // static batching as the baseline.
+    std::cout << "\nResponse time by policy:\n";
+    TextTable latency = serve::latencyTable("policy");
+    const double base_mean = response_times.front().second.empty()
+                                 ? 0.0
+                                 : response_times.front().second.mean();
+    for (const auto &entry : response_times)
+        serve::addLatencyRow(latency, entry.first, entry.second,
+                             base_mean);
+    latency.print(std::cout);
+
+    if (!trace_out.empty()) {
+        if (trace.writeFile(trace_out))
+            std::cout << "\nWrote " << trace.events().size()
+                      << "-event Chrome trace to " << trace_out
+                      << " (open in ui.perfetto.dev)\n";
+        else
+            std::cerr << "\nFailed to write trace to " << trace_out
+                      << "\n";
+    }
+    if (!series_out.empty()) {
+        if (series.writeFile(series_out))
+            std::cout << "Wrote counter series to " << series_out
+                      << "\n";
+        else
+            std::cerr << "Failed to write series to " << series_out
+                      << "\n";
+    }
 
     // The CXL pool's contribution to serving: parameters leave DDR,
     // the freed capacity becomes KV admission budget (Table 3's batch

@@ -1,8 +1,156 @@
 #include "base/logging.hh"
 
+#include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
 namespace lia {
+
+namespace {
+
+struct LogConfig
+{
+    LogLevel level = LogLevel::Normal;
+    bool wallPrefix = false;
+    bool simPrefix = false;
+    std::ostream *stream = nullptr;           //!< nullptr = cout/cerr
+    std::function<double()> simTime;
+};
+
+/** Parse one lowercase LIA_LOG token into @p cfg; false if unknown. */
+bool
+applyToken(LogConfig &cfg, const std::string &token)
+{
+    if (token.empty())
+        return true;
+    if (token == "quiet")
+        cfg.level = LogLevel::Quiet;
+    else if (token == "normal")
+        cfg.level = LogLevel::Normal;
+    else if (token == "verbose")
+        cfg.level = LogLevel::Verbose;
+    else if (token == "wall")
+        cfg.wallPrefix = true;
+    else if (token == "sim")
+        cfg.simPrefix = true;
+    else
+        return false;
+    return true;
+}
+
+LogConfig
+parseEnv()
+{
+    LogConfig cfg;
+    const char *env = std::getenv("LIA_LOG");
+    if (!env)
+        return cfg;
+    std::string token;
+    for (const char *p = env;; ++p) {
+        if (*p != '\0' && *p != ',') {
+            if (*p != ' ')
+                token += static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(*p)));
+            continue;
+        }
+        if (!applyToken(cfg, token)) {
+            std::cerr << "warn: ignoring unknown LIA_LOG token \""
+                      << token << "\"" << std::endl;
+        }
+        token.clear();
+        if (*p == '\0')
+            break;
+    }
+    return cfg;
+}
+
+LogConfig &
+config()
+{
+    static LogConfig cfg = parseEnv();
+    return cfg;
+}
+
+/** Wall seconds since the first message (or config touch). */
+double
+wallSeconds()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+std::string
+prefix()
+{
+    const LogConfig &cfg = config();
+    std::string out;
+    char buf[48];
+    if (cfg.wallPrefix) {
+        std::snprintf(buf, sizeof(buf), "[wall %.3fs] ", wallSeconds());
+        out += buf;
+    }
+    if (cfg.simPrefix && cfg.simTime) {
+        std::snprintf(buf, sizeof(buf), "[sim %.6fs] ", cfg.simTime());
+        out += buf;
+    }
+    return out;
+}
+
+std::ostream &
+outStream()
+{
+    return config().stream ? *config().stream : std::cout;
+}
+
+std::ostream &
+errStream()
+{
+    return config().stream ? *config().stream : std::cerr;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return config().level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    config().level = level;
+}
+
+void
+setLogStream(std::ostream *out)
+{
+    config().stream = out;
+}
+
+void
+setWallTimePrefix(bool enable)
+{
+    config().wallPrefix = enable;
+    if (enable)
+        wallSeconds();  // pin the epoch
+}
+
+void
+setSimTimePrefix(bool enable)
+{
+    config().simPrefix = enable;
+}
+
+void
+setSimTimeProvider(std::function<double()> provider)
+{
+    config().simTime = std::move(provider);
+}
+
 namespace detail {
 
 namespace {
@@ -46,13 +194,23 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    errStream() << prefix() << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::cout << "info: " << msg << std::endl;
+    if (logLevel() == LogLevel::Quiet)
+        return;
+    outStream() << prefix() << "info: " << msg << std::endl;
+}
+
+void
+verboseImpl(const std::string &msg)
+{
+    if (logLevel() != LogLevel::Verbose)
+        return;
+    outStream() << prefix() << "verbose: " << msg << std::endl;
 }
 
 } // namespace detail

@@ -2,22 +2,73 @@
  * @file
  * Status and error reporting utilities in the gem5 style.
  *
- * panic()  - an internal invariant was violated (a library bug); aborts.
- * fatal()  - the simulation cannot continue because of a user error
- *            (bad configuration, invalid arguments); exits with code 1.
- * warn()   - something is questionable but the run can continue.
- * inform() - purely informational status output.
+ * panic()   - an internal invariant was violated (a library bug); aborts.
+ * fatal()   - the simulation cannot continue because of a user error
+ *             (bad configuration, invalid arguments); exits with code 1.
+ * warn()    - something is questionable but the run can continue.
+ * inform()  - purely informational status output.
+ * verbose() - detail output, shown only at LogLevel::Verbose.
+ *
+ * Output volume is controlled by the LIA_LOG environment variable, a
+ * comma-separated token list parsed on first use:
+ *
+ *   quiet | normal | verbose   select the level (default: normal);
+ *   wall                       prefix messages with wall seconds since
+ *                              process start ("[wall 1.234s]");
+ *   sim                        prefix messages with the current
+ *                              simulated time ("[sim 0.125s]") when a
+ *                              provider is installed (the serving
+ *                              engine installs one while it runs).
+ *
+ * Quiet silences inform()/verbose() chatter — benches use it to keep
+ * stdout machine-readable — but never warnings or errors. Programmatic
+ * overrides (setLogLevel() etc.) win over the environment and exist
+ * mainly so tests can exercise the filtering deterministically.
  */
 
 #ifndef LIA_BASE_LOGGING_HH
 #define LIA_BASE_LOGGING_HH
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 namespace lia {
+
+/** Logging verbosity; see the file comment for LIA_LOG semantics. */
+enum class LogLevel
+{
+    Quiet,    //!< warnings and errors only
+    Normal,   //!< + inform()
+    Verbose,  //!< + verbose()
+};
+
+/** Current level (LIA_LOG on first call unless overridden). */
+LogLevel logLevel();
+
+/** Override the level, winning over LIA_LOG. */
+void setLogLevel(LogLevel level);
+
+/**
+ * Redirect inform()/verbose()/warn() output to @p out (tests capture
+ * into a stringstream this way); nullptr restores cout/cerr.
+ */
+void setLogStream(std::ostream *out);
+
+/** Toggle the wall-clock prefix (LIA_LOG token "wall"). */
+void setWallTimePrefix(bool enable);
+
+/** Toggle the simulated-time prefix (LIA_LOG token "sim"). */
+void setSimTimePrefix(bool enable);
+
+/**
+ * Install the simulated-clock source used by the "sim" prefix; an
+ * empty function removes it. The serving engine installs its event
+ * queue's now() for the duration of a run.
+ */
+void setSimTimeProvider(std::function<double()> provider);
 
 namespace detail {
 
@@ -37,6 +88,7 @@ concatMessage(Args &&...args)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void verboseImpl(const std::string &msg);
 
 /**
  * Make panic()/fatal() throw std::logic_error/std::runtime_error instead
@@ -63,6 +115,19 @@ void setThrowOnError(bool enable);
 /** Report normal operating status. */
 #define LIA_INFORM(...) \
     ::lia::detail::informImpl(::lia::detail::concatMessage(__VA_ARGS__))
+
+/**
+ * Report detail status, shown only at LogLevel::Verbose. The level
+ * check guards message formatting, so a non-verbose run pays only the
+ * comparison.
+ */
+#define LIA_VERBOSE(...) \
+    do { \
+        if (::lia::logLevel() == ::lia::LogLevel::Verbose) { \
+            ::lia::detail::verboseImpl( \
+                ::lia::detail::concatMessage(__VA_ARGS__)); \
+        } \
+    } while (0)
 
 /** Panic when @p cond does not hold. */
 #define LIA_ASSERT(cond, ...) \

@@ -6,6 +6,14 @@
  *
  * Components expose a `registerStats(stats::Group &)` hook; harnesses
  * call `dump()` after a run to produce a machine-greppable report.
+ *
+ * Division of labour with base/stats.hh: this module is for *named,
+ * registered* O(1) counters and dump-time formulas — it never retains
+ * samples and has no percentile support. For latency distributions
+ * (mean/p50/p95/p99 over retained samples) use lia::SampleStats from
+ * base/stats.hh instead; that is the single home of the percentile
+ * implementation. A component can use both: SampleStats for the
+ * distribution, a Formula here to surface a summary in the dump.
  */
 
 #ifndef LIA_BASE_STATISTICS_HH

@@ -1,6 +1,7 @@
 #include "base/thread_pool.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -137,6 +138,25 @@ ThreadPool::parallelFor(std::int64_t n, std::int64_t grain,
         body(0, n);
         return;
     }
+
+    // Nested calls never reach here (inline path above), so an
+    // observed loop is always a top-level one and never double-counts.
+    ParallelObserver *obs = observer_.load(std::memory_order_acquire);
+    if (obs) {
+        const auto start = std::chrono::steady_clock::now();
+        parallelForDispatch(n, grain, body);
+        const auto end = std::chrono::steady_clock::now();
+        obs->onParallelFor(
+            std::chrono::duration<double>(end - start).count());
+        return;
+    }
+    parallelForDispatch(n, grain, body);
+}
+
+void
+ThreadPool::parallelForDispatch(std::int64_t n, std::int64_t grain,
+                                const RangeFn &body)
+{
 
     // The pool has a single job slot, so concurrent external callers
     // take turns: the second blocks here until the first drains. A

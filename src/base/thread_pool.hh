@@ -45,6 +45,22 @@
 namespace lia {
 namespace base {
 
+/**
+ * Observer of drained parallelFor loops, for wall-clock profiling
+ * (obs::KernelProfiler implements it; base cannot depend on obs, so
+ * the interface lives here). Called on the thread that invoked
+ * parallelFor, after the loop drains, with the loop's wall duration.
+ * Nested (inlined) calls are not reported separately — their time is
+ * part of the enclosing loop.
+ */
+class ParallelObserver
+{
+  public:
+    virtual ~ParallelObserver() = default;
+
+    virtual void onParallelFor(double seconds) = 0;
+};
+
 /** Persistent-worker pool running chunked parallel-for loops. */
 class ThreadPool
 {
@@ -95,6 +111,22 @@ class ThreadPool
     /** True on a thread currently executing pool work. */
     static bool insideWorker();
 
+    /**
+     * Install (or, with nullptr, remove) a wall-clock observer. The
+     * observer must outlive its installation. When no observer is set
+     * — the default — parallelFor never reads the clock, keeping the
+     * unprofiled hot path untouched.
+     */
+    void setObserver(ParallelObserver *observer)
+    {
+        observer_.store(observer, std::memory_order_release);
+    }
+
+    ParallelObserver *observer() const
+    {
+        return observer_.load(std::memory_order_acquire);
+    }
+
   private:
     /** One parallelFor invocation shared with the workers. */
     struct Job
@@ -112,7 +144,12 @@ class ThreadPool
     void workerLoop();
     void runChunks(Job &job);
 
+    /** The out-of-line dispatch path of parallelFor (workers woken). */
+    void parallelForDispatch(std::int64_t n, std::int64_t grain,
+                             const RangeFn &body);
+
     std::vector<std::thread> workers_;
+    std::atomic<ParallelObserver *> observer_{nullptr};
     std::mutex dispatchMutex_;         //!< serializes external callers
     std::mutex mutex_;
     std::condition_variable wake_;     //!< workers: new job / stop

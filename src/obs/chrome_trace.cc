@@ -1,0 +1,143 @@
+#include "obs/chrome_trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lia {
+namespace obs {
+
+namespace {
+
+/**
+ * Trace-event timestamps are microseconds; "%.3f" keeps sub-µs
+ * precision from the double-seconds axis while staying deterministic.
+ */
+std::string
+renderMicros(double seconds)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+    return buf;
+}
+
+} // namespace
+
+std::string
+renderArgs(const Args &args)
+{
+    std::string out;
+    for (const Arg &a : args) {
+        if (!out.empty())
+            out += ',';
+        out += '"';
+        out += jsonEscape(a.key);
+        out += "\":";
+        out += a.json;
+    }
+    return out;
+}
+
+void
+ChromeTraceWriter::setTrackName(Track track, const std::string &process,
+                                const std::string &thread)
+{
+    trackNames_[track] = {process, thread};
+}
+
+void
+ChromeTraceWriter::beginSpan(Track track, const char *name,
+                             double seconds, Args args)
+{
+    events_.push_back({'B', track, seconds, name, renderArgs(args)});
+}
+
+void
+ChromeTraceWriter::endSpan(Track track, double seconds)
+{
+    events_.push_back({'E', track, seconds, "", ""});
+}
+
+void
+ChromeTraceWriter::instant(Track track, const char *name, double seconds,
+                           Args args)
+{
+    events_.push_back({'i', track, seconds, name, renderArgs(args)});
+}
+
+void
+ChromeTraceWriter::counter(Track track, const char *name, double seconds,
+                           double value)
+{
+    std::string args = "\"value\":";
+    args += jsonNumber(value);
+    events_.push_back({'C', track, seconds, name, std::move(args)});
+}
+
+void
+ChromeTraceWriter::write(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Metadata first: name the process groups and the tracks. The map
+    // iterates in Track order, which is itself deterministic.
+    std::map<std::int32_t, std::string> processNames;
+    for (const auto &entry : trackNames_)
+        processNames.emplace(entry.first.pid, entry.second.first);
+    for (const auto &entry : processNames) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":"
+           << entry.first << ",\"tid\":0,\"args\":{\"name\":\""
+           << jsonEscape(entry.second) << "\"}}";
+    }
+    for (const auto &entry : trackNames_) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":"
+           << entry.first.pid << ",\"tid\":" << entry.first.tid
+           << ",\"args\":{\"name\":\"" << jsonEscape(entry.second.second)
+           << "\"}}";
+    }
+
+    for (const Event &event : events_) {
+        sep();
+        os << "{\"ph\":\"" << event.phase << "\",\"pid\":"
+           << event.track.pid << ",\"tid\":" << event.track.tid
+           << ",\"ts\":" << renderMicros(event.seconds);
+        if (event.phase != 'E')
+            os << ",\"name\":\"" << jsonEscape(event.name) << "\"";
+        if (event.phase == 'i')
+            os << ",\"s\":\"t\"";
+        if (!event.args.empty())
+            os << ",\"args\":{" << event.args << "}";
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+std::string
+ChromeTraceWriter::toJson() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+bool
+ChromeTraceWriter::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    write(os);
+    return bool(os);
+}
+
+} // namespace obs
+} // namespace lia

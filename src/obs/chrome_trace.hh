@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Chrome-trace-event / Perfetto JSON exporter.
+ *
+ * Records every sink event in memory and renders the Trace Event
+ * Format's JSON-object flavour ({"traceEvents": [...]}), which both
+ * chrome://tracing and ui.perfetto.dev load directly. Timestamps are
+ * converted from the emitter's seconds to the format's microseconds;
+ * everything else is written exactly as emitted, in emission order,
+ * with deterministic number formatting — two identical runs produce
+ * byte-identical files (the golden-trace test relies on this).
+ *
+ * The writer keeps the events in structured form (events()) so tests
+ * can validate schema properties — span balance, per-track timestamp
+ * monotonicity — without parsing JSON back.
+ */
+
+#ifndef LIA_OBS_CHROME_TRACE_HH
+#define LIA_OBS_CHROME_TRACE_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hh"
+
+namespace lia {
+namespace obs {
+
+/** EventSink rendering the Chrome trace-event JSON format. */
+class ChromeTraceWriter final : public EventSink
+{
+  public:
+    /** One recorded event, pre-rendering. */
+    struct Event
+    {
+        char phase = 'i';     //!< 'B', 'E', 'i', or 'C'
+        Track track;
+        double seconds = 0;   //!< emitter-axis time
+        std::string name;     //!< empty for 'E'
+        std::string args;     //!< rendered JSON object body, "" = none
+    };
+
+    void setTrackName(Track track, const std::string &process,
+                      const std::string &thread) override;
+    void beginSpan(Track track, const char *name, double seconds,
+                   Args args = {}) override;
+    void endSpan(Track track, double seconds) override;
+    void instant(Track track, const char *name, double seconds,
+                 Args args = {}) override;
+    void counter(Track track, const char *name, double seconds,
+                 double value) override;
+
+    /** Recorded events in emission order (metadata excluded). */
+    const std::vector<Event> &events() const { return events_; }
+
+    /** Render the complete trace document. */
+    void write(std::ostream &os) const;
+
+    /** Render to a string (golden-trace byte comparisons). */
+    std::string toJson() const;
+
+    /**
+     * Write the trace to @p path; returns false when the file cannot
+     * be opened (the run's results are never at stake for a trace).
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::vector<Event> events_;
+
+    /** (pid, tid) -> (process label, track label). */
+    std::map<Track, std::pair<std::string, std::string>> trackNames_;
+};
+
+/** Render an Args list as a JSON object body ("k": v, ...). */
+std::string renderArgs(const Args &args);
+
+} // namespace obs
+} // namespace lia
+
+#endif // LIA_OBS_CHROME_TRACE_HH

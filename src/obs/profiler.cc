@@ -1,0 +1,87 @@
+#include "obs/profiler.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/sink.hh"
+
+namespace lia {
+namespace obs {
+
+void
+KernelProfiler::record(const char *name, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_[name].add(seconds);
+}
+
+std::map<std::string, SampleStats>
+KernelProfiler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+double
+KernelProfiler::totalSeconds(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = stats_.find(name);
+    if (it == stats_.end() || it->second.empty())
+        return 0;
+    return it->second.mean() * double(it->second.count());
+}
+
+std::size_t
+KernelProfiler::calls(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0 : it->second.count();
+}
+
+void
+KernelProfiler::write(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{";
+    bool firstKernel = true;
+    for (const auto &entry : stats_) {
+        const SampleStats &s = entry.second;
+        if (s.empty())
+            continue;
+        if (!firstKernel)
+            os << ",";
+        firstKernel = false;
+        os << "\n\"" << jsonEscape(entry.first) << "\":{"
+           << "\"calls\":" << s.count()
+           << ",\"total_s\":" << jsonNumber(s.mean() * double(s.count()))
+           << ",\"mean_s\":" << jsonNumber(s.mean())
+           << ",\"min_s\":" << jsonNumber(s.min())
+           << ",\"max_s\":" << jsonNumber(s.max())
+           << ",\"p50_s\":" << jsonNumber(s.p50())
+           << ",\"p95_s\":" << jsonNumber(s.p95()) << "}";
+    }
+    os << "\n}\n";
+}
+
+std::string
+KernelProfiler::toJson() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+bool
+KernelProfiler::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    write(os);
+    return bool(os);
+}
+
+} // namespace obs
+} // namespace lia

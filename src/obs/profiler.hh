@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Wall-clock kernel profiler.
+ *
+ * Aggregates scoped wall-time measurements per kernel name into
+ * SampleStats — this is the one obs component that lives on real time
+ * rather than the simulated axis, because it measures the actual
+ * runtime::kernels / base::ThreadPool execution of PR 4.
+ *
+ * Overhead policy: a Scope constructed with a null profiler never
+ * reads the clock, so instrumented kernels run the untouched
+ * bit-identical hot path unless ExecutorConfig::profileKernels turns
+ * profiling on. Recording takes a mutex — acceptable because kernels
+ * are invoked from the executor's (single) control thread; worker
+ * threads never record, only the thread-pool observer hook does, and
+ * that also runs on the calling thread.
+ */
+
+#ifndef LIA_OBS_PROFILER_HH
+#define LIA_OBS_PROFILER_HH
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "base/stats.hh"
+#include "base/thread_pool.hh"
+
+namespace lia {
+namespace obs {
+
+/** Per-kernel wall-clock aggregation with RAII measurement scopes. */
+class KernelProfiler final : public base::ParallelObserver
+{
+  public:
+    /**
+     * Times one kernel invocation. With a null profiler the
+     * constructor and destructor do nothing at all.
+     */
+    class Scope
+    {
+      public:
+        Scope(KernelProfiler *profiler, const char *name)
+            : profiler_(profiler), name_(name)
+        {
+            if (profiler_)
+                start_ = std::chrono::steady_clock::now();
+        }
+
+        ~Scope()
+        {
+            if (!profiler_)
+                return;
+            auto end = std::chrono::steady_clock::now();
+            profiler_->record(
+                name_, std::chrono::duration<double>(end - start_)
+                           .count());
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        KernelProfiler *profiler_;
+        const char *name_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+    /** Add one measurement of @p seconds under @p name. */
+    void record(const char *name, double seconds);
+
+    /** ThreadPool observer hook: one drained parallelFor loop. */
+    void onParallelFor(double seconds) override
+    {
+        record("thread_pool.parallel_for", seconds);
+    }
+
+    /** Snapshot of the per-kernel distributions. */
+    std::map<std::string, SampleStats> stats() const;
+
+    /** Accumulated wall seconds under @p name (0 when absent). */
+    double totalSeconds(const std::string &name) const;
+
+    /** Number of recorded invocations of @p name. */
+    std::size_t calls(const std::string &name) const;
+
+    /**
+     * {"kernel": {"calls": n, "total_s": ..., "mean_s": ...,
+     *             "min_s": ..., "max_s": ..., "p50_s": ...,
+     *             "p95_s": ...}, ...}
+     */
+    std::string toJson() const;
+
+    void write(std::ostream &os) const;
+
+    /** Write toJson() to @p path; false when the file cannot open. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, SampleStats> stats_;
+};
+
+} // namespace obs
+} // namespace lia
+
+#endif // LIA_OBS_PROFILER_HH

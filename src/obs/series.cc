@@ -1,0 +1,73 @@
+#include "obs/series.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace lia {
+namespace obs {
+
+void
+SeriesRegistry::counter(Track, const char *name, double seconds,
+                        double value)
+{
+    series_[name].push_back({seconds, value});
+}
+
+const SeriesRegistry::Series &
+SeriesRegistry::at(const std::string &name) const
+{
+    static const Series empty;
+    auto it = series_.find(name);
+    return it == series_.end() ? empty : it->second;
+}
+
+void
+SeriesRegistry::write(std::ostream &os) const
+{
+    os << "{";
+    bool firstSeries = true;
+    for (const auto &entry : series_) {
+        if (!firstSeries)
+            os << ",";
+        firstSeries = false;
+        os << "\n\"" << jsonEscape(entry.first) << "\":{\"t\":[";
+        bool first = true;
+        for (const Point &p : entry.second) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << jsonNumber(p.seconds);
+        }
+        os << "],\"v\":[";
+        first = true;
+        for (const Point &p : entry.second) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << jsonNumber(p.value);
+        }
+        os << "]}";
+    }
+    os << "\n}\n";
+}
+
+std::string
+SeriesRegistry::toJson() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+bool
+SeriesRegistry::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    write(os);
+    return bool(os);
+}
+
+} // namespace obs
+} // namespace lia

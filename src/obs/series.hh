@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Counter time-series registry.
+ *
+ * An EventSink that keeps only the counter samples, as named (time,
+ * value) series — KV occupancy, queue depth, batch occupancy per
+ * engine iteration. Where ChromeTraceWriter answers "what happened
+ * when" visually, the registry keeps the raw series for programmatic
+ * post-processing: plotting scripts, regression thresholds, or the
+ * bench JSON artifacts. Span and instant events are discarded, so it
+ * is cheap enough to tee alongside a trace writer.
+ */
+
+#ifndef LIA_OBS_SERIES_HH
+#define LIA_OBS_SERIES_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hh"
+
+namespace lia {
+namespace obs {
+
+/** Collects counter samples into named time series. */
+class SeriesRegistry final : public EventSink
+{
+  public:
+    /** One counter sample on the emitter's time axis. */
+    struct Point
+    {
+        double seconds = 0;
+        double value = 0;
+    };
+
+    using Series = std::vector<Point>;
+
+    void setTrackName(Track, const std::string &,
+                      const std::string &) override
+    {
+    }
+    void beginSpan(Track, const char *, double, Args) override {}
+    void endSpan(Track, double) override {}
+    void instant(Track, const char *, double, Args) override {}
+    void counter(Track track, const char *name, double seconds,
+                 double value) override;
+
+    /** All series, keyed by counter name, samples in emission order. */
+    const std::map<std::string, Series> &series() const
+    {
+        return series_;
+    }
+
+    /** Samples of one series; empty when @p name was never sampled. */
+    const Series &at(const std::string &name) const;
+
+    /** {"name": {"t": [...], "v": [...]}, ...} with jsonNumber values. */
+    std::string toJson() const;
+
+    void write(std::ostream &os) const;
+
+    /** Write toJson() to @p path; false when the file cannot open. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::map<std::string, Series> series_;
+};
+
+} // namespace obs
+} // namespace lia
+
+#endif // LIA_OBS_SERIES_HH

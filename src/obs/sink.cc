@@ -1,0 +1,134 @@
+#include "obs/sink.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace obs {
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+Arg
+arg(std::string key, double value)
+{
+    return {std::move(key), jsonNumber(value)};
+}
+
+Arg
+arg(std::string key, std::int64_t value)
+{
+    return {std::move(key), std::to_string(value)};
+}
+
+Arg
+arg(std::string key, const std::string &value)
+{
+    std::string json;
+    json += '"';
+    json += jsonEscape(value);
+    json += '"';
+    return {std::move(key), std::move(json)};
+}
+
+Arg
+arg(std::string key, const char *value)
+{
+    return arg(std::move(key), std::string(value));
+}
+
+TeeSink::TeeSink(std::vector<EventSink *> sinks)
+    : sinks_(std::move(sinks))
+{
+    for (const EventSink *sink : sinks_)
+        LIA_ASSERT(sink != nullptr, "null child sink in TeeSink");
+}
+
+void
+TeeSink::setTrackName(Track track, const std::string &process,
+                      const std::string &thread)
+{
+    for (EventSink *sink : sinks_)
+        sink->setTrackName(track, process, thread);
+}
+
+void
+TeeSink::beginSpan(Track track, const char *name, double seconds,
+                   Args args)
+{
+    for (EventSink *sink : sinks_)
+        sink->beginSpan(track, name, seconds, args);
+}
+
+void
+TeeSink::endSpan(Track track, double seconds)
+{
+    for (EventSink *sink : sinks_)
+        sink->endSpan(track, seconds);
+}
+
+void
+TeeSink::instant(Track track, const char *name, double seconds,
+                 Args args)
+{
+    for (EventSink *sink : sinks_)
+        sink->instant(track, name, seconds, args);
+}
+
+void
+TeeSink::counter(Track track, const char *name, double seconds,
+                 double value)
+{
+    for (EventSink *sink : sinks_)
+        sink->counter(track, name, seconds, value);
+}
+
+} // namespace obs
+} // namespace lia

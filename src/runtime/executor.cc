@@ -34,6 +34,11 @@ CooperativeExecutor::CooperativeExecutor(const hw::SystemConfig &system,
     kernelOpts_.pool = config_.pool != nullptr
                            ? config_.pool.get()
                            : &base::ThreadPool::shared();
+    if (config_.profileKernels) {
+        profiler_ = std::make_unique<obs::KernelProfiler>();
+        kernelOpts_.profiler = profiler_.get();
+        kernelOpts_.pool->setObserver(profiler_.get());
+    }
     // One-time tile packing of the projection weights and LM head;
     // layout only, so results are unchanged (and bit-identical at any
     // thread count).
@@ -48,6 +53,17 @@ CooperativeExecutor::CooperativeExecutor(const hw::SystemConfig &system,
         resident_bytes += weights_.layers[l].bf16Bytes();
     const bool gpu_ok = gpu_.tryAllocate(resident_bytes);
     LIA_ASSERT(gpu_ok, "resident layers exceed GPU memory");
+}
+
+CooperativeExecutor::~CooperativeExecutor()
+{
+    // Detach the pool observer before the profiler dies; another
+    // executor may have installed its own in the meantime, so only
+    // clear the slot if it is still ours.
+    if (profiler_ != nullptr &&
+        kernelOpts_.pool->observer() == profiler_.get()) {
+        kernelOpts_.pool->setObserver(nullptr);
+    }
 }
 
 const KvCache &

@@ -23,6 +23,7 @@
 
 #include "base/statistics.hh"
 #include "core/policy.hh"
+#include "obs/profiler.hh"
 #include "hw/system.hh"
 #include "runtime/device.hh"
 #include "runtime/kernels.hh"
@@ -49,6 +50,16 @@ struct ExecutorConfig
      * count never changes results (DESIGN.md §7).
      */
     std::shared_ptr<base::ThreadPool> pool;
+    /**
+     * Wall-clock kernel profiling: the executor owns an
+     * obs::KernelProfiler, threads it through KernelOptions, and
+     * installs it as the pool's ParallelObserver. Off — the default —
+     * keeps the hot path bit-for-bit untouched (no clock reads, no
+     * observer); on, results are still identical, only wall timings
+     * are collected. One profiling executor per pool at a time (the
+     * observer slot is singular).
+     */
+    bool profileKernels = false;
 };
 
 /** The cooperative inference executor. */
@@ -58,6 +69,7 @@ class CooperativeExecutor
     CooperativeExecutor(const hw::SystemConfig &system,
                         TransformerWeights weights,
                         ExecutorConfig config);
+    ~CooperativeExecutor();
 
     /**
      * Run the prefill stage over same-length prompts; returns the
@@ -123,6 +135,15 @@ class CooperativeExecutor
     /** Clear ledger and device busy times (keeps allocations). */
     void resetStats();
 
+    /**
+     * The wall-clock kernel profile, or nullptr when
+     * ExecutorConfig::profileKernels is off.
+     */
+    const obs::KernelProfiler *kernelProfiler() const
+    {
+        return profiler_.get();
+    }
+
   private:
     /** Run all decoder layers over (B*T, d) hidden states against
      *  @p cache (appending this step's KV). */
@@ -162,6 +183,9 @@ class CooperativeExecutor
 
     std::unique_ptr<KvCache> cache_;
     double cacheAllocation_ = 0;  //!< host bytes reserved for the cache
+
+    /** Owned when config_.profileKernels; also the pool observer. */
+    std::unique_ptr<obs::KernelProfiler> profiler_;
 };
 
 } // namespace runtime

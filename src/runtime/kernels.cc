@@ -1,5 +1,7 @@
 #include "runtime/kernels.hh"
 
+#include "obs/profiler.hh"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -178,6 +180,7 @@ Tensor
 scalarMatmul(const Tensor &a, const Tensor &b, const Tensor &bias,
              const KernelOptions &opts)
 {
+    obs::KernelProfiler::Scope profile(opts.profiler, "scalar_matmul");
     LIA_ASSERT(a.ndim() == 2 && b.ndim() == 2, "matmul wants 2-D");
     const std::int64_t m = a.dim(0);
     const std::int64_t k = a.dim(1);
@@ -218,6 +221,7 @@ Tensor
 matmul(const Tensor &a, const Tensor &b, const Tensor &bias,
        const KernelOptions &opts)
 {
+    obs::KernelProfiler::Scope profile(opts.profiler, "matmul");
     LIA_ASSERT(a.ndim() == 2 && b.ndim() == 2, "matmul wants 2-D");
     const std::int64_t m = a.dim(0);
     const std::int64_t k = a.dim(1);
@@ -282,6 +286,7 @@ Tensor
 matmulPacked(const Tensor &a, const PackedMatrix &b, const Tensor &bias,
              const KernelOptions &opts)
 {
+    obs::KernelProfiler::Scope profile(opts.profiler, "matmul_packed");
     LIA_ASSERT(a.ndim() == 2, "matmulPacked wants 2-D A");
     LIA_ASSERT(!b.empty(), "matmulPacked against an unpacked operand");
     const std::int64_t m = a.dim(0);
@@ -327,6 +332,7 @@ Tensor
 scalarMatmulTransposed(const Tensor &a, const Tensor &b,
                        const KernelOptions &opts)
 {
+    obs::KernelProfiler::Scope profile(opts.profiler, "scalar_matmul_transposed");
     LIA_ASSERT(a.ndim() == 2 && b.ndim() == 2,
                "matmulTransposed wants 2-D");
     const std::int64_t m = a.dim(0);
@@ -354,6 +360,7 @@ Tensor
 matmulTransposed(const Tensor &a, const Tensor &b,
                  const KernelOptions &opts)
 {
+    obs::KernelProfiler::Scope profile(opts.profiler, "matmul_transposed");
     LIA_ASSERT(a.ndim() == 2 && b.ndim() == 2,
                "matmulTransposed wants 2-D");
     const std::int64_t m = a.dim(0);
@@ -405,6 +412,7 @@ void
 causalSoftmaxRows(Tensor &t, std::int64_t offset,
                   const KernelOptions &opts)
 {
+    obs::KernelProfiler::Scope profile(opts.profiler, "softmax_rows");
     LIA_ASSERT(t.ndim() == 2, "softmax wants 2-D");
     const std::int64_t rows = t.dim(0);
     const std::int64_t cols = t.dim(1);
@@ -435,6 +443,7 @@ Tensor
 layerNorm(const Tensor &x, const Tensor &gain, const Tensor &bias,
           const KernelOptions &opts)
 {
+    obs::KernelProfiler::Scope profile(opts.profiler, "layer_norm");
     LIA_ASSERT(x.ndim() == 2, "layerNorm wants 2-D");
     const std::int64_t rows = x.dim(0);
     const std::int64_t n = x.dim(1);
@@ -474,6 +483,7 @@ layerNorm(const Tensor &x, const Tensor &gain, const Tensor &bias,
 void
 reluInPlace(Tensor &t, const KernelOptions &opts)
 {
+    obs::KernelProfiler::Scope profile(opts.profiler, "relu");
     float *p = t.data();
     parallelRun(opts, t.numel(), 8192,
                 [p](std::int64_t i0, std::int64_t i1) {
@@ -486,6 +496,7 @@ reluInPlace(Tensor &t, const KernelOptions &opts)
 void
 siluInPlace(Tensor &t, const KernelOptions &opts)
 {
+    obs::KernelProfiler::Scope profile(opts.profiler, "silu");
     float *p = t.data();
     parallelRun(opts, t.numel(), 2048,
                 [p](std::int64_t i0, std::int64_t i1) {
@@ -500,6 +511,7 @@ siluInPlace(Tensor &t, const KernelOptions &opts)
 void
 mulInPlace(Tensor &a, const Tensor &b, const KernelOptions &opts)
 {
+    obs::KernelProfiler::Scope profile(opts.profiler, "mul");
     LIA_ASSERT(a.shape() == b.shape(), "mul shape mismatch");
     float *pa = a.data();
     const float *pb = b.data();
@@ -514,6 +526,7 @@ mulInPlace(Tensor &a, const Tensor &b, const KernelOptions &opts)
 Tensor
 add(const Tensor &a, const Tensor &b, const KernelOptions &opts)
 {
+    obs::KernelProfiler::Scope profile(opts.profiler, "add");
     LIA_ASSERT(a.shape() == b.shape(), "add shape mismatch");
     Tensor c = a.clone();
     float *pc = c.data();

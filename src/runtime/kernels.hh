@@ -25,6 +25,11 @@
 #include "runtime/tensor.hh"
 
 namespace lia {
+
+namespace obs {
+class KernelProfiler;
+} // namespace obs
+
 namespace runtime {
 
 /** Kernel numeric and execution options. */
@@ -36,6 +41,13 @@ struct KernelOptions
      * serially inline. Thread count never changes results.
      */
     base::ThreadPool *pool = nullptr;
+    /**
+     * Wall-clock profiler receiving one scoped timing per kernel
+     * invocation; nullptr — the default — skips even the clock reads,
+     * leaving the hot path untouched (ExecutorConfig::profileKernels
+     * is the switch). Profiling never changes results.
+     */
+    obs::KernelProfiler *profiler = nullptr;
 };
 
 /**

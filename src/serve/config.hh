@@ -19,6 +19,11 @@
 #include "trace/azure.hh"
 
 namespace lia {
+
+namespace obs {
+class EventSink;
+} // namespace obs
+
 namespace serve {
 
 /** Iteration-level scheduling discipline. */
@@ -133,6 +138,17 @@ struct Config
      * explicit DDR budget.
      */
     double kvBudgetCapBytes = 0;
+
+    /**
+     * Optional trace sink receiving request-lifecycle spans, engine
+     * iteration spans with the analytical cost breakdown, scheduler
+     * decision instants, swap-channel occupancy, and per-iteration
+     * counters on the simulated-time axis (tracks per serve/tracks.hh;
+     * taxonomy in DESIGN.md §8). Not owned; must outlive the run.
+     * Null — the default — emits nothing and costs nothing: runs are
+     * bit-identical with or without a sink attached.
+     */
+    obs::EventSink *sink = nullptr;
 
     /** Panics on malformed settings. */
     void validate() const;

@@ -61,13 +61,14 @@ IterationCostCache::time(model::Stage stage, std::int64_t batch,
     return estimate(stage, batch, context).time;
 }
 
-double
-IterationCostCache::chunkTime(std::int64_t batch, std::int64_t history,
-                              std::int64_t tokens) const
+const core::IterationEstimate &
+IterationCostCache::chunkEstimate(std::int64_t batch,
+                                  std::int64_t history,
+                                  std::int64_t tokens) const
 {
     LIA_ASSERT(history >= 0, "bad chunk history");
     if (history <= 0)
-        return time(model::Stage::Prefill, batch, tokens);
+        return estimate(model::Stage::Prefill, batch, tokens);
 
     // Quantise both ends of the chunk onto the context grid so nearby
     // (history, chunk) pairs share one telescoped evaluation; keep the
@@ -82,11 +83,19 @@ IterationCostCache::chunkTime(std::int64_t batch, std::int64_t history,
     const Key key{bucketBatch(batch), h, t};
     auto it = chunkCache_.find(key);
     if (it == chunkCache_.end()) {
-        const auto est = engine_.estimatePrefillChunk(
-            std::get<0>(key), h, t);
-        it = chunkCache_.emplace(key, est.time).first;
+        it = chunkCache_
+                 .emplace(key, engine_.estimatePrefillChunk(
+                                   std::get<0>(key), h, t))
+                 .first;
     }
     return it->second;
+}
+
+double
+IterationCostCache::chunkTime(std::int64_t batch, std::int64_t history,
+                              std::int64_t tokens) const
+{
+    return chunkEstimate(batch, history, tokens).time;
 }
 
 } // namespace serve

@@ -55,6 +55,15 @@ class IterationCostCache
     double chunkTime(std::int64_t batch, std::int64_t history,
                      std::int64_t tokens) const;
 
+    /**
+     * Full engine estimate behind chunkTime() — same quantised key,
+     * same memo — exposing the CPU/GPU/transfer breakdown for trace
+     * attribution. chunkTime(b, h, t) == chunkEstimate(b, h, t).time.
+     */
+    const core::IterationEstimate &chunkEstimate(
+        std::int64_t batch, std::int64_t history,
+        std::int64_t tokens) const;
+
     /** Context rounded up to the bucket grid (model-max clamped). */
     std::int64_t bucketContext(std::int64_t context) const;
 
@@ -75,7 +84,7 @@ class IterationCostCache
     const core::EngineModel &engine_;
     std::int64_t contextBucket_;
     mutable std::map<Key, core::IterationEstimate> cache_;
-    mutable std::map<Key, double> chunkCache_;
+    mutable std::map<Key, core::IterationEstimate> chunkCache_;
 };
 
 } // namespace serve

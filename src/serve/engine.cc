@@ -5,9 +5,11 @@
 
 #include "base/logging.hh"
 #include "core/capacity_planner.hh"
+#include "obs/sink.hh"
 #include "serve/admission.hh"
 #include "serve/backend.hh"
 #include "serve/scheduler.hh"
+#include "serve/tracks.hh"
 #include "sim/event_queue.hh"
 #include "sim/serving.hh"
 #include "sim/transfer.hh"
@@ -50,6 +52,9 @@ struct Run
     /** Optional plan executor; never influences scheduling. */
     ExecutionBackend *backend = nullptr;
 
+    /** Optional trace sink (Config::sink); null costs nothing. */
+    obs::EventSink *sink = nullptr;
+
     Run(const hw::SystemConfig &system,
         const model::ModelConfig &model, const Config &cfg,
         const IterationCostCache &cost_cache)
@@ -58,20 +63,56 @@ struct Run
           scheduler(cfg, cost_cache, admission),
           swapChannel(events, "ddr-cxl-swap",
                       admission.swapBandwidth(),
-                      admission.swapLatency())
+                      admission.swapLatency()),
+          sink(cfg.sink)
     {
+        if (sink) {
+            sink->setTrackName(tracks::kIterations, "engine",
+                               "iterations");
+            sink->setTrackName(tracks::kScheduler, "engine",
+                               "scheduler");
+            sink->setTrackName(tracks::kSwapChannel, "engine",
+                               "swap-channel");
+            swapChannel.instrument(sink, tracks::kSwapChannel);
+        }
+    }
+
+    /**
+     * Close the open lifecycle span of @p request and open the next
+     * one — request tracks carry exactly one state span at a time.
+     */
+    void
+    spanTransition(const Request &request, const char *next, double now)
+    {
+        sink->endSpan(tracks::request(request.id), now);
+        sink->beginSpan(tracks::request(request.id), next, now);
     }
 
     void
     arrival(std::size_t index)
     {
         Request &request = requests[index];
+        if (sink) {
+            const obs::Track track = tracks::request(request.id);
+            sink->setTrackName(track, "requests",
+                               "req " + std::to_string(request.id));
+            sink->instant(
+                track, "arrive", events.now(),
+                {obs::arg("l_in", request.lIn),
+                 obs::arg("l_out", request.lOut)});
+        }
         if (!admission.fitsAlone(request)) {
             // Can never fit the KV budget, not even alone.
             request.state = RequestState::Rejected;
             ++metrics.rejectedCapacity;
+            if (sink)
+                sink->instant(tracks::request(request.id),
+                              "reject.capacity", events.now());
             return;
         }
+        if (sink)
+            sink->beginSpan(tracks::request(request.id), "queued",
+                            events.now());
         waiting.push_back(index);
         if (!inFlight)
             startIteration();
@@ -128,12 +169,20 @@ struct Run
         for (std::size_t index : plan.shed) {
             requests[index].state = RequestState::Rejected;
             ++metrics.shedSlo;
+            if (sink) {
+                const obs::Track track =
+                    tracks::request(requests[index].id);
+                sink->endSpan(track, now);  // close "queued"
+                sink->instant(track, "shed.slo", now);
+            }
         }
         for (std::size_t index : plan.admit) {
             Request &request = requests[index];
             request.state = RequestState::Prefilling;
             request.admitTime = now;
             active.push_back(index);
+            if (sink)
+                spanTransition(request, "prefill", now);
         }
         if (!plan.shed.empty() || !plan.admit.empty()) {
             waiting.erase(
@@ -156,6 +205,8 @@ struct Run
             ++metrics.preemptions;
             ++metrics.recomputes;
             preempted.push_back(index);
+            if (sink)
+                spanTransition(request, "preempted", now);
         }
         for (std::size_t index : plan.swapOut) {
             Request &request = requests[index];
@@ -167,6 +218,8 @@ struct Run
             ++metrics.swapOuts;
             metrics.swapOutBytes += request.kvSwappedBytes;
             swapped.push_back(index);
+            if (sink)
+                spanTransition(request, "swapped", now);
             swapChannel.transfer(
                 request.kvSwappedBytes,
                 [this, index](sim::Tick) {
@@ -192,6 +245,8 @@ struct Run
         for (std::size_t index : plan.resume) {
             requests[index].state = RequestState::Prefilling;
             active.push_back(index);
+            if (sink)
+                spanTransition(requests[index], "recompute", now);
         }
         if (!plan.resume.empty()) {
             preempted.erase(
@@ -208,6 +263,11 @@ struct Run
             Request &request = requests[index];
             ++metrics.swapIns;
             metrics.swapInBytes += request.kvReservedBytes;
+            if (sink) {
+                sink->instant(
+                    tracks::request(request.id), "swap_in.start", now,
+                    {obs::arg("bytes", request.kvReservedBytes)});
+            }
             swapChannel.transfer(
                 request.kvReservedBytes,
                 [this, index](sim::Tick) { swapInArrived(index); });
@@ -246,24 +306,25 @@ struct Run
         inFlight = true;
 
         double duration = 0;
+        std::int64_t chunkTokens = 1, chunkHistory = 0;
+        std::int64_t decodeContext = 1;
         if (!plan.chunks.empty()) {
-            std::int64_t tokens = 1, history = 0;
             for (const PrefillChunk &chunk : plan.chunks) {
-                tokens = std::max(tokens, chunk.tokens);
-                history = std::max(history, chunk.history);
+                chunkTokens = std::max(chunkTokens, chunk.tokens);
+                chunkHistory = std::max(chunkHistory, chunk.history);
             }
             duration += costs.chunkTime(
-                static_cast<std::int64_t>(plan.chunks.size()), history,
-                tokens);
+                static_cast<std::int64_t>(plan.chunks.size()),
+                chunkHistory, chunkTokens);
             metrics.prefillChunks += plan.chunks.size();
         }
         if (!plan.decode.empty()) {
-            std::int64_t context = 1;
             for (std::size_t index : plan.decode)
-                context =
-                    std::max(context, requests[index].context());
+                decodeContext = std::max(decodeContext,
+                                         requests[index].context());
             duration += costs.time(Stage::Decode,
-                                   plan.decodePriceBatch, context);
+                                   plan.decodePriceBatch,
+                                   decodeContext);
         }
         LIA_ASSERT(duration > 0, "iteration priced at zero time");
 
@@ -278,10 +339,82 @@ struct Run
         ++metrics.iterations;
         metrics.busyTime += duration;
 
+        if (sink)
+            emitIteration(plan, now, duration, depth, chunkTokens,
+                          chunkHistory, decodeContext);
+
         events.schedule(now + duration,
                         [this, plan = std::move(plan)]() {
                             completeIteration(plan);
                         });
+    }
+
+    /**
+     * One iteration span with the analytical cost attribution, plus
+     * the per-iteration counter samples. Duration is known when the
+     * iteration is scheduled and iterations run serially, so begin
+     * and end can be emitted together and stay per-track monotone.
+     * The breakdown lookups hit cache entries the pricing above just
+     * created — an instrumented run evaluates no extra points.
+     */
+    void
+    emitIteration(const IterationPlan &plan, double now,
+                  double duration, std::size_t depth,
+                  std::int64_t chunk_tokens, std::int64_t chunk_history,
+                  std::int64_t decode_context)
+    {
+        core::Breakdown breakdown;
+        double pcie_bytes = 0;
+        auto accumulate = [&](const core::IterationEstimate &est) {
+            breakdown.cpuTime += est.breakdown.cpuTime;
+            breakdown.gpuTime += est.breakdown.gpuTime;
+            breakdown.comTime += est.breakdown.comTime;
+            pcie_bytes += est.pcieBytes;
+        };
+        if (!plan.chunks.empty())
+            accumulate(costs.chunkEstimate(
+                static_cast<std::int64_t>(plan.chunks.size()),
+                chunk_history, chunk_tokens));
+        if (!plan.decode.empty())
+            accumulate(costs.estimate(Stage::Decode,
+                                      plan.decodePriceBatch,
+                                      decode_context));
+
+        // Counters first (they sample `now`): the iteration span ends
+        // at now + duration, so this order keeps the whole track's
+        // event stream monotone in emission order — the schema test
+        // checks exactly that.
+        sink->counter(tracks::kIterations, "queue_depth", now,
+                      static_cast<double>(depth));
+        sink->counter(tracks::kIterations, "batch_occupancy", now,
+                      static_cast<double>(active.size()));
+        sink->counter(tracks::kIterations, "kv_reserved_bytes", now,
+                      admission.reservedBytes());
+        if (admission.kvBudgetBytes() > 0)
+            sink->counter(tracks::kIterations, "kv_occupancy", now,
+                          admission.reservedBytes() /
+                              admission.kvBudgetBytes());
+
+        sink->beginSpan(
+            tracks::kIterations, "iteration", now,
+            {obs::arg("iteration", static_cast<std::int64_t>(
+                                       metrics.iterations)),
+             obs::arg("duration_s", duration),
+             obs::arg("decode", static_cast<std::int64_t>(
+                                    plan.decode.size())),
+             obs::arg("decode_price_batch", plan.decodePriceBatch),
+             obs::arg("chunks", static_cast<std::int64_t>(
+                                    plan.chunks.size())),
+             obs::arg("admit", static_cast<std::int64_t>(
+                                   plan.admit.size())),
+             obs::arg("preempt", static_cast<std::int64_t>(
+                                     plan.evict.size() +
+                                     plan.swapOut.size())),
+             obs::arg("cpu_s", breakdown.cpuTime),
+             obs::arg("gpu_s", breakdown.gpuTime),
+             obs::arg("com_s", breakdown.comTime),
+             obs::arg("pcie_bytes", pcie_bytes)});
+        sink->endSpan(tracks::kIterations, now + duration);
     }
 
     void
@@ -294,6 +427,8 @@ struct Run
         request.state = RequestState::Decoding;
         request.swapReady = false;
         active.push_back(index);
+        if (sink)
+            spanTransition(request, "decode", events.now());
         if (!inFlight)
             startIteration();
     }
@@ -331,6 +466,8 @@ struct Run
                 finish(request, now);
             } else {
                 request.state = RequestState::Decoding;
+                if (sink)
+                    spanTransition(request, "decode", now);
             }
         }
         active.erase(std::remove_if(active.begin(), active.end(),
@@ -350,6 +487,15 @@ struct Run
         admission.release(request);
         if (backend)
             backend->onFinish(request);
+        if (sink) {
+            const obs::Track track = tracks::request(request.id);
+            sink->endSpan(track, now);  // close the state span
+            sink->instant(
+                track, "finish", now,
+                {obs::arg("ttft_s", request.ttft()),
+                 obs::arg("response_s", request.responseTime()),
+                 obs::arg("generated", request.generated)});
+        }
         ++metrics.completed;
         metrics.responseTime.add(request.responseTime());
         if (request.lOut > 1)
@@ -436,7 +582,11 @@ ServingEngine::run(ExecutionBackend *backend)
         run.events.schedule(run.requests[i].arrival,
                             [&run, i]() { run.arrival(i); });
     }
+    // While the DES runs, log messages can carry the simulated time
+    // (LIA_LOG token "sim"); cleared again once the queue drains.
+    setSimTimeProvider([&run] { return run.events.now(); });
     run.events.run();
+    setSimTimeProvider(nullptr);
     if (backend)
         backend->onDrain();
 

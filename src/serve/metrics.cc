@@ -1,7 +1,34 @@
 #include "serve/metrics.hh"
 
+#include <sstream>
+
+#include "obs/sink.hh"
+
 namespace lia {
 namespace serve {
+
+namespace {
+
+/** One SampleStats as a JSON distribution summary object. */
+void
+statsJson(std::ostream &os, const char *name, const SampleStats &s)
+{
+    using obs::jsonNumber;
+    os << "\"" << name << "\":{\"count\":" << s.count();
+    if (s.empty()) {
+        os << ",\"mean\":0,\"p50\":0,\"p95\":0,\"p99\":0,"
+              "\"min\":0,\"max\":0}";
+        return;
+    }
+    os << ",\"mean\":" << jsonNumber(s.mean())
+       << ",\"p50\":" << jsonNumber(s.p50())
+       << ",\"p95\":" << jsonNumber(s.p95())
+       << ",\"p99\":" << jsonNumber(s.p99())
+       << ",\"min\":" << jsonNumber(s.min())
+       << ",\"max\":" << jsonNumber(s.max()) << "}";
+}
+
+} // namespace
 
 double
 Metrics::utilisation() const
@@ -22,6 +49,74 @@ Metrics::tokensPerSecond() const
     return makespan > 0
                ? static_cast<double>(tokensGenerated) / makespan
                : 0.0;
+}
+
+std::string
+Metrics::toJson() const
+{
+    using obs::jsonNumber;
+    std::ostringstream os;
+    os << "{";
+    statsJson(os, "ttft_s", ttft);
+    os << ",";
+    statsJson(os, "tbt_s", tbt);
+    os << ",";
+    statsJson(os, "token_gap_s", tokenGap);
+    os << ",";
+    statsJson(os, "response_s", responseTime);
+    os << ",";
+    statsJson(os, "queue_wait_s", queueWait);
+    os << ",";
+    statsJson(os, "queue_depth", queueDepth);
+    os << ",";
+    statsJson(os, "batch_occupancy", batchOccupancy);
+    os << ",";
+    statsJson(os, "kv_occupancy", kvOccupancy);
+    os << ",\"completed\":" << completed
+       << ",\"rejected_capacity\":" << rejectedCapacity
+       << ",\"shed_slo\":" << shedSlo
+       << ",\"iterations\":" << iterations
+       << ",\"tokens_generated\":" << tokensGenerated
+       << ",\"makespan_s\":" << jsonNumber(makespan)
+       << ",\"busy_s\":" << jsonNumber(busyTime)
+       << ",\"utilisation\":" << jsonNumber(utilisation())
+       << ",\"tokens_per_second\":" << jsonNumber(tokensPerSecond())
+       << ",\"completed_per_second\":"
+       << jsonNumber(completedPerSecond())
+       << ",\"preemptions\":" << preemptions
+       << ",\"swap_outs\":" << swapOuts
+       << ",\"swap_ins\":" << swapIns
+       << ",\"recomputes\":" << recomputes
+       << ",\"prefill_chunks\":" << prefillChunks
+       << ",\"swap_out_bytes\":" << jsonNumber(swapOutBytes)
+       << ",\"swap_in_bytes\":" << jsonNumber(swapInBytes)
+       << ",\"swap_busy_s\":" << jsonNumber(swapBusyTime)
+       << ",\"kv_reserved_peak_bytes\":"
+       << jsonNumber(kvReservedPeakBytes) << "}";
+    return os.str();
+}
+
+TextTable
+latencyTable(const std::string &first_col)
+{
+    return TextTable({first_col, "mean (s)", "p50 (s)", "p95 (s)",
+                      "p99 (s)", "mean vs base"});
+}
+
+void
+addLatencyRow(TextTable &table, const std::string &label,
+              const SampleStats &stats, double baseline_mean)
+{
+    if (stats.empty()) {
+        table.addRow({label, "-", "-", "-", "-", "-"});
+        return;
+    }
+    table.addRow({label, fmtDouble(stats.mean(), 2),
+                  fmtDouble(stats.p50(), 2), fmtDouble(stats.p95(), 2),
+                  fmtDouble(stats.p99(), 2),
+                  baseline_mean > 0
+                      ? fmtRatio(stats.mean() / baseline_mean)
+                      : "-"});
 }
 
 bool

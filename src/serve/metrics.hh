@@ -13,9 +13,11 @@
 #define LIA_SERVE_METRICS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/stats.hh"
+#include "base/table.hh"
 #include "serve/config.hh"
 #include "serve/request.hh"
 
@@ -77,7 +79,32 @@ struct Metrics
 
     /** Whether the offered load kept the system stable. */
     bool saturated() const { return utilisation() > 0.999; }
+
+    /**
+     * The full metrics record as a JSON object: every SampleStats as
+     * {"count", "mean", "p50", "p95", "p99", "min", "max"} (zeros
+     * when empty), plus the scalar counters and derived rates.
+     * Deterministic number formatting (obs::jsonNumber), so benches
+     * embed it in their artifacts instead of hand-rolling fields.
+     */
+    std::string toJson() const;
 };
+
+/**
+ * The standard latency table: @p first_col then mean / p50 / p95 /
+ * p99 (seconds) and a mean-vs-baseline ratio column. Fill it with
+ * addLatencyRow so every example and bench prints distributions the
+ * same way.
+ */
+TextTable latencyTable(const std::string &first_col);
+
+/**
+ * Append @p stats as a latencyTable() row labelled @p label. The
+ * ratio cell compares means against @p baseline_mean; pass <= 0 (or
+ * an empty @p stats) to print "-" instead.
+ */
+void addLatencyRow(TextTable &table, const std::string &label,
+                   const SampleStats &stats, double baseline_mean = 0);
 
 /** Whether a finished request met every enabled SLO target. */
 bool meetsSlo(const Request &request, const SloTargets &slo);

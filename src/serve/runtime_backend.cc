@@ -40,10 +40,12 @@ sharedKernelPool()
 }
 
 runtime::ExecutorConfig
-backendExecutorConfig(std::shared_ptr<base::ThreadPool> pool)
+backendExecutorConfig(std::shared_ptr<base::ThreadPool> pool,
+                      bool profile_kernels)
 {
     runtime::ExecutorConfig cfg;
     cfg.pool = std::move(pool);
+    cfg.profileKernels = profile_kernels;
     return cfg;
 }
 
@@ -51,10 +53,11 @@ backendExecutorConfig(std::shared_ptr<base::ThreadPool> pool)
 
 RuntimeBackend::RuntimeBackend(const hw::SystemConfig &system,
                                const model::ModelConfig &model,
-                               const Config &config)
+                               const Config &config,
+                               bool profile_kernels)
     : model_(model), config_(config), kernelPool_(sharedKernelPool()),
       executor_(system, synthWeights(model, config.seed),
-                backendExecutorConfig(kernelPool_))
+                backendExecutorConfig(kernelPool_, profile_kernels))
 {
     model_.validate();
     config_.validate();

@@ -76,10 +76,14 @@ class RuntimeBackend : public ExecutionBackend
      * @param config  the serving config the engine runs (policy and
      *                seed drive the accounting discipline and the
      *                deterministic prompt synthesis)
+     * @param profile_kernels  collect wall-clock kernel timings
+     *                (ExecutorConfig::profileKernels; results are
+     *                unchanged either way)
      */
     RuntimeBackend(const hw::SystemConfig &system,
                    const model::ModelConfig &model,
-                   const Config &config);
+                   const Config &config,
+                   bool profile_kernels = false);
 
     void onPlan(const IterationPlan &plan,
                 const std::vector<Request> &requests,
@@ -111,6 +115,12 @@ class RuntimeBackend : public ExecutionBackend
     const runtime::CooperativeExecutor &executor() const
     {
         return executor_;
+    }
+
+    /** Kernel wall-clock profile; nullptr unless profiling is on. */
+    const obs::KernelProfiler *kernelProfiler() const
+    {
+        return executor_.kernelProfiler();
     }
 
   private:

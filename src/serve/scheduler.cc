@@ -1,9 +1,12 @@
 #include "serve/scheduler.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "base/logging.hh"
+#include "obs/sink.hh"
+#include "serve/tracks.hh"
 
 namespace lia {
 namespace serve {
@@ -101,7 +104,7 @@ Scheduler::next(double now, const SchedulerState &state,
                 std::vector<Request> &requests)
 {
     if (config_.policy == SchedulerPolicy::Preemptive)
-        return nextPreemptive(state, requests);
+        return nextPreemptive(now, state, requests);
 
     IterationPlan plan;
     const std::vector<std::size_t> &queue = state.queue;
@@ -186,6 +189,15 @@ Scheduler::next(double now, const SchedulerState &state,
             if ((now - request.arrival) + prefill_estimate +
                     decode_share >
                 config_.slo.ttft) {
+                if (config_.sink) {
+                    config_.sink->instant(
+                        tracks::kScheduler, "shed.slo", now,
+                        {obs::arg("request", static_cast<std::int64_t>(
+                                                 request.id)),
+                         obs::arg("queued_s", now - request.arrival),
+                         obs::arg("prefill_estimate_s",
+                                  prefill_estimate)});
+                }
                 plan.shed.push_back(index);
                 continue;
             }
@@ -200,7 +212,7 @@ Scheduler::next(double now, const SchedulerState &state,
 }
 
 IterationPlan
-Scheduler::nextPreemptive(const SchedulerState &state,
+Scheduler::nextPreemptive(double now, const SchedulerState &state,
                           std::vector<Request> &requests)
 {
     IterationPlan plan;
@@ -230,7 +242,23 @@ Scheduler::nextPreemptive(const SchedulerState &state,
         const std::size_t victim = decode.back();
         decode.pop_back();
         Request &request = requests[victim];
-        if (swapCost(request) <= recomputeCost(request)) {
+        const double swap = swapCost(request);
+        const double recompute = recomputeCost(request);
+        const bool swaps = swap <= recompute;
+        if (config_.sink) {
+            config_.sink->instant(
+                tracks::kScheduler,
+                swaps ? "preempt.swap_out" : "preempt.evict", now,
+                {obs::arg("request",
+                          static_cast<std::int64_t>(request.id)),
+                 // An unswappable victim prices at infinity; JSON has
+                 // no literal for it, so mark it as -1.
+                 obs::arg("swap_cost_s",
+                          std::isfinite(swap) ? swap : -1.0),
+                 obs::arg("recompute_cost_s", recompute),
+                 obs::arg("kv_bytes", request.kvReservedBytes)});
+        }
+        if (swaps) {
             admission_.swapOut(request);
             plan.swapOut.push_back(victim);
         } else {

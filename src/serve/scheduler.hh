@@ -165,7 +165,8 @@ class Scheduler
     void addChunk(IterationPlan &plan, std::size_t index,
                   const Request &request) const;
 
-    IterationPlan nextPreemptive(const SchedulerState &state,
+    IterationPlan nextPreemptive(double now,
+                                 const SchedulerState &state,
                                  std::vector<Request> &requests);
 
     const Config &config_;

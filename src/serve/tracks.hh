@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Trace-track layout of the serving engine.
+ *
+ * One place defines where every serve-layer emission lands, so the
+ * engine, the scheduler, and the tests agree on the taxonomy
+ * (DESIGN.md §8): pid 0 groups the engine-side tracks — iterations,
+ * scheduler decisions, swap-channel occupancy, and the counter
+ * samples — and pid 1 groups one track per request, keyed by request
+ * id. Request tracks carry the lifecycle state spans (queued /
+ * prefill / decode / preempted / swapped / recompute) plus arrive,
+ * shed, and finish instants.
+ */
+
+#ifndef LIA_SERVE_TRACKS_HH
+#define LIA_SERVE_TRACKS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/sink.hh"
+
+namespace lia {
+namespace serve {
+namespace tracks {
+
+/** Engine iteration spans and the per-iteration counters. */
+inline constexpr obs::Track kIterations{0, 0};
+
+/** Scheduler decision instants (preemption pricing, shedding). */
+inline constexpr obs::Track kScheduler{0, 1};
+
+/** DDR<->CXL swap-channel occupancy spans. */
+inline constexpr obs::Track kSwapChannel{0, 2};
+
+/** The lifecycle track of request @p id. */
+inline obs::Track
+request(std::size_t id)
+{
+    return {1, static_cast<std::int32_t>(id)};
+}
+
+} // namespace tracks
+} // namespace serve
+} // namespace lia
+
+#endif // LIA_SERVE_TRACKS_HH

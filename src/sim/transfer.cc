@@ -26,8 +26,29 @@ TransferChannel::transferTime(double bytes) const
 }
 
 void
+TransferChannel::instrument(obs::EventSink *sink, obs::Track track)
+{
+    sink_ = sink;
+    track_ = track;
+}
+
+void
 TransferChannel::transfer(double bytes, std::function<void(Tick)> done)
 {
+    if (sink_) {
+        // Wrap the completion so the span (actual start, finish) is
+        // known when it fires; the callback itself runs unchanged.
+        resource_.submitSpan(
+            queue_.now(), transferTime(bytes),
+            [this, bytes, done = std::move(done)](Tick start,
+                                                  Tick finish) {
+                sink_->beginSpan(track_, "transfer", start,
+                                 {obs::arg("bytes", bytes)});
+                sink_->endSpan(track_, finish);
+                done(finish);
+            });
+        return;
+    }
     resource_.submit(queue_.now(), transferTime(bytes),
                      std::move(done));
 }

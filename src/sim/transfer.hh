@@ -15,6 +15,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/sink.hh"
 #include "sim/resource.hh"
 
 namespace lia {
@@ -45,6 +46,15 @@ class TransferChannel
     /** Whether the channel can move data at all. */
     bool usable() const { return bandwidth_ > 0; }
 
+    /**
+     * Emit one occupancy span per transfer onto @p track of @p sink
+     * (null detaches). Spans are reconstructed at completion time via
+     * Resource::submitSpan, and the channel is FIFO, so they land in
+     * start order — per-track monotone, as the trace schema requires.
+     * Purely observational: transfer timing is unchanged.
+     */
+    void instrument(obs::EventSink *sink, obs::Track track);
+
     double bandwidth() const { return bandwidth_; }
     double busyTime() const { return resource_.busyTime(); }
     const std::string &name() const { return resource_.name(); }
@@ -54,6 +64,8 @@ class TransferChannel
     Resource resource_;
     double bandwidth_;
     double latency_;
+    obs::EventSink *sink_ = nullptr;
+    obs::Track track_;
 };
 
 } // namespace sim

@@ -69,4 +69,88 @@ TEST_F(LoggingTest, WarnAndInformDoNotThrow)
     EXPECT_NO_THROW(LIA_INFORM("status ", 2));
 }
 
+/**
+ * Captures log output into a stringstream and restores the default
+ * logging configuration afterwards, so the level-filtering tests
+ * cannot leak state into each other (or into other suites).
+ */
+class LogFilterTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogStream(&captured_); }
+
+    void TearDown() override
+    {
+        setLogStream(nullptr);
+        setLogLevel(LogLevel::Normal);
+        setWallTimePrefix(false);
+        setSimTimePrefix(false);
+        setSimTimeProvider({});
+    }
+
+    std::string text() const { return captured_.str(); }
+
+    std::ostringstream captured_;
+};
+
+TEST_F(LogFilterTest, NormalShowsInformSuppressesVerbose)
+{
+    setLogLevel(LogLevel::Normal);
+    LIA_INFORM("status line");
+    LIA_VERBOSE("detail line");
+    EXPECT_NE(text().find("info: status line"), std::string::npos);
+    EXPECT_EQ(text().find("detail line"), std::string::npos);
+}
+
+TEST_F(LogFilterTest, QuietSilencesInformButNeverWarn)
+{
+    setLogLevel(LogLevel::Quiet);
+    LIA_INFORM("chatter");
+    LIA_VERBOSE("more chatter");
+    LIA_WARN("still important");
+    EXPECT_EQ(text().find("chatter"), std::string::npos);
+    EXPECT_NE(text().find("warn: still important"), std::string::npos);
+}
+
+TEST_F(LogFilterTest, VerboseShowsEverything)
+{
+    setLogLevel(LogLevel::Verbose);
+    LIA_INFORM("status line");
+    LIA_VERBOSE("detail line");
+    EXPECT_NE(text().find("info: status line"), std::string::npos);
+    EXPECT_NE(text().find("verbose: detail line"), std::string::npos);
+}
+
+TEST_F(LogFilterTest, VerboseMacroSkipsFormattingWhenDisabled)
+{
+    setLogLevel(LogLevel::Normal);
+    int evaluations = 0;
+    auto count = [&evaluations] { return ++evaluations; };
+    LIA_VERBOSE("computed ", count());
+    EXPECT_EQ(evaluations, 0);
+    setLogLevel(LogLevel::Verbose);
+    LIA_VERBOSE("computed ", count());
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogFilterTest, SimTimePrefixUsesInstalledProvider)
+{
+    setSimTimePrefix(true);
+    LIA_INFORM("no provider yet");
+    EXPECT_EQ(text().find("[sim"), std::string::npos);
+
+    setSimTimeProvider([] { return 0.125; });
+    LIA_INFORM("with provider");
+    EXPECT_NE(text().find("[sim 0.125000s] info: with provider"),
+              std::string::npos);
+}
+
+TEST_F(LogFilterTest, WallTimePrefixAppears)
+{
+    setWallTimePrefix(true);
+    LIA_INFORM("stamped");
+    EXPECT_NE(text().find("[wall "), std::string::npos);
+    EXPECT_NE(text().find("s] info: stamped"), std::string::npos);
+}
+
 } // namespace
