@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Extension: cluster serving — aggregate goodput vs replica count vs
+ * tensor-parallel shard width at a fixed GPU budget, plus an
+ * autoscaler drain scenario.
+ *
+ * One shared Poisson mixed-trace stream is served by a
+ * cluster::ClusterRouter fleet of serve:: engines on a single DES
+ * clock. Three sweeps:
+ *
+ *  - replica scaling: 1 / 2 / 4 one-GPU replicas against the same
+ *    overload — aggregate goodput must grow with the fleet;
+ *  - fixed budget: 8 GPUs spent as 8x(W=1), 4x(W=2), 2x(W=4),
+ *    1x(W=8) NVLink shard groups, every iteration priced by the §8
+ *    multi-GPU engine incl. the ring all-reduce surcharge — the
+ *    data-parallel vs tensor-parallel tradeoff at constant hardware;
+ *  - routing policies compared on one 4-replica fleet;
+ *
+ * and one autoscaler run (1 -> up to 4 replicas, hysteresis +
+ * cooldown, drain-before-decommission) that HARD-ASSERTS no routed
+ * request was dropped or stranded.
+ *
+ * Emits everything to BENCH_cluster_serving.json with deterministic
+ * number formatting (obs::jsonNumber): repeated runs produce
+ * byte-identical artifacts. `--trace-out trace.json` additionally
+ * records the autoscaler run as a per-replica Chrome trace;
+ * `--requests N` / `--rate-per-min R` shrink the stream for CI.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/args.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "cluster/router.hh"
+#include "hw/catalog.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/sink.hh"
+#include "serve/metrics.hh"
+
+namespace {
+
+constexpr double kTtftSlo = 20.0;  //!< TTFT target, seconds
+constexpr double kTbtSlo = 0.5;    //!< time-between-tokens target
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lia;
+    using cluster::ClusterConfig;
+    using cluster::ClusterResult;
+    using cluster::ClusterRouter;
+    using cluster::RoutingPolicy;
+
+    const ArgParser args(argc, argv);
+    const std::size_t requests = static_cast<std::size_t>(
+        args.getInt("requests", 240));
+    const double rate_per_min = args.getDouble("rate-per-min", 24.0);
+    const std::string trace_out = args.getString("trace-out");
+
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::opt30b();
+    const serve::SloTargets slo{kTtftSlo, kTbtSlo, 0.0};
+
+    auto baseConfig = [&]() {
+        ClusterConfig config;
+        config.engine.requests = requests;
+        config.engine.arrivalRatePerSecond = rate_per_min / 60.0;
+        config.engine.seed = 1;
+        config.engine.maxBatch = 64;
+        config.engine.slo = slo;
+        config.sessions = 16;
+        return config;
+    };
+    auto runPoint = [&](const ClusterConfig &config) {
+        return ClusterRouter(sys, m, config).run();
+    };
+    auto addRow = [&](TextTable &table, const std::string &label,
+                      const ClusterResult &r) {
+        table.addRow({label, std::to_string(r.peakGpus()),
+                      std::to_string(r.aggregate.completed),
+                      std::to_string(r.aggregate.rejected()),
+                      fmtSeconds(r.aggregate.ttft.p95()),
+                      fmtSeconds(r.aggregate.responseTime.p95()),
+                      fmtDouble(r.goodputPerSecond(slo) * 60.0, 1),
+                      fmtPercent(r.sloAttainment(slo))});
+    };
+
+    std::cout << "Cluster serving: " << m.name << " replicas on "
+              << sys.name << ", one shared " << requests
+              << "-request mixed-trace stream at "
+              << fmtDouble(rate_per_min, 0) << "/min\n"
+              << "SLO targets: TTFT " << fmtSeconds(kTtftSlo)
+              << ", TBT " << fmtSeconds(kTbtSlo) << "\n\n";
+
+    // --- Sweep 1: replica scaling at W = 1 --------------------------
+    std::cout << "Replica scaling (data parallel, W = 1):\n";
+    TextTable scaling({"fleet", "GPUs", "done", "shed", "p95 TTFT",
+                       "p95 resp", "goodput/min", "SLO att."});
+    const std::vector<std::size_t> fleet_sizes = {1, 2, 4};
+    std::vector<ClusterResult> scaling_runs;
+    for (std::size_t n : fleet_sizes) {
+        ClusterConfig config = baseConfig();
+        config.replicas = n;
+        ClusterResult r = runPoint(config);
+        addRow(scaling, std::to_string(n) + " x W1", r);
+        scaling_runs.push_back(std::move(r));
+    }
+    scaling.print(std::cout);
+
+    // --- Sweep 2: a fixed 8-GPU budget, spent wide or narrow --------
+    std::cout << "\nFixed 8-GPU budget (NVLink shard groups, §8 "
+                 "all-reduce priced in):\n";
+    TextTable budget({"fleet", "GPUs", "done", "shed", "p95 TTFT",
+                      "p95 resp", "goodput/min", "SLO att."});
+    struct Split
+    {
+        std::size_t replicas;
+        int width;
+    };
+    const std::vector<Split> splits = {{8, 1}, {4, 2}, {2, 4}, {1, 8}};
+    std::vector<ClusterResult> budget_runs;
+    for (const Split &split : splits) {
+        ClusterConfig config = baseConfig();
+        config.replicas = split.replicas;
+        config.shardWidth = split.width;
+        config.fabric = hw::nvlink3();
+        ClusterResult r = runPoint(config);
+        LIA_ASSERT(r.peakGpus() == 8, "budget sweep must hold 8 GPUs");
+        addRow(budget,
+               std::to_string(split.replicas) + " x W" +
+                   std::to_string(split.width),
+               r);
+        budget_runs.push_back(std::move(r));
+    }
+    budget.print(std::cout);
+
+    // --- Sweep 3: routing policies on one 4-replica fleet -----------
+    std::cout << "\nRouting policies (4 x W1):\n";
+    TextTable routing({"policy", "GPUs", "done", "shed", "p95 TTFT",
+                       "p95 resp", "goodput/min", "SLO att."});
+    const std::vector<RoutingPolicy> policies = {
+        RoutingPolicy::LeastKvLoaded, RoutingPolicy::SessionAffinity,
+        RoutingPolicy::TtftAware};
+    std::vector<ClusterResult> policy_runs;
+    for (RoutingPolicy policy : policies) {
+        ClusterConfig config = baseConfig();
+        config.replicas = 4;
+        config.routing = policy;
+        ClusterResult r = runPoint(config);
+        addRow(routing, cluster::toString(policy), r);
+        policy_runs.push_back(std::move(r));
+    }
+    routing.print(std::cout);
+
+    // --- Autoscaler: grow under the backlog, drain after ------------
+    obs::ChromeTraceWriter trace;
+    ClusterConfig scaled = baseConfig();
+    scaled.replicas = 1;
+    // A tighter per-replica batch: overload then shows up as a real
+    // waiting queue (the autoscaler's scale-up signal) instead of
+    // being absorbed into one enormous slow batch.
+    scaled.engine.maxBatch = 8;
+    scaled.autoscaler.enabled = true;
+    scaled.autoscaler.minReplicas = 1;
+    scaled.autoscaler.maxReplicas = 4;
+    scaled.autoscaler.evaluationPeriod = 30.0;
+    scaled.autoscaler.scaleUpQueueDepth = 4.0;
+    scaled.autoscaler.hysteresisTicks = 2;
+    scaled.autoscaler.cooldown = 60.0;
+    if (!trace_out.empty())
+        scaled.sink = &trace;
+    ClusterResult autoscaled = runPoint(scaled);
+
+    // ClusterRouter::run() already hard-asserts drain-before-
+    // decommission internally; re-assert the end-to-end account here
+    // so the bench fails loudly if a request was dropped or stranded.
+    LIA_ASSERT(autoscaled.requestsRouted == requests,
+               "autoscaler run lost arrivals");
+    LIA_ASSERT(autoscaled.aggregate.completed +
+                       autoscaled.aggregate.rejected() ==
+                   requests,
+               "autoscaler run dropped or stranded requests");
+
+    std::cout << "\nAutoscaler (1 -> max 4 replicas, "
+              << fmtSeconds(scaled.autoscaler.evaluationPeriod)
+              << " evaluation period):\n"
+              << "  scale-ups " << autoscaled.scaleUps
+              << ", scale-downs " << autoscaled.scaleDowns
+              << ", peak fleet " << autoscaled.peakReplicas
+              << ", final fleet " << autoscaled.finalReplicas << "\n"
+              << "  served " << autoscaled.aggregate.completed
+              << " + shed " << autoscaled.aggregate.rejected()
+              << " of " << requests
+              << " routed (0 dropped, 0 stranded — asserted)\n"
+              << "  goodput "
+              << fmtDouble(autoscaled.goodputPerSecond(slo) * 60.0, 1)
+              << "/min at "
+              << fmtPercent(autoscaled.sloAttainment(slo))
+              << " SLO attainment\n";
+
+    std::cout << "\nShape to expect: goodput grows with replica "
+                 "count until the stream is\nno longer the "
+                 "bottleneck; at a fixed GPU budget, many narrow "
+                 "replicas beat\nfew wide shard groups once the "
+                 "all-reduce surcharge outweighs the\nper-replica "
+                 "speedup; the autoscaler lands between the static "
+                 "fleets\nwithout losing a single request.\n";
+
+    // --- Machine-readable artifact ----------------------------------
+    using obs::jsonNumber;
+    auto pointJson = [&](const ClusterResult &r) {
+        std::ostringstream os;
+        os << "{\"replicas\": " << r.replicas.size()
+           << ", \"shard_width\": " << r.shardWidth
+           << ", \"peak_gpus\": " << r.peakGpus()
+           << ", \"goodput_per_min\": "
+           << jsonNumber(r.goodputPerSecond(slo) * 60.0)
+           << ", \"slo_attainment\": "
+           << jsonNumber(r.sloAttainment(slo))
+           << ", \"affinity_hit_rate\": "
+           << jsonNumber(r.sessionAffinityHitRate)
+           << ", \"makespan\": " << jsonNumber(r.makespan)
+           << ", \"metrics\": " << r.aggregate.toJson() << "}";
+        return os.str();
+    };
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"cluster_serving\",\n"
+         << "  \"system\": \"" << sys.name << "\",\n"
+         << "  \"model\": \"" << m.name << "\",\n"
+         << "  \"requests\": " << requests << ",\n"
+         << "  \"rate_per_min\": " << jsonNumber(rate_per_min)
+         << ",\n  \"replica_sweep\": [\n";
+    for (std::size_t i = 0; i < scaling_runs.size(); ++i)
+        json << (i ? ",\n" : "") << "    "
+             << pointJson(scaling_runs[i]);
+    json << "\n  ],\n  \"budget_sweep\": [\n";
+    for (std::size_t i = 0; i < budget_runs.size(); ++i)
+        json << (i ? ",\n" : "") << "    "
+             << pointJson(budget_runs[i]);
+    json << "\n  ],\n  \"routing_policies\": [\n";
+    for (std::size_t i = 0; i < policy_runs.size(); ++i)
+        json << (i ? ",\n" : "")
+             << "    {\"policy\": \""
+             << cluster::toString(policies[i])
+             << "\", \"point\": " << pointJson(policy_runs[i]) << "}";
+    json << "\n  ],\n  \"autoscaler\": {\"scale_ups\": "
+         << autoscaled.scaleUps
+         << ", \"scale_downs\": " << autoscaled.scaleDowns
+         << ", \"peak_replicas\": " << autoscaled.peakReplicas
+         << ", \"final_replicas\": " << autoscaled.finalReplicas
+         << ", \"dropped\": 0, \"stranded\": 0, \"point\": "
+         << pointJson(autoscaled) << "}\n}\n";
+
+    const std::string path = "BENCH_cluster_serving.json";
+    std::ofstream file(path);
+    file << json.str();
+    if (!file) {
+        std::cerr << "failed to write " << path << "\n";
+        return 1;
+    }
+    std::cout << "\nwrote " << path << "\n";
+
+    if (!trace_out.empty()) {
+        if (trace.writeFile(trace_out)) {
+            std::cout << "wrote " << trace.events().size()
+                      << "-event Chrome trace to " << trace_out
+                      << "\n";
+        } else {
+            std::cerr << "failed to write trace to " << trace_out
+                      << "\n";
+            return 1;
+        }
+    }
+    return 0;
+}

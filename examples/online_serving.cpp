@@ -154,9 +154,11 @@ main(int argc, char **argv)
             std::cout << "\nWrote " << trace.events().size()
                       << "-event Chrome trace to " << trace_out
                       << " (open in ui.perfetto.dev)\n";
-        else
+        else {
             std::cerr << "\nFailed to write trace to " << trace_out
                       << "\n";
+            return EXIT_FAILURE;
+        }
     }
-    return 0;
+    return EXIT_SUCCESS;
 }

@@ -117,22 +117,27 @@ main(int argc, char **argv)
                              base_mean);
     latency.print(std::cout);
 
+    bool write_failed = false;
     if (!trace_out.empty()) {
         if (trace.writeFile(trace_out))
             std::cout << "\nWrote " << trace.events().size()
                       << "-event Chrome trace to " << trace_out
                       << " (open in ui.perfetto.dev)\n";
-        else
+        else {
             std::cerr << "\nFailed to write trace to " << trace_out
                       << "\n";
+            write_failed = true;
+        }
     }
     if (!series_out.empty()) {
         if (series.writeFile(series_out))
             std::cout << "Wrote counter series to " << series_out
                       << "\n";
-        else
+        else {
             std::cerr << "Failed to write series to " << series_out
                       << "\n";
+            write_failed = true;
+        }
     }
 
     // The CXL pool's contribution to serving: parameters leave DDR,
@@ -183,5 +188,5 @@ main(int argc, char **argv)
            "and keeps TTFT/TBT\npercentiles inside their targets. "
            "Preemptive over-admission packs the KV\nbudget by live "
            "footprint and raises occupancy further.\n";
-    return 0;
+    return write_failed ? EXIT_FAILURE : EXIT_SUCCESS;
 }

@@ -21,6 +21,16 @@ SampleStats::add(const std::vector<double> &values)
         add(v);
 }
 
+void
+SampleStats::merge(const SampleStats &other)
+{
+    if (other.empty())
+        return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = samples_.size() <= 1;
+}
+
 double
 SampleStats::mean() const
 {

@@ -36,6 +36,18 @@ class SampleStats
     /** Add many samples. */
     void add(const std::vector<double> &values);
 
+    /**
+     * Absorb every sample of @p other, so percentiles afterwards are
+     * order statistics of the union — how per-replica latency
+     * distributions aggregate into fleet distributions
+     * (serve::Metrics::merge). Merging an empty set is a no-op.
+     */
+    void merge(const SampleStats &other);
+
+    /** The raw samples, insertion-ordered until a percentile query
+     *  sorts them in place. */
+    const std::vector<double> &samples() const { return samples_; }
+
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 

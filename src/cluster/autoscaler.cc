@@ -1,0 +1,75 @@
+#include "cluster/autoscaler.hh"
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace cluster {
+
+void
+AutoscalerConfig::validate() const
+{
+    LIA_ASSERT(minReplicas >= 1, "minReplicas must be >= 1");
+    LIA_ASSERT(maxReplicas >= minReplicas,
+               "maxReplicas below minReplicas");
+    LIA_ASSERT(evaluationPeriod > 0, "evaluationPeriod must be > 0");
+    LIA_ASSERT(scaleUpQueueDepth > 0, "scaleUpQueueDepth must be > 0");
+    LIA_ASSERT(scaleDownKvOccupancy >= 0,
+               "scaleDownKvOccupancy must be >= 0");
+    LIA_ASSERT(hysteresisTicks >= 1, "hysteresisTicks must be >= 1");
+    LIA_ASSERT(cooldown >= 0, "cooldown must be >= 0");
+}
+
+ReplicaAutoscaler::ReplicaAutoscaler(const AutoscalerConfig &config)
+    : config_(config)
+{
+    config_.validate();
+}
+
+ScaleDecision
+ReplicaAutoscaler::evaluate(double now,
+                            const AutoscalerSignals &signals)
+{
+    // Classify this window. Scale-down needs BOTH signals quiet:
+    // low KV occupancy with a deep queue means requests are waiting
+    // on admission, not that capacity is idle.
+    const bool pressured =
+        signals.meanQueueDepth > config_.scaleUpQueueDepth;
+    const bool idle =
+        !pressured &&
+        signals.meanKvOccupancy < config_.scaleDownKvOccupancy;
+
+    if (pressured) {
+        ++upStreak_;
+        downStreak_ = 0;
+    } else if (idle) {
+        ++downStreak_;
+        upStreak_ = 0;
+    } else {
+        upStreak_ = 0;
+        downStreak_ = 0;
+    }
+
+    if (acted_ && now - lastAction_ < config_.cooldown)
+        return ScaleDecision::Hold;
+
+    if (upStreak_ >= config_.hysteresisTicks &&
+        signals.activeReplicas < config_.maxReplicas) {
+        upStreak_ = 0;
+        downStreak_ = 0;
+        acted_ = true;
+        lastAction_ = now;
+        return ScaleDecision::Up;
+    }
+    if (downStreak_ >= config_.hysteresisTicks &&
+        signals.activeReplicas > config_.minReplicas) {
+        upStreak_ = 0;
+        downStreak_ = 0;
+        acted_ = true;
+        lastAction_ = now;
+        return ScaleDecision::Down;
+    }
+    return ScaleDecision::Hold;
+}
+
+} // namespace cluster
+} // namespace lia

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Replica autoscaler: a pure threshold state machine.
+ *
+ * The router samples fleet signals (mean queue depth, mean KV
+ * occupancy — read back from the per-replica obs::SeriesRegistry
+ * counters the engines already emit) once per evaluation period and
+ * feeds them to evaluate(). The machine answers Hold / Up / Down,
+ * applying hysteresis (a threshold must be breached on consecutive
+ * evaluations before acting) and a post-action cooldown so the fleet
+ * doesn't thrash on bursty arrivals. It holds no engine state, which
+ * is what makes it unit-testable without a simulation.
+ */
+
+#ifndef LIA_CLUSTER_AUTOSCALER_HH
+#define LIA_CLUSTER_AUTOSCALER_HH
+
+#include <cstddef>
+
+#include "cluster/config.hh"
+
+namespace lia {
+namespace cluster {
+
+/** Fleet-wide load signals for one evaluation. */
+struct AutoscalerSignals
+{
+    /** Mean waiting-queue depth per active replica over the window. */
+    double meanQueueDepth = 0;
+
+    /** Mean KV occupancy (reserved/budget) over the window. */
+    double meanKvOccupancy = 0;
+
+    /** Replicas currently accepting traffic (not draining). */
+    std::size_t activeReplicas = 0;
+};
+
+/** What the fleet should do after one evaluation. */
+enum class ScaleDecision
+{
+    Hold,
+    Up,    //!< spawn one replica
+    Down,  //!< drain (then decommission) one replica
+};
+
+/** Threshold + hysteresis + cooldown scaling policy. */
+class ReplicaAutoscaler
+{
+  public:
+    explicit ReplicaAutoscaler(const AutoscalerConfig &config);
+
+    /**
+     * Evaluate the signals at simulated time @p now. Streaks
+     * accumulate on every call; an action is returned only once a
+     * streak reaches hysteresisTicks, the cooldown since the last
+     * action has passed, and the fleet bounds permit it. Returning Up
+     * or Down records the action (streaks reset, cooldown restarts).
+     */
+    ScaleDecision evaluate(double now,
+                           const AutoscalerSignals &signals);
+
+    /** Consecutive scale-up-breaching evaluations so far. */
+    int upStreak() const { return upStreak_; }
+
+    /** Consecutive scale-down-breaching evaluations so far. */
+    int downStreak() const { return downStreak_; }
+
+    const AutoscalerConfig &config() const { return config_; }
+
+  private:
+    AutoscalerConfig config_;
+    int upStreak_ = 0;
+    int downStreak_ = 0;
+    bool acted_ = false;    //!< whether lastAction_ is meaningful
+    double lastAction_ = 0;
+};
+
+} // namespace cluster
+} // namespace lia
+
+#endif // LIA_CLUSTER_AUTOSCALER_HH

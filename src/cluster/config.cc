@@ -1,0 +1,39 @@
+#include "cluster/config.hh"
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace cluster {
+
+const char *
+toString(RoutingPolicy policy)
+{
+    switch (policy) {
+      case RoutingPolicy::LeastKvLoaded:
+        return "least-kv-loaded";
+      case RoutingPolicy::SessionAffinity:
+        return "session-affinity";
+      case RoutingPolicy::TtftAware:
+        return "ttft-aware";
+    }
+    return "?";
+}
+
+void
+ClusterConfig::validate() const
+{
+    engine.validate();
+    LIA_ASSERT(replicas >= 1, "need at least one replica");
+    LIA_ASSERT(shardWidth >= 1, "shardWidth must be >= 1");
+    LIA_ASSERT(sessions >= 1, "need at least one session");
+    if (autoscaler.enabled) {
+        autoscaler.validate();
+        LIA_ASSERT(replicas <= autoscaler.maxReplicas,
+                   "initial fleet exceeds maxReplicas");
+        LIA_ASSERT(replicas >= autoscaler.minReplicas,
+                   "initial fleet below minReplicas");
+    }
+}
+
+} // namespace cluster
+} // namespace lia

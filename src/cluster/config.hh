@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Configuration of the cluster serving layer.
+ *
+ * A cluster run serves ONE shared arrival stream across N replica
+ * engines (data parallelism), each of which may itself be a W-way
+ * tensor-parallel shard group priced by the §8 multi-GPU model — so
+ * the same knobs sweep "more replicas" against "wider replicas" at a
+ * fixed GPU budget. The router picks a replica per request under one
+ * of three policies; an optional autoscaler grows and shrinks the
+ * fleet from observed queue-depth / KV-occupancy series.
+ */
+
+#ifndef LIA_CLUSTER_CONFIG_HH
+#define LIA_CLUSTER_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "hw/device.hh"
+#include "serve/config.hh"
+
+namespace lia {
+namespace cluster {
+
+/** How the router assigns an arriving request to a replica. */
+enum class RoutingPolicy
+{
+    /**
+     * Send each request to the replica with the lowest KV pressure
+     * (reserved bytes plus the full demand of its waiting queue, over
+     * its budget). Balances *memory* load, the binding resource of
+     * KV-bound serving.
+     */
+    LeastKvLoaded,
+
+    /**
+     * Consistent hashing on the request's session id: requests of one
+     * session land on one replica (prefix caches stay warm), and
+     * scaling the fleet remaps only ~1/N of the sessions instead of
+     * reshuffling everything.
+     */
+    SessionAffinity,
+
+    /**
+     * Send each request where its time-to-first-token is modeled to
+     * be smallest: the replica minimising the estimated queue delay
+     * (prefill backlog + one decode round, stretched by KV pressure).
+     * Balances *latency*, which queue length alone proxies poorly
+     * when replicas serve different-length prompts.
+     */
+    TtftAware,
+};
+
+const char *toString(RoutingPolicy policy);
+
+/** Autoscaler thresholds and pacing. */
+struct AutoscalerConfig
+{
+    bool enabled = false;
+
+    std::size_t minReplicas = 1;  //!< never drain below this
+    std::size_t maxReplicas = 8;  //!< never spawn above this
+
+    /** Seconds of simulated time between evaluations. */
+    double evaluationPeriod = 5.0;
+
+    /**
+     * Scale up when the fleet-mean queue depth (waiting requests per
+     * active replica, averaged over the evaluation window's counter
+     * samples) exceeds this.
+     */
+    double scaleUpQueueDepth = 8.0;
+
+    /**
+     * Scale down when the fleet-mean KV occupancy stays under this
+     * while the queue-depth signal is also below its threshold —
+     * capacity is provably idle, not merely momentarily quiet.
+     */
+    double scaleDownKvOccupancy = 0.15;
+
+    /**
+     * Consecutive breaching evaluations required before acting —
+     * hysteresis against reacting to one bursty window.
+     */
+    int hysteresisTicks = 2;
+
+    /** Seconds after any action before the next may trigger. */
+    double cooldown = 10.0;
+
+    /** Panics on malformed settings. */
+    void validate() const;
+};
+
+/** Configuration of one cluster serving run. */
+struct ClusterConfig
+{
+    /**
+     * Per-replica engine configuration. `engine.requests` is the
+     * TOTAL request count of the shared arrival stream (not
+     * per-replica); `engine.arrivalRatePerSecond` is the aggregate
+     * rate; `engine.seed` seeds arrivals (seed), request shapes
+     * (seed + 1), and session ids (seed + 2); `engine.sink` is
+     * ignored — set ClusterConfig::sink instead, which receives every
+     * replica's events under per-replica track namespaces.
+     */
+    serve::Config engine;
+
+    /** Initial replica count (>= 1). */
+    std::size_t replicas = 2;
+
+    /**
+     * Tensor-parallel width of each replica (>= 1). Width > 1 prices
+     * every replica against the §8 pooled platform and adds the ring
+     * all-reduce surcharge to every iteration.
+     */
+    int shardWidth = 1;
+
+    /**
+     * Inter-GPU fabric of a shard group; defaults to the base
+     * system's own gpuFabric, falling back to PCIe gen4 x16. Ignored
+     * at shardWidth == 1.
+     */
+    std::optional<hw::Link> fabric;
+
+    RoutingPolicy routing = RoutingPolicy::LeastKvLoaded;
+
+    /** Distinct session ids in the arrival stream (>= 1). */
+    std::size_t sessions = 16;
+
+    AutoscalerConfig autoscaler;
+
+    /**
+     * Optional trace sink receiving every replica's spans and
+     * counters under tracks::replica(i) namespaces. Not owned; must
+     * outlive the run. Null emits nothing and changes nothing.
+     */
+    obs::EventSink *sink = nullptr;
+
+    /** Panics on malformed settings. */
+    void validate() const;
+};
+
+} // namespace cluster
+} // namespace lia
+
+#endif // LIA_CLUSTER_CONFIG_HH

@@ -1,0 +1,70 @@
+#include "cluster/hash_ring.hh"
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace cluster {
+
+ConsistentHashRing::ConsistentHashRing(int vnodes) : vnodes_(vnodes)
+{
+    LIA_ASSERT(vnodes >= 1, "need at least one virtual node");
+}
+
+std::uint64_t
+ConsistentHashRing::hash(std::uint64_t value)
+{
+    // FNV-1a, 64-bit: byte-at-a-time over the little-endian value.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; ++i) {
+        h ^= (value >> (8 * i)) & 0xffULL;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+ConsistentHashRing::point(std::size_t node, int replica)
+{
+    // Mix node and vnode index into one 64-bit key, then hash TWICE.
+    // The double hash keeps the vnode-point domain disjoint from the
+    // key domain nodeFor() searches: node 0's points would otherwise
+    // be hash(0 .. vnodes-1) — exactly the hashes of small integer
+    // session ids, so every such session would find an exactly-equal
+    // point and the whole keyspace would collapse onto node 0.
+    return hash(hash(
+        static_cast<std::uint64_t>(node) * 0x9e3779b97f4a7c15ULL +
+        static_cast<std::uint64_t>(replica)));
+}
+
+void
+ConsistentHashRing::addNode(std::size_t node)
+{
+    bool added = false;
+    for (int v = 0; v < vnodes_; ++v)
+        added |= ring_.emplace(point(node, v), node).second;
+    if (added)
+        ++nodes_;
+}
+
+void
+ConsistentHashRing::removeNode(std::size_t node)
+{
+    bool removed = false;
+    for (int v = 0; v < vnodes_; ++v)
+        removed |= ring_.erase(point(node, v)) > 0;
+    if (removed)
+        --nodes_;
+}
+
+std::size_t
+ConsistentHashRing::nodeFor(std::uint64_t key) const
+{
+    LIA_ASSERT(!ring_.empty(), "routing over an empty ring");
+    auto it = ring_.lower_bound(hash(key));
+    if (it == ring_.end())
+        it = ring_.begin();
+    return it->second;
+}
+
+} // namespace cluster
+} // namespace lia

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Consistent-hash ring for session-affinity routing.
+ *
+ * The classic construction: every node projects `vnodes` virtual
+ * points onto a 64-bit ring; a key routes to the first virtual point
+ * clockwise from its own hash. Adding or removing one node therefore
+ * remaps only the keys between its points and their predecessors —
+ * ~1/N of the keyspace — which is exactly the property the cluster
+ * autoscaler needs: scaling the fleet must not cold-start every
+ * session's prefix cache, only the sessions that actually moved.
+ *
+ * Everything is deterministic: FNV-1a over fixed-width bytes, no
+ * randomised vnode placement, std::map iteration order.
+ */
+
+#ifndef LIA_CLUSTER_HASH_RING_HH
+#define LIA_CLUSTER_HASH_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace lia {
+namespace cluster {
+
+/** Deterministic consistent-hash ring over integer node ids. */
+class ConsistentHashRing
+{
+  public:
+    /** @param vnodes  virtual points per node (>= 1). */
+    explicit ConsistentHashRing(int vnodes = 16);
+
+    /** Project @p node onto the ring. Adding twice is a no-op. */
+    void addNode(std::size_t node);
+
+    /** Remove every virtual point of @p node. */
+    void removeNode(std::size_t node);
+
+    bool empty() const { return ring_.empty(); }
+
+    /** Distinct nodes currently on the ring. */
+    std::size_t nodeCount() const { return nodes_; }
+
+    /**
+     * The node owning @p key: the first virtual point at or clockwise
+     * after hash(key), wrapping at the top. Panics on an empty ring.
+     */
+    std::size_t nodeFor(std::uint64_t key) const;
+
+    /** FNV-1a over the 8 little-endian bytes of @p value. */
+    static std::uint64_t hash(std::uint64_t value);
+
+  private:
+    /** Ring position of @p node's @p replica-th virtual point. */
+    static std::uint64_t point(std::size_t node, int replica);
+
+    int vnodes_;
+    std::size_t nodes_ = 0;
+    std::map<std::uint64_t, std::size_t> ring_;
+};
+
+} // namespace cluster
+} // namespace lia
+
+#endif // LIA_CLUSTER_HASH_RING_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Cluster router: one arrival stream over N serving-engine replicas.
+ *
+ * The tentpole of the cluster layer. A ClusterRouter owns the shared
+ * DES clock, pre-draws the shared Poisson arrival stream (same seed
+ * convention as ServingEngine: arrivals from seed, shapes from
+ * seed + 1, session ids from seed + 2), and dispatches every arrival
+ * to one of N serve::EngineInstance replicas under a RoutingPolicy.
+ * Replicas may be W-way tensor-parallel shard groups: width > 1
+ * prices every iteration against the §8 pooled platform plus the ring
+ * all-reduce surcharge (core::MultiGpuLiaModel through
+ * serve::IterationCostCache), so "N narrow replicas vs N/W wide ones
+ * at a fixed GPU budget" is a fair sweep.
+ *
+ * With the autoscaler enabled, a periodic evaluation event reads the
+ * queue-depth / KV-occupancy counter series each replica's engine
+ * already emits (per-replica obs::SeriesRegistry), asks the
+ * ReplicaAutoscaler for a decision, and spawns or drains replicas.
+ * Draining is graceful: the replica stops receiving traffic, serves
+ * out its queue, and is decommissioned only once empty — a cluster
+ * run never drops or strands a routed request, which run() asserts.
+ *
+ * Everything advances on ONE sim::EventQueue, single-threaded and
+ * deterministic: equal ClusterConfigs produce bit-identical results
+ * and traces.
+ */
+
+#ifndef LIA_CLUSTER_ROUTER_HH
+#define LIA_CLUSTER_ROUTER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "cluster/autoscaler.hh"
+#include "cluster/config.hh"
+#include "core/engine.hh"
+#include "core/multi_gpu.hh"
+#include "serve/cost_cache.hh"
+#include "serve/engine.hh"
+
+namespace lia {
+namespace cluster {
+
+/** One replica's lifecycle and final engine result. */
+struct ReplicaReport
+{
+    std::size_t index = 0;
+    double spawnedAt = 0;   //!< simulated spawn time
+    double retiredAt = -1;  //!< decommission time; < 0 = active at end
+    std::size_t routed = 0; //!< requests this replica received
+    serve::Result result;   //!< the engine's own account of its run
+};
+
+/** Outcome of one cluster run. */
+struct ClusterResult
+{
+    /** Fleet metrics: every replica's Metrics merged (percentiles
+     *  over the union of samples; makespan = the shared clock). */
+    serve::Metrics aggregate;
+
+    std::vector<ReplicaReport> replicas;
+
+    std::size_t requestsRouted = 0;  //!< == ClusterConfig requests
+    std::size_t scaleUps = 0;        //!< autoscaler spawns
+    std::size_t scaleDowns = 0;      //!< autoscaler drains initiated
+    std::size_t peakReplicas = 0;    //!< most replicas ever active
+    std::size_t finalReplicas = 0;   //!< active when the run drained
+
+    /**
+     * Of the routed requests whose session had been routed before,
+     * the fraction that landed on the same replica as last time.
+     * 1.0 under SessionAffinity with a static fleet; autoscaling
+     * remaps ~1/N of sessions per resize.
+     */
+    double sessionAffinityHitRate = 0;
+
+    /** Active-replica count sampled at every autoscaler evaluation. */
+    SampleStats activeReplicaSeries;
+
+    int shardWidth = 1;    //!< tensor-parallel width of each replica
+    double makespan = 0;   //!< shared-clock span of the whole run
+
+    /** GPUs the fleet held at its peak. */
+    std::size_t peakGpus() const
+    {
+        return peakReplicas * static_cast<std::size_t>(shardWidth);
+    }
+
+    /** Fleet goodput: SLO-meeting completions per second, fleet-wide
+     *  (all replicas' requests against the shared makespan). */
+    double goodputPerSecond(const serve::SloTargets &slo) const;
+
+    /** Fraction of fleet completions meeting @p slo. */
+    double sloAttainment(const serve::SloTargets &slo) const;
+};
+
+/** The cluster serving deployment: (system, model, config). */
+class ClusterRouter
+{
+  public:
+    /**
+     * @param system  the SINGLE-GPU base platform; shardWidth > 1
+     *                pools it per §8 before pricing
+     * @param model   served model
+     * @param config  cluster configuration (copied)
+     */
+    ClusterRouter(const hw::SystemConfig &system,
+                  const model::ModelConfig &model,
+                  ClusterConfig config);
+
+    /**
+     * Simulate the configured stream to completion. Deterministic:
+     * equal configs (seed included) yield bit-identical results, and
+     * repeated calls are independent. Asserts that every routed
+     * request reached a terminal state (drain-before-decommission
+     * leaves nothing behind).
+     */
+    ClusterResult run();
+
+    /** The pricing engine every replica shares (pooled platform when
+     *  shardWidth > 1). */
+    const core::EngineModel &pricingEngine() const { return engine_; }
+
+    /** The shared iteration-cost cache (TP surcharge included). */
+    const serve::IterationCostCache &costs() const { return costs_; }
+
+    const ClusterConfig &config() const { return config_; }
+
+  private:
+    struct Replica;
+    struct RunState;
+
+    /** Create replica @p index at time @p now, wired to the shared
+     *  queue under tracks::replica(index). */
+    Replica &spawnReplica(RunState &state, double now);
+
+    /** Route one request; returns the chosen replica index. */
+    std::size_t route(RunState &state, std::uint64_t session);
+
+    /** One autoscaler evaluation (and tick rescheduling). */
+    void autoscalerTick(RunState &state);
+
+    hw::SystemConfig system_;  //!< base (single-GPU) platform
+    model::ModelConfig model_;
+    ClusterConfig config_;
+
+    /** §8 pooled deployment; null at shardWidth == 1. */
+    std::unique_ptr<core::MultiGpuLiaModel> tensorParallel_;
+
+    core::EngineModel engine_;
+    serve::IterationCostCache costs_;
+    std::int64_t plannerCap_ = 0;
+};
+
+} // namespace cluster
+} // namespace lia
+
+#endif // LIA_CLUSTER_ROUTER_HH

@@ -62,6 +62,14 @@ MultiGpuLiaModel::layerCommTime(const model::Workload &workload,
     return comm;
 }
 
+double
+MultiGpuLiaModel::iterationCommTime(const model::Workload &workload,
+                                    const Policy &policy) const
+{
+    return static_cast<double>(model_.numLayers) *
+           layerCommTime(workload, policy);
+}
+
 InferenceEstimate
 MultiGpuLiaModel::estimate(const Scenario &scenario) const
 {

@@ -38,8 +38,22 @@ class MultiGpuLiaModel
     /** Estimate with TP compute and all-reduce overhead included. */
     InferenceEstimate estimate(const Scenario &scenario) const;
 
+    /**
+     * All-reduce seconds one engine iteration of @p workload pays
+     * under @p policy, all layers included — the §8 communication
+     * surcharge the serving layer adds on top of the pooled-platform
+     * iteration price (serve::IterationCostCache). The streamed-layer
+     * policy stands in for the whole stack; resident layers usually
+     * share its placement.
+     */
+    double iterationCommTime(const model::Workload &workload,
+                             const Policy &policy) const;
+
     /** The pooled platform the policies are optimized against. */
     const hw::SystemConfig &pooledSystem() const { return pooled_; }
+
+    /** Tensor-parallel width. */
+    int gpuCount() const { return gpuCount_; }
 
   private:
     /** Ring all-reduce seconds for @p bytes of payload. */

@@ -3,15 +3,40 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "core/multi_gpu.hh"
 
 namespace lia {
 namespace serve {
 
-IterationCostCache::IterationCostCache(const core::EngineModel &engine,
-                                       std::int64_t context_bucket)
-    : engine_(engine), contextBucket_(context_bucket)
+IterationCostCache::IterationCostCache(
+    const core::EngineModel &engine, std::int64_t context_bucket,
+    const core::MultiGpuLiaModel *tensor_parallel)
+    : engine_(engine), contextBucket_(context_bucket),
+      tensorParallel_(tensor_parallel)
 {
     LIA_ASSERT(context_bucket >= 1, "bad context bucket");
+}
+
+void
+IterationCostCache::addTensorParallelComm(
+    core::IterationEstimate &estimate, model::Stage stage,
+    std::int64_t batch, std::int64_t tokens,
+    std::int64_t context) const
+{
+    if (!tensorParallel_ || !estimate.feasible)
+        return;
+    // layerCommTime sizes the all-reduced hidden state from
+    // batch x tokens() rows; a decode step carries its context so the
+    // workload is well-formed even though only tokens() matters.
+    model::Workload workload;
+    workload.stage = stage;
+    workload.batch = batch;
+    workload.contextLen =
+        stage == model::Stage::Prefill ? tokens : context;
+    const double comm =
+        tensorParallel_->iterationCommTime(workload, estimate.policy);
+    estimate.time += comm;
+    estimate.breakdown.comTime += comm;
 }
 
 std::int64_t
@@ -48,8 +73,11 @@ IterationCostCache::estimate(model::Stage stage, std::int64_t batch,
     if (it == cache_.end()) {
         const core::IterationScenario scenario{
             stage, std::get<1>(key), std::get<2>(key)};
-        it = cache_.emplace(key, engine_.estimateIteration(scenario))
-                 .first;
+        core::IterationEstimate est =
+            engine_.estimateIteration(scenario);
+        addTensorParallelComm(est, stage, std::get<1>(key),
+                              std::get<2>(key), std::get<2>(key));
+        it = cache_.emplace(key, std::move(est)).first;
     }
     return it->second;
 }
@@ -83,10 +111,12 @@ IterationCostCache::chunkEstimate(std::int64_t batch,
     const Key key{bucketBatch(batch), h, t};
     auto it = chunkCache_.find(key);
     if (it == chunkCache_.end()) {
-        it = chunkCache_
-                 .emplace(key, engine_.estimatePrefillChunk(
-                                   std::get<0>(key), h, t))
-                 .first;
+        core::IterationEstimate est =
+            engine_.estimatePrefillChunk(std::get<0>(key), h, t);
+        // The chunk's all-reduces carry only the tokens it processes.
+        addTensorParallelComm(est, model::Stage::Prefill,
+                              std::get<0>(key), t, h + t);
+        it = chunkCache_.emplace(key, std::move(est)).first;
     }
     return it->second;
 }

@@ -22,6 +22,11 @@
 #include "core/engine.hh"
 
 namespace lia {
+
+namespace core {
+class MultiGpuLiaModel;
+} // namespace core
+
 namespace serve {
 
 /** Memoised iteration-cost lookups against a core::EngineModel. */
@@ -31,9 +36,19 @@ class IterationCostCache
     /**
      * @param engine          the analytical pricing engine
      * @param context_bucket  token granularity of the context grid
+     * @param tensor_parallel when non-null, every memoised estimate
+     *                        additionally pays the §8 per-iteration
+     *                        all-reduce surcharge of this W-way
+     *                        tensor-parallel deployment (the engine
+     *                        must then be built over its pooled
+     *                        system). Must outlive the cache. Null —
+     *                        the default — prices a single GPU and is
+     *                        bit-identical to the pre-TP cache.
      */
-    IterationCostCache(const core::EngineModel &engine,
-                       std::int64_t context_bucket = 32);
+    IterationCostCache(
+        const core::EngineModel &engine,
+        std::int64_t context_bucket = 32,
+        const core::MultiGpuLiaModel *tensor_parallel = nullptr);
 
     /** Seconds for one iteration of @p stage at (batch, context). */
     double time(model::Stage stage, std::int64_t batch,
@@ -81,8 +96,17 @@ class IterationCostCache
   private:
     using Key = std::tuple<int, std::int64_t, std::int64_t>;
 
+    /** Add the TP all-reduce surcharge to a fresh estimate (no-op
+     *  without a tensor-parallel model). @p tokens is the number of
+     *  tokens each sequence processes this iteration. */
+    void addTensorParallelComm(core::IterationEstimate &estimate,
+                               model::Stage stage, std::int64_t batch,
+                               std::int64_t tokens,
+                               std::int64_t context) const;
+
     const core::EngineModel &engine_;
     std::int64_t contextBucket_;
+    const core::MultiGpuLiaModel *tensorParallel_;
     mutable std::map<Key, core::IterationEstimate> cache_;
     mutable std::map<Key, core::IterationEstimate> chunkCache_;
 };

@@ -5,505 +5,14 @@
 
 #include "base/logging.hh"
 #include "core/capacity_planner.hh"
-#include "obs/sink.hh"
-#include "serve/admission.hh"
 #include "serve/backend.hh"
-#include "serve/scheduler.hh"
-#include "serve/tracks.hh"
+#include "serve/instance.hh"
 #include "sim/event_queue.hh"
 #include "sim/serving.hh"
-#include "sim/transfer.hh"
 #include "trace/azure.hh"
 
 namespace lia {
 namespace serve {
-
-using model::Stage;
-
-namespace {
-
-core::EngineConfig
-pricingConfig(const hw::SystemConfig &system, const Config &config)
-{
-    core::EngineConfig cfg;
-    cfg.costOptions.executionAwareObjective = true;
-    cfg.autoMemoryPolicy = config.cxlSpill && system.cxl.present();
-    return cfg;
-}
-
-/** Per-run simulation state driving the event queue. */
-struct Run
-{
-    const Config &config;
-    const IterationCostCache &costs;
-    sim::EventQueue events;
-    AdmissionController admission;
-    Scheduler scheduler;
-    sim::TransferChannel swapChannel;
-
-    std::vector<Request> requests;
-    std::vector<std::size_t> waiting;    //!< FIFO admission queue
-    std::vector<std::size_t> active;     //!< admitted, unfinished
-    std::vector<std::size_t> preempted;  //!< evicted, awaiting recompute
-    std::vector<std::size_t> swapped;    //!< KV parked in the CXL pool
-    bool inFlight = false;
-    Metrics metrics;
-
-    /** Optional plan executor; never influences scheduling. */
-    ExecutionBackend *backend = nullptr;
-
-    /** Optional trace sink (Config::sink); null costs nothing. */
-    obs::EventSink *sink = nullptr;
-
-    Run(const hw::SystemConfig &system,
-        const model::ModelConfig &model, const Config &cfg,
-        const IterationCostCache &cost_cache)
-        : config(cfg), costs(cost_cache),
-          admission(system, model, cfg),
-          scheduler(cfg, cost_cache, admission),
-          swapChannel(events, "ddr-cxl-swap",
-                      admission.swapBandwidth(),
-                      admission.swapLatency()),
-          sink(cfg.sink)
-    {
-        if (sink) {
-            sink->setTrackName(tracks::kIterations, "engine",
-                               "iterations");
-            sink->setTrackName(tracks::kScheduler, "engine",
-                               "scheduler");
-            sink->setTrackName(tracks::kSwapChannel, "engine",
-                               "swap-channel");
-            swapChannel.instrument(sink, tracks::kSwapChannel);
-        }
-    }
-
-    /**
-     * Close the open lifecycle span of @p request and open the next
-     * one — request tracks carry exactly one state span at a time.
-     */
-    void
-    spanTransition(const Request &request, const char *next, double now)
-    {
-        sink->endSpan(tracks::request(request.id), now);
-        sink->beginSpan(tracks::request(request.id), next, now);
-    }
-
-    void
-    arrival(std::size_t index)
-    {
-        Request &request = requests[index];
-        if (sink) {
-            const obs::Track track = tracks::request(request.id);
-            sink->setTrackName(track, "requests",
-                               "req " + std::to_string(request.id));
-            sink->instant(
-                track, "arrive", events.now(),
-                {obs::arg("l_in", request.lIn),
-                 obs::arg("l_out", request.lOut)});
-        }
-        if (!admission.fitsAlone(request)) {
-            // Can never fit the KV budget, not even alone.
-            request.state = RequestState::Rejected;
-            ++metrics.rejectedCapacity;
-            if (sink)
-                sink->instant(tracks::request(request.id),
-                              "reject.capacity", events.now());
-            return;
-        }
-        if (sink)
-            sink->beginSpan(tracks::request(request.id), "queued",
-                            events.now());
-        waiting.push_back(index);
-        if (!inFlight)
-            startIteration();
-    }
-
-    /** A request emitted one token: record the inter-token gap. */
-    void
-    tokenEmitted(Request &request, double now)
-    {
-        ++metrics.tokensGenerated;
-        if (request.lastTokenTime >= 0)
-            metrics.tokenGap.add(now - request.lastTokenTime);
-        request.lastTokenTime = now;
-    }
-
-    /** The running pools must stay pairwise disjoint per request. */
-    void
-    checkStateExclusivity() const
-    {
-        for (std::size_t index : active) {
-            const RequestState s = requests[index].state;
-            LIA_ASSERT(s == RequestState::Prefilling ||
-                           s == RequestState::Decoding,
-                       "active request in state ", toString(s));
-        }
-        for (std::size_t index : preempted)
-            LIA_ASSERT(requests[index].state == RequestState::Preempted,
-                       "preempted pool holds a ",
-                       toString(requests[index].state), " request");
-        for (std::size_t index : swapped)
-            LIA_ASSERT(requests[index].state == RequestState::Swapped,
-                       "swap pool holds a ",
-                       toString(requests[index].state), " request");
-    }
-
-    void
-    startIteration()
-    {
-        const double now = events.now();
-        const std::size_t depth = waiting.size();
-        checkStateExclusivity();
-
-        SchedulerState state;
-        state.queue = waiting;
-        state.active = active;
-        state.preempted = preempted;
-        state.swappedTotal = swapped.size();
-        for (std::size_t index : swapped)
-            if (requests[index].swapReady)
-                state.swappable.push_back(index);
-
-        IterationPlan plan = scheduler.next(now, state, requests);
-
-        for (std::size_t index : plan.shed) {
-            requests[index].state = RequestState::Rejected;
-            ++metrics.shedSlo;
-            if (sink) {
-                const obs::Track track =
-                    tracks::request(requests[index].id);
-                sink->endSpan(track, now);  // close "queued"
-                sink->instant(track, "shed.slo", now);
-            }
-        }
-        for (std::size_t index : plan.admit) {
-            Request &request = requests[index];
-            request.state = RequestState::Prefilling;
-            request.admitTime = now;
-            active.push_back(index);
-            if (sink)
-                spanTransition(request, "prefill", now);
-        }
-        if (!plan.shed.empty() || !plan.admit.empty()) {
-            waiting.erase(
-                std::remove_if(waiting.begin(), waiting.end(),
-                               [this](std::size_t index) {
-                                   return requests[index].state !=
-                                          RequestState::Queued;
-                               }),
-                waiting.end());
-        }
-
-        // --- Preemption traffic ---------------------------------------
-        for (std::size_t index : plan.evict) {
-            Request &request = requests[index];
-            request.state = RequestState::Preempted;
-            request.prefillTarget = request.context();
-            request.prefilled = 0;
-            ++request.preemptions;
-            ++request.recomputes;
-            ++metrics.preemptions;
-            ++metrics.recomputes;
-            preempted.push_back(index);
-            if (sink)
-                spanTransition(request, "preempted", now);
-        }
-        for (std::size_t index : plan.swapOut) {
-            Request &request = requests[index];
-            request.state = RequestState::Swapped;
-            request.swapReady = false;
-            ++request.preemptions;
-            ++request.swapOuts;
-            ++metrics.preemptions;
-            ++metrics.swapOuts;
-            metrics.swapOutBytes += request.kvSwappedBytes;
-            swapped.push_back(index);
-            if (sink)
-                spanTransition(request, "swapped", now);
-            swapChannel.transfer(
-                request.kvSwappedBytes,
-                [this, index](sim::Tick) {
-                    requests[index].swapReady = true;
-                    // A drained swap-out may be the only thing the
-                    // idle engine was waiting on.
-                    if (!inFlight)
-                        startIteration();
-                });
-        }
-        if (!plan.evict.empty() || !plan.swapOut.empty()) {
-            active.erase(
-                std::remove_if(active.begin(), active.end(),
-                               [this](std::size_t index) {
-                                   const RequestState s =
-                                       requests[index].state;
-                                   return s ==
-                                              RequestState::Preempted ||
-                                          s == RequestState::Swapped;
-                               }),
-                active.end());
-        }
-        for (std::size_t index : plan.resume) {
-            requests[index].state = RequestState::Prefilling;
-            active.push_back(index);
-            if (sink)
-                spanTransition(requests[index], "recompute", now);
-        }
-        if (!plan.resume.empty()) {
-            preempted.erase(
-                std::remove_if(preempted.begin(), preempted.end(),
-                               [this](std::size_t index) {
-                                   return requests[index].state !=
-                                          RequestState::Preempted;
-                               }),
-                preempted.end());
-        }
-        for (std::size_t index : plan.swapIn) {
-            // The cache streams back while this iteration computes; the
-            // request rejoins the batch when its transfer drains.
-            Request &request = requests[index];
-            ++metrics.swapIns;
-            metrics.swapInBytes += request.kvReservedBytes;
-            if (sink) {
-                sink->instant(
-                    tracks::request(request.id), "swap_in.start", now,
-                    {obs::arg("bytes", request.kvReservedBytes)});
-            }
-            swapChannel.transfer(
-                request.kvReservedBytes,
-                [this, index](sim::Tick) { swapInArrived(index); });
-        }
-        if (!plan.swapIn.empty()) {
-            swapped.erase(
-                std::remove_if(swapped.begin(), swapped.end(),
-                               [this, &plan](std::size_t index) {
-                                   return std::find(
-                                              plan.swapIn.begin(),
-                                              plan.swapIn.end(),
-                                              index) !=
-                                          plan.swapIn.end();
-                               }),
-                swapped.end());
-        }
-
-        // Execute the committed plan: all request pools and the
-        // admission byte account reflect it at this point, but no
-        // engine-side progress counters have advanced yet.
-        if (backend && !plan.idle())
-            backend->onPlan(plan, requests, admission);
-
-        if (plan.computeIdle()) {
-            inFlight = false;
-            // A bookkeeping-only round (victims out, nothing to run)
-            // replans immediately: the freed budget lets preempted
-            // work resume in the same instant. Terminates because
-            // each replan either schedules compute, goes fully idle
-            // (swap completions re-kick later), or shrinks the active
-            // set further. Fully idle rounds just wait.
-            if (!plan.idle())
-                startIteration();
-            return;
-        }
-        inFlight = true;
-
-        double duration = 0;
-        std::int64_t chunkTokens = 1, chunkHistory = 0;
-        std::int64_t decodeContext = 1;
-        if (!plan.chunks.empty()) {
-            for (const PrefillChunk &chunk : plan.chunks) {
-                chunkTokens = std::max(chunkTokens, chunk.tokens);
-                chunkHistory = std::max(chunkHistory, chunk.history);
-            }
-            duration += costs.chunkTime(
-                static_cast<std::int64_t>(plan.chunks.size()),
-                chunkHistory, chunkTokens);
-            metrics.prefillChunks += plan.chunks.size();
-        }
-        if (!plan.decode.empty()) {
-            for (std::size_t index : plan.decode)
-                decodeContext = std::max(decodeContext,
-                                         requests[index].context());
-            duration += costs.time(Stage::Decode,
-                                   plan.decodePriceBatch,
-                                   decodeContext);
-        }
-        LIA_ASSERT(duration > 0, "iteration priced at zero time");
-
-        metrics.queueDepth.add(static_cast<double>(depth));
-        metrics.batchOccupancy.add(static_cast<double>(active.size()));
-        if (admission.kvBudgetBytes() > 0)
-            metrics.kvOccupancy.add(admission.reservedBytes() /
-                                    admission.kvBudgetBytes());
-        metrics.kvReservedPeakBytes =
-            std::max(metrics.kvReservedPeakBytes,
-                     admission.reservedBytes());
-        ++metrics.iterations;
-        metrics.busyTime += duration;
-
-        if (sink)
-            emitIteration(plan, now, duration, depth, chunkTokens,
-                          chunkHistory, decodeContext);
-
-        events.schedule(now + duration,
-                        [this, plan = std::move(plan)]() {
-                            completeIteration(plan);
-                        });
-    }
-
-    /**
-     * One iteration span with the analytical cost attribution, plus
-     * the per-iteration counter samples. Duration is known when the
-     * iteration is scheduled and iterations run serially, so begin
-     * and end can be emitted together and stay per-track monotone.
-     * The breakdown lookups hit cache entries the pricing above just
-     * created — an instrumented run evaluates no extra points.
-     */
-    void
-    emitIteration(const IterationPlan &plan, double now,
-                  double duration, std::size_t depth,
-                  std::int64_t chunk_tokens, std::int64_t chunk_history,
-                  std::int64_t decode_context)
-    {
-        core::Breakdown breakdown;
-        double pcie_bytes = 0;
-        auto accumulate = [&](const core::IterationEstimate &est) {
-            breakdown.cpuTime += est.breakdown.cpuTime;
-            breakdown.gpuTime += est.breakdown.gpuTime;
-            breakdown.comTime += est.breakdown.comTime;
-            pcie_bytes += est.pcieBytes;
-        };
-        if (!plan.chunks.empty())
-            accumulate(costs.chunkEstimate(
-                static_cast<std::int64_t>(plan.chunks.size()),
-                chunk_history, chunk_tokens));
-        if (!plan.decode.empty())
-            accumulate(costs.estimate(Stage::Decode,
-                                      plan.decodePriceBatch,
-                                      decode_context));
-
-        // Counters first (they sample `now`): the iteration span ends
-        // at now + duration, so this order keeps the whole track's
-        // event stream monotone in emission order — the schema test
-        // checks exactly that.
-        sink->counter(tracks::kIterations, "queue_depth", now,
-                      static_cast<double>(depth));
-        sink->counter(tracks::kIterations, "batch_occupancy", now,
-                      static_cast<double>(active.size()));
-        sink->counter(tracks::kIterations, "kv_reserved_bytes", now,
-                      admission.reservedBytes());
-        if (admission.kvBudgetBytes() > 0)
-            sink->counter(tracks::kIterations, "kv_occupancy", now,
-                          admission.reservedBytes() /
-                              admission.kvBudgetBytes());
-
-        sink->beginSpan(
-            tracks::kIterations, "iteration", now,
-            {obs::arg("iteration", static_cast<std::int64_t>(
-                                       metrics.iterations)),
-             obs::arg("duration_s", duration),
-             obs::arg("decode", static_cast<std::int64_t>(
-                                    plan.decode.size())),
-             obs::arg("decode_price_batch", plan.decodePriceBatch),
-             obs::arg("chunks", static_cast<std::int64_t>(
-                                    plan.chunks.size())),
-             obs::arg("admit", static_cast<std::int64_t>(
-                                   plan.admit.size())),
-             obs::arg("preempt", static_cast<std::int64_t>(
-                                     plan.evict.size() +
-                                     plan.swapOut.size())),
-             obs::arg("cpu_s", breakdown.cpuTime),
-             obs::arg("gpu_s", breakdown.gpuTime),
-             obs::arg("com_s", breakdown.comTime),
-             obs::arg("pcie_bytes", pcie_bytes)});
-        sink->endSpan(tracks::kIterations, now + duration);
-    }
-
-    void
-    swapInArrived(std::size_t index)
-    {
-        Request &request = requests[index];
-        LIA_ASSERT(request.state == RequestState::Swapped,
-                   "swap-in of a ", toString(request.state),
-                   " request");
-        request.state = RequestState::Decoding;
-        request.swapReady = false;
-        active.push_back(index);
-        if (sink)
-            spanTransition(request, "decode", events.now());
-        if (!inFlight)
-            startIteration();
-    }
-
-    void
-    completeIteration(const IterationPlan &plan)
-    {
-        const double now = events.now();
-        for (std::size_t index : plan.decode) {
-            Request &request = requests[index];
-            ++request.generated;
-            tokenEmitted(request, now);
-            if (request.done())
-                finish(request, now);
-        }
-        for (const PrefillChunk &chunk : plan.chunks) {
-            Request &request = requests[chunk.index];
-            request.prefilled += chunk.tokens;
-            if (request.inPrefill())
-                continue;
-            // Pass complete: the pass's final forward emits one token
-            // — the first output token of a fresh prefill, or the
-            // continuation token of a recompute (the rebuilt cache's
-            // last position samples the token that follows the
-            // already-generated stream, so the recompute iteration
-            // makes the same one-token progress a decode step would).
-            ++request.generated;
-            if (request.firstTokenTime < 0) {
-                request.firstTokenTime = now;
-                metrics.ttft.add(request.ttft());
-                metrics.queueWait.add(request.queueWait());
-            }
-            tokenEmitted(request, now);
-            if (request.done()) {
-                finish(request, now);
-            } else {
-                request.state = RequestState::Decoding;
-                if (sink)
-                    spanTransition(request, "decode", now);
-            }
-        }
-        active.erase(std::remove_if(active.begin(), active.end(),
-                                    [this](std::size_t index) {
-                                        return requests[index].state ==
-                                               RequestState::Finished;
-                                    }),
-                     active.end());
-        startIteration();
-    }
-
-    void
-    finish(Request &request, double now)
-    {
-        request.state = RequestState::Finished;
-        request.finishTime = now;
-        admission.release(request);
-        if (backend)
-            backend->onFinish(request);
-        if (sink) {
-            const obs::Track track = tracks::request(request.id);
-            sink->endSpan(track, now);  // close the state span
-            sink->instant(
-                track, "finish", now,
-                {obs::arg("ttft_s", request.ttft()),
-                 obs::arg("response_s", request.responseTime()),
-                 obs::arg("generated", request.generated)});
-        }
-        ++metrics.completed;
-        metrics.responseTime.add(request.responseTime());
-        if (request.lOut > 1)
-            metrics.tbt.add(request.meanTbt());
-    }
-};
-
-} // namespace
 
 ServingEngine::ServingEngine(const hw::SystemConfig &system,
                              const model::ModelConfig &model,
@@ -516,7 +25,7 @@ ServingEngine::ServingEngine(
     const hw::SystemConfig &system, const model::ModelConfig &model,
     Config config, std::shared_ptr<const IterationCostCache> shared)
     : system_(system), model_(model), config_(std::move(config)),
-      engine_(system, model, pricingConfig(system, config_)),
+      engine_(system, model, pricingEngineConfig(system, config_)),
       costs_(engine_, config_.contextBucket),
       shared_(std::move(shared))
 {
@@ -558,9 +67,13 @@ ServingEngine::run()
 Result
 ServingEngine::run(ExecutionBackend *backend)
 {
-    Run run(system_, model_, config_, costs());
-    run.backend = backend;
-    run.scheduler.setPlannerCap(plannerCap_);
+    // One instance around a private clock: the standalone engine is
+    // the one-replica special case of the shared-queue machinery (the
+    // cluster router binds many instances to one queue instead).
+    sim::EventQueue events;
+    EngineInstance instance(system_, model_, config_, costs(), events);
+    instance.setBackend(backend);
+    instance.setPlannerCap(plannerCap_);
 
     // Draw the arrival sequence and request shapes up front, sharing
     // the Poisson helper (and its seed convention) with the M/G/1
@@ -569,39 +82,22 @@ ServingEngine::run(ExecutionBackend *backend)
                                  config_.seed);
     trace::AzureTraceGenerator gen(config_.trace, config_.maxContext,
                                    config_.seed + 1);
-    run.requests.resize(config_.requests);
     for (std::size_t i = 0; i < config_.requests; ++i) {
-        Request &request = run.requests[i];
-        request.id = i;
-        request.arrival = arrivals.next();
+        const double arrival = arrivals.next();
         const trace::Request shape = gen.next();
-        request.lIn = shape.lIn;
-        request.lOut = shape.lOut;
-    }
-    for (std::size_t i = 0; i < config_.requests; ++i) {
-        run.events.schedule(run.requests[i].arrival,
-                            [&run, i]() { run.arrival(i); });
+        events.schedule(arrival,
+                        [&instance, shape]() {
+                            instance.submit(shape.lIn, shape.lOut);
+                        });
     }
     // While the DES runs, log messages can carry the simulated time
     // (LIA_LOG token "sim"); cleared again once the queue drains.
-    setSimTimeProvider([&run] { return run.events.now(); });
-    run.events.run();
+    setSimTimeProvider([&events] { return events.now(); });
+    events.run();
     setSimTimeProvider(nullptr);
     if (backend)
         backend->onDrain();
-
-    Result result;
-    result.metrics = std::move(run.metrics);
-    result.metrics.makespan = run.events.now();
-    result.metrics.swapBusyTime = run.swapChannel.busyTime();
-    result.requests = std::move(run.requests);
-    result.policy = config_.policy;
-    result.paramsInCxl = run.admission.paramsInCxl();
-    result.kvBudgetBytes = run.admission.kvBudgetBytes();
-    result.plannerCap = plannerCap_;
-    result.kvReservedAtDrain =
-        run.admission.reservedBytes() + run.admission.swappedBytes();
-    return result;
+    return instance.finalize();
 }
 
 } // namespace serve

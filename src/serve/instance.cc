@@ -1,0 +1,559 @@
+#include "serve/instance.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.hh"
+#include "obs/sink.hh"
+#include "serve/backend.hh"
+
+namespace lia {
+namespace serve {
+
+using model::Stage;
+
+core::EngineConfig
+pricingEngineConfig(const hw::SystemConfig &system,
+                    const Config &config)
+{
+    core::EngineConfig cfg;
+    cfg.costOptions.executionAwareObjective = true;
+    cfg.autoMemoryPolicy = config.cxlSpill && system.cxl.present();
+    return cfg;
+}
+
+EngineInstance::EngineInstance(const hw::SystemConfig &system,
+                               const model::ModelConfig &model,
+                               Config config,
+                               const IterationCostCache &costs,
+                               sim::EventQueue &events,
+                               tracks::Namespace ns)
+    : config_(std::move(config)), costs_(costs), events_(events),
+      ns_(std::move(ns)), admission_(system, model, config_),
+      scheduler_(config_, costs_, admission_),
+      swapChannel_(events_, "ddr-cxl-swap",
+                   admission_.swapBandwidth(),
+                   admission_.swapLatency()),
+      sink_(config_.sink)
+{
+    if (sink_) {
+        sink_->setTrackName(ns_.iterations(), ns_.engineProcess,
+                            "iterations");
+        sink_->setTrackName(ns_.scheduler(), ns_.engineProcess,
+                            "scheduler");
+        sink_->setTrackName(ns_.swapChannel(), ns_.engineProcess,
+                            "swap-channel");
+        swapChannel_.instrument(sink_, ns_.swapChannel());
+    }
+}
+
+void
+EngineInstance::setPlannerCap(std::int64_t cap)
+{
+    scheduler_.setPlannerCap(cap);
+}
+
+std::size_t
+EngineInstance::submit(std::int64_t l_in, std::int64_t l_out)
+{
+    const std::size_t index = requests_.size();
+    Request request;
+    request.id = index;
+    request.lIn = l_in;
+    request.lOut = l_out;
+    request.arrival = events_.now();
+    requests_.push_back(request);
+    arrival(index);
+    return index;
+}
+
+std::size_t
+EngineInstance::outstanding() const
+{
+    return requests_.size() -
+           (metrics_.completed + metrics_.rejected());
+}
+
+double
+EngineInstance::kvLoad() const
+{
+    double demand = admission_.reservedBytes();
+    for (std::size_t index : waiting_)
+        demand += admission_.requestKvBytes(requests_[index]);
+    const double budget = admission_.kvBudgetBytes();
+    return budget > 0 ? demand / budget : 0.0;
+}
+
+double
+EngineInstance::estimatedQueueDelay() const
+{
+    double delay = 0;
+    for (std::size_t index : waiting_) {
+        const Request &request = requests_[index];
+        delay += costs_.chunkTime(
+            1, 0, std::max<std::int64_t>(request.lIn, 1));
+    }
+    if (!active_.empty()) {
+        std::int64_t context = 1;
+        for (std::size_t index : active_)
+            context = std::max(context, requests_[index].context());
+        delay += costs_.time(Stage::Decode,
+                             static_cast<std::int64_t>(active_.size()),
+                             context);
+    }
+    // Admission stalls when the byte account is nearly full: stretch
+    // the estimate by the remaining headroom (capped at 10x so one
+    // saturated replica never reads as infinitely slow).
+    const double budget = admission_.kvBudgetBytes();
+    if (budget > 0) {
+        const double occupancy = admission_.reservedBytes() / budget;
+        delay *= 1.0 / std::max(0.1, 1.0 - occupancy);
+    }
+    return delay;
+}
+
+/**
+ * Close the open lifecycle span of @p request and open the next
+ * one — request tracks carry exactly one state span at a time.
+ */
+void
+EngineInstance::spanTransition(const Request &request, const char *next,
+                               double now)
+{
+    sink_->endSpan(ns_.request(request.id), now);
+    sink_->beginSpan(ns_.request(request.id), next, now);
+}
+
+void
+EngineInstance::arrival(std::size_t index)
+{
+    Request &request = requests_[index];
+    if (sink_) {
+        const obs::Track track = ns_.request(request.id);
+        sink_->setTrackName(track, ns_.requestProcess,
+                            "req " + std::to_string(request.id));
+        sink_->instant(track, "arrive", events_.now(),
+                       {obs::arg("l_in", request.lIn),
+                        obs::arg("l_out", request.lOut)});
+    }
+    if (!admission_.fitsAlone(request)) {
+        // Can never fit the KV budget, not even alone.
+        request.state = RequestState::Rejected;
+        ++metrics_.rejectedCapacity;
+        if (sink_)
+            sink_->instant(ns_.request(request.id),
+                           "reject.capacity", events_.now());
+        return;
+    }
+    if (sink_)
+        sink_->beginSpan(ns_.request(request.id), "queued",
+                         events_.now());
+    waiting_.push_back(index);
+    if (!inFlight_)
+        startIteration();
+}
+
+/** A request emitted one token: record the inter-token gap. */
+void
+EngineInstance::tokenEmitted(Request &request, double now)
+{
+    ++metrics_.tokensGenerated;
+    if (request.lastTokenTime >= 0)
+        metrics_.tokenGap.add(now - request.lastTokenTime);
+    request.lastTokenTime = now;
+}
+
+/** The running pools must stay pairwise disjoint per request. */
+void
+EngineInstance::checkStateExclusivity() const
+{
+    for (std::size_t index : active_) {
+        const RequestState s = requests_[index].state;
+        LIA_ASSERT(s == RequestState::Prefilling ||
+                       s == RequestState::Decoding,
+                   "active request in state ", toString(s));
+    }
+    for (std::size_t index : preempted_)
+        LIA_ASSERT(requests_[index].state == RequestState::Preempted,
+                   "preempted pool holds a ",
+                   toString(requests_[index].state), " request");
+    for (std::size_t index : swapped_)
+        LIA_ASSERT(requests_[index].state == RequestState::Swapped,
+                   "swap pool holds a ",
+                   toString(requests_[index].state), " request");
+}
+
+void
+EngineInstance::startIteration()
+{
+    const double now = events_.now();
+    const std::size_t depth = waiting_.size();
+    checkStateExclusivity();
+
+    SchedulerState state;
+    state.queue = waiting_;
+    state.active = active_;
+    state.preempted = preempted_;
+    state.swappedTotal = swapped_.size();
+    for (std::size_t index : swapped_)
+        if (requests_[index].swapReady)
+            state.swappable.push_back(index);
+
+    IterationPlan plan = scheduler_.next(now, state, requests_);
+
+    for (std::size_t index : plan.shed) {
+        requests_[index].state = RequestState::Rejected;
+        ++metrics_.shedSlo;
+        if (sink_) {
+            const obs::Track track =
+                ns_.request(requests_[index].id);
+            sink_->endSpan(track, now);  // close "queued"
+            sink_->instant(track, "shed.slo", now);
+        }
+    }
+    for (std::size_t index : plan.admit) {
+        Request &request = requests_[index];
+        request.state = RequestState::Prefilling;
+        request.admitTime = now;
+        active_.push_back(index);
+        if (sink_)
+            spanTransition(request, "prefill", now);
+    }
+    if (!plan.shed.empty() || !plan.admit.empty()) {
+        waiting_.erase(
+            std::remove_if(waiting_.begin(), waiting_.end(),
+                           [this](std::size_t index) {
+                               return requests_[index].state !=
+                                      RequestState::Queued;
+                           }),
+            waiting_.end());
+    }
+
+    // --- Preemption traffic ---------------------------------------
+    for (std::size_t index : plan.evict) {
+        Request &request = requests_[index];
+        request.state = RequestState::Preempted;
+        request.prefillTarget = request.context();
+        request.prefilled = 0;
+        ++request.preemptions;
+        ++request.recomputes;
+        ++metrics_.preemptions;
+        ++metrics_.recomputes;
+        preempted_.push_back(index);
+        if (sink_)
+            spanTransition(request, "preempted", now);
+    }
+    for (std::size_t index : plan.swapOut) {
+        Request &request = requests_[index];
+        request.state = RequestState::Swapped;
+        request.swapReady = false;
+        ++request.preemptions;
+        ++request.swapOuts;
+        ++metrics_.preemptions;
+        ++metrics_.swapOuts;
+        metrics_.swapOutBytes += request.kvSwappedBytes;
+        swapped_.push_back(index);
+        if (sink_)
+            spanTransition(request, "swapped", now);
+        swapChannel_.transfer(
+            request.kvSwappedBytes,
+            [this, index](sim::Tick) {
+                requests_[index].swapReady = true;
+                // A drained swap-out may be the only thing the
+                // idle engine was waiting on.
+                if (!inFlight_)
+                    startIteration();
+            });
+    }
+    if (!plan.evict.empty() || !plan.swapOut.empty()) {
+        active_.erase(
+            std::remove_if(active_.begin(), active_.end(),
+                           [this](std::size_t index) {
+                               const RequestState s =
+                                   requests_[index].state;
+                               return s ==
+                                          RequestState::Preempted ||
+                                      s == RequestState::Swapped;
+                           }),
+            active_.end());
+    }
+    for (std::size_t index : plan.resume) {
+        requests_[index].state = RequestState::Prefilling;
+        active_.push_back(index);
+        if (sink_)
+            spanTransition(requests_[index], "recompute", now);
+    }
+    if (!plan.resume.empty()) {
+        preempted_.erase(
+            std::remove_if(preempted_.begin(), preempted_.end(),
+                           [this](std::size_t index) {
+                               return requests_[index].state !=
+                                      RequestState::Preempted;
+                           }),
+            preempted_.end());
+    }
+    for (std::size_t index : plan.swapIn) {
+        // The cache streams back while this iteration computes; the
+        // request rejoins the batch when its transfer drains.
+        Request &request = requests_[index];
+        ++metrics_.swapIns;
+        metrics_.swapInBytes += request.kvReservedBytes;
+        if (sink_) {
+            sink_->instant(
+                ns_.request(request.id), "swap_in.start", now,
+                {obs::arg("bytes", request.kvReservedBytes)});
+        }
+        swapChannel_.transfer(
+            request.kvReservedBytes,
+            [this, index](sim::Tick) { swapInArrived(index); });
+    }
+    if (!plan.swapIn.empty()) {
+        swapped_.erase(
+            std::remove_if(swapped_.begin(), swapped_.end(),
+                           [&plan](std::size_t index) {
+                               return std::find(
+                                          plan.swapIn.begin(),
+                                          plan.swapIn.end(),
+                                          index) !=
+                                      plan.swapIn.end();
+                           }),
+            swapped_.end());
+    }
+
+    // Execute the committed plan: all request pools and the
+    // admission byte account reflect it at this point, but no
+    // engine-side progress counters have advanced yet.
+    if (backend_ && !plan.idle())
+        backend_->onPlan(plan, requests_, admission_);
+
+    if (plan.computeIdle()) {
+        inFlight_ = false;
+        // A bookkeeping-only round (victims out, nothing to run)
+        // replans immediately: the freed budget lets preempted
+        // work resume in the same instant. Terminates because
+        // each replan either schedules compute, goes fully idle
+        // (swap completions re-kick later), or shrinks the active
+        // set further. Fully idle rounds just wait.
+        if (!plan.idle())
+            startIteration();
+        return;
+    }
+    inFlight_ = true;
+
+    double duration = 0;
+    std::int64_t chunkTokens = 1, chunkHistory = 0;
+    std::int64_t decodeContext = 1;
+    if (!plan.chunks.empty()) {
+        for (const PrefillChunk &chunk : plan.chunks) {
+            chunkTokens = std::max(chunkTokens, chunk.tokens);
+            chunkHistory = std::max(chunkHistory, chunk.history);
+        }
+        duration += costs_.chunkTime(
+            static_cast<std::int64_t>(plan.chunks.size()),
+            chunkHistory, chunkTokens);
+        metrics_.prefillChunks += plan.chunks.size();
+    }
+    if (!plan.decode.empty()) {
+        for (std::size_t index : plan.decode)
+            decodeContext = std::max(decodeContext,
+                                     requests_[index].context());
+        duration += costs_.time(Stage::Decode,
+                                plan.decodePriceBatch,
+                                decodeContext);
+    }
+    LIA_ASSERT(duration > 0, "iteration priced at zero time");
+
+    metrics_.queueDepth.add(static_cast<double>(depth));
+    metrics_.batchOccupancy.add(static_cast<double>(active_.size()));
+    if (admission_.kvBudgetBytes() > 0)
+        metrics_.kvOccupancy.add(admission_.reservedBytes() /
+                                 admission_.kvBudgetBytes());
+    metrics_.kvReservedPeakBytes =
+        std::max(metrics_.kvReservedPeakBytes,
+                 admission_.reservedBytes());
+    ++metrics_.iterations;
+    metrics_.busyTime += duration;
+
+    if (sink_)
+        emitIteration(plan, now, duration, depth, chunkTokens,
+                      chunkHistory, decodeContext);
+
+    events_.schedule(now + duration,
+                     [this, plan = std::move(plan)]() {
+                         completeIteration(plan);
+                     });
+}
+
+/**
+ * One iteration span with the analytical cost attribution, plus
+ * the per-iteration counter samples. Duration is known when the
+ * iteration is scheduled and iterations run serially, so begin
+ * and end can be emitted together and stay per-track monotone.
+ * The breakdown lookups hit cache entries the pricing above just
+ * created — an instrumented run evaluates no extra points.
+ */
+void
+EngineInstance::emitIteration(const IterationPlan &plan, double now,
+                              double duration, std::size_t depth,
+                              std::int64_t chunk_tokens,
+                              std::int64_t chunk_history,
+                              std::int64_t decode_context)
+{
+    core::Breakdown breakdown;
+    double pcie_bytes = 0;
+    auto accumulate = [&](const core::IterationEstimate &est) {
+        breakdown.cpuTime += est.breakdown.cpuTime;
+        breakdown.gpuTime += est.breakdown.gpuTime;
+        breakdown.comTime += est.breakdown.comTime;
+        pcie_bytes += est.pcieBytes;
+    };
+    if (!plan.chunks.empty())
+        accumulate(costs_.chunkEstimate(
+            static_cast<std::int64_t>(plan.chunks.size()),
+            chunk_history, chunk_tokens));
+    if (!plan.decode.empty())
+        accumulate(costs_.estimate(Stage::Decode,
+                                   plan.decodePriceBatch,
+                                   decode_context));
+
+    // Counters first (they sample `now`): the iteration span ends
+    // at now + duration, so this order keeps the whole track's
+    // event stream monotone in emission order — the schema test
+    // checks exactly that.
+    sink_->counter(ns_.iterations(), "queue_depth", now,
+                   static_cast<double>(depth));
+    sink_->counter(ns_.iterations(), "batch_occupancy", now,
+                   static_cast<double>(active_.size()));
+    sink_->counter(ns_.iterations(), "kv_reserved_bytes", now,
+                   admission_.reservedBytes());
+    if (admission_.kvBudgetBytes() > 0)
+        sink_->counter(ns_.iterations(), "kv_occupancy", now,
+                       admission_.reservedBytes() /
+                           admission_.kvBudgetBytes());
+
+    sink_->beginSpan(
+        ns_.iterations(), "iteration", now,
+        {obs::arg("iteration", static_cast<std::int64_t>(
+                                   metrics_.iterations)),
+         obs::arg("duration_s", duration),
+         obs::arg("decode", static_cast<std::int64_t>(
+                                plan.decode.size())),
+         obs::arg("decode_price_batch", plan.decodePriceBatch),
+         obs::arg("chunks", static_cast<std::int64_t>(
+                                plan.chunks.size())),
+         obs::arg("admit", static_cast<std::int64_t>(
+                               plan.admit.size())),
+         obs::arg("preempt", static_cast<std::int64_t>(
+                                 plan.evict.size() +
+                                 plan.swapOut.size())),
+         obs::arg("cpu_s", breakdown.cpuTime),
+         obs::arg("gpu_s", breakdown.gpuTime),
+         obs::arg("com_s", breakdown.comTime),
+         obs::arg("pcie_bytes", pcie_bytes)});
+    sink_->endSpan(ns_.iterations(), now + duration);
+}
+
+void
+EngineInstance::swapInArrived(std::size_t index)
+{
+    Request &request = requests_[index];
+    LIA_ASSERT(request.state == RequestState::Swapped,
+               "swap-in of a ", toString(request.state),
+               " request");
+    request.state = RequestState::Decoding;
+    request.swapReady = false;
+    active_.push_back(index);
+    if (sink_)
+        spanTransition(request, "decode", events_.now());
+    if (!inFlight_)
+        startIteration();
+}
+
+void
+EngineInstance::completeIteration(const IterationPlan &plan)
+{
+    const double now = events_.now();
+    for (std::size_t index : plan.decode) {
+        Request &request = requests_[index];
+        ++request.generated;
+        tokenEmitted(request, now);
+        if (request.done())
+            finish(request, now);
+    }
+    for (const PrefillChunk &chunk : plan.chunks) {
+        Request &request = requests_[chunk.index];
+        request.prefilled += chunk.tokens;
+        if (request.inPrefill())
+            continue;
+        // Pass complete: the pass's final forward emits one token
+        // — the first output token of a fresh prefill, or the
+        // continuation token of a recompute (the rebuilt cache's
+        // last position samples the token that follows the
+        // already-generated stream, so the recompute iteration
+        // makes the same one-token progress a decode step would).
+        ++request.generated;
+        if (request.firstTokenTime < 0) {
+            request.firstTokenTime = now;
+            metrics_.ttft.add(request.ttft());
+            metrics_.queueWait.add(request.queueWait());
+        }
+        tokenEmitted(request, now);
+        if (request.done()) {
+            finish(request, now);
+        } else {
+            request.state = RequestState::Decoding;
+            if (sink_)
+                spanTransition(request, "decode", now);
+        }
+    }
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [this](std::size_t index) {
+                                     return requests_[index].state ==
+                                            RequestState::Finished;
+                                 }),
+                  active_.end());
+    startIteration();
+}
+
+void
+EngineInstance::finish(Request &request, double now)
+{
+    request.state = RequestState::Finished;
+    request.finishTime = now;
+    admission_.release(request);
+    if (backend_)
+        backend_->onFinish(request);
+    if (sink_) {
+        const obs::Track track = ns_.request(request.id);
+        sink_->endSpan(track, now);  // close the state span
+        sink_->instant(
+            track, "finish", now,
+            {obs::arg("ttft_s", request.ttft()),
+             obs::arg("response_s", request.responseTime()),
+             obs::arg("generated", request.generated)});
+    }
+    ++metrics_.completed;
+    metrics_.responseTime.add(request.responseTime());
+    if (request.lOut > 1)
+        metrics_.tbt.add(request.meanTbt());
+}
+
+Result
+EngineInstance::finalize()
+{
+    Result result;
+    result.metrics = std::move(metrics_);
+    result.metrics.makespan = events_.now();
+    result.metrics.swapBusyTime = swapChannel_.busyTime();
+    result.requests = std::move(requests_);
+    result.policy = config_.policy;
+    result.paramsInCxl = admission_.paramsInCxl();
+    result.kvBudgetBytes = admission_.kvBudgetBytes();
+    result.plannerCap = scheduler_.plannerCap();
+    result.kvReservedAtDrain =
+        admission_.reservedBytes() + admission_.swappedBytes();
+    return result;
+}
+
+} // namespace serve
+} // namespace lia

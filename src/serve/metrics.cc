@@ -1,5 +1,6 @@
 #include "serve/metrics.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "obs/sink.hh"
@@ -29,6 +30,38 @@ statsJson(std::ostream &os, const char *name, const SampleStats &s)
 }
 
 } // namespace
+
+void
+Metrics::merge(const Metrics &other)
+{
+    ttft.merge(other.ttft);
+    tbt.merge(other.tbt);
+    tokenGap.merge(other.tokenGap);
+    responseTime.merge(other.responseTime);
+    queueWait.merge(other.queueWait);
+    queueDepth.merge(other.queueDepth);
+    batchOccupancy.merge(other.batchOccupancy);
+    kvOccupancy.merge(other.kvOccupancy);
+
+    completed += other.completed;
+    rejectedCapacity += other.rejectedCapacity;
+    shedSlo += other.shedSlo;
+
+    iterations += other.iterations;
+    tokensGenerated += other.tokensGenerated;
+    makespan = std::max(makespan, other.makespan);
+    busyTime += other.busyTime;
+
+    preemptions += other.preemptions;
+    swapOuts += other.swapOuts;
+    swapIns += other.swapIns;
+    recomputes += other.recomputes;
+    prefillChunks += other.prefillChunks;
+    swapOutBytes += other.swapOutBytes;
+    swapInBytes += other.swapInBytes;
+    swapBusyTime += other.swapBusyTime;
+    kvReservedPeakBytes += other.kvReservedPeakBytes;
+}
 
 double
 Metrics::utilisation() const

@@ -81,6 +81,19 @@ struct Metrics
     bool saturated() const { return utilisation() > 0.999; }
 
     /**
+     * Fold @p other into this record, turning per-replica metrics into
+     * fleet metrics: every SampleStats absorbs the other's samples (so
+     * percentiles are over the union), counters and byte totals sum,
+     * busyTime and swapBusyTime sum (fleet utilisation over a shared
+     * clock can therefore exceed 1 per replica-count), makespan takes
+     * the max (replicas share one simulated clock), and
+     * kvReservedPeakBytes sums — the fleet-wide upper bound, since
+     * per-replica peaks need not coincide. Merging a
+     * default-constructed Metrics is a no-op.
+     */
+    void merge(const Metrics &other);
+
+    /**
      * The full metrics record as a JSON object: every SampleStats as
      * {"count", "mean", "p50", "p95", "p99", "min", "max"} (zeros
      * when empty), plus the scalar counters and derived rates.

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "obs/sink.hh"
 
@@ -38,6 +39,46 @@ inline obs::Track
 request(std::size_t id)
 {
     return {1, static_cast<std::int32_t>(id)};
+}
+
+/**
+ * One engine's slice of the track taxonomy. A standalone engine uses
+ * the default namespace — pid 0 for the engine lanes, pid 1 for the
+ * request lanes, exactly the constants above — while every replica of
+ * a cluster run gets its own pid pair via replica(), so N engines
+ * sharing one clock and one sink emit into N disjoint "process"
+ * groups of the same trace file.
+ */
+struct Namespace
+{
+    std::int32_t enginePid = 0;   //!< iterations/scheduler/swap lanes
+    std::int32_t requestPid = 1;  //!< one lane per request id
+
+    std::string engineProcess = "engine";
+    std::string requestProcess = "requests";
+
+    obs::Track iterations() const { return {enginePid, 0}; }
+    obs::Track scheduler() const { return {enginePid, 1}; }
+    obs::Track swapChannel() const { return {enginePid, 2}; }
+
+    obs::Track request(std::size_t id) const
+    {
+        return {requestPid, static_cast<std::int32_t>(id)};
+    }
+};
+
+/** The track namespace of cluster replica @p index (replica 0 shares
+ *  the default namespace's pids, so a one-replica cluster trace is
+ *  track-compatible with a standalone engine trace). */
+inline Namespace
+replica(std::size_t index)
+{
+    Namespace ns;
+    ns.enginePid = static_cast<std::int32_t>(2 * index);
+    ns.requestPid = static_cast<std::int32_t>(2 * index + 1);
+    ns.engineProcess = "replica" + std::to_string(index);
+    ns.requestProcess = "replica" + std::to_string(index) + "/requests";
+    return ns;
 }
 
 } // namespace tracks

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * ReplicaAutoscaler unit tests: the threshold state machine alone —
+ * hysteresis streaks, post-action cooldown, fleet bounds, and the
+ * both-signals-quiet rule for scale-down. No simulation involved.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/logging.hh"
+#include "cluster/autoscaler.hh"
+
+namespace lia {
+namespace cluster {
+namespace {
+
+AutoscalerConfig
+testConfig()
+{
+    AutoscalerConfig config;
+    config.enabled = true;
+    config.minReplicas = 1;
+    config.maxReplicas = 4;
+    config.evaluationPeriod = 1.0;
+    config.scaleUpQueueDepth = 8.0;
+    config.scaleDownKvOccupancy = 0.15;
+    config.hysteresisTicks = 2;
+    config.cooldown = 10.0;
+    return config;
+}
+
+AutoscalerSignals
+pressured(std::size_t active)
+{
+    AutoscalerSignals s;
+    s.meanQueueDepth = 20.0;
+    s.meanKvOccupancy = 0.9;
+    s.activeReplicas = active;
+    return s;
+}
+
+AutoscalerSignals
+idle(std::size_t active)
+{
+    AutoscalerSignals s;
+    s.meanQueueDepth = 0.0;
+    s.meanKvOccupancy = 0.01;
+    s.activeReplicas = active;
+    return s;
+}
+
+AutoscalerSignals
+steady(std::size_t active)
+{
+    // Neither pressured nor idle: moderate queue, busy KV.
+    AutoscalerSignals s;
+    s.meanQueueDepth = 2.0;
+    s.meanKvOccupancy = 0.6;
+    s.activeReplicas = active;
+    return s;
+}
+
+TEST(ReplicaAutoscalerTest, HysteresisDelaysScaleUp)
+{
+    ReplicaAutoscaler scaler(testConfig());
+    EXPECT_EQ(scaler.evaluate(1.0, pressured(2)), ScaleDecision::Hold);
+    EXPECT_EQ(scaler.upStreak(), 1);
+    EXPECT_EQ(scaler.evaluate(2.0, pressured(2)), ScaleDecision::Up);
+    EXPECT_EQ(scaler.upStreak(), 0);  // acting resets the streak
+}
+
+TEST(ReplicaAutoscalerTest, HysteresisDelaysScaleDown)
+{
+    ReplicaAutoscaler scaler(testConfig());
+    EXPECT_EQ(scaler.evaluate(1.0, idle(3)), ScaleDecision::Hold);
+    EXPECT_EQ(scaler.downStreak(), 1);
+    EXPECT_EQ(scaler.evaluate(2.0, idle(3)), ScaleDecision::Down);
+    EXPECT_EQ(scaler.downStreak(), 0);
+}
+
+TEST(ReplicaAutoscalerTest, SteadyWindowResetsStreaks)
+{
+    ReplicaAutoscaler scaler(testConfig());
+    EXPECT_EQ(scaler.evaluate(1.0, pressured(2)), ScaleDecision::Hold);
+    EXPECT_EQ(scaler.upStreak(), 1);
+    EXPECT_EQ(scaler.evaluate(2.0, steady(2)), ScaleDecision::Hold);
+    EXPECT_EQ(scaler.upStreak(), 0);
+    // The breach must now re-accumulate from scratch.
+    EXPECT_EQ(scaler.evaluate(3.0, pressured(2)), ScaleDecision::Hold);
+    EXPECT_EQ(scaler.evaluate(4.0, pressured(2)), ScaleDecision::Up);
+}
+
+TEST(ReplicaAutoscalerTest, OpposingSignalResetsTheOtherStreak)
+{
+    ReplicaAutoscaler scaler(testConfig());
+    EXPECT_EQ(scaler.evaluate(1.0, pressured(2)), ScaleDecision::Hold);
+    EXPECT_EQ(scaler.evaluate(2.0, idle(2)), ScaleDecision::Hold);
+    EXPECT_EQ(scaler.upStreak(), 0);
+    EXPECT_EQ(scaler.downStreak(), 1);
+}
+
+TEST(ReplicaAutoscalerTest, CooldownSuppressesTheNextAction)
+{
+    ReplicaAutoscaler scaler(testConfig());
+    scaler.evaluate(1.0, pressured(2));
+    EXPECT_EQ(scaler.evaluate(2.0, pressured(2)), ScaleDecision::Up);
+    // Still pressured, streak re-reaches the threshold — but the
+    // 10 s cooldown holds the fleet.
+    EXPECT_EQ(scaler.evaluate(3.0, pressured(3)), ScaleDecision::Hold);
+    EXPECT_EQ(scaler.evaluate(4.0, pressured(3)), ScaleDecision::Hold);
+    EXPECT_EQ(scaler.evaluate(11.0, pressured(3)),
+              ScaleDecision::Hold);  // 11 - 2 < 10
+    EXPECT_EQ(scaler.evaluate(12.0, pressured(3)), ScaleDecision::Up);
+}
+
+TEST(ReplicaAutoscalerTest, MaxReplicasClampsScaleUp)
+{
+    ReplicaAutoscaler scaler(testConfig());
+    scaler.evaluate(1.0, pressured(4));
+    EXPECT_EQ(scaler.evaluate(2.0, pressured(4)), ScaleDecision::Hold);
+    // The moment capacity frees up (and the streak is intact), up.
+    EXPECT_EQ(scaler.evaluate(3.0, pressured(3)), ScaleDecision::Up);
+}
+
+TEST(ReplicaAutoscalerTest, MinReplicasClampsScaleDown)
+{
+    ReplicaAutoscaler scaler(testConfig());
+    scaler.evaluate(1.0, idle(1));
+    EXPECT_EQ(scaler.evaluate(2.0, idle(1)), ScaleDecision::Hold);
+    EXPECT_EQ(scaler.evaluate(3.0, idle(1)), ScaleDecision::Hold);
+}
+
+TEST(ReplicaAutoscalerTest, DeepQueueWithLowKvIsNotIdle)
+{
+    // Low KV occupancy with a deep queue means admission is stuck,
+    // not that capacity is spare: never scale down into a backlog.
+    ReplicaAutoscaler scaler(testConfig());
+    AutoscalerSignals stuck;
+    stuck.meanQueueDepth = 20.0;  // pressured...
+    stuck.meanKvOccupancy = 0.01; // ...despite an empty-looking KV
+    stuck.activeReplicas = 2;
+    EXPECT_EQ(scaler.evaluate(1.0, stuck), ScaleDecision::Hold);
+    EXPECT_EQ(scaler.downStreak(), 0);
+    EXPECT_EQ(scaler.upStreak(), 1);
+    EXPECT_EQ(scaler.evaluate(2.0, stuck), ScaleDecision::Up);
+}
+
+TEST(ReplicaAutoscalerTest, ValidateRejectsMalformedConfigs)
+{
+    lia::detail::setThrowOnError(true);
+    AutoscalerConfig bad = testConfig();
+    bad.minReplicas = 0;
+    EXPECT_THROW(bad.validate(), std::logic_error);
+
+    bad = testConfig();
+    bad.maxReplicas = 1;
+    bad.minReplicas = 2;
+    EXPECT_THROW(bad.validate(), std::logic_error);
+
+    bad = testConfig();
+    bad.evaluationPeriod = 0;
+    EXPECT_THROW(bad.validate(), std::logic_error);
+
+    bad = testConfig();
+    bad.hysteresisTicks = 0;
+    EXPECT_THROW(bad.validate(), std::logic_error);
+
+    bad = testConfig();
+    bad.cooldown = -1;
+    EXPECT_THROW(bad.validate(), std::logic_error);
+    lia::detail::setThrowOnError(false);
+}
+
+} // namespace
+} // namespace cluster
+} // namespace lia

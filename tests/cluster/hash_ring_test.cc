@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Consistent-hash-ring unit tests: deterministic placement, full node
+ * coverage, and the minimal-remap property session-affinity routing
+ * rests on (resizing moves only the departed node's keys).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "base/logging.hh"
+#include "cluster/hash_ring.hh"
+
+namespace lia {
+namespace cluster {
+namespace {
+
+constexpr std::uint64_t kKeys = 4096;
+
+std::vector<std::size_t>
+mapping(const ConsistentHashRing &ring)
+{
+    std::vector<std::size_t> owners;
+    owners.reserve(kKeys);
+    for (std::uint64_t key = 0; key < kKeys; ++key)
+        owners.push_back(ring.nodeFor(key));
+    return owners;
+}
+
+TEST(ConsistentHashRingTest, HashIsStable)
+{
+    EXPECT_EQ(ConsistentHashRing::hash(0),
+              ConsistentHashRing::hash(0));
+    EXPECT_NE(ConsistentHashRing::hash(0),
+              ConsistentHashRing::hash(1));
+}
+
+TEST(ConsistentHashRingTest, IdenticalRingsMapIdentically)
+{
+    ConsistentHashRing a, b;
+    for (std::size_t node = 0; node < 8; ++node) {
+        a.addNode(node);
+        b.addNode(node);
+    }
+    EXPECT_EQ(mapping(a), mapping(b));
+}
+
+TEST(ConsistentHashRingTest, EveryNodeOwnsSomeKeys)
+{
+    ConsistentHashRing ring;
+    constexpr std::size_t kNodes = 8;
+    for (std::size_t node = 0; node < kNodes; ++node)
+        ring.addNode(node);
+    EXPECT_EQ(ring.nodeCount(), kNodes);
+
+    std::map<std::size_t, std::size_t> per_node;
+    for (std::size_t owner : mapping(ring))
+        ++per_node[owner];
+    EXPECT_EQ(per_node.size(), kNodes);
+    for (const auto &[node, share] : per_node) {
+        EXPECT_LT(node, kNodes);
+        EXPECT_GT(share, 0u);
+    }
+}
+
+TEST(ConsistentHashRingTest, AddingTwiceIsANoOp)
+{
+    ConsistentHashRing ring;
+    ring.addNode(0);
+    ring.addNode(1);
+    const auto before = mapping(ring);
+    ring.addNode(1);
+    EXPECT_EQ(ring.nodeCount(), 2u);
+    EXPECT_EQ(mapping(ring), before);
+}
+
+TEST(ConsistentHashRingTest, RemovalMovesOnlyTheVictimsKeys)
+{
+    ConsistentHashRing ring;
+    constexpr std::size_t kNodes = 8;
+    for (std::size_t node = 0; node < kNodes; ++node)
+        ring.addNode(node);
+
+    const auto before = mapping(ring);
+    constexpr std::size_t kVictim = 3;
+    ring.removeNode(kVictim);
+    EXPECT_EQ(ring.nodeCount(), kNodes - 1);
+    const auto after = mapping(ring);
+
+    std::size_t victim_share = 0, moved = 0;
+    for (std::uint64_t key = 0; key < kKeys; ++key) {
+        if (before[key] == kVictim) {
+            ++victim_share;
+            EXPECT_NE(after[key], kVictim);
+        } else {
+            // The defining consistent-hashing property: keys not on
+            // the departed node do not move.
+            EXPECT_EQ(after[key], before[key]);
+        }
+        moved += after[key] != before[key] ? 1 : 0;
+    }
+    EXPECT_EQ(moved, victim_share);
+
+    // The remap fraction is roughly 1/N, not a full reshuffle.
+    EXPECT_LT(static_cast<double>(moved) / kKeys, 3.0 / kNodes);
+    EXPECT_GT(moved, 0u);
+}
+
+TEST(ConsistentHashRingTest, ReAddingRestoresTheOriginalMapping)
+{
+    ConsistentHashRing ring;
+    for (std::size_t node = 0; node < 4; ++node)
+        ring.addNode(node);
+    const auto before = mapping(ring);
+    ring.removeNode(2);
+    ring.addNode(2);
+    EXPECT_EQ(mapping(ring), before);
+}
+
+TEST(ConsistentHashRingTest, EmptyRingPanicsOnLookup)
+{
+    lia::detail::setThrowOnError(true);
+    ConsistentHashRing ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_THROW(ring.nodeFor(7), std::logic_error);
+    ring.addNode(0);
+    ring.removeNode(0);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_THROW(ring.nodeFor(7), std::logic_error);
+    lia::detail::setThrowOnError(false);
+}
+
+TEST(ConsistentHashRingTest, SmallIntegerKeysStillSpread)
+{
+    // Regression: node 0's vnode points used to be hash(0..vnodes-1)
+    // — exactly the hashes of small integer session ids — so every
+    // session id below the vnode count found an exactly-equal point
+    // and the whole keyspace collapsed onto node 0. The double-hashed
+    // points must spread even this adversarial key set.
+    ConsistentHashRing ring;
+    for (std::size_t node = 0; node < 4; ++node)
+        ring.addNode(node);
+    std::map<std::size_t, std::size_t> owners;
+    for (std::uint64_t session = 0; session < 16; ++session)
+        ++owners[ring.nodeFor(session)];
+    EXPECT_GE(owners.size(), 2u)
+        << "16 small session ids all routed to one node";
+}
+
+TEST(ConsistentHashRingTest, SingleNodeOwnsEverything)
+{
+    ConsistentHashRing ring;
+    ring.addNode(5);
+    for (std::uint64_t key = 0; key < 64; ++key)
+        EXPECT_EQ(ring.nodeFor(key), 5u);
+}
+
+} // namespace
+} // namespace cluster
+} // namespace lia

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Metrics::merge unit tests: the per-replica -> fleet aggregation the
+ * cluster router depends on. Covers empty/one-sided merges and the
+ * union semantics of the sample distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/metrics.hh"
+
+namespace lia {
+namespace serve {
+namespace {
+
+Metrics
+sampleMetrics(double base)
+{
+    Metrics mx;
+    mx.ttft.add(base + 0.1);
+    mx.ttft.add(base + 0.2);
+    mx.tbt.add(base + 0.01);
+    mx.tokenGap.add(base + 0.005);
+    mx.tokenGap.add(base + 0.015);
+    mx.responseTime.add(base + 1.0);
+    mx.queueWait.add(base + 0.05);
+    mx.queueDepth.add(3);
+    mx.batchOccupancy.add(2);
+    mx.kvOccupancy.add(0.5);
+
+    mx.completed = 4;
+    mx.rejectedCapacity = 1;
+    mx.shedSlo = 2;
+    mx.iterations = 10;
+    mx.tokensGenerated = 64;
+    mx.makespan = base + 5.0;
+    mx.busyTime = base + 3.0;
+
+    mx.preemptions = 3;
+    mx.swapOuts = 2;
+    mx.swapIns = 2;
+    mx.recomputes = 1;
+    mx.prefillChunks = 6;
+    mx.swapOutBytes = 4096;
+    mx.swapInBytes = 4096;
+    mx.swapBusyTime = 0.25;
+    mx.kvReservedPeakBytes = 8192;
+    return mx;
+}
+
+void
+expectEqualMetrics(const Metrics &a, const Metrics &b)
+{
+    EXPECT_EQ(a.ttft.samples(), b.ttft.samples());
+    EXPECT_EQ(a.tbt.samples(), b.tbt.samples());
+    EXPECT_EQ(a.tokenGap.samples(), b.tokenGap.samples());
+    EXPECT_EQ(a.responseTime.samples(), b.responseTime.samples());
+    EXPECT_EQ(a.queueWait.samples(), b.queueWait.samples());
+    EXPECT_EQ(a.queueDepth.samples(), b.queueDepth.samples());
+    EXPECT_EQ(a.batchOccupancy.samples(), b.batchOccupancy.samples());
+    EXPECT_EQ(a.kvOccupancy.samples(), b.kvOccupancy.samples());
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejectedCapacity, b.rejectedCapacity);
+    EXPECT_EQ(a.shedSlo, b.shedSlo);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.tokensGenerated, b.tokensGenerated);
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+    EXPECT_DOUBLE_EQ(a.busyTime, b.busyTime);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.swapOuts, b.swapOuts);
+    EXPECT_EQ(a.swapIns, b.swapIns);
+    EXPECT_EQ(a.recomputes, b.recomputes);
+    EXPECT_EQ(a.prefillChunks, b.prefillChunks);
+    EXPECT_DOUBLE_EQ(a.swapOutBytes, b.swapOutBytes);
+    EXPECT_DOUBLE_EQ(a.swapInBytes, b.swapInBytes);
+    EXPECT_DOUBLE_EQ(a.swapBusyTime, b.swapBusyTime);
+    EXPECT_DOUBLE_EQ(a.kvReservedPeakBytes, b.kvReservedPeakBytes);
+}
+
+TEST(MetricsMergeTest, EmptyIntoEmptyStaysEmpty)
+{
+    Metrics into;
+    into.merge(Metrics{});
+    expectEqualMetrics(into, Metrics{});
+    EXPECT_EQ(into.ttft.count(), 0u);
+    EXPECT_EQ(into.completed, 0u);
+    EXPECT_DOUBLE_EQ(into.makespan, 0.0);
+}
+
+TEST(MetricsMergeTest, EmptyOtherIsANoOp)
+{
+    Metrics into = sampleMetrics(1.0);
+    into.merge(Metrics{});
+    expectEqualMetrics(into, sampleMetrics(1.0));
+}
+
+TEST(MetricsMergeTest, MergingIntoEmptyCopies)
+{
+    Metrics into;
+    into.merge(sampleMetrics(2.0));
+    expectEqualMetrics(into, sampleMetrics(2.0));
+}
+
+TEST(MetricsMergeTest, TwoSidedMergeSumsAndUnions)
+{
+    Metrics a = sampleMetrics(1.0);
+    Metrics b = sampleMetrics(10.0);
+    const Metrics before_a = sampleMetrics(1.0);
+    const Metrics before_b = sampleMetrics(10.0);
+    a.merge(b);
+
+    // Distributions are unions: counts add, extremes span both sides.
+    EXPECT_EQ(a.ttft.count(),
+              before_a.ttft.count() + before_b.ttft.count());
+    EXPECT_DOUBLE_EQ(a.ttft.min(), before_a.ttft.min());
+    EXPECT_DOUBLE_EQ(a.ttft.max(), before_b.ttft.max());
+    EXPECT_EQ(a.tokenGap.count(),
+              before_a.tokenGap.count() + before_b.tokenGap.count());
+
+    // Counters sum.
+    EXPECT_EQ(a.completed, before_a.completed + before_b.completed);
+    EXPECT_EQ(a.rejectedCapacity,
+              before_a.rejectedCapacity + before_b.rejectedCapacity);
+    EXPECT_EQ(a.shedSlo, before_a.shedSlo + before_b.shedSlo);
+    EXPECT_EQ(a.iterations, before_a.iterations + before_b.iterations);
+    EXPECT_EQ(a.tokensGenerated,
+              before_a.tokensGenerated + before_b.tokensGenerated);
+    EXPECT_EQ(a.preemptions,
+              before_a.preemptions + before_b.preemptions);
+    EXPECT_EQ(a.prefillChunks,
+              before_a.prefillChunks + before_b.prefillChunks);
+    EXPECT_DOUBLE_EQ(a.swapOutBytes,
+                     before_a.swapOutBytes + before_b.swapOutBytes);
+    EXPECT_DOUBLE_EQ(a.busyTime,
+                     before_a.busyTime + before_b.busyTime);
+    EXPECT_DOUBLE_EQ(a.swapBusyTime,
+                     before_a.swapBusyTime + before_b.swapBusyTime);
+    EXPECT_DOUBLE_EQ(
+        a.kvReservedPeakBytes,
+        before_a.kvReservedPeakBytes + before_b.kvReservedPeakBytes);
+
+    // Makespan is the max (replicas share one clock), not a sum.
+    EXPECT_DOUBLE_EQ(a.makespan,
+                     std::max(before_a.makespan, before_b.makespan));
+
+    // b was only read.
+    expectEqualMetrics(b, before_b);
+}
+
+TEST(MetricsMergeTest, PercentilesAreOrderStatisticsOfTheUnion)
+{
+    Metrics a;
+    Metrics b;
+    for (int i = 0; i < 50; ++i)
+        a.ttft.add(1.0);   // fast replica
+    for (int i = 0; i < 50; ++i)
+        b.ttft.add(9.0);   // slow replica
+    a.merge(b);
+    EXPECT_EQ(a.ttft.count(), 100u);
+    // The union's median sits between the two modes; each side's own
+    // p99 would have hidden the other entirely.
+    EXPECT_GT(a.ttft.p99(), 8.0);
+    EXPECT_LT(a.ttft.p50(), 9.0);
+    EXPECT_DOUBLE_EQ(a.ttft.mean(), 5.0);
+}
+
+} // namespace
+} // namespace serve
+} // namespace lia

@@ -89,5 +89,15 @@ expectIdenticalRuns(const serve::Result &a, const serve::Result &b)
     }
 }
 
+void
+expectIdenticalTraces(const obs::ChromeTraceWriter &a,
+                      const obs::ChromeTraceWriter &b)
+{
+    ASSERT_EQ(a.events().size(), b.events().size());
+    // Byte equality of the rendered documents subsumes event-level
+    // equality; the size check above just localises a mismatch.
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
 } // namespace test
 } // namespace lia

@@ -15,6 +15,7 @@
 #ifndef LIA_TESTS_SUPPORT_SERVING_CHECKS_HH
 #define LIA_TESTS_SUPPORT_SERVING_CHECKS_HH
 
+#include "obs/chrome_trace.hh"
 #include "serve/engine.hh"
 
 namespace lia {
@@ -27,6 +28,11 @@ void checkServingInvariants(const serve::Result &result,
 
 /** Assert two runs are bit-identical (scheduling, timing, lifecycle). */
 void expectIdenticalRuns(const serve::Result &a, const serve::Result &b);
+
+/** Assert two recorded traces render to byte-identical JSON — the
+ *  trace-level determinism property for shared-clock engine fleets. */
+void expectIdenticalTraces(const obs::ChromeTraceWriter &a,
+                           const obs::ChromeTraceWriter &b);
 
 } // namespace test
 } // namespace lia
