@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Extension: cross-request prefix caching — hit rate x DDR budget.
+ *
+ * Serves one fixed Zipfian prompt-sharing stream (trace/sharing.hh)
+ * twice per point on the tiny differential-test model: caching off,
+ * then caching on, at the identical DDR KV budget. The sharing axis
+ * sweeps pool count/skew (more concentrated pools -> higher hit
+ * rate); the budget axis squeezes the cache against live KV so
+ * LRU + price-aware eviction and CXL demotion engage. HARD-ASSERTS
+ * the acceptance bar: wherever the warm run's hit rate reaches 0.7,
+ * its p95 TTFT must beat the caching-off run at the same budget.
+ *
+ * One runtime-backed cell re-runs the sharpest point with a
+ * serve::RuntimeBackend executing every plan: each hit must attach
+ * real cached KV blocks and pass FNV-1a fingerprint verification
+ * (the backend aborts on a digest mismatch, and the cell asserts
+ * attaches == verified == hits).
+ *
+ * Emits BENCH_prefix_caching.json with deterministic number
+ * formatting (obs::jsonNumber) and no wall-clock values: repeated
+ * runs produce byte-identical artifacts. `--requests N` /
+ * `--rate-per-min R` shrink the stream for CI.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/args.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "core/engine.hh"
+#include "hw/catalog.hh"
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "obs/sink.hh"
+#include "serve/engine.hh"
+#include "serve/runtime_backend.hh"
+
+namespace {
+
+using namespace lia;
+
+/** One sharing regime on the sweep's hit-rate axis. */
+struct Sharing
+{
+    std::string label;
+    std::int64_t pools;
+    double exponent;
+};
+
+/** One (sharing, budget) cell: cold vs warm at equal DDR budget. */
+struct Point
+{
+    std::string sharing;
+    double kvCapBytes = 0;
+    serve::Result cold;
+    serve::Result warm;
+
+    double hitRate() const { return warm.metrics.prefixHitRate(); }
+    double p95Reduction() const
+    {
+        const double coldP95 = cold.metrics.ttft.p95();
+        return coldP95 > 0
+                   ? 1.0 - warm.metrics.ttft.p95() / coldP95
+                   : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ArgParser args(argc, argv);
+    const std::size_t requests = static_cast<std::size_t>(
+        args.getInt("requests", 96));
+    const double rate_scale = args.getDouble("rate-per-min", 0.0);
+
+    // The differential-test model: one KV token is 256 bytes, so KB
+    // budgets force real cache-vs-live-KV competition.
+    const auto sys = hw::withCxl(hw::sprA100());
+    const auto m = model::tinyOpt(32, 2, 2, 256, 101);
+
+    core::EngineConfig engineCfg;
+    engineCfg.costOptions.executionAwareObjective = true;
+    engineCfg.autoMemoryPolicy = true;
+    core::EngineModel engine(sys, m, engineCfg);
+    auto costs =
+        std::make_shared<const serve::IterationCostCache>(engine, 32);
+    const double step = costs->time(model::Stage::Decode, 4, 64);
+
+    auto configAt = [&](const Sharing &sharing, double cap,
+                        bool caching) {
+        serve::Config cfg;
+        cfg.requests = requests;
+        cfg.seed = 7;
+        cfg.trace = trace::TraceKind::Code;
+        cfg.maxContext = 160;
+        cfg.maxBatch = 4;
+        cfg.policy = serve::SchedulerPolicy::Continuous;
+        cfg.prefillChunkTokens = 32;
+        cfg.kvBudgetCapBytes = cap;
+        // The workload (pool draws, shapes, shared lengths) depends
+        // only on the sharing knobs, never on `enabled`: cold and
+        // warm serve bit-identical request streams.
+        cfg.prefix.enabled = caching;
+        cfg.prefix.sharingPools = sharing.pools;
+        cfg.prefix.sharingExponent = sharing.exponent;
+        cfg.prefix.sharedFraction = 0.5;
+        cfg.prefix.blockTokens = 16;
+        cfg.arrivalRatePerSecond =
+            rate_scale > 0 ? rate_scale / 60.0 : 1.0 / (20.0 * step);
+        return cfg;
+    };
+    auto runPoint = [&](const serve::Config &cfg,
+                        serve::ExecutionBackend *backend) {
+        serve::ServingEngine serving(sys, m, cfg, costs);
+        return backend ? serving.run(backend) : serving.run();
+    };
+
+    std::cout << "Prefix caching: " << m.name << " on " << sys.name
+              << ", " << requests
+              << "-request Zipfian prompt-sharing streams\n"
+              << "Each cell: caching off vs on at the identical DDR "
+                 "KV budget\n\n";
+
+    const std::vector<Sharing> regimes = {
+        {"1 pool", 1, 1.0},
+        {"2 pools z1.0", 2, 1.0},
+        {"4 pools z1.0", 4, 1.0},
+        {"8 pools z0.8", 8, 0.8},
+    };
+    const std::vector<double> caps = {24576, 49152, 98304};
+
+    TextTable table({"sharing", "kv cap", "hit rate", "hit tok",
+                     "evict tok", "demote tok", "p95 TTFT off",
+                     "p95 TTFT on", "p95 gain"});
+    std::vector<Point> points;
+    std::size_t cells_at_bar = 0;
+    for (const Sharing &sharing : regimes) {
+        for (double cap : caps) {
+            Point p;
+            p.sharing = sharing.label;
+            p.kvCapBytes = cap;
+            p.cold = runPoint(configAt(sharing, cap, false), nullptr);
+            p.warm = runPoint(configAt(sharing, cap, true), nullptr);
+
+            // Equal budgets, equal workloads: caching may only move
+            // timing, never the token account.
+            LIA_ASSERT(p.warm.kvBudgetBytes == p.cold.kvBudgetBytes,
+                       "budget drifted between cold and warm runs");
+            LIA_ASSERT(p.warm.metrics.tokensGenerated ==
+                           p.cold.metrics.tokensGenerated,
+                       "caching changed the generated token count");
+            LIA_ASSERT(p.cold.metrics.prefixLookups == 0,
+                       "caching-off run touched the cache");
+
+            // The acceptance bar: a hit rate at/above 0.7 must buy a
+            // p95 TTFT reduction against caching-off at this budget.
+            if (p.hitRate() >= 0.7)
+                ++cells_at_bar;
+
+            const auto &mx = p.warm.metrics;
+            table.addRow({sharing.label, fmtBytes(cap),
+                          fmtPercent(p.hitRate()),
+                          std::to_string(mx.prefixHitTokens),
+                          std::to_string(mx.prefixEvictedTokens),
+                          std::to_string(mx.prefixDemotedTokens),
+                          fmtSeconds(p.cold.metrics.ttft.p95()),
+                          fmtSeconds(mx.ttft.p95()),
+                          fmtPercent(p.p95Reduction())});
+            points.push_back(std::move(p));
+        }
+    }
+    table.print(std::cout);
+    LIA_ASSERT(cells_at_bar > 0,
+               "no sweep cell reached the 0.7 hit-rate bar");
+    for (const Point &p : points) {
+        if (p.hitRate() < 0.7)
+            continue;
+        LIA_ASSERT(p.warm.metrics.ttft.p95() <
+                       p.cold.metrics.ttft.p95(),
+                   "no p95 TTFT gain at hit rate ", p.hitRate(),
+                   " (", p.sharing, ", cap ", p.kvCapBytes, ")");
+    }
+    std::cout << "\n" << cells_at_bar
+              << " cells at/above the 0.7 hit-rate bar; every one "
+                 "beat caching-off p95 TTFT (asserted)\n";
+
+    // --- Runtime-backed cell: hits attach real, verified KV ---------
+    const serve::Config backedCfg =
+        configAt(regimes.front(), caps[1], true);
+    serve::RuntimeBackend backend(sys, m, backedCfg);
+    const serve::Result backed = runPoint(backedCfg, &backend);
+    const auto &counters = backend.counters();
+    LIA_ASSERT(backed.metrics.prefixHits > 0,
+               "backed cell never hit the cache");
+    LIA_ASSERT(counters.prefixAttaches == backed.metrics.prefixHits,
+               "a hit was priced but never attached");
+    LIA_ASSERT(counters.prefixHitsVerified ==
+                   backed.metrics.prefixHits,
+               "an attached hit skipped fingerprint verification");
+    LIA_ASSERT(static_cast<std::int64_t>(counters.prefixAttachTokens) ==
+                   backed.metrics.prefixHitTokens,
+               "attached tokens diverged from priced hit tokens");
+    std::cout << "\nRuntime-backed cell (" << regimes.front().label
+              << ", " << fmtBytes(caps[1]) << "): "
+              << backed.metrics.prefixHits
+              << " hits, every one attached cached KV and passed "
+                 "FNV-1a verification (asserted)\n";
+
+    std::cout << "\nShape to expect: hit rate climbs as pools "
+                 "concentrate; wherever it\nclears 0.7 the warm p95 "
+                 "TTFT beats caching-off at the same budget.\nTight "
+                 "budgets evict or demote cold prefixes (CXL pays "
+                 "the re-read);\nroomy budgets keep the whole tree "
+                 "resident in DDR.\n";
+
+    // --- Machine-readable artifact ----------------------------------
+    using obs::jsonNumber;
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"prefix_caching\",\n"
+         << "  \"system\": \"" << sys.name << "\",\n"
+         << "  \"model\": \"" << m.name << "\",\n"
+         << "  \"requests\": " << requests << ",\n  \"sweep\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        json << (i ? ",\n" : "") << "    {\"sharing\": \""
+             << p.sharing
+             << "\", \"kv_cap_bytes\": " << jsonNumber(p.kvCapBytes)
+             << ", \"hit_rate\": " << jsonNumber(p.hitRate())
+             << ", \"p95_ttft_off\": "
+             << jsonNumber(p.cold.metrics.ttft.p95())
+             << ", \"p95_ttft_on\": "
+             << jsonNumber(p.warm.metrics.ttft.p95())
+             << ", \"p95_reduction\": "
+             << jsonNumber(p.p95Reduction())
+             << ", \"cache_bytes_at_drain\": "
+             << jsonNumber(p.warm.prefixCacheBytesAtDrain)
+             << ", \"metrics_off\": " << p.cold.metrics.toJson()
+             << ", \"metrics_on\": " << p.warm.metrics.toJson()
+             << "}";
+    }
+    json << "\n  ],\n  \"backed_cell\": {\"hits\": "
+         << backed.metrics.prefixHits
+         << ", \"attaches\": " << counters.prefixAttaches
+         << ", \"verified\": " << counters.prefixHitsVerified
+         << ", \"attach_tokens\": " << counters.prefixAttachTokens
+         << ", \"inserts\": " << counters.prefixInserts
+         << ", \"splits\": " << counters.prefixSplits
+         << ", \"evictions\": " << counters.prefixEvictions
+         << ", \"demotions\": " << counters.prefixDemotions
+         << ", \"metrics\": " << backed.metrics.toJson() << "}\n}\n";
+
+    const std::string path = "BENCH_prefix_caching.json";
+    std::ofstream file(path);
+    file << json.str();
+    if (!file) {
+        std::cerr << "failed to write " << path << "\n";
+        return 1;
+    }
+    std::cout << "\nwrote " << path << "\n";
+    return 0;
+}

@@ -10,6 +10,116 @@
 namespace lia {
 namespace runtime {
 
+namespace {
+
+/** BF16 footprint of K+V spans of this geometry. */
+double
+spanBf16Bytes(std::int64_t batch, std::int64_t length, std::int64_t kv,
+              std::int64_t layers)
+{
+    return 2.0 * 2.0 * static_cast<double>(batch) *
+           static_cast<double>(length) * static_cast<double>(kv) *
+           static_cast<double>(layers);
+}
+
+} // namespace
+
+bool
+KvSnapshot::compact() const
+{
+    if (empty())
+        return length == 0;
+    return keys.front().ndim() == 3 && keys.front().dim(1) == length;
+}
+
+KvSnapshot
+KvSnapshot::splitHead(std::int64_t tokens)
+{
+    LIA_ASSERT(compact(), "splitHead needs a compact snapshot");
+    LIA_ASSERT(tokens > 0 && tokens < length,
+               "splitHead tokens ", tokens, " out of (0, ", length, ")");
+    const std::int64_t batch = keys.front().dim(0);
+    const std::int64_t kv = keys.front().dim(2);
+    const std::int64_t layers =
+        static_cast<std::int64_t>(keys.size());
+
+    KvSnapshot head;
+    head.length = tokens;
+    head.bytes = spanBf16Bytes(batch, tokens, kv, layers);
+    head.keys.reserve(keys.size());
+    head.values.reserve(values.size());
+
+    const std::int64_t tail = length - tokens;
+    std::vector<Tensor> tailKeys;
+    std::vector<Tensor> tailValues;
+    tailKeys.reserve(keys.size());
+    tailValues.reserve(values.size());
+    for (std::size_t l = 0; l < keys.size(); ++l) {
+        Tensor hk({batch, tokens, kv});
+        Tensor hv({batch, tokens, kv});
+        Tensor tk({batch, tail, kv});
+        Tensor tv({batch, tail, kv});
+        for (std::int64_t b = 0; b < batch; ++b) {
+            for (std::int64_t i = 0; i < length; ++i) {
+                for (std::int64_t c = 0; c < kv; ++c) {
+                    const float kx = keys[l].at(b, i, c);
+                    const float vx = values[l].at(b, i, c);
+                    if (i < tokens) {
+                        hk.at(b, i, c) = kx;
+                        hv.at(b, i, c) = vx;
+                    } else {
+                        tk.at(b, i - tokens, c) = kx;
+                        tv.at(b, i - tokens, c) = vx;
+                    }
+                }
+            }
+        }
+        head.keys.push_back(std::move(hk));
+        head.values.push_back(std::move(hv));
+        tailKeys.push_back(std::move(tk));
+        tailValues.push_back(std::move(tv));
+    }
+
+    keys = std::move(tailKeys);
+    values = std::move(tailValues);
+    length = tail;
+    bytes = spanBf16Bytes(batch, tail, kv, layers);
+    return head;
+}
+
+KvSnapshot
+KvSnapshot::headCopy(std::int64_t tokens) const
+{
+    LIA_ASSERT(compact(), "headCopy needs a compact snapshot");
+    LIA_ASSERT(tokens > 0 && tokens <= length,
+               "headCopy tokens ", tokens, " out of (0, ", length, "]");
+    const std::int64_t batch = keys.front().dim(0);
+    const std::int64_t kv = keys.front().dim(2);
+    const std::int64_t layers =
+        static_cast<std::int64_t>(keys.size());
+
+    KvSnapshot head;
+    head.length = tokens;
+    head.bytes = spanBf16Bytes(batch, tokens, kv, layers);
+    head.keys.reserve(keys.size());
+    head.values.reserve(values.size());
+    for (std::size_t l = 0; l < keys.size(); ++l) {
+        Tensor hk({batch, tokens, kv});
+        Tensor hv({batch, tokens, kv});
+        for (std::int64_t b = 0; b < batch; ++b) {
+            for (std::int64_t i = 0; i < tokens; ++i) {
+                for (std::int64_t c = 0; c < kv; ++c) {
+                    hk.at(b, i, c) = keys[l].at(b, i, c);
+                    hv.at(b, i, c) = values[l].at(b, i, c);
+                }
+            }
+        }
+        head.keys.push_back(std::move(hk));
+        head.values.push_back(std::move(hv));
+    }
+    return head;
+}
+
 KvCache::KvCache(const model::ModelConfig &config, std::int64_t batch,
                  std::int64_t max_len)
     : config_(config), batch_(batch), maxLen_(max_len)
@@ -116,6 +226,72 @@ KvCache::evict()
     }
     length_ = 0;
     return snapshot;
+}
+
+KvSnapshot
+KvCache::snapshotRange(std::int64_t start, std::int64_t end) const
+{
+    LIA_ASSERT(nextLayer_ == 0 && pendingTokens_ == 0,
+               "snapshotting a cache mid-step");
+    LIA_ASSERT(start >= 0 && start < end && end <= length_,
+               "bad snapshot range [", start, ", ", end, ") of ",
+               length_);
+    const std::int64_t kv = config_.kvDim();
+    const std::int64_t t = end - start;
+    KvSnapshot span;
+    span.length = t;
+    span.bytes = spanBf16Bytes(batch_, t, kv, config_.numLayers);
+    span.keys.reserve(keys_.size());
+    span.values.reserve(values_.size());
+    for (std::size_t l = 0; l < keys_.size(); ++l) {
+        Tensor k({batch_, t, kv});
+        Tensor v({batch_, t, kv});
+        for (std::int64_t b = 0; b < batch_; ++b) {
+            for (std::int64_t i = 0; i < t; ++i) {
+                for (std::int64_t c = 0; c < kv; ++c) {
+                    k.at(b, i, c) = keys_[l].at(b, start + i, c);
+                    v.at(b, i, c) = values_[l].at(b, start + i, c);
+                }
+            }
+        }
+        span.keys.push_back(std::move(k));
+        span.values.push_back(std::move(v));
+    }
+    return span;
+}
+
+bool
+KvCache::preload(const KvSnapshot &span)
+{
+    if (nextLayer_ > 0 || pendingTokens_ > 0)
+        return false;  // never splice into a half-appended step
+    if (span.empty() || !span.compact() ||
+        span.keys.size() !=
+            static_cast<std::size_t>(config_.numLayers) ||
+        span.values.size() != span.keys.size())
+        return false;
+    if (length_ + span.length > maxLen_)
+        return false;
+    for (const Tensor &k : span.keys) {
+        if (k.ndim() != 3 || k.dim(0) != batch_ ||
+            k.dim(2) != config_.kvDim())
+            return false;
+    }
+
+    for (std::size_t l = 0; l < keys_.size(); ++l) {
+        for (std::int64_t b = 0; b < batch_; ++b) {
+            for (std::int64_t i = 0; i < span.length; ++i) {
+                for (std::int64_t c = 0; c < config_.kvDim(); ++c) {
+                    keys_[l].at(b, length_ + i, c) =
+                        span.keys[l].at(b, i, c);
+                    values_[l].at(b, length_ + i, c) =
+                        span.values[l].at(b, i, c);
+                }
+            }
+        }
+    }
+    length_ += span.length;
+    return true;
 }
 
 bool

@@ -44,6 +44,26 @@ struct KvSnapshot
     std::vector<Tensor> values;
 
     bool empty() const { return keys.empty(); }
+
+    /** Whether the tensors hold exactly `length` tokens (no slack) —
+     *  the form snapshotRange() produces and preload() consumes. */
+    bool compact() const;
+
+    /**
+     * Split a compact snapshot: the first @p tokens move out as the
+     * returned head, this snapshot keeps the tail. Both stay compact
+     * and their bytes fields re-count their BF16 footprints. The
+     * prefix cache uses this to split a node's KV span at a radix
+     * divergence point without copying the whole span twice.
+     */
+    KvSnapshot splitHead(std::int64_t tokens);
+
+    /**
+     * Copy of the first @p tokens of a compact snapshot, leaving this
+     * snapshot untouched. A prefix-cache hit that matches only part of
+     * a terminal node attaches a head copy of the node's span.
+     */
+    KvSnapshot headCopy(std::int64_t tokens) const;
 };
 
 /** Growing K/V storage for all layers of one batch. */
@@ -82,6 +102,21 @@ class KvCache
      * mid-step (layers partially appended) is a bug and panics.
      */
     KvSnapshot evict();
+
+    /**
+     * Compact copy of tokens [@p start, @p end) across all layers:
+     * per-layer (B, end-start, kvDim) tensors. The source cache is
+     * untouched. Shared prefix-cache nodes are built from these spans.
+     */
+    KvSnapshot snapshotRange(std::int64_t start, std::int64_t end) const;
+
+    /**
+     * Append a compact span at the current end of the cache, as if its
+     * tokens had been produced by prefill — the shared-prefix attach
+     * path. Fails cleanly (returns false, cache untouched) when called
+     * mid-step or when the span's geometry does not fit.
+     */
+    bool preload(const KvSnapshot &span);
 
     /**
      * Restore an evicted snapshot. Fails cleanly — returns false and

@@ -72,8 +72,14 @@ AdmissionController::requestKvBytes(const Request &request) const
 double
 AdmissionController::promptKvBytes(const Request &request) const
 {
+    // A prefix-cache hit still materialises the matched tokens (they
+    // are attached, not recomputed), so the pass's KV footprint is the
+    // hit plus the remaining prefill target — numerically the same
+    // context the request would build cold.
     const std::int64_t target =
-        request.prefillTarget > 0 ? request.prefillTarget : request.lIn;
+        request.prefillTarget > 0
+            ? request.prefillTarget + request.prefixHitTokens
+            : request.lIn;
     return model_.kvBytesPerToken() * static_cast<double>(target);
 }
 
@@ -86,13 +92,14 @@ AdmissionController::fitsAlone(const Request &request) const
 bool
 AdmissionController::canAdmit(const Request &request) const
 {
-    return reserved_ + requestKvBytes(request) <= kvBudget_;
+    return reserved_ + cacheDdr_ + requestKvBytes(request) <= kvBudget_;
 }
 
 bool
 AdmissionController::fitsBytes(double bytes, double watermark) const
 {
-    return reserved_ + bytes <= kvBudget_ * (1.0 - watermark);
+    return reserved_ + cacheDdr_ + bytes <=
+           kvBudget_ * (1.0 - watermark);
 }
 
 void
@@ -101,7 +108,7 @@ AdmissionController::reserve(Request &request)
     LIA_ASSERT(request.kvReservedBytes == 0, "double reservation");
     request.kvReservedBytes = requestKvBytes(request);
     reserved_ += request.kvReservedBytes;
-    LIA_ASSERT(reserved_ <= kvBudget_ * (1 + 1e-9),
+    LIA_ASSERT(reserved_ + cacheDdr_ <= kvBudget_ * (1 + 1e-9),
                "KV reservation exceeds the budget");
 }
 
@@ -111,7 +118,7 @@ AdmissionController::reservePrompt(Request &request)
     LIA_ASSERT(request.kvReservedBytes == 0, "double reservation");
     request.kvReservedBytes = promptKvBytes(request);
     reserved_ += request.kvReservedBytes;
-    LIA_ASSERT(reserved_ <= kvBudget_ * (1 + 1e-9),
+    LIA_ASSERT(reserved_ + cacheDdr_ <= kvBudget_ * (1 + 1e-9),
                "KV reservation exceeds the budget");
 }
 
@@ -124,7 +131,7 @@ AdmissionController::grow(Request &request, std::int64_t tokens)
         model_.kvBytesPerToken() * static_cast<double>(tokens);
     request.kvReservedBytes += bytes;
     reserved_ += bytes;
-    LIA_ASSERT(reserved_ <= kvBudget_ * (1 + 1e-9),
+    LIA_ASSERT(reserved_ + cacheDdr_ <= kvBudget_ * (1 + 1e-9),
                "KV growth exceeds the budget");
 }
 
@@ -141,7 +148,7 @@ bool
 AdmissionController::canSwapOut(const Request &request) const
 {
     return swapBandwidth_ > 0 &&
-           swapped_ + request.kvReservedBytes <= swapPool_;
+           swapped_ + cacheCxl_ + request.kvReservedBytes <= swapPool_;
 }
 
 void
@@ -149,7 +156,7 @@ AdmissionController::swapOut(Request &request)
 {
     LIA_ASSERT(request.kvReservedBytes > 0, "swap-out without reserve");
     LIA_ASSERT(request.kvSwappedBytes == 0, "double swap-out");
-    LIA_ASSERT(swapped_ + request.kvReservedBytes <=
+    LIA_ASSERT(swapped_ + cacheCxl_ + request.kvReservedBytes <=
                    swapPool_ * (1 + 1e-9),
                "swap pool exceeded");
     request.kvSwappedBytes = request.kvReservedBytes;
@@ -170,8 +177,58 @@ AdmissionController::swapIn(Request &request)
     swapped_ -= request.kvSwappedBytes;
     request.kvSwappedBytes = 0;
     swapped_ = std::max(swapped_, 0.0);
-    LIA_ASSERT(reserved_ <= kvBudget_ * (1 + 1e-9),
+    LIA_ASSERT(reserved_ + cacheDdr_ <= kvBudget_ * (1 + 1e-9),
                "swap-in exceeds the budget");
+}
+
+void
+AdmissionController::cacheReserve(double bytes)
+{
+    LIA_ASSERT(bytes > 0, "empty cache reservation");
+    cacheDdr_ += bytes;
+    LIA_ASSERT(reserved_ + cacheDdr_ <= kvBudget_ * (1 + 1e-9),
+               "cached prefix exceeds the budget");
+}
+
+void
+AdmissionController::cacheRelease(double bytes)
+{
+    LIA_ASSERT(bytes > 0 && bytes <= cacheDdr_ * (1 + 1e-9),
+               "cache release of ", bytes, " bytes exceeds the ",
+               cacheDdr_, " held");
+    cacheDdr_ = std::max(cacheDdr_ - bytes, 0.0);
+}
+
+void
+AdmissionController::cacheDemote(double bytes)
+{
+    LIA_ASSERT(bytes > 0 && bytes <= cacheDdr_ * (1 + 1e-9),
+               "demotion exceeds the resident cache");
+    cacheDdr_ = std::max(cacheDdr_ - bytes, 0.0);
+    cacheCxl_ += bytes;
+    LIA_ASSERT(swapped_ + cacheCxl_ <= swapPool_ * (1 + 1e-9),
+               "demoted prefix exceeds the CXL pool");
+}
+
+void
+AdmissionController::cacheDropCxl(double bytes)
+{
+    LIA_ASSERT(bytes > 0 && bytes <= cacheCxl_ * (1 + 1e-9),
+               "CXL drop exceeds the demoted cache");
+    cacheCxl_ = std::max(cacheCxl_ - bytes, 0.0);
+}
+
+bool
+AdmissionController::cacheCxlFits(double bytes) const
+{
+    return swapBandwidth_ > 0 &&
+           swapped_ + cacheCxl_ + bytes <= swapPool_;
+}
+
+double
+AdmissionController::ddrHeadroom(double watermark) const
+{
+    return kvBudget_ * (1.0 - watermark) - reserved_ - cacheDdr_;
 }
 
 double

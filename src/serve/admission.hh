@@ -108,11 +108,47 @@ class AdmissionController
     double swapBandwidth() const { return swapBandwidth_; }
     double swapLatency() const { return swapLatency_; }
 
+    // --- Prefix-cache accounts --------------------------------------
+    //
+    // Cached prefixes share the DDR budget with live KV (and demoted
+    // prefixes share the CXL pool with swapped-out caches) but live in
+    // separate ledgers: live-KV asserts stay intact, and bytes still
+    // cached at drain are deliberate retention, not a leak.
+
+    /** DDR bytes held by resident prefix-cache nodes. */
+    double cacheDdrBytes() const { return cacheDdr_; }
+
+    /** CXL bytes held by demoted prefix-cache nodes. */
+    double cacheCxlBytes() const { return cacheCxl_; }
+
+    /** Charge @p bytes of a new cached span against the DDR budget. */
+    void cacheReserve(double bytes);
+
+    /** Return @p bytes of an evicted DDR-resident span. */
+    void cacheRelease(double bytes);
+
+    /** Move @p bytes of a cached span DDR -> CXL pool. */
+    void cacheDemote(double bytes);
+
+    /** Drop @p bytes of a demoted span from the CXL pool. */
+    void cacheDropCxl(double bytes);
+
+    /** Whether @p bytes more of demoted spans fit the CXL pool. */
+    bool cacheCxlFits(double bytes) const;
+
+    /**
+     * DDR bytes still free for new cached spans once live KV, the
+     * cache itself, and @p watermark of the budget are held back.
+     */
+    double ddrHeadroom(double watermark = 0) const;
+
   private:
     model::ModelConfig model_;
     double kvBudget_ = 0;
     double reserved_ = 0;
     double swapped_ = 0;
+    double cacheDdr_ = 0;
+    double cacheCxl_ = 0;
     double swapPool_ = 0;
     double swapBandwidth_ = 0;
     double swapLatency_ = 0;

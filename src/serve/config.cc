@@ -35,6 +35,11 @@ Config::validate() const
     LIA_ASSERT(admissionWatermark >= 0 && admissionWatermark <= 0.9,
                "admission watermark outside [0, 0.9]");
     LIA_ASSERT(kvBudgetCapBytes >= 0, "negative KV budget cap");
+    LIA_ASSERT(prefix.blockTokens >= 1, "bad prefix block size");
+    LIA_ASSERT(prefix.sharingPools >= 0, "negative sharing pool count");
+    LIA_ASSERT(prefix.sharingExponent > 0, "bad sharing exponent");
+    LIA_ASSERT(prefix.sharedFraction > 0 && prefix.sharedFraction <= 1,
+               "shared fraction outside (0, 1]");
 }
 
 } // namespace serve

@@ -88,6 +88,39 @@ struct SloTargets
     bool any() const { return ttft > 0 || tbt > 0 || e2e > 0; }
 };
 
+/**
+ * Cross-request prefix caching (DESIGN.md §10): a radix tree over
+ * token-block prefixes whose nodes hold immutable KV spans, shared
+ * ref-counted across requests. Hits skip prefill for the matched
+ * prefix; cold nodes demote to the CXL pool when the transfer is
+ * cheaper than the recompute the cached prefix saves.
+ */
+struct PrefixCacheConfig
+{
+    /** Master switch; off keeps the engine bit-identical to PR 6. */
+    bool enabled = false;
+
+    /**
+     * Radix granularity: node spans and matches are multiples of this
+     * many tokens. Coarser blocks mean fewer nodes and fewer splits;
+     * finer blocks match more of a diverging prompt.
+     */
+    std::int64_t blockTokens = 16;
+
+    /**
+     * Zipfian prompt-sharing pools (0 = independent prompts). Each
+     * request draws a pool with probability proportional to
+     * 1/(rank+1)^sharingExponent and shares that pool's prompt prefix.
+     */
+    std::int64_t sharingPools = 0;
+
+    /** Zipf skew of the pool popularity distribution. */
+    double sharingExponent = 1.0;
+
+    /** Upper bound on a pool prefix, as a fraction of maxContext. */
+    double sharedFraction = 0.5;
+};
+
 /** Configuration of one serving-engine run. */
 struct Config
 {
@@ -138,6 +171,9 @@ struct Config
      * explicit DDR budget.
      */
     double kvBudgetCapBytes = 0;
+
+    /** Cross-request prefix caching + prompt-sharing workload knobs. */
+    PrefixCacheConfig prefix;
 
     /**
      * Optional trace sink receiving request-lifecycle spans, engine

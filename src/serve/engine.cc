@@ -10,6 +10,7 @@
 #include "sim/event_queue.hh"
 #include "sim/serving.hh"
 #include "trace/azure.hh"
+#include "trace/sharing.hh"
 
 namespace lia {
 namespace serve {
@@ -80,15 +81,37 @@ ServingEngine::run(ExecutionBackend *backend)
     // simulators so equal seeds mean equal workloads.
     sim::PoissonProcess arrivals(config_.arrivalRatePerSecond,
                                  config_.seed);
-    trace::AzureTraceGenerator gen(config_.trace, config_.maxContext,
-                                   config_.seed + 1);
-    for (std::size_t i = 0; i < config_.requests; ++i) {
-        const double arrival = arrivals.next();
-        const trace::Request shape = gen.next();
-        events.schedule(arrival,
-                        [&instance, shape]() {
-                            instance.submit(shape.lIn, shape.lOut);
-                        });
+    if (config_.prefix.sharingPools > 0) {
+        // Zipfian prompt sharing: same arrival clock and shape stream
+        // as the independent path (the pool wrapper draws shapes from
+        // the identical generator seed), plus a pool assignment and a
+        // shared-prefix length per request.
+        trace::ZipfianPromptPools pools(
+            config_.trace, config_.maxContext,
+            config_.prefix.sharingPools,
+            config_.prefix.sharingExponent,
+            config_.prefix.sharedFraction,
+            config_.prefix.blockTokens, config_.seed + 1);
+        for (std::size_t i = 0; i < config_.requests; ++i) {
+            const double arrival = arrivals.next();
+            const trace::SharedRequest shared = pools.next();
+            events.schedule(arrival, [&instance, shared]() {
+                instance.submit(shared.shape.lIn, shared.shape.lOut,
+                                shared.poolId, shared.sharedTokens);
+            });
+        }
+    } else {
+        trace::AzureTraceGenerator gen(config_.trace,
+                                       config_.maxContext,
+                                       config_.seed + 1);
+        for (std::size_t i = 0; i < config_.requests; ++i) {
+            const double arrival = arrivals.next();
+            const trace::Request shape = gen.next();
+            events.schedule(arrival,
+                            [&instance, shape]() {
+                                instance.submit(shape.lIn, shape.lOut);
+                            });
+        }
     }
     // While the DES runs, log messages can carry the simulated time
     // (LIA_LOG token "sim"); cleared again once the queue drains.

@@ -49,6 +49,13 @@ struct Result
      */
     double kvReservedAtDrain = 0;
 
+    /**
+     * Prefix-cache bytes (DDR-resident + CXL-demoted) still held when
+     * the run drained. Unlike kvReservedAtDrain this is deliberate
+     * retention — cached prefixes outlive their sourcing requests.
+     */
+    double prefixCacheBytesAtDrain = 0;
+
     /** Goodput against @p slo (see metrics.hh). */
     double goodputPerSecond(const SloTargets &slo) const
     {

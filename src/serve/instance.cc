@@ -36,6 +36,21 @@ EngineInstance::EngineInstance(const hw::SystemConfig &system,
                    admission_.swapLatency()),
       sink_(config_.sink)
 {
+    if (config_.prefix.enabled) {
+        PrefixCache::Pricing pricing;
+        pricing.recomputeSeconds = [this](std::int64_t tokens) {
+            return costs_.time(Stage::Prefill, 1,
+                               std::max<std::int64_t>(tokens, 1));
+        };
+        if (admission_.swapBandwidth() > 0) {
+            pricing.transferSeconds = [this](double bytes) {
+                return admission_.swapTransferSeconds(bytes);
+            };
+        }
+        prefixCache_ = std::make_unique<PrefixCache>(
+            model, config_, admission_, std::move(pricing));
+        scheduler_.setPrefixCache(prefixCache_.get());
+    }
     if (sink_) {
         sink_->setTrackName(ns_.iterations(), ns_.engineProcess,
                             "iterations");
@@ -54,13 +69,16 @@ EngineInstance::setPlannerCap(std::int64_t cap)
 }
 
 std::size_t
-EngineInstance::submit(std::int64_t l_in, std::int64_t l_out)
+EngineInstance::submit(std::int64_t l_in, std::int64_t l_out,
+                       std::int64_t pool_id, std::int64_t shared_tokens)
 {
     const std::size_t index = requests_.size();
     Request request;
     request.id = index;
     request.lIn = l_in;
     request.lOut = l_out;
+    request.poolId = pool_id;
+    request.sharedLen = shared_tokens;
     request.arrival = events_.now();
     requests_.push_back(request);
     arrival(index);
@@ -199,7 +217,24 @@ EngineInstance::startIteration()
         if (requests_[index].swapReady)
             state.swappable.push_back(index);
 
+    // Flush completed passes into the prefix tree *before* the
+    // scheduler probes it: this iteration's lookups then match the
+    // post-split tree, so the backend can mirror all structural ops
+    // first and attach all hits after.
+    std::vector<PrefixOp> insertOps;
+    if (prefixCache_) {
+        for (std::size_t index : pendingInserts_) {
+            const Request &request = requests_[index];
+            auto ops = prefixCache_->insert(
+                prefixCache_->promptOf(request), request.id);
+            insertOps.insert(insertOps.end(), ops.begin(), ops.end());
+        }
+        pendingInserts_.clear();
+    }
+
     IterationPlan plan = scheduler_.next(now, state, requests_);
+    plan.prefixOps.insert(plan.prefixOps.begin(), insertOps.begin(),
+                          insertOps.end());
 
     for (std::size_t index : plan.shed) {
         requests_[index].state = RequestState::Rejected;
@@ -235,6 +270,9 @@ EngineInstance::startIteration()
         request.state = RequestState::Preempted;
         request.prefillTarget = request.context();
         request.prefilled = 0;
+        // The recompute prefill rebuilds every token itself — any
+        // prefix attached at first admission is gone with the KV.
+        request.prefixHitTokens = 0;
         ++request.preemptions;
         ++request.recomputes;
         ++metrics_.preemptions;
@@ -319,6 +357,9 @@ EngineInstance::startIteration()
                            }),
             swapped_.end());
     }
+
+    if (prefixCache_)
+        applyPrefixPlan(plan);
 
     // Execute the committed plan: all request pools and the
     // admission byte account reflect it at this point, but no
@@ -485,6 +526,15 @@ EngineInstance::completeIteration(const IterationPlan &plan)
         request.prefilled += chunk.tokens;
         if (request.inPrefill())
             continue;
+        if (prefixCache_) {
+            // The pass the pin protected is done; the prompt's KV is
+            // now materialised and can seed the tree next iteration.
+            if (request.prefixNode != 0) {
+                prefixCache_->unpin(request.prefixNode);
+                request.prefixNode = 0;
+            }
+            pendingInserts_.push_back(chunk.index);
+        }
         // Pass complete: the pass's final forward emits one token
         // — the first output token of a fresh prefill, or the
         // continuation token of a recompute (the rebuilt cache's
@@ -538,6 +588,54 @@ EngineInstance::finish(Request &request, double now)
         metrics_.tbt.add(request.meanTbt());
 }
 
+/**
+ * Account one plan's prefix-cache activity: hit/op counters, the
+ * swap-channel traffic demotions and demoted-node hits generate, and
+ * the structural self-check. Runs after the pools reflect the plan
+ * and before the backend mirrors it.
+ */
+void
+EngineInstance::applyPrefixPlan(const IterationPlan &plan)
+{
+    const double per_token = admission_.kvBytesPerToken();
+    metrics_.prefixLookups +=
+        static_cast<std::size_t>(plan.prefixLookups);
+    for (const PrefixHit &hit : plan.prefixHits) {
+        ++metrics_.prefixHits;
+        metrics_.prefixHitTokens += hit.tokens;
+        if (hit.cxlBytes > 0) {
+            // Reading a demoted span back occupies the DDR<->CXL
+            // channel; the span itself stays parked in the pool.
+            metrics_.prefixCxlReadBytes += hit.cxlBytes;
+            swapChannel_.transfer(hit.cxlBytes, [](sim::Tick) {});
+        }
+    }
+    for (const PrefixOp &op : plan.prefixOps) {
+        switch (op.kind) {
+          case PrefixOp::Kind::Insert:
+            metrics_.prefixInsertedTokens += op.tokens;
+            break;
+          case PrefixOp::Kind::Evict:
+          case PrefixOp::Kind::DropCxl:
+            metrics_.prefixEvictedTokens += op.tokens;
+            break;
+          case PrefixOp::Kind::Demote:
+            metrics_.prefixDemotedTokens += op.tokens;
+            swapChannel_.transfer(
+                static_cast<double>(op.tokens) * per_token,
+                [](sim::Tick) {});
+            break;
+          case PrefixOp::Kind::Split:
+            break;  // pure bookkeeping, no bytes move
+        }
+    }
+    metrics_.prefixCachePeakBytes =
+        std::max(metrics_.prefixCachePeakBytes,
+                 admission_.cacheDdrBytes() +
+                     admission_.cacheCxlBytes());
+    prefixCache_->checkInvariants();
+}
+
 Result
 EngineInstance::finalize()
 {
@@ -552,6 +650,8 @@ EngineInstance::finalize()
     result.plannerCap = scheduler_.plannerCap();
     result.kvReservedAtDrain =
         admission_.reservedBytes() + admission_.swappedBytes();
+    result.prefixCacheBytesAtDrain =
+        admission_.cacheDdrBytes() + admission_.cacheCxlBytes();
     return result;
 }
 

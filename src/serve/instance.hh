@@ -21,6 +21,7 @@
 #define LIA_SERVE_INSTANCE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "serve/admission.hh"
@@ -79,9 +80,14 @@ class EngineInstance
      * Submit one request arriving *now* (the queue's current time).
      * Returns the instance-local request id. The request is rejected
      * immediately if it can never fit the KV budget; otherwise it
-     * queues and the engine kicks an iteration if idle.
+     * queues and the engine kicks an iteration if idle. A request in
+     * a prompt-sharing pool (@p pool_id >= 0) shares its first
+     * @p shared_tokens prompt tokens with every other member of the
+     * pool (see serve::synthesizePrompt).
      */
-    std::size_t submit(std::int64_t l_in, std::int64_t l_out);
+    std::size_t submit(std::int64_t l_in, std::int64_t l_out,
+                       std::int64_t pool_id = -1,
+                       std::int64_t shared_tokens = 0);
 
     // --- Live-state accessors (router signals) -----------------------
 
@@ -146,6 +152,7 @@ class EngineInstance
     void swapInArrived(std::size_t index);
     void completeIteration(const IterationPlan &plan);
     void finish(Request &request, double now);
+    void applyPrefixPlan(const IterationPlan &plan);
 
     Config config_;
     const IterationCostCache &costs_;
@@ -154,6 +161,14 @@ class EngineInstance
     AdmissionController admission_;
     Scheduler scheduler_;
     sim::TransferChannel swapChannel_;
+
+    /** Cross-request prefix cache; null unless config_.prefix.enabled. */
+    std::unique_ptr<PrefixCache> prefixCache_;
+
+    /** Requests whose prefill pass completed since the last iteration
+     *  started; their prompt prefixes insert into the cache at the
+     *  next startIteration(), before the scheduler looks up hits. */
+    std::vector<std::size_t> pendingInserts_;
 
     std::vector<Request> requests_;
     std::vector<std::size_t> waiting_;    //!< FIFO admission queue

@@ -61,6 +61,15 @@ Metrics::merge(const Metrics &other)
     swapInBytes += other.swapInBytes;
     swapBusyTime += other.swapBusyTime;
     kvReservedPeakBytes += other.kvReservedPeakBytes;
+
+    prefixLookups += other.prefixLookups;
+    prefixHits += other.prefixHits;
+    prefixHitTokens += other.prefixHitTokens;
+    prefixInsertedTokens += other.prefixInsertedTokens;
+    prefixEvictedTokens += other.prefixEvictedTokens;
+    prefixDemotedTokens += other.prefixDemotedTokens;
+    prefixCxlReadBytes += other.prefixCxlReadBytes;
+    prefixCachePeakBytes += other.prefixCachePeakBytes;
 }
 
 double
@@ -125,7 +134,18 @@ Metrics::toJson() const
        << ",\"swap_in_bytes\":" << jsonNumber(swapInBytes)
        << ",\"swap_busy_s\":" << jsonNumber(swapBusyTime)
        << ",\"kv_reserved_peak_bytes\":"
-       << jsonNumber(kvReservedPeakBytes) << "}";
+       << jsonNumber(kvReservedPeakBytes)
+       << ",\"prefix_lookups\":" << prefixLookups
+       << ",\"prefix_hits\":" << prefixHits
+       << ",\"prefix_hit_rate\":" << jsonNumber(prefixHitRate())
+       << ",\"prefix_hit_tokens\":" << prefixHitTokens
+       << ",\"prefix_inserted_tokens\":" << prefixInsertedTokens
+       << ",\"prefix_evicted_tokens\":" << prefixEvictedTokens
+       << ",\"prefix_demoted_tokens\":" << prefixDemotedTokens
+       << ",\"prefix_cxl_read_bytes\":"
+       << jsonNumber(prefixCxlReadBytes)
+       << ",\"prefix_cache_peak_bytes\":"
+       << jsonNumber(prefixCachePeakBytes) << "}";
     return os.str();
 }
 

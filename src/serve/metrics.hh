@@ -57,8 +57,28 @@ struct Metrics
     double swapBusyTime = 0;        //!< swap-channel occupied seconds
     double kvReservedPeakBytes = 0; //!< high-water KV reservation
 
+    // --- Prefix-cache accounting -------------------------------------
+
+    std::size_t prefixLookups = 0;  //!< admissions that probed the cache
+    std::size_t prefixHits = 0;     //!< admissions that matched a prefix
+    std::int64_t prefixHitTokens = 0;       //!< prefill tokens skipped
+    std::int64_t prefixInsertedTokens = 0;  //!< tokens newly cached
+    std::int64_t prefixEvictedTokens = 0;   //!< cached tokens dropped
+    std::int64_t prefixDemotedTokens = 0;   //!< cached tokens moved to CXL
+    double prefixCxlReadBytes = 0;  //!< demoted bytes read back on hits
+    double prefixCachePeakBytes = 0;  //!< high-water resident cache
+
     /** All requests turned away, for any reason. */
     std::size_t rejected() const { return rejectedCapacity + shedSlo; }
+
+    /** Fraction of cache probes that matched a shared prefix. */
+    double prefixHitRate() const
+    {
+        return prefixLookups > 0
+                   ? static_cast<double>(prefixHits) /
+                         static_cast<double>(prefixLookups)
+                   : 0.0;
+    }
 
     /** Preemptions per completed request. */
     double preemptionRate() const

@@ -72,6 +72,30 @@ struct Request
     /** Whether a swap-out transfer has drained (swap-in eligible). */
     bool swapReady = false;
 
+    // --- Prefix-cache bookkeeping ------------------------------------
+
+    /**
+     * Prompt pool this request draws its shared prefix from (-1 = an
+     * independent prompt). Pool membership determines the synthesized
+     * token stream, so two requests of one pool share a bit-identical
+     * prompt prefix.
+     */
+    std::int64_t poolId = -1;
+
+    /** Shared-prefix tokens of the prompt (pool requests only). */
+    std::int64_t sharedLen = 0;
+
+    /**
+     * Prompt tokens restored from the prefix cache on admission; the
+     * prefill pass only processes the remaining suffix. Reset to zero
+     * by evict-and-recompute (the rebuild pass ignores the cache so
+     * its accounting matches the analytic recompute price).
+     */
+    std::int64_t prefixHitTokens = 0;
+
+    /** Pinned terminal radix node while the hit's pass runs (0 = none). */
+    std::uint64_t prefixNode = 0;
+
     std::int64_t preemptions = 0;  //!< times evicted or swapped out
     std::int64_t recomputes = 0;   //!< evictions repaid by re-prefill
     std::int64_t swapOuts = 0;     //!< preemptions served by CXL swap

@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "runtime/weights.hh"
+#include "serve/prefix_cache.hh"
 
 namespace lia {
 namespace serve {
@@ -81,23 +82,133 @@ RuntimeBackend::sequence(std::uint64_t id)
 std::vector<std::int64_t>
 RuntimeBackend::prompt(const Request &request) const
 {
-    // Deterministic splitmix-style token synthesis from (seed, id):
-    // the analytical engine never sees token values, so any fixed
-    // stream works — it only has to be reproducible across runs.
-    std::vector<std::int64_t> tokens;
-    tokens.reserve(static_cast<std::size_t>(request.lIn));
-    std::uint64_t state =
-        config_.seed * 0xbf58476d1ce4e5b9ULL + request.id + 1;
-    for (std::int64_t i = 0; i < request.lIn; ++i) {
-        state += 0x9e3779b97f4a7c15ULL;
-        std::uint64_t z = state;
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-        z ^= z >> 31;
-        tokens.push_back(static_cast<std::int64_t>(
-            z % static_cast<std::uint64_t>(model_.vocabSize)));
+    // Shared with the engine-side PrefixCache: both ends must agree
+    // token for token or the radix tree would index KV the runtime
+    // never computed.
+    return synthesizePrompt(config_.seed, request, model_.vocabSize);
+}
+
+void
+RuntimeBackend::applyPrefixOps(const IterationPlan &plan)
+{
+    const std::int64_t block = config_.prefix.blockTokens;
+    for (const PrefixOp &op : plan.prefixOps) {
+        switch (op.kind) {
+          case PrefixOp::Kind::Insert: {
+            auto staged = stagedPasses_.find(op.source);
+            LIA_ASSERT(staged != stagedPasses_.end(),
+                       "prefix insert sources request ", op.source,
+                       " but no pass KV is staged for it");
+            const runtime::KvCache &pass = *staged->second;
+            LIA_ASSERT(op.startToken + op.tokens <= pass.length(),
+                       "prefix insert overruns the staged pass");
+            NodePayload payload;
+            payload.tokens = op.tokens;
+            payload.span = pass.snapshotRange(
+                op.startToken, op.startToken + op.tokens);
+            payload.blockDigests.reserve(
+                static_cast<std::size_t>(op.tokens / block));
+            for (std::int64_t k = 1; k <= op.tokens / block; ++k)
+                payload.blockDigests.push_back(pass.fingerprint(
+                    op.startToken + k * block, kernelPool_.get()));
+            cacheDdrBytes_ += payload.span.bytes;
+            nodes_.emplace(op.node, std::move(payload));
+            ++counters_.prefixInserts;
+            break;
+          }
+          case PrefixOp::Kind::Split: {
+            NodePayload &tail = nodes_.at(op.tail);
+            LIA_ASSERT(op.tokens > 0 && op.tokens < tail.tokens,
+                       "prefix split at ", op.tokens, " of ",
+                       tail.tokens, " tokens");
+            NodePayload head;
+            head.tokens = op.tokens;
+            head.span = tail.span.splitHead(op.tokens);
+            head.demoted = tail.demoted;
+            const auto cut = tail.blockDigests.begin() +
+                             static_cast<std::ptrdiff_t>(op.tokens /
+                                                         block);
+            head.blockDigests.assign(tail.blockDigests.begin(), cut);
+            tail.blockDigests.erase(tail.blockDigests.begin(), cut);
+            tail.tokens -= op.tokens;
+            nodes_.emplace(op.node, std::move(head));
+            ++counters_.prefixSplits;
+            break;
+          }
+          case PrefixOp::Kind::Evict: {
+            auto it = nodes_.find(op.node);
+            LIA_ASSERT(it != nodes_.end(), "evicting unknown node");
+            LIA_ASSERT(!it->second.demoted,
+                       "Evict names a demoted node");
+            cacheDdrBytes_ -= it->second.span.bytes;
+            nodes_.erase(it);
+            ++counters_.prefixEvictions;
+            break;
+          }
+          case PrefixOp::Kind::Demote: {
+            NodePayload &payload = nodes_.at(op.node);
+            LIA_ASSERT(!payload.demoted, "double demotion");
+            payload.demoted = true;
+            cacheDdrBytes_ -= payload.span.bytes;
+            cacheCxlBytes_ += payload.span.bytes;
+            ++counters_.prefixDemotions;
+            break;
+          }
+          case PrefixOp::Kind::DropCxl: {
+            auto it = nodes_.find(op.node);
+            LIA_ASSERT(it != nodes_.end() && it->second.demoted,
+                       "DropCxl of a non-demoted node");
+            cacheCxlBytes_ -= it->second.span.bytes;
+            nodes_.erase(it);
+            ++counters_.prefixEvictions;
+            break;
+          }
+        }
     }
-    return tokens;
+}
+
+void
+RuntimeBackend::attachHit(const PrefixHit &hit, const Request &request,
+                          Sequence &seq)
+{
+    LIA_ASSERT(hit.tokens == request.prefixHitTokens,
+               "plan hit carries ", hit.tokens,
+               " tokens but the request records ",
+               request.prefixHitTokens);
+    for (std::size_t i = 0; i < hit.path.size(); ++i) {
+        const NodePayload &payload = nodes_.at(hit.path[i]);
+        const bool terminal = i + 1 == hit.path.size();
+        if (terminal && hit.terminalTokens < payload.tokens) {
+            LIA_ASSERT(seq.cache->preload(
+                           payload.span.headCopy(hit.terminalTokens)),
+                       "partial terminal attach failed for request ",
+                       request.id);
+        } else {
+            LIA_ASSERT(seq.cache->preload(payload.span),
+                       "prefix span attach failed for request ",
+                       request.id);
+        }
+    }
+    LIA_ASSERT(seq.cache->length() == hit.tokens,
+               "attached ", seq.cache->length(), " KV tokens for a ",
+               hit.tokens, "-token hit");
+
+    // Every hit verifies: the attached prefix must fingerprint exactly
+    // as the prompt KV the sourcing pass computed from position 0.
+    const NodePayload &terminal = nodes_.at(hit.node);
+    const std::int64_t block = config_.prefix.blockTokens;
+    const std::uint64_t want = terminal.blockDigests.at(
+        static_cast<std::size_t>(hit.terminalTokens / block) - 1);
+    LIA_ASSERT(seq.cache->fingerprint(-1, kernelPool_.get()) == want,
+               "prefix hit for request ", request.id,
+               " attached KV that does not fingerprint as the cached "
+               "prompt prefix");
+    seq.passDone = hit.tokens;
+    ddrBytes_ += perTokenBytes() * static_cast<double>(hit.tokens);
+    ++counters_.prefixAttaches;
+    ++counters_.prefixHitsVerified;
+    counters_.prefixAttachTokens +=
+        static_cast<std::uint64_t>(hit.tokens);
 }
 
 std::vector<std::int64_t>
@@ -115,6 +226,18 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
 {
     const double perToken = perTokenBytes();
     const bool optimistic = config_.policy == SchedulerPolicy::Preemptive;
+
+    // Prefix-cache mirror first: the engine flushes tree inserts at
+    // the top of every iteration (sourcing passes that completed last
+    // plan — rotate the staging maps accordingly) and the scheduler's
+    // lookups saw the post-mutation tree, so all ops apply before any
+    // hit attaches below.
+    stagedPasses_ = std::move(freshPasses_);
+    freshPasses_.clear();
+    applyPrefixOps(plan);
+    std::map<std::size_t, const PrefixHit *> hits;
+    for (const PrefixHit &hit : plan.prefixHits)
+        hits.emplace(hit.index, &hit);
 
     // Preemption transitions first, mirroring the scheduler: victims
     // freed their DDR bytes before this plan's chunks and decode grew.
@@ -191,13 +314,19 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
                    " exceeds the model context window");
         Sequence seq;
         seq.prompt = prompt(request);
-        seq.passTarget = request.prefillTarget;
+        // A prefix hit attaches its tokens below and the pass
+        // prefills only the suffix; the pass still *covers* the whole
+        // prompt, so target counts both parts.
+        seq.passTarget = request.prefillTarget + request.prefixHitTokens;
         seq.passDone = 0;
         // The cache peaks at lIn + lOut - 1 tokens (the last decode
         // step's KV lands before its token samples); one slot of slack
         // keeps the bound obvious.
         seq.cache = std::make_unique<runtime::KvCache>(
             model_, 1, request.lIn + request.lOut);
+        const auto hit = hits.find(index);
+        if (hit != hits.end())
+            attachHit(*hit->second, request, seq);
         live_.emplace(request.id, std::move(seq));
     }
 
@@ -255,6 +384,18 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
         }
         seq.outputs.push_back(sampled);
         ++counters_.passCompletions;
+        if (config_.prefix.enabled) {
+            // Stage a compact copy of the prompt KV: the engine will
+            // flush this pass into the radix tree next iteration, and
+            // the sequence itself may move on (decode growth, swap,
+            // finish) before then.
+            auto staged = std::make_unique<runtime::KvCache>(
+                model_, 1, request.lIn);
+            LIA_ASSERT(staged->preload(seq.cache->snapshotRange(
+                           0, request.lIn)),
+                       "staging the completed pass failed");
+            freshPasses_[request.id] = std::move(staged);
+        }
         if (optimistic) {
             LIA_ASSERT(sameBytes(seq.cache->bf16Bytes(),
                                  request.kvReservedBytes),
@@ -311,6 +452,20 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
     LIA_ASSERT(sameBytes(swapBytes_, admission.swappedBytes()),
                "swap pool: backend parks ", swapBytes_,
                " bytes, engine accounts ", admission.swappedBytes());
+
+    double node_ddr = 0, node_cxl = 0;
+    for (const auto &entry : nodes_)
+        (entry.second.demoted ? node_cxl : node_ddr) +=
+            entry.second.span.bytes;
+    LIA_ASSERT(sameBytes(node_ddr, cacheDdrBytes_) &&
+                   sameBytes(node_cxl, cacheCxlBytes_),
+               "prefix node ledger drifted from its spans");
+    LIA_ASSERT(sameBytes(cacheDdrBytes_, admission.cacheDdrBytes()) &&
+                   sameBytes(cacheCxlBytes_, admission.cacheCxlBytes()),
+               "prefix cache: backend mirrors ", cacheDdrBytes_, "/",
+               cacheCxlBytes_, " bytes (DDR/CXL), engine accounts ",
+               admission.cacheDdrBytes(), "/",
+               admission.cacheCxlBytes());
 }
 
 void

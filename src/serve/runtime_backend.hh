@@ -63,6 +63,15 @@ class RuntimeBackend : public ExecutionBackend
         double swapOutBytes = 0;
         double swapInBytes = 0;
 
+        // --- Prefix-cache mirror ------------------------------------
+        std::uint64_t prefixAttaches = 0;   //!< hits attached to caches
+        std::uint64_t prefixHitsVerified = 0;  //!< digest-checked hits
+        std::uint64_t prefixAttachTokens = 0;  //!< prefill skipped
+        std::uint64_t prefixInserts = 0;    //!< node spans copied in
+        std::uint64_t prefixSplits = 0;     //!< node spans split
+        std::uint64_t prefixEvictions = 0;  //!< spans dropped (DDR+CXL)
+        std::uint64_t prefixDemotions = 0;  //!< spans moved to CXL
+
         /** Tokens a backend must have produced for a finished run. */
         std::uint64_t tokensProduced() const
         {
@@ -108,6 +117,12 @@ class RuntimeBackend : public ExecutionBackend
     /** Live DDR-resident KV bytes across all sequences. */
     double liveKvBytes() const { return ddrBytes_; }
 
+    /** DDR bytes held by mirrored prefix-cache node spans. */
+    double cacheDdrBytes() const { return cacheDdrBytes_; }
+
+    /** CXL bytes held by mirrored demoted node spans. */
+    double cacheCxlBytes() const { return cacheCxlBytes_; }
+
     /** KV bytes parked in the swap pool. */
     double swappedKvBytes() const { return swapBytes_; }
 
@@ -142,8 +157,30 @@ class RuntimeBackend : public ExecutionBackend
         std::uint64_t parkedDigest = 0;
     };
 
+    /**
+     * Mirrored payload of one radix-tree node: the actual KV span the
+     * engine-side PrefixCache only accounts bytes for, plus the
+     * cumulative prompt digests at each block boundary (blockDigests[k]
+     * fingerprints prompt tokens [0, startToken + (k+1)*blockTokens)),
+     * so any block-aligned hit depth verifies in O(1).
+     */
+    struct NodePayload
+    {
+        std::int64_t tokens = 0;
+        runtime::KvSnapshot span;
+        std::vector<std::uint64_t> blockDigests;
+        bool demoted = false;
+    };
+
     Sequence &sequence(std::uint64_t id);
     double perTokenBytes() const;
+
+    /** Mirror one plan's tree mutations into the node payloads. */
+    void applyPrefixOps(const IterationPlan &plan);
+
+    /** Attach @p hit's cached KV into @p seq's fresh cache. */
+    void attachHit(const PrefixHit &hit, const Request &request,
+                   Sequence &seq);
 
     /** The (prompt + generated) token stream a prefill pass replays. */
     std::vector<std::int64_t> passStream(const Sequence &seq) const;
@@ -156,8 +193,28 @@ class RuntimeBackend : public ExecutionBackend
 
     std::map<std::uint64_t, Sequence> live_;
     std::map<std::uint64_t, std::vector<std::int64_t>> finished_;
+
+    /** Prefix-cache node payloads, keyed by engine-side node id. */
+    std::map<std::uint64_t, NodePayload> nodes_;
+
+    /**
+     * Prompt-prefix KV copies staged at pass completion, keyed by
+     * request id. A pass completing during plan N stages into
+     * fresh...; at the start of onPlan(N+1) the fresh map rotates to
+     * staged..., where that plan's Insert ops (the engine flushes
+     * tree inserts exactly one iteration after the pass) source their
+     * spans and digests. Unconsumed entries age out at the next
+     * rotation.
+     */
+    std::map<std::uint64_t, std::unique_ptr<runtime::KvCache>>
+        stagedPasses_;
+    std::map<std::uint64_t, std::unique_ptr<runtime::KvCache>>
+        freshPasses_;
+
     double ddrBytes_ = 0;
     double swapBytes_ = 0;
+    double cacheDdrBytes_ = 0;
+    double cacheCxlBytes_ = 0;
     Counters counters_;
 };
 

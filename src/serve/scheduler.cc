@@ -85,7 +85,80 @@ Scheduler::addChunk(IterationPlan &plan, std::size_t index,
     if (config_.prefillChunkTokens > 0 &&
         config_.policy != SchedulerPolicy::StaticFifo)
         remaining = std::min(remaining, config_.prefillChunkTokens);
-    plan.chunks.push_back({index, remaining, request.prefilled});
+    // History counts every KV token materialised before the chunk —
+    // including a prefix-cache hit's attached tokens — so attention
+    // pricing and the backend's cache-length lockstep both see the
+    // true context.
+    plan.chunks.push_back(
+        {index, remaining, request.prefixHitTokens + request.prefilled});
+}
+
+PrefixMatch
+Scheduler::probeCache(IterationPlan &plan, const Request &request) const
+{
+    PrefixMatch match;
+    if (cache_ == nullptr)
+        return match;
+    ++plan.prefixLookups;
+    // Cap at lIn - 1: the prefill pass must process at least one
+    // token, because its final position samples the first output.
+    return cache_->lookup(cache_->promptOf(request), request.lIn - 1);
+}
+
+void
+Scheduler::commitMatch(IterationPlan &plan, const PrefixMatch &match,
+                       std::size_t index, Request &request)
+{
+    request.prefixHitTokens = 0;
+    request.prefixNode = 0;
+    if (!match.hit())
+        return;
+    plan.prefixHits.push_back(cache_->commitHit(match, index));
+    request.prefixHitTokens = match.tokens;
+    request.prefixNode = match.path.back();
+    request.prefillTarget = request.lIn - match.tokens;
+    LIA_ASSERT(request.prefillTarget >= 1,
+               "prefix hit left nothing to prefill");
+}
+
+bool
+Scheduler::reclaimCache(IterationPlan &plan, double deficit)
+{
+    if (cache_ == nullptr || deficit <= 0)
+        return false;
+    auto ops = cache_->makeRoom(deficit);
+    if (ops.empty())
+        return false;
+    plan.prefixOps.insert(plan.prefixOps.end(), ops.begin(), ops.end());
+    return true;
+}
+
+bool
+Scheduler::admitWithReclaim(IterationPlan &plan, const Request &request)
+{
+    if (admission_.canAdmit(request))
+        return true;
+    const double deficit = admission_.reservedBytes() +
+                           admission_.cacheDdrBytes() +
+                           admission_.requestKvBytes(request) -
+                           admission_.kvBudgetBytes();
+    if (!reclaimCache(plan, deficit))
+        return false;
+    return admission_.canAdmit(request);
+}
+
+bool
+Scheduler::fitsWithReclaim(IterationPlan &plan, double bytes,
+                           double watermark)
+{
+    if (admission_.fitsBytes(bytes, watermark))
+        return true;
+    const double deficit =
+        admission_.reservedBytes() + admission_.cacheDdrBytes() +
+        bytes - admission_.kvBudgetBytes() * (1.0 - watermark);
+    if (!reclaimCache(plan, deficit))
+        return false;
+    return admission_.fitsBytes(bytes, watermark);
 }
 
 IterationPlan
@@ -125,10 +198,12 @@ Scheduler::next(double now, const SchedulerState &state,
                 config_.maxBatch)
                 break;
             Request &request = requests[index];
-            if (!admission_.canAdmit(request))
+            if (!admitWithReclaim(plan, request))
                 break;  // FIFO: the head of the line blocks
+            const PrefixMatch match = probeCache(plan, request);
             admission_.reserve(request);
             request.prefillTarget = request.lIn;
+            commitMatch(plan, match, index, request);
             plan.admit.push_back(index);
             addChunk(plan, index, request);
         }
@@ -171,15 +246,21 @@ Scheduler::next(double now, const SchedulerState &state,
         if (occupancy >= cap)
             break;
         Request &request = requests[index];
-        if (!admission_.canAdmit(request))
+        if (!admitWithReclaim(plan, request))
             break;  // FIFO: no skip-ahead past a blocked head
+        // Probe before SLO shedding: a hit shrinks the prefill to the
+        // suffix, which can rescue a request the cold estimate would
+        // shed — hits reprice TTFT.
+        const PrefixMatch match = probeCache(plan, request);
+        const std::int64_t effective_prompt =
+            std::max<std::int64_t>(request.lIn - match.tokens, 1);
         if (slo && config_.slo.ttft > 0) {
             // Shed requests that can no longer make their TTFT target
             // even if prefilled right now with the group so far. The
             // iteration also carries the decode step, bounded by the
             // TBT budget when one is in force.
             const std::int64_t prompt =
-                std::max(widest_prompt, request.lIn);
+                std::max(widest_prompt, effective_prompt);
             const double prefill_estimate = costs_.time(
                 Stage::Prefill,
                 static_cast<std::int64_t>(plan.admit.size()) + 1,
@@ -204,7 +285,8 @@ Scheduler::next(double now, const SchedulerState &state,
         }
         admission_.reserve(request);
         request.prefillTarget = request.lIn;
-        widest_prompt = std::max(widest_prompt, request.lIn);
+        commitMatch(plan, match, index, request);
+        widest_prompt = std::max(widest_prompt, effective_prompt);
         plan.admit.push_back(index);
         addChunk(plan, index, request);
     }
@@ -235,10 +317,16 @@ Scheduler::nextPreemptive(double now, const SchedulerState &state,
     // each picks the cheaper exit per the analytical model: swap both
     // ways across the CXL pool vs a single-sequence recompute prefill.
     const double per_token = admission_.kvBytesPerToken();
-    while (!decode.empty() &&
-           admission_.reservedBytes() +
-                   static_cast<double>(decode.size()) * per_token >
-               admission_.kvBudgetBytes()) {
+    auto growthDeficit = [&]() {
+        return admission_.reservedBytes() + admission_.cacheDdrBytes() +
+               static_cast<double>(decode.size()) * per_token -
+               admission_.kvBudgetBytes();
+    };
+    // Live KV wins over cached prefixes: reclaim cold cache nodes
+    // before preempting anyone.
+    if (growthDeficit() > 0)
+        reclaimCache(plan, growthDeficit());
+    while (!decode.empty() && growthDeficit() > 0) {
         const std::size_t victim = decode.back();
         decode.pop_back();
         Request &request = requests[victim];
@@ -291,7 +379,7 @@ Scheduler::nextPreemptive(double now, const SchedulerState &state,
             if (occupancy() >= config_.maxBatch)
                 break;
             Request &request = requests[index];
-            if (!admission_.fitsBytes(request.kvSwappedBytes))
+            if (!fitsWithReclaim(plan, request.kvSwappedBytes))
                 break;  // FIFO: oldest swap-out returns first
             admission_.swapIn(request);
             plan.swapIn.push_back(index);
@@ -300,7 +388,8 @@ Scheduler::nextPreemptive(double now, const SchedulerState &state,
             if (occupancy() >= config_.maxBatch)
                 break;
             Request &request = requests[index];
-            if (!admission_.fitsBytes(admission_.promptKvBytes(request)))
+            if (!fitsWithReclaim(plan,
+                                 admission_.promptKvBytes(request)))
                 break;
             admission_.reservePrompt(request);
             plan.resume.push_back(index);
@@ -318,6 +407,11 @@ Scheduler::nextPreemptive(double now, const SchedulerState &state,
                 break;
             Request &request = requests[index];
             request.prefillTarget = request.lIn;
+            // promptKvBytes charges the full prompt whether or not the
+            // cache will cover a prefix — hits save prefill time, not
+            // reservation bytes (the attached prefix is a copy).
+            request.prefixHitTokens = 0;
+            request.prefixNode = 0;
             // Starvation guard: an empty engine admits its queue head
             // unconditionally (fitsAlone held at arrival) — otherwise
             // a prompt wider than (1 - watermark) of the budget would
@@ -326,10 +420,13 @@ Scheduler::nextPreemptive(double now, const SchedulerState &state,
                 occupancy() == 0 && admission_.reservedBytes() == 0
                     ? 0.0
                     : config_.admissionWatermark;
-            if (!admission_.fitsBytes(admission_.promptKvBytes(request),
-                                      watermark))
+            if (!fitsWithReclaim(plan,
+                                 admission_.promptKvBytes(request),
+                                 watermark))
                 break;  // FIFO: no skip-ahead past a blocked head
+            const PrefixMatch match = probeCache(plan, request);
             admission_.reservePrompt(request);
+            commitMatch(plan, match, index, request);
             plan.admit.push_back(index);
             addChunk(plan, index, request);
         }

@@ -35,6 +35,7 @@
 #include "serve/admission.hh"
 #include "serve/config.hh"
 #include "serve/cost_cache.hh"
+#include "serve/prefix_cache.hh"
 #include "serve/request.hh"
 
 namespace lia {
@@ -76,6 +77,20 @@ struct IterationPlan
     std::vector<std::size_t> swapIn;
 
     /**
+     * Prefix-cache mutations this iteration, in execution order:
+     * insert flushes first (prepended by the engine), then the
+     * scheduler's reclaim traffic. The runtime backend replays them
+     * verbatim to keep its KV payloads in lockstep with the tree.
+     */
+    std::vector<PrefixOp> prefixOps;
+
+    /** Admissions that matched a cached prefix this iteration. */
+    std::vector<PrefixHit> prefixHits;
+
+    /** Cache probes performed while composing this iteration. */
+    std::int64_t prefixLookups = 0;
+
+    /**
      * Batch size the decode part is priced at. Equals decode.size()
      * for continuous policies; under static batching it stays at the
      * cohort's initial size — finished requests keep occupying slots.
@@ -92,7 +107,7 @@ struct IterationPlan
     bool idle() const
     {
         return computeIdle() && swapOut.empty() && evict.empty() &&
-               swapIn.empty();
+               swapIn.empty() && prefixOps.empty();
     }
 };
 
@@ -160,10 +175,37 @@ class Scheduler
     void setPlannerCap(std::int64_t cap);
     std::int64_t plannerCap() const { return plannerCap_; }
 
+    /**
+     * Attach the engine's prefix cache (null disables). Admissions
+     * then probe for shared prefixes (hits prefill only the suffix)
+     * and blocked admissions reclaim cold cache bytes before any
+     * live request is preempted.
+     */
+    void setPrefixCache(PrefixCache *cache) { cache_ = cache; }
+
   private:
     /** Append @p index's next prefill chunk to @p plan. */
     void addChunk(IterationPlan &plan, std::size_t index,
                   const Request &request) const;
+
+    /** Probe the cache for @p request's longest shared prefix. */
+    PrefixMatch probeCache(IterationPlan &plan,
+                           const Request &request) const;
+
+    /** Commit @p match on the admitted @p request (no-op on miss). */
+    void commitMatch(IterationPlan &plan, const PrefixMatch &match,
+                     std::size_t index, Request &request);
+
+    /** Reclaim @p deficit cache bytes into @p plan; false if nothing
+     *  could be reclaimed (no cache, or no unpinned victims). */
+    bool reclaimCache(IterationPlan &plan, double deficit);
+
+    /** canAdmit() with a one-shot cache-reclaim retry. */
+    bool admitWithReclaim(IterationPlan &plan, const Request &request);
+
+    /** fitsBytes() with a one-shot cache-reclaim retry. */
+    bool fitsWithReclaim(IterationPlan &plan, double bytes,
+                         double watermark = 0);
 
     IterationPlan nextPreemptive(double now,
                                  const SchedulerState &state,
@@ -172,6 +214,7 @@ class Scheduler
     const Config &config_;
     const IterationCostCache &costs_;
     AdmissionController &admission_;
+    PrefixCache *cache_ = nullptr;
 
     std::int64_t staticCohort_ = 0;  //!< initial size of the running cohort
     std::int64_t plannerCap_ = 0;

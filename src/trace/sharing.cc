@@ -1,0 +1,82 @@
+#include "trace/sharing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace trace {
+
+ZipfianPromptPools::ZipfianPromptPools(TraceKind kind,
+                                       std::int64_t max_context,
+                                       std::int64_t pools,
+                                       double exponent, double fraction,
+                                       std::int64_t block_tokens,
+                                       std::uint64_t seed)
+    : shapes_(kind, max_context, seed),
+      // Salt the pool stream away from the shape stream: the shapes
+      // must stay bit-identical to an independent-prompt run at the
+      // same seed, so pool draws use their own generator.
+      rng_(seed ^ 0x5a17ed9e3779b97fULL)
+{
+    LIA_ASSERT(pools >= 1, "need at least one sharing pool");
+    LIA_ASSERT(exponent > 0, "bad sharing exponent");
+    LIA_ASSERT(fraction > 0 && fraction <= 1, "bad shared fraction");
+    LIA_ASSERT(block_tokens >= 1, "bad block granularity");
+
+    poolCdf_.reserve(static_cast<std::size_t>(pools));
+    double total = 0;
+    for (std::int64_t k = 0; k < pools; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+        poolCdf_.push_back(total);
+    }
+    for (double &w : poolCdf_)
+        w /= total;
+
+    // Pool prefix lengths: at least one block, at most the fraction
+    // ceiling, drawn in whole blocks so cached spans align with the
+    // radix tree's granularity.
+    const std::int64_t max_blocks = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(fraction *
+                                     static_cast<double>(max_context)) /
+               block_tokens);
+    poolTokens_.reserve(static_cast<std::size_t>(pools));
+    for (std::int64_t k = 0; k < pools; ++k)
+        poolTokens_.push_back(rng_.uniformInt(1, max_blocks) *
+                              block_tokens);
+}
+
+std::int64_t
+ZipfianPromptPools::poolPrefixTokens(std::int64_t pool) const
+{
+    LIA_ASSERT(pool >= 0 &&
+                   pool < static_cast<std::int64_t>(poolTokens_.size()),
+               "pool rank out of range");
+    return poolTokens_[static_cast<std::size_t>(pool)];
+}
+
+SharedRequest
+ZipfianPromptPools::next()
+{
+    SharedRequest request;
+    request.shape = shapes_.next();
+
+    const double u = rng_.uniform();
+    const auto it =
+        std::lower_bound(poolCdf_.begin(), poolCdf_.end(), u);
+    request.poolId = static_cast<std::int64_t>(
+        std::min<std::size_t>(
+            static_cast<std::size_t>(it - poolCdf_.begin()),
+            poolCdf_.size() - 1));
+
+    // A member shares at most lIn - 1 tokens: the prefill pass must
+    // still process at least one token to sample its first output.
+    request.sharedTokens =
+        std::min(poolPrefixTokens(request.poolId),
+                 request.shape.lIn - 1);
+    return request;
+}
+
+} // namespace trace
+} // namespace lia

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Zipfian prompt-sharing workload: the trace-shaped request stream of
+ * azure.hh plus a popularity-skewed pool assignment, modelling the
+ * shared-system-prompt / few-shot-template reuse that makes
+ * cross-request prefix caching (serve/prefix_cache.hh) pay off.
+ *
+ * Each request draws a pool with probability proportional to
+ * 1/(rank+1)^exponent; every member of one pool shares a fixed,
+ * block-aligned prompt prefix (the pool's prefix length is drawn once,
+ * deterministically from the pool rank). The request *shapes* come
+ * from the same AzureTraceGenerator stream at the same seed, so a
+ * pooled run and an independent run with equal seeds see bit-identical
+ * (lIn, lOut) sequences — only the sharing structure differs.
+ */
+
+#ifndef LIA_TRACE_SHARING_HH
+#define LIA_TRACE_SHARING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "trace/azure.hh"
+
+namespace lia {
+namespace trace {
+
+/** One request plus its prompt-sharing pool membership. */
+struct SharedRequest
+{
+    Request shape;
+
+    /** Pool rank (0 = most popular); -1 = independent prompt. */
+    std::int64_t poolId = -1;
+
+    /** Prompt tokens shared with the pool (block-aligned, < lIn). */
+    std::int64_t sharedTokens = 0;
+};
+
+/** Deterministic Zipfian prompt-sharing request generator. */
+class ZipfianPromptPools
+{
+  public:
+    /**
+     * @param kind         trace family for the request shapes
+     * @param max_context  trace length ceiling (as azure.hh)
+     * @param pools        number of sharing pools (>= 1)
+     * @param exponent     Zipf skew of pool popularity (> 0)
+     * @param fraction     pool-prefix ceiling as a fraction of
+     *                     max_context, in (0, 1]
+     * @param block_tokens prefix lengths round to this granularity
+     * @param seed         shape stream seed (matches the independent
+     *                     generator's convention: engine seed + 1)
+     */
+    ZipfianPromptPools(TraceKind kind, std::int64_t max_context,
+                       std::int64_t pools, double exponent,
+                       double fraction, std::int64_t block_tokens,
+                       std::uint64_t seed = 1);
+
+    /** Draw the next request with its pool assignment. */
+    SharedRequest next();
+
+    /** Pool prefix length of @p pool, tokens (block multiple). */
+    std::int64_t poolPrefixTokens(std::int64_t pool) const;
+
+  private:
+    AzureTraceGenerator shapes_;
+    Rng rng_;
+
+    /** Cumulative Zipf weights, poolWeights_[k] = P(pool <= k). */
+    std::vector<double> poolCdf_;
+
+    /** Per-pool shared prefix length, tokens. */
+    std::vector<std::int64_t> poolTokens_;
+};
+
+} // namespace trace
+} // namespace lia
+
+#endif // LIA_TRACE_SHARING_HH

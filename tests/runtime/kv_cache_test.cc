@@ -208,4 +208,67 @@ TEST_F(KvCacheTest, FingerprintIsPrefixConsistent)
     EXPECT_NE(cache.fingerprint(), at4);
 }
 
+TEST_F(KvCacheTest, SnapshotRangeIsCompactAndPreloads)
+{
+    // Distinguishable per-step contents: token i holds value i.
+    for (std::int64_t i = 0; i < 6; ++i)
+        appendAllLayers(1, static_cast<float>(i));
+
+    const KvSnapshot span = cache.snapshotRange(2, 5);
+    EXPECT_TRUE(span.compact());
+    EXPECT_EQ(span.length, 3);
+    EXPECT_EQ(span.keys[0].at(0, 0, 0), 2.0f);
+    EXPECT_EQ(span.keys[0].at(0, 2, 0), 4.0f);
+
+    // Preload appends the span at the target's current end; contents
+    // land bit-identically.
+    KvCache target(m, 2, 32);
+    EXPECT_TRUE(target.preload(span));
+    EXPECT_EQ(target.length(), 3);
+    EXPECT_EQ(target.keys(1).at(0, 1, 0), 3.0f);
+    EXPECT_EQ(target.values(1).at(0, 1, 0), 3.5f);
+
+    // A second preload stacks behind the first.
+    EXPECT_TRUE(target.preload(cache.snapshotRange(0, 2)));
+    EXPECT_EQ(target.length(), 5);
+    EXPECT_EQ(target.keys(0).at(0, 3, 0), 0.0f);
+}
+
+TEST_F(KvCacheTest, PreloadRejectsMisfits)
+{
+    appendAllLayers(4, 1.0f);
+    const KvSnapshot span = cache.snapshotRange(0, 4);
+
+    KvCache tiny(m, 2, 3);  // too short for the span
+    EXPECT_FALSE(tiny.preload(span));
+    KvCache wrongBatch(m, 1, 32);
+    EXPECT_FALSE(wrongBatch.preload(span));
+    KvSnapshot empty;
+    EXPECT_FALSE(cache.preload(empty));
+}
+
+TEST_F(KvCacheTest, SplitHeadAndHeadCopyPartitionBytes)
+{
+    for (std::int64_t i = 0; i < 5; ++i)
+        appendAllLayers(1, static_cast<float>(i));
+    KvSnapshot span = cache.snapshotRange(0, 5);
+    const double whole = span.bytes;
+
+    const KvSnapshot copy = span.headCopy(2);
+    EXPECT_EQ(copy.length, 2);
+    EXPECT_EQ(copy.keys[0].at(0, 1, 0), 1.0f);
+    EXPECT_EQ(span.length, 5);  // headCopy never mutates
+
+    KvSnapshot head = span.splitHead(2);
+    EXPECT_EQ(head.length, 2);
+    EXPECT_EQ(span.length, 3);
+    EXPECT_TRUE(head.compact());
+    EXPECT_TRUE(span.compact());
+    EXPECT_DOUBLE_EQ(head.bytes + span.bytes, whole);
+    // The tail now starts at the original token 2.
+    EXPECT_EQ(span.keys[0].at(0, 0, 0), 2.0f);
+    // The head is bit-identical to the non-mutating copy.
+    EXPECT_EQ(head.keys[2].at(1, 1, 5), copy.keys[2].at(1, 1, 5));
+}
+
 } // namespace

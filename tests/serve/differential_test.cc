@@ -103,6 +103,12 @@ TEST(DifferentialTest, SweepExercisesPreemptionAndContinuityChecks)
     EXPECT_GT(outcome.rejectedCapacity, 0u);
     EXPECT_GT(outcome.continuityChecked, 0u);
     EXPECT_GT(outcome.preemptedContinuityChecked, 0u);
+    // Prefix caching rides the same sweep: Zipfian pools make shared
+    // prefixes, so hits, inserts, and reclaim all genuinely fire (and
+    // every hit was digest-verified inside the scenario runner).
+    EXPECT_GT(outcome.prefixHits, 0u);
+    EXPECT_GT(outcome.prefixInserts, 0u);
+    EXPECT_GT(outcome.prefixReclaims, 0u);
 }
 
 } // namespace

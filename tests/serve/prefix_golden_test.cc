@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Golden regression for cross-request prefix caching: one fixed
+ * Zipfian prompt-sharing trace served twice on the runtime backend —
+ * caching off, then caching on — must decode byte-identical greedy
+ * token streams for every request. Caching may only change timing and
+ * counters, never tokens.
+ *
+ * The cached run must also genuinely hit (the fixed trace shares
+ * prompts across few pools), skip prefill work for the matched tokens,
+ * and improve mean TTFT at the same DDR budget; every hit is
+ * digest-verified inside the backend (a mismatch aborts the run).
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/engine.hh"
+#include "serve/runtime_backend.hh"
+#include "support/differential.hh"
+#include "support/serving_checks.hh"
+
+namespace {
+
+using namespace lia;
+
+serve::Config
+goldenConfig(bool caching)
+{
+    serve::Config cfg;
+    cfg.requests = 24;
+    cfg.seed = 7;
+    cfg.trace = trace::TraceKind::Code;
+    cfg.maxContext = 160;
+    cfg.maxBatch = 4;
+    cfg.policy = serve::SchedulerPolicy::Continuous;
+    cfg.kvBudgetCapBytes = 48 * 1024;
+    cfg.prefillChunkTokens = 32;
+
+    // The workload (pool draws, shapes, shared lengths) depends only
+    // on the sharing knobs — never on `enabled` — so both runs serve
+    // bit-identical request streams.
+    cfg.prefix.enabled = caching;
+    cfg.prefix.sharingPools = 2;
+    cfg.prefix.sharingExponent = 1.0;
+    cfg.prefix.sharedFraction = 0.5;
+    cfg.prefix.blockTokens = 16;
+
+    const double step = test::tinySharedCosts(true)->time(
+        model::Stage::Decode, 4, 64);
+    cfg.arrivalRatePerSecond = 1.0 / (20.0 * step);
+    return cfg;
+}
+
+TEST(PrefixGoldenTest, CachingChangesTimingNeverTokens)
+{
+    const serve::Config off = goldenConfig(false);
+    const serve::Config on = goldenConfig(true);
+
+    serve::ServingEngine engineOff(test::tinySystem(true),
+                                   test::tinyServedModel(), off,
+                                   test::tinySharedCosts(true));
+    serve::RuntimeBackend backendOff(test::tinySystem(true),
+                                     test::tinyServedModel(), off);
+    const serve::Result cold = engineOff.run(&backendOff);
+
+    serve::ServingEngine engineOn(test::tinySystem(true),
+                                  test::tinyServedModel(), on,
+                                  test::tinySharedCosts(true));
+    serve::RuntimeBackend backendOn(test::tinySystem(true),
+                                    test::tinyServedModel(), on);
+    const serve::Result warm = engineOn.run(&backendOn);
+
+    // Tokens: byte-identical per request across the two runs.
+    test::expectIdenticalDecodes(backendOff, cold, backendOn, warm);
+    test::checkServingInvariants(cold, off);
+    test::checkServingInvariants(warm, on);
+
+    // The cold run never touches the cache; the warm run genuinely
+    // hits, and every hit was attached + digest-verified.
+    EXPECT_EQ(cold.metrics.prefixLookups, 0u);
+    EXPECT_DOUBLE_EQ(cold.prefixCacheBytesAtDrain, 0.0);
+    EXPECT_GT(warm.metrics.prefixHits, 0u);
+    EXPECT_GT(warm.metrics.prefixHitTokens, 0);
+    EXPECT_EQ(backendOn.counters().prefixAttaches,
+              warm.metrics.prefixHits);
+    EXPECT_EQ(backendOn.counters().prefixHitsVerified,
+              warm.metrics.prefixHits);
+
+    // Hits skip prefill forwards: the warm run runs the same decode
+    // steps but strictly fewer prefill-chunk tokens, and mean TTFT
+    // improves at the identical DDR budget.
+    EXPECT_EQ(warm.kvBudgetBytes, cold.kvBudgetBytes);
+    EXPECT_EQ(backendOn.counters().decodeSteps,
+              backendOff.counters().decodeSteps);
+    EXPECT_LT(warm.metrics.ttft.mean(), cold.metrics.ttft.mean());
+}
+
+/** Equal seeds, equal config: the cached path is deterministic. */
+TEST(PrefixGoldenTest, CachedRunsAreBitIdentical)
+{
+    const serve::Config on = goldenConfig(true);
+    serve::ServingEngine engine(test::tinySystem(true),
+                                test::tinyServedModel(), on,
+                                test::tinySharedCosts(true));
+    serve::RuntimeBackend backendA(test::tinySystem(true),
+                                   test::tinyServedModel(), on);
+    const serve::Result a = engine.run(&backendA);
+    serve::RuntimeBackend backendB(test::tinySystem(true),
+                                   test::tinyServedModel(), on);
+    const serve::Result b = engine.run(&backendB);
+
+    test::expectIdenticalRuns(a, b);
+    test::expectIdenticalDecodes(backendA, a, backendB, b);
+    EXPECT_GT(a.metrics.prefixHits, 0u);
+}
+
+} // namespace

@@ -106,6 +106,22 @@ randomTinyConfig(std::mt19937_64 &rng, double decodeStepSeconds)
     cfg.arrivalRatePerSecond =
         1.0 / (decodeStepSeconds *
                std::uniform_real_distribution<double>(10.0, 60.0)(rng));
+
+    // Prefix caching on half the scenarios, with and without Zipfian
+    // prompt sharing (pools make hits common; without them the
+    // insert/evict machinery still runs on mostly-cold lookups).
+    cfg.prefix.enabled =
+        std::uniform_int_distribution<int>(0, 1)(rng) == 1;
+    const std::int64_t pools[] = {0, 2, 3};
+    cfg.prefix.sharingPools =
+        pools[std::uniform_int_distribution<int>(0, 2)(rng)];
+    const double exponents[] = {1.0, 1.5};
+    cfg.prefix.sharingExponent =
+        exponents[std::uniform_int_distribution<int>(0, 1)(rng)];
+    cfg.prefix.sharedFraction = 0.5;
+    const std::int64_t prefix_blocks[] = {8, 16};
+    cfg.prefix.blockTokens =
+        prefix_blocks[std::uniform_int_distribution<int>(0, 1)(rng)];
     return cfg;
 }
 
@@ -167,6 +183,20 @@ runDifferentialScenario(const serve::Config &config, bool cxl,
     EXPECT_DOUBLE_EQ(backend.liveKvBytes(), 0.0);
     EXPECT_DOUBLE_EQ(backend.swappedKvBytes(), 0.0);
 
+    // Prefix-cache lockstep: every engine-side hit was attached and
+    // digest-verified by the runtime, and the mirrored node bytes at
+    // drain equal the engine's retained cache account.
+    EXPECT_EQ(counters.prefixAttaches, mx.prefixHits);
+    EXPECT_EQ(counters.prefixHitsVerified, mx.prefixHits);
+    EXPECT_EQ(static_cast<std::int64_t>(counters.prefixAttachTokens),
+              mx.prefixHitTokens);
+    EXPECT_DOUBLE_EQ(backend.cacheDdrBytes() + backend.cacheCxlBytes(),
+                     backed.prefixCacheBytesAtDrain);
+    if (!config.prefix.enabled) {
+        EXPECT_EQ(mx.prefixLookups, 0u);
+        EXPECT_DOUBLE_EQ(backed.prefixCacheBytesAtDrain, 0.0);
+    }
+
     // Token continuity: every preempted completion must match its
     // uninterrupted reference bit for bit; one never-preempted
     // completion per scenario cross-checks the plain path too.
@@ -189,6 +219,10 @@ runDifferentialScenario(const serve::Config &config, bool cxl,
     outcome.swapIns += mx.swapIns;
     outcome.prefillChunks += mx.prefillChunks;
     outcome.rejectedCapacity += mx.rejectedCapacity;
+    outcome.prefixHits += mx.prefixHits;
+    outcome.prefixInserts += counters.prefixInserts;
+    outcome.prefixReclaims +=
+        counters.prefixEvictions + counters.prefixDemotions;
 }
 
 } // namespace test

@@ -49,6 +49,9 @@ struct DifferentialOutcome
     std::uint64_t swapIns = 0;
     std::uint64_t prefillChunks = 0;
     std::uint64_t rejectedCapacity = 0;
+    std::uint64_t prefixHits = 0;
+    std::uint64_t prefixInserts = 0;
+    std::uint64_t prefixReclaims = 0;  //!< node evictions + demotions
 
     /** Finished requests whose greedy outputs were compared against an
      *  uninterrupted reference generation... */

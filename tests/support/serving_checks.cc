@@ -72,6 +72,20 @@ expectIdenticalRuns(const serve::Result &a, const serve::Result &b)
     EXPECT_EQ(a.metrics.swapOuts, b.metrics.swapOuts);
     EXPECT_EQ(a.metrics.recomputes, b.metrics.recomputes);
     EXPECT_EQ(a.metrics.prefillChunks, b.metrics.prefillChunks);
+    EXPECT_EQ(a.metrics.prefixLookups, b.metrics.prefixLookups);
+    EXPECT_EQ(a.metrics.prefixHits, b.metrics.prefixHits);
+    EXPECT_EQ(a.metrics.prefixHitTokens, b.metrics.prefixHitTokens);
+    EXPECT_EQ(a.metrics.prefixInsertedTokens,
+              b.metrics.prefixInsertedTokens);
+    EXPECT_EQ(a.metrics.prefixEvictedTokens,
+              b.metrics.prefixEvictedTokens);
+    EXPECT_EQ(a.metrics.prefixDemotedTokens,
+              b.metrics.prefixDemotedTokens);
+    EXPECT_EQ(a.metrics.prefixCxlReadBytes,
+              b.metrics.prefixCxlReadBytes);
+    EXPECT_EQ(a.metrics.prefixCachePeakBytes,
+              b.metrics.prefixCachePeakBytes);
+    EXPECT_EQ(a.prefixCacheBytesAtDrain, b.prefixCacheBytesAtDrain);
     EXPECT_EQ(a.metrics.makespan, b.metrics.makespan);
     EXPECT_EQ(a.metrics.busyTime, b.metrics.busyTime);
     EXPECT_EQ(a.metrics.swapBusyTime, b.metrics.swapBusyTime);
@@ -87,6 +101,28 @@ expectIdenticalRuns(const serve::Result &a, const serve::Result &b)
         EXPECT_EQ(ra.firstTokenTime, rb.firstTokenTime);
         EXPECT_EQ(ra.finishTime, rb.finishTime);
     }
+}
+
+void
+expectIdenticalDecodes(const serve::RuntimeBackend &backendA,
+                       const serve::Result &a,
+                       const serve::RuntimeBackend &backendB,
+                       const serve::Result &b)
+{
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    std::size_t compared = 0;
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        const auto &ra = a.requests[i];
+        const auto &rb = b.requests[i];
+        ASSERT_EQ(ra.state, rb.state)
+            << "request " << i << " reached different terminal states";
+        if (ra.state != RequestState::Finished)
+            continue;
+        EXPECT_EQ(backendA.outputs(ra.id), backendB.outputs(rb.id))
+            << "request " << i << " decoded different tokens";
+        ++compared;
+    }
+    EXPECT_GT(compared, 0u) << "no finished requests to compare";
 }
 
 void

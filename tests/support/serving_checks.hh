@@ -17,6 +17,7 @@
 
 #include "obs/chrome_trace.hh"
 #include "serve/engine.hh"
+#include "serve/runtime_backend.hh"
 
 namespace lia {
 namespace test {
@@ -28,6 +29,18 @@ void checkServingInvariants(const serve::Result &result,
 
 /** Assert two runs are bit-identical (scheduling, timing, lifecycle). */
 void expectIdenticalRuns(const serve::Result &a, const serve::Result &b);
+
+/**
+ * Assert two runtime-backed runs over the same workload decoded
+ * byte-identical greedy token streams for every finished request —
+ * the caching-changes-timing-never-tokens property. The runs may
+ * differ in timing and counters; the requests must pairwise agree on
+ * terminal state and token content.
+ */
+void expectIdenticalDecodes(const serve::RuntimeBackend &backendA,
+                            const serve::Result &a,
+                            const serve::RuntimeBackend &backendB,
+                            const serve::Result &b);
 
 /** Assert two recorded traces render to byte-identical JSON — the
  *  trace-level determinism property for shared-clock engine fleets. */
