@@ -131,7 +131,7 @@ ClusterRouter::ClusterRouter(const hw::SystemConfig &system,
               serve::pricingEngineConfig(
                   tensorParallel_ ? tensorParallel_->pooledSystem()
                                   : system_,
-                  config_.engine)),
+                  model_, config_.engine)),
       costs_(engine_, config_.engine.contextBucket,
              tensorParallel_.get())
 {

@@ -26,6 +26,19 @@ EngineModel::EngineModel(const hw::SystemConfig &system,
     : system_(system), model_(model), config_(std::move(config))
 {
     model_.validate();
+    if (config_.specDraftModel) {
+        // Price drafting on the AMX CPU side alone: the draft runs
+        // concurrently with nothing (the GPU is between verify
+        // passes), and keeping it off the GPU is the whole point of
+        // the cooperative split (DESIGN.md §11).
+        EngineConfig draft_cfg;
+        draft_cfg.costOptions = config_.costOptions;
+        draft_cfg.cpuOnly = true;
+        draft_cfg.enableResidency = false;
+        draft_cfg.autoMemoryPolicy = false;
+        draftEngine_ = std::make_shared<const EngineModel>(
+            system_, *config_.specDraftModel, std::move(draft_cfg));
+    }
 }
 
 namespace {
@@ -207,6 +220,42 @@ EngineModel::estimateIteration(const IterationScenario &scenario) const
                model_.name, ": context ", scenario.context,
                " exceeds model maximum ", model_.maxSeqLen);
 
+    if (scenario.specDraftTokens > 0) {
+        // Speculative decode step (DESIGN.md §11): k CPU-side draft
+        // decodes followed by one k+1-token verify pass of the
+        // target. The verify is priced as the marginal cost of
+        // extending the target's context by k+1 tokens — the m=k+1
+        // GEMM that converts decode's memory-bound GEMVs into
+        // compute-dense work.
+        LIA_ASSERT(scenario.stage == model::Stage::Decode,
+                   "specDraftTokens on a non-decode iteration");
+        LIA_ASSERT(draftEngine_ != nullptr,
+                   "specDraftTokens priced without a specDraftModel");
+        const std::int64_t k = scenario.specDraftTokens;
+        LIA_ASSERT(scenario.context + k <= model_.maxSeqLen,
+                   model_.name, ": verify end ", scenario.context + k,
+                   " exceeds model maximum ", model_.maxSeqLen);
+
+        IterationEstimate spec = estimatePrefillChunk(
+            scenario.batch, scenario.context - 1, k + 1);
+        const IterationEstimate draft = draftEngine_->estimateIteration(
+            {model::Stage::Decode, scenario.batch, scenario.context});
+        spec.time += static_cast<double>(k) * draft.time;
+        spec.breakdown.cpuTime +=
+            static_cast<double>(k) * draft.breakdown.cpuTime;
+        spec.breakdown.gpuTime +=
+            static_cast<double>(k) * draft.breakdown.gpuTime;
+        spec.breakdown.comTime +=
+            static_cast<double>(k) * draft.breakdown.comTime;
+        spec.pcieBytes += static_cast<double>(k) * draft.pcieBytes;
+        spec.feasible = spec.feasible && draft.feasible;
+        if (!draft.feasible && spec.note.empty())
+            spec.note = draft.note;
+        spec.scenario = scenario;
+        spec.chunkTokens = 0;
+        return spec;
+    }
+
     IterationEstimate est;
     est.scenario = scenario;
     CostModelOptions opts = config_.costOptions;
@@ -385,6 +434,24 @@ EngineModel::estimate(const Scenario &scenario) const
     }
 
     return est;
+}
+
+double
+expectedSpeculativeTokens(double alpha, std::int64_t k)
+{
+    LIA_ASSERT(alpha >= 0.0 && alpha <= 1.0,
+               "acceptance rate ", alpha, " outside [0, 1]");
+    LIA_ASSERT(k >= 0, "negative draft length");
+    // Each of the k drafts survives only while every earlier one did
+    // (i.i.d. per-draft acceptance alpha), and the correction/bonus
+    // token always lands: E = 1 + alpha + ... + alpha^k.
+    double expected = 0.0;
+    double term = 1.0;
+    for (std::int64_t i = 0; i <= k; ++i) {
+        expected += term;
+        term *= alpha;
+    }
+    return expected;
 }
 
 } // namespace core

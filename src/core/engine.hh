@@ -16,6 +16,7 @@
 #ifndef LIA_CORE_ENGINE_HH
 #define LIA_CORE_ENGINE_HH
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -55,6 +56,15 @@ struct EngineConfig
     /** Apply the §6 CXL memory-offloading policy automatically
      *  (a no-op on systems without a CXL pool). */
     bool autoMemoryPolicy = true;
+
+    /**
+     * Speculative-decoding draft companion (DESIGN.md §11). When set,
+     * decode iterations with IterationScenario::specDraftTokens > 0
+     * are priced as draft + verify: k CPU-side decode steps of this
+     * model plus one k+1-token verify pass of the target. Unset
+     * disables speculative pricing (specDraftTokens then panics).
+     */
+    std::optional<model::ModelConfig> specDraftModel;
 };
 
 /** Unoverlapped component totals (Table 5's breakdown). */
@@ -110,6 +120,15 @@ struct IterationScenario
      * history length for a decode step.
      */
     std::int64_t context = 512;
+
+    /**
+     * Speculative draft tokens verified this decode iteration (0 for
+     * a plain decode step). A spec iteration prices k draft-model
+     * decode steps plus one k+1-token verify pass of the target and
+     * emits a variable 1..k+1 tokens; the expected yield at a given
+     * acceptance rate is expectedSpeculativeTokens().
+     */
+    std::int64_t specDraftTokens = 0;
 };
 
 /** Cost of one scheduler iteration. */
@@ -197,7 +216,24 @@ class EngineModel
     hw::SystemConfig system_;
     model::ModelConfig model_;
     EngineConfig config_;
+
+    /**
+     * CPU-only pricing engine over config_.specDraftModel, built at
+     * construction when set. Shared (not unique) so EngineModel stays
+     * copyable — serving engines hold it by value; the draft engine
+     * is immutable after construction so sharing is safe.
+     */
+    std::shared_ptr<const EngineModel> draftEngine_;
 };
+
+/**
+ * Expected emitted tokens per speculative step at per-draft acceptance
+ * rate @p alpha and draft length @p k: sum of alpha^i for i in [0, k]
+ * = (1 - alpha^(k+1)) / (1 - alpha), reaching k+1 as alpha -> 1. The
+ * serving layer divides the spec iteration price by this to compare
+ * effective seconds/token against plain decode.
+ */
+double expectedSpeculativeTokens(double alpha, std::int64_t k);
 
 } // namespace core
 } // namespace lia

@@ -1,5 +1,7 @@
 #include "model/config.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "base/units.hh"
 
@@ -310,6 +312,35 @@ tinyLlama(std::int64_t d_model, std::int64_t layers,
     m.vocabSize = vocab;
     m.validate();
     return m;
+}
+
+ModelConfig
+draftModelConfig(const ModelConfig &target)
+{
+    ModelConfig draft = target;
+    draft.name = target.name + "-draft";
+    // Half the heads and half the depth, keeping the per-head width:
+    // the draft shrinks in both the d_model^2 and the layer-count
+    // factors (a ~8x parameter cut) while every dimension relation
+    // validate() enforces is preserved by construction.
+    draft.numHeads = std::max<std::int64_t>(1, target.numHeads / 2);
+    draft.dModel = draft.numHeads * target.headDim;
+    // GQA grouping survives when it divides the new head count;
+    // otherwise collapse to MHA at the reduced width.
+    draft.kvHeads = target.kvHeads < draft.numHeads &&
+                            draft.numHeads % target.kvHeads == 0
+                        ? target.kvHeads
+                        : draft.numHeads;
+    draft.numLayers = std::max<std::int64_t>(1, target.numLayers / 2);
+    // Same FFN expansion ratio at the reduced width.
+    draft.ffnDim = std::max<std::int64_t>(
+        1, target.ffnDim * draft.dModel / target.dModel);
+    // Drafting a sparse mixture with a dense proposer is the usual
+    // deployment; one expert keeps the draft cheap and simple.
+    draft.numExperts = 1;
+    draft.expertTopK = 1;
+    draft.validate();
+    return draft;
 }
 
 } // namespace model

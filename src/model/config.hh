@@ -116,6 +116,14 @@ ModelConfig tinyLlama(std::int64_t d_model = 64,
                       std::int64_t max_seq = 128,
                       std::int64_t vocab = 256);
 
+/**
+ * The speculative draft companion of @p target: half the width, heads,
+ * and depth (floored at one), the same head geometry rules, and —
+ * critically — the same vocabulary and context window, so its token
+ * proposals are directly verifiable by the target (DESIGN.md §11).
+ */
+ModelConfig draftModelConfig(const ModelConfig &target);
+
 } // namespace model
 } // namespace lia
 

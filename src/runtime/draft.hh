@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Speculative draft proposer (DESIGN.md §11).
+ *
+ * A DraftModel wraps a second, scaled-down CooperativeExecutor — the
+ * AMX-modeled CPU companion of the served target model
+ * (model::draftModelConfig) — and proposes k greedy tokens per
+ * speculation step against a caller-owned draft KvCache. The draft
+ * cache trails the target's emitted stream: propose() first feeds the
+ * stream suffix the cache has not seen (one token after an accepted
+ * verify, the whole prompt on the first step or after a preemption
+ * discarded the cache), then rolls k tokens forward. The caller
+ * truncates the cache after verification so rejected drafts never
+ * contaminate later proposals.
+ *
+ * The draft model shares the target's vocabulary and context window
+ * by construction, so its proposals feed verifyBatch directly.
+ */
+
+#ifndef LIA_RUNTIME_DRAFT_HH
+#define LIA_RUNTIME_DRAFT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/system.hh"
+#include "runtime/executor.hh"
+#include "runtime/kv_cache.hh"
+#include "runtime/weights.hh"
+
+namespace lia {
+namespace runtime {
+
+/** CPU-side draft proposer for speculative decoding. */
+class DraftModel
+{
+  public:
+    /**
+     * @param system  hardware the draft work is charged to (the draft
+     *                runs CPU-side; the executor's ledger records it)
+     * @param weights draft-geometry weights (model::draftModelConfig
+     *                of the served target)
+     * @param config  executor configuration — inject the same pool as
+     *                the target executor so draft kernels reuse the
+     *                persistent workers
+     */
+    DraftModel(const hw::SystemConfig &system,
+               TransformerWeights weights, ExecutorConfig config);
+
+    /** The draft model's geometry (for sizing draft caches). */
+    const model::ModelConfig &config() const { return config_; }
+
+    /** A draft-geometry cache for one sequence of @p max_len. */
+    std::unique_ptr<KvCache> makeCache(std::int64_t max_len) const;
+
+    /**
+     * Propose @p k greedy draft tokens continuing @p stream (the
+     * target's full token stream so far: prompt plus emitted outputs).
+     * @p cache must hold the draft KV of a strict prefix of @p stream;
+     * the catch-up suffix stream[cache.length()..) is fed first, then
+     * the proposal rolls forward. On return the cache holds
+     * stream.size() + k - 1 tokens: the full stream (minus the final
+     * unfed position) plus the first k-1 drafts.
+     *
+     * After the target verifies and accepts `a` drafts, roll the
+     * cache back with truncateAfterVerify() before the next propose.
+     */
+    std::vector<std::int64_t>
+    propose(KvCache &cache, const std::vector<std::int64_t> &stream,
+            std::int64_t k);
+
+    /**
+     * Roll @p cache back to the last position consistent with the
+     * target's accepted stream: @p stream_len tokens were in the
+     * stream at propose() time, the verify pass accepted @p accepted
+     * of @p k drafts. Keeps the accepted drafts' KV (they are now
+     * real stream tokens) and discards the rejected suffix.
+     */
+    static void truncateAfterVerify(KvCache &cache,
+                                    std::int64_t stream_len,
+                                    std::int64_t accepted,
+                                    std::int64_t k);
+
+    const CooperativeExecutor &executor() const { return executor_; }
+
+  private:
+    model::ModelConfig config_;
+    CooperativeExecutor executor_;
+};
+
+} // namespace runtime
+} // namespace lia
+
+#endif // LIA_RUNTIME_DRAFT_HH

@@ -417,6 +417,64 @@ CooperativeExecutor::decodeOne(KvCache &cache, std::int64_t token)
     return sample(hidden, 1, 1).front();
 }
 
+std::vector<std::int64_t>
+CooperativeExecutor::sampleAll(const Tensor &hidden,
+                               std::int64_t tokens)
+{
+    LIA_ASSERT(hidden.dim(0) == tokens, "hidden rows != tokens");
+    // Every row feeds the LM head. layerNorm, the packed projection,
+    // and greedy row sampling are all row-independent and row-count
+    // invariant (DESIGN.md §7), so row i here is bit-identical to the
+    // single-row sample() of a sequential decode at that position.
+    Tensor normed =
+        layerNorm(hidden, weights_.lnFinalGain, weights_.lnFinalBias,
+                  kernelOpts_);
+    Tensor logits = matmulPacked(normed, weights_.packedLmHead,
+                                 Tensor(), kernelOpts_);
+    return sampler_.sampleRows(logits);
+}
+
+SpeculativeVerify
+CooperativeExecutor::verifyBatch(KvCache &cache,
+                                 std::int64_t last_token,
+                                 const std::vector<std::int64_t> &drafts)
+{
+    LIA_ASSERT(cache.batch() == 1,
+               "per-sequence verify wants a batch-1 cache");
+    LIA_ASSERT(cache.length() > 0, "verify against an empty cache");
+    LIA_ASSERT(!drafts.empty(), "verify needs at least one draft");
+    const auto k = static_cast<std::int64_t>(drafts.size());
+    const std::int64_t base = cache.length();
+
+    // One decode pass over k+1 positions: the last emitted token plus
+    // the k drafts shifted right by one. Position i's sample depends
+    // only on inputs up to i (causal masking), which equal the true
+    // greedy stream while the draft prefix holds.
+    std::vector<std::int64_t> feed;
+    feed.reserve(static_cast<std::size_t>(k + 1));
+    feed.push_back(last_token);
+    feed.insert(feed.end(), drafts.begin(), drafts.end());
+
+    Tensor hidden = embed(feed, 1, k + 1, base);
+    hidden = forwardLayers(cache, std::move(hidden), Stage::Decode,
+                           1, k + 1);
+    const std::vector<std::int64_t> samples = sampleAll(hidden, k + 1);
+
+    SpeculativeVerify out;
+    while (out.accepted < k &&
+           samples[static_cast<std::size_t>(out.accepted)] ==
+               drafts[static_cast<std::size_t>(out.accepted)]) {
+        ++out.accepted;
+    }
+    out.emitted.assign(samples.begin(),
+                       samples.begin() + out.accepted + 1);
+
+    // Roll the rejected suffix out of the cache: keep the accepted
+    // drafts plus the slot the correction/bonus token just filled.
+    cache.truncate(base + out.accepted + 1);
+    return out;
+}
+
 std::vector<std::vector<std::int64_t>>
 CooperativeExecutor::generate(
     const std::vector<std::vector<std::int64_t>> &prompts,

@@ -62,6 +62,18 @@ struct ExecutorConfig
     bool profileKernels = false;
 };
 
+/**
+ * Outcome of one speculative verify pass (DESIGN.md §11): the number
+ * of draft tokens the target model accepted and the tokens actually
+ * emitted — the accepted prefix plus the target's own next token
+ * (the "correction", or the bonus token when every draft matched).
+ */
+struct SpeculativeVerify
+{
+    std::int64_t accepted = 0;           //!< drafts kept, in [0, k]
+    std::vector<std::int64_t> emitted;   //!< accepted+1 tokens
+};
+
 /** The cooperative inference executor. */
 class CooperativeExecutor
 {
@@ -115,6 +127,22 @@ class CooperativeExecutor
     /** One decode step of one sequence: feed @p token, sample the next. */
     std::int64_t decodeOne(KvCache &cache, std::int64_t token);
 
+    /**
+     * Score @p drafts (k proposed tokens) in one batched decode pass
+     * feeding [@p last_token, d1..dk-1] — k+1 positions — and sample
+     * every position. Greedy accept: the longest prefix where draft i
+     * equals the target's sample at position i-1 is kept, plus the
+     * target's sample one past it. The cache is rolled back to the
+     * accepted length, so after the call
+     * `cache.length() == old_length + accepted + 1` — exactly as if
+     * the emitted tokens had been produced by sequential decodeOne
+     * calls, and bit-identical to them (the kernels are row-count
+     * invariant and causal masking is position-exact, DESIGN.md §11).
+     */
+    SpeculativeVerify
+    verifyBatch(KvCache &cache, std::int64_t last_token,
+                const std::vector<std::int64_t> &drafts);
+
     const TransferLedger &ledger() const { return ledger_; }
     const SimDevice &cpuDevice() const { return cpu_; }
     const SimDevice &gpuDevice() const { return gpu_; }
@@ -160,6 +188,12 @@ class CooperativeExecutor
     std::vector<std::int64_t> sample(const Tensor &hidden,
                                      std::int64_t batch,
                                      std::int64_t tokens);
+
+    /** Project and sample every position of a batch-1 multi-token
+     *  step: one sampled token per row (the verify pass scores all
+     *  k+1 positions at once). */
+    std::vector<std::int64_t> sampleAll(const Tensor &hidden,
+                                        std::int64_t tokens);
 
     /** Account one sublayer's transfers and compute time. */
     void chargeSublayer(int index, model::Stage stage,

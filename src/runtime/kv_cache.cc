@@ -228,6 +228,20 @@ KvCache::evict()
     return snapshot;
 }
 
+void
+KvCache::truncate(std::int64_t new_length)
+{
+    LIA_ASSERT(nextLayer_ == 0 && pendingTokens_ == 0,
+               "truncating a cache mid-step (", nextLayer_,
+               " layers appended)");
+    LIA_ASSERT(new_length >= 0 && new_length <= length_,
+               "truncate to ", new_length, " of ", length_, " tokens");
+    // Appends always overwrite slots past length_, so the rejected
+    // positions' stale bytes are unreachable through keys()/values()/
+    // fingerprint()/snapshotRange() — dropping the cursor suffices.
+    length_ = new_length;
+}
+
 KvSnapshot
 KvCache::snapshotRange(std::int64_t start, std::int64_t end) const
 {

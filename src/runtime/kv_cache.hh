@@ -127,6 +127,15 @@ class KvCache
     bool restore(KvSnapshot &snapshot);
 
     /**
+     * Roll the context back to @p new_length tokens, discarding the
+     * KV of every later position — the speculative-decoding reject
+     * path. The surviving prefix is untouched (its fingerprint is
+     * preserved); the discarded slots become ordinary append capacity
+     * again. Truncating mid-step is a bug and panics.
+     */
+    void truncate(std::int64_t new_length);
+
+    /**
      * Position-ordered FNV-1a digest over the bit patterns of the
      * first @p tokens of stored K and V (all layers); -1 digests the
      * whole cache. Two caches holding bit-identical KV for a prefix

@@ -136,6 +136,22 @@ AdmissionController::grow(Request &request, std::int64_t tokens)
 }
 
 void
+AdmissionController::shrink(Request &request, std::int64_t tokens)
+{
+    LIA_ASSERT(tokens >= 0, "bad reservation shrink");
+    if (tokens == 0)
+        return;
+    LIA_ASSERT(request.kvReservedBytes > 0, "shrink without reserve");
+    const double bytes =
+        model_.kvBytesPerToken() * static_cast<double>(tokens);
+    LIA_ASSERT(request.kvReservedBytes > bytes - 0.5,
+               "shrink below the materialised cache");
+    request.kvReservedBytes -= bytes;
+    reserved_ -= bytes;
+    reserved_ = std::max(reserved_, 0.0);
+}
+
+void
 AdmissionController::release(Request &request)
 {
     LIA_ASSERT(request.kvReservedBytes > 0, "release without reserve");

@@ -88,6 +88,15 @@ class AdmissionController
     /** Grow @p request's reservation by @p tokens of decode output. */
     void grow(Request &request, std::int64_t tokens);
 
+    /**
+     * Return @p tokens of reservation to the pool — the speculative
+     * decode settle-up: the scheduler grows by the worst case
+     * (k_eff + 1 tokens) before the verify outcome is known, and the
+     * engine shrinks by the rejected remainder once it is. 0 is a
+     * no-op (full acceptance).
+     */
+    void shrink(Request &request, std::int64_t tokens);
+
     /** Return @p request's reservation to the pool. */
     void release(Request &request);
 

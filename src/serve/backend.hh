@@ -48,6 +48,24 @@ class ExecutionBackend
                         const std::vector<Request> &requests,
                         const AdmissionController &admission) = 0;
 
+    /**
+     * Resolve one speculative decode step of @p request by actually
+     * drafting and verifying @p draft_tokens tokens; returns the
+     * accepted draft count in [0, draft_tokens], or -1 when the
+     * backend does not execute speculation (the engine then falls
+     * back to its acceptance oracle). Called while the engine
+     * resolves a committed plan's speculation — before onPlan(), so
+     * onPlan() sees the post-verify sequence state and can assert it
+     * against IterationPlan::specAccepted.
+     */
+    virtual std::int64_t speculate(const Request &request,
+                                   std::int64_t draft_tokens)
+    {
+        (void)request;
+        (void)draft_tokens;
+        return -1;
+    }
+
     /** @p request finished; its reservation was just released. */
     virtual void onFinish(const Request &request) = 0;
 

@@ -40,6 +40,10 @@ Config::validate() const
     LIA_ASSERT(prefix.sharingExponent > 0, "bad sharing exponent");
     LIA_ASSERT(prefix.sharedFraction > 0 && prefix.sharedFraction <= 1,
                "shared fraction outside (0, 1]");
+    LIA_ASSERT(!spec.enabled || spec.draftTokens >= 1,
+               "speculative decoding needs at least one draft token");
+    LIA_ASSERT(spec.acceptRate >= 0 && spec.acceptRate <= 1,
+               "acceptance rate outside [0, 1]");
 }
 
 } // namespace serve

@@ -15,6 +15,7 @@
 #define LIA_SERVE_CONFIG_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "trace/azure.hh"
 
@@ -121,6 +122,47 @@ struct PrefixCacheConfig
     double sharedFraction = 0.5;
 };
 
+/**
+ * Speculative decoding (DESIGN.md §11): a CPU-side draft model
+ * proposes draftTokens greedy tokens per decode step; the target
+ * verifies them in one batched pass and emits the accepted prefix
+ * plus one corrected token. Greedy verification is deterministic, so
+ * spec-on output streams are bit-identical to spec-off — speculation
+ * only changes how many tokens one iteration yields and what it costs.
+ */
+struct SpecConfig
+{
+    /** Master switch; off keeps the engine bit-identical to PR 7. */
+    bool enabled = false;
+
+    /** Draft tokens proposed per speculative decode step (k). */
+    std::int64_t draftTokens = 4;
+
+    /**
+     * Modeled per-draft acceptance probability for analytic-only runs
+     * (no execution backend): each draft is accepted independently
+     * with this probability by a deterministic counter-hashed
+     * Bernoulli draw, so analytic runs emit a plausible variable
+     * token stream without running a draft model. Runtime-backed runs
+     * ignore it — real verification decides.
+     */
+    double acceptRate = 0.8;
+
+    /**
+     * Acceptance oracle override: returns the number of drafts
+     * accepted (in [0, k]) for speculation step @p spec_step of
+     * request @p request_id proposing @p k drafts. The differential
+     * harness records a backed run's real acceptances and replays
+     * them through this hook so the analytic twin takes bit-identical
+     * scheduling decisions. Null — the default — uses the acceptRate
+     * draw above.
+     */
+    std::function<std::int64_t(std::uint64_t request_id,
+                               std::int64_t k,
+                               std::uint64_t spec_step)>
+        oracle;
+};
+
 /** Configuration of one serving-engine run. */
 struct Config
 {
@@ -174,6 +216,9 @@ struct Config
 
     /** Cross-request prefix caching + prompt-sharing workload knobs. */
     PrefixCacheConfig prefix;
+
+    /** Speculative decoding (draft + batched verify) knobs. */
+    SpecConfig spec;
 
     /**
      * Optional trace sink receiving request-lifecycle spans, engine

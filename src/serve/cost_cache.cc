@@ -128,5 +128,45 @@ IterationCostCache::chunkTime(std::int64_t batch, std::int64_t history,
     return chunkEstimate(batch, history, tokens).time;
 }
 
+const core::IterationEstimate &
+IterationCostCache::specEstimate(std::int64_t batch,
+                                 std::int64_t context,
+                                 std::int64_t draft_tokens) const
+{
+    LIA_ASSERT(draft_tokens >= 1, "bad draft token count");
+    // The verify pass extends the context by draft_tokens positions:
+    // clamp the quantised context so the verify end stays inside the
+    // model maximum (the executable path's k clamp guarantees the
+    // true operating point fits; only bucketing can push past it).
+    const std::int64_t max_seq = engine_.model().maxSeqLen;
+    const std::int64_t ctx = std::max<std::int64_t>(
+        1, std::min(bucketContext(context), max_seq - draft_tokens));
+
+    const Key key{bucketBatch(batch), ctx, draft_tokens};
+    auto it = specCache_.find(key);
+    if (it == specCache_.end()) {
+        core::IterationScenario scenario;
+        scenario.stage = model::Stage::Decode;
+        scenario.batch = std::get<0>(key);
+        scenario.context = ctx;
+        scenario.specDraftTokens = draft_tokens;
+        core::IterationEstimate est =
+            engine_.estimateIteration(scenario);
+        // The verify all-reduces carry the k+1 scored tokens.
+        addTensorParallelComm(est, model::Stage::Prefill,
+                              std::get<0>(key), draft_tokens + 1,
+                              ctx + draft_tokens);
+        it = specCache_.emplace(key, std::move(est)).first;
+    }
+    return it->second;
+}
+
+double
+IterationCostCache::specTime(std::int64_t batch, std::int64_t context,
+                             std::int64_t draft_tokens) const
+{
+    return specEstimate(batch, context, draft_tokens).time;
+}
+
 } // namespace serve
 } // namespace lia

@@ -79,6 +79,22 @@ class IterationCostCache
         std::int64_t batch, std::int64_t history,
         std::int64_t tokens) const;
 
+    /**
+     * Seconds for one speculative decode iteration: @p draft_tokens
+     * CPU-side draft proposals plus the target's k+1-token verify
+     * pass, at @p batch sequences of @p context history
+     * (core::EngineModel's spec pricing, quantised and memoised like
+     * the rest). The quantised verify end is clamped inside the model
+     * maximum, mirroring chunkEstimate.
+     */
+    double specTime(std::int64_t batch, std::int64_t context,
+                    std::int64_t draft_tokens) const;
+
+    /** Full engine estimate behind specTime() — same key, same memo. */
+    const core::IterationEstimate &specEstimate(
+        std::int64_t batch, std::int64_t context,
+        std::int64_t draft_tokens) const;
+
     /** Context rounded up to the bucket grid (model-max clamped). */
     std::int64_t bucketContext(std::int64_t context) const;
 
@@ -88,7 +104,7 @@ class IterationCostCache
     /** Distinct engine evaluations performed so far. */
     std::size_t evaluations() const
     {
-        return cache_.size() + chunkCache_.size();
+        return cache_.size() + chunkCache_.size() + specCache_.size();
     }
 
     const core::EngineModel &engine() const { return engine_; }
@@ -109,6 +125,7 @@ class IterationCostCache
     const core::MultiGpuLiaModel *tensorParallel_;
     mutable std::map<Key, core::IterationEstimate> cache_;
     mutable std::map<Key, core::IterationEstimate> chunkCache_;
+    mutable std::map<Key, core::IterationEstimate> specCache_;
 };
 
 } // namespace serve

@@ -26,7 +26,8 @@ ServingEngine::ServingEngine(
     const hw::SystemConfig &system, const model::ModelConfig &model,
     Config config, std::shared_ptr<const IterationCostCache> shared)
     : system_(system), model_(model), config_(std::move(config)),
-      engine_(system, model, pricingEngineConfig(system, config_)),
+      engine_(system, model,
+              pricingEngineConfig(system, model, config_)),
       costs_(engine_, config_.contextBucket),
       shared_(std::move(shared))
 {

@@ -12,13 +12,61 @@ namespace serve {
 
 using model::Stage;
 
+namespace {
+
+/** SplitMix64 — the deterministic per-draft acceptance hash. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Analytic acceptance draw: each draft survives independently with
+ * probability @p accept_rate, and the accepted count is the leading
+ * run of survivors — the same per-draft Bernoulli chain
+ * core::expectedSpeculativeTokens() prices. Keyed on (seed, request,
+ * step, draft) so runs are deterministic at any thread count and two
+ * identically-seeded runs take bit-identical scheduling decisions.
+ */
+std::int64_t
+oracleAccepted(std::uint64_t seed, std::uint64_t request_id,
+               std::uint64_t spec_step, std::int64_t k,
+               double accept_rate)
+{
+    std::int64_t accepted = 0;
+    while (accepted < k) {
+        const std::uint64_t h = splitmix64(
+            splitmix64(splitmix64(seed ^ 0x5bec0de5ULL) ^
+                       request_id) ^
+            (spec_step * 0x10001ULL +
+             static_cast<std::uint64_t>(accepted)));
+        const double u =
+            static_cast<double>(h >> 11) * 0x1.0p-53;
+        if (u >= accept_rate)
+            break;
+        ++accepted;
+    }
+    return accepted;
+}
+
+} // namespace
+
 core::EngineConfig
 pricingEngineConfig(const hw::SystemConfig &system,
+                    const model::ModelConfig &model,
                     const Config &config)
 {
     core::EngineConfig cfg;
     cfg.costOptions.executionAwareObjective = true;
     cfg.autoMemoryPolicy = config.cxlSpill && system.cxl.present();
+    // Always wire the draft companion: a shared cost cache serves
+    // spec-on and spec-off runs alike, and the draft engine only
+    // prices when a scenario actually carries draft tokens.
+    cfg.specDraftModel = model::draftModelConfig(model);
     return cfg;
 }
 
@@ -236,6 +284,13 @@ EngineInstance::startIteration()
     plan.prefixOps.insert(plan.prefixOps.begin(), insertOps.begin(),
                           insertOps.end());
 
+    // Resolve speculation before any pool transition: decode entries
+    // are disjoint from this plan's admit/resume/chunk/preemption
+    // sets, so the backend's verify runs against exactly the cache
+    // state the previous iteration left behind.
+    if (!plan.specDrafts.empty())
+        resolveSpeculation(plan);
+
     for (std::size_t index : plan.shed) {
         requests_[index].state = RequestState::Rejected;
         ++metrics_.shedSlo;
@@ -398,9 +453,18 @@ EngineInstance::startIteration()
         for (std::size_t index : plan.decode)
             decodeContext = std::max(decodeContext,
                                      requests_[index].context());
-        duration += costs_.time(Stage::Decode,
-                                plan.decodePriceBatch,
-                                decodeContext);
+        // A speculative iteration prices draft + verify at the widest
+        // draft length in the batch (entries near their lOut may
+        // carry fewer); a batch with no drafts is a plain decode.
+        std::int64_t spec_k = 0;
+        for (std::int64_t k : plan.specDrafts)
+            spec_k = std::max(spec_k, k);
+        duration += spec_k > 0
+                        ? costs_.specTime(plan.decodePriceBatch,
+                                          decodeContext, spec_k)
+                        : costs_.time(Stage::Decode,
+                                      plan.decodePriceBatch,
+                                      decodeContext);
     }
     LIA_ASSERT(duration > 0, "iteration priced at zero time");
 
@@ -452,10 +516,21 @@ EngineInstance::emitIteration(const IterationPlan &plan, double now,
         accumulate(costs_.chunkEstimate(
             static_cast<std::int64_t>(plan.chunks.size()),
             chunk_history, chunk_tokens));
-    if (!plan.decode.empty())
-        accumulate(costs_.estimate(Stage::Decode,
-                                   plan.decodePriceBatch,
-                                   decode_context));
+    std::int64_t spec_k = 0, spec_drafted = 0, spec_accepted = 0;
+    for (std::size_t i = 0; i < plan.specDrafts.size(); ++i) {
+        spec_k = std::max(spec_k, plan.specDrafts[i]);
+        spec_drafted += plan.specDrafts[i];
+        spec_accepted += plan.specAccepted[i];
+    }
+    if (!plan.decode.empty()) {
+        if (spec_k > 0)
+            accumulate(costs_.specEstimate(plan.decodePriceBatch,
+                                           decode_context, spec_k));
+        else
+            accumulate(costs_.estimate(Stage::Decode,
+                                       plan.decodePriceBatch,
+                                       decode_context));
+    }
 
     // Counters first (they sample `now`): the iteration span ends
     // at now + duration, so this order keeps the whole track's
@@ -472,26 +547,87 @@ EngineInstance::emitIteration(const IterationPlan &plan, double now,
                        admission_.reservedBytes() /
                            admission_.kvBudgetBytes());
 
-    sink_->beginSpan(
-        ns_.iterations(), "iteration", now,
-        {obs::arg("iteration", static_cast<std::int64_t>(
-                                   metrics_.iterations)),
-         obs::arg("duration_s", duration),
-         obs::arg("decode", static_cast<std::int64_t>(
-                                plan.decode.size())),
-         obs::arg("decode_price_batch", plan.decodePriceBatch),
-         obs::arg("chunks", static_cast<std::int64_t>(
-                                plan.chunks.size())),
-         obs::arg("admit", static_cast<std::int64_t>(
-                               plan.admit.size())),
-         obs::arg("preempt", static_cast<std::int64_t>(
-                                 plan.evict.size() +
-                                 plan.swapOut.size())),
-         obs::arg("cpu_s", breakdown.cpuTime),
-         obs::arg("gpu_s", breakdown.gpuTime),
-         obs::arg("com_s", breakdown.comTime),
-         obs::arg("pcie_bytes", pcie_bytes)});
+    obs::Args args{
+        obs::arg("iteration", static_cast<std::int64_t>(
+                                  metrics_.iterations)),
+        obs::arg("duration_s", duration),
+        obs::arg("decode", static_cast<std::int64_t>(
+                               plan.decode.size())),
+        obs::arg("decode_price_batch", plan.decodePriceBatch),
+        obs::arg("chunks", static_cast<std::int64_t>(
+                               plan.chunks.size())),
+        obs::arg("admit", static_cast<std::int64_t>(
+                              plan.admit.size())),
+        obs::arg("preempt", static_cast<std::int64_t>(
+                                plan.evict.size() +
+                                plan.swapOut.size())),
+        obs::arg("cpu_s", breakdown.cpuTime),
+        obs::arg("gpu_s", breakdown.gpuTime),
+        obs::arg("com_s", breakdown.comTime),
+        obs::arg("pcie_bytes", pcie_bytes)};
+    // Spec args only when the feature is on: spec-off traces stay
+    // byte-identical to the pre-speculation schema.
+    if (config_.spec.enabled) {
+        args.push_back(obs::arg("spec_drafted", spec_drafted));
+        args.push_back(obs::arg("spec_accepted", spec_accepted));
+        sink_->counter(ns_.iterations(), "spec_accepted_tokens", now,
+                       static_cast<double>(
+                           metrics_.specAcceptedTokens));
+    }
+    sink_->beginSpan(ns_.iterations(), "iteration", now,
+                     std::move(args));
     sink_->endSpan(ns_.iterations(), now + duration);
+}
+
+void
+EngineInstance::resolveSpeculation(IterationPlan &plan)
+{
+    LIA_ASSERT(plan.specDrafts.size() == plan.decode.size(),
+               "spec drafts out of step with the decode list");
+    plan.specAccepted.reserve(plan.decode.size());
+    for (std::size_t i = 0; i < plan.decode.size(); ++i) {
+        Request &request = requests_[plan.decode[i]];
+        const std::int64_t k = plan.specDrafts[i];
+        if (k == 0) {
+            // Plain decode step (one token would finish the request).
+            plan.specAccepted.push_back(0);
+            continue;
+        }
+        std::int64_t accepted =
+            backend_ ? backend_->speculate(request, k) : -1;
+        if (accepted < 0) {
+            // Analytic path: the replay oracle when the harness
+            // installed one, the modeled acceptance draw otherwise.
+            accepted =
+                config_.spec.oracle
+                    ? config_.spec.oracle(
+                          request.id, k,
+                          static_cast<std::uint64_t>(
+                              request.specSteps))
+                    : oracleAccepted(
+                          config_.seed, request.id,
+                          static_cast<std::uint64_t>(
+                              request.specSteps),
+                          k, config_.spec.acceptRate);
+        }
+        LIA_ASSERT(accepted >= 0 && accepted <= k,
+                   "verify accepted ", accepted, " of ", k,
+                   " drafts");
+        plan.specAccepted.push_back(accepted);
+
+        ++request.specSteps;
+        request.specDrafted += k;
+        request.specAccepted += accepted;
+        ++metrics_.specSteps;
+        metrics_.specDraftedTokens += k;
+        metrics_.specAcceptedTokens += accepted;
+
+        // Settle the worst-case KV reservation down to the verified
+        // token count (the scheduler grew by k + 1; the step really
+        // appended accepted + 1).
+        if (config_.policy == SchedulerPolicy::Preemptive)
+            admission_.shrink(request, k - accepted);
+    }
 }
 
 void
@@ -514,10 +650,18 @@ void
 EngineInstance::completeIteration(const IterationPlan &plan)
 {
     const double now = events_.now();
-    for (std::size_t index : plan.decode) {
-        Request &request = requests_[index];
-        ++request.generated;
-        tokenEmitted(request, now);
+    for (std::size_t i = 0; i < plan.decode.size(); ++i) {
+        Request &request = requests_[plan.decode[i]];
+        // A speculative entry emits its accepted drafts plus the
+        // correction/bonus token in one step; plain decode emits one.
+        const std::int64_t emitted =
+            plan.specAccepted.empty() ? 1 : plan.specAccepted[i] + 1;
+        for (std::int64_t t = 0; t < emitted; ++t) {
+            ++request.generated;
+            tokenEmitted(request, now);
+        }
+        LIA_ASSERT(request.generated <= request.lOut,
+                   "speculation overshot the output budget");
         if (request.done())
             finish(request, now);
     }

@@ -42,9 +42,12 @@ class ExecutionBackend;
 
 /** The core::EngineConfig the serving layer prices iterations with
  *  (execution-aware objective; §6 memory policy when @p config spills
- *  and the system has a CXL pool). Shared by ServingEngine and the
- *  cluster's shard-group pricing so both price identically. */
+ *  and the system has a CXL pool; the served model's draft companion
+ *  wired in so speculative iterations price draft + verify). Shared
+ *  by ServingEngine and the cluster's shard-group pricing so both
+ *  price identically. */
 core::EngineConfig pricingEngineConfig(const hw::SystemConfig &system,
+                                       const model::ModelConfig &model,
                                        const Config &config);
 
 /** One engine advancing on a caller-owned DES clock. */
@@ -144,6 +147,17 @@ class EngineInstance
     void tokenEmitted(Request &request, double now);
     void checkStateExclusivity() const;
     void startIteration();
+
+    /**
+     * Resolve the committed plan's speculative decode entries: ask
+     * the backend to draft + verify (or fall back to the acceptance
+     * oracle), fill IterationPlan::specAccepted, settle the
+     * worst-case reservation back to the verified token count, and
+     * account the per-request / run metrics. Runs before the pool
+     * transitions and before onPlan(), so the backend asserts
+     * post-verify state when it mirrors the rest of the plan.
+     */
+    void resolveSpeculation(IterationPlan &plan);
     void emitIteration(const IterationPlan &plan, double now,
                        double duration, std::size_t depth,
                        std::int64_t chunk_tokens,

@@ -70,6 +70,10 @@ Metrics::merge(const Metrics &other)
     prefixDemotedTokens += other.prefixDemotedTokens;
     prefixCxlReadBytes += other.prefixCxlReadBytes;
     prefixCachePeakBytes += other.prefixCachePeakBytes;
+
+    specSteps += other.specSteps;
+    specDraftedTokens += other.specDraftedTokens;
+    specAcceptedTokens += other.specAcceptedTokens;
 }
 
 double
@@ -145,7 +149,12 @@ Metrics::toJson() const
        << ",\"prefix_cxl_read_bytes\":"
        << jsonNumber(prefixCxlReadBytes)
        << ",\"prefix_cache_peak_bytes\":"
-       << jsonNumber(prefixCachePeakBytes) << "}";
+       << jsonNumber(prefixCachePeakBytes)
+       << ",\"spec_steps\":" << specSteps
+       << ",\"spec_drafted_tokens\":" << specDraftedTokens
+       << ",\"spec_accepted_tokens\":" << specAcceptedTokens
+       << ",\"spec_acceptance_rate\":"
+       << jsonNumber(specAcceptanceRate()) << "}";
     return os.str();
 }
 

@@ -68,6 +68,12 @@ struct Metrics
     double prefixCxlReadBytes = 0;  //!< demoted bytes read back on hits
     double prefixCachePeakBytes = 0;  //!< high-water resident cache
 
+    // --- Speculative-decoding accounting (DESIGN.md §11) -------------
+
+    std::size_t specSteps = 0;          //!< draft+verify iterations
+    std::int64_t specDraftedTokens = 0; //!< draft tokens proposed
+    std::int64_t specAcceptedTokens = 0; //!< drafts verified correct
+
     /** All requests turned away, for any reason. */
     std::size_t rejected() const { return rejectedCapacity + shedSlo; }
 
@@ -77,6 +83,15 @@ struct Metrics
         return prefixLookups > 0
                    ? static_cast<double>(prefixHits) /
                          static_cast<double>(prefixLookups)
+                   : 0.0;
+    }
+
+    /** Fraction of proposed draft tokens the target accepted. */
+    double specAcceptanceRate() const
+    {
+        return specDraftedTokens > 0
+                   ? static_cast<double>(specAcceptedTokens) /
+                         static_cast<double>(specDraftedTokens)
                    : 0.0;
     }
 

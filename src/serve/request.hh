@@ -100,6 +100,11 @@ struct Request
     std::int64_t recomputes = 0;   //!< evictions repaid by re-prefill
     std::int64_t swapOuts = 0;     //!< preemptions served by CXL swap
 
+    // --- Speculative decoding (DESIGN.md §11) ------------------------
+    std::int64_t specSteps = 0;     //!< draft+verify iterations run
+    std::int64_t specDrafted = 0;   //!< draft tokens proposed
+    std::int64_t specAccepted = 0;  //!< draft tokens verified correct
+
     /** Current KV context length (prompt + generated tokens). */
     std::int64_t context() const { return lIn + generated; }
 

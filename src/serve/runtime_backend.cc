@@ -62,6 +62,15 @@ RuntimeBackend::RuntimeBackend(const hw::SystemConfig &system,
 {
     model_.validate();
     config_.validate();
+    // The draft proposer shares the kernel pool with the target
+    // executor; its weights are an independent random draw (the draft
+    // is a different model, not a slice of the target).
+    if (config_.spec.enabled)
+        draft_ = std::make_unique<runtime::DraftModel>(
+            system,
+            synthWeights(model::draftModelConfig(model_),
+                         config.seed + 0xd2afULL),
+            backendExecutorConfig(kernelPool_, profile_kernels));
 }
 
 double
@@ -247,6 +256,7 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
         LIA_ASSERT(seq.parked.empty(), "request ", request.id,
                    " swapped out while already parked");
         seq.parkedDigest = seq.cache->fingerprint(-1, kernelPool_.get());
+        seq.draftCache.reset();
         ddrBytes_ -= seq.cache->bf16Bytes();
         seq.parked = seq.cache->evict();
         swapBytes_ += seq.parked.bytes;
@@ -268,6 +278,7 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
         // one more position, which samples the continuation token).
         seq.evictedLength = seq.cache->length();
         seq.evictedDigest = seq.cache->fingerprint(-1, kernelPool_.get());
+        seq.draftCache.reset();
         seq.recomputing = true;
         LIA_ASSERT(seq.evictedLength == request.prefillTarget - 1,
                    "evicted cache holds ", seq.evictedLength,
@@ -404,9 +415,48 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
         }
     }
 
-    for (std::size_t index : plan.decode) {
+    for (std::size_t i = 0; i < plan.decode.size(); ++i) {
+        const std::size_t index = plan.decode[i];
         const Request &request = requests[index];
         Sequence &seq = sequence(request.id);
+        const std::int64_t spec_k =
+            plan.specDrafts.empty() ? 0 : plan.specDrafts[i];
+        if (spec_k > 0) {
+            // This entry's speculative step already executed in
+            // speculate() (the engine resolves speculation before
+            // onPlan); assert the post-verify state the plan records.
+            LIA_ASSERT(plan.specAccepted.size() == plan.decode.size(),
+                       "spec plan committed without resolution");
+            const std::int64_t emitted = plan.specAccepted[i] + 1;
+            LIA_ASSERT(static_cast<std::int64_t>(seq.outputs.size()) ==
+                           request.generated + emitted,
+                       "speculative step for request ", request.id,
+                       " emitted ",
+                       seq.outputs.size() - request.generated,
+                       " tokens but the plan records ", emitted);
+            LIA_ASSERT(seq.cache->length() ==
+                           request.lIn +
+                               static_cast<std::int64_t>(
+                                   seq.outputs.size()) - 1,
+                       "verify KV length diverged for request ",
+                       request.id);
+            if (optimistic) {
+                // The scheduler grew the reservation by the
+                // worst-case k+1 tokens and the engine settled it
+                // back to the verified count before onPlan.
+                LIA_ASSERT(sameBytes(seq.cache->bf16Bytes(),
+                                     request.kvReservedBytes),
+                           "verify: cache ", seq.cache->bf16Bytes(),
+                           " bytes vs reservation ",
+                           request.kvReservedBytes);
+            } else {
+                LIA_ASSERT(seq.cache->bf16Bytes() <=
+                               request.kvReservedBytes + 0.5,
+                           "verify grew past the full-horizon "
+                           "reservation");
+            }
+            continue;
+        }
         LIA_ASSERT(request.generated ==
                        static_cast<std::int64_t>(seq.outputs.size()),
                    "engine counts ", request.generated,
@@ -466,6 +516,43 @@ RuntimeBackend::onPlan(const IterationPlan &plan,
                cacheCxlBytes_, " bytes (DDR/CXL), engine accounts ",
                admission.cacheDdrBytes(), "/",
                admission.cacheCxlBytes());
+}
+
+std::int64_t
+RuntimeBackend::speculate(const Request &request,
+                          std::int64_t draft_tokens)
+{
+    LIA_ASSERT(draft_tokens >= 1, "speculate wants k >= 1");
+    LIA_ASSERT(draft_ != nullptr,
+               "speculate on a backend built with spec disabled");
+    Sequence &seq = sequence(request.id);
+    LIA_ASSERT(seq.parked.empty() && !seq.recomputing,
+               "speculating a preempted request");
+    LIA_ASSERT(!seq.outputs.empty(),
+               "speculation before the prefill pass emitted");
+    if (!seq.draftCache)
+        seq.draftCache = draft_->makeCache(request.lIn + request.lOut);
+
+    const std::vector<std::int64_t> stream = passStream(seq);
+    const auto n = static_cast<std::int64_t>(stream.size());
+    const std::vector<std::int64_t> drafts =
+        draft_->propose(*seq.draftCache, stream, draft_tokens);
+    const runtime::SpeculativeVerify verify =
+        executor_.verifyBatch(*seq.cache, seq.outputs.back(), drafts);
+    runtime::DraftModel::truncateAfterVerify(
+        *seq.draftCache, n, verify.accepted, draft_tokens);
+
+    seq.outputs.insert(seq.outputs.end(), verify.emitted.begin(),
+                       verify.emitted.end());
+    ddrBytes_ +=
+        perTokenBytes() * static_cast<double>(verify.accepted + 1);
+    ++counters_.specSteps;
+    counters_.specDrafted += static_cast<std::uint64_t>(draft_tokens);
+    counters_.specAccepted +=
+        static_cast<std::uint64_t>(verify.accepted);
+    counters_.specTokens +=
+        static_cast<std::uint64_t>(verify.accepted + 1);
+    return verify.accepted;
 }
 
 void

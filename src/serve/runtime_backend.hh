@@ -38,6 +38,7 @@
 
 #include "hw/system.hh"
 #include "model/config.hh"
+#include "runtime/draft.hh"
 #include "runtime/executor.hh"
 #include "runtime/kv_cache.hh"
 #include "serve/backend.hh"
@@ -72,10 +73,16 @@ class RuntimeBackend : public ExecutionBackend
         std::uint64_t prefixEvictions = 0;  //!< spans dropped (DDR+CXL)
         std::uint64_t prefixDemotions = 0;  //!< spans moved to CXL
 
+        // --- Speculative decoding -----------------------------------
+        std::uint64_t specSteps = 0;     //!< draft + verify rounds run
+        std::uint64_t specDrafted = 0;   //!< draft tokens proposed
+        std::uint64_t specAccepted = 0;  //!< drafts the verify kept
+        std::uint64_t specTokens = 0;    //!< tokens verify steps emitted
+
         /** Tokens a backend must have produced for a finished run. */
         std::uint64_t tokensProduced() const
         {
-            return passCompletions + decodeSteps;
+            return passCompletions + decodeSteps + specTokens;
         }
     };
 
@@ -97,6 +104,8 @@ class RuntimeBackend : public ExecutionBackend
     void onPlan(const IterationPlan &plan,
                 const std::vector<Request> &requests,
                 const AdmissionController &admission) override;
+    std::int64_t speculate(const Request &request,
+                           std::int64_t draft_tokens) override;
     void onFinish(const Request &request) override;
     void onDrain() override;
 
@@ -155,6 +164,16 @@ class RuntimeBackend : public ExecutionBackend
 
         runtime::KvSnapshot parked;       //!< swapped-out contents
         std::uint64_t parkedDigest = 0;
+
+        /**
+         * Draft-geometry KV trailing the emitted stream (DESIGN.md
+         * §11). Built lazily on the first speculate() and discarded
+         * whenever the target cache is (evict / swap-out) — the next
+         * propose() replays the whole stream to rebuild it. Draft KV
+         * models CPU-side memory, so it stays outside the DDR KV byte
+         * ledger the admission account mirrors.
+         */
+        std::unique_ptr<runtime::KvCache> draftCache;
     };
 
     /**
@@ -190,6 +209,9 @@ class RuntimeBackend : public ExecutionBackend
     /** Kernel pool shared with executor_ and fingerprint checks. */
     std::shared_ptr<base::ThreadPool> kernelPool_;
     runtime::CooperativeExecutor executor_;
+
+    /** Draft proposer; null unless config_.spec.enabled. */
+    std::unique_ptr<runtime::DraftModel> draft_;
 
     std::map<std::uint64_t, Sequence> live_;
     std::map<std::uint64_t, std::vector<std::int64_t>> finished_;

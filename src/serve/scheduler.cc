@@ -56,6 +56,16 @@ Scheduler::decodeBatchCap(std::int64_t context) const
     return lo;
 }
 
+std::int64_t
+Scheduler::specDraftTokensFor(const Request &request) const
+{
+    if (!config_.spec.enabled || request.inPrefill())
+        return 0;
+    return std::max<std::int64_t>(
+        0, std::min(config_.spec.draftTokens,
+                    request.lOut - request.generated - 1));
+}
+
 double
 Scheduler::swapCost(const Request &request) const
 {
@@ -191,6 +201,10 @@ Scheduler::next(double now, const SchedulerState &state,
             plan.decode = active;
             plan.decodePriceBatch = staticCohort_;
             plan.batchCap = config_.maxBatch;
+            if (config_.spec.enabled)
+                for (std::size_t index : plan.decode)
+                    plan.specDrafts.push_back(
+                        specDraftTokensFor(requests[index]));
             return plan;
         }
         for (std::size_t index : queue) {
@@ -224,6 +238,10 @@ Scheduler::next(double now, const SchedulerState &state,
     }
     plan.decodePriceBatch =
         static_cast<std::int64_t>(plan.decode.size());
+    if (config_.spec.enabled)
+        for (std::size_t index : plan.decode)
+            plan.specDrafts.push_back(
+                specDraftTokensFor(requests[index]));
 
     std::int64_t cap = config_.maxBatch;
     if (slo && plannerCap_ > 0)
@@ -317,9 +335,20 @@ Scheduler::nextPreemptive(double now, const SchedulerState &state,
     // each picks the cheaper exit per the analytical model: swap both
     // ways across the CXL pool vs a single-sequence recompute prefill.
     const double per_token = admission_.kvBytesPerToken();
+    // A speculative decode can append up to k_eff + 1 tokens (full
+    // acceptance plus the bonus), so the reservation grows by the
+    // worst case up front; the engine shrinks it back to the verified
+    // count once acceptance resolves. Spec off makes this exactly one
+    // token per decode entry — bit-identical to the legacy plan.
+    auto growthTokens = [&]() {
+        std::int64_t tokens = 0;
+        for (std::size_t index : decode)
+            tokens += specDraftTokensFor(requests[index]) + 1;
+        return tokens;
+    };
     auto growthDeficit = [&]() {
         return admission_.reservedBytes() + admission_.cacheDdrBytes() +
-               static_cast<double>(decode.size()) * per_token -
+               static_cast<double>(growthTokens()) * per_token -
                admission_.kvBudgetBytes();
     };
     // Live KV wins over cached prefixes: reclaim cold cache nodes
@@ -355,10 +384,15 @@ Scheduler::nextPreemptive(double now, const SchedulerState &state,
         }
     }
     for (std::size_t index : decode)
-        admission_.grow(requests[index], 1);
+        admission_.grow(requests[index],
+                        specDraftTokensFor(requests[index]) + 1);
     plan.decode = std::move(decode);
     plan.decodePriceBatch =
         static_cast<std::int64_t>(plan.decode.size());
+    if (config_.spec.enabled)
+        for (std::size_t index : plan.decode)
+            plan.specDrafts.push_back(
+                specDraftTokensFor(requests[index]));
 
     for (std::size_t index : prefilling)
         addChunk(plan, index, requests[index]);

@@ -67,6 +67,25 @@ struct IterationPlan
     /** Active indices taking one decode step. */
     std::vector<std::size_t> decode;
 
+    /**
+     * Speculative draft tokens per decode entry (parallel to decode;
+     * empty when speculation is off). Entry i is k_eff for decode[i]:
+     * Config::spec.draftTokens clamped so even full acceptance plus
+     * the bonus token never overshoots the request's lOut. 0 means
+     * that entry takes a plain decode step.
+     */
+    std::vector<std::int64_t> specDrafts;
+
+    /**
+     * Draft tokens accepted per decode entry (parallel to decode;
+     * empty when speculation is off). Filled by the engine's
+     * speculation resolution — oracle or executed verify — before the
+     * plan reaches the backend's onPlan, so the backend can assert
+     * post-verify cache state. Entry i emits specAccepted[i] + 1
+     * tokens when specDrafts[i] > 0, else exactly 1.
+     */
+    std::vector<std::int64_t> specAccepted;
+
     /** Victims whose KV moves to the CXL swap pool this iteration. */
     std::vector<std::size_t> swapOut;
 
@@ -170,6 +189,16 @@ class Scheduler
      */
     double swapCost(const Request &request) const;
     double recomputeCost(const Request &request) const;
+
+    /**
+     * Draft tokens a speculative decode step of @p request proposes:
+     * Config::spec.draftTokens clamped to the request's remaining
+     * output budget minus the guaranteed correction token (so even
+     * full acceptance cannot overshoot lOut, and the verify pass
+     * never grows the cache past lIn + lOut - 1). 0 when speculation
+     * is off, the request is mid-prefill, or one token finishes it.
+     */
+    std::int64_t specDraftTokensFor(const Request &request) const;
 
     /** Static cap from the capacity planner (0 disables). */
     void setPlannerCap(std::int64_t cap);

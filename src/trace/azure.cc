@@ -45,7 +45,8 @@ AzureTraceGenerator::next()
     const double drawn = rng_.normal(static_cast<double>(mean_out),
                                      static_cast<double>(mean_out) / 4.0);
     r.lOut = std::clamp<std::int64_t>(
-        static_cast<std::int64_t>(drawn), 8, mean_out * 2);
+        static_cast<std::int64_t>(drawn), 8,
+        std::min(mean_out * 2, maxContext_ - 32));
     // Input lengths are uniformly distributed (§7).
     r.lIn = rng_.uniformInt(32, maxContext_ - r.lOut);
     return r;

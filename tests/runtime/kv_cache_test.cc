@@ -247,6 +247,106 @@ TEST_F(KvCacheTest, PreloadRejectsMisfits)
     EXPECT_FALSE(cache.preload(empty));
 }
 
+// --- Truncation (the speculative-decoding reject path) ---------------
+
+TEST_F(KvCacheTest, TruncatePreservesTheSurvivingPrefixBitIdentically)
+{
+    for (std::int64_t i = 0; i < 6; ++i)
+        appendAllLayers(1, static_cast<float>(i));
+    const std::uint64_t at4 = cache.fingerprint(4);
+
+    cache.truncate(4);
+    EXPECT_EQ(cache.length(), 4);
+    // The surviving prefix digests exactly as it did before the
+    // rejected suffix was dropped, and its contents still read back.
+    EXPECT_EQ(cache.fingerprint(), at4);
+    EXPECT_EQ(cache.keys(0).at(0, 3, 0), 3.0f);
+    // 2 tensors * B=2 * len=4 * kvDim=64 * layers=4 * 2 bytes.
+    EXPECT_DOUBLE_EQ(cache.bf16Bytes(), 2.0 * 2 * 4 * 64 * 4 * 2);
+}
+
+TEST_F(KvCacheTest, AppendsAfterTruncateOverwriteTheRejectedSuffix)
+{
+    for (std::int64_t i = 0; i < 6; ++i)
+        appendAllLayers(1, static_cast<float>(i));
+    cache.truncate(3);
+    appendAllLayers(1, 42.0f);
+    EXPECT_EQ(cache.length(), 4);
+    // The new token landed where rejected token 3 used to be, and the
+    // stale tokens 4..5 are unreachable.
+    EXPECT_EQ(cache.keys(0).at(0, 3, 0), 42.0f);
+    EXPECT_EQ(cache.keys(0).dim(1), 4);
+}
+
+TEST_F(KvCacheTest, TruncateToCurrentLengthAndToZeroAreConsistent)
+{
+    appendAllLayers(3, 1.0f);
+    const std::uint64_t digest = cache.fingerprint();
+    cache.truncate(3);  // no-op
+    EXPECT_EQ(cache.length(), 3);
+    EXPECT_EQ(cache.fingerprint(), digest);
+
+    cache.truncate(0);  // full rollback
+    EXPECT_EQ(cache.length(), 0);
+    EXPECT_DOUBLE_EQ(cache.bf16Bytes(), 0.0);
+    appendAllLayers(2, 7.0f);  // still usable afterwards
+    EXPECT_EQ(cache.length(), 2);
+}
+
+TEST_F(KvCacheTest, TruncateComposesWithEvictAndRestore)
+{
+    for (std::int64_t i = 0; i < 5; ++i)
+        appendAllLayers(1, static_cast<float>(i));
+    cache.truncate(4);
+    const std::uint64_t digest = cache.fingerprint();
+
+    // The truncated cache swaps out and back with only the surviving
+    // prefix: the snapshot carries 4 tokens, the restore fingerprints
+    // identically to the pre-swap truncated cache.
+    KvSnapshot parked = cache.evict();
+    EXPECT_EQ(parked.length, 4);
+    ASSERT_TRUE(cache.restore(parked));
+    EXPECT_EQ(cache.length(), 4);
+    EXPECT_EQ(cache.fingerprint(), digest);
+}
+
+TEST_F(KvCacheTest, TruncateComposesWithSnapshotRangePins)
+{
+    // A prefix-cache pin (snapshotRange copy) taken before a
+    // speculative rollback must be unaffected by it: the span is a
+    // compact copy, not a view.
+    for (std::int64_t i = 0; i < 6; ++i)
+        appendAllLayers(1, static_cast<float>(i));
+    const KvSnapshot pinned = cache.snapshotRange(0, 4);
+
+    cache.truncate(2);
+    EXPECT_EQ(pinned.length, 4);
+    EXPECT_EQ(pinned.keys[0].at(0, 3, 0), 3.0f);
+
+    // And the pin still preloads into a fresh cache bit-identically.
+    KvCache target(m, 2, 32);
+    ASSERT_TRUE(target.preload(pinned));
+    EXPECT_EQ(target.length(), 4);
+    EXPECT_EQ(target.keys(0).at(0, 3, 0), 3.0f);
+}
+
+TEST_F(KvCacheTest, TruncateMidStepPanics)
+{
+    detail::setThrowOnError(true);
+    cache.append(0, filled(1, 0), filled(1, 0));  // layer 0 only
+    EXPECT_THROW(cache.truncate(0), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST_F(KvCacheTest, TruncatePastTheEndPanics)
+{
+    appendAllLayers(2, 1.0f);
+    detail::setThrowOnError(true);
+    EXPECT_THROW(cache.truncate(3), std::logic_error);
+    EXPECT_THROW(cache.truncate(-1), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
 TEST_F(KvCacheTest, SplitHeadAndHeadCopyPartitionBytes)
 {
     for (std::int64_t i = 0; i < 5; ++i)

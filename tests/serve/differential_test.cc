@@ -109,6 +109,13 @@ TEST(DifferentialTest, SweepExercisesPreemptionAndContinuityChecks)
     EXPECT_GT(outcome.prefixHits, 0u);
     EXPECT_GT(outcome.prefixInserts, 0u);
     EXPECT_GT(outcome.prefixReclaims, 0u);
+    // Speculative decoding rides the sweep too: draft+verify rounds
+    // actually execute on the runtime, some drafts get rejected (the
+    // rollback path runs), and at least one request both speculated
+    // and was preempted mid-stream (the draft-cache rebuild path).
+    EXPECT_GT(outcome.specSteps, 0u);
+    EXPECT_GT(outcome.specDrafted, outcome.specAccepted);
+    EXPECT_GT(outcome.specPreemptedRequests, 0u);
 }
 
 } // namespace

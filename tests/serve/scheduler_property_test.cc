@@ -86,6 +86,7 @@ sharedCosts(bool cxl)
         core::EngineConfig cfg;
         cfg.costOptions.executionAwareObjective = true;
         cfg.autoMemoryPolicy = has_cxl;  // cxlSpill needs a CXL pool
+        cfg.specDraftModel = model::draftModelConfig(model::opt30b());
         static std::vector<std::unique_ptr<core::EngineModel>> keep;
         keep.push_back(std::make_unique<core::EngineModel>(
             system(has_cxl), model::opt30b(), cfg));
@@ -144,6 +145,20 @@ randomConfig(std::mt19937_64 &rng)
             std::uniform_real_distribution<double>(1.0, 20.0)(rng);
         cfg.slo.tbt =
             std::uniform_real_distribution<double>(0.05, 0.5)(rng);
+    }
+
+    // Speculative decoding on a third of the fuzz space: the builtin
+    // acceptance oracle makes tokens-per-step variable but a pure
+    // function of the seed, so the budget / drain / termination
+    // invariants and the bit-identity re-runs must all keep holding.
+    if (std::uniform_int_distribution<int>(0, 2)(rng) == 0) {
+        cfg.spec.enabled = true;
+        const std::int64_t spec_ks[] = {1, 2, 4, 8};
+        cfg.spec.draftTokens =
+            spec_ks[std::uniform_int_distribution<int>(0, 3)(rng)];
+        const double accept_rates[] = {0.3, 0.8, 1.0};
+        cfg.spec.acceptRate = accept_rates[
+            std::uniform_int_distribution<int>(0, 2)(rng)];
     }
     return cfg;
 }
@@ -211,6 +226,8 @@ TEST(SchedulerPropertyTest, ScenarioSetExercisesThePreemptionMachinery)
         configurations(), 64);
     std::size_t preemptions = 0, swapOuts = 0, recomputes = 0;
     std::size_t swapIns = 0, chunks = 0, rejected = 0;
+    std::size_t specSteps = 0;
+    std::int64_t specAccepted = 0;
     for (std::size_t c = 0; c < configs; ++c) {
         serve::Config cfg = randomConfig(rng);
         const bool cxl =
@@ -224,6 +241,8 @@ TEST(SchedulerPropertyTest, ScenarioSetExercisesThePreemptionMachinery)
         swapIns += result.metrics.swapIns;
         chunks += result.metrics.prefillChunks;
         rejected += result.metrics.rejectedCapacity;
+        specSteps += result.metrics.specSteps;
+        specAccepted += result.metrics.specAcceptedTokens;
     }
     EXPECT_GT(preemptions, 0u);
     EXPECT_GT(swapOuts, 0u);
@@ -231,6 +250,10 @@ TEST(SchedulerPropertyTest, ScenarioSetExercisesThePreemptionMachinery)
     EXPECT_GT(swapIns, 0u);
     EXPECT_GT(chunks, 0u);
     EXPECT_GT(rejected, 0u);
+    // Spec-enabled configs ride the same sweep: variable-token decode
+    // steps genuinely fire (and accept drafts) under preemption.
+    EXPECT_GT(specSteps, 0u);
+    EXPECT_GT(specAccepted, 0);
 }
 
 /**

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <map>
 #include <vector>
 
 #include "serve/runtime_backend.hh"
@@ -42,6 +43,7 @@ tinySharedCosts(bool cxl)
         core::EngineConfig cfg;
         cfg.costOptions.executionAwareObjective = true;
         cfg.autoMemoryPolicy = has_cxl;
+        cfg.specDraftModel = model::draftModelConfig(tinyServedModel());
         static std::vector<std::unique_ptr<core::EngineModel>> keep;
         keep.push_back(std::make_unique<core::EngineModel>(
             tinySystem(has_cxl), tinyServedModel(), cfg));
@@ -122,10 +124,54 @@ randomTinyConfig(std::mt19937_64 &rng, double decodeStepSeconds)
     const std::int64_t prefix_blocks[] = {8, 16};
     cfg.prefix.blockTokens =
         prefix_blocks[std::uniform_int_distribution<int>(0, 1)(rng)];
+
+    // Speculative decoding on half the scenarios. Small k keeps verify
+    // batches inside the tiny context; the acceptance rate only steers
+    // the analytic fallback oracle (backed scenarios replay the real
+    // verify outcomes instead — see runDifferentialScenario).
+    cfg.spec.enabled =
+        std::uniform_int_distribution<int>(0, 1)(rng) == 1;
+    const std::int64_t spec_ks[] = {1, 2, 4};
+    cfg.spec.draftTokens =
+        spec_ks[std::uniform_int_distribution<int>(0, 2)(rng)];
+    const double accept_rates[] = {0.5, 0.8, 1.0};
+    cfg.spec.acceptRate =
+        accept_rates[std::uniform_int_distribution<int>(0, 2)(rng)];
     return cfg;
 }
 
 namespace {
+
+/**
+ * RuntimeBackend that records the verified accept count of every
+ * speculation step, keyed by (request id, per-request step index).
+ * The analytic leg of a spec-enabled scenario replays these through
+ * Config::spec.oracle so both paths take bit-identical
+ * variable-token decode steps.
+ */
+class RecordingBackend : public serve::RuntimeBackend
+{
+  public:
+    RecordingBackend(
+        const hw::SystemConfig &system,
+        const model::ModelConfig &model, const serve::Config &config,
+        std::map<std::uint64_t, std::vector<std::int64_t>> &accepts)
+        : RuntimeBackend(system, model, config), accepts_(accepts)
+    {
+    }
+
+    std::int64_t speculate(const serve::Request &request,
+                           std::int64_t draft_tokens) override
+    {
+        const std::int64_t accepted =
+            RuntimeBackend::speculate(request, draft_tokens);
+        accepts_[request.id].push_back(accepted);
+        return accepted;
+    }
+
+  private:
+    std::map<std::uint64_t, std::vector<std::int64_t>> &accepts_;
+};
 
 /** Compare one request's served outputs against an uninterrupted
  *  reference generation on the same weights. */
@@ -154,13 +200,27 @@ void
 runDifferentialScenario(const serve::Config &config, bool cxl,
                         DifferentialOutcome &outcome)
 {
-    serve::ServingEngine engine(tinySystem(cxl), tinyServedModel(),
-                                config, tinySharedCosts(cxl));
-    const serve::Result analytic = engine.run();
+    // The backed leg runs first: when speculation is on, the runtime's
+    // verify pass decides the real accept counts, the recording
+    // backend captures them, and the analytic leg replays them through
+    // the acceptance oracle — the backend stays passive (it never
+    // *changes* a decision, the oracle merely reproduces the counts
+    // the engine already committed to).
+    std::map<std::uint64_t, std::vector<std::int64_t>> recorded;
+    serve::Config cfg = config;
+    if (cfg.spec.enabled)
+        cfg.spec.oracle = [&recorded](std::uint64_t id, std::int64_t k,
+                                      std::uint64_t step) {
+            (void)k;
+            return recorded.at(id).at(step);
+        };
 
-    serve::RuntimeBackend backend(tinySystem(cxl), tinyServedModel(),
-                                  config);
+    serve::ServingEngine engine(tinySystem(cxl), tinyServedModel(),
+                                cfg, tinySharedCosts(cxl));
+    RecordingBackend backend(tinySystem(cxl), tinyServedModel(), cfg,
+                             recorded);
     const serve::Result backed = engine.run(&backend);
+    const serve::Result analytic = engine.run();
 
     // The backend must be passive: both paths took bit-identical
     // scheduling decisions, and both satisfy the serving invariants.
@@ -183,6 +243,18 @@ runDifferentialScenario(const serve::Config &config, bool cxl,
     EXPECT_DOUBLE_EQ(backend.liveKvBytes(), 0.0);
     EXPECT_DOUBLE_EQ(backend.swappedKvBytes(), 0.0);
 
+    // Speculation lockstep: every draft+verify round the runtime ran
+    // is one the engine accounted, token for token.
+    EXPECT_EQ(counters.specSteps, mx.specSteps);
+    EXPECT_EQ(static_cast<std::int64_t>(counters.specDrafted),
+              mx.specDraftedTokens);
+    EXPECT_EQ(static_cast<std::int64_t>(counters.specAccepted),
+              mx.specAcceptedTokens);
+    if (!config.spec.enabled) {
+        EXPECT_EQ(mx.specSteps, 0u);
+        EXPECT_EQ(counters.specSteps, 0u);
+    }
+
     // Prefix-cache lockstep: every engine-side hit was attached and
     // digest-verified by the runtime, and the mirrored node bytes at
     // drain equal the engine's retained cache account.
@@ -204,12 +276,18 @@ runDifferentialScenario(const serve::Config &config, bool cxl,
     for (const auto &request : backed.requests) {
         if (request.state != RequestState::Finished)
             continue;
-        if (request.preemptions > 0) {
+        // Speculated completions always check: their reference is the
+        // plain (non-speculative) greedy generation, so this is the
+        // spec-on == spec-off bit-identity property, end to end —
+        // including requests preempted or swapped mid-speculation.
+        if (request.preemptions > 0 || request.specSteps > 0) {
             checkContinuity(backend, request, outcome);
         } else if (!plainChecked) {
             checkContinuity(backend, request, outcome);
             plainChecked = true;
         }
+        if (request.specSteps > 0 && request.preemptions > 0)
+            ++outcome.specPreemptedRequests;
     }
 
     ++outcome.scenarios;
@@ -223,6 +301,9 @@ runDifferentialScenario(const serve::Config &config, bool cxl,
     outcome.prefixInserts += counters.prefixInserts;
     outcome.prefixReclaims +=
         counters.prefixEvictions + counters.prefixDemotions;
+    outcome.specSteps += counters.specSteps;
+    outcome.specDrafted += counters.specDrafted;
+    outcome.specAccepted += counters.specAccepted;
 }
 
 } // namespace test

@@ -53,6 +53,14 @@ struct DifferentialOutcome
     std::uint64_t prefixInserts = 0;
     std::uint64_t prefixReclaims = 0;  //!< node evictions + demotions
 
+    // --- Speculative decoding -----------------------------------------
+    std::uint64_t specSteps = 0;      //!< draft+verify rounds executed
+    std::uint64_t specDrafted = 0;    //!< draft tokens proposed
+    std::uint64_t specAccepted = 0;   //!< drafts the verify kept
+    /** Finished requests that both speculated and were preempted
+     *  (evicted or swapped) mid-stream — the draft-cache rebuild path. */
+    std::size_t specPreemptedRequests = 0;
+
     /** Finished requests whose greedy outputs were compared against an
      *  uninterrupted reference generation... */
     std::size_t continuityChecked = 0;
