@@ -16,6 +16,47 @@ namespace {
 /** Set while a thread is executing chunks of some pool's job. */
 thread_local bool tlsInsideWorker = false;
 
+/**
+ * Spin budgets (iterations of cpuRelax, roughly a nanosecond each).
+ * Workers wait up to ~20-50us for the next low-latency job — several
+ * decode-GEMV dispatch periods — before parking; the caller waits a
+ * smaller budget for stragglers of the loop it just helped drain.
+ * Both are bounded: an expired budget falls back to the blocking
+ * protocol, so an idle pool always ends up parked on the condition
+ * variable exactly as before. On a single-core host both budgets are
+ * zero — spinning only helps when the spinner and the thread it waits
+ * for occupy different cores; on one core it steals the very core the
+ * other side needs and degrades straight to the blocking protocol
+ * anyway, just later.
+ */
+inline int
+workerSpinBudget()
+{
+    static const int budget =
+        std::thread::hardware_concurrency() > 1 ? 1 << 15 : 0;
+    return budget;
+}
+
+inline int
+callerSpinBudget()
+{
+    static const int budget =
+        std::thread::hardware_concurrency() > 1 ? 1 << 14 : 0;
+    return budget;
+}
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
 } // namespace
 
 bool
@@ -98,6 +139,22 @@ ThreadPool::workerLoop()
         // Hold a shared_ptr while working: a straggler that dequeues
         // the job as the caller retires it must not touch freed state.
         std::shared_ptr<Job> job;
+        // Low-latency phase: after a low-latency job, poll the
+        // generation mirror briefly before taking the lock — if the
+        // next dispatch lands inside the budget, the CV wait below
+        // finds its predicate already true and never parks (no futex
+        // round trip). Expiry, stop, and spurious wake all degrade to
+        // the plain blocking wait.
+        if (spinHint_.load(std::memory_order_relaxed)) {
+            for (int i = 0, budget = workerSpinBudget(); i < budget;
+                 ++i) {
+                if (generationHint_.load(std::memory_order_acquire) !=
+                    seen) {
+                    break;
+                }
+                cpuRelax();
+            }
+        }
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
@@ -128,6 +185,20 @@ void
 ThreadPool::parallelFor(std::int64_t n, std::int64_t grain,
                         const RangeFn &body)
 {
+    parallelForImpl(n, grain, body, false);
+}
+
+void
+ThreadPool::parallelForLowLatency(std::int64_t n, std::int64_t grain,
+                                  const RangeFn &body)
+{
+    parallelForImpl(n, grain, body, true);
+}
+
+void
+ThreadPool::parallelForImpl(std::int64_t n, std::int64_t grain,
+                            const RangeFn &body, bool low_latency)
+{
     if (n <= 0)
         return;
     grain = std::max<std::int64_t>(grain, 1);
@@ -144,18 +215,18 @@ ThreadPool::parallelFor(std::int64_t n, std::int64_t grain,
     ParallelObserver *obs = observer_.load(std::memory_order_acquire);
     if (obs) {
         const auto start = std::chrono::steady_clock::now();
-        parallelForDispatch(n, grain, body);
+        parallelForDispatch(n, grain, body, low_latency);
         const auto end = std::chrono::steady_clock::now();
         obs->onParallelFor(
             std::chrono::duration<double>(end - start).count());
         return;
     }
-    parallelForDispatch(n, grain, body);
+    parallelForDispatch(n, grain, body, low_latency);
 }
 
 void
 ThreadPool::parallelForDispatch(std::int64_t n, std::int64_t grain,
-                                const RangeFn &body)
+                                const RangeFn &body, bool low_latency)
 {
 
     // The pool has a single job slot, so concurrent external callers
@@ -175,13 +246,30 @@ ThreadPool::parallelForDispatch(std::int64_t n, std::int64_t grain,
     job->chunk = std::max(grain, (n + target - 1) / target);
     job->chunks = (n + job->chunk - 1) / job->chunk;
 
+    // Publish the spin policy before the job becomes visible: a worker
+    // draining this job reads it when deciding how to wait for the
+    // next one.
+    spinHint_.store(low_latency, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = job;
         ++generation_;
+        generationHint_.store(generation_, std::memory_order_release);
     }
     wake_.notify_all();
     runChunks(*job);
+    if (low_latency) {
+        // Straggler wait: the caller just drained its own share, so
+        // the remaining chunks are already in flight on the workers.
+        // Spin a bounded budget on the drain counter; on success the
+        // wait below finds its predicate true and never parks.
+        for (int i = 0, budget = callerSpinBudget();
+             i < budget && job->done.load(std::memory_order_acquire) !=
+                               job->chunks;
+             ++i) {
+            cpuRelax();
+        }
+    }
     {
         std::unique_lock<std::mutex> lock(mutex_);
         finished_.wait(lock, [&] {

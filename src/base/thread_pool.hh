@@ -100,6 +100,22 @@ class ThreadPool
                      const RangeFn &body);
 
     /**
+     * parallelFor for latency-critical small loops (decode-GEMV tile
+     * sweeps): identical chunking, identical results, different
+     * waiting strategy. The caller spins a bounded budget on the
+     * drain counter before parking on the condition variable, and
+     * workers that just drained a low-latency job spin a bounded
+     * budget for the next one before sleeping — so a stream of
+     * back-to-back small loops (one per decode matmul) stops paying
+     * the futex wake/park round trip on every dispatch. Falls back to
+     * the exact blocking protocol when a budget expires, so nothing
+     * ever busy-waits unboundedly. Observers see these loops through
+     * the same onParallelFor hook.
+     */
+    void parallelForLowLatency(std::int64_t n, std::int64_t grain,
+                               const RangeFn &body);
+
+    /**
      * Process default: LIA_THREADS when set to a positive integer,
      * else std::thread::hardware_concurrency(), clamped to [1, 256].
      */
@@ -144,9 +160,13 @@ class ThreadPool
     void workerLoop();
     void runChunks(Job &job);
 
+    /** Shared front half of both parallelFor flavours. */
+    void parallelForImpl(std::int64_t n, std::int64_t grain,
+                         const RangeFn &body, bool low_latency);
+
     /** The out-of-line dispatch path of parallelFor (workers woken). */
     void parallelForDispatch(std::int64_t n, std::int64_t grain,
-                             const RangeFn &body);
+                             const RangeFn &body, bool low_latency);
 
     std::vector<std::thread> workers_;
     std::atomic<ParallelObserver *> observer_{nullptr};
@@ -156,6 +176,18 @@ class ThreadPool
     std::condition_variable finished_; //!< caller: job drained
     std::shared_ptr<Job> job_;         //!< active job (guarded)
     std::uint64_t generation_ = 0;     //!< bumps per job
+    /**
+     * Lock-free mirror of generation_, published after the job under
+     * mutex_: what spinning workers poll instead of taking the lock.
+     */
+    std::atomic<std::uint64_t> generationHint_{0};
+    /**
+     * True while the most recent job was dispatched low-latency:
+     * workers finishing such a job spin briefly for the next one
+     * (decode streams issue many small loops back to back) instead of
+     * parking immediately.
+     */
+    std::atomic<bool> spinHint_{false};
     bool stop_ = false;
 };
 

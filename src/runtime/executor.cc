@@ -39,18 +39,32 @@ CooperativeExecutor::CooperativeExecutor(const hw::SystemConfig &system,
         kernelOpts_.profiler = profiler_.get();
         kernelOpts_.pool->setObserver(profiler_.get());
     }
-    // One-time tile packing of the projection weights and LM head;
-    // layout only, so results are unchanged (and bit-identical at any
-    // thread count).
-    weights_.pack();
+    // Quantized execution must agree with quantized pricing: the
+    // ledger charges parameter bytes via the config's
+    // weightBytesPerElement, so an int8 executor requires an
+    // int8-priced config (model::quantized) and vice versa.
+    if (config_.weightPrecision == model::WeightPrecision::Int8) {
+        LIA_ASSERT(weights_.config.weightBytesPerElement == 1.0,
+                   "int8 execution wants an int8-priced model config "
+                   "(weightBytesPerElement 1.0, see model::quantized)");
+    }
+    // One-time tile packing of the projection weights and LM head. At
+    // Bf16 this is layout only; at Int8 it also quantizes the
+    // projections onto the per-tile int8 grid (numerics change by
+    // design, but stay bit-identical across thread counts and
+    // policies).
+    weights_.pack(config_.weightPrecision);
 
     // The framework keeps every parameter host-side (§5); resident
-    // layers additionally occupy GPU memory (Optimization-1).
-    const bool cpu_ok = cpu_.tryAllocate(weights_.bf16Bytes());
+    // layers additionally occupy GPU memory (Optimization-1). Stored
+    // bytes follow the weight precision (identical to bf16Bytes for
+    // unquantized configs).
+    const bool cpu_ok = cpu_.tryAllocate(weights_.storedBytes());
     LIA_ASSERT(cpu_ok, "model does not fit host memory");
     double resident_bytes = 0;
     for (int l = 0; l < config_.residentLayers; ++l)
-        resident_bytes += weights_.layers[l].bf16Bytes();
+        resident_bytes += weights_.layers[l].storedBytes(
+            weights_.config.weightBytesPerElement);
     const bool gpu_ok = gpu_.tryAllocate(resident_bytes);
     LIA_ASSERT(gpu_ok, "resident layers exceed GPU memory");
 }
@@ -273,6 +287,16 @@ CooperativeExecutor::forwardLayers(KvCache &cache, Tensor hidden,
     // extending existing history — read the grown cache).
     const std::int64_t context = cache.length() + tokens;
 
+    // Per-tensor dispatch over the placement pack() decided: the int8
+    // tile kernel where an int8 pack exists, the fp32 packed kernel
+    // everywhere else (excluded tensors, unquantized runs).
+    const auto project = [this](const Tensor &x, const PackedMatrix &fp,
+                                const PackedInt8Matrix &q8,
+                                const Tensor &bias) {
+        return q8.empty() ? matmulPacked(x, fp, bias, kernelOpts_)
+                          : matmulInt8(x, q8, bias, kernelOpts_);
+    };
+
     for (std::int64_t l = 0; l < cfg.numLayers; ++l) {
         const auto &w = weights_.layers[static_cast<std::size_t>(l)];
         const bool resident = l < config_.residentLayers;
@@ -281,9 +305,9 @@ CooperativeExecutor::forwardLayers(KvCache &cache, Tensor hidden,
         // packed-tile kernel against the forms cached at pack() time.
         Tensor normed =
             layerNorm(hidden, w.lnAttnGain, w.lnAttnBias, kernelOpts_);
-        Tensor q = matmulPacked(normed, w.packedWq, w.bq, kernelOpts_);
-        Tensor k = matmulPacked(normed, w.packedWk, w.bk, kernelOpts_);
-        Tensor v = matmulPacked(normed, w.packedWv, w.bv, kernelOpts_);
+        Tensor q = project(normed, w.packedWq, w.int8Wq, w.bq);
+        Tensor k = project(normed, w.packedWk, w.int8Wk, w.bk);
+        Tensor v = project(normed, w.packedWv, w.int8Wv, w.bv);
         cache.append(l, k.reshaped({batch, tokens, cfg.kvDim()}),
                      v.reshaped({batch, tokens, cfg.kvDim()}));
         chargeSublayer(0, stage, batch, context, resident, policy);
@@ -296,7 +320,7 @@ CooperativeExecutor::forwardLayers(KvCache &cache, Tensor hidden,
         chargeSublayer(2, stage, batch, context, resident, policy);
 
         // Sublayer 4: output projection + residual.
-        Tensor proj = matmulPacked(attn, w.packedWo, w.bo, kernelOpts_);
+        Tensor proj = project(attn, w.packedWo, w.int8Wo, w.bo);
         hidden = add(hidden, proj, kernelOpts_);
         chargeSublayer(3, stage, batch, context, resident, policy);
 
@@ -304,17 +328,16 @@ CooperativeExecutor::forwardLayers(KvCache &cache, Tensor hidden,
         // models gate the up projection with SiLU (SwiGLU).
         Tensor ffn_in =
             layerNorm(hidden, w.lnFfnGain, w.lnFfnBias, kernelOpts_);
-        Tensor h1 = matmulPacked(ffn_in, w.packedW1, w.b1, kernelOpts_);
+        Tensor h1 = project(ffn_in, w.packedW1, w.int8W1, w.b1);
         if (cfg.gatedFfn) {
-            Tensor gate =
-                matmulPacked(ffn_in, w.packedWg, w.bg, kernelOpts_);
+            Tensor gate = project(ffn_in, w.packedWg, w.int8Wg, w.bg);
             siluInPlace(gate, kernelOpts_);
             mulInPlace(h1, gate, kernelOpts_);
         } else {
             reluInPlace(h1, kernelOpts_);
         }
         chargeSublayer(4, stage, batch, context, resident, policy);
-        Tensor h2 = matmulPacked(h1, w.packedW2, w.b2, kernelOpts_);
+        Tensor h2 = project(h1, w.packedW2, w.int8W2, w.b2);
         hidden = add(hidden, h2, kernelOpts_);
         chargeSublayer(5, stage, batch, context, resident, policy);
     }

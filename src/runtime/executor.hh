@@ -43,6 +43,19 @@ struct ExecutorConfig
     bool bf16Rounding = true;   //!< emulate BF16 numerics
     SamplingConfig sampling;    //!< token selection (greedy default)
     /**
+     * Weight storage/execution precision. At Int8 the executor packs
+     * the projection matrices into the int8 VNNI-style tile format
+     * and runs them through matmulInt8 (per-tensor placement with the
+     * fp32 pack as fallback; the tied LM head always stays fp32), and
+     * the weights' config must already be int8-priced
+     * (weightBytesPerElement == 1.0, e.g. via model::quantized) so
+     * the transfer ledger and the analytic cost model move the same
+     * parameter bytes. Int4 shrinks accounting only — there is no
+     * int4 kernel, so execution stays fp32.
+     */
+    model::WeightPrecision weightPrecision =
+        model::WeightPrecision::Bf16;
+    /**
      * Pool the kernels run on; injected at construction so every
      * prefill/decode call — including the serving backend's
      * batch-of-one decodeOne stream — reuses one set of persistent

@@ -32,6 +32,24 @@ parallelRun(const KernelOptions &opts, std::int64_t n,
     }
 }
 
+/**
+ * Same, but on the pool's low-latency (spin-before-sleep) path: for
+ * the small decode-shaped loops where the worker wake/park round trip
+ * rivals the loop body itself. Chunking — and therefore results — is
+ * identical to parallelRun.
+ */
+template <typename Body>
+void
+parallelRunLowLatency(const KernelOptions &opts, std::int64_t n,
+                      std::int64_t grain, const Body &body)
+{
+    if (opts.pool != nullptr) {
+        opts.pool->parallelForLowLatency(n, grain, body);
+    } else {
+        body(static_cast<std::int64_t>(0), n);
+    }
+}
+
 void
 maybeRound(Tensor &t, const KernelOptions &opts)
 {
@@ -121,6 +139,223 @@ packedBlock(const float *pa, std::int64_t lda, const float *tile,
     for (int r = 0; r < MR; ++r)
         for (std::int64_t jj = 0; jj < jw; ++jj)
             pc[r * n + j0 + jj] = acc[r][jj];
+#endif
+}
+
+// --- Int8 path -------------------------------------------------------
+//
+// Every int8 kernel is built from three shared pieces: one activation
+// quantizer, one exact int32 accumulation (order-free), and one
+// dequant expression. Sharing them is the whole §12 determinism
+// argument — the SIMD paths can reorder the integer sums freely and
+// still match scalarMatmulInt8 bit for bit.
+
+/**
+ * Quantize one activation row: symmetric absmax, q = round(v * 127 /
+ * absmax) clamped to [-127, 127]; an all-zero row gets scale 0 and
+ * all-zero codes. @p out must span 2 * kPairs entries and arrive
+ * zeroed — the k-odd padding byte stays 0, contributing exact integer
+ * zeros. Returns the row scale (absmax / 127).
+ */
+float
+quantizeRowInt8(const float *row, std::int64_t k, std::int8_t *out)
+{
+    float absmax = 0.0f;
+    for (std::int64_t i = 0; i < k; ++i)
+        absmax = std::max(absmax, std::fabs(row[i]));
+    if (absmax == 0.0f)
+        return 0.0f;
+    const float inv = 127.0f / absmax;
+    for (std::int64_t i = 0; i < k; ++i) {
+        const long q = std::lrintf(row[i] * inv);
+        out[i] = static_cast<std::int8_t>(
+            std::clamp(q, -127l, 127l));
+    }
+    return absmax / 127.0f;
+}
+
+/**
+ * The shared dequant expression: every int8 path maps an int32 sum to
+ * fp32 through exactly these operations (cvtepi32_ps and
+ * static_cast<float> both round to nearest even, so the SIMD variant
+ * is the same function).
+ */
+inline float
+dequantInt8(std::int32_t acc, float combined_scale, const float *pbias,
+            std::int64_t j)
+{
+    float v = static_cast<float>(acc) * combined_scale;
+    if (pbias != nullptr)
+        v += pbias[j];
+    return v;
+}
+
+/**
+ * One quantized row against one int8 tile, scalar: the canonical
+ * accumulation the SIMD blocks reproduce (exactly — integer sums are
+ * order-free), and the fallback for partial tiles and non-SSE2
+ * builds. @p aq spans 2 * kPairs codes (zero-padded).
+ */
+void
+int8TileRowScalar(const std::int8_t *aq, float sa,
+                  const PackedInt8Matrix &b, std::int64_t jt,
+                  const float *pbias, float *crow)
+{
+    const std::int64_t kp = b.kPairs();
+    const std::int8_t *tile =
+        b.data.data() + jt * kp * 2 * kPackTileWidth;
+    const std::int64_t j0 = jt * kPackTileWidth;
+    const std::int64_t jw = std::min(kPackTileWidth, b.n - j0);
+    const float combined =
+        sa * b.scales[static_cast<std::size_t>(jt)];
+    for (std::int64_t jj = 0; jj < jw; ++jj) {
+        std::int32_t acc = 0;
+        for (std::int64_t kk2 = 0; kk2 < kp; ++kk2) {
+            const std::int8_t *pair =
+                tile + kk2 * 2 * kPackTileWidth + jj * 2;
+            acc += static_cast<std::int32_t>(aq[2 * kk2]) * pair[0] +
+                   static_cast<std::int32_t>(aq[2 * kk2 + 1]) * pair[1];
+        }
+        crow[j0 + jj] = dequantInt8(acc, combined, pbias, j0 + jj);
+    }
+}
+
+#if LIA_KERNEL_SSE2
+
+/** Broadcast one activation k-pair into all four 16-bit lane pairs. */
+inline __m128i
+int8PairBroadcast(const std::int8_t *aq, std::int64_t kk2)
+{
+    const auto a0 = static_cast<std::uint16_t>(
+        static_cast<std::int16_t>(aq[2 * kk2]));
+    const auto a1 = static_cast<std::uint16_t>(
+        static_cast<std::int16_t>(aq[2 * kk2 + 1]));
+    return _mm_set1_epi32(static_cast<int>(
+        (static_cast<std::uint32_t>(a1) << 16) | a0));
+}
+
+/**
+ * MR quantized rows x one *full* int8 tile: 16 weight bytes per
+ * k-pair, sign-extended to 16 bits, pmaddwd against the broadcast
+ * activation pair — the SSE2 spelling of the VNNI dot-product step.
+ * Accumulation is exact int32, dequant is the shared expression.
+ */
+template <int MR>
+void
+int8Block(const std::int8_t *aq, std::int64_t lda, const float *sa,
+          const std::int8_t *tile, std::int64_t kp, float sw,
+          const float *pbias, std::int64_t j0, float *pc,
+          std::int64_t n)
+{
+    const __m128i zero = _mm_setzero_si128();
+    __m128i acc[MR][2];
+    for (int r = 0; r < MR; ++r)
+        acc[r][0] = acc[r][1] = zero;
+    for (std::int64_t kk2 = 0; kk2 < kp; ++kk2) {
+        const __m128i w8 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(tile + kk2 * 16));
+        const __m128i sign = _mm_cmpgt_epi8(zero, w8);
+        const __m128i lo = _mm_unpacklo_epi8(w8, sign);
+        const __m128i hi = _mm_unpackhi_epi8(w8, sign);
+        for (int r = 0; r < MR; ++r) {
+            const __m128i av = int8PairBroadcast(aq + r * lda, kk2);
+            acc[r][0] =
+                _mm_add_epi32(acc[r][0], _mm_madd_epi16(lo, av));
+            acc[r][1] =
+                _mm_add_epi32(acc[r][1], _mm_madd_epi16(hi, av));
+        }
+    }
+    for (int r = 0; r < MR; ++r) {
+        const __m128 scale = _mm_set1_ps(sa[r] * sw);
+        __m128 v0 = _mm_mul_ps(_mm_cvtepi32_ps(acc[r][0]), scale);
+        __m128 v1 = _mm_mul_ps(_mm_cvtepi32_ps(acc[r][1]), scale);
+        if (pbias != nullptr) {
+            v0 = _mm_add_ps(v0, _mm_loadu_ps(pbias + j0));
+            v1 = _mm_add_ps(v1, _mm_loadu_ps(pbias + j0 + 4));
+        }
+        _mm_storeu_ps(pc + r * n + j0, v0);
+        _mm_storeu_ps(pc + r * n + j0 + 4, v1);
+    }
+}
+
+/**
+ * The wide fused dequant-GEMV inner kernel: one quantized row against
+ * four consecutive *full* tiles (32 output columns) in one k-sweep —
+ * eight int32 accumulators stay in registers and each activation
+ * broadcast is amortized over all four tiles. This is the m = 1
+ * decode kernel; its per-tile integer math is the same as
+ * int8Block<1>'s, so results are identical either way.
+ */
+void
+int8GemvWide4(const std::int8_t *aq, float sa,
+              const PackedInt8Matrix &b, std::int64_t jt0,
+              const float *pbias, float *crow)
+{
+    const std::int64_t kp = b.kPairs();
+    const std::int8_t *tiles[4];
+    for (int t = 0; t < 4; ++t)
+        tiles[t] = b.data.data() + (jt0 + t) * kp * 2 * kPackTileWidth;
+    const __m128i zero = _mm_setzero_si128();
+    __m128i acc[4][2];
+    for (int t = 0; t < 4; ++t)
+        acc[t][0] = acc[t][1] = zero;
+    for (std::int64_t kk2 = 0; kk2 < kp; ++kk2) {
+        const __m128i av = int8PairBroadcast(aq, kk2);
+        for (int t = 0; t < 4; ++t) {
+            const __m128i w8 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(tiles[t] + kk2 * 16));
+            const __m128i sign = _mm_cmpgt_epi8(zero, w8);
+            const __m128i lo = _mm_unpacklo_epi8(w8, sign);
+            const __m128i hi = _mm_unpackhi_epi8(w8, sign);
+            acc[t][0] =
+                _mm_add_epi32(acc[t][0], _mm_madd_epi16(lo, av));
+            acc[t][1] =
+                _mm_add_epi32(acc[t][1], _mm_madd_epi16(hi, av));
+        }
+    }
+    for (int t = 0; t < 4; ++t) {
+        const std::int64_t j0 = (jt0 + t) * kPackTileWidth;
+        const __m128 scale = _mm_set1_ps(
+            sa * b.scales[static_cast<std::size_t>(jt0 + t)]);
+        __m128 v0 = _mm_mul_ps(_mm_cvtepi32_ps(acc[t][0]), scale);
+        __m128 v1 = _mm_mul_ps(_mm_cvtepi32_ps(acc[t][1]), scale);
+        if (pbias != nullptr) {
+            v0 = _mm_add_ps(v0, _mm_loadu_ps(pbias + j0));
+            v1 = _mm_add_ps(v1, _mm_loadu_ps(pbias + j0 + 4));
+        }
+        _mm_storeu_ps(crow + j0, v0);
+        _mm_storeu_ps(crow + j0 + 4, v1);
+    }
+}
+
+#endif // LIA_KERNEL_SSE2
+
+/** One quantized row over the tile range [t0, t1): the fused
+ *  dequant-GEMV body (wide kernel for full-tile groups of four,
+ *  per-tile for the remainder and the ragged final tile). */
+void
+int8GemvRow(const std::int8_t *aq, float sa, const PackedInt8Matrix &b,
+            std::int64_t t0, std::int64_t t1, const float *pbias,
+            float *crow)
+{
+#if LIA_KERNEL_SSE2
+    const std::int64_t kp = b.kPairs();
+    std::int64_t jt = t0;
+    for (; jt + 4 <= t1 && (jt + 4) * kPackTileWidth <= b.n; jt += 4)
+        int8GemvWide4(aq, sa, b, jt, pbias, crow);
+    for (; jt < t1; ++jt) {
+        if ((jt + 1) * kPackTileWidth <= b.n) {
+            int8Block<1>(aq, 0, &sa,
+                         b.data.data() + jt * kp * 2 * kPackTileWidth,
+                         kp, b.scales[static_cast<std::size_t>(jt)],
+                         pbias, jt * kPackTileWidth, crow, b.n);
+        } else {
+            int8TileRowScalar(aq, sa, b, jt, pbias, crow);
+        }
+    }
+#else
+    for (std::int64_t jt = t0; jt < t1; ++jt)
+        int8TileRowScalar(aq, sa, b, jt, pbias, crow);
 #endif
 }
 
@@ -308,8 +543,7 @@ matmulPacked(const Tensor &a, const PackedMatrix &b, const Tensor &bias,
     // threads) and for prefill (the tile stays L1/L2-resident across
     // the row sweep). Every output element is produced inside exactly
     // one tile in k-ascending order — bit-identical at any count.
-    parallelRun(opts, b.tiles(), 1,
-                [&](std::int64_t t0, std::int64_t t1) {
+    const auto tileSweep = [&](std::int64_t t0, std::int64_t t1) {
         for (std::int64_t jt = t0; jt < t1; ++jt) {
             const float *tile =
                 b.data.data() + jt * k * kPackTileWidth;
@@ -323,7 +557,227 @@ matmulPacked(const Tensor &a, const PackedMatrix &b, const Tensor &bias,
                 packedBlock<1>(pa + i * k, k, tile, k, pbias, j0, jw,
                                pc + i * n, n);
         }
+    };
+    // Decode shapes take the pool's low-latency dispatch (same
+    // chunking, same results — only the waiting strategy differs).
+    if (m < 4)
+        parallelRunLowLatency(opts, b.tiles(), 1, tileSweep);
+    else
+        parallelRun(opts, b.tiles(), 1, tileSweep);
+    maybeRound(c, opts);
+    return c;
+}
+
+std::int64_t
+PackedInt8Matrix::tiles() const
+{
+    return (n + kPackTileWidth - 1) / kPackTileWidth;
+}
+
+bool
+int8PackViable(std::int64_t k)
+{
+    // Each k-pair contributes at most 2 * 127 * 127 to the int32
+    // accumulator; bound the pair count so the sum can never wrap.
+    constexpr std::int64_t pair_max = 2 * 127 * 127;
+    constexpr std::int64_t int32_max = 2147483647;
+    return k > 0 && (k + 1) / 2 <= int32_max / pair_max;
+}
+
+namespace {
+
+/** Shared body of the two int8 pack flavours: @p at(kk, jj) reads the
+ *  logical (k, n) element with jj already offset into the tile. */
+template <typename At>
+PackedInt8Matrix
+packInt8Impl(std::int64_t k, std::int64_t n, const At &at)
+{
+    LIA_ASSERT(int8PackViable(k),
+               "reduction extent ", k, " too deep for int8 int32 "
+               "accumulation — keep this tensor on the fp32 path");
+    PackedInt8Matrix p;
+    p.k = k;
+    p.n = n;
+    const std::int64_t kp = p.kPairs();
+    p.data.assign(static_cast<std::size_t>(p.tiles() * kp * 2 *
+                                           kPackTileWidth),
+                  0);
+    p.scales.assign(static_cast<std::size_t>(p.tiles()), 0.0f);
+    for (std::int64_t jt = 0; jt < p.tiles(); ++jt) {
+        const std::int64_t j0 = jt * kPackTileWidth;
+        const std::int64_t jw = std::min(kPackTileWidth, n - j0);
+        float absmax = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk)
+            for (std::int64_t jj = 0; jj < jw; ++jj)
+                absmax = std::max(absmax, std::fabs(at(kk, j0 + jj)));
+        if (absmax == 0.0f)
+            continue;  // scale 0, all-zero codes
+        const float inv = 127.0f / absmax;
+        p.scales[static_cast<std::size_t>(jt)] = absmax / 127.0f;
+        std::int8_t *tile =
+            p.data.data() + jt * kp * 2 * kPackTileWidth;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            for (std::int64_t jj = 0; jj < jw; ++jj) {
+                const long q =
+                    std::lrintf(at(kk, j0 + jj) * inv);
+                tile[(kk / 2) * 2 * kPackTileWidth + jj * 2 +
+                     (kk & 1)] = static_cast<std::int8_t>(
+                    std::clamp(q, -127l, 127l));
+            }
+        }
+    }
+    return p;
+}
+
+} // namespace
+
+PackedInt8Matrix
+packColumnsInt8(const Tensor &b)
+{
+    LIA_ASSERT(b.ndim() == 2, "packColumnsInt8 wants 2-D");
+    const std::int64_t k = b.dim(0);
+    const std::int64_t n = b.dim(1);
+    const float *pb = b.data();
+    return packInt8Impl(k, n, [&](std::int64_t kk, std::int64_t j) {
+        return pb[kk * n + j];
     });
+}
+
+PackedInt8Matrix
+packTransposedInt8(const Tensor &b)
+{
+    LIA_ASSERT(b.ndim() == 2, "packTransposedInt8 wants 2-D");
+    const std::int64_t k = b.dim(1);
+    const std::int64_t n = b.dim(0);
+    const float *pb = b.data();
+    return packInt8Impl(k, n, [&](std::int64_t kk, std::int64_t j) {
+        return pb[j * k + kk];
+    });
+}
+
+namespace {
+
+/** Shared argument checking of the int8 matmuls. */
+void
+checkInt8Operands(const Tensor &a, const PackedInt8Matrix &b,
+                  const Tensor &bias)
+{
+    LIA_ASSERT(a.ndim() == 2, "matmulInt8 wants 2-D A");
+    LIA_ASSERT(!b.empty(), "matmulInt8 against an unpacked operand");
+    LIA_ASSERT(b.k == a.dim(1),
+               "matmulInt8 inner dimension mismatch: ", a.dim(1),
+               " vs ", b.k);
+    if (!bias.empty()) {
+        LIA_ASSERT(bias.ndim() == 1 && bias.dim(0) == b.n,
+                   "bias shape mismatch");
+    }
+}
+
+} // namespace
+
+Tensor
+scalarMatmulInt8(const Tensor &a, const PackedInt8Matrix &b,
+                 const Tensor &bias, const KernelOptions &opts)
+{
+    obs::KernelProfiler::Scope profile(opts.profiler,
+                                       "scalar_matmul_int8");
+    checkInt8Operands(a, b, bias);
+    const std::int64_t m = a.dim(0);
+    const std::int64_t k = a.dim(1);
+    const std::int64_t n = b.n;
+
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pbias = bias.empty() ? nullptr : bias.data();
+    float *pc = c.data();
+    std::vector<std::int8_t> aq(
+        static_cast<std::size_t>(2 * b.kPairs()), 0);
+    for (std::int64_t i = 0; i < m; ++i) {
+        const float sa = quantizeRowInt8(pa + i * k, k, aq.data());
+        for (std::int64_t jt = 0; jt < b.tiles(); ++jt)
+            int8TileRowScalar(aq.data(), sa, b, jt, pbias, pc + i * n);
+    }
+    maybeRound(c, KernelOptions{opts.bf16Rounding, nullptr});
+    return c;
+}
+
+Tensor
+matmulInt8(const Tensor &a, const PackedInt8Matrix &b,
+           const Tensor &bias, const KernelOptions &opts)
+{
+    obs::KernelProfiler::Scope profile(opts.profiler, "matmul_int8");
+    checkInt8Operands(a, b, bias);
+    const std::int64_t m = a.dim(0);
+    const std::int64_t k = a.dim(1);
+    const std::int64_t n = b.n;
+    const std::int64_t lda = 2 * b.kPairs();  // quantized row stride
+
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pbias = bias.empty() ? nullptr : bias.data();
+    float *pc = c.data();
+    // Quantized activations, zero-padded to whole k-pairs. Rows are
+    // quantized by the shared scalar quantizer whichever path runs, so
+    // the codes are identical to the scalar reference's.
+    std::vector<std::int8_t> aq(static_cast<std::size_t>(m * lda), 0);
+    std::vector<float> sa(static_cast<std::size_t>(m), 0.0f);
+
+    if (m < 4) {
+        // Decode shapes: quantize the few rows inline, then run the
+        // fused dequant-GEMV tile sweep on the low-latency dispatch
+        // path — these loops are short enough that the worker
+        // wake/park round trip would otherwise dominate.
+        for (std::int64_t i = 0; i < m; ++i)
+            sa[static_cast<std::size_t>(i)] =
+                quantizeRowInt8(pa + i * k, k, aq.data() + i * lda);
+        parallelRunLowLatency(
+            opts, b.tiles(), 1, [&](std::int64_t t0, std::int64_t t1) {
+                for (std::int64_t i = 0; i < m; ++i)
+                    int8GemvRow(aq.data() + i * lda,
+                                sa[static_cast<std::size_t>(i)], b, t0,
+                                t1, pbias, pc + i * n);
+            });
+    } else {
+        // GEMM shapes: row-partitioned quantization (each row's codes
+        // are produced by exactly one chunk), then the register-
+        // blocked tile microkernel over column tiles.
+        parallelRun(opts, m, 8, [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i)
+                sa[static_cast<std::size_t>(i)] = quantizeRowInt8(
+                    pa + i * k, k, aq.data() + i * lda);
+        });
+        const std::int64_t kp = b.kPairs();
+        parallelRun(
+            opts, b.tiles(), 1, [&](std::int64_t t0, std::int64_t t1) {
+                for (std::int64_t jt = t0; jt < t1; ++jt) {
+                    const std::int64_t j0 = jt * kPackTileWidth;
+#if LIA_KERNEL_SSE2
+                    if (j0 + kPackTileWidth <= n) {
+                        const std::int8_t *tile =
+                            b.data.data() +
+                            jt * kp * 2 * kPackTileWidth;
+                        const float sw = b.scales
+                            [static_cast<std::size_t>(jt)];
+                        std::int64_t i = 0;
+                        for (; i + 4 <= m; i += 4)
+                            int8Block<4>(aq.data() + i * lda, lda,
+                                         sa.data() + i, tile, kp, sw,
+                                         pbias, j0, pc + i * n, n);
+                        for (; i < m; ++i)
+                            int8Block<1>(aq.data() + i * lda, lda,
+                                         sa.data() + i, tile, kp, sw,
+                                         pbias, j0, pc + i * n, n);
+                        continue;
+                    }
+#endif
+                    for (std::int64_t i = 0; i < m; ++i)
+                        int8TileRowScalar(
+                            aq.data() + i * lda,
+                            sa[static_cast<std::size_t>(i)], b, jt,
+                            pbias, pc + i * n);
+                }
+            });
+    }
     maybeRound(c, opts);
     return c;
 }

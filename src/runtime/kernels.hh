@@ -83,6 +83,60 @@ PackedMatrix packColumns(const Tensor &b);
 PackedMatrix packTransposed(const Tensor &b);
 
 /**
+ * A weight matrix repacked into the int8 VNNI-style tile format (the
+ * ik_llama.cpp AMX lesson: quantize + reorder once at load, then every
+ * matmul streams the compact form). Layout: per 8-column tile, k is
+ * walked in pairs and each pair's two bytes for one column sit
+ * adjacent — data[tile][kPair][column][parity] — which is exactly the
+ * operand order of pmaddwd-style multiply-accumulate (and of AMX tile
+ * rows). Odd k and partial final tiles are zero-padded; padding
+ * contributes exact integer zeros, never changing results.
+ *
+ * Quantization is symmetric absmax with one fp32 scale per column
+ * tile: q = round(w / scale), scale = absmax / 127 (scale 0 and q = 0
+ * for an all-zero tile). Activations are quantized per row at matmul
+ * time with the same rule, products accumulate in int32 — exact, so
+ * any blocking/threading order yields identical sums — and one shared
+ * dequant expression maps each sum back to fp32. That is the whole
+ * determinism argument: the int8 kernels are bit-identical to
+ * scalarMatmulInt8 at any thread count by construction (DESIGN.md
+ * §12).
+ */
+struct PackedInt8Matrix
+{
+    std::int64_t k = 0;     //!< inner (reduction) extent
+    std::int64_t n = 0;     //!< output columns
+    std::vector<std::int8_t> data;  //!< [tile][kPair][8 cols][2]
+    std::vector<float> scales;      //!< one per column tile
+
+    bool empty() const { return data.empty(); }
+    std::int64_t tiles() const;
+    /** k rounded up to pairs (the padded reduction extent). */
+    std::int64_t kPairs() const { return (k + 1) / 2; }
+    /** Stored bytes: int8 payload plus fp32 tile scales. */
+    double int8Bytes() const
+    {
+        return static_cast<double>(data.size()) +
+               4.0 * static_cast<double>(scales.size());
+    }
+};
+
+/**
+ * True when an (k, n) operand can take the int8 path: the int32
+ * accumulator holds k pairwise products of magnitude <= 2*127*127, so
+ * the reduction extent is bounded (~133k — far above any real model's
+ * hidden dimension). Placement decisions consult this; a tensor that
+ * fails stays on the fp32 packed path.
+ */
+bool int8PackViable(std::int64_t k);
+
+/** Quantize + pack a (k, n) operand of matmul into int8 tiles. */
+PackedInt8Matrix packColumnsInt8(const Tensor &b);
+
+/** Quantize + pack a (n, k) operand (logical B^T) into int8 tiles. */
+PackedInt8Matrix packTransposedInt8(const Tensor &b);
+
+/**
  * C = A x B (+ bias broadcast over rows).
  *
  * @param a      (m, k)
@@ -113,6 +167,29 @@ Tensor scalarMatmul(const Tensor &a, const Tensor &b, const Tensor &bias,
                     const KernelOptions &opts = {});
 Tensor scalarMatmulTransposed(const Tensor &a, const Tensor &b,
                               const KernelOptions &opts = {});
+
+/**
+ * C = quant(A) x B8 (+ bias) against an int8-packed operand: dynamic
+ * per-row activation quantization, int32 accumulation, fused dequant
+ * into the fp32 output. Dispatches a register-blocked tile microkernel
+ * for GEMM shapes and a wide fused dequant-GEMV for m < 4 decode rows,
+ * the latter on the pool's low-latency path so a decode stream stops
+ * paying the worker wake/park round trip per matmul. Quantized
+ * numerics differ from fp32 by design; against scalarMatmulInt8 the
+ * result is bit-identical at any thread count.
+ */
+Tensor matmulInt8(const Tensor &a, const PackedInt8Matrix &b,
+                  const Tensor &bias, const KernelOptions &opts = {});
+
+/**
+ * Retained single-thread scalar reference of the int8 path: same
+ * quantizer, same int32 accumulation order, same dequant expression,
+ * no SIMD, no pool. The property suite memcmps every int8 kernel
+ * against it.
+ */
+Tensor scalarMatmulInt8(const Tensor &a, const PackedInt8Matrix &b,
+                        const Tensor &bias,
+                        const KernelOptions &opts = {});
 
 /** Row-wise softmax over the last axis of a 2-D tensor. */
 void softmaxRows(Tensor &t, const KernelOptions &opts = {});

@@ -98,20 +98,92 @@ TransformerWeights::random(const model::ModelConfig &config, Rng &rng)
 }
 
 void
-TransformerWeights::pack()
+TransformerWeights::pack(model::WeightPrecision precision)
 {
+    packedPrecision = precision;
+    const bool int8 = precision == model::WeightPrecision::Int8;
+    // Per-tensor placement (the ik_llama.cpp packed-buffer strategy):
+    // a projection takes the int8 tile pack when the microkernel can
+    // serve its reduction extent, the fp32 pack otherwise, and only
+    // the chosen form is materialised.
+    const auto place = [int8](const Tensor &t, PackedMatrix &fp,
+                              PackedInt8Matrix &q8) {
+        if (t.empty()) {
+            fp = PackedMatrix{};
+            q8 = PackedInt8Matrix{};
+            return;
+        }
+        if (int8 && int8PackViable(t.dim(0))) {
+            q8 = packColumnsInt8(t);
+            fp = PackedMatrix{};
+        } else {
+            fp = packColumns(t);
+            q8 = PackedInt8Matrix{};
+        }
+    };
     for (LayerWeights &layer : layers) {
-        layer.packedWq = packColumns(layer.wq);
-        layer.packedWk = packColumns(layer.wk);
-        layer.packedWv = packColumns(layer.wv);
-        layer.packedWo = packColumns(layer.wo);
-        layer.packedW1 = packColumns(layer.w1);
-        layer.packedW2 = packColumns(layer.w2);
-        layer.packedWg =
-            layer.wg.empty() ? PackedMatrix{} : packColumns(layer.wg);
+        place(layer.wq, layer.packedWq, layer.int8Wq);
+        place(layer.wk, layer.packedWk, layer.int8Wk);
+        place(layer.wv, layer.packedWv, layer.int8Wv);
+        place(layer.wo, layer.packedWo, layer.int8Wo);
+        place(layer.w1, layer.packedW1, layer.int8W1);
+        place(layer.w2, layer.packedW2, layer.int8W2);
+        place(layer.wg, layer.packedWg, layer.int8Wg);
     }
-    // The LM head is the tied embedding applied transposed.
+    // Exclusion: the LM head is the tied embedding applied transposed;
+    // the embedding also feeds the fp32 token gather, so the head
+    // stays on the fp32 packed path at every precision.
     packedLmHead = packTransposed(embedding);
+}
+
+double
+LayerWeights::matrixElements() const
+{
+    double total = 0;
+    for (const Tensor *t :
+         {&wq, &wk, &wv, &wo, &w1, &w2, &wg}) {
+        total += static_cast<double>(t->numel());
+    }
+    return total;
+}
+
+double
+LayerWeights::storedBytes(double weight_bytes_per_element) const
+{
+    return bf16Bytes() +
+           (weight_bytes_per_element - 2.0) * matrixElements();
+}
+
+double
+LayerWeights::int8PackedBytes() const
+{
+    double total = 0;
+    for (const PackedInt8Matrix *p :
+         {&int8Wq, &int8Wk, &int8Wv, &int8Wo, &int8W1, &int8W2,
+          &int8Wg}) {
+        total += p->int8Bytes();
+    }
+    return total;
+}
+
+double
+TransformerWeights::storedBytes() const
+{
+    double total = bf16Bytes();
+    const double delta = config.weightBytesPerElement - 2.0;
+    if (delta != 0.0)
+        for (const auto &layer : layers)
+            total += delta * layer.matrixElements();
+    return total;
+}
+
+double
+TransformerWeights::int8PackedBytes() const
+{
+    double total = 0;
+    for (const auto &layer : layers)
+        total += layer.int8PackedBytes();
+    return total;
 }
 
 namespace {
@@ -153,9 +225,10 @@ quantizeWeights(TransformerWeights &weights,
         }
     }
     weights.config = model::quantized(weights.config, precision);
-    // Any packed forms now describe pre-quantization values; rebuild.
+    // Any packed forms now describe pre-quantization values; rebuild
+    // at whatever precision the packs were last built.
     if (!weights.packedLmHead.empty())
-        weights.pack();
+        weights.pack(weights.packedPrecision);
 }
 
 double

@@ -38,15 +38,40 @@ struct LayerWeights
      * TransformerWeights::pack(), consumed by the executor's
      * matmulPacked calls. A layout cache only — packing changes no
      * numerics and the packs never count toward model bytes.
+     *
+     * Placement is per tensor (the ik_llama.cpp exclusion lesson):
+     * under Int8 packing each projection gets *either* an int8 tile
+     * pack (when int8PackViable accepts its reduction extent) *or*
+     * the fp32 pack — never both — and the executor dispatches on
+     * whichever is populated.
      */
     PackedMatrix packedWq, packedWk, packedWv, packedWo;
     PackedMatrix packedW1, packedWg, packedW2;
+
+    /** Int8 VNNI-style packs (empty unless pack() ran at Int8). */
+    PackedInt8Matrix int8Wq, int8Wk, int8Wv, int8Wo;
+    PackedInt8Matrix int8W1, int8Wg, int8W2;
 
     /** BF16 bytes of all tensors in this layer. */
     double bf16Bytes() const;
 
     /** BF16 bytes of the weights used by one sublayer (0-5). */
     double sublayerBf16Bytes(int sublayer) const;
+
+    /** Elements across the seven projection matrices (the tensors
+     *  weight-only quantization compresses). */
+    double matrixElements() const;
+
+    /**
+     * Stored bytes at @p weight_bytes_per_element for the projection
+     * matrices plus BF16 for everything else (biases, norms) — the
+     * runtime's counterpart of the analytic per-element pricing.
+     * Exactly bf16Bytes() at 2.0.
+     */
+    double storedBytes(double weight_bytes_per_element) const;
+
+    /** Real bytes of the int8 packed buffers (codes + tile scales). */
+    double int8PackedBytes() const;
 };
 
 /** Full model parameters. */
@@ -61,6 +86,10 @@ struct TransformerWeights
     /** Tied LM head (embedding^T), tile-packed; see pack(). */
     PackedMatrix packedLmHead;
 
+    /** Precision the packs were last built at (see pack()). */
+    model::WeightPrecision packedPrecision =
+        model::WeightPrecision::Bf16;
+
     /** Deterministic synthetic weights. */
     static TransformerWeights random(const model::ModelConfig &config,
                                      Rng &rng);
@@ -70,11 +99,33 @@ struct TransformerWeights
      * tied LM head. Idempotent; call after any weight mutation (the
      * executor packs at construction). The gate pack stays empty for
      * ungated configs.
+     *
+     * At Int8, each projection matrix is quantized and repacked into
+     * the VNNI-style int8 tile format instead of the fp32 pack —
+     * per-tensor, with explicit exclusions (DESIGN.md §12): a tensor
+     * whose reduction extent the int8 microkernel cannot serve keeps
+     * its fp32 pack, and the tied LM head always stays fp32 (it is
+     * the embedding applied transposed — quantizing the shared tensor
+     * would corrupt the gather — exactly the snippet's "exclude ops
+     * the packed buffer can't serve" lesson). Int4 has no integer
+     * kernel, so it packs like Bf16 and executes fp32.
      */
-    void pack();
+    void pack(model::WeightPrecision precision =
+                  model::WeightPrecision::Bf16);
 
     /** BF16 bytes of all parameters. */
     double bf16Bytes() const;
+
+    /**
+     * Stored bytes at the config's weightBytesPerElement: projection
+     * matrices at the quantized width, everything else (embeddings,
+     * biases, norms) BF16 — what the executor reserves host-side.
+     * Exactly bf16Bytes() for unquantized configs.
+     */
+    double storedBytes() const;
+
+    /** Real bytes of all int8 packed buffers (codes + tile scales). */
+    double int8PackedBytes() const;
 };
 
 /**

@@ -42,11 +42,19 @@ sharedKernelPool()
 
 runtime::ExecutorConfig
 backendExecutorConfig(std::shared_ptr<base::ThreadPool> pool,
-                      bool profile_kernels)
+                      bool profile_kernels,
+                      const model::ModelConfig &model)
 {
     runtime::ExecutorConfig cfg;
     cfg.pool = std::move(pool);
     cfg.profileKernels = profile_kernels;
+    // Quantized serving executes quantized: an int8-priced model
+    // (weightBytesPerElement 1.0, e.g. "OPT-30B-int8") runs the int8
+    // tile kernels, so the bytes the runtime actually moves match the
+    // bytes IterationCostCache/estimateIteration charge. Int4 has no
+    // integer kernel and stays on the fp32 path (pricing-only).
+    if (model.weightBytesPerElement == 1.0)
+        cfg.weightPrecision = model::WeightPrecision::Int8;
     return cfg;
 }
 
@@ -58,7 +66,8 @@ RuntimeBackend::RuntimeBackend(const hw::SystemConfig &system,
                                bool profile_kernels)
     : model_(model), config_(config), kernelPool_(sharedKernelPool()),
       executor_(system, synthWeights(model, config.seed),
-                backendExecutorConfig(kernelPool_, profile_kernels))
+                backendExecutorConfig(kernelPool_, profile_kernels,
+                                      model))
 {
     model_.validate();
     config_.validate();
@@ -70,7 +79,8 @@ RuntimeBackend::RuntimeBackend(const hw::SystemConfig &system,
             system,
             synthWeights(model::draftModelConfig(model_),
                          config.seed + 0xd2afULL),
-            backendExecutorConfig(kernelPool_, profile_kernels));
+            backendExecutorConfig(kernelPool_, profile_kernels,
+                                  model::draftModelConfig(model_)));
 }
 
 double

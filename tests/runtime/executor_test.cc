@@ -427,4 +427,54 @@ TEST(ExecutorBatchInvarianceTest, SequencesIndependentOfBatchMates)
     EXPECT_EQ(joint[2], alone[0]);
 }
 
+TEST(ExecutorInt8Test, ParamTrafficHalvesUnderInt8)
+{
+    // The runtime and the analytic cost model must price the same
+    // parameter bytes: an int8-quantized model streaming through a
+    // full-GPU plan moves exactly half the Param bytes of the bf16
+    // run (weightBytesPerElement 1.0 vs 2.0), because the ledger
+    // charges model::sublayerCosts which read the config's width.
+    const auto sys = hw::sprA100();
+    ExecutorConfig plan;
+    plan.prefillPolicy = Policy::fullGpu();
+    plan.decodePolicy = Policy::fullGpu();
+
+    Rng r16(42);
+    CooperativeExecutor bf16(
+        sys,
+        TransformerWeights::random(model::tinyOpt(), r16), plan);
+
+    const auto m8 = model::quantized(model::tinyOpt(),
+                                     model::WeightPrecision::Int8);
+    ExecutorConfig plan8 = plan;
+    plan8.weightPrecision = model::WeightPrecision::Int8;
+    Rng r8(42);
+    CooperativeExecutor int8(
+        sys, TransformerWeights::random(m8, r8), plan8);
+
+    const std::vector<std::vector<std::int64_t>> p = {
+        {1, 2, 3, 4, 5, 6, 7, 8}};
+    bf16.prefill(p);
+    int8.prefill(p);
+    EXPECT_GT(int8.ledger().bytes(Traffic::Param), 0.0);
+    EXPECT_DOUBLE_EQ(int8.ledger().bytes(Traffic::Param),
+                     0.5 * bf16.ledger().bytes(Traffic::Param));
+}
+
+TEST(ExecutorInt8Test, Int8PrecisionDemandsInt8PricedConfig)
+{
+    // weightPrecision Int8 with a bf16-priced config would execute
+    // int8 while the ledger charges bf16 bytes — rejected up front.
+    detail::setThrowOnError(true);
+    Rng rng(42);
+    ExecutorConfig cfg;
+    cfg.weightPrecision = model::WeightPrecision::Int8;
+    EXPECT_THROW(
+        CooperativeExecutor(
+            hw::sprA100(),
+            TransformerWeights::random(model::tinyOpt(), rng), cfg),
+        std::logic_error);
+    detail::setThrowOnError(false);
+}
+
 } // namespace

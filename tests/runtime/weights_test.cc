@@ -143,4 +143,75 @@ TEST(QuantizeWeightsTest, QuantizationIsIdempotent)
     EXPECT_LT(w2.layers[0].w1.maxAbsDiff(once), 1e-6);
 }
 
+TEST(Int8PackPlacementTest, ViableProjectionsGetInt8PacksOnly)
+{
+    // Per-tensor placement (DESIGN.md §12): at Int8 every viable
+    // projection materialises its int8 tile pack INSTEAD of the fp32
+    // pack — never both — and the tied LM head always stays fp32.
+    Rng rng(11);
+    const auto m = model::quantized(model::tinyOpt(),
+                                    model::WeightPrecision::Int8);
+    auto w = TransformerWeights::random(m, rng);
+    w.pack(model::WeightPrecision::Int8);
+    EXPECT_EQ(w.packedPrecision, model::WeightPrecision::Int8);
+
+    for (const auto &l : w.layers) {
+        EXPECT_FALSE(l.int8Wq.empty());
+        EXPECT_FALSE(l.int8Wk.empty());
+        EXPECT_FALSE(l.int8Wv.empty());
+        EXPECT_FALSE(l.int8Wo.empty());
+        EXPECT_FALSE(l.int8W1.empty());
+        EXPECT_FALSE(l.int8W2.empty());
+        EXPECT_TRUE(l.packedWq.empty());
+        EXPECT_TRUE(l.packedWk.empty());
+        EXPECT_TRUE(l.packedWv.empty());
+        EXPECT_TRUE(l.packedWo.empty());
+        EXPECT_TRUE(l.packedW1.empty());
+        EXPECT_TRUE(l.packedW2.empty());
+        // tinyOpt is ungated: both gate packs stay empty.
+        EXPECT_TRUE(l.int8Wg.empty());
+        EXPECT_TRUE(l.packedWg.empty());
+    }
+    // The LM-head exclusion: fp32 pack present, untouched by Int8.
+    EXPECT_FALSE(w.packedLmHead.empty());
+}
+
+TEST(Int8PackPlacementTest, RepackingAtBf16RestoresFp32Packs)
+{
+    Rng rng(12);
+    auto w = TransformerWeights::random(model::tinyOpt(), rng);
+    w.pack(model::WeightPrecision::Int8);
+    ASSERT_FALSE(w.layers[0].int8Wq.empty());
+    w.pack(model::WeightPrecision::Bf16);
+    EXPECT_EQ(w.packedPrecision, model::WeightPrecision::Bf16);
+    EXPECT_TRUE(w.layers[0].int8Wq.empty());
+    EXPECT_FALSE(w.layers[0].packedWq.empty());
+}
+
+TEST(Int8PackPlacementTest, StoredBytesFollowThePrecision)
+{
+    Rng rng(13);
+    const auto base = model::tinyOpt();
+    const auto w16 = TransformerWeights::random(base, rng);
+    // Unquantized: storedBytes is exactly the BF16 footprint.
+    EXPECT_EQ(w16.storedBytes(), w16.bf16Bytes());
+
+    Rng rng8(13);
+    const auto m8 = model::quantized(base, model::WeightPrecision::Int8);
+    auto w8 = TransformerWeights::random(m8, rng8);
+    // Int8 stores the projection matrices one byte per element
+    // instead of two: exactly matrixElements() fewer bytes.
+    double matrix_elems = 0;
+    for (const auto &l : w8.layers)
+        matrix_elems += l.matrixElements();
+    EXPECT_DOUBLE_EQ(w8.storedBytes(),
+                     w8.bf16Bytes() - matrix_elems);
+
+    // And the real packed buffers stay within a few percent of that
+    // analytic figure (tile scales + padding are the only overhead).
+    w8.pack(model::WeightPrecision::Int8);
+    EXPECT_NEAR(w8.int8PackedBytes(), matrix_elems,
+                0.02 * matrix_elems);
+}
+
 } // namespace
