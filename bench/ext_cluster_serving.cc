@@ -22,11 +22,18 @@
  *
  * Emits everything to BENCH_cluster_serving.json with deterministic
  * number formatting (obs::jsonNumber): repeated runs produce
- * byte-identical artifacts. `--trace-out trace.json` additionally
- * records the autoscaler run as a per-replica Chrome trace;
- * `--requests N` / `--rate-per-min R` shrink the stream for CI.
+ * byte-identical artifacts, including the cluster-wide blame report
+ * — a TimelineRecorder rides the autoscaler run as the cluster sink,
+ * so requests from every replica (distinct pids) aggregate into one
+ * p99.9 attribution, and a fleet-shared SloMonitor tracks burn rates
+ * on the shared clock. `--trace-out trace.json` additionally records
+ * the autoscaler run as a per-replica Chrome trace; `--series-out
+ * series.json` writes the fleet-merged counter series
+ * (ClusterResult::mergedSeries); `--requests N` / `--rate-per-min R`
+ * shrink the stream for CI.
  */
 
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -42,7 +49,9 @@
 #include "model/config.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/sink.hh"
+#include "obs/timeline.hh"
 #include "serve/metrics.hh"
+#include "serve/slo_monitor.hh"
 
 namespace {
 
@@ -65,6 +74,7 @@ main(int argc, char **argv)
         args.getInt("requests", 240));
     const double rate_per_min = args.getDouble("rate-per-min", 24.0);
     const std::string trace_out = args.getString("trace-out");
+    const std::string series_out = args.getString("series-out");
 
     const auto sys = hw::withCxl(hw::sprA100());
     const auto m = model::opt30b();
@@ -162,7 +172,18 @@ main(int argc, char **argv)
     routing.print(std::cout);
 
     // --- Autoscaler: grow under the backlog, drain after ------------
+    //
+    // The recorder is the *cluster* sink: replica namespaces emit on
+    // distinct pids, so one recorder reconstructs every request of
+    // the whole fleet and the blame report is cluster-wide. The
+    // monitor is shared by every replica's engine — fleet-level burn
+    // rates on the shared clock. Both passive; results bit-identical.
     obs::ChromeTraceWriter trace;
+    obs::TimelineRecorder recorder;
+    obs::TeeSink tee({&trace, &recorder});
+    serve::SloMonitorConfig monitor_cfg;
+    monitor_cfg.targets = slo;
+    serve::SloMonitor monitor(monitor_cfg);
     ClusterConfig scaled = baseConfig();
     scaled.replicas = 1;
     // A tighter per-replica batch: overload then shows up as a real
@@ -176,9 +197,24 @@ main(int argc, char **argv)
     scaled.autoscaler.scaleUpQueueDepth = 4.0;
     scaled.autoscaler.hysteresisTicks = 2;
     scaled.autoscaler.cooldown = 60.0;
-    if (!trace_out.empty())
-        scaled.sink = &trace;
+    scaled.sink = trace_out.empty()
+                      ? static_cast<obs::EventSink *>(&recorder)
+                      : &tee;
+    scaled.engine.sloMonitor = &monitor;
     ClusterResult autoscaled = runPoint(scaled);
+
+    // Acceptance gate, fleet-wide: every finished request's phase
+    // segments exactly partition [arrive, finish] and sum to its e2e
+    // latency, whichever replica served it.
+    for (const auto *rec : recorder.finished()) {
+        LIA_ASSERT(rec->contiguous(),
+                   "request timeline has gaps (pid ", rec->track.pid,
+                   " tid ", rec->track.tid, ")");
+        LIA_ASSERT(std::abs(rec->segmentSeconds() - rec->e2e()) <=
+                       1e-9 * std::max(1.0, rec->e2e()),
+                   "phase sums diverge from e2e on pid ",
+                   rec->track.pid, " tid ", rec->track.tid);
+    }
 
     // ClusterRouter::run() already hard-asserts drain-before-
     // decommission internally; re-assert the end-to-end account here
@@ -205,7 +241,19 @@ main(int argc, char **argv)
               << fmtDouble(autoscaled.goodputPerSecond(slo) * 60.0, 1)
               << "/min at "
               << fmtPercent(autoscaled.sloAttainment(slo))
-              << " SLO attainment\n";
+              << " SLO attainment\n"
+              << "  blame: " << recorder.finishedCount() << "/"
+              << recorder.arrived()
+              << " fleet requests attributed; SLO pressure at drain "
+              << fmtDouble(monitor.pressure(autoscaled.makespan), 2)
+              << "\n";
+
+    std::cout << "\nFleet latency distributions (autoscaler run):\n";
+    TextTable lat = serve::latencyTable("signal");
+    serve::addLatencyRow(lat, "TTFT", autoscaled.aggregate.ttft);
+    serve::addLatencyRow(lat, "response",
+                         autoscaled.aggregate.responseTime);
+    lat.print(std::cout);
 
     std::cout << "\nShape to expect: goodput grows with replica "
                  "count until the stream is\nno longer the "
@@ -259,7 +307,9 @@ main(int argc, char **argv)
          << ", \"peak_replicas\": " << autoscaled.peakReplicas
          << ", \"final_replicas\": " << autoscaled.finalReplicas
          << ", \"dropped\": 0, \"stranded\": 0, \"point\": "
-         << pointJson(autoscaled) << "}\n}\n";
+         << pointJson(autoscaled) << "},\n  \"blame\": "
+         << recorder.blameReport() << ",\n  \"slo\": "
+         << monitor.toJson(autoscaled.makespan) << "\n}\n";
 
     const std::string path = "BENCH_cluster_serving.json";
     std::ofstream file(path);
@@ -277,6 +327,16 @@ main(int argc, char **argv)
                       << "\n";
         } else {
             std::cerr << "failed to write trace to " << trace_out
+                      << "\n";
+            return 1;
+        }
+    }
+    if (!series_out.empty()) {
+        if (autoscaled.mergedSeries.writeFile(series_out)) {
+            std::cout << "wrote fleet-merged counter series to "
+                      << series_out << "\n";
+        } else {
+            std::cerr << "failed to write series to " << series_out
                       << "\n";
             return 1;
         }

@@ -14,22 +14,32 @@
  * `--trace-out trace.json` additionally records the preemptive run
  * at the highest swept rate as a Chrome-trace / Perfetto timeline —
  * the swap-channel track and preempt.swap_out/preempt.evict instants
- * make the victim-exit decisions visible.
+ * make the victim-exit decisions visible. That run always carries a
+ * TimelineRecorder + SloMonitor (DESIGN.md §13): the artifact gains
+ * its p99.9 blame report — with preempted / swapped / recompute
+ * phases attributed — and `--metrics-out metrics.prom` writes the
+ * Prometheus exposition.
  */
 
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/args.hh"
+#include "base/logging.hh"
 #include "base/table.hh"
 #include "hw/system.hh"
 #include "model/config.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/timeline.hh"
 #include "serve/engine.hh"
 #include "serve/metrics.hh"
+#include "serve/prom.hh"
+#include "serve/slo_monitor.hh"
 
 namespace {
 
@@ -42,7 +52,8 @@ constexpr double kE2eSlo = 180.0;
 
 serve::Result
 runAt(double per_minute, SchedulerPolicy policy,
-      obs::EventSink *sink = nullptr)
+      obs::EventSink *sink = nullptr,
+      serve::SloMonitor *monitor = nullptr)
 {
     serve::Config cfg;
     cfg.arrivalRatePerSecond = per_minute / 60.0;
@@ -53,6 +64,7 @@ runAt(double per_minute, SchedulerPolicy policy,
     cfg.maxBatch = 32;
     cfg.kvBudgetCapBytes = kKvBudgetBytes;
     cfg.sink = sink;
+    cfg.sloMonitor = monitor;
     if (policy == SchedulerPolicy::Preemptive)
         cfg.prefillChunkTokens = 256;
     serve::ServingEngine engine(hw::withCxl(hw::sprA100()),
@@ -88,7 +100,17 @@ main(int argc, char **argv)
 {
     const ArgParser args(argc, argv);
     const std::string trace_out = args.getString("trace-out");
+    const std::string metrics_out = args.getString("metrics-out");
     obs::ChromeTraceWriter trace;
+
+    // Attribution of the deep-overload preemptive run: preempted /
+    // swapped / recompute stalls become named phases in the blame
+    // report. Passive instrumentation — results stay bit-identical.
+    obs::TimelineRecorder recorder;
+    obs::TeeSink tee({&trace, &recorder});
+    serve::SloMonitorConfig monitor_cfg;
+    monitor_cfg.targets = serve::SloTargets{kTtftSlo, 0.0, kE2eSlo};
+    serve::SloMonitor monitor(monitor_cfg);
 
     const auto sys = hw::withCxl(hw::sprA100());
     const auto m = model::opt30b();
@@ -113,14 +135,26 @@ main(int argc, char **argv)
                      "preempt/req", "swap", "recompute", "p95 gap",
                      "goodput/min"});
     std::vector<std::string> records;
+    std::vector<std::pair<std::string, serve::Metrics>> top_runs;
+    serve::Metrics instrumented;
     for (double rate : rates_per_min) {
         for (SchedulerPolicy policy : policies) {
-            const bool traced =
-                !trace_out.empty() &&
+            const bool attributed =
                 policy == SchedulerPolicy::Preemptive &&
                 rate == rates_per_min.back();
+            obs::EventSink *sink = nullptr;
+            if (attributed)
+                sink = trace_out.empty()
+                           ? static_cast<obs::EventSink *>(&recorder)
+                           : &tee;
             const auto result =
-                runAt(rate, policy, traced ? &trace : nullptr);
+                runAt(rate, policy, sink,
+                      attributed ? &monitor : nullptr);
+            if (attributed)
+                instrumented = result.metrics;
+            if (rate == rates_per_min.back())
+                top_runs.emplace_back(serve::toString(policy),
+                                      result.metrics);
             const auto &mx = result.metrics;
             const double goodput = result.goodputPerSecond(slo);
             table.addRow(
@@ -142,6 +176,34 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
 
+    // Acceptance gate: every finished request's phase segments must
+    // exactly partition [arrive, finish] and sum to e2e latency.
+    for (const auto *rec : recorder.finished()) {
+        LIA_ASSERT(rec->contiguous(),
+                   "request timeline has gaps (track tid ",
+                   rec->track.tid, ")");
+        LIA_ASSERT(std::abs(rec->segmentSeconds() - rec->e2e()) <=
+                       1e-9 * std::max(1.0, rec->e2e()),
+                   "phase sums diverge from e2e on tid ",
+                   rec->track.tid);
+    }
+    std::cout << "\nBlame (preemptive at "
+              << fmtDouble(rates_per_min.back(), 0) << "/min): "
+              << recorder.finishedCount() << "/" << recorder.arrived()
+              << " requests finished; SLO pressure at drain "
+              << fmtDouble(monitor.pressure(instrumented.makespan), 2)
+              << "\n";
+
+    std::cout << "\nLatency distributions at "
+              << fmtDouble(rates_per_min.back(), 0) << "/min:\n";
+    TextTable lat = serve::latencyTable("policy / signal");
+    for (const auto &[label, mx] : top_runs) {
+        serve::addLatencyRow(lat, label + " TTFT", mx.ttft);
+        serve::addLatencyRow(lat, label + " response",
+                             mx.responseTime);
+    }
+    lat.print(std::cout);
+
     std::ostringstream json;
     json << "{\n  \"bench\": \"preemptive_scheduling\",\n"
          << "  \"system\": \"" << sys.name << "\",\n"
@@ -150,7 +212,9 @@ main(int argc, char **argv)
          << "  \"points\": [\n";
     for (std::size_t i = 0; i < records.size(); ++i)
         json << records[i] << (i + 1 < records.size() ? ",\n" : "\n");
-    json << "  ]\n}\n";
+    json << "  ],\n  \"blame\": " << recorder.blameReport()
+         << ",\n  \"slo\": " << monitor.toJson(instrumented.makespan)
+         << "\n}\n";
 
     const std::string path = "BENCH_preemptive_scheduling.json";
     std::ofstream file(path);
@@ -164,6 +228,16 @@ main(int argc, char **argv)
                       << "\n";
         else
             std::cerr << "failed to write trace to " << trace_out
+                      << "\n";
+    }
+    if (!metrics_out.empty()) {
+        if (serve::writePrometheusFile(metrics_out, instrumented,
+                                       &monitor,
+                                       instrumented.makespan))
+            std::cout << "wrote Prometheus metrics to " << metrics_out
+                      << "\n";
+        else
+            std::cerr << "failed to write metrics to " << metrics_out
                       << "\n";
     }
     return 0;

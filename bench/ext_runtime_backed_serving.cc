@@ -113,6 +113,7 @@ jsonRecord(const Point &p)
         << ", \"continuity_mismatches\": " << p.continuityMismatches
         << ", \"analytic_wall_s\": " << p.analyticSeconds
         << ", \"backed_wall_s\": " << p.backedSeconds
+        << ", \"backend_counters\": " << p.counters.toJson()
         << ", \"metrics\": " << p.result.metrics.toJson() << "}";
     return out.str();
 }

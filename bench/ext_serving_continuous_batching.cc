@@ -14,12 +14,16 @@
  * continuous batching violates the TTFT target.
  *
  * Emits the whole sweep (serving metrics via Metrics::toJson) to
- * BENCH_serving_continuous_batching.json. `--trace-out trace.json`
- * additionally records the SLO-aware run at the highest swept rate
- * as a Chrome-trace / Perfetto timeline.
+ * BENCH_serving_continuous_batching.json, along with the tail-latency
+ * blame report of the SLO-aware run at the highest swept rate (a
+ * TimelineRecorder + SloMonitor ride that run; DESIGN.md §13).
+ * `--trace-out trace.json` additionally records that run as a
+ * Chrome-trace / Perfetto timeline; `--metrics-out metrics.prom`
+ * writes its Prometheus text exposition.
  */
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -27,12 +31,16 @@
 #include <vector>
 
 #include "base/args.hh"
+#include "base/logging.hh"
 #include "base/table.hh"
 #include "hw/system.hh"
 #include "model/config.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/timeline.hh"
 #include "serve/engine.hh"
 #include "serve/metrics.hh"
+#include "serve/prom.hh"
+#include "serve/slo_monitor.hh"
 
 namespace {
 
@@ -50,7 +58,18 @@ main(int argc, char **argv)
 
     const ArgParser args(argc, argv);
     const std::string trace_out = args.getString("trace-out");
+    const std::string metrics_out = args.getString("metrics-out");
     obs::ChromeTraceWriter trace;
+
+    // Tail-latency attribution of the overloaded SLO-aware run: the
+    // recorder rebuilds every request's phase timeline, the monitor
+    // tracks burn rates on the simulated clock. Both are passive —
+    // the instrumented run stays bit-identical.
+    obs::TimelineRecorder recorder;
+    obs::TeeSink tee({&trace, &recorder});
+    serve::SloMonitorConfig monitor_cfg;
+    monitor_cfg.targets = serve::SloTargets{kTtftSlo, kTbtSlo, 0.0};
+    serve::SloMonitor monitor(monitor_cfg);
 
     const auto sys = hw::withCxl(hw::sprA100());
     const auto m = model::opt30b();
@@ -83,12 +102,18 @@ main(int argc, char **argv)
             cfg.maxBatch = 64;
             cfg.slo.ttft = kTtftSlo;
             cfg.slo.tbt = kTbtSlo;
-            // The traced run: SLO-aware at the deepest overload, where
-            // admission, shedding, and queueing all show up.
-            if (!trace_out.empty() &&
-                policy == SchedulerPolicy::SloAware &&
+            // The instrumented run: SLO-aware at the deepest
+            // overload, where admission, shedding, and queueing all
+            // show up. The recorder + monitor always ride it (the
+            // blame report is part of the artifact); the Chrome trace
+            // only when requested.
+            if (policy == SchedulerPolicy::SloAware &&
                 rate == rates_per_min.back()) {
-                cfg.sink = &trace;
+                cfg.sink = trace_out.empty()
+                               ? static_cast<obs::EventSink *>(
+                                     &recorder)
+                               : &tee;
+                cfg.sloMonitor = &monitor;
             }
             serve::ServingEngine engine(sys, m, cfg);
             auto result = engine.run();
@@ -156,6 +181,49 @@ main(int argc, char **argv)
     if (!any)
         std::cout << "  (no violation in the swept range)\n";
 
+    // --- Tail-latency attribution (instrumented run) ----------------
+    //
+    // Acceptance gate: every finished request's phase segments must
+    // exactly partition [arrive, finish] (identical boundary doubles)
+    // and their durations must sum to the measured e2e latency up to
+    // fp rounding.
+    for (const auto *rec : recorder.finished()) {
+        LIA_ASSERT(rec->contiguous(),
+                   "request timeline has gaps (track tid ",
+                   rec->track.tid, ")");
+        LIA_ASSERT(std::abs(rec->segmentSeconds() - rec->e2e()) <=
+                       1e-9 * std::max(1.0, rec->e2e()),
+                   "phase sums diverge from e2e on tid ",
+                   rec->track.tid);
+    }
+    const double top_rate = rates_per_min.back();
+    const auto &instrumented =
+        runs[SchedulerPolicy::SloAware].at(top_rate);
+    std::cout << "\nBlame (SLO-aware at " << fmtDouble(top_rate, 0)
+              << "/min): " << recorder.finishedCount() << "/"
+              << recorder.arrived()
+              << " requests finished; SLO pressure at drain "
+              << fmtDouble(monitor.pressure(
+                               instrumented.metrics.makespan),
+                           2)
+              << "\n";
+
+    std::cout << "\nLatency distributions at " << fmtDouble(top_rate, 0)
+              << "/min:\n";
+    TextTable lat = serve::latencyTable("policy / signal");
+    for (SchedulerPolicy policy : policies) {
+        const auto &mx = runs[policy].at(top_rate).metrics;
+        serve::addLatencyRow(lat,
+                             std::string(serve::toString(policy)) +
+                                 " TTFT",
+                             mx.ttft);
+        serve::addLatencyRow(lat,
+                             std::string(serve::toString(policy)) +
+                                 " response",
+                             mx.responseTime);
+    }
+    lat.print(std::cout);
+
     std::cout << "\nShape to expect: continuous batching sustains "
                  ">= 2x the static arrival rate\nat equal p95 "
                  "response; past its own saturation its TTFT "
@@ -186,7 +254,9 @@ main(int argc, char **argv)
             first = false;
         }
     }
-    json << "\n  ]\n}\n";
+    json << "\n  ],\n  \"blame\": " << recorder.blameReport()
+         << ",\n  \"slo\": "
+         << monitor.toJson(instrumented.metrics.makespan) << "\n}\n";
     const std::string path =
         "BENCH_serving_continuous_batching.json";
     std::ofstream file(path);
@@ -200,6 +270,16 @@ main(int argc, char **argv)
                       << "\n";
         else
             std::cerr << "failed to write trace to " << trace_out
+                      << "\n";
+    }
+    if (!metrics_out.empty()) {
+        if (serve::writePrometheusFile(metrics_out,
+                                       instrumented.metrics, &monitor,
+                                       instrumented.metrics.makespan))
+            std::cout << "wrote Prometheus metrics to " << metrics_out
+                      << "\n";
+        else
+            std::cerr << "failed to write metrics to " << metrics_out
                       << "\n";
     }
     return 0;

@@ -15,10 +15,12 @@
  *
  * Usage: online_serving [num_requests] [seed]
  *                       [--trace-out trace.json]
+ *                       [--metrics-out metrics.prom]
  *
  * --trace-out records the B = 1 serving-engine cross-check run as a
- * Chrome-trace / Perfetto JSON timeline. Tracing never changes the
- * metrics (DESIGN.md §8).
+ * Chrome-trace / Perfetto JSON timeline; --metrics-out writes that
+ * run's Prometheus text exposition (DESIGN.md §13). Instrumentation
+ * never changes the metrics (DESIGN.md §8).
  */
 
 #include <cstdlib>
@@ -33,6 +35,7 @@
 #include "obs/chrome_trace.hh"
 #include "serve/engine.hh"
 #include "serve/metrics.hh"
+#include "serve/prom.hh"
 #include "sim/serving.hh"
 #include "trace/azure.hh"
 
@@ -53,6 +56,7 @@ main(int argc, char **argv)
             ? static_cast<std::uint64_t>(std::atoll(pos[1].c_str()))
             : 7;
     const std::string trace_out = args.getString("trace-out");
+    const std::string metrics_out = args.getString("metrics-out");
 
     const auto sys = hw::sprA100();
     const auto m = model::opt30b();
@@ -156,6 +160,16 @@ main(int argc, char **argv)
                       << " (open in ui.perfetto.dev)\n";
         else {
             std::cerr << "\nFailed to write trace to " << trace_out
+                      << "\n";
+            return EXIT_FAILURE;
+        }
+    }
+    if (!metrics_out.empty()) {
+        if (serve::writePrometheusFile(metrics_out, modern.metrics))
+            std::cout << "Wrote Prometheus metrics to " << metrics_out
+                      << "\n";
+        else {
+            std::cerr << "Failed to write metrics to " << metrics_out
                       << "\n";
             return EXIT_FAILURE;
         }

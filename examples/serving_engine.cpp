@@ -13,11 +13,17 @@
  * Usage: serving_engine [requests] [arrivals_per_min] [seed]
  *                       [--trace-out trace.json]
  *                       [--series-out series.json]
+ *                       [--metrics-out metrics.prom]
+ *                       [--blame-out blame.json]
  *
  * --trace-out records the preemptive-policy run as a Chrome-trace /
  * Perfetto JSON timeline (open in ui.perfetto.dev); --series-out
- * additionally dumps the per-iteration counter time series. Tracing
- * never changes the metrics (DESIGN.md §8).
+ * additionally dumps the per-iteration counter time series;
+ * --metrics-out writes that run's Prometheus text exposition (SLO
+ * burn rates included); --blame-out writes its p99.9 blame report —
+ * which lifecycle phase the tail requests spent their time in
+ * (DESIGN.md §13). Instrumentation never changes the metrics
+ * (DESIGN.md §8).
  */
 
 #include <cstdlib>
@@ -31,8 +37,11 @@
 #include "model/config.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/series.hh"
+#include "obs/timeline.hh"
 #include "serve/engine.hh"
 #include "serve/metrics.hh"
+#include "serve/prom.hh"
+#include "serve/slo_monitor.hh"
 
 int
 main(int argc, char **argv)
@@ -53,6 +62,8 @@ main(int argc, char **argv)
             : 1;
     const std::string trace_out = args.getString("trace-out");
     const std::string series_out = args.getString("series-out");
+    const std::string metrics_out = args.getString("metrics-out");
+    const std::string blame_out = args.getString("blame-out");
 
     const auto sys = hw::withCxl(hw::sprA100());
     const auto m = model::opt30b();
@@ -74,8 +85,14 @@ main(int argc, char **argv)
     // one the observability sinks record when requested.
     obs::ChromeTraceWriter trace;
     obs::SeriesRegistry series;
-    obs::TeeSink traced({&trace, &series});
-    const bool tracing = !trace_out.empty() || !series_out.empty();
+    obs::TimelineRecorder recorder;
+    obs::TeeSink traced({&trace, &series, &recorder});
+    serve::SloMonitorConfig monitor_cfg;
+    monitor_cfg.targets = base.slo;
+    serve::SloMonitor monitor(monitor_cfg);
+    const bool tracing = !trace_out.empty() || !series_out.empty() ||
+                         !metrics_out.empty() || !blame_out.empty();
+    serve::Metrics preempt_metrics;
 
     TextTable table({"policy", "completed", "shed", "util",
                      "p50 TTFT", "p95 TTFT", "p95 TBT", "tok/s",
@@ -87,11 +104,15 @@ main(int argc, char **argv)
                               serve::SchedulerPolicy::Preemptive}) {
         serve::Config cfg = base;
         cfg.policy = policy;
-        if (tracing && policy == serve::SchedulerPolicy::Preemptive)
+        if (tracing && policy == serve::SchedulerPolicy::Preemptive) {
             cfg.sink = &traced;
+            cfg.sloMonitor = &monitor;
+        }
         serve::ServingEngine engine(sys, m, cfg);
         const auto result = engine.run();
         const auto &mx = result.metrics;
+        if (policy == serve::SchedulerPolicy::Preemptive)
+            preempt_metrics = mx;
         table.addRow(
             {serve::toString(policy), std::to_string(mx.completed),
              std::to_string(mx.rejected()),
@@ -136,6 +157,30 @@ main(int argc, char **argv)
         else {
             std::cerr << "Failed to write series to " << series_out
                       << "\n";
+            write_failed = true;
+        }
+    }
+    if (!metrics_out.empty()) {
+        if (serve::writePrometheusFile(metrics_out, preempt_metrics,
+                                       &monitor,
+                                       preempt_metrics.makespan))
+            std::cout << "Wrote Prometheus metrics to " << metrics_out
+                      << "\n";
+        else {
+            std::cerr << "Failed to write metrics to " << metrics_out
+                      << "\n";
+            write_failed = true;
+        }
+    }
+    if (!blame_out.empty()) {
+        if (recorder.writeFile(blame_out))
+            std::cout << "Wrote blame report ("
+                      << recorder.finishedCount()
+                      << " requests attributed) to " << blame_out
+                      << "\n";
+        else {
+            std::cerr << "Failed to write blame report to "
+                      << blame_out << "\n";
             write_failed = true;
         }
     }

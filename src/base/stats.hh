@@ -66,6 +66,7 @@ class SampleStats
     double p50() const { return percentile(50.0); }
     double p95() const { return percentile(95.0); }
     double p99() const { return percentile(99.0); }
+    double p999() const { return percentile(99.9); }
 
   private:
     /** Sort samples lazily before order-statistic queries. */

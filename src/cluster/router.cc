@@ -422,6 +422,7 @@ ClusterRouter::run()
         terminal_total += report.result.metrics.completed +
                           report.result.metrics.rejected();
         result.aggregate.merge(report.result.metrics);
+        result.mergedSeries.merge(*r->registry);
         result.replicas.push_back(std::move(report));
     }
     LIA_ASSERT(routed_total == state.submitted,

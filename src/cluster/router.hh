@@ -37,6 +37,7 @@
 #include "base/stats.hh"
 #include "cluster/autoscaler.hh"
 #include "cluster/config.hh"
+#include "obs/series.hh"
 #include "core/engine.hh"
 #include "core/multi_gpu.hh"
 #include "serve/cost_cache.hh"
@@ -80,6 +81,15 @@ struct ClusterResult
 
     /** Active-replica count sampled at every autoscaler evaluation. */
     SampleStats activeReplicaSeries;
+
+    /**
+     * Every replica's counter series folded into one registry
+     * (obs::SeriesRegistry::merge, in replica order): the fleet-wide
+     * series artifact, one file instead of N per-replica ones. Counter
+     * names are shared across replicas, so same-named series interleave
+     * on the shared clock.
+     */
+    obs::SeriesRegistry mergedSeries;
 
     int shardWidth = 1;    //!< tensor-parallel width of each replica
     double makespan = 0;   //!< shared-clock span of the whole run

@@ -1,0 +1,163 @@
+#include "obs/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "obs/sink.hh"
+
+namespace lia {
+namespace obs {
+
+std::int32_t
+Histogram::bucketFor(double value) const
+{
+    if (edges_.empty())
+        edges_.push_back(bounds_.lo);
+    // Extend the materialised edges until one covers the value. The
+    // repeated multiply keeps the mapping exact across runs — every
+    // histogram with equal Bounds computes the identical edge list.
+    while (edges_.back() < value) {
+        LIA_ASSERT(edges_.size() < 4096,
+                   "histogram value ", value,
+                   " beyond any sane bucket range");
+        edges_.push_back(edges_.back() * bounds_.growth);
+    }
+    const auto it =
+        std::lower_bound(edges_.begin(), edges_.end(), value);
+    return static_cast<std::int32_t>(it - edges_.begin());
+}
+
+void
+Histogram::add(double value)
+{
+    LIA_ASSERT(std::isfinite(value),
+               "histogram sample must be finite");
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    if (value <= 0) {
+        ++zeros_;
+        return;
+    }
+    ++buckets_[bucketFor(value)];
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    LIA_ASSERT(bounds_ == other.bounds_,
+               "merging histograms with different bucket schemes");
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    zeros_ += other.zeros_;
+    for (const auto &[index, n] : other.buckets_)
+        buckets_[index] += n;
+}
+
+double
+Histogram::upperEdge(std::int32_t index) const
+{
+    LIA_ASSERT(index >= 0, "negative bucket index");
+    if (edges_.empty())
+        edges_.push_back(bounds_.lo);
+    while (static_cast<std::int32_t>(edges_.size()) <= index)
+        edges_.push_back(edges_.back() * bounds_.growth);
+    return edges_[static_cast<std::size_t>(index)];
+}
+
+double
+Histogram::quantile(double pct) const
+{
+    LIA_ASSERT(pct >= 0 && pct <= 100, "quantile pct ", pct,
+               " out of [0, 100]");
+    if (count_ == 0)
+        return 0.0;
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(pct / 100.0 *
+                         static_cast<double>(count_))));
+    std::uint64_t seen = zeros_;
+    if (rank <= seen)
+        return 0.0;
+    for (const auto &[index, n] : buckets_) {
+        seen += n;
+        if (rank <= seen)
+            return std::min(upperEdge(index), max_);
+    }
+    return max_;
+}
+
+void
+Histogram::write(std::ostream &os) const
+{
+    os << "{\"lo\":" << jsonNumber(bounds_.lo)
+       << ",\"growth\":" << jsonNumber(bounds_.growth)
+       << ",\"count\":" << count_ << ",\"zeros\":" << zeros_
+       << ",\"sum\":" << jsonNumber(sum_)
+       << ",\"min\":" << jsonNumber(min())
+       << ",\"max\":" << jsonNumber(max()) << ",\"buckets\":{";
+    bool first = true;
+    for (const auto &[index, n] : buckets_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << index << "\":" << n;
+    }
+    os << "}}";
+}
+
+std::string
+Histogram::toJson() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+void
+Histogram::writeProm(std::ostream &os, const std::string &name,
+                     const std::string &help,
+                     const std::string &labels) const
+{
+    os << "# HELP " << name << " " << help << "\n"
+       << "# TYPE " << name << " histogram\n";
+    auto bucketLine = [&](const std::string &le,
+                          std::uint64_t cumulative) {
+        os << name << "_bucket{";
+        if (!labels.empty())
+            os << labels << ",";
+        os << "le=\"" << le << "\"} " << cumulative << "\n";
+    };
+    std::uint64_t cumulative = zeros_;
+    if (zeros_ > 0)
+        bucketLine("0", cumulative);
+    for (const auto &[index, n] : buckets_) {
+        cumulative += n;
+        bucketLine(jsonNumber(upperEdge(index)), cumulative);
+    }
+    bucketLine("+Inf", count_);
+    const std::string suffix =
+        labels.empty() ? "" : "{" + labels + "}";
+    os << name << "_sum" << suffix << " " << jsonNumber(sum_) << "\n"
+       << name << "_count" << suffix << " " << count_ << "\n";
+}
+
+} // namespace obs
+} // namespace lia

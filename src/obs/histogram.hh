@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic log-bucketed streaming histogram.
+ *
+ * The tail-latency layer's distribution type (DESIGN.md §13): where
+ * SampleStats retains every sample so it can answer exact order
+ * statistics, a Histogram keeps only exact *counts* in buckets whose
+ * boundaries are fixed up front — O(buckets) state on hot serving
+ * paths, mergeable across replicas for cluster-wide aggregation, and
+ * byte-stable JSON so bench artifacts stay `cmp`-deterministic.
+ *
+ * Buckets are geometric: bucket i covers (lo*g^(i-1), lo*g^i], bucket
+ * 0 covers (0, lo], and non-positive values land in a dedicated zero
+ * bucket. Boundaries are materialised by repeated multiplication (no
+ * log() indexing), so the value->bucket mapping is exact and identical
+ * across runs, merges, and thread counts. Quantiles come back as the
+ * upper edge of the bucket holding the requested rank — deterministic
+ * and conservative (never under-reports a tail), with relative error
+ * bounded by the growth factor.
+ */
+
+#ifndef LIA_OBS_HISTOGRAM_HH
+#define LIA_OBS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lia {
+namespace obs {
+
+/** Streaming histogram over fixed geometric bucket boundaries. */
+class Histogram
+{
+  public:
+    /** Bucketing scheme; two histograms merge only when equal. */
+    struct Bounds
+    {
+        /** Upper edge of the first positive bucket, seconds-ish. */
+        double lo = 1e-6;
+
+        /** Geometric growth per bucket: 2^(1/8) ≈ 9% relative width,
+         *  so a quantile read off a bucket edge overstates the true
+         *  order statistic by at most that factor. */
+        double growth = 1.0905077326652577;
+
+        bool operator==(const Bounds &other) const
+        {
+            return lo == other.lo && growth == other.growth;
+        }
+    };
+
+    Histogram() = default;
+    explicit Histogram(Bounds bounds) : bounds_(bounds) {}
+
+    /** Count one sample (<= 0 lands in the zero bucket). */
+    void add(double value);
+
+    /**
+     * Fold @p other into this histogram: per-bucket counts, totals,
+     * and extremes combine exactly (counts are integers, so merging
+     * is associative and loss-free — the property cluster aggregation
+     * rests on). Panics when the bucketing schemes differ.
+     */
+    void merge(const Histogram &other);
+
+    const Bounds &bounds() const { return bounds_; }
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    double sum() const { return sum_; }
+    double mean() const
+    {
+        return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+
+    /** Samples that landed in the zero bucket (value <= 0). */
+    std::uint64_t zeros() const { return zeros_; }
+
+    /** Sparse bucket counts, keyed by bucket index. */
+    const std::map<std::int32_t, std::uint64_t> &buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Upper boundary of bucket @p index (lo * growth^index). */
+    double upperEdge(std::int32_t index) const;
+
+    /**
+     * Quantile estimate for @p pct in [0, 100]: the upper edge of the
+     * bucket holding sample rank ceil(pct/100 * count), clamped to
+     * the observed maximum. Deterministic; 0 on an empty histogram.
+     */
+    double quantile(double pct) const;
+
+    /** Convenience accessors for the tail percentiles. */
+    double p50() const { return quantile(50.0); }
+    double p95() const { return quantile(95.0); }
+    double p99() const { return quantile(99.0); }
+    double p999() const { return quantile(99.9); }
+
+    /**
+     * Byte-stable JSON object: bounds, totals, and the sparse bucket
+     * counts in index order, all numbers via obs::jsonNumber.
+     */
+    std::string toJson() const;
+    void write(std::ostream &os) const;
+
+    /**
+     * Prometheus text-exposition histogram: HELP/TYPE headers, one
+     * cumulative `le` line per non-empty bucket edge plus "+Inf", and
+     * the _sum/_count pair. @p labels is a pre-rendered label body
+     * ('replica="0"'), empty for none.
+     */
+    void writeProm(std::ostream &os, const std::string &name,
+                   const std::string &help,
+                   const std::string &labels = "") const;
+
+  private:
+    /** Smallest bucket whose upper edge is >= value (value > 0). */
+    std::int32_t bucketFor(double value) const;
+
+    Bounds bounds_;
+    std::map<std::int32_t, std::uint64_t> buckets_;
+    std::uint64_t zeros_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+
+    /** Materialised upper edges; grows on demand, never shrinks. */
+    mutable std::vector<double> edges_;
+};
+
+} // namespace obs
+} // namespace lia
+
+#endif // LIA_OBS_HISTOGRAM_HH

@@ -1,6 +1,8 @@
 #include "obs/series.hh"
 
+#include <algorithm>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 namespace lia {
@@ -19,6 +21,27 @@ SeriesRegistry::at(const std::string &name) const
     static const Series empty;
     auto it = series_.find(name);
     return it == series_.end() ? empty : it->second;
+}
+
+void
+SeriesRegistry::merge(const SeriesRegistry &other)
+{
+    for (const auto &[name, points] : other.series_) {
+        auto [it, inserted] = series_.try_emplace(name, points);
+        if (inserted)
+            continue;
+        Series merged;
+        merged.reserve(it->second.size() + points.size());
+        // std::merge is stable: on equal timestamps, existing points
+        // (the first range) come first.
+        std::merge(it->second.begin(), it->second.end(),
+                   points.begin(), points.end(),
+                   std::back_inserter(merged),
+                   [](const Point &a, const Point &b) {
+                       return a.seconds < b.seconds;
+                   });
+        it->second = std::move(merged);
+    }
 }
 
 void

@@ -56,6 +56,18 @@ class SeriesRegistry final : public EventSink
     /** Samples of one series; empty when @p name was never sampled. */
     const Series &at(const std::string &name) const;
 
+    /**
+     * Fold @p other's series into this registry (the obs twin of
+     * serve::Metrics::merge): same-named series interleave by
+     * timestamp with a stable std::merge — on ties, this registry's
+     * points precede @p other's — and unknown names copy over whole.
+     * Each input series must be time-sorted, which emission order
+     * guarantees for engine-produced registries; the result then is
+     * too, so a cluster can merge per-replica registries in replica
+     * order into one deterministic fleet-wide artifact.
+     */
+    void merge(const SeriesRegistry &other);
+
     /** {"name": {"t": [...], "v": [...]}, ...} with jsonNumber values. */
     std::string toJson() const;
 

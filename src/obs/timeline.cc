@@ -1,0 +1,322 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace lia {
+namespace obs {
+
+namespace {
+
+/** Lifecycle phases in canonical order (DESIGN.md §13). */
+const char *const kCanonicalPhases[] = {
+    "queued", "prefill", "decode", "recompute", "preempted",
+    "swapped",
+};
+
+} // namespace
+
+std::map<std::string, double>
+TimelineRecorder::Record::phaseSeconds() const
+{
+    std::map<std::string, double> totals;
+    for (const Segment &segment : segments)
+        totals[segment.phase] += segment.seconds();
+    return totals;
+}
+
+double
+TimelineRecorder::Record::segmentSeconds() const
+{
+    double total = 0;
+    for (const Segment &segment : segments)
+        total += segment.seconds();
+    return total;
+}
+
+bool
+TimelineRecorder::Record::contiguous() const
+{
+    if (!finished)
+        return false;
+    if (segments.empty())
+        return arrive == finish;
+    // Exact comparison on purpose: the emitter closes and opens
+    // adjacent spans with the same timestamp, so boundary doubles are
+    // identical, not merely close.
+    if (segments.front().begin != arrive)
+        return false;
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+        if (segments[i].begin != segments[i - 1].end)
+            return false;
+    }
+    return segments.back().end == finish;
+}
+
+void
+TimelineRecorder::setTrackName(Track track, const std::string &,
+                               const std::string &thread)
+{
+    const auto it = states_.find(track);
+    if (it != states_.end()) {
+        it->second.record.label = thread;
+        dirty_ = true;
+    }
+}
+
+void
+TimelineRecorder::beginSpan(Track track, const char *name,
+                            double seconds, Args)
+{
+    const auto it = states_.find(track);
+    if (it == states_.end())
+        return; // not a request track (no "arrive" seen)
+    State &state = it->second;
+    if (++state.depth == 1) {
+        state.record.segments.push_back(
+            Segment{name, seconds, seconds});
+        state.open = true;
+    }
+    dirty_ = true;
+}
+
+void
+TimelineRecorder::endSpan(Track track, double seconds)
+{
+    const auto it = states_.find(track);
+    if (it == states_.end())
+        return;
+    State &state = it->second;
+    if (state.depth <= 0)
+        return;
+    if (--state.depth == 0 && state.open) {
+        state.record.segments.back().end = seconds;
+        state.open = false;
+    }
+    dirty_ = true;
+}
+
+void
+TimelineRecorder::instant(Track track, const char *name,
+                          double seconds, Args)
+{
+    const std::string event = name;
+    if (event == "arrive") {
+        State &state = states_[track];
+        state.record.track = track;
+        state.record.arrive = seconds;
+        dirty_ = true;
+        return;
+    }
+    if (event == "finish") {
+        const auto it = states_.find(track);
+        if (it == states_.end())
+            return;
+        it->second.record.finish = seconds;
+        it->second.record.finished = true;
+        dirty_ = true;
+    }
+}
+
+void
+TimelineRecorder::refresh() const
+{
+    if (!dirty_)
+        return;
+    records_.clear();
+    for (const auto &[track, state] : states_)
+        records_.emplace(track, state.record);
+    dirty_ = false;
+}
+
+std::vector<const TimelineRecorder::Record *>
+TimelineRecorder::finished() const
+{
+    refresh();
+    std::vector<const Record *> out;
+    for (const auto &[track, record] : records_) {
+        if (record.finished)
+            out.push_back(&record);
+    }
+    return out;
+}
+
+std::size_t
+TimelineRecorder::finishedCount() const
+{
+    return finished().size();
+}
+
+std::vector<std::string>
+TimelineRecorder::phases() const
+{
+    refresh();
+    std::vector<std::string> out;
+    std::vector<std::string> extras;
+    std::map<std::string, bool> seen;
+    for (const auto &[track, record] : records_) {
+        for (const Segment &segment : record.segments)
+            seen[segment.phase] = true;
+    }
+    for (const char *phase : kCanonicalPhases) {
+        if (seen.count(phase)) {
+            out.push_back(phase);
+            seen.erase(phase);
+        }
+    }
+    for (const auto &[phase, unused] : seen)
+        out.push_back(phase); // unexpected names, alphabetical
+    return out;
+}
+
+namespace {
+
+void
+writePhaseMap(std::ostream &os, const std::vector<std::string> &phases,
+              const std::map<std::string, double> &totals,
+              double denominator, bool as_fraction)
+{
+    os << "{";
+    bool first = true;
+    for (const std::string &phase : phases) {
+        const auto it = totals.find(phase);
+        const double value = it == totals.end() ? 0.0 : it->second;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(phase) << "\":"
+           << jsonNumber(as_fraction
+                             ? (denominator > 0 ? value / denominator
+                                                : 0.0)
+                             : value);
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+TimelineRecorder::writeBlame(std::ostream &os,
+                             const std::vector<double> &tail_pcts) const
+{
+    refresh();
+    const std::vector<std::string> phase_names = phases();
+    std::vector<const Record *> done = finished();
+
+    // Slowest first; ties break on track order so the report is a
+    // pure function of the event stream.
+    std::sort(done.begin(), done.end(),
+              [](const Record *a, const Record *b) {
+                  if (a->e2e() != b->e2e())
+                      return a->e2e() > b->e2e();
+                  return a->track < b->track;
+              });
+
+    Histogram e2e_hist;
+    std::map<std::string, Histogram> phase_hists;
+    std::map<std::string, double> overall_phase;
+    double overall_e2e = 0;
+    for (const Record *record : done) {
+        e2e_hist.add(record->e2e());
+        overall_e2e += record->e2e();
+        for (const auto &[phase, total] : record->phaseSeconds()) {
+            phase_hists[phase].add(total);
+            overall_phase[phase] += total;
+        }
+    }
+
+    os << "{\"requests\":" << records_.size()
+       << ",\"finished\":" << done.size() << ",\"phases\":[";
+    for (std::size_t i = 0; i < phase_names.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << "\"" << jsonEscape(phase_names[i]) << "\"";
+    }
+    os << "],\"overall\":{\"count\":" << done.size()
+       << ",\"e2e_s\":" << jsonNumber(overall_e2e) << ",\"phase_s\":";
+    writePhaseMap(os, phase_names, overall_phase, 0, false);
+    os << ",\"phase_frac\":";
+    writePhaseMap(os, phase_names, overall_phase, overall_e2e, true);
+    os << "},\"e2e_hist\":";
+    e2e_hist.write(os);
+    os << ",\"phase_hist\":{";
+    bool first = true;
+    for (const std::string &phase : phase_names) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(phase) << "\":";
+        phase_hists[phase].write(os);
+    }
+    os << "},\"tails\":[";
+    first = true;
+    for (double pct : tail_pcts) {
+        LIA_ASSERT(pct >= 0 && pct < 100, "tail pct ", pct,
+                   " out of [0, 100)");
+        if (!first)
+            os << ",";
+        first = false;
+        // Slowest (100 - pct)% of finished requests, at least one so
+        // every tail row carries a concrete culprit.
+        std::size_t count = 0;
+        if (!done.empty()) {
+            count = static_cast<std::size_t>(std::ceil(
+                static_cast<double>(done.size()) * (100.0 - pct) /
+                100.0));
+            count = std::max<std::size_t>(
+                1, std::min(count, done.size()));
+        }
+        std::map<std::string, double> tail_phase;
+        double tail_e2e = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            tail_e2e += done[i]->e2e();
+            for (const auto &[phase, total] :
+                 done[i]->phaseSeconds())
+                tail_phase[phase] += total;
+        }
+        os << "{\"pct\":" << jsonNumber(pct) << ",\"count\":" << count
+           << ",\"e2e_s\":" << jsonNumber(tail_e2e) << ",\"phase_s\":";
+        writePhaseMap(os, phase_names, tail_phase, 0, false);
+        os << ",\"phase_frac\":";
+        writePhaseMap(os, phase_names, tail_phase, tail_e2e, true);
+        if (count > 0) {
+            const Record *slowest = done[0];
+            os << ",\"slowest\":{\"pid\":" << slowest->track.pid
+               << ",\"tid\":" << slowest->track.tid
+               << ",\"e2e_s\":" << jsonNumber(slowest->e2e())
+               << ",\"phase_s\":";
+            writePhaseMap(os, phase_names, slowest->phaseSeconds(), 0,
+                          false);
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "]}";
+}
+
+std::string
+TimelineRecorder::blameReport(const std::vector<double> &tail_pcts) const
+{
+    std::ostringstream os;
+    writeBlame(os, tail_pcts);
+    return os.str();
+}
+
+bool
+TimelineRecorder::writeFile(const std::string &path,
+                            const std::vector<double> &tail_pcts) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeBlame(os, tail_pcts);
+    os << "\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace obs
+} // namespace lia

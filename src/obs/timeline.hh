@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Per-request tail-latency attribution over the event stream.
+ *
+ * A TimelineRecorder is an EventSink that reconstructs every served
+ * request's lifecycle from the spans the serving layer already emits
+ * (DESIGN.md §8): a request track carries exactly one open state span
+ * at a time — queued / prefill / decode / recompute / preempted /
+ * swapped — bracketed by `arrive` and `finish` instants, with every
+ * transition closing one span and opening the next at the same
+ * timestamp. The recorder therefore recovers, per request, an *exact
+ * partition* of [arrive, finish] into lifecycle phases: queue wait,
+ * chunked prefill (prefix-cache hits shorten it), decode iterations
+ * (speculative draft+verify runs inside them), swap-channel stalls,
+ * evict stalls, and recompute passes.
+ *
+ * From that partition it renders the "blame report" (DESIGN.md §13):
+ * for the slowest decile / percentile / permille of finished
+ * requests, which phase contributed what fraction of end-to-end
+ * latency — the answer to "why was a p99.9 request slow". Rendering
+ * is deterministic (obs::jsonNumber, sorted keys, total ordering on
+ * ties), so two identical runs produce byte-identical reports.
+ *
+ * Requests from any number of engines can share one recorder: tracks
+ * from different replica namespaces (distinct pids) stay distinct, so
+ * attaching a recorder as the cluster sink yields the cluster-wide
+ * report directly.
+ */
+
+#ifndef LIA_OBS_TIMELINE_HH
+#define LIA_OBS_TIMELINE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hh"
+#include "obs/sink.hh"
+
+namespace lia {
+namespace obs {
+
+/** Reconstructs per-request phase timelines from sink events. */
+class TimelineRecorder final : public EventSink
+{
+  public:
+    /** One contiguous stretch of a request's lifetime in one phase. */
+    struct Segment
+    {
+        std::string phase;  //!< lifecycle span name ("decode", ...)
+        double begin = 0;
+        double end = 0;
+
+        double seconds() const { return end - begin; }
+    };
+
+    /** The reconstructed lifecycle of one request. */
+    struct Record
+    {
+        Track track;        //!< pid = engine/replica, tid = request id
+        std::string label;  //!< thread name ("req 7"), if ever named
+        double arrive = -1;
+        double finish = -1;
+        bool finished = false;
+
+        /** Phase segments in lifecycle order. */
+        std::vector<Segment> segments;
+
+        double e2e() const { return finish - arrive; }
+
+        /** Total seconds per phase, keyed by phase name. */
+        std::map<std::string, double> phaseSeconds() const;
+
+        /** Sum of all segment durations (== e2e up to fp rounding). */
+        double segmentSeconds() const;
+
+        /**
+         * Whether the segments are an exact partition of
+         * [arrive, finish]: first begins at arrive, each begins
+         * exactly where its predecessor ended, last ends at finish.
+         * Exact double comparison — the emitter uses one timestamp
+         * for both sides of a transition, so a finished request's
+         * timeline partitions exactly by construction (the property
+         * test pins this for every scheduler feature).
+         */
+        bool contiguous() const;
+    };
+
+    // --- EventSink ---------------------------------------------------
+
+    void setTrackName(Track track, const std::string &process,
+                      const std::string &thread) override;
+    void beginSpan(Track track, const char *name, double seconds,
+                   Args args = {}) override;
+    void endSpan(Track track, double seconds) override;
+    void instant(Track track, const char *name, double seconds,
+                 Args args = {}) override;
+    void counter(Track, const char *, double, double) override {}
+
+    // --- Post-run queries --------------------------------------------
+
+    /** Requests that emitted `arrive`, in track order. */
+    const std::map<Track, Record> &records() const
+    {
+        refresh();
+        return records_;
+    }
+
+    /** Records of finished requests, in track order. */
+    std::vector<const Record *> finished() const;
+
+    /** Requests seen / finished. */
+    std::size_t arrived() const { return records().size(); }
+    std::size_t finishedCount() const;
+
+    /**
+     * Phase names observed across all requests: the canonical
+     * lifecycle order first (queued, prefill, decode, recompute,
+     * preempted, swapped), then any unexpected names alphabetically.
+     */
+    std::vector<std::string> phases() const;
+
+    /**
+     * The blame report as a deterministic JSON object. For the whole
+     * finished population and for each tail quantile (percent, e.g.
+     * 99.9 = slowest permille, always at least one request), the
+     * report carries the per-phase second totals and fractions of
+     * summed end-to-end latency, plus the slowest request's own
+     * breakdown; per-phase and e2e histograms ride along for
+     * cluster-level re-aggregation.
+     */
+    std::string blameReport(
+        const std::vector<double> &tail_pcts = {90.0, 99.0,
+                                                99.9}) const;
+
+    void writeBlame(std::ostream &os,
+                    const std::vector<double> &tail_pcts = {
+                        90.0, 99.0, 99.9}) const;
+
+    /** Write blameReport() to @p path; false when it cannot open. */
+    bool writeFile(const std::string &path,
+                   const std::vector<double> &tail_pcts = {
+                       90.0, 99.0, 99.9}) const;
+
+  private:
+    struct State
+    {
+        Record record;
+        int depth = 0;       //!< nested-span depth on this track
+        bool open = false;   //!< a segment is currently open
+    };
+
+    std::map<Track, State> states_;
+
+    /** Finished view; rebuilt lazily is overkill — records_ mirrors
+     *  states_ on demand. */
+    mutable std::map<Track, Record> records_;
+    mutable bool dirty_ = true;
+
+    void refresh() const;
+};
+
+} // namespace obs
+} // namespace lia
+
+#endif // LIA_OBS_TIMELINE_HH

@@ -27,6 +27,8 @@ class EventSink;
 
 namespace serve {
 
+class SloMonitor;
+
 /** Iteration-level scheduling discipline. */
 enum class SchedulerPolicy
 {
@@ -230,6 +232,16 @@ struct Config
      * bit-identical with or without a sink attached.
      */
     obs::EventSink *sink = nullptr;
+
+    /**
+     * Optional SLO burn-rate monitor (serve/slo_monitor.hh) fed the
+     * TTFT / inter-token / response-time signals as they happen on
+     * the simulated clock. Passive and not owned: like the sink, a
+     * run with a monitor attached is bit-identical to one without —
+     * it observes scheduling, never steers it. When attached, the
+     * engine also emits an "slo_pressure" counter per iteration.
+     */
+    SloMonitor *sloMonitor = nullptr;
 
     /** Panics on malformed settings. */
     void validate() const;

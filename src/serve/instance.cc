@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "obs/sink.hh"
 #include "serve/backend.hh"
+#include "serve/slo_monitor.hh"
 
 namespace lia {
 namespace serve {
@@ -82,7 +83,7 @@ EngineInstance::EngineInstance(const hw::SystemConfig &system,
       swapChannel_(events_, "ddr-cxl-swap",
                    admission_.swapBandwidth(),
                    admission_.swapLatency()),
-      sink_(config_.sink)
+      sink_(config_.sink), monitor_(config_.sloMonitor)
 {
     if (config_.prefix.enabled) {
         PrefixCache::Pricing pricing;
@@ -224,8 +225,13 @@ void
 EngineInstance::tokenEmitted(Request &request, double now)
 {
     ++metrics_.tokensGenerated;
-    if (request.lastTokenTime >= 0)
-        metrics_.tokenGap.add(now - request.lastTokenTime);
+    if (request.lastTokenTime >= 0) {
+        const double gap = now - request.lastTokenTime;
+        metrics_.tokenGap.add(gap);
+        metrics_.tokenGapHist.add(gap);
+        if (monitor_)
+            monitor_->onTokenGap(now, gap);
+    }
     request.lastTokenTime = now;
 }
 
@@ -574,6 +580,11 @@ EngineInstance::emitIteration(const IterationPlan &plan, double now,
                        static_cast<double>(
                            metrics_.specAcceptedTokens));
     }
+    // Gated on the monitor, not just the sink, so monitor-less traces
+    // keep their schema.
+    if (monitor_)
+        sink_->counter(ns_.iterations(), "slo_pressure", now,
+                       monitor_->pressure(now));
     sink_->beginSpan(ns_.iterations(), "iteration", now,
                      std::move(args));
     sink_->endSpan(ns_.iterations(), now + duration);
@@ -689,7 +700,10 @@ EngineInstance::completeIteration(const IterationPlan &plan)
         if (request.firstTokenTime < 0) {
             request.firstTokenTime = now;
             metrics_.ttft.add(request.ttft());
+            metrics_.ttftHist.add(request.ttft());
             metrics_.queueWait.add(request.queueWait());
+            if (monitor_)
+                monitor_->onTtft(now, request.ttft());
         }
         tokenEmitted(request, now);
         if (request.done()) {
@@ -720,14 +734,27 @@ EngineInstance::finish(Request &request, double now)
     if (sink_) {
         const obs::Track track = ns_.request(request.id);
         sink_->endSpan(track, now);  // close the state span
-        sink_->instant(
-            track, "finish", now,
-            {obs::arg("ttft_s", request.ttft()),
-             obs::arg("response_s", request.responseTime()),
-             obs::arg("generated", request.generated)});
+        obs::Args args{obs::arg("ttft_s", request.ttft()),
+                       obs::arg("response_s", request.responseTime()),
+                       obs::arg("generated", request.generated)};
+        // Feature-gated context for the blame report's consumers;
+        // feature-off traces keep the pre-existing schema byte for
+        // byte.
+        if (config_.prefix.enabled)
+            args.push_back(
+                obs::arg("prefix_hit_tokens", request.prefixHitTokens));
+        if (config_.spec.enabled) {
+            args.push_back(obs::arg("spec_steps", request.specSteps));
+            args.push_back(
+                obs::arg("spec_accepted", request.specAccepted));
+        }
+        sink_->instant(track, "finish", now, std::move(args));
     }
     ++metrics_.completed;
     metrics_.responseTime.add(request.responseTime());
+    metrics_.responseHist.add(request.responseTime());
+    if (monitor_)
+        monitor_->onComplete(now, request.responseTime());
     if (request.lOut > 1)
         metrics_.tbt.add(request.meanTbt());
 }

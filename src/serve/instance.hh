@@ -196,6 +196,9 @@ class EngineInstance
 
     /** Config::sink, cached; null costs nothing. */
     obs::EventSink *sink_ = nullptr;
+
+    /** Config::sloMonitor, cached; null costs nothing. */
+    SloMonitor *monitor_ = nullptr;
 };
 
 } // namespace serve

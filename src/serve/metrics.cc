@@ -18,13 +18,14 @@ statsJson(std::ostream &os, const char *name, const SampleStats &s)
     os << "\"" << name << "\":{\"count\":" << s.count();
     if (s.empty()) {
         os << ",\"mean\":0,\"p50\":0,\"p95\":0,\"p99\":0,"
-              "\"min\":0,\"max\":0}";
+              "\"p999\":0,\"min\":0,\"max\":0}";
         return;
     }
     os << ",\"mean\":" << jsonNumber(s.mean())
        << ",\"p50\":" << jsonNumber(s.p50())
        << ",\"p95\":" << jsonNumber(s.p95())
        << ",\"p99\":" << jsonNumber(s.p99())
+       << ",\"p999\":" << jsonNumber(s.p999())
        << ",\"min\":" << jsonNumber(s.min())
        << ",\"max\":" << jsonNumber(s.max()) << "}";
 }
@@ -42,6 +43,10 @@ Metrics::merge(const Metrics &other)
     queueDepth.merge(other.queueDepth);
     batchOccupancy.merge(other.batchOccupancy);
     kvOccupancy.merge(other.kvOccupancy);
+
+    ttftHist.merge(other.ttftHist);
+    tokenGapHist.merge(other.tokenGapHist);
+    responseHist.merge(other.responseHist);
 
     completed += other.completed;
     rejectedCapacity += other.rejectedCapacity;
@@ -118,6 +123,9 @@ Metrics::toJson() const
     statsJson(os, "batch_occupancy", batchOccupancy);
     os << ",";
     statsJson(os, "kv_occupancy", kvOccupancy);
+    os << ",\"hist\":{\"ttft_s\":" << ttftHist.toJson()
+       << ",\"token_gap_s\":" << tokenGapHist.toJson()
+       << ",\"response_s\":" << responseHist.toJson() << "}";
     os << ",\"completed\":" << completed
        << ",\"rejected_capacity\":" << rejectedCapacity
        << ",\"shed_slo\":" << shedSlo
@@ -162,7 +170,7 @@ TextTable
 latencyTable(const std::string &first_col)
 {
     return TextTable({first_col, "mean (s)", "p50 (s)", "p95 (s)",
-                      "p99 (s)", "mean vs base"});
+                      "p99 (s)", "p99.9 (s)", "mean vs base"});
 }
 
 void
@@ -170,12 +178,13 @@ addLatencyRow(TextTable &table, const std::string &label,
               const SampleStats &stats, double baseline_mean)
 {
     if (stats.empty()) {
-        table.addRow({label, "-", "-", "-", "-", "-"});
+        table.addRow({label, "-", "-", "-", "-", "-", "-"});
         return;
     }
     table.addRow({label, fmtDouble(stats.mean(), 2),
                   fmtDouble(stats.p50(), 2), fmtDouble(stats.p95(), 2),
                   fmtDouble(stats.p99(), 2),
+                  fmtDouble(stats.p999(), 2),
                   baseline_mean > 0
                       ? fmtRatio(stats.mean() / baseline_mean)
                       : "-"});

@@ -18,6 +18,7 @@
 
 #include "base/stats.hh"
 #include "base/table.hh"
+#include "obs/histogram.hh"
 #include "serve/config.hh"
 #include "serve/request.hh"
 
@@ -35,6 +36,18 @@ struct Metrics
     SampleStats queueDepth;     //!< waiting requests at iteration starts
     SampleStats batchOccupancy; //!< running batch size at iteration starts
     SampleStats kvOccupancy;    //!< reserved/budget at iteration starts
+
+    // --- Streaming histograms (DESIGN.md §13) ------------------------
+    //
+    // The latency signals again, as log-bucketed obs::Histogram: exact
+    // counts, O(buckets) state, and loss-free merge() — the form the
+    // blame reports, Prometheus exposition, and cluster aggregation
+    // consume. SampleStats above stays the source of exact order
+    // statistics for the existing tables and JSON summaries.
+
+    obs::Histogram ttftHist;     //!< time-to-first-token, seconds
+    obs::Histogram tokenGapHist; //!< every inter-token interval
+    obs::Histogram responseHist; //!< end-to-end seconds
 
     std::size_t completed = 0;      //!< requests fully served
     std::size_t rejectedCapacity = 0;  //!< never fit the KV budget
@@ -130,19 +143,20 @@ struct Metrics
 
     /**
      * The full metrics record as a JSON object: every SampleStats as
-     * {"count", "mean", "p50", "p95", "p99", "min", "max"} (zeros
-     * when empty), plus the scalar counters and derived rates.
-     * Deterministic number formatting (obs::jsonNumber), so benches
-     * embed it in their artifacts instead of hand-rolling fields.
+     * {"count", "mean", "p50", "p95", "p99", "p999", "min", "max"}
+     * (zeros when empty), the streaming histograms under "hist", plus
+     * the scalar counters and derived rates. Deterministic number
+     * formatting (obs::jsonNumber), so benches embed it in their
+     * artifacts instead of hand-rolling fields.
      */
     std::string toJson() const;
 };
 
 /**
  * The standard latency table: @p first_col then mean / p50 / p95 /
- * p99 (seconds) and a mean-vs-baseline ratio column. Fill it with
- * addLatencyRow so every example and bench prints distributions the
- * same way.
+ * p99 / p99.9 (seconds) and a mean-vs-baseline ratio column. Fill it
+ * with addLatencyRow so every example and bench prints distributions
+ * the same way.
  */
 TextTable latencyTable(const std::string &first_col);
 

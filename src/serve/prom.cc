@@ -1,0 +1,98 @@
+#include "serve/prom.hh"
+
+#include <fstream>
+
+#include "obs/sink.hh"
+#include "serve/slo_monitor.hh"
+
+namespace lia {
+namespace serve {
+
+namespace {
+
+void
+gauge(std::ostream &os, const char *name, const char *help,
+      double value)
+{
+    os << "# HELP " << name << " " << help << "\n"
+       << "# TYPE " << name << " gauge\n"
+       << name << " " << obs::jsonNumber(value) << "\n";
+}
+
+void
+counterMetric(std::ostream &os, const char *name, const char *help,
+              double value)
+{
+    os << "# HELP " << name << " " << help << "\n"
+       << "# TYPE " << name << " counter\n"
+       << name << " " << obs::jsonNumber(value) << "\n";
+}
+
+} // namespace
+
+void
+writePrometheus(std::ostream &os, const Metrics &metrics,
+                const SloMonitor *monitor, double now)
+{
+    metrics.ttftHist.writeProm(os, "lia_ttft_seconds",
+                               "Time to first token");
+    metrics.tokenGapHist.writeProm(os, "lia_token_gap_seconds",
+                                   "Inter-token interval");
+    metrics.responseHist.writeProm(os, "lia_response_seconds",
+                                   "End-to-end response time");
+
+    counterMetric(os, "lia_requests_completed_total",
+                  "Requests fully served",
+                  static_cast<double>(metrics.completed));
+    counterMetric(os, "lia_requests_rejected_total",
+                  "Requests turned away (capacity + SLO shed)",
+                  static_cast<double>(metrics.rejected()));
+    counterMetric(os, "lia_tokens_generated_total",
+                  "Tokens generated",
+                  static_cast<double>(metrics.tokensGenerated));
+    counterMetric(os, "lia_iterations_total",
+                  "Engine iterations executed",
+                  static_cast<double>(metrics.iterations));
+    counterMetric(os, "lia_preemptions_total",
+                  "Requests preempted (swap or evict)",
+                  static_cast<double>(metrics.preemptions));
+    counterMetric(os, "lia_prefill_chunks_total",
+                  "Chunked-prefill work items",
+                  static_cast<double>(metrics.prefillChunks));
+    counterMetric(os, "lia_swap_out_bytes_total",
+                  "KV bytes moved DDR to CXL", metrics.swapOutBytes);
+    counterMetric(os, "lia_prefix_hits_total",
+                  "Prefix-cache admission hits",
+                  static_cast<double>(metrics.prefixHits));
+    counterMetric(os, "lia_spec_accepted_tokens_total",
+                  "Draft tokens verified correct",
+                  static_cast<double>(metrics.specAcceptedTokens));
+
+    gauge(os, "lia_utilisation", "Engine busy fraction",
+          metrics.utilisation());
+    gauge(os, "lia_tokens_per_second",
+          "Generated tokens per simulated second",
+          metrics.tokensPerSecond());
+    gauge(os, "lia_completed_per_second",
+          "Completions per simulated second",
+          metrics.completedPerSecond());
+    gauge(os, "lia_makespan_seconds", "Simulated span of the run",
+          metrics.makespan);
+
+    if (monitor)
+        monitor->writeProm(os, now);
+}
+
+bool
+writePrometheusFile(const std::string &path, const Metrics &metrics,
+                    const SloMonitor *monitor, double now)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writePrometheus(os, metrics, monitor, now);
+    return static_cast<bool>(os);
+}
+
+} // namespace serve
+} // namespace lia

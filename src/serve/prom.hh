@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Prometheus text exposition of a serving run (DESIGN.md §13).
+ *
+ * Renders a serve::Metrics record — and, when one is attached, the
+ * SloMonitor's burn-rate gauges — in the Prometheus text format
+ * (`# HELP` / `# TYPE` headers, `_bucket{le=...}` cumulative
+ * histograms, `_sum`/`_count` pairs, plain gauges). The output is a
+ * pure function of the metrics record, so `--metrics-out` artifacts
+ * are byte-deterministic like every other exported artifact.
+ */
+
+#ifndef LIA_SERVE_PROM_HH
+#define LIA_SERVE_PROM_HH
+
+#include <ostream>
+#include <string>
+
+#include "serve/metrics.hh"
+
+namespace lia {
+namespace serve {
+
+class SloMonitor;
+
+/**
+ * Write @p metrics as Prometheus text exposition: the streaming
+ * latency histograms (lia_ttft_seconds, lia_token_gap_seconds,
+ * lia_response_seconds), throughput/utilisation gauges, and the
+ * scheduler counters. When @p monitor is non-null its per-signal
+ * histograms and burn-rate gauges (evaluated at @p now) follow.
+ */
+void writePrometheus(std::ostream &os, const Metrics &metrics,
+                     const SloMonitor *monitor = nullptr,
+                     double now = 0);
+
+/** writePrometheus to @p path; false when the file cannot open. */
+bool writePrometheusFile(const std::string &path,
+                         const Metrics &metrics,
+                         const SloMonitor *monitor = nullptr,
+                         double now = 0);
+
+} // namespace serve
+} // namespace lia
+
+#endif // LIA_SERVE_PROM_HH

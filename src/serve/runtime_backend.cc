@@ -1,10 +1,12 @@
 #include "serve/runtime_backend.hh"
 
 #include <cmath>
+#include <sstream>
 #include <utility>
 
 #include "base/logging.hh"
 #include "base/rng.hh"
+#include "obs/sink.hh"
 #include "runtime/weights.hh"
 #include "serve/prefix_cache.hh"
 
@@ -59,6 +61,35 @@ backendExecutorConfig(std::shared_ptr<base::ThreadPool> pool,
 }
 
 } // namespace
+
+std::string
+RuntimeBackend::Counters::toJson() const
+{
+    using obs::jsonNumber;
+    std::ostringstream os;
+    os << "{\"prefill_chunks\":" << prefillChunks
+       << ",\"pass_completions\":" << passCompletions
+       << ",\"decode_steps\":" << decodeSteps
+       << ",\"evictions\":" << evictions
+       << ",\"swap_outs\":" << swapOuts
+       << ",\"swap_ins\":" << swapIns
+       << ",\"recomputes_verified\":" << recomputesVerified
+       << ",\"swap_out_bytes\":" << jsonNumber(swapOutBytes)
+       << ",\"swap_in_bytes\":" << jsonNumber(swapInBytes)
+       << ",\"prefix_attaches\":" << prefixAttaches
+       << ",\"prefix_hits_verified\":" << prefixHitsVerified
+       << ",\"prefix_attach_tokens\":" << prefixAttachTokens
+       << ",\"prefix_inserts\":" << prefixInserts
+       << ",\"prefix_splits\":" << prefixSplits
+       << ",\"prefix_evictions\":" << prefixEvictions
+       << ",\"prefix_demotions\":" << prefixDemotions
+       << ",\"spec_steps\":" << specSteps
+       << ",\"spec_drafted\":" << specDrafted
+       << ",\"spec_accepted\":" << specAccepted
+       << ",\"spec_tokens\":" << specTokens
+       << ",\"tokens_produced\":" << tokensProduced() << "}";
+    return os.str();
+}
 
 RuntimeBackend::RuntimeBackend(const hw::SystemConfig &system,
                                const model::ModelConfig &model,

@@ -84,6 +84,13 @@ class RuntimeBackend : public ExecutionBackend
         {
             return passCompletions + decodeSteps + specTokens;
         }
+
+        /**
+         * The execution-side account as a deterministic JSON object,
+         * so benches embed the backend mirror next to the analytic
+         * serve::Metrics::toJson() instead of hand-picking fields.
+         */
+        std::string toJson() const;
     };
 
     /**

@@ -1,0 +1,238 @@
+#include "serve/slo_monitor.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "obs/sink.hh"
+
+namespace lia {
+namespace serve {
+
+SloMonitor::SloMonitor(SloMonitorConfig config)
+    : config_(std::move(config))
+{
+    LIA_ASSERT(config_.errorBudget > 0 && config_.errorBudget <= 1,
+               "SLO error budget must be in (0, 1]");
+    LIA_ASSERT(!config_.windows.empty(),
+               "SLO monitor needs at least one window");
+    for (double window : config_.windows) {
+        LIA_ASSERT(window > 0, "SLO window must be positive");
+        maxWindow_ = std::max(maxWindow_, window);
+    }
+    ttft_.name = "ttft";
+    ttft_.target = config_.targets.ttft;
+    ttft_.enabled = config_.targets.ttft > 0;
+    tokenGap_.name = "token_gap";
+    tokenGap_.target = config_.targets.tbt;
+    tokenGap_.enabled = config_.targets.tbt > 0;
+    e2e_.name = "e2e";
+    e2e_.target = config_.targets.e2e;
+    e2e_.enabled = config_.targets.e2e > 0;
+}
+
+void
+SloMonitor::prune(Tracked &tracked, double now)
+{
+    while (!tracked.recent.empty() &&
+           tracked.recent.front().first < now - maxWindow_)
+        tracked.recent.pop_front();
+}
+
+void
+SloMonitor::observe(Tracked &tracked, double now, double seconds)
+{
+    if (!tracked.enabled)
+        return;
+    const bool violated = seconds > tracked.target;
+    tracked.hist.add(seconds);
+    ++tracked.samples;
+    if (violated)
+        ++tracked.violations;
+    tracked.recent.emplace_back(now, violated);
+    prune(tracked, now);
+}
+
+void
+SloMonitor::onTtft(double now, double seconds)
+{
+    observe(ttft_, now, seconds);
+}
+
+void
+SloMonitor::onTokenGap(double now, double seconds)
+{
+    observe(tokenGap_, now, seconds);
+}
+
+void
+SloMonitor::onComplete(double now, double response_seconds)
+{
+    observe(e2e_, now, response_seconds);
+}
+
+const SloMonitor::Tracked &
+SloMonitor::tracked(Signal signal) const
+{
+    switch (signal) {
+      case Signal::Ttft:
+        return ttft_;
+      case Signal::TokenGap:
+        return tokenGap_;
+      case Signal::E2e:
+        return e2e_;
+    }
+    LIA_PANIC("unknown SLO signal");
+}
+
+std::uint64_t
+SloMonitor::samples(Signal signal) const
+{
+    return tracked(signal).samples;
+}
+
+std::uint64_t
+SloMonitor::violations(Signal signal) const
+{
+    return tracked(signal).violations;
+}
+
+const obs::Histogram &
+SloMonitor::histogram(Signal signal) const
+{
+    return tracked(signal).hist;
+}
+
+double
+SloMonitor::burnRate(Signal signal, double now, double window) const
+{
+    const Tracked &t = tracked(signal);
+    if (!t.enabled)
+        return 0.0;
+    std::uint64_t in_window = 0;
+    std::uint64_t violated = 0;
+    for (auto it = t.recent.rbegin(); it != t.recent.rend(); ++it) {
+        if (it->first < now - window)
+            break;
+        ++in_window;
+        if (it->second)
+            ++violated;
+    }
+    if (in_window == 0)
+        return 0.0;
+    const double fraction = static_cast<double>(violated) /
+                            static_cast<double>(in_window);
+    return fraction / config_.errorBudget;
+}
+
+double
+SloMonitor::pressure(double now) const
+{
+    double worst = 0.0;
+    for (const Tracked *t : {&ttft_, &tokenGap_, &e2e_}) {
+        if (!t->enabled)
+            continue;
+        for (double window : config_.windows) {
+            const Signal signal = t == &ttft_ ? Signal::Ttft
+                                  : t == &tokenGap_
+                                      ? Signal::TokenGap
+                                      : Signal::E2e;
+            worst = std::max(worst, burnRate(signal, now, window));
+        }
+    }
+    return worst;
+}
+
+void
+SloMonitor::write(std::ostream &os, double now) const
+{
+    os << "{\"now_s\":" << obs::jsonNumber(now)
+       << ",\"error_budget\":" << obs::jsonNumber(config_.errorBudget)
+       << ",\"pressure\":" << obs::jsonNumber(pressure(now))
+       << ",\"signals\":{";
+    bool first_signal = true;
+    const struct
+    {
+        const Tracked *t;
+        Signal signal;
+    } rows[] = {{&ttft_, Signal::Ttft},
+                {&tokenGap_, Signal::TokenGap},
+                {&e2e_, Signal::E2e}};
+    for (const auto &row : rows) {
+        if (!row.t->enabled)
+            continue;
+        if (!first_signal)
+            os << ",";
+        first_signal = false;
+        os << "\"" << row.t->name
+           << "\":{\"target_s\":" << obs::jsonNumber(row.t->target)
+           << ",\"samples\":" << row.t->samples
+           << ",\"violations\":" << row.t->violations
+           << ",\"burn_rates\":{";
+        bool first_window = true;
+        for (double window : config_.windows) {
+            if (!first_window)
+                os << ",";
+            first_window = false;
+            os << "\"" << obs::jsonNumber(window) << "\":"
+               << obs::jsonNumber(
+                      burnRate(row.signal, now, window));
+        }
+        os << "},\"hist\":";
+        row.t->hist.write(os);
+        os << "}";
+    }
+    os << "}}";
+}
+
+std::string
+SloMonitor::toJson(double now) const
+{
+    std::ostringstream os;
+    write(os, now);
+    return os.str();
+}
+
+void
+SloMonitor::writeProm(std::ostream &os, double now) const
+{
+    const Tracked *rows[] = {&ttft_, &tokenGap_, &e2e_};
+    for (const Tracked *t : rows) {
+        if (!t->enabled)
+            continue;
+        t->hist.writeProm(os, std::string("lia_slo_") + t->name +
+                                  "_seconds",
+                          std::string("Observed ") + t->name +
+                              " latency distribution",
+                          std::string("signal=\"") + t->name + "\"");
+    }
+    os << "# HELP lia_slo_burn_rate Error-budget burn rate per "
+          "signal and window\n"
+       << "# TYPE lia_slo_burn_rate gauge\n";
+    const struct
+    {
+        const Tracked *t;
+        Signal signal;
+    } sigs[] = {{&ttft_, Signal::Ttft},
+                {&tokenGap_, Signal::TokenGap},
+                {&e2e_, Signal::E2e}};
+    for (const auto &sig : sigs) {
+        if (!sig.t->enabled)
+            continue;
+        for (double window : config_.windows) {
+            os << "lia_slo_burn_rate{signal=\"" << sig.t->name
+               << "\",window_s=\"" << obs::jsonNumber(window)
+               << "\"} "
+               << obs::jsonNumber(burnRate(sig.signal, now, window))
+               << "\n";
+        }
+    }
+    os << "# HELP lia_slo_pressure Max burn rate across signals and "
+          "windows\n"
+       << "# TYPE lia_slo_pressure gauge\n"
+       << "lia_slo_pressure " << obs::jsonNumber(pressure(now))
+       << "\n";
+}
+
+} // namespace serve
+} // namespace lia

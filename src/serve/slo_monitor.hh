@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Multi-window SLO burn-rate monitoring (DESIGN.md §13).
+ *
+ * An SloMonitor watches the per-token signals the engine already
+ * produces — time-to-first-token on admission of the first token,
+ * every inter-token gap, end-to-end response time on completion —
+ * and answers the SRE question "how fast am I spending my error
+ * budget?". For each signal with an enabled target it keeps (a) a
+ * streaming obs::Histogram of the observed values and (b) a sliding
+ * record of violations over several lookback windows on the
+ * *simulated* clock (5 s and 60 s by default).
+ *
+ * burn rate = (violating fraction within the window) / error budget,
+ * the standard multi-window multi-burn-rate construction: a burn rate
+ * of 1 spends the budget exactly on schedule, 10 spends it ten times
+ * too fast. The scalar `pressure()` — the worst burn rate across
+ * signals and windows — is the machine-readable overload signal the
+ * scheduler, autoscaler, and a future degradation ladder consume.
+ *
+ * The monitor is passive: it never feeds back into scheduling, so a
+ * run with a monitor attached is bit-identical to one without
+ * (enforced by the identity test, same policy as event sinks).
+ */
+
+#ifndef LIA_SERVE_SLO_MONITOR_HH
+#define LIA_SERVE_SLO_MONITOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hh"
+#include "serve/config.hh"
+
+namespace lia {
+namespace serve {
+
+/** Knobs of the burn-rate monitor. */
+struct SloMonitorConfig
+{
+    /** Targets; signals with a 0 target are not tracked. */
+    SloTargets targets;
+
+    /** Lookback windows, seconds of simulated time. */
+    std::vector<double> windows = {5.0, 60.0};
+
+    /**
+     * Error budget: tolerated violating fraction (0.1 = 99.9%-ish
+     * objective per window). Burn rate = violating fraction / budget.
+     */
+    double errorBudget = 0.1;
+};
+
+/** Tracks SLO violations over sliding windows of the simulated clock. */
+class SloMonitor
+{
+  public:
+    /** The monitored per-request signals. */
+    enum class Signal
+    {
+        Ttft,     //!< time-to-first-token vs targets.ttft
+        TokenGap, //!< inter-token interval vs targets.tbt
+        E2e,      //!< response time vs targets.e2e
+    };
+
+    explicit SloMonitor(SloMonitorConfig config = {});
+
+    const SloMonitorConfig &config() const { return config_; }
+
+    // --- Feeding (engine hooks; all O(log buckets) amortised) --------
+
+    void onTtft(double now, double seconds);
+    void onTokenGap(double now, double seconds);
+    void onComplete(double now, double response_seconds);
+
+    // --- Queries ------------------------------------------------------
+
+    /** Samples observed for @p signal (0 when untracked). */
+    std::uint64_t samples(Signal signal) const;
+
+    /** Violations observed for @p signal across the whole run. */
+    std::uint64_t violations(Signal signal) const;
+
+    /** Streaming distribution of @p signal's observed values. */
+    const obs::Histogram &histogram(Signal signal) const;
+
+    /**
+     * Burn rate of @p signal over the trailing @p window seconds
+     * ending at @p now: violating fraction within the window divided
+     * by the error budget. 0 when the signal is untracked or the
+     * window holds no samples.
+     */
+    double burnRate(Signal signal, double now, double window) const;
+
+    /**
+     * Overload pressure at @p now: the maximum burn rate over every
+     * tracked signal and configured window. >= 1 means at least one
+     * objective is spending its error budget faster than allowed.
+     */
+    double pressure(double now) const;
+
+    /**
+     * Deterministic JSON snapshot at @p now: per-signal sample and
+     * violation counts, per-window burn rates, the histograms, and
+     * the scalar pressure.
+     */
+    std::string toJson(double now) const;
+    void write(std::ostream &os, double now) const;
+
+    /**
+     * Prometheus text exposition at @p now: one histogram per tracked
+     * signal plus lia_slo_burn_rate{signal,window} and
+     * lia_slo_pressure gauges.
+     */
+    void writeProm(std::ostream &os, double now) const;
+
+  private:
+    struct Tracked
+    {
+        bool enabled = false;
+        double target = 0;
+        const char *name = "";
+        obs::Histogram hist;
+        std::uint64_t samples = 0;
+        std::uint64_t violations = 0;
+
+        /** (timestamp, violated) pairs inside the widest window. */
+        std::deque<std::pair<double, bool>> recent;
+    };
+
+    void observe(Tracked &tracked, double now, double seconds);
+    void prune(Tracked &tracked, double now);
+
+    const Tracked &tracked(Signal signal) const;
+
+    SloMonitorConfig config_;
+    double maxWindow_ = 0;
+    Tracked ttft_;
+    Tracked tokenGap_;
+    Tracked e2e_;
+};
+
+} // namespace serve
+} // namespace lia
+
+#endif // LIA_SERVE_SLO_MONITOR_HH

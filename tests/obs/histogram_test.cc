@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the deterministic log-bucketed streaming histogram:
+ * bucket-edge exactness, quantile semantics, loss-free merges, the
+ * byte-stable JSON rendering, and the Prometheus text exposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "obs/histogram.hh"
+
+namespace {
+
+using namespace lia;
+
+TEST(HistogramTest, EmptyHistogramIsAllZeros)
+{
+    obs::Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.p999(), 0.0);
+}
+
+TEST(HistogramTest, TotalsAreExact)
+{
+    obs::Histogram h;
+    h.add(1.0);
+    h.add(2.0);
+    h.add(4.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 7.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(HistogramTest, NonPositiveValuesLandInTheZeroBucket)
+{
+    obs::Histogram h;
+    h.add(0.0);
+    h.add(-1.5);
+    h.add(0.5);
+    EXPECT_EQ(h.zeros(), 2u);
+    EXPECT_EQ(h.count(), 3u);
+    // min/max still see the raw values.
+    EXPECT_DOUBLE_EQ(h.min(), -1.5);
+    EXPECT_DOUBLE_EQ(h.max(), 0.5);
+    // Rank 1 and 2 sit in the zero bucket.
+    EXPECT_DOUBLE_EQ(h.quantile(30.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(60.0), 0.0);
+    EXPECT_GT(h.quantile(100.0), 0.0);
+}
+
+TEST(HistogramTest, BucketEdgesFollowGeometricGrowth)
+{
+    obs::Histogram h;
+    const auto &b = h.bounds();
+    EXPECT_DOUBLE_EQ(h.upperEdge(0), b.lo);
+    EXPECT_DOUBLE_EQ(h.upperEdge(1), b.lo * b.growth);
+    // Edges are materialised by repeated multiplication, so the edge
+    // list is exactly reproducible — not merely close.
+    EXPECT_EQ(h.upperEdge(37), obs::Histogram().upperEdge(37));
+}
+
+TEST(HistogramTest, QuantileIsConservativeWithinOneBucket)
+{
+    // The quantile comes back as the holding bucket's upper edge
+    // (clamped to the max), so it never under-reports and overstates
+    // by at most the growth factor.
+    obs::Histogram h;
+    SampleStats exact;
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        const double v = 0.001 + 10.0 * rng.uniform();
+        h.add(v);
+        exact.add(v);
+    }
+    for (double pct : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+        const double estimated = h.quantile(pct);
+        const double truth = exact.percentile(pct);
+        EXPECT_GE(estimated * h.bounds().growth * (1 + 1e-12), truth)
+            << "p" << pct << " under-reported";
+        EXPECT_LE(estimated, h.max());
+    }
+}
+
+TEST(HistogramTest, QuantileOfSingleSampleIsThatSample)
+{
+    obs::Histogram h;
+    h.add(0.125);
+    // Clamped to the observed max: better than the bucket edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.125);
+    EXPECT_DOUBLE_EQ(h.quantile(50.0), 0.125);
+    EXPECT_DOUBLE_EQ(h.quantile(100.0), 0.125);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedAdds)
+{
+    obs::Histogram a, b, combined;
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform() * 4.0 - 0.5;
+        if (i % 2 == 0) {
+            a.add(v);
+        } else {
+            b.add(v);
+        }
+        combined.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.zeros(), combined.zeros());
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+    EXPECT_EQ(a.buckets(), combined.buckets());
+    for (double pct : {10.0, 50.0, 95.0, 99.9})
+        EXPECT_DOUBLE_EQ(a.quantile(pct), combined.quantile(pct));
+}
+
+TEST(HistogramTest, MergeWithEmptyIsANoOp)
+{
+    obs::Histogram a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const std::string before = a.toJson();
+    a.merge(empty);
+    EXPECT_EQ(a.toJson(), before);
+
+    obs::Histogram target;
+    target.merge(a);
+    EXPECT_EQ(target.toJson(), before);
+}
+
+TEST(HistogramTest, JsonIsByteStable)
+{
+    auto build = [] {
+        obs::Histogram h;
+        h.add(0.1);
+        h.add(0.25);
+        h.add(-1.0);
+        return h.toJson();
+    };
+    const std::string json = build();
+    EXPECT_EQ(json, build());
+    EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"zeros\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\":{"), std::string::npos);
+}
+
+TEST(HistogramTest, PromExpositionHasCumulativeBuckets)
+{
+    obs::Histogram h;
+    h.add(0.5);
+    h.add(0.5);
+    h.add(2.0);
+    std::ostringstream os;
+    h.writeProm(os, "t_seconds", "test histogram");
+    const std::string text = os.str();
+    EXPECT_NE(text.find("# HELP t_seconds test histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE t_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_seconds_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_seconds_count 3"), std::string::npos);
+    EXPECT_NE(text.find("t_seconds_sum 3"), std::string::npos);
+
+    // Cumulative counts never decrease along the bucket lines.
+    std::istringstream lines(text);
+    std::string line;
+    std::uint64_t prev = 0;
+    while (std::getline(lines, line)) {
+        const auto brace = line.find("} ");
+        if (line.rfind("t_seconds_bucket", 0) != 0 ||
+            brace == std::string::npos)
+            continue;
+        const std::uint64_t n =
+            std::stoull(line.substr(brace + 2));
+        EXPECT_GE(n, prev);
+        prev = n;
+    }
+
+    // A label body threads through every sample line.
+    std::ostringstream labelled;
+    h.writeProm(labelled, "t_seconds", "test", "replica=\"2\"");
+    EXPECT_NE(labelled.str().find(
+                  "t_seconds_bucket{replica=\"2\",le="),
+              std::string::npos);
+    EXPECT_NE(labelled.str().find("t_seconds_count{replica=\"2\"} 3"),
+              std::string::npos);
+}
+
+} // namespace

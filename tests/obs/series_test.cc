@@ -45,6 +45,57 @@ TEST(SeriesRegistryTest, ToJsonHasParallelTimeValueArrays)
               "{\n\"g\":{\"t\":[0.5,1.5],\"v\":[2,3]}\n}\n");
 }
 
+TEST(SeriesRegistryTest, MergeInterleavesDisjointTimestamps)
+{
+    obs::SeriesRegistry a, b;
+    a.counter({0, 0}, "g", 0.0, 1.0);
+    a.counter({0, 0}, "g", 2.0, 3.0);
+    b.counter({1, 0}, "g", 1.0, 2.0);
+    b.counter({1, 0}, "g", 3.0, 4.0);
+    a.merge(b);
+    const auto &merged = a.at("g");
+    ASSERT_EQ(merged.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(merged[i].seconds, static_cast<double>(i));
+        EXPECT_DOUBLE_EQ(merged[i].value, static_cast<double>(i + 1));
+    }
+}
+
+TEST(SeriesRegistryTest, MergeIsStableOnEqualTimestamps)
+{
+    // Overlapping timestamps keep the existing registry's samples
+    // first — merging replicas in index order is deterministic.
+    obs::SeriesRegistry a, b;
+    a.counter({0, 0}, "g", 1.0, 10.0);
+    b.counter({1, 0}, "g", 1.0, 20.0);
+    b.counter({1, 0}, "g", 1.0, 21.0);
+    a.merge(b);
+    const auto &merged = a.at("g");
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_DOUBLE_EQ(merged[0].value, 10.0);
+    EXPECT_DOUBLE_EQ(merged[1].value, 20.0);
+    EXPECT_DOUBLE_EQ(merged[2].value, 21.0);
+    // JSON render after merge stays byte-stable.
+    EXPECT_EQ(a.toJson(),
+              "{\n\"g\":{\"t\":[1,1,1],\"v\":[10,20,21]}\n}\n");
+}
+
+TEST(SeriesRegistryTest, MergeCopiesUnknownSeriesWhole)
+{
+    obs::SeriesRegistry a, b;
+    a.counter({0, 0}, "known", 0.0, 1.0);
+    b.counter({1, 0}, "other", 5.0, 7.0);
+    b.counter({1, 0}, "other", 6.0, 8.0);
+    a.merge(b);
+    ASSERT_EQ(a.series().size(), 2u);
+    const auto &other = a.at("other");
+    ASSERT_EQ(other.size(), 2u);
+    EXPECT_DOUBLE_EQ(other[0].seconds, 5.0);
+    EXPECT_DOUBLE_EQ(other[1].value, 8.0);
+    // The donor registry is untouched.
+    EXPECT_EQ(b.series().size(), 1u);
+}
+
 TEST(SeriesRegistryTest, ServingRunProducesPerIterationSeries)
 {
     obs::SeriesRegistry registry;

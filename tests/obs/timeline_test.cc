@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for per-request tail-latency attribution (DESIGN.md §13):
+ * synthetic event-stream reconstruction, the golden byte-compare on
+ * the blame report, the randomized partition property — every
+ * finished request's phase segments exactly partition [arrive,
+ * finish] and sum to its end-to-end latency, across preemption,
+ * swapping, shedding, and speculative decoding — and the identity
+ * guarantee that attaching a recorder changes nothing (DESIGN.md §8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "obs/timeline.hh"
+#include "serve/engine.hh"
+#include "support/serving_checks.hh"
+
+namespace {
+
+using namespace lia;
+
+// --- Synthetic event streams ---------------------------------------
+
+TEST(TimelineRecorderTest, ReconstructsASimpleLifecycle)
+{
+    obs::TimelineRecorder rec;
+    const obs::Track req{0, 7};
+    rec.instant(req, "arrive", 1.0);
+    rec.setTrackName(req, "engine", "req 7");
+    rec.beginSpan(req, "queued", 1.0);
+    rec.endSpan(req, 2.5);
+    rec.beginSpan(req, "prefill", 2.5);
+    rec.endSpan(req, 4.0);
+    rec.beginSpan(req, "decode", 4.0);
+    rec.endSpan(req, 9.0);
+    rec.instant(req, "finish", 9.0);
+
+    ASSERT_EQ(rec.arrived(), 1u);
+    ASSERT_EQ(rec.finishedCount(), 1u);
+    const auto &record = rec.records().at(req);
+    EXPECT_EQ(record.label, "req 7");
+    EXPECT_DOUBLE_EQ(record.e2e(), 8.0);
+    EXPECT_TRUE(record.contiguous());
+    EXPECT_DOUBLE_EQ(record.segmentSeconds(), 8.0);
+    const auto phase = record.phaseSeconds();
+    EXPECT_DOUBLE_EQ(phase.at("queued"), 1.5);
+    EXPECT_DOUBLE_EQ(phase.at("prefill"), 1.5);
+    EXPECT_DOUBLE_EQ(phase.at("decode"), 5.0);
+    EXPECT_EQ(rec.phases(),
+              (std::vector<std::string>{"queued", "prefill",
+                                        "decode"}));
+}
+
+TEST(TimelineRecorderTest, IgnoresTracksWithoutArrive)
+{
+    obs::TimelineRecorder rec;
+    const obs::Track engine{0, 0};
+    rec.beginSpan(engine, "iteration", 0.0);
+    rec.endSpan(engine, 1.0);
+    rec.instant(engine, "iteration.done", 1.0);
+    rec.counter(engine, "queue_depth", 1.0, 3.0);
+    EXPECT_EQ(rec.arrived(), 0u);
+    EXPECT_TRUE(rec.records().empty());
+}
+
+TEST(TimelineRecorderTest, UnfinishedRequestsStayOutOfTheBlame)
+{
+    obs::TimelineRecorder rec;
+    const obs::Track done{0, 1}, rejected{0, 2}, shed{0, 3};
+    rec.instant(done, "arrive", 0.0);
+    rec.beginSpan(done, "decode", 0.0);
+    rec.endSpan(done, 1.0);
+    rec.instant(done, "finish", 1.0);
+    // Rejected at admission: arrive, no spans, no finish.
+    rec.instant(rejected, "arrive", 0.5);
+    rec.instant(rejected, "reject.capacity", 0.5);
+    // Shed by the SLO scheduler: queued span closes, no finish.
+    rec.instant(shed, "arrive", 0.7);
+    rec.beginSpan(shed, "queued", 0.7);
+    rec.endSpan(shed, 2.0);
+    rec.instant(shed, "shed.slo", 2.0);
+
+    EXPECT_EQ(rec.arrived(), 3u);
+    EXPECT_EQ(rec.finishedCount(), 1u);
+    EXPECT_FALSE(rec.records().at(rejected).finished);
+    EXPECT_FALSE(rec.records().at(shed).contiguous());
+    const std::string blame = rec.blameReport();
+    EXPECT_NE(blame.find("\"requests\":3"), std::string::npos);
+    EXPECT_NE(blame.find("\"finished\":1"), std::string::npos);
+}
+
+TEST(TimelineRecorderTest, NestedSpansCountOnlyTheTopLevel)
+{
+    obs::TimelineRecorder rec;
+    const obs::Track req{0, 4};
+    rec.instant(req, "arrive", 0.0);
+    rec.beginSpan(req, "decode", 0.0);
+    rec.beginSpan(req, "draft", 0.25); // hypothetical nested span
+    rec.endSpan(req, 0.5);
+    rec.endSpan(req, 2.0);
+    rec.instant(req, "finish", 2.0);
+    const auto &record = rec.records().at(req);
+    ASSERT_EQ(record.segments.size(), 1u);
+    EXPECT_EQ(record.segments[0].phase, "decode");
+    EXPECT_TRUE(record.contiguous());
+    EXPECT_DOUBLE_EQ(record.segmentSeconds(), 2.0);
+}
+
+TEST(TimelineRecorderTest, TailCountIsAtLeastOne)
+{
+    obs::TimelineRecorder rec;
+    for (int i = 0; i < 3; ++i) {
+        const obs::Track req{0, i + 1};
+        rec.instant(req, "arrive", 0.0);
+        rec.beginSpan(req, "decode", 0.0);
+        rec.endSpan(req, 1.0 + i);
+        rec.instant(req, "finish", 1.0 + i);
+    }
+    // ceil(3 * 0.1%) = 1: the p99.9 tail still names a culprit.
+    const std::string blame = rec.blameReport({99.9});
+    EXPECT_NE(blame.find("\"pct\":99.9,\"count\":1"),
+              std::string::npos);
+    // The slowest request (tid 3, e2e 3 s) is the blamed one.
+    EXPECT_NE(blame.find("\"slowest\":{\"pid\":0,\"tid\":3"),
+              std::string::npos);
+}
+
+// --- Real serving runs ---------------------------------------------
+
+serve::Config
+attributedConfig()
+{
+    // Preemptive policy under a tight KV budget (mirrors the obs
+    // golden-trace config): admission queueing, chunked prefill,
+    // preemption with swap and recompute exits all appear.
+    serve::Config cfg;
+    cfg.arrivalRatePerSecond = 10.0 / 60.0;
+    cfg.requests = 60;
+    cfg.seed = 11;
+    cfg.trace = trace::TraceKind::Conversation;
+    cfg.policy = serve::SchedulerPolicy::Preemptive;
+    cfg.maxBatch = 16;
+    cfg.kvBudgetCapBytes = 4e9;
+    cfg.prefillChunkTokens = 256;
+    return cfg;
+}
+
+serve::Result
+runWith(const serve::Config &cfg)
+{
+    serve::ServingEngine engine(hw::withCxl(hw::sprA100()),
+                                model::opt30b(), cfg);
+    return engine.run();
+}
+
+void
+expectExactAttribution(const obs::TimelineRecorder &rec,
+                       const serve::Result &result)
+{
+    EXPECT_EQ(rec.arrived(), result.requests.size());
+    EXPECT_EQ(rec.finishedCount(), result.metrics.completed);
+    ASSERT_GT(rec.finishedCount(), 0u);
+    for (const auto *record : rec.finished()) {
+        EXPECT_TRUE(record->contiguous())
+            << "gaps in request tid " << record->track.tid;
+        const double e2e = record->e2e();
+        EXPECT_LE(std::abs(record->segmentSeconds() - e2e),
+                  1e-9 * std::max(1.0, e2e))
+            << "phase sums diverge on tid " << record->track.tid;
+    }
+}
+
+TEST(TimelineAttributionTest, PhaseSumsEqualE2eOnThePreemptiveRun)
+{
+    obs::TimelineRecorder rec;
+    serve::Config cfg = attributedConfig();
+    cfg.sink = &rec;
+    const auto result = runWith(cfg);
+    expectExactAttribution(rec, result);
+    // This config preempts: stall phases must show up in the report.
+    ASSERT_GT(result.metrics.preemptions, 0u);
+    const auto phases = rec.phases();
+    const auto has = [&phases](const char *name) {
+        for (const auto &phase : phases)
+            if (phase == name)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("queued"));
+    EXPECT_TRUE(has("prefill"));
+    EXPECT_TRUE(has("decode"));
+    EXPECT_TRUE(has("preempted") || has("swapped") ||
+                has("recompute"));
+}
+
+TEST(TimelineAttributionTest, PartitionHoldsAcrossFeaturesAndSeeds)
+{
+    // Randomized property sweep: whatever the scheduler does to a
+    // request — shedding, speculation, swap, recompute — the finished
+    // timeline partitions exactly.
+    for (const std::uint64_t seed : {3u, 17u, 29u}) {
+        for (const auto policy :
+             {serve::SchedulerPolicy::SloAware,
+              serve::SchedulerPolicy::Preemptive}) {
+            serve::Config cfg = attributedConfig();
+            cfg.seed = seed;
+            cfg.policy = policy;
+            if (policy == serve::SchedulerPolicy::SloAware) {
+                cfg.kvBudgetCapBytes = 0;
+                cfg.prefillChunkTokens = 0;
+                cfg.slo.ttft = 20.0;
+                cfg.slo.tbt = 0.5;
+            }
+            if (seed == 17u) {
+                cfg.spec.enabled = true;
+                cfg.spec.draftTokens = 4;
+            }
+            obs::TimelineRecorder rec;
+            cfg.sink = &rec;
+            const auto result = runWith(cfg);
+            expectExactAttribution(rec, result);
+            EXPECT_GE(rec.arrived(), rec.finishedCount());
+        }
+    }
+}
+
+TEST(TimelineAttributionTest, BlameReportIsByteIdenticalAcrossRuns)
+{
+    obs::TimelineRecorder first, second;
+    serve::Config cfg = attributedConfig();
+    cfg.sink = &first;
+    runWith(cfg);
+    cfg.sink = &second;
+    runWith(cfg);
+    const std::string a = first.blameReport();
+    EXPECT_EQ(a, second.blameReport());
+    EXPECT_NE(a.find("\"tails\":[{\"pct\":90"), std::string::npos);
+    EXPECT_NE(a.find("\"e2e_hist\":{"), std::string::npos);
+    EXPECT_NE(a.find("\"phase_hist\":{"), std::string::npos);
+}
+
+TEST(TimelineAttributionTest, RecordingNeverChangesResults)
+{
+    obs::TimelineRecorder rec;
+    serve::Config plain = attributedConfig();
+    serve::Config recorded = attributedConfig();
+    recorded.sink = &rec;
+    const auto a = runWith(plain);
+    const auto b = runWith(recorded);
+    test::expectIdenticalRuns(a, b);
+}
+
+} // namespace

@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
+#include "base/stats.hh"
+#include "base/table.hh"
 #include "serve/metrics.hh"
 
 namespace lia {
@@ -45,6 +50,13 @@ sampleMetrics(double base)
     mx.swapInBytes = 4096;
     mx.swapBusyTime = 0.25;
     mx.kvReservedPeakBytes = 8192;
+
+    // The streaming histograms mirror their SampleStats twins.
+    mx.ttftHist.add(base + 0.1);
+    mx.ttftHist.add(base + 0.2);
+    mx.tokenGapHist.add(base + 0.005);
+    mx.tokenGapHist.add(base + 0.015);
+    mx.responseHist.add(base + 1.0);
     return mx;
 }
 
@@ -75,6 +87,9 @@ expectEqualMetrics(const Metrics &a, const Metrics &b)
     EXPECT_DOUBLE_EQ(a.swapInBytes, b.swapInBytes);
     EXPECT_DOUBLE_EQ(a.swapBusyTime, b.swapBusyTime);
     EXPECT_DOUBLE_EQ(a.kvReservedPeakBytes, b.kvReservedPeakBytes);
+    EXPECT_EQ(a.ttftHist.toJson(), b.ttftHist.toJson());
+    EXPECT_EQ(a.tokenGapHist.toJson(), b.tokenGapHist.toJson());
+    EXPECT_EQ(a.responseHist.toJson(), b.responseHist.toJson());
 }
 
 TEST(MetricsMergeTest, EmptyIntoEmptyStaysEmpty)
@@ -162,6 +177,46 @@ TEST(MetricsMergeTest, PercentilesAreOrderStatisticsOfTheUnion)
     EXPECT_GT(a.ttft.p99(), 8.0);
     EXPECT_LT(a.ttft.p50(), 9.0);
     EXPECT_DOUBLE_EQ(a.ttft.mean(), 5.0);
+}
+
+TEST(MetricsMergeTest, HistogramsMergeWithTheDistributions)
+{
+    Metrics a = sampleMetrics(1.0);
+    Metrics b = sampleMetrics(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.ttftHist.count(), 4u);
+    EXPECT_EQ(a.tokenGapHist.count(), 4u);
+    EXPECT_EQ(a.responseHist.count(), 2u);
+    // Union extremes survive the merge, like the SampleStats.
+    EXPECT_DOUBLE_EQ(a.ttftHist.min(), 1.1);
+    EXPECT_DOUBLE_EQ(a.ttftHist.max(), 10.2);
+}
+
+TEST(MetricsJsonTest, CarriesTailRowsAndHistograms)
+{
+    const Metrics mx = sampleMetrics(1.0);
+    const std::string json = mx.toJson();
+    EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+    EXPECT_NE(json.find("\"hist\":{\"ttft_s\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"token_gap_s\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"response_s\":{"), std::string::npos);
+    // Deterministic rendering: same metrics, same bytes.
+    EXPECT_EQ(json, sampleMetrics(1.0).toJson());
+}
+
+TEST(MetricsTableTest, LatencyTableHasAP999Column)
+{
+    TextTable table = latencyTable("who");
+    SampleStats stats;
+    for (int i = 1; i <= 1000; ++i)
+        stats.add(static_cast<double>(i));
+    addLatencyRow(table, "r", stats, stats.mean());
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("p99.9 (s)"), std::string::npos);
+    // p99.9 of 1..1000 is the 1000th-ish order statistic.
+    EXPECT_NE(text.find("999"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for SLO burn-rate monitoring (DESIGN.md §13): hand-fed
+ * burn-rate arithmetic, window pruning, pressure as the worst burn
+ * rate, untracked signals, deterministic JSON/Prometheus rendering,
+ * and the identity guarantee — a run with a monitor attached is
+ * bit-identical to one without, with the only trace difference being
+ * the opt-in `slo_pressure` counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "hw/system.hh"
+#include "model/config.hh"
+#include "obs/chrome_trace.hh"
+#include "serve/engine.hh"
+#include "serve/prom.hh"
+#include "serve/slo_monitor.hh"
+#include "support/serving_checks.hh"
+
+namespace {
+
+using namespace lia;
+using serve::SloMonitor;
+using Signal = serve::SloMonitor::Signal;
+
+serve::SloMonitorConfig
+monitorConfig()
+{
+    serve::SloMonitorConfig cfg;
+    cfg.targets.ttft = 2.0;
+    cfg.targets.tbt = 0.5;
+    cfg.targets.e2e = 10.0;
+    cfg.windows = {5.0, 60.0};
+    cfg.errorBudget = 0.1;
+    return cfg;
+}
+
+TEST(SloMonitorTest, BurnRateIsViolatingFractionOverBudget)
+{
+    SloMonitor monitor(monitorConfig());
+    // 4 TTFT samples in the last 5 s, one violating (3 s > 2 s
+    // target): fraction 0.25, budget 0.1 => burn rate 2.5.
+    monitor.onTtft(10.0, 1.0);
+    monitor.onTtft(11.0, 1.5);
+    monitor.onTtft(12.0, 3.0);
+    monitor.onTtft(13.0, 0.5);
+    EXPECT_EQ(monitor.samples(Signal::Ttft), 4u);
+    EXPECT_EQ(monitor.violations(Signal::Ttft), 1u);
+    EXPECT_DOUBLE_EQ(monitor.burnRate(Signal::Ttft, 13.0, 5.0), 2.5);
+    EXPECT_DOUBLE_EQ(monitor.burnRate(Signal::Ttft, 13.0, 60.0), 2.5);
+}
+
+TEST(SloMonitorTest, WindowsForgetOldViolations)
+{
+    SloMonitor monitor(monitorConfig());
+    monitor.onTtft(0.0, 5.0); // violation at t=0
+    monitor.onTtft(30.0, 1.0);
+    monitor.onTtft(31.0, 1.0);
+    // The 5 s window ending at 31 holds only the two compliant
+    // samples; the 60 s window still sees the violation (1/3 / 0.1).
+    EXPECT_DOUBLE_EQ(monitor.burnRate(Signal::Ttft, 31.0, 5.0), 0.0);
+    EXPECT_NEAR(monitor.burnRate(Signal::Ttft, 31.0, 60.0),
+                (1.0 / 3.0) / 0.1, 1e-12);
+    // Whole-run totals never forget.
+    EXPECT_EQ(monitor.violations(Signal::Ttft), 1u);
+    // Far beyond every window the burn rate drains to zero...
+    EXPECT_DOUBLE_EQ(monitor.burnRate(Signal::Ttft, 500.0, 60.0),
+                     0.0);
+    // ...and the histogram still holds every sample.
+    EXPECT_EQ(monitor.histogram(Signal::Ttft).count(), 3u);
+}
+
+TEST(SloMonitorTest, PressureIsTheWorstBurnRate)
+{
+    SloMonitor monitor(monitorConfig());
+    monitor.onTtft(10.0, 1.0);      // compliant
+    monitor.onTokenGap(10.0, 2.0);  // violating (> 0.5)
+    monitor.onComplete(10.0, 4.0);  // compliant
+    // Token-gap: 1/1 violating over budget 0.1 => burn rate 10.
+    EXPECT_DOUBLE_EQ(monitor.burnRate(Signal::TokenGap, 10.0, 5.0),
+                     10.0);
+    EXPECT_DOUBLE_EQ(monitor.pressure(10.0), 10.0);
+}
+
+TEST(SloMonitorTest, UntrackedSignalsStayAtZero)
+{
+    serve::SloMonitorConfig cfg = monitorConfig();
+    cfg.targets.tbt = 0.0; // token-gap untracked
+    SloMonitor monitor(cfg);
+    monitor.onTokenGap(1.0, 100.0);
+    EXPECT_EQ(monitor.samples(Signal::TokenGap), 0u);
+    EXPECT_EQ(monitor.violations(Signal::TokenGap), 0u);
+    EXPECT_DOUBLE_EQ(monitor.burnRate(Signal::TokenGap, 1.0, 5.0),
+                     0.0);
+    monitor.onTtft(1.0, 5.0);
+    // Pressure only reflects tracked signals.
+    EXPECT_DOUBLE_EQ(monitor.pressure(1.0), 10.0);
+}
+
+TEST(SloMonitorTest, JsonIsDeterministicAndComplete)
+{
+    auto build = [] {
+        SloMonitor monitor(monitorConfig());
+        monitor.onTtft(1.0, 3.0);
+        monitor.onTokenGap(1.5, 0.25);
+        monitor.onComplete(2.0, 12.0);
+        return monitor.toJson(2.0);
+    };
+    const std::string json = build();
+    EXPECT_EQ(json, build());
+    EXPECT_NE(json.find("\"pressure\":"), std::string::npos);
+    EXPECT_NE(json.find("\"ttft\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"token_gap\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"e2e\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"burn_rates\":{\"5\":"), std::string::npos);
+    EXPECT_NE(json.find("\"hist\":{"), std::string::npos);
+}
+
+TEST(SloMonitorTest, PromExpositionCarriesBurnRatesAndPressure)
+{
+    SloMonitor monitor(monitorConfig());
+    monitor.onTtft(1.0, 3.0);
+    std::ostringstream os;
+    monitor.writeProm(os, 1.0);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("lia_slo_ttft_seconds_bucket{"),
+              std::string::npos);
+    EXPECT_NE(text.find(
+                  "lia_slo_burn_rate{signal=\"ttft\",window_s=\"5\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("lia_slo_pressure "), std::string::npos);
+}
+
+// --- Engine integration --------------------------------------------
+
+serve::Config
+monitoredConfig()
+{
+    serve::Config cfg;
+    cfg.arrivalRatePerSecond = 10.0 / 60.0;
+    cfg.requests = 60;
+    cfg.seed = 11;
+    cfg.trace = trace::TraceKind::Conversation;
+    cfg.policy = serve::SchedulerPolicy::Preemptive;
+    cfg.maxBatch = 16;
+    cfg.kvBudgetCapBytes = 4e9;
+    cfg.prefillChunkTokens = 256;
+    return cfg;
+}
+
+serve::Result
+runWith(const serve::Config &cfg)
+{
+    serve::ServingEngine engine(hw::withCxl(hw::sprA100()),
+                                model::opt30b(), cfg);
+    return engine.run();
+}
+
+TEST(SloMonitorEngineTest, MonitoringNeverChangesResults)
+{
+    serve::SloMonitorConfig mon_cfg;
+    mon_cfg.targets = serve::SloTargets{20.0, 0.5, 180.0};
+    serve::SloMonitor monitor(mon_cfg);
+
+    serve::Config plain = monitoredConfig();
+    serve::Config monitored = monitoredConfig();
+    monitored.sloMonitor = &monitor;
+    const auto a = runWith(plain);
+    const auto b = runWith(monitored);
+    test::expectIdenticalRuns(a, b);
+
+    // The monitor really observed the run.
+    EXPECT_EQ(monitor.samples(Signal::Ttft), a.metrics.completed);
+    EXPECT_EQ(monitor.samples(Signal::E2e), a.metrics.completed);
+    EXPECT_GT(monitor.samples(Signal::TokenGap), 0u);
+}
+
+TEST(SloMonitorEngineTest, PressureCounterAppearsOnlyWhenMonitored)
+{
+    auto counterNames = [](const obs::ChromeTraceWriter &trace) {
+        std::set<std::string> names;
+        for (const auto &event : trace.events())
+            if (event.phase == 'C')
+                names.insert(event.name);
+        return names;
+    };
+
+    obs::ChromeTraceWriter plain_trace;
+    serve::Config plain = monitoredConfig();
+    plain.sink = &plain_trace;
+    runWith(plain);
+    EXPECT_EQ(counterNames(plain_trace).count("slo_pressure"), 0u);
+
+    serve::SloMonitorConfig mon_cfg;
+    mon_cfg.targets = serve::SloTargets{20.0, 0.5, 180.0};
+    serve::SloMonitor monitor(mon_cfg);
+    obs::ChromeTraceWriter monitored_trace;
+    serve::Config monitored = monitoredConfig();
+    monitored.sink = &monitored_trace;
+    monitored.sloMonitor = &monitor;
+    runWith(monitored);
+    EXPECT_EQ(counterNames(monitored_trace).count("slo_pressure"),
+              1u);
+}
+
+TEST(SloMonitorEngineTest, PrometheusFileCoversEngineAndMonitor)
+{
+    serve::SloMonitorConfig mon_cfg;
+    mon_cfg.targets = serve::SloTargets{20.0, 0.5, 180.0};
+    serve::SloMonitor monitor(mon_cfg);
+    serve::Config cfg = monitoredConfig();
+    cfg.sloMonitor = &monitor;
+    const auto result = runWith(cfg);
+
+    std::ostringstream os;
+    serve::writePrometheus(os, result.metrics, &monitor,
+                           result.metrics.makespan);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("lia_ttft_seconds_bucket{"),
+              std::string::npos);
+    EXPECT_NE(text.find("lia_requests_completed_total "),
+              std::string::npos);
+    EXPECT_NE(text.find("lia_slo_pressure "), std::string::npos);
+    // Engine histogram count agrees with the metrics counter.
+    EXPECT_NE(text.find("lia_response_seconds_count " +
+                        std::to_string(result.metrics.completed)),
+              std::string::npos);
+}
+
+} // namespace
